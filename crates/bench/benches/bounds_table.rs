@@ -1,0 +1,56 @@
+//! E10: Theorem 1 and Corollary 2 bound tables.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lb_family::bounds;
+
+fn print_tables() {
+    for n in [1e6, 1e9, 1e15] {
+        println!("\n[E10/Theorem 1] bounds at n = {n:.0e}:");
+        println!(
+            "{:>10} {:>5} {:>10} {:>10} {:>12} {:>12}",
+            "Delta", "t", "logD(n)", "det LB", "logD(logn)", "rand LB"
+        );
+        for row in bounds::theorem1_table(n, &[4, 16, 64, 256, 1024, 4096, 1 << 14, 1 << 18, 1 << 22], 0)
+        {
+            println!(
+                "{:>10} {:>5} {:>10.2} {:>10.2} {:>12.3} {:>12.3}",
+                row.delta, row.t, row.det_cap, row.det_bound, row.rand_cap, row.rand_bound
+            );
+        }
+    }
+
+    println!("\n[E10b/Corollary 2] balanced-degree bounds:");
+    println!(
+        "{:>10} {:>10} {:>10} {:>10} {:>12} {:>12}",
+        "n", "D*_det", "det", "sqrt(logn)", "D*_rand", "rand"
+    );
+    for exp in [6, 9, 12, 18, 24, 30, 40, 60] {
+        let n = 10f64.powi(exp);
+        let (dd, bd) = bounds::corollary2_det(n);
+        let (dr, br) = bounds::corollary2_rand(n);
+        println!(
+            "{:>10.0e} {:>10} {:>10.2} {:>10.2} {:>12} {:>12.3}",
+            n,
+            dd,
+            bd,
+            n.log2().sqrt(),
+            dr,
+            br
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_tables();
+    c.bench_function("theorem1_table_9_deltas", |b| {
+        b.iter(|| bounds::theorem1_table(1e9, &[4, 16, 64, 256, 1024, 4096, 1 << 14, 1 << 18, 1 << 22], 0))
+    });
+    c.bench_function("corollary2_det_n1e30", |b| b.iter(|| bounds::corollary2_det(1e30)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(50);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! E9: the Lemma 13 chain-length table — `t(Δ, k) = Θ(log Δ)`, the paper's
+//! central quantitative claim.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lb_family::sequence;
+
+fn print_tables() {
+    println!("\n[E9/Lemma 13] chain length vs Delta (k = x0 = 0):");
+    println!(
+        "{:>12} {:>8} {:>8} {:>10} {:>10} {:>7}",
+        "Delta", "t_paper", "t_exact", "paper/log2", "exact/log2", "sound"
+    );
+    let deltas: Vec<u32> = (3..=30).map(|e| 1u32 << e).collect();
+    for row in sequence::chain_length_table(&deltas, 0) {
+        let chain = sequence::paper_chain(row.delta, 0);
+        println!(
+            "{:>12} {:>8} {:>8} {:>10.3} {:>10.3} {:>7}",
+            row.delta,
+            row.paper_t,
+            row.exact_t,
+            row.paper_slope,
+            row.exact_slope,
+            sequence::chain_transitions_sound(&chain)
+        );
+    }
+
+    println!("\n[E9b] chain length vs k at Delta = 2^20:");
+    println!("{:>6} {:>8} {:>8}", "k", "t_paper", "t_exact");
+    for k in [0u32, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024] {
+        println!(
+            "{:>6} {:>8} {:>8}",
+            k,
+            sequence::paper_chain(1 << 20, k).length(),
+            sequence::exact_chain(1 << 20, k).length()
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_tables();
+    c.bench_function("paper_chain_delta_2e30", |b| {
+        b.iter(|| sequence::paper_chain(1 << 30, 0).length())
+    });
+    c.bench_function("exact_chain_delta_2e30", |b| {
+        b.iter(|| sequence::exact_chain(1 << 30, 0).length())
+    });
+    c.bench_function("chain_table_28_deltas", |b| {
+        let deltas: Vec<u32> = (3..=30).map(|e| 1u32 << e).collect();
+        b.iter(|| sequence::chain_length_table(&deltas, 0))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(50);
+    targets = bench
+}
+criterion_main!(benches);

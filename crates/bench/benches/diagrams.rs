@@ -1,0 +1,67 @@
+//! E1 + E3: regenerate Figures 1 and 4 (label diagrams) and time the
+//! diagram computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lb_family::family::{self, PiParams};
+use lb_family::lemma6;
+use relim_core::diagram::StrengthOrder;
+
+fn print_tables() {
+    let mis = family::mis(3).expect("valid");
+    let order = StrengthOrder::of_constraint(mis.edge(), 3);
+    println!("\n[E1/Figure 1] MIS edge diagram Hasse edges:");
+    for (a, b) in order.hasse_edges() {
+        println!("  {} -> {}", mis.alphabet().name(a), mis.alphabet().name(b));
+    }
+
+    let pi = family::pi(&PiParams { delta: 8, a: 5, x: 1 }).expect("valid");
+    let order = StrengthOrder::of_constraint(pi.edge(), 5);
+    println!("[E3/Figure 4] Pi edge diagram Hasse edges:");
+    for (a, b) in order.hasse_edges() {
+        println!("  {} -> {}", pi.alphabet().name(a), pi.alphabet().name(b));
+    }
+
+    let claimed = lemma6::claimed_r_of_pi(&PiParams { delta: 8, a: 5, x: 1 }).expect("valid");
+    let order = StrengthOrder::of_constraint(claimed.node(), 8);
+    println!("[Figure 5] R(Pi) node diagram Hasse edges:");
+    for (a, b) in order.hasse_edges() {
+        println!(
+            "  {} -> {}",
+            claimed.alphabet().name(a),
+            claimed.alphabet().name(b)
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_tables();
+    let pi = family::pi(&PiParams { delta: 16, a: 9, x: 2 }).expect("valid");
+    c.bench_function("edge_diagram_pi_delta16", |b| {
+        b.iter(|| StrengthOrder::of_constraint(pi.edge(), 5))
+    });
+    let claimed = lemma6::claimed_r_of_pi(&PiParams { delta: 16, a: 9, x: 2 }).expect("valid");
+    c.bench_function("node_diagram_rpi_delta16", |b| {
+        b.iter(|| StrengthOrder::of_constraint(claimed.node(), 8))
+    });
+
+    // E2 (Figures 2/3): solving Π_4(2,2) on a Δ-regular tree with the
+    // exact LCL solver — the witness generator behind the illustrations.
+    let fig2 = family::pi(&PiParams { delta: 4, a: 2, x: 2 }).expect("valid");
+    let inst = lb_family::convert::to_lcl(&fig2, local_sim::lcl_solver::LeafPolicy::SubMultiset)
+        .expect("convert");
+    let tree = local_sim::trees::complete_regular_tree(4, 3).expect("tree");
+    c.bench_function("figure2_solve_pi_4_2_2", |b| {
+        b.iter(|| {
+            inst.solve(&tree, 2021)
+                .expect("tree ok")
+                .expect("solvable")
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! E7: the Lemma 5 reduction — k-outdegree dominating set solutions become
+//! `Π_Δ(a,k)` solutions in one round.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lb_family::convert::{self, BoundaryPolicy};
+use lb_family::family::{self, PiParams};
+use lb_family::transforms;
+use local_algos::k_outdegree_domset;
+use local_sim::trees;
+
+fn print_tables() {
+    println!("\n[E7/Lemma 5] pipeline k-ODS -> Pi_D(a,k) labeling:");
+    println!("{:>4} {:>3} {:>7} {:>7} {:>8}", "D", "k", "n", "|S|", "valid");
+    for (delta, k) in [(4usize, 0usize), (4, 1), (5, 1), (5, 2), (6, 2)] {
+        let tree = trees::complete_regular_tree(delta, 3).expect("tree");
+        let rep = k_outdegree_domset(&tree, k, 3).expect("pipeline");
+        let labeling =
+            transforms::lemma5_transform(&tree, &rep.in_set, &rep.orientation, k as u32)
+                .expect("transform");
+        let pi = family::pi(&PiParams {
+            delta: delta as u32,
+            a: (k as u32 + 2).min(delta as u32),
+            x: k as u32,
+        })
+        .expect("valid");
+        let valid =
+            convert::check_labeling(&pi, &tree, &labeling, BoundaryPolicy::InteriorOnly).is_ok();
+        println!(
+            "{:>4} {:>3} {:>7} {:>7} {:>8}",
+            delta,
+            k,
+            tree.n(),
+            rep.in_set.iter().filter(|&&b| b).count(),
+            valid
+        );
+        assert!(valid);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_tables();
+    let tree = trees::complete_regular_tree(5, 3).expect("tree");
+    let rep = k_outdegree_domset(&tree, 1, 3).expect("pipeline");
+    c.bench_function("lemma5_transform_d5_n427", |b| {
+        b.iter(|| {
+            transforms::lemma5_transform(&tree, &rep.in_set, &rep.orientation, 1)
+                .expect("transform")
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

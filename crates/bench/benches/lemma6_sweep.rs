@@ -1,0 +1,38 @@
+//! E4: Lemma 6 verification sweep — the engine's `R(Π_Δ(a,x))` equals the
+//! paper's 8-label problem at every valid parameter point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lb_family::family::PiParams;
+use lb_family::lemma6;
+
+fn print_tables() {
+    println!("\n[E4/Lemma 6] verification sweep:");
+    println!("{:>4} {:>8} {:>8} {:>14}", "D", "points", "passed", "max |N(R(Pi))|");
+    for delta in 3..=9 {
+        let reports = lemma6::verify_sweep(delta).expect("sweep");
+        let passed = reports.iter().filter(|r| r.matches_paper()).count();
+        let max_n = reports.iter().map(|r| r.node_config_count).max().unwrap_or(0);
+        println!("{:>4} {:>8} {:>8} {:>14}", delta, reports.len(), passed, max_n);
+        assert_eq!(passed, reports.len(), "Lemma 6 must verify everywhere");
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_tables();
+    for (delta, a, x) in [(6u32, 4u32, 1u32), (10, 6, 2), (14, 8, 3)] {
+        let params = PiParams { delta, a, x };
+        c.bench_function(&format!("lemma6_verify_d{delta}_a{a}_x{x}"), |b| {
+            b.iter(|| {
+                let report = lemma6::verify(&params).expect("valid params");
+                assert!(report.matches_paper());
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! E5: the full `R̄(R(Π_Δ(a,x)))` computation and its Lemma 8 relaxation —
+//! the step the paper reasons about without computing, done exactly.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lb_family::family::PiParams;
+use lb_family::lemma8::Lemma8Machinery;
+
+fn print_tables() {
+    println!("\n[E5/Lemma 8] full RR computation + relaxation check:");
+    println!(
+        "{:>4} {:>3} {:>3} {:>9} {:>8} {:>9} {:>9}",
+        "D", "a", "x", "|Sigma''|", "|N''|", "relaxes", "rel=plus"
+    );
+    for (delta, a, x) in [
+        (3u32, 2u32, 0u32),
+        (4, 2, 0),
+        (4, 3, 0),
+        (4, 3, 1),
+        (4, 4, 0),
+        (4, 4, 1),
+        (4, 4, 2),
+        (5, 3, 0),
+        (5, 4, 1),
+        (5, 5, 2),
+    ] {
+        let params = PiParams { delta, a, x };
+        if !params.lemma6_applicable() {
+            continue;
+        }
+        let mach = Lemma8Machinery::compute(&params).expect("compute");
+        let report = mach.verify();
+        println!(
+            "{:>4} {:>3} {:>3} {:>9} {:>8} {:>9} {:>9}",
+            delta,
+            a,
+            x,
+            report.rr_label_count,
+            report.rr_node_config_count,
+            report.all_node_configs_relax,
+            report.pi_rel_equals_pi_plus
+        );
+        assert!(report.matches_paper(), "Lemma 8 must verify at {params:?}");
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_tables();
+    for (delta, a, x) in [(3u32, 2u32, 0u32), (4, 3, 0), (5, 4, 1)] {
+        let params = PiParams { delta, a, x };
+        c.bench_function(&format!("lemma8_full_rr_d{delta}_a{a}_x{x}"), |b| {
+            b.iter(|| {
+                let mach = Lemma8Machinery::compute(&params).expect("compute");
+                assert!(mach.verify().matches_paper());
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! E6: the Lemma 9 edge-coloring transform — 0-round conversion of `Π⁺`
+//! solutions into the next family member, validated and timed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lb_family::convert::{self, BoundaryPolicy};
+use lb_family::family::{self, PiParams};
+use lb_family::transforms;
+use local_sim::lcl_solver::LeafPolicy;
+use local_sim::{edge_coloring, trees};
+
+fn print_tables() {
+    println!("\n[E6/Lemma 9] transform validity across parameters:");
+    println!("{:>4} {:>3} {:>3} {:>8} {:>10} {:>8}", "D", "a", "x", "n", "next(a,x)", "valid");
+    for (delta, a, x) in [(4u32, 3u32, 0u32), (4, 3, 1), (5, 4, 0), (5, 5, 1), (6, 5, 2), (6, 6, 1)] {
+        let params = PiParams { delta, a, x };
+        if 2 * x + 1 > a || a < x + 1 {
+            continue;
+        }
+        let plus = family::pi_plus(&params).expect("valid");
+        let inst = convert::to_lcl(&plus, LeafPolicy::SubMultiset).expect("convert");
+        let tree = trees::complete_regular_tree(delta as usize, 3).expect("tree");
+        let coloring = edge_coloring::tree_edge_coloring(&tree).expect("coloring");
+        let sol = inst.solve(&tree, 5).expect("tree").expect("solvable");
+        let (out, next) =
+            transforms::lemma9_transform(&params, &tree, &coloring, &sol).expect("transform");
+        let target = family::pi(&next).expect("valid");
+        let valid =
+            convert::check_labeling(&target, &tree, &out, BoundaryPolicy::InteriorOnly).is_ok();
+        println!(
+            "{:>4} {:>3} {:>3} {:>8} {:>10} {:>8}",
+            delta,
+            a,
+            x,
+            tree.n(),
+            format!("({},{})", next.a, next.x),
+            valid
+        );
+        assert!(valid);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_tables();
+    let params = PiParams { delta: 6, a: 5, x: 1 };
+    let plus = family::pi_plus(&params).expect("valid");
+    let inst = convert::to_lcl(&plus, LeafPolicy::SubMultiset).expect("convert");
+    let tree = trees::complete_regular_tree(6, 3).expect("tree");
+    let coloring = edge_coloring::tree_edge_coloring(&tree).expect("coloring");
+    let sol = inst.solve(&tree, 5).expect("tree").expect("solvable");
+    c.bench_function("lemma9_transform_d6_n547", |b| {
+        b.iter(|| {
+            transforms::lemma9_transform(&params, &tree, &coloring, &sol).expect("transform")
+        })
+    });
+    c.bench_function("lemma9_solve_pi_plus_d6_n547", |b| {
+        b.iter(|| inst.solve(&tree, 5).expect("tree").expect("solvable"))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

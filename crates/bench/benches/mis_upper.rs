@@ -1,0 +1,67 @@
+//! E12: MIS upper bounds — deterministic sweep vs Luby's randomized
+//! algorithm; the Δ-vs-log n regime split of the paper's §1.1/§1.3.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use local_algos::{domset, luby, mis_deterministic};
+use local_sim::{checkers, trees};
+
+fn print_tables() {
+    println!("\n[E12] MIS rounds: deterministic vs Luby:");
+    println!(
+        "{:>4} {:>7} {:>10} {:>10} {:>10} {:>12}",
+        "D", "n", "det total", "det sweep", "d+1 sweep", "Luby (avg5)"
+    );
+    for delta in [3usize, 4, 5, 6, 8] {
+        let depth = if delta >= 6 { 2 } else { 3 };
+        let tree = trees::complete_regular_tree(delta, depth).expect("tree");
+        let det = mis_deterministic(&tree, 3).expect("det");
+        checkers::check_mis(&tree, &det.in_set).expect("valid");
+        let plus1 = domset::mis_via_delta_plus_one(&tree, 3).expect("plus1");
+        checkers::check_mis(&tree, &plus1.in_set).expect("valid");
+        let mut total = 0usize;
+        for seed in 0..5 {
+            let r = luby::luby_mis(&tree, seed).expect("luby");
+            checkers::check_mis(&tree, &r.in_set).expect("valid");
+            total += r.rounds;
+        }
+        println!(
+            "{:>4} {:>7} {:>10} {:>10} {:>10} {:>12.1}",
+            delta,
+            tree.n(),
+            det.rounds.total(),
+            det.rounds.sweep,
+            plus1.rounds.sweep,
+            total as f64 / 5.0
+        );
+    }
+    println!("(the Δ+1-sweep column grows with Δ; Luby's column tracks log n)");
+
+    println!("\n[E12b] Luby rounds vs n on max-degree-4 random trees:");
+    println!("{:>8} {:>12}", "n", "Luby (avg5)");
+    for n in [50usize, 200, 800, 3200] {
+        let tree = trees::random_tree(n, 4, 1).expect("tree");
+        let mut total = 0usize;
+        for seed in 0..5 {
+            total += luby::luby_mis(&tree, seed).expect("luby").rounds;
+        }
+        println!("{:>8} {:>12.1}", n, total as f64 / 5.0);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_tables();
+    let tree = trees::complete_regular_tree(4, 4).expect("tree");
+    c.bench_function("mis_deterministic_d4_n161", |b| {
+        b.iter(|| mis_deterministic(&tree, 3).expect("det"))
+    });
+    c.bench_function("luby_mis_d4_n161", |b| {
+        b.iter(|| luby::luby_mis(&tree, 3).expect("luby"))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

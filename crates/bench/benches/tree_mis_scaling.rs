@@ -1,0 +1,85 @@
+//! Experiment E18 — Δ-independent tree MIS vs the Δ-dependent pipelines
+//! (§1.3: on trees, algorithms with no Δ dependence exist; as a function
+//! of Δ nothing better than general graphs is known).
+//!
+//! Tables printed: measured rounds of (H-partition tree MIS, Luby,
+//! deterministic Linial+sweep) across trees of fixed n and growing Δ —
+//! tree MIS and Luby stay flat while the sweep grows with Δ-driven color
+//! counts — and across growing n at fixed Δ, where tree MIS tracks the
+//! `O(log n)` peeling layers. Criterion then times the pipelines on a
+//! common tree.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use local_algos::{domset, luby, tree_mis};
+use local_sim::checkers::check_mis;
+use local_sim::trees;
+
+fn print_delta_sweep() {
+    // Caterpillars give exact Δ control at (nearly) fixed n: `spine`
+    // spine nodes with `legs = Δ − 2` leaves each.
+    println!("\n[E18a] rounds at n ≈ 250 vs Δ (caterpillars):");
+    println!(
+        "{:>4} {:>6} {:>14} {:>10} {:>16}",
+        "Δ", "n", "tree-MIS (H)", "Luby", "Linial+sweep"
+    );
+    for delta in [4usize, 8, 16, 32, 64] {
+        let legs = delta - 2;
+        let spine = (250 / (legs + 1)).max(2);
+        let g = trees::caterpillar(spine, legs).expect("tree");
+        let t = tree_mis::tree_mis(&g, 1).expect("tree MIS");
+        check_mis(&g, &t.in_set).expect("valid");
+        let l = luby::luby_mis(&g, 1).expect("luby");
+        check_mis(&g, &l.in_set).expect("valid");
+        let d = domset::mis_deterministic(&g, 1).expect("sweep");
+        check_mis(&g, &d.in_set).expect("valid");
+        println!(
+            "{:>4} {:>6} {:>14} {:>10} {:>16}",
+            g.max_degree(),
+            g.n(),
+            t.rounds.total(),
+            l.rounds,
+            d.rounds.total()
+        );
+    }
+}
+
+fn print_n_sweep() {
+    println!("\n[E18b] rounds at Δ ≤ 8 vs n (random trees, seed 2):");
+    println!("{:>6} {:>8} {:>14} {:>10}", "n", "layers", "tree-MIS (H)", "Luby");
+    for n in [50usize, 100, 200, 400, 800] {
+        let g = trees::random_tree(n, 8, 2).expect("tree");
+        let t = tree_mis::tree_mis(&g, 2).expect("tree MIS");
+        check_mis(&g, &t.in_set).expect("valid");
+        let l = luby::luby_mis(&g, 2).expect("luby");
+        println!("{:>6} {:>8} {:>14} {:>10}", n, t.num_layers, t.rounds.total(), l.rounds);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_delta_sweep();
+    print_n_sweep();
+
+    let g = trees::random_tree(200, 8, 3).expect("tree");
+    c.bench_function("tree_mis_n200", |b| {
+        b.iter(|| tree_mis::tree_mis(&g, 3).expect("runs"))
+    });
+    c.bench_function("luby_mis_n200", |b| {
+        b.iter(|| luby::luby_mis(&g, 3).expect("runs"))
+    });
+    c.bench_function("linial_sweep_mis_n200", |b| {
+        b.iter(|| domset::mis_deterministic(&g, 3).expect("runs"))
+    });
+
+    use local_algos::cole_vishkin;
+    let cycle = local_sim::Graph::cycle(200).expect("cycle");
+    c.bench_function("cv_mis_cycle200", |b| {
+        b.iter(|| cole_vishkin::cv_mis(&cycle, 3).expect("runs"))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

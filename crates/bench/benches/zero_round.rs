@@ -1,0 +1,60 @@
+//! E8: 0-round solvability on the identified-ports gadget (Lemmas 12, 15):
+//! analytic reports plus Monte-Carlo failure rates for uniform strategies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lb_family::family::{self, PiParams};
+use lb_family::zeroround_mc;
+use relim_core::zeroround;
+
+fn print_tables() {
+    println!("\n[E8/Lemmas 12+15] 0-round analysis on the gadget:");
+    println!(
+        "{:>4} {:>3} {:>3} {:>9} {:>14} {:>12} {:>12}",
+        "D", "a", "x", "det-solv", "analytic LB", "MC rate", "MC any-port"
+    );
+    for (delta, a, x) in [(3u32, 2u32, 0u32), (4, 3, 1), (6, 4, 1), (8, 5, 2)] {
+        let p = family::pi(&PiParams { delta, a, x }).expect("valid");
+        let report = zeroround::analyze(&p);
+        let mc = zeroround_mc::simulate_uniform(&p, 50_000, 7);
+        let mc_any = zeroround_mc::simulate_uniform_any_port(&p, 50_000, 7);
+        println!(
+            "{:>4} {:>3} {:>3} {:>9} {:>14.2e} {:>12.4} {:>12.4}",
+            delta,
+            a,
+            x,
+            report.deterministically_solvable,
+            report.randomized_failure_lower_bound,
+            mc.rate,
+            mc_any.rate
+        );
+        assert!(!report.deterministically_solvable);
+        assert!(mc.rate >= report.randomized_failure_lower_bound);
+    }
+    // MIS rows for comparison.
+    for delta in [3u32, 5] {
+        let p = family::mis(delta).expect("valid");
+        let report = zeroround::analyze(&p);
+        let mc = zeroround_mc::simulate_uniform(&p, 50_000, 7);
+        println!(
+            "{:>4} {:>3} {:>3} {:>9} {:>14.2e} {:>12.4} {:>12}",
+            delta, "-", "-", report.deterministically_solvable,
+            report.randomized_failure_lower_bound, mc.rate, "(MIS)"
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_tables();
+    let p = family::pi(&PiParams { delta: 8, a: 5, x: 2 }).expect("valid");
+    c.bench_function("zeroround_analyze_d8", |b| b.iter(|| zeroround::analyze(&p)));
+    c.bench_function("zeroround_mc_10k_d8", |b| {
+        b.iter(|| zeroround_mc::simulate_uniform(&p, 10_000, 3))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! # lb-family — the BBKO PODC 2021 problem family, mechanized
+//!
+//! This crate encodes the technical content of Balliu, Brandt, Kuhn,
+//! Olivetti, *"Improved Distributed Lower Bounds for MIS and Bounded
+//! (Out-)Degree Dominating Sets in Trees"* (PODC 2021, arXiv:2106.02440) as
+//! executable, machine-checked artifacts on top of the
+//! [`relim_core`] round elimination engine and the [`local_sim`] simulator:
+//!
+//! * [`family`] — the problem family `Π_Δ(a,x)` (§3.1) and its relaxation
+//!   `Π⁺_Δ(a,x)` (§3.3), plus the canonical MIS encoding (§2.2).
+//! * [`lemma6`] — the explicit computation of `R(Π_Δ(a,x))` (Lemma 6) and
+//!   its node diagram (Figure 5), verified against the engine.
+//! * [`lemma8`] — the full `R̄(R(Π_Δ(a,x)))` computation and its relaxation
+//!   to `Π_rel ≅ Π⁺_Δ(a,x)` (Lemma 8, Definition 7).
+//! * [`transforms`] — the 0/1-round conversions of Lemmas 5, 9 and 11 as
+//!   executable functions on labeled trees.
+//! * [`matchings`] — §1's related problems: maximal matchings and
+//!   b-matchings encoded in the formalism, with line-graph bridges.
+//! * [`sequence`] — the lower-bound chain of Lemma 13 and its length.
+//! * [`bounds`] — the final bounds of Theorem 1 and Corollary 2.
+//! * [`sinkless`] — the sinkless orientation fixed point (engine sanity
+//!   anchor from the round elimination literature).
+//! * [`zeroround_mc`] — Monte-Carlo experiments backing Lemma 15's
+//!   randomized 0-round failure bound.
+//! * [`convert`] — bridging [`relim_core::Problem`] to
+//!   [`local_sim::lcl_solver::LclInstance`] and port labelings.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use lb_family::family::{self, PiParams};
+//! use lb_family::lemma6;
+//!
+//! let params = PiParams { delta: 6, a: 4, x: 1 };
+//! let pi = family::pi(&params).unwrap();
+//! assert_eq!(pi.alphabet().len(), 5);
+//!
+//! // Mechanically verify Lemma 6 at these parameters:
+//! let report = lemma6::verify(&params).unwrap();
+//! assert!(report.matches_paper());
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod certificate;
+pub mod convert;
+pub mod family;
+pub mod lemma6;
+pub mod lemma8;
+pub mod matchings;
+pub mod sequence;
+pub mod sinkless;
+pub mod transforms;
+pub mod zeroround_mc;
+
+pub use family::PiParams;

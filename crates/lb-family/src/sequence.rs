@@ -1,0 +1,235 @@
+//! The lower-bound chains of Lemma 13.
+//!
+//! Lemma 13: for `t = ε log Δ` and `x ≤ Δ^ε` there is a sequence
+//! `Π_0 → Π_1 → … → Π_t` with `Π_0 = Π_Δ(Δ, x)`, each `Π_{i+1}` solvable in
+//! 0 rounds given `R̄(R(Π_i))`, and `Π_t` not 0-round solvable — hence a
+//! `Ω(log Δ)` lower bound in the deterministic port numbering model.
+//!
+//! The paper uses the schedule `Π_i = Π_Δ(⌊Δ/2^{3i}⌋, x+i)`; this module
+//! also provides the *exact* per-step recurrence
+//! `a_{i+1} = ⌊(a_i − 2x_i − 1)/2⌋` (Corollary 10 without the Lemma 11
+//! relaxation), which yields slightly longer chains.
+
+use crate::family::PiParams;
+
+/// A lower-bound chain of family problems.
+#[derive(Debug, Clone)]
+pub struct Chain {
+    /// The degree Δ.
+    pub delta: u32,
+    /// The starting outdegree budget `x₀` (= the `k` of k-ODS).
+    pub x0: u32,
+    /// The chain members `Π_Δ(a_i, x_i)`, starting at `i = 0`.
+    pub steps: Vec<PiParams>,
+}
+
+impl Chain {
+    /// Number of *transitions* `Π_i → Π_{i+1}` in the chain: the paper's
+    /// `t`, a lower bound (in rounds, up to the +1 for the last non-0-round
+    /// problem) for `Π_0` in the deterministic PN model.
+    pub fn length(&self) -> u32 {
+        self.steps.len().saturating_sub(1) as u32
+    }
+
+    /// Lower bound on the deterministic PN-model complexity of `Π_0`
+    /// (= k-outdegree dominating set via Lemma 5, up to one round):
+    /// `t + 1` because the final problem is not 0-round solvable
+    /// (Lemma 12).
+    pub fn pn_round_lower_bound(&self) -> u32 {
+        self.length() + 1
+    }
+
+    /// `t / log₂ Δ` — the measured constant of the `Ω(log Δ)` bound.
+    pub fn slope(&self) -> f64 {
+        if self.delta <= 1 {
+            return 0.0;
+        }
+        f64::from(self.length()) / f64::from(self.delta).log2()
+    }
+}
+
+/// Whether the Lemma 13 step conditions hold at `params`: `x̄ < ā/8` and
+/// `ā ≥ 4` (the proof's conditions guaranteeing both Corollary 10 and the
+/// Lemma 11 relaxation apply).
+pub fn lemma13_step_condition(params: &PiParams) -> bool {
+    8 * params.x < params.a && params.a >= 4 && params.a <= params.delta
+}
+
+/// The paper's chain `Π_i = Π_Δ(⌊Δ/8^i⌋, x₀+i)`, extended while the step
+/// condition holds. Every member is valid and (by Lemma 12) not 0-round
+/// solvable, since `x_i ≤ Δ−1` and `a_i ≥ 1` throughout.
+pub fn paper_chain(delta: u32, x0: u32) -> Chain {
+    let mut steps = Vec::new();
+    let mut i = 0u32;
+    loop {
+        let a = delta >> (3 * i).min(31);
+        let params = PiParams { delta, a, x: x0 + i };
+        // Lemma 12 requires a ≥ 1 and x ≤ Δ−1 for non-0-round solvability;
+        // the chain only contains such members.
+        if params.validate().is_err() || params.a == 0 || params.x + 1 > delta {
+            break;
+        }
+        steps.push(params);
+        if !lemma13_step_condition(&params) {
+            break;
+        }
+        i += 1;
+    }
+    Chain { delta, x0, steps }
+}
+
+/// The exact chain: apply Corollary 10 (`a ↦ ⌊(a−2x−1)/2⌋`, `x ↦ x+1`)
+/// directly while it is applicable; no power-of-8 relaxation.
+pub fn exact_chain(delta: u32, x0: u32) -> Chain {
+    let mut steps = Vec::new();
+    let mut params = PiParams { delta, a: delta, x: x0 };
+    if params.validate().is_err() {
+        return Chain { delta, x0, steps };
+    }
+    steps.push(params);
+    while params.corollary10_applicable() {
+        params = params.corollary10_step();
+        if params.validate().is_err() || params.a == 0 {
+            break;
+        }
+        steps.push(params);
+    }
+    Chain { delta, x0, steps }
+}
+
+/// Checks that consecutive chain members are connected by
+/// Corollary 10 + Lemma 11: one Corollary 10 step from `Π_i` must land at
+/// parameters at least as hard as `Π_{i+1}` (larger-or-equal `a`,
+/// smaller-or-equal `x`), so `Π_{i+1}` is 0-round solvable from it.
+pub fn chain_transitions_sound(chain: &Chain) -> bool {
+    chain.steps.windows(2).all(|w| {
+        let (cur, next) = (&w[0], &w[1]);
+        if !cur.corollary10_applicable() {
+            return false;
+        }
+        let stepped = cur.corollary10_step();
+        stepped.a >= next.a && stepped.x <= next.x
+    })
+}
+
+/// One row of the Lemma 13 chain-length table (experiment E9).
+#[derive(Debug, Clone)]
+pub struct ChainLengthRow {
+    /// The degree Δ.
+    pub delta: u32,
+    /// Starting `x₀` (= k).
+    pub x0: u32,
+    /// Paper-schedule chain length `t`.
+    pub paper_t: u32,
+    /// Exact-recurrence chain length.
+    pub exact_t: u32,
+    /// `paper_t / log₂ Δ`.
+    pub paper_slope: f64,
+    /// `exact_t / log₂ Δ`.
+    pub exact_slope: f64,
+}
+
+/// Produces the chain-length table for a sweep of Δ (experiment E9).
+pub fn chain_length_table(deltas: &[u32], x0: u32) -> Vec<ChainLengthRow> {
+    deltas
+        .iter()
+        .map(|&delta| {
+            let paper = paper_chain(delta, x0);
+            let exact = exact_chain(delta, x0);
+            ChainLengthRow {
+                delta,
+                x0,
+                paper_t: paper.length(),
+                exact_t: exact.length(),
+                paper_slope: paper.slope(),
+                exact_slope: exact.slope(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_chain_grows_logarithmically() {
+        // t(Δ) should grow by ~1 per 8x increase of Δ (slope ~1/3).
+        let t64 = paper_chain(64, 0).length();
+        let t512 = paper_chain(512, 0).length();
+        let t4096 = paper_chain(4096, 0).length();
+        assert!(t512 > t64, "t(512)={t512} vs t(64)={t64}");
+        assert!(t4096 > t512);
+        let slope = paper_chain(1 << 20, 0).slope();
+        assert!((0.2..0.40).contains(&slope), "slope = {slope}");
+        // Asymptotically the schedule gives t ≈ log₂(Δ)/3.
+        let slope_big = paper_chain(u32::MAX, 0).slope();
+        assert!((0.25..0.37).contains(&slope_big), "slope = {slope_big}");
+    }
+
+    #[test]
+    fn chains_start_at_delta_and_are_valid() {
+        let chain = paper_chain(100, 2);
+        assert_eq!(chain.steps[0], PiParams { delta: 100, a: 100, x: 2 });
+        for s in &chain.steps {
+            s.validate().unwrap();
+            // Lemma 12 applies throughout: a >= 1, x <= delta-1.
+            assert!(s.a >= 1 && s.x < s.delta);
+        }
+    }
+
+    #[test]
+    fn transitions_are_sound() {
+        for delta in [16u32, 64, 100, 1000, 1 << 15] {
+            for x0 in [0u32, 1, 2] {
+                let chain = paper_chain(delta, x0);
+                if chain.steps.len() >= 2 {
+                    assert!(chain_transitions_sound(&chain), "delta={delta}, x0={x0}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_chain_at_least_as_long() {
+        for delta in [16u32, 64, 256, 1024, 1 << 14] {
+            let p = paper_chain(delta, 0).length();
+            let e = exact_chain(delta, 0).length();
+            assert!(e >= p, "delta={delta}: exact {e} < paper {p}");
+        }
+    }
+
+    #[test]
+    fn exact_chain_transition_matches_corollary10() {
+        let chain = exact_chain(1000, 0);
+        for w in chain.steps.windows(2) {
+            assert_eq!(w[0].corollary10_step().a, w[1].a);
+            assert_eq!(w[0].x + 1, w[1].x);
+        }
+    }
+
+    #[test]
+    fn larger_x0_shortens_chain() {
+        let t0 = paper_chain(4096, 0).length();
+        let t3 = paper_chain(4096, 3).length();
+        assert!(t3 <= t0);
+    }
+
+    #[test]
+    fn tiny_delta_chain() {
+        // Too small for any transition: single-element chain, still a valid
+        // (1-round) lower bound statement.
+        let chain = paper_chain(4, 0);
+        assert!(chain.length() <= 1);
+        assert!(chain.pn_round_lower_bound() >= 1);
+    }
+
+    #[test]
+    fn table_is_monotone_in_delta() {
+        let rows = chain_length_table(&[8, 64, 512, 4096, 1 << 15, 1 << 18], 0);
+        for w in rows.windows(2) {
+            assert!(w[1].paper_t >= w[0].paper_t);
+            assert!(w[1].exact_t >= w[0].exact_t);
+        }
+    }
+}

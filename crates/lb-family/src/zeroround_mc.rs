@@ -1,0 +1,144 @@
+//! Monte-Carlo experiments for Lemma 15 (randomized 0-round failure).
+//!
+//! Lemma 15's gadget: a Δ-edge-colored graph whose port numbering assigns
+//! port `c` to every color-`c` edge at *both* endpoints. A randomized
+//! 0-round algorithm is a distribution over port labelings with
+//! configuration in `N`; an edge fails if the two endpoints' (independent)
+//! draws put an incompatible pair on it. The paper proves every such
+//! algorithm fails with probability `≥ 1/(3Δ)² ≥ 1/Δ⁸`; this module
+//! *measures* failure rates of concrete strategies to illustrate the bound.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use relim_core::zeroround;
+use relim_core::{Config, Label, Problem};
+
+/// Outcome of a Monte-Carlo 0-round experiment.
+#[derive(Debug, Clone)]
+pub struct McOutcome {
+    /// Number of simulated edges.
+    pub trials: u64,
+    /// Number of edges that received an incompatible label pair.
+    pub failures: u64,
+    /// Empirical failure rate.
+    pub rate: f64,
+    /// The analytic lower bound `(1/(mΔ))²` from the (generalized)
+    /// Lemma 15 argument.
+    pub analytic_lower_bound: f64,
+}
+
+/// Simulates the uniform strategy on the identified-ports gadget:
+/// both endpoints of an edge independently pick a uniformly random node
+/// configuration and a uniformly random assignment of it to their Δ ports;
+/// the shared port `c` then carries the pair of labels at position `c`.
+///
+/// Each trial simulates one edge (ports are identified, so one edge
+/// suffices and trials are independent).
+pub fn simulate_uniform(problem: &Problem, trials: u64, seed: u64) -> McOutcome {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let delta = problem.delta() as usize;
+    let configs: Vec<Vec<Label>> = problem
+        .node()
+        .iter()
+        .map(|c| c.iter().collect())
+        .collect();
+    let mut failures = 0u64;
+    let draw = |rng: &mut StdRng| -> Vec<Label> {
+        let mut cfg = configs[rng.gen_range(0..configs.len())].clone();
+        cfg.shuffle(rng);
+        cfg
+    };
+    for _ in 0..trials {
+        let f = draw(&mut rng);
+        let g = draw(&mut rng);
+        let port = rng.gen_range(0..delta);
+        let pair = Config::new(vec![f[port], g[port]]);
+        if !problem.edge().contains(&pair) {
+            failures += 1;
+        }
+    }
+    let report = zeroround::analyze(problem);
+    McOutcome {
+        trials,
+        failures,
+        rate: failures as f64 / trials as f64,
+        analytic_lower_bound: report.randomized_failure_lower_bound,
+    }
+}
+
+/// Like [`simulate_uniform`] but counts an edge as failed if *any* of the Δ
+/// identified ports receives an incompatible pair — the actual per-edge
+/// failure event of the gadget (all Δ ports are shared between the two
+/// endpoints of the respective edges of that color class).
+pub fn simulate_uniform_any_port(problem: &Problem, trials: u64, seed: u64) -> McOutcome {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let delta = problem.delta() as usize;
+    let configs: Vec<Vec<Label>> = problem
+        .node()
+        .iter()
+        .map(|c| c.iter().collect())
+        .collect();
+    let mut failures = 0u64;
+    let draw = |rng: &mut StdRng| -> Vec<Label> {
+        let mut cfg = configs[rng.gen_range(0..configs.len())].clone();
+        cfg.shuffle(rng);
+        cfg
+    };
+    for _ in 0..trials {
+        let f = draw(&mut rng);
+        let g = draw(&mut rng);
+        let bad = (0..delta).any(|port| {
+            !problem.edge().contains(&Config::new(vec![f[port], g[port]]))
+        });
+        if bad {
+            failures += 1;
+        }
+    }
+    let report = zeroround::analyze(problem);
+    McOutcome {
+        trials,
+        failures,
+        rate: failures as f64 / trials as f64,
+        analytic_lower_bound: report.randomized_failure_lower_bound,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::family::{self, PiParams};
+
+    #[test]
+    fn uniform_strategy_fails_often_on_pi() {
+        let p = family::pi(&PiParams { delta: 4, a: 3, x: 1 }).unwrap();
+        let out = simulate_uniform(&p, 20_000, 7);
+        // The analytic bound holds for the *best* strategy; the uniform one
+        // must fail at least that often.
+        assert!(out.rate >= out.analytic_lower_bound);
+        assert!(out.rate > 0.01, "rate = {}", out.rate);
+    }
+
+    #[test]
+    fn any_port_failure_dominates_single_port() {
+        let p = family::pi(&PiParams { delta: 4, a: 3, x: 1 }).unwrap();
+        let single = simulate_uniform(&p, 20_000, 11);
+        let any = simulate_uniform_any_port(&p, 20_000, 11);
+        assert!(any.rate >= single.rate);
+    }
+
+    #[test]
+    fn mis_uniform_strategy_fails() {
+        let p = family::mis(3).unwrap();
+        let out = simulate_uniform_any_port(&p, 20_000, 3);
+        assert!(out.rate > 0.1, "rate = {}", out.rate);
+    }
+
+    #[test]
+    fn deterministic_reproducibility() {
+        let p = family::mis(3).unwrap();
+        let a = simulate_uniform(&p, 5_000, 42);
+        let b = simulate_uniform(&p, 5_000, 42);
+        assert_eq!(a.failures, b.failures);
+    }
+}

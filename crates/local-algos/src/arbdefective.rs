@@ -1,0 +1,199 @@
+//! k-arbdefective coloring by sequential class processing.
+//!
+//! From a proper `m`-coloring, process the color classes in order; each
+//! node, on its turn, picks the bucket `j ∈ [t]` minimizing the number of
+//! already-decided neighbors with bucket `j`, and orients the edges toward
+//! those neighbors outward. Since at most `deg(v) ≤ Δ` neighbors have
+//! decided, the best bucket has at most `⌊Δ/t⌋` of them, so the result is a
+//! `⌊Δ/t⌋`-arbdefective `t`-coloring in `m + O(1)` rounds (paper §1.1,
+//! after \[Barenboim–Elkin–Goldenberg PODC'18\]).
+
+use local_sim::error::Result;
+use local_sim::runner::{run, NodeInfo, RunConfig, Status, SyncAlgorithm};
+use local_sim::{Graph, Orientation};
+use rand::rngs::StdRng;
+
+/// Per-node input: proper color, palette size, bucket count.
+#[derive(Debug, Clone)]
+pub struct ArbInput {
+    /// The node's proper color.
+    pub color: usize,
+    /// Number of proper colors `m`.
+    pub num_colors: usize,
+    /// Number of buckets `t`.
+    pub buckets: usize,
+}
+
+/// Output: chosen bucket plus the ports oriented outward (toward
+/// same-bucket neighbors that decided earlier).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArbOutput {
+    /// The bucket (arbdefective color).
+    pub bucket: usize,
+    /// Ports whose edges the node orients outward.
+    pub out_ports: Vec<usize>,
+}
+
+/// The sequential-by-class arbdefective coloring algorithm.
+/// Message: my bucket, once decided.
+#[derive(Debug)]
+pub struct ArbDefective {
+    color: usize,
+    buckets: usize,
+    round: usize,
+    known: Vec<Option<usize>>, // per-port neighbor buckets
+    decided: Option<ArbOutput>,
+}
+
+impl SyncAlgorithm for ArbDefective {
+    type Input = ArbInput;
+    type Message = Option<usize>;
+    type Output = ArbOutput;
+
+    fn init(info: &NodeInfo, input: &ArbInput, _rng: &mut StdRng) -> Self {
+        ArbDefective {
+            color: input.color,
+            buckets: input.buckets,
+            round: 0,
+            known: vec![None; info.degree],
+            decided: None,
+        }
+    }
+
+    fn send(&mut self, info: &NodeInfo) -> Vec<Option<usize>> {
+        let mine = self.decided.as_ref().map(|d| d.bucket);
+        vec![mine; info.degree]
+    }
+
+    fn receive(
+        &mut self,
+        _info: &NodeInfo,
+        incoming: Vec<Option<Option<usize>>>,
+        _rng: &mut StdRng,
+    ) -> Status<ArbOutput> {
+        if let Some(out) = &self.decided {
+            // Announced my bucket this round; done.
+            return Status::Done(out.clone());
+        }
+        for (p, msg) in incoming.into_iter().enumerate() {
+            if let Some(Some(bucket)) = msg {
+                self.known[p] = Some(bucket);
+            }
+        }
+        if self.round == self.color {
+            // My turn: pick the least-loaded bucket among decided neighbors.
+            let mut load = vec![0usize; self.buckets];
+            for b in self.known.iter().flatten() {
+                load[*b] += 1;
+            }
+            let bucket = (0..self.buckets)
+                .min_by_key(|&j| load[j])
+                .expect("buckets >= 1");
+            let out_ports: Vec<usize> = self
+                .known
+                .iter()
+                .enumerate()
+                .filter_map(|(p, b)| (*b == Some(bucket)).then_some(p))
+                .collect();
+            self.decided = Some(ArbOutput { bucket, out_ports });
+        }
+        self.round += 1;
+        Status::Continue
+    }
+}
+
+/// The outcome of [`arbdefective_coloring`].
+#[derive(Debug, Clone)]
+pub struct ArbReport {
+    /// Bucket per node (a `⌊Δ/t⌋`-arbdefective `t`-coloring).
+    pub buckets: Vec<usize>,
+    /// Orientation of all monochromatic edges witnessing the outdegree
+    /// bound.
+    pub orientation: Orientation,
+    /// Rounds consumed.
+    pub rounds: usize,
+}
+
+/// Computes a `⌊Δ/t⌋`-arbdefective `t`-coloring from a proper coloring.
+///
+/// # Errors
+///
+/// Requires `t ≥ 1` and a proper input coloring.
+pub fn arbdefective_coloring(
+    graph: &Graph,
+    colors: &[usize],
+    num_colors: usize,
+    buckets: usize,
+    seed: u64,
+) -> Result<ArbReport> {
+    if buckets == 0 {
+        return Err(local_sim::SimError::InvalidParameter {
+            message: "buckets must be >= 1".into(),
+        });
+    }
+    local_sim::checkers::check_proper_coloring(graph, colors).map_err(|v| {
+        local_sim::SimError::InvalidParameter { message: format!("input not proper: {v}") }
+    })?;
+    let inputs: Vec<ArbInput> = colors
+        .iter()
+        .map(|&color| ArbInput { color, num_colors, buckets })
+        .collect();
+    let config = RunConfig::port_numbering(seed, num_colors + 4);
+    let report = run::<ArbDefective>(graph, &inputs, &config)?;
+
+    let bucket_of: Vec<usize> = report.outputs.iter().map(|o| o.bucket).collect();
+    let mut orientation = Orientation::unoriented(graph.m());
+    for v in 0..graph.n() {
+        for &p in &report.outputs[v].out_ports {
+            orientation.orient_out_of(graph, graph.port_target(v, p).edge, v);
+        }
+    }
+    Ok(ArbReport { buckets: bucket_of, orientation, rounds: report.rounds })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linial;
+    use local_sim::checkers::check_arbdefective_coloring;
+    use local_sim::trees;
+
+    #[test]
+    fn arbdefective_bound_holds() {
+        for (delta, buckets) in [(4usize, 2usize), (4, 5), (5, 3), (3, 1)] {
+            let g = trees::complete_regular_tree(delta, 3).unwrap();
+            let rep = linial::linial_coloring(&g, 7).unwrap();
+            let arb =
+                arbdefective_coloring(&g, &rep.colors, rep.num_colors, buckets, 0).unwrap();
+            let k = delta / buckets;
+            check_arbdefective_coloring(&g, &arb.buckets, &arb.orientation, k).unwrap();
+            assert!(arb.buckets.iter().all(|&b| b < buckets));
+        }
+    }
+
+    #[test]
+    fn full_buckets_give_proper_coloring() {
+        // t = Δ+1 buckets: 0-arbdefective = proper coloring.
+        let g = trees::complete_regular_tree(3, 3).unwrap();
+        let rep = linial::linial_coloring(&g, 1).unwrap();
+        let arb = arbdefective_coloring(&g, &rep.colors, rep.num_colors, 4, 0).unwrap();
+        check_arbdefective_coloring(&g, &arb.buckets, &arb.orientation, 0).unwrap();
+        local_sim::checkers::check_proper_coloring(&g, &arb.buckets).unwrap();
+    }
+
+    #[test]
+    fn rounds_bounded_by_num_colors() {
+        let g = trees::random_tree(80, 4, 3).unwrap();
+        let rep = linial::linial_coloring(&g, 3).unwrap();
+        let arb = arbdefective_coloring(&g, &rep.colors, rep.num_colors, 2, 0).unwrap();
+        assert!(arb.rounds <= rep.num_colors + 2);
+        let k = g.max_degree() / 2;
+        check_arbdefective_coloring(&g, &arb.buckets, &arb.orientation, k).unwrap();
+    }
+
+    #[test]
+    fn rejects_improper_input() {
+        let g = trees::path(3).unwrap();
+        assert!(arbdefective_coloring(&g, &[0, 0, 1], 2, 2, 0).is_err());
+    }
+}

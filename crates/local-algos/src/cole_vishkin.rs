@@ -1,0 +1,301 @@
+//! Cole–Vishkin color reduction on oriented paths and cycles.
+//!
+//! The classic `O(log* n)` symmetry-breaking algorithm \[Cole–Vishkin '86;
+//! see also Linial '92\]: starting from unique identifiers, each node
+//! repeatedly replaces its color by `2i + b`, where `i` is the lowest bit
+//! position at which its color differs from its *predecessor's* color and
+//! `b` is its own bit there. One iteration shrinks `B`-bit colors to
+//! `O(log B)`-bit colors, so colors drop to the 6-color fixed point in
+//! `O(log* n)` iterations; three final "shift-down" rounds remove colors
+//! 5, 4 and 3.
+//!
+//! This is the `Ω(log* n)` side of the paper's history (§1.3: Linial's
+//! lower bound was the first round-elimination argument) made executable:
+//! together with the class sweep ([`crate::sweep`]) it yields the textbook
+//! `O(log* n)`-round MIS on cycles, the baseline against which the paper's
+//! `Ω(log Δ)`-type bounds for trees are contrasted.
+
+use crate::sweep;
+use local_sim::error::{Result, SimError};
+use local_sim::runner::{run, NodeInfo, RunConfig, Status, SyncAlgorithm};
+use local_sim::Graph;
+use rand::rngs::StdRng;
+
+/// Per-node orientation input.
+///
+/// `forward` is the port toward the node's successor (`None` for the last
+/// node of a path); the node's predecessor, if any, is behind any other
+/// port (paths and cycles have degree ≤ 2, so the complement is unique).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CvInput {
+    /// Port toward the successor, if the node has one.
+    pub forward: Option<usize>,
+}
+
+/// One Cole–Vishkin step: the new color derived from `mine` and the
+/// predecessor's color.
+///
+/// # Panics
+///
+/// Panics if `mine == pred` — the invariant "adjacent colors differ" is
+/// maintained by the algorithm and violating it indicates corrupt input.
+fn cv_step(mine: u64, pred: u64) -> u64 {
+    assert_ne!(mine, pred, "Cole-Vishkin requires distinct adjacent colors");
+    let i = (mine ^ pred).trailing_zeros() as u64;
+    2 * i + ((mine >> i) & 1)
+}
+
+/// Number of iterations needed to bring `2^64`-bounded colors to at most 6
+/// distinct values (the fixed point of `B ↦ 2·(bit positions of B) + 1`).
+fn iterations_to_six_colors() -> usize {
+    let mut max_value = u64::MAX;
+    let mut iters = 0;
+    while max_value > 5 {
+        let bits = 64 - max_value.leading_zeros() as u64;
+        max_value = 2 * (bits - 1) + 1;
+        iters += 1;
+    }
+    iters
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CvPhase {
+    /// Iterated bit tricks until ≤ 6 colors.
+    Reduce { left: usize },
+    /// Shift-down of color `c` into `{0, 1, 2}`.
+    ShiftDown { c: u64 },
+}
+
+/// The Cole–Vishkin 3-coloring algorithm (LOCAL model — requires ids).
+#[derive(Debug)]
+pub struct ColeVishkin {
+    color: u64,
+    forward: Option<usize>,
+    backward: Option<usize>,
+    phase: CvPhase,
+}
+
+impl SyncAlgorithm for ColeVishkin {
+    type Input = CvInput;
+    type Message = u64;
+    type Output = usize;
+
+    fn init(info: &NodeInfo, input: &CvInput, _rng: &mut StdRng) -> Self {
+        let id = info.id.expect("Cole-Vishkin runs in the LOCAL model");
+        let backward = (0..info.degree).find(|&p| Some(p) != input.forward);
+        ColeVishkin {
+            color: id,
+            forward: input.forward,
+            backward,
+            phase: CvPhase::Reduce { left: iterations_to_six_colors() },
+        }
+    }
+
+    fn send(&mut self, info: &NodeInfo) -> Vec<u64> {
+        // Colors go out on every port; receivers pick the side they need.
+        vec![self.color; info.degree]
+    }
+
+    fn receive(
+        &mut self,
+        _info: &NodeInfo,
+        incoming: Vec<Option<u64>>,
+        _rng: &mut StdRng,
+    ) -> Status<usize> {
+        let at = |p: Option<usize>| p.and_then(|p| incoming[p]);
+        match self.phase {
+            CvPhase::Reduce { left } => {
+                self.color = match at(self.backward) {
+                    Some(pred) => cv_step(self.color, pred),
+                    // A path start has no predecessor: keep bit 0 (i = 0).
+                    None => self.color & 1,
+                };
+                if left > 1 {
+                    self.phase = CvPhase::Reduce { left: left - 1 };
+                } else {
+                    self.phase = CvPhase::ShiftDown { c: 5 };
+                }
+                Status::Continue
+            }
+            CvPhase::ShiftDown { c } => {
+                if self.color == c {
+                    let pred = at(self.backward);
+                    let succ = at(self.forward);
+                    self.color = (0u64..3)
+                        .find(|&x| Some(x) != pred && Some(x) != succ)
+                        .expect("degree <= 2 leaves a free color among {0,1,2}");
+                }
+                if c > 3 {
+                    self.phase = CvPhase::ShiftDown { c: c - 1 };
+                    Status::Continue
+                } else {
+                    Status::Done(self.color as usize)
+                }
+            }
+        }
+    }
+}
+
+/// The orientation of a path or cycle: per-node forward ports.
+///
+/// Orients each edge `v → (v+1) mod n` of the standard constructions
+/// [`Graph::cycle`] and [`local_sim::trees::path`]; works for any graph of
+/// maximum degree 2 whose node ids increase along each path/cycle segment
+/// (ties broken by the wrap-around edge).
+///
+/// # Errors
+///
+/// Rejects graphs with a node of degree ≥ 3.
+pub fn orient_by_index(graph: &Graph) -> Result<Vec<CvInput>> {
+    if graph.max_degree() > 2 {
+        return Err(SimError::InvalidParameter {
+            message: format!("orient_by_index needs max degree 2, got {}", graph.max_degree()),
+        });
+    }
+    let n = graph.n();
+    Ok((0..n)
+        .map(|v| {
+            let forward = (0..graph.degree(v)).find(|&p| {
+                let u = graph.neighbor(v, p);
+                // Forward = next index, or the wrap-around edge of a cycle
+                // (node n−1 has degree 2 exactly when the wrap edge exists).
+                u == v + 1 || (v == n - 1 && u == 0 && graph.degree(v) == 2)
+            });
+            CvInput { forward }
+        })
+        .collect())
+}
+
+/// The result of a Cole–Vishkin run.
+#[derive(Debug, Clone)]
+pub struct CvReport {
+    /// A proper 3-coloring (values in `{0, 1, 2}`).
+    pub colors: Vec<usize>,
+    /// Rounds used: `O(log* n)` reduction plus 3 shift-down rounds.
+    pub rounds: usize,
+}
+
+/// Runs Cole–Vishkin 3-coloring on an oriented path or cycle.
+///
+/// # Errors
+///
+/// Propagates simulation errors; `orientation` must give a forward port
+/// consistent with the graph (see [`orient_by_index`]).
+pub fn cv_three_coloring(graph: &Graph, orientation: &[CvInput], seed: u64) -> Result<CvReport> {
+    let config = RunConfig::local(graph, seed, 64);
+    let report = run::<ColeVishkin>(graph, orientation, &config)?;
+    Ok(CvReport { colors: report.outputs, rounds: report.rounds })
+}
+
+/// The textbook `O(log* n)` MIS on paths and cycles: Cole–Vishkin
+/// 3-coloring followed by the greedy class sweep.
+///
+/// Returns the MIS membership and the `(coloring, sweep)` round counts.
+///
+/// # Errors
+///
+/// Propagates simulation errors from either phase.
+pub fn cv_mis(graph: &Graph, seed: u64) -> Result<(Vec<bool>, (usize, usize))> {
+    let orientation = orient_by_index(graph)?;
+    let coloring = cv_three_coloring(graph, &orientation, seed)?;
+    let (in_set, sweep_rounds) = sweep::class_sweep(graph, &coloring.colors, 3, seed)?;
+    Ok((in_set, (coloring.rounds, sweep_rounds)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use local_sim::checkers;
+    use local_sim::trees;
+
+    #[test]
+    fn cv_step_produces_distinct_adjacent_colors() {
+        // Whenever u != v, cv_step(v, u) != cv_step(w, v) for the chain
+        // u -> v -> w: exhaustive check over small values.
+        for u in 0..32u64 {
+            for v in 0..32 {
+                for w in 0..32 {
+                    if u == v || v == w {
+                        continue;
+                    }
+                    assert_ne!(cv_step(v, u), cv_step(w, v), "chain {u} -> {v} -> {w}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn iteration_schedule_is_log_star() {
+        // u64 ids: 2^64 -> 127 -> 13 -> 7 -> 5; four iterations.
+        assert_eq!(iterations_to_six_colors(), 4);
+    }
+
+    #[test]
+    fn three_coloring_on_cycles() {
+        for n in [3usize, 4, 5, 6, 17, 100, 101] {
+            let g = Graph::cycle(n).unwrap();
+            let orientation = orient_by_index(&g).unwrap();
+            let rep = cv_three_coloring(&g, &orientation, 7).unwrap();
+            assert!(rep.colors.iter().all(|&c| c < 3), "n = {n}");
+            checkers::check_proper_coloring(&g, &rep.colors).unwrap();
+            // 4 reduce + 3 shift-down rounds.
+            assert_eq!(rep.rounds, 7, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn three_coloring_on_paths() {
+        for n in [2usize, 3, 10, 64] {
+            let g = trees::path(n).unwrap();
+            let orientation = orient_by_index(&g).unwrap();
+            let rep = cv_three_coloring(&g, &orientation, 3).unwrap();
+            checkers::check_proper_coloring(&g, &rep.colors).unwrap();
+        }
+    }
+
+    #[test]
+    fn orientation_matches_indices() {
+        let g = Graph::cycle(5).unwrap();
+        let orientation = orient_by_index(&g).unwrap();
+        for (v, o) in orientation.iter().enumerate() {
+            let f = o.forward.expect("cycles have successors everywhere");
+            assert_eq!(g.neighbor(v, f), (v + 1) % 5);
+        }
+        // Path: the last node has no forward port.
+        let p = trees::path(4).unwrap();
+        let orientation = orient_by_index(&p).unwrap();
+        assert!(orientation[3].forward.is_none());
+        assert!(orientation[..3].iter().all(|o| o.forward.is_some()));
+    }
+
+    #[test]
+    fn mis_on_cycles_and_paths() {
+        for n in [3usize, 4, 9, 50] {
+            let g = Graph::cycle(n).unwrap();
+            let (in_set, (color_rounds, sweep_rounds)) = cv_mis(&g, 11).unwrap();
+            checkers::check_mis(&g, &in_set).unwrap();
+            assert_eq!(color_rounds, 7);
+            assert!(sweep_rounds <= 5);
+        }
+        let p = trees::path(33).unwrap();
+        let (in_set, _) = cv_mis(&p, 5).unwrap();
+        checkers::check_mis(&p, &in_set).unwrap();
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = Graph::cycle(40).unwrap();
+        let a = cv_mis(&g, 9).unwrap();
+        let b = cv_mis(&g, 9).unwrap();
+        assert_eq!(a.0, b.0);
+        let c = cv_mis(&g, 10).unwrap();
+        // Different ids may change the set; validity is what matters.
+        checkers::check_mis(&g, &c.0).unwrap();
+    }
+
+    #[test]
+    fn rejects_high_degree_graphs() {
+        let star = trees::star(3).unwrap();
+        assert!(orient_by_index(&star).is_err());
+    }
+}

@@ -1,0 +1,147 @@
+//! Standard color reduction: one color class per round.
+//!
+//! Given a proper `m`-coloring and a target palette `t ≥ Δ+1`, eliminate
+//! colors `m−1, m−2, …, t` one round at a time: the nodes of the
+//! highest remaining color simultaneously recolor to the smallest color in
+//! `[t]` unused by their neighbors (they form an independent set, so the
+//! result stays proper). Runs in exactly `max(0, m − t)` rounds.
+
+use local_sim::error::Result;
+use local_sim::runner::{run, NodeInfo, RunConfig, Status, SyncAlgorithm};
+use local_sim::Graph;
+use rand::rngs::StdRng;
+
+/// Per-node input for [`ColorReduce`]: current color and the palette
+/// parameters.
+#[derive(Debug, Clone)]
+pub struct ReduceInput {
+    /// The node's current (proper) color.
+    pub color: usize,
+    /// Current palette size `m`.
+    pub m: usize,
+    /// Target palette size `t` (must be ≥ Δ+1).
+    pub t: usize,
+}
+
+/// The color reduction algorithm.
+#[derive(Debug)]
+pub struct ColorReduce {
+    color: usize,
+    m: usize,
+    t: usize,
+    round: usize,
+}
+
+impl SyncAlgorithm for ColorReduce {
+    type Input = ReduceInput;
+    type Message = usize;
+    type Output = usize;
+
+    fn init(_info: &NodeInfo, input: &ReduceInput, _rng: &mut StdRng) -> Self {
+        ColorReduce { color: input.color, m: input.m, t: input.t, round: 0 }
+    }
+
+    fn send(&mut self, info: &NodeInfo) -> Vec<usize> {
+        vec![self.color; info.degree]
+    }
+
+    fn receive(
+        &mut self,
+        _info: &NodeInfo,
+        incoming: Vec<Option<usize>>,
+        _rng: &mut StdRng,
+    ) -> Status<usize> {
+        if self.m <= self.t {
+            return Status::Done(self.color);
+        }
+        let eliminated = self.m - 1 - self.round;
+        if self.color == eliminated {
+            let used: std::collections::HashSet<usize> = incoming.into_iter().flatten().collect();
+            self.color = (0..self.t)
+                .find(|c| !used.contains(c))
+                .expect("t >= Δ+1 guarantees a free color");
+        }
+        self.round += 1;
+        if eliminated == self.t {
+            Status::Done(self.color)
+        } else {
+            Status::Continue
+        }
+    }
+}
+
+/// Reduces a proper `m`-coloring to `t` colors in `max(0, m − t)` rounds.
+///
+/// # Errors
+///
+/// Requires `t ≥ Δ+1` and a proper input coloring (enforced by debug
+/// checks; violations surface as missing free colors).
+pub fn reduce_colors(
+    graph: &Graph,
+    colors: &[usize],
+    m: usize,
+    t: usize,
+    seed: u64,
+) -> Result<(Vec<usize>, usize)> {
+    if t < graph.max_degree() + 1 {
+        return Err(local_sim::SimError::InvalidParameter {
+            message: format!("target {t} below Δ+1 = {}", graph.max_degree() + 1),
+        });
+    }
+    if m <= t {
+        return Ok((colors.to_vec(), 0));
+    }
+    let inputs: Vec<ReduceInput> = colors
+        .iter()
+        .map(|&color| ReduceInput { color, m, t })
+        .collect();
+    let config = RunConfig::port_numbering(seed, m + 2);
+    let report = run::<ColorReduce>(graph, &inputs, &config)?;
+    Ok((report.outputs, report.rounds))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linial;
+    use local_sim::checkers::check_proper_coloring;
+    use local_sim::trees;
+
+    #[test]
+    fn reduce_to_delta_plus_one() {
+        let g = trees::complete_regular_tree(3, 4).unwrap();
+        let rep = linial::linial_coloring(&g, 3).unwrap();
+        let (colors, rounds) = reduce_colors(&g, &rep.colors, rep.num_colors, 4, 0).unwrap();
+        check_proper_coloring(&g, &colors).unwrap();
+        assert!(colors.iter().all(|&c| c < 4));
+        assert_eq!(rounds, rep.num_colors - 4);
+    }
+
+    #[test]
+    fn noop_when_already_small() {
+        let g = trees::path(4).unwrap();
+        let colors = vec![0, 1, 0, 1];
+        let (out, rounds) = reduce_colors(&g, &colors, 2, 3, 0).unwrap();
+        assert_eq!(out, colors);
+        assert_eq!(rounds, 0);
+    }
+
+    #[test]
+    fn rejects_target_below_delta_plus_one() {
+        let g = trees::star(5).unwrap();
+        let colors: Vec<usize> = (0..g.n()).collect();
+        assert!(reduce_colors(&g, &colors, g.n(), 3, 0).is_err());
+    }
+
+    #[test]
+    fn reduction_on_random_trees() {
+        for seed in 0..3 {
+            let g = trees::random_tree(80, 4, seed).unwrap();
+            let rep = linial::linial_coloring(&g, seed).unwrap();
+            let t = g.max_degree() + 1;
+            let (colors, _) = reduce_colors(&g, &rep.colors, rep.num_colors, t, seed).unwrap();
+            check_proper_coloring(&g, &colors).unwrap();
+            assert!(colors.iter().all(|&c| c < t));
+        }
+    }
+}

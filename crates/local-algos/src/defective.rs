@@ -1,0 +1,198 @@
+//! One-shot k-defective coloring (Kuhn \[SPAA'09\]-style).
+//!
+//! From a proper `m`-coloring, one round suffices to compute a k-defective
+//! `q²`-coloring for a prime `q` with `(d−1)·Δ ≤ k·q` (`d = ⌈log_q m⌉`):
+//! node `v` interprets its color as a degree-`< d` polynomial `f_v` over
+//! `F_q` and picks the evaluation point `e` minimizing
+//! `|{u ~ v : f_u(e) = f_v(e)}|`; summing agreements over all `e` shows the
+//! minimum is at most `(d−1)Δ/q ≤ k`. The new color is `(e, f_v(e))`.
+//! Conflicting neighbors in the new coloring must agree at `v`'s chosen
+//! point, so the defect of `v` is bounded by its own minimum — one round,
+//! no coordination.
+
+use crate::linial::{is_prime, next_prime};
+use local_sim::error::Result;
+use local_sim::runner::{run, NodeInfo, RunConfig, Status, SyncAlgorithm};
+use local_sim::Graph;
+use rand::rngs::StdRng;
+
+/// Smallest prime `q` with `(d−1)·Δ ≤ k·q` where `d = ⌈log_q m⌉`.
+pub fn defective_prime(m: u64, delta: u64, k: u64) -> u64 {
+    assert!(k >= 1, "defective_prime requires k >= 1");
+    let mut q = 2u64;
+    loop {
+        q = next_prime(q);
+        let mut d = 1u64;
+        let mut cap = q;
+        while cap < m {
+            cap = cap.saturating_mul(q);
+            d += 1;
+        }
+        if (d - 1) * delta <= k * q {
+            return q;
+        }
+        q += 1;
+    }
+}
+
+/// Per-node input: proper color and global parameters.
+#[derive(Debug, Clone)]
+pub struct DefectiveInput {
+    /// The node's proper color.
+    pub color: u64,
+    /// Palette size `m`.
+    pub m: u64,
+    /// Target defect `k`.
+    pub k: u64,
+}
+
+/// The one-round defective coloring algorithm.
+#[derive(Debug)]
+pub struct Defective {
+    color: u64,
+    m: u64,
+    k: u64,
+}
+
+fn poly_eval(mut c: u64, q: u64, e: u64) -> u64 {
+    let mut acc = 0u64;
+    let mut power = 1u64;
+    loop {
+        acc = (acc + (c % q) * power) % q;
+        c /= q;
+        if c == 0 {
+            return acc;
+        }
+        power = (power * e) % q;
+    }
+}
+
+impl SyncAlgorithm for Defective {
+    type Input = DefectiveInput;
+    type Message = u64;
+    type Output = u64;
+
+    fn init(_info: &NodeInfo, input: &DefectiveInput, _rng: &mut StdRng) -> Self {
+        Defective { color: input.color, m: input.m, k: input.k }
+    }
+
+    fn send(&mut self, info: &NodeInfo) -> Vec<u64> {
+        vec![self.color; info.degree]
+    }
+
+    fn receive(
+        &mut self,
+        info: &NodeInfo,
+        incoming: Vec<Option<u64>>,
+        _rng: &mut StdRng,
+    ) -> Status<u64> {
+        let q = defective_prime(self.m, info.max_degree.max(1) as u64, self.k);
+        let neighbors: Vec<u64> = incoming.into_iter().flatten().collect();
+        let e_best = (0..q)
+            .min_by_key(|&e| {
+                let mine = poly_eval(self.color, q, e);
+                neighbors.iter().filter(|&&c| poly_eval(c, q, e) == mine).count()
+            })
+            .expect("q >= 2");
+        Status::Done(e_best * q + poly_eval(self.color, q, e_best))
+    }
+}
+
+/// The outcome of [`defective_coloring`].
+#[derive(Debug, Clone)]
+pub struct DefectiveReport {
+    /// A k-defective coloring.
+    pub colors: Vec<usize>,
+    /// Palette size `q²`.
+    pub num_colors: usize,
+    /// Rounds consumed (always 1).
+    pub rounds: usize,
+}
+
+/// Computes a k-defective `q²`-coloring from a proper `m`-coloring in one
+/// round.
+///
+/// # Errors
+///
+/// Requires `k ≥ 1` (for `k = 0` use the proper coloring itself) and a
+/// proper input coloring.
+pub fn defective_coloring(
+    graph: &Graph,
+    colors: &[usize],
+    m: usize,
+    k: usize,
+    seed: u64,
+) -> Result<DefectiveReport> {
+    if k == 0 {
+        return Err(local_sim::SimError::InvalidParameter {
+            message: "k = 0 defective coloring is just the proper coloring".into(),
+        });
+    }
+    local_sim::checkers::check_proper_coloring(graph, colors).map_err(|v| {
+        local_sim::SimError::InvalidParameter { message: format!("input not proper: {v}") }
+    })?;
+    let inputs: Vec<DefectiveInput> = colors
+        .iter()
+        .map(|&color| DefectiveInput { color: color as u64, m: m as u64, k: k as u64 })
+        .collect();
+    let config = RunConfig::port_numbering(seed, 4);
+    let report = run::<Defective>(graph, &inputs, &config)?;
+    let q = defective_prime(m as u64, graph.max_degree().max(1) as u64, k as u64);
+    debug_assert!(is_prime(q));
+    Ok(DefectiveReport {
+        colors: report.outputs.iter().map(|&c| c as usize).collect(),
+        num_colors: (q * q) as usize,
+        rounds: report.rounds,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linial;
+    use local_sim::checkers::check_defective_coloring;
+    use local_sim::trees;
+
+    #[test]
+    fn prime_condition() {
+        let q = defective_prime(1000, 8, 2);
+        // d = ceil(log_q 1000); condition (d-1)*8 <= 2q.
+        let mut d = 1u64;
+        let mut cap = q;
+        while cap < 1000 {
+            cap *= q;
+            d += 1;
+        }
+        assert!((d - 1) * 8 <= 2 * q);
+        assert!(is_prime(q));
+    }
+
+    #[test]
+    fn defect_bound_holds() {
+        for (delta, k) in [(4usize, 1usize), (4, 2), (5, 2), (6, 3)] {
+            let g = trees::complete_regular_tree(delta, 3).unwrap();
+            let rep = linial::linial_coloring(&g, 5).unwrap();
+            let def = defective_coloring(&g, &rep.colors, rep.num_colors, k, 0).unwrap();
+            check_defective_coloring(&g, &def.colors, k).unwrap();
+            assert!(def.colors.iter().all(|&c| c < def.num_colors));
+            assert_eq!(def.rounds, 1);
+        }
+    }
+
+    #[test]
+    fn palette_shrinks_for_large_k() {
+        // Larger k permits a smaller prime, hence fewer colors.
+        let g = trees::complete_regular_tree(6, 3).unwrap();
+        let rep = linial::linial_coloring(&g, 2).unwrap();
+        let small_k = defective_coloring(&g, &rep.colors, rep.num_colors, 1, 0).unwrap();
+        let large_k = defective_coloring(&g, &rep.colors, rep.num_colors, 5, 0).unwrap();
+        assert!(large_k.num_colors <= small_k.num_colors);
+    }
+
+    #[test]
+    fn rejects_k_zero_and_improper() {
+        let g = trees::path(3).unwrap();
+        assert!(defective_coloring(&g, &[0, 1, 0], 2, 0, 0).is_err());
+        assert!(defective_coloring(&g, &[0, 0, 0], 1, 1, 0).is_err());
+    }
+}

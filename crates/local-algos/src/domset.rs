@@ -1,0 +1,229 @@
+//! End-to-end pipelines: MIS, k-outdegree and k-degree dominating sets.
+//!
+//! These compose the phases of §1.1 of the paper with exact per-phase round
+//! accounting, so the benches can reproduce the `O(Δ/k + log* n)` /
+//! `O(min{Δ, (Δ/k)²} + log* n)` shapes:
+//!
+//! 1. **coloring** — Linial reduction to `poly(Δ)` colors in `O(log* n)`;
+//! 2. **bucketing** — arbdefective (for k-ODS) or one-shot defective (for
+//!    k-degree DS) coloring;
+//! 3. **sweep** — greedy class sweep over the buckets.
+
+use crate::arbdefective::arbdefective_coloring;
+use crate::defective::defective_coloring;
+use crate::linial::linial_coloring;
+use crate::sweep::class_sweep;
+use local_sim::error::Result;
+use local_sim::{Graph, Orientation};
+
+/// Exact round counts of a pipeline's phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseRounds {
+    /// Rounds of the Linial coloring phase (`O(log* n)`).
+    pub coloring: usize,
+    /// Rounds of the defective/arbdefective bucketing phase.
+    pub bucketing: usize,
+    /// Rounds of the greedy class sweep.
+    pub sweep: usize,
+}
+
+impl PhaseRounds {
+    /// Total rounds across phases.
+    pub fn total(&self) -> usize {
+        self.coloring + self.bucketing + self.sweep
+    }
+}
+
+/// Result of the k-outdegree dominating set pipeline.
+#[derive(Debug, Clone)]
+pub struct KodsReport {
+    /// Set membership.
+    pub in_set: Vec<bool>,
+    /// Orientation witnessing outdegree ≤ k inside the set.
+    pub orientation: Orientation,
+    /// Number of buckets used (`⌊Δ/(k+1)⌋ + 1` — the paper's `O(Δ/k)`).
+    pub buckets: usize,
+    /// Per-phase rounds.
+    pub rounds: PhaseRounds,
+}
+
+/// Computes a k-outdegree dominating set in
+/// `O(log* n) + O(Δ²) + (⌊Δ/(k+1)⌋ + O(1))` rounds: Linial coloring,
+/// arbdefective bucketing (the `O(Δ²)` sequential class processing), then
+/// the `O(Δ/k)`-round sweep whose length the paper's lower bound addresses.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn k_outdegree_domset(graph: &Graph, k: usize, seed: u64) -> Result<KodsReport> {
+    let delta = graph.max_degree().max(1);
+    let buckets = delta / (k + 1) + 1;
+    let col = linial_coloring(graph, seed)?;
+    let arb = arbdefective_coloring(graph, &col.colors, col.num_colors, buckets, seed)?;
+    let (in_set, sweep_rounds) = class_sweep(graph, &arb.buckets, buckets, seed)?;
+    Ok(KodsReport {
+        in_set,
+        orientation: arb.orientation,
+        buckets,
+        rounds: PhaseRounds {
+            coloring: col.rounds,
+            bucketing: arb.rounds,
+            sweep: sweep_rounds,
+        },
+    })
+}
+
+/// Result of the k-degree dominating set pipeline.
+#[derive(Debug, Clone)]
+pub struct KdegReport {
+    /// Set membership.
+    pub in_set: Vec<bool>,
+    /// Number of defective colors used (`O((Δ/k)² polylog)`).
+    pub defective_colors: usize,
+    /// Per-phase rounds.
+    pub rounds: PhaseRounds,
+}
+
+/// Computes a k-degree dominating set in
+/// `O(log* n) + 1 + O((Δ/k)²)` rounds: Linial coloring, one-shot defective
+/// coloring, then the sweep over the `O((Δ/k)²)` defective classes.
+///
+/// # Errors
+///
+/// Requires `k ≥ 1` (use [`mis_deterministic`] for `k = 0`).
+pub fn k_degree_domset(graph: &Graph, k: usize, seed: u64) -> Result<KdegReport> {
+    let col = linial_coloring(graph, seed)?;
+    let def = defective_coloring(graph, &col.colors, col.num_colors, k, seed)?;
+    let (in_set, sweep_rounds) = class_sweep(graph, &def.colors, def.num_colors, seed)?;
+    Ok(KdegReport {
+        in_set,
+        defective_colors: def.num_colors,
+        rounds: PhaseRounds {
+            coloring: col.rounds,
+            bucketing: def.rounds,
+            sweep: sweep_rounds,
+        },
+    })
+}
+
+/// Result of the deterministic MIS pipeline.
+#[derive(Debug, Clone)]
+pub struct MisReport {
+    /// MIS membership.
+    pub in_set: Vec<bool>,
+    /// Number of proper colors swept.
+    pub num_colors: usize,
+    /// Per-phase rounds (bucketing = 0: the sweep runs directly on the
+    /// Linial colors).
+    pub rounds: PhaseRounds,
+}
+
+/// Deterministic MIS: Linial coloring followed by a sweep over its
+/// `poly(Δ)` colors — `O(Δ² polylogΔ + log* n)` rounds (the simpler variant
+/// of the paper's `O(Δ + log* n)` citation; see `DESIGN.md`).
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn mis_deterministic(graph: &Graph, seed: u64) -> Result<MisReport> {
+    let col = linial_coloring(graph, seed)?;
+    let (in_set, sweep_rounds) = class_sweep(graph, &col.colors, col.num_colors, seed)?;
+    Ok(MisReport {
+        in_set,
+        num_colors: col.num_colors,
+        rounds: PhaseRounds { coloring: col.rounds, bucketing: 0, sweep: sweep_rounds },
+    })
+}
+
+/// Deterministic MIS via Δ+1 colors: Linial, reduce to Δ+1, sweep. Slower
+/// in total rounds (the reduction costs `O(Δ²)` classes) but the sweep
+/// phase is exactly `Δ + O(1)` — the `O(Δ)`-shaped sweep the paper's MIS
+/// bound concerns.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn mis_via_delta_plus_one(graph: &Graph, seed: u64) -> Result<MisReport> {
+    let col = linial_coloring(graph, seed)?;
+    let t = graph.max_degree() + 1;
+    let (colors, reduce_rounds) =
+        crate::color_reduce::reduce_colors(graph, &col.colors, col.num_colors, t, seed)?;
+    let (in_set, sweep_rounds) = class_sweep(graph, &colors, t, seed)?;
+    Ok(MisReport {
+        in_set,
+        num_colors: t,
+        rounds: PhaseRounds {
+            coloring: col.rounds,
+            bucketing: reduce_rounds,
+            sweep: sweep_rounds,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use local_sim::checkers;
+    use local_sim::trees;
+
+    #[test]
+    fn kods_valid_and_bounded() {
+        for (delta, k) in [(4usize, 1usize), (4, 2), (5, 1), (5, 4), (3, 0)] {
+            let g = trees::complete_regular_tree(delta, 3).unwrap();
+            let rep = k_outdegree_domset(&g, k, 11).unwrap();
+            checkers::check_k_outdegree_domset(&g, &rep.in_set, &rep.orientation, k)
+                .unwrap_or_else(|v| panic!("delta={delta}, k={k}: {v}"));
+            assert_eq!(rep.buckets, delta / (k + 1) + 1);
+        }
+    }
+
+    #[test]
+    fn kods_sweep_rounds_track_delta_over_k() {
+        // The sweep phase should take about buckets + 2 rounds.
+        let g = trees::complete_regular_tree(6, 3).unwrap();
+        let rep1 = k_outdegree_domset(&g, 1, 3).unwrap();
+        let rep5 = k_outdegree_domset(&g, 5, 3).unwrap();
+        assert!(rep1.rounds.sweep <= rep1.buckets + 2);
+        assert!(rep5.rounds.sweep <= rep5.buckets + 2);
+        assert!(rep5.buckets < rep1.buckets);
+    }
+
+    #[test]
+    fn kdeg_valid() {
+        for (delta, k) in [(4usize, 1usize), (5, 2), (6, 3)] {
+            let g = trees::complete_regular_tree(delta, 3).unwrap();
+            let rep = k_degree_domset(&g, k, 7).unwrap();
+            checkers::check_k_degree_domset(&g, &rep.in_set, k)
+                .unwrap_or_else(|v| panic!("delta={delta}, k={k}: {v}"));
+        }
+    }
+
+    #[test]
+    fn mis_pipelines_valid() {
+        let g = trees::complete_regular_tree(4, 3).unwrap();
+        let a = mis_deterministic(&g, 1).unwrap();
+        checkers::check_mis(&g, &a.in_set).unwrap();
+        let b = mis_via_delta_plus_one(&g, 1).unwrap();
+        checkers::check_mis(&g, &b.in_set).unwrap();
+        // The Δ+1 variant's sweep is short.
+        assert!(b.rounds.sweep <= g.max_degree() + 3);
+    }
+
+    #[test]
+    fn mis_on_random_trees() {
+        for seed in 0..3 {
+            let g = trees::random_tree(70, 5, seed).unwrap();
+            let rep = mis_deterministic(&g, seed).unwrap();
+            checkers::check_mis(&g, &rep.in_set).unwrap();
+        }
+    }
+
+    #[test]
+    fn kods_on_random_trees() {
+        for seed in 0..3 {
+            let g = trees::random_tree(70, 5, seed).unwrap();
+            let rep = k_outdegree_domset(&g, 2, seed).unwrap();
+            checkers::check_k_outdegree_domset(&g, &rep.in_set, &rep.orientation, 2).unwrap();
+        }
+    }
+}

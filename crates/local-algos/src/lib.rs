@@ -1,0 +1,58 @@
+//! # local-algos — distributed algorithms in the LOCAL model
+//!
+//! The *upper bounds* discussed in §1.1 of Balliu–Brandt–Kuhn–Olivetti
+//! (PODC 2021), implemented against the [`local_sim`] runner so that round
+//! counts are **measured**, not asserted:
+//!
+//! * [`linial`] — Linial's color reduction: from identifiers to
+//!   `O(Δ² log²Δ)`-ish colors in `O(log* n)` rounds (polynomial
+//!   construction over `F_q`).
+//! * [`color_reduce`] — standard one-class-per-round reduction to any
+//!   target ≥ Δ+1 colors.
+//! * [`sweep`] — the greedy color-class sweep: on a proper coloring it
+//!   yields an MIS; on a k-defective / k-arbdefective coloring it yields a
+//!   k-degree / k-outdegree dominating set (the paper's §1.1 reduction).
+//! * [`luby`] — Luby's randomized MIS in `O(log n)` rounds w.h.p.
+//! * [`defective`] — Kuhn-style one-shot k-defective `O((Δ/k)² polylog)`
+//!   coloring.
+//! * [`arbdefective`] — sequential-by-class k-arbdefective `⌈Δ/(k+1)⌉+1`
+//!   coloring (Barenboim–Elkin–Goldenberg-flavored).
+//! * [`domset`] — the end-to-end pipelines for MIS, k-outdegree and
+//!   k-degree dominating sets, with per-phase round accounting.
+//! * [`matching`] — maximal matching by edge-color sweep.
+//! * [`cole_vishkin`] — the classic `O(log* n)` 3-coloring and MIS on
+//!   oriented paths and cycles.
+//! * [`tree_mis`] — Δ-independent MIS on trees via H-partitions
+//!   (Barenboim–Elkin style), the §1.3 counterpoint to the Δ-dependent
+//!   pipelines.
+//! * [`sequential`] — centralized baselines for differential testing.
+//!
+//! ## Complexity yardsticks (paper §1.1)
+//!
+//! | problem | paper upper bound | this crate |
+//! |---------|-------------------|------------|
+//! | MIS | `O(Δ + log* n)` \[BEK14\] | sweep over Linial colors: `O(Δ² polylog Δ + log* n)` rounds (simpler color reduction; sweep phase is `O(#colors)`) |
+//! | k-outdegree dominating set | `O(Δ/k + log* n)` | arbdefective + sweep: sweep phase exactly `⌈Δ/(k+1)⌉+1` rounds |
+//! | k-degree dominating set | `O(min{Δ, (Δ/k)²} + log* n)` | defective + sweep: sweep phase `O((Δ/k)² polylog)` rounds |
+//!
+//! The *sweep phases* match the paper's `Δ/k`-type shape exactly; the
+//! coloring substrate is the simpler `O(Δ² + log* n)` construction (see
+//! `DESIGN.md` for the documented deviation).
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbdefective;
+pub mod b_matching;
+pub mod cole_vishkin;
+pub mod color_reduce;
+pub mod defective;
+pub mod domset;
+pub mod linial;
+pub mod luby;
+pub mod matching;
+pub mod ruling_set;
+pub mod sequential;
+pub mod sweep;
+pub mod tree_mis;
+
+pub use domset::{k_degree_domset, k_outdegree_domset, mis_deterministic, PhaseRounds};

@@ -1,0 +1,283 @@
+//! Linial's color reduction: `O(log* n)` rounds to `poly(Δ)` colors.
+//!
+//! One reduction step (Linial \[SIAM J. Comput. '92\]): with a proper
+//! `m`-coloring in hand, interpret each color as the coefficient vector of a
+//! polynomial of degree `< d` over `F_q` (where `d = ⌈log_q m⌉`). After
+//! exchanging colors, node `v` picks an evaluation point `e ∈ F_q` such that
+//! `f_v(e) ≠ f_u(e)` for every neighbor `u` — possible whenever
+//! `q > (d−1)·Δ`, since two distinct polynomials of degree `< d` agree on at
+//! most `d−1` points. The pair `(e, f_v(e))` is a proper `q²`-coloring.
+//! Iterating shrinks `n³`-sized id spaces to `O(Δ² log² Δ)` colors in
+//! `O(log* n)` rounds.
+
+use local_sim::error::{Result, SimError};
+use local_sim::runner::{run, NodeInfo, RunConfig, RunReport, Status, SyncAlgorithm};
+use local_sim::Graph;
+use rand::rngs::StdRng;
+
+/// Smallest prime `≥ x` (trial division; inputs are small).
+pub fn next_prime(x: u64) -> u64 {
+    let mut candidate = x.max(2);
+    loop {
+        if is_prime(candidate) {
+            return candidate;
+        }
+        candidate += 1;
+    }
+}
+
+/// Primality by trial division.
+pub fn is_prime(x: u64) -> bool {
+    if x < 2 {
+        return false;
+    }
+    if x.is_multiple_of(2) {
+        return x == 2;
+    }
+    let mut d = 3u64;
+    while d.saturating_mul(d) <= x {
+        if x.is_multiple_of(d) {
+            return false;
+        }
+        d += 2;
+    }
+    true
+}
+
+/// Number of base-`q` digits needed for values in `[0, m)`.
+fn digits(m: u64, q: u64) -> u32 {
+    let mut d = 1u32;
+    let mut cap = q;
+    while cap < m {
+        cap = cap.saturating_mul(q);
+        d += 1;
+    }
+    d
+}
+
+/// The prime used for one Linial step from palette size `m` at degree Δ:
+/// the smallest prime `q` with `q > (d−1)·Δ` for `d = digits(m, q)`.
+pub fn linial_prime(m: u64, delta: u64) -> u64 {
+    let mut q = 2u64;
+    loop {
+        q = next_prime(q);
+        let d = digits(m, q) as u64;
+        if q > (d - 1) * delta {
+            return q;
+        }
+        q += 1;
+    }
+}
+
+/// The full palette schedule `m₀ → m₁ → …` of iterated Linial steps,
+/// stopping when a step no longer shrinks the palette. All nodes compute
+/// this schedule locally from `(n, Δ)`, so they halt in the same round.
+pub fn palette_schedule(m0: u64, delta: u64) -> Vec<u64> {
+    let mut schedule = vec![m0];
+    let mut m = m0;
+    loop {
+        let q = linial_prime(m, delta.max(1));
+        let next = q * q;
+        if next >= m {
+            break;
+        }
+        schedule.push(next);
+        m = next;
+    }
+    schedule
+}
+
+/// Evaluates the polynomial whose base-`q` digits are those of `color`
+/// at point `e`, over `F_q` (public: reused by the H-partition tree MIS
+/// for its within-layer degree-2 color reduction).
+pub fn poly_eval(color: u64, q: u64, e: u64) -> u64 {
+    let mut c = color;
+    let mut acc = 0u64;
+    let mut power = 1u64;
+    loop {
+        acc = (acc + (c % q) * power) % q;
+        c /= q;
+        if c == 0 {
+            return acc;
+        }
+        power = (power * e) % q;
+    }
+}
+
+/// The outcome of running [`linial_coloring`].
+#[derive(Debug, Clone)]
+pub struct ColoringReport {
+    /// A proper coloring, one color per node.
+    pub colors: Vec<usize>,
+    /// Size of the final palette (colors are `< num_colors`).
+    pub num_colors: usize,
+    /// Rounds consumed.
+    pub rounds: usize,
+}
+
+/// Per-node state of the iterated Linial algorithm.
+#[derive(Debug)]
+pub struct Linial {
+    color: u64,
+    schedule: Vec<u64>,
+    step: usize,
+}
+
+impl SyncAlgorithm for Linial {
+    type Input = ();
+    type Message = u64;
+    type Output = u64;
+
+    fn init(info: &NodeInfo, _input: &(), _rng: &mut StdRng) -> Self {
+        let n = info.n as u64;
+        let m0 = n.pow(3) + 1; // identifier space 1..=n³
+        let schedule = palette_schedule(m0, info.max_degree as u64);
+        Linial {
+            color: info.id.expect("Linial requires the LOCAL model (ids)"),
+            schedule,
+            step: 0,
+        }
+    }
+
+    fn send(&mut self, info: &NodeInfo) -> Vec<u64> {
+        vec![self.color; info.degree]
+    }
+
+    fn receive(
+        &mut self,
+        info: &NodeInfo,
+        incoming: Vec<Option<u64>>,
+        _rng: &mut StdRng,
+    ) -> Status<u64> {
+        if self.step + 1 >= self.schedule.len() {
+            // Schedule exhausted (can happen for tiny graphs at step 0).
+            return Status::Done(self.color);
+        }
+        let m = self.schedule[self.step];
+        let q = linial_prime(m, info.max_degree.max(1) as u64);
+        let neighbor_colors: Vec<u64> = incoming.into_iter().flatten().collect();
+        // Pick the smallest evaluation point clashing with no neighbor.
+        let e = (0..q)
+            .find(|&e| {
+                let mine = poly_eval(self.color, q, e);
+                neighbor_colors.iter().all(|&c| poly_eval(c, q, e) != mine)
+            })
+            .expect("q > (d-1)Δ guarantees a good evaluation point");
+        self.color = e * q + poly_eval(self.color, q, e);
+        self.step += 1;
+        if self.step + 1 >= self.schedule.len() {
+            Status::Done(self.color)
+        } else {
+            Status::Continue
+        }
+    }
+}
+
+/// Runs iterated Linial color reduction in the LOCAL model.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn linial_coloring(graph: &Graph, seed: u64) -> Result<ColoringReport> {
+    let config = RunConfig::local(graph, seed, graph.n() + 64);
+    let inputs = vec![(); graph.n()];
+    let report: RunReport<u64> = run::<Linial>(graph, &inputs, &config)?;
+    let n = graph.n() as u64;
+    let schedule = palette_schedule(n.pow(3) + 1, graph.max_degree() as u64);
+    let num_colors = *schedule.last().expect("non-empty schedule");
+    let colors: Vec<usize> = report.outputs.iter().map(|&c| c as usize).collect();
+    if colors.iter().any(|&c| c as u64 >= num_colors) {
+        return Err(SimError::InvalidParameter {
+            message: "Linial produced a color outside the final palette".into(),
+        });
+    }
+    Ok(ColoringReport { colors, num_colors: num_colors as usize, rounds: report.rounds })
+}
+
+/// `log*` with base-2 iterated logarithm (for reporting expectations).
+pub fn log_star(mut x: f64) -> u32 {
+    let mut it = 0;
+    while x > 1.0 {
+        x = x.log2();
+        it += 1;
+    }
+    it
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use local_sim::checkers::check_proper_coloring;
+    use local_sim::trees;
+
+    #[test]
+    fn primes() {
+        assert_eq!(next_prime(2), 2);
+        assert_eq!(next_prime(8), 11);
+        assert_eq!(next_prime(14), 17);
+        assert!(is_prime(97));
+        assert!(!is_prime(1));
+        assert!(!is_prime(91)); // 7 * 13
+    }
+
+    #[test]
+    fn digits_and_poly() {
+        assert_eq!(digits(100, 10), 2);
+        assert_eq!(digits(101, 10), 3);
+        assert_eq!(digits(5, 7), 1);
+        // color 23 base 5 = (3, 4): f(e) = 3 + 4e mod 5.
+        assert_eq!(poly_eval(23, 5, 0), 3);
+        assert_eq!(poly_eval(23, 5, 1), 2);
+    }
+
+    #[test]
+    fn schedule_shrinks_fast() {
+        let schedule = palette_schedule(1_000_000_000, 4);
+        assert!(schedule.len() >= 2);
+        assert!(schedule.windows(2).all(|w| w[1] < w[0]));
+        // Final palette is poly(Δ): comfortably under 10_000 for Δ=4.
+        assert!(*schedule.last().unwrap() < 10_000);
+        // log* style growth: schedule length stays tiny even for huge m0.
+        assert!(schedule.len() <= 8, "{schedule:?}");
+    }
+
+    #[test]
+    fn coloring_proper_on_trees() {
+        for (delta, depth) in [(3usize, 4usize), (4, 3), (5, 2)] {
+            let g = trees::complete_regular_tree(delta, depth).unwrap();
+            let rep = linial_coloring(&g, 42).unwrap();
+            check_proper_coloring(&g, &rep.colors).unwrap();
+            assert!(rep.num_colors < g.n().pow(3));
+            assert!(
+                rep.colors.iter().all(|&c| c < rep.num_colors),
+                "colors within palette"
+            );
+        }
+    }
+
+    #[test]
+    fn rounds_grow_like_log_star() {
+        // Rounds = schedule length - 1, independent of graph size beyond
+        // the id-space; log*-ish small.
+        let g = trees::random_tree(200, 5, 1).unwrap();
+        let rep = linial_coloring(&g, 1).unwrap();
+        assert!(rep.rounds <= 8, "rounds = {}", rep.rounds);
+        check_proper_coloring(&g, &rep.colors).unwrap();
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = trees::random_tree(60, 4, 9).unwrap();
+        let a = linial_coloring(&g, 5).unwrap();
+        let b = linial_coloring(&g, 5).unwrap();
+        assert_eq!(a.colors, b.colors);
+    }
+
+    #[test]
+    fn log_star_values() {
+        assert_eq!(log_star(1.0), 0);
+        assert_eq!(log_star(2.0), 1);
+        assert_eq!(log_star(16.0), 3);
+        assert_eq!(log_star(65536.0), 4);
+    }
+}

@@ -1,0 +1,176 @@
+//! Luby's randomized MIS (Luby \[SIAM J. Comput. '86\]).
+//!
+//! Each phase, every undecided node draws a random value and joins the set
+//! if its value is strictly larger than all undecided neighbors'; neighbors
+//! of joiners drop out. Terminates in `O(log n)` phases with high
+//! probability. This is the randomized baseline of experiment E12 — its
+//! round count is independent of Δ, unlike the deterministic sweep.
+
+use local_sim::error::Result;
+use local_sim::runner::{run, NodeInfo, RunConfig, Status, SyncAlgorithm};
+use local_sim::Graph;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Messages of the two-round phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LubyMsg {
+    /// Phase first half: my lottery value (undecided nodes only).
+    Value(u64),
+    /// Phase second half: whether I joined the set this phase.
+    Joined(bool),
+}
+
+impl local_sim::congest::MessageSize for LubyMsg {
+    fn size_bits(&self) -> usize {
+        1 + match self {
+            LubyMsg::Value(_) => 64,
+            LubyMsg::Joined(_) => 1,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LubyState {
+    Undecided,
+    PendingJoin,
+}
+
+/// Per-node state of Luby's algorithm.
+#[derive(Debug)]
+pub struct Luby {
+    state: LubyState,
+    value: u64,
+    half: bool, // false: value half, true: join half
+}
+
+impl SyncAlgorithm for Luby {
+    type Input = ();
+    type Message = LubyMsg;
+    type Output = bool;
+
+    fn init(_info: &NodeInfo, _input: &(), rng: &mut StdRng) -> Self {
+        Luby { state: LubyState::Undecided, value: rng.gen(), half: false }
+    }
+
+    fn send(&mut self, info: &NodeInfo) -> Vec<LubyMsg> {
+        let msg = if self.half {
+            LubyMsg::Joined(self.state == LubyState::PendingJoin)
+        } else {
+            LubyMsg::Value(self.value)
+        };
+        vec![msg; info.degree]
+    }
+
+    fn receive(
+        &mut self,
+        _info: &NodeInfo,
+        incoming: Vec<Option<LubyMsg>>,
+        rng: &mut StdRng,
+    ) -> Status<bool> {
+        if !self.half {
+            // Value half: am I the strict maximum among undecided neighbors?
+            let max_neighbor = incoming
+                .iter()
+                .filter_map(|m| match m {
+                    Some(LubyMsg::Value(v)) => Some(*v),
+                    _ => None,
+                })
+                .max();
+            if max_neighbor.is_none_or(|mv| self.value > mv) {
+                self.state = LubyState::PendingJoin;
+            }
+            self.half = true;
+            Status::Continue
+        } else {
+            // Join half.
+            if self.state == LubyState::PendingJoin {
+                return Status::Done(true);
+            }
+            let neighbor_joined = incoming
+                .iter()
+                .any(|m| matches!(m, Some(LubyMsg::Joined(true))));
+            if neighbor_joined {
+                return Status::Done(false);
+            }
+            self.value = rng.gen();
+            self.half = false;
+            Status::Continue
+        }
+    }
+}
+
+/// The outcome of a Luby run.
+#[derive(Debug, Clone)]
+pub struct LubyReport {
+    /// MIS membership per node.
+    pub in_set: Vec<bool>,
+    /// Total communication rounds (2 per phase).
+    pub rounds: usize,
+}
+
+/// Runs Luby's MIS.
+///
+/// # Errors
+///
+/// Propagates simulation errors (including the round budget, set to
+/// `64·(log₂ n + 2)` — astronomically conservative for Luby).
+pub fn luby_mis(graph: &Graph, seed: u64) -> Result<LubyReport> {
+    let budget = 64 * ((graph.n() as f64).log2().ceil() as usize + 2);
+    let config = RunConfig::port_numbering(seed, budget);
+    let inputs = vec![(); graph.n()];
+    let report = run::<Luby>(graph, &inputs, &config)?;
+    Ok(LubyReport { in_set: report.outputs, rounds: report.rounds })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use local_sim::checkers::check_mis;
+    use local_sim::trees;
+
+    #[test]
+    fn luby_valid_on_trees() {
+        for seed in 0..5 {
+            let g = trees::complete_regular_tree(3, 4).unwrap();
+            let rep = luby_mis(&g, seed).unwrap();
+            check_mis(&g, &rep.in_set).unwrap();
+        }
+    }
+
+    #[test]
+    fn luby_valid_on_random_trees() {
+        for seed in 0..5 {
+            let g = trees::random_tree(120, 6, seed).unwrap();
+            let rep = luby_mis(&g, seed * 7 + 1).unwrap();
+            check_mis(&g, &rep.in_set).unwrap();
+        }
+    }
+
+    #[test]
+    fn luby_rounds_logarithmic() {
+        let g = trees::random_tree(300, 5, 2).unwrap();
+        let rep = luby_mis(&g, 3).unwrap();
+        // 2 rounds per phase; expect O(log n) phases. 60 is a loose cap.
+        assert!(rep.rounds <= 60, "rounds = {}", rep.rounds);
+    }
+
+    #[test]
+    fn luby_on_star_and_path() {
+        let star = trees::star(10).unwrap();
+        let rep = luby_mis(&star, 1).unwrap();
+        check_mis(&star, &rep.in_set).unwrap();
+        let path = trees::path(2).unwrap();
+        let rep = luby_mis(&path, 1).unwrap();
+        check_mis(&path, &rep.in_set).unwrap();
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = trees::random_tree(50, 4, 4).unwrap();
+        let a = luby_mis(&g, 9).unwrap();
+        let b = luby_mis(&g, 9).unwrap();
+        assert_eq!(a.in_set, b.in_set);
+        assert_eq!(a.rounds, b.rounds);
+    }
+}

@@ -1,0 +1,88 @@
+//! Ruling sets (paper §1, "Bounded (Out-)Degree Dominating Sets" intro and
+//! §5 open problems).
+//!
+//! A `(α, β)`-ruling set has members pairwise at distance ≥ α with every
+//! node within distance β of a member. MIS is the `(2, 1)` case; the other
+//! classical relaxation of MIS (the one the paper contrasts its
+//! k-outdegree dominating sets with) relaxes the domination radius.
+//!
+//! Construction: an MIS of the power graph `G^β` is a `(β+1, β)`-ruling set
+//! of `G`. One round on `G^β` costs β rounds on `G`, so running Luby on the
+//! power graph gives `O(β log n)` simulated `G`-rounds; the round report
+//! accounts for the factor.
+
+use crate::luby;
+use local_sim::error::Result;
+use local_sim::{checkers, Graph};
+
+/// The outcome of [`ruling_set_power_mis`].
+#[derive(Debug, Clone)]
+pub struct RulingSetReport {
+    /// Membership flags.
+    pub in_set: Vec<bool>,
+    /// Rounds on the power graph (Luby phases × 2).
+    pub power_graph_rounds: usize,
+    /// Equivalent rounds on the base graph (`power_graph_rounds × β`).
+    pub simulated_rounds: usize,
+}
+
+/// Computes a `(β+1, β)`-ruling set of `graph` by running Luby's MIS on
+/// `G^β`.
+///
+/// # Errors
+///
+/// Requires `β ≥ 1`; propagates simulation errors.
+pub fn ruling_set_power_mis(graph: &Graph, beta: usize, seed: u64) -> Result<RulingSetReport> {
+    if beta == 0 {
+        return Err(local_sim::SimError::InvalidParameter {
+            message: "ruling set radius beta must be >= 1".into(),
+        });
+    }
+    let power = graph.power(beta);
+    let rep = luby::luby_mis(&power, seed)?;
+    debug_assert!(checkers::check_mis(&power, &rep.in_set).is_ok());
+    Ok(RulingSetReport {
+        in_set: rep.in_set,
+        power_graph_rounds: rep.rounds,
+        simulated_rounds: rep.rounds * beta,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use local_sim::trees;
+
+    #[test]
+    fn ruling_sets_on_regular_trees() {
+        for beta in 1..=3 {
+            let g = trees::complete_regular_tree(3, 4).unwrap();
+            let rep = ruling_set_power_mis(&g, beta, 7).unwrap();
+            checkers::check_ruling_set(&g, &rep.in_set, beta + 1, beta).unwrap();
+        }
+    }
+
+    #[test]
+    fn beta_one_is_mis() {
+        let g = trees::random_tree(60, 4, 3).unwrap();
+        let rep = ruling_set_power_mis(&g, 1, 3).unwrap();
+        checkers::check_mis(&g, &rep.in_set).unwrap();
+        checkers::check_ruling_set(&g, &rep.in_set, 2, 1).unwrap();
+    }
+
+    #[test]
+    fn larger_beta_gives_sparser_sets() {
+        let g = trees::path(200).unwrap();
+        let s1 = ruling_set_power_mis(&g, 1, 5).unwrap();
+        let s3 = ruling_set_power_mis(&g, 3, 5).unwrap();
+        let count = |v: &[bool]| v.iter().filter(|&&b| b).count();
+        assert!(count(&s3.in_set) < count(&s1.in_set));
+        checkers::check_ruling_set(&g, &s3.in_set, 4, 3).unwrap();
+    }
+
+    #[test]
+    fn rejects_beta_zero() {
+        let g = trees::path(4).unwrap();
+        assert!(ruling_set_power_mis(&g, 0, 0).is_err());
+    }
+}

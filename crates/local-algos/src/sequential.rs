@@ -1,0 +1,107 @@
+//! Centralized baselines for differential testing.
+//!
+//! These are *not* distributed algorithms; they provide ground-truth
+//! solutions (greedy MIS, greedy dominating sets, BFS orientations) that
+//! the test suites compare distributed outputs against, and that the
+//! benches use to normalize solution quality.
+
+use local_sim::{Graph, Orientation};
+
+/// Greedy MIS in the given node order (defaults to id order).
+pub fn greedy_mis(graph: &Graph, order: Option<&[usize]>) -> Vec<bool> {
+    let default: Vec<usize> = (0..graph.n()).collect();
+    let order = order.unwrap_or(&default);
+    let mut in_set = vec![false; graph.n()];
+    let mut blocked = vec![false; graph.n()];
+    for &v in order {
+        if !blocked[v] {
+            in_set[v] = true;
+            blocked[v] = true;
+            for u in graph.neighbors(v) {
+                blocked[u] = true;
+            }
+        }
+    }
+    in_set
+}
+
+/// Greedy dominating set: add each node not yet dominated (in order).
+/// The result is independent, hence also an MIS.
+pub fn greedy_dominating_set(graph: &Graph) -> Vec<bool> {
+    let mut in_set = vec![false; graph.n()];
+    for v in 0..graph.n() {
+        let dominated = in_set[v] || graph.neighbors(v).any(|u| in_set[u]);
+        if !dominated {
+            in_set[v] = true;
+        }
+    }
+    in_set
+}
+
+/// The trivial k-outdegree dominating set "all nodes" on a tree, with every
+/// non-root edge oriented toward the parent (outdegree ≤ 1).
+///
+/// # Panics
+///
+/// Panics if the graph is not a tree.
+pub fn all_nodes_kods(graph: &Graph) -> (Vec<bool>, Orientation) {
+    let (_, parent) = graph.tree_order(0).expect("tree required");
+    let mut orientation = Orientation::unoriented(graph.m());
+    for (v, &par) in parent.iter().enumerate() {
+        if par != usize::MAX {
+            let e = graph
+                .ports(v)
+                .iter()
+                .find(|t| t.node == par)
+                .expect("parent adjacency")
+                .edge;
+            orientation.orient_out_of(graph, e, v);
+        }
+    }
+    (vec![true; graph.n()], orientation)
+}
+
+/// Size of a set given as flags.
+pub fn set_size(in_set: &[bool]) -> usize {
+    in_set.iter().filter(|&&b| b).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use local_sim::checkers;
+    use local_sim::trees;
+
+    #[test]
+    fn greedy_mis_valid() {
+        for seed in 0..3 {
+            let g = trees::random_tree(50, 4, seed).unwrap();
+            let mis = greedy_mis(&g, None);
+            checkers::check_mis(&g, &mis).unwrap();
+        }
+    }
+
+    #[test]
+    fn greedy_mis_respects_order() {
+        let g = trees::path(3).unwrap();
+        let a = greedy_mis(&g, Some(&[1, 0, 2]));
+        assert_eq!(a, vec![false, true, false]);
+        let b = greedy_mis(&g, Some(&[0, 1, 2]));
+        assert_eq!(b, vec![true, false, true]);
+    }
+
+    #[test]
+    fn greedy_dominating_is_mis() {
+        let g = trees::random_tree(50, 5, 1).unwrap();
+        let ds = greedy_dominating_set(&g);
+        checkers::check_mis(&g, &ds).unwrap();
+    }
+
+    #[test]
+    fn all_nodes_kods_valid() {
+        let g = trees::complete_regular_tree(4, 3).unwrap();
+        let (in_set, orientation) = all_nodes_kods(&g);
+        checkers::check_k_outdegree_domset(&g, &in_set, &orientation, 1).unwrap();
+        assert_eq!(set_size(&in_set), g.n());
+    }
+}

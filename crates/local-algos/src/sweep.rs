@@ -1,0 +1,160 @@
+//! The greedy class sweep (paper §1.1).
+//!
+//! Given a partition of the nodes into `c` classes (a proper or defective
+//! coloring), iterate over the classes; when a class is processed, every
+//! node of that class that does not yet have a neighbor in the set `S`
+//! joins `S`. The paper's observation: starting from a k-defective
+//! (k-arbdefective) coloring this produces a k-degree (k-outdegree)
+//! dominating set, in `O(#classes)` rounds; from a proper coloring it
+//! produces an MIS.
+
+use local_sim::error::Result;
+use local_sim::runner::{run, NodeInfo, RunConfig, Status, SyncAlgorithm};
+use local_sim::Graph;
+use rand::rngs::StdRng;
+
+/// Per-node input: the node's class and the total number of classes.
+#[derive(Debug, Clone)]
+pub struct SweepInput {
+    /// The node's class (color).
+    pub class: usize,
+    /// Total number of classes.
+    pub num_classes: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SweepState {
+    Undecided,
+    PendingAnnounce,
+    Out,
+}
+
+/// The class-sweep algorithm. Message: `true` iff the sender has joined `S`.
+#[derive(Debug)]
+pub struct ClassSweep {
+    class: usize,
+    num_classes: usize,
+    state: SweepState,
+    round: usize,
+}
+
+impl SyncAlgorithm for ClassSweep {
+    type Input = SweepInput;
+    type Message = bool;
+    type Output = bool;
+
+    fn init(_info: &NodeInfo, input: &SweepInput, _rng: &mut StdRng) -> Self {
+        ClassSweep {
+            class: input.class,
+            num_classes: input.num_classes,
+            state: SweepState::Undecided,
+            round: 0,
+        }
+    }
+
+    fn send(&mut self, info: &NodeInfo) -> Vec<bool> {
+        vec![self.state == SweepState::PendingAnnounce; info.degree]
+    }
+
+    fn receive(
+        &mut self,
+        _info: &NodeInfo,
+        incoming: Vec<Option<bool>>,
+        _rng: &mut StdRng,
+    ) -> Status<bool> {
+        if self.state == SweepState::PendingAnnounce {
+            // Joined last round and just announced it.
+            return Status::Done(true);
+        }
+        let dominated = incoming.contains(&Some(true));
+        if dominated {
+            self.state = SweepState::Out;
+            return Status::Done(false);
+        }
+        if self.round == self.class {
+            // My class's turn and nobody dominates me: join, announce next
+            // round.
+            self.state = SweepState::PendingAnnounce;
+        } else if self.round >= self.num_classes {
+            // All classes processed; I stayed out (dominated earlier — or a
+            // boundary case where my domination message raced my class).
+            return Status::Done(false);
+        }
+        self.round += 1;
+        Status::Continue
+    }
+}
+
+/// Runs the class sweep; returns the selected set and the exact round
+/// count (`≤ num_classes + 2`).
+///
+/// # Errors
+///
+/// Propagates simulation errors; `classes` must be `< num_classes`.
+pub fn class_sweep(
+    graph: &Graph,
+    classes: &[usize],
+    num_classes: usize,
+    seed: u64,
+) -> Result<(Vec<bool>, usize)> {
+    if classes.iter().any(|&c| c >= num_classes) {
+        return Err(local_sim::SimError::InvalidParameter {
+            message: "class index out of range".into(),
+        });
+    }
+    let inputs: Vec<SweepInput> = classes
+        .iter()
+        .map(|&class| SweepInput { class, num_classes })
+        .collect();
+    let config = RunConfig::port_numbering(seed, num_classes + 4);
+    let report = run::<ClassSweep>(graph, &inputs, &config)?;
+    Ok((report.outputs, report.rounds))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use local_sim::checkers;
+    use local_sim::trees;
+
+    #[test]
+    fn sweep_on_proper_coloring_gives_mis() {
+        let g = trees::path(7).unwrap();
+        let classes: Vec<usize> = (0..7).map(|v| v % 2).collect();
+        let (in_set, rounds) = class_sweep(&g, &classes, 2, 0).unwrap();
+        checkers::check_mis(&g, &in_set).unwrap();
+        assert!(rounds <= 4);
+    }
+
+    #[test]
+    fn sweep_gives_dominating_set_on_any_partition() {
+        // Even a single class (everyone joins) dominates.
+        let g = trees::complete_regular_tree(3, 3).unwrap();
+        let classes = vec![0usize; g.n()];
+        let (in_set, _) = class_sweep(&g, &classes, 1, 0).unwrap();
+        checkers::check_dominating_set(&g, &in_set).unwrap();
+        assert!(in_set.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn sweep_on_tree_with_proper_coloring() {
+        for seed in 0..3 {
+            let g = trees::random_tree(60, 4, seed).unwrap();
+            let rep = crate::linial::linial_coloring(&g, seed).unwrap();
+            let (in_set, rounds) =
+                class_sweep(&g, &rep.colors, rep.num_colors, seed).unwrap();
+            checkers::check_mis(&g, &in_set).unwrap();
+            assert!(rounds <= rep.num_colors + 2);
+        }
+    }
+
+    #[test]
+    fn round_count_tracks_used_classes() {
+        // All nodes in class 0 of 50 declared classes: everyone decides in
+        // the first rounds; the runner stops as soon as all have halted.
+        let g = trees::star(4).unwrap();
+        let classes = vec![0usize; g.n()];
+        let (_, rounds) = class_sweep(&g, &classes, 50, 0).unwrap();
+        assert!(rounds <= 4, "rounds = {rounds}");
+    }
+}

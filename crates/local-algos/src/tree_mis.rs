@@ -1,0 +1,444 @@
+//! Deterministic MIS on trees via H-partitions (Barenboim–Elkin style).
+//!
+//! Barenboim and Elkin \[Distributed Computing '10\] showed that graphs of
+//! bounded arboricity — in particular trees — admit deterministic MIS
+//! algorithms whose round complexity does not depend on Δ. The engine is
+//! the *H-partition*: repeatedly peel all nodes of (remaining) degree ≤ 2;
+//! on a forest at least a third of the nodes peel per iteration, so
+//! `O(log n)` layers suffice, and by construction every node has at most 2
+//! neighbors in its own or higher layers.
+//!
+//! This module implements the simple variant:
+//!
+//! 1. [`h_partition`] — distributed peeling, one round per layer;
+//! 2. [`layered_mis`] — process layers from highest to lowest; within a
+//!    layer the undecided nodes induce a subgraph of maximum degree ≤ 2,
+//!    which is 3-colored by iterated Linial reduction at degree 2
+//!    (`O(log* n)` rounds plus a constant-length shift-down) and swept
+//!    greedily.
+//!
+//! Total: `O(log n · (log* n + K))` rounds for a constant `K` — slower
+//! than Barenboim–Elkin's optimized `O(log n / log log n)` but with the
+//! same headline property: **no Δ dependence**, making it the §1.1
+//! counterpoint to the `O(Δ + log* n)`-type algorithms on high-degree
+//! trees (paper §1.3 discusses exactly this trade-off).
+
+use crate::linial::{linial_prime, palette_schedule, poly_eval};
+use local_sim::error::{Result, SimError};
+use local_sim::runner::{run, NodeInfo, RunConfig, Status, SyncAlgorithm};
+use local_sim::Graph;
+use rand::rngs::StdRng;
+
+/// The outcome of [`h_partition`].
+#[derive(Debug, Clone)]
+pub struct HPartition {
+    /// `layers[v]` is the peeling iteration at which `v` left the graph.
+    pub layers: Vec<usize>,
+    /// `max(layers) + 1`.
+    pub num_layers: usize,
+    /// Rounds used (one per layer).
+    pub rounds: usize,
+}
+
+/// Distributed peeling: one round per iteration.
+#[derive(Debug)]
+struct Peel {
+    round: usize,
+}
+
+impl SyncAlgorithm for Peel {
+    type Input = ();
+    type Message = ();
+    type Output = usize;
+
+    fn init(_info: &NodeInfo, _input: &(), _rng: &mut StdRng) -> Self {
+        Peel { round: 0 }
+    }
+
+    fn send(&mut self, info: &NodeInfo) -> Vec<()> {
+        vec![(); info.degree]
+    }
+
+    fn receive(
+        &mut self,
+        _info: &NodeInfo,
+        incoming: Vec<Option<()>>,
+        _rng: &mut StdRng,
+    ) -> Status<usize> {
+        // Neighbors still running this round = not yet peeled before it.
+        let active = incoming.iter().flatten().count();
+        if active <= 2 {
+            return Status::Done(self.round);
+        }
+        self.round += 1;
+        Status::Continue
+    }
+}
+
+/// Computes the H-partition of a forest (2-degenerate peeling).
+///
+/// Works on any graph, but the `O(log n)` layer guarantee needs arboricity
+/// ≤ 1 + ε; on dense graphs the peeling may never terminate, in which case
+/// the round budget trips.
+///
+/// # Errors
+///
+/// Propagates simulation errors (including the round budget for
+/// non-degenerate inputs).
+pub fn h_partition(graph: &Graph, seed: u64) -> Result<HPartition> {
+    let budget = 4 * ((graph.n() as f64).log2().ceil() as usize + 2);
+    let config = RunConfig::port_numbering(seed, budget);
+    let inputs = vec![(); graph.n()];
+    let report = run::<Peel>(graph, &inputs, &config)?;
+    let num_layers = report.outputs.iter().copied().max().unwrap_or(0) + 1;
+    Ok(HPartition { layers: report.outputs, num_layers, rounds: report.rounds })
+}
+
+/// Checks the defining property of an H-partition: every node has at most
+/// 2 neighbors in its own or higher layers.
+pub fn check_h_partition(graph: &Graph, layers: &[usize]) -> bool {
+    (0..graph.n()).all(|v| {
+        let up = graph.neighbors(v).filter(|&u| layers[u] >= layers[v]).count();
+        up <= 2
+    })
+}
+
+/// Per-node input of the layered sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct LayerInput {
+    /// The node's H-partition layer.
+    pub layer: usize,
+    /// Total number of layers.
+    pub num_layers: usize,
+}
+
+/// Messages of the layered sweep: full state each round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayeredMsg {
+    /// Whether the sender has joined the MIS.
+    in_s: bool,
+    /// Whether the sender participates in the current layer block.
+    participating: bool,
+    /// The sender's current within-layer color.
+    color: u64,
+}
+
+impl local_sim::congest::MessageSize for LayeredMsg {
+    fn size_bits(&self) -> usize {
+        // Two flags plus the color, which is an id (≤ n³) initially and a
+        // small palette value later; we charge the conservative 64 bits.
+        2 + 64
+    }
+}
+
+/// The layered MIS sweep over an H-partition.
+///
+/// All nodes follow one global schedule of `num_layers` blocks of equal
+/// length `B = (reduction rounds) + (K − 3) + 3`, processing layers from
+/// highest to lowest; see the module docs for the invariants.
+#[derive(Debug)]
+pub struct LayeredSweep {
+    layer: usize,
+    num_layers: usize,
+    in_s: Option<bool>,
+    color: u64,
+    participating: bool,
+    /// Palette schedule of the degree-2 Linial reduction.
+    schedule: Vec<u64>,
+    /// Final palette size `K`.
+    k: u64,
+    /// Absolute round counter.
+    round: usize,
+}
+
+impl LayeredSweep {
+    fn block_len(&self) -> usize {
+        // One participation-announcement round, then reduction rounds,
+        // shift-down of classes K−1 … 3, and 3 sweep rounds.
+        1 + (self.schedule.len() - 1) + (self.k as usize - 3) + 3
+    }
+}
+
+impl SyncAlgorithm for LayeredSweep {
+    type Input = LayerInput;
+    type Message = LayeredMsg;
+    type Output = bool;
+
+    fn init(info: &NodeInfo, input: &LayerInput, _rng: &mut StdRng) -> Self {
+        let n = info.n as u64;
+        let schedule = palette_schedule(n.pow(3) + 1, 2);
+        let k = *schedule.last().expect("non-empty schedule");
+        LayeredSweep {
+            layer: input.layer,
+            num_layers: input.num_layers,
+            in_s: None,
+            color: info.id.expect("layered MIS runs in the LOCAL model"),
+            participating: false,
+            schedule,
+            k: k.max(3),
+            round: 0,
+        }
+    }
+
+    fn send(&mut self, info: &NodeInfo) -> Vec<LayeredMsg> {
+        let msg = LayeredMsg {
+            in_s: self.in_s == Some(true),
+            participating: self.participating,
+            color: self.color,
+        };
+        vec![msg; info.degree]
+    }
+
+    fn receive(
+        &mut self,
+        _info: &NodeInfo,
+        incoming: Vec<Option<LayeredMsg>>,
+        _rng: &mut StdRng,
+    ) -> Status<bool> {
+        let b = self.block_len();
+        let block = self.round / b;
+        let pos = self.round % b;
+        let processed_layer = self.num_layers - 1 - block;
+        let reduction_rounds = self.schedule.len() - 1;
+
+        let s_neighbor = incoming.iter().flatten().any(|m| m.in_s);
+        let peer_colors: Vec<u64> = incoming
+            .iter()
+            .flatten()
+            .filter(|m| m.participating)
+            .map(|m| m.color)
+            .collect();
+
+        if pos == 0 {
+            // Freeze this block's participants: my layer's turn, still
+            // undecided, not dominated. The updated `participating` flag
+            // goes out with next round's messages, so the reduction steps
+            // below see exactly the frozen participant set.
+            self.participating =
+                self.layer == processed_layer && self.in_s.is_none() && !s_neighbor;
+            if self.layer == processed_layer && self.in_s.is_none() && s_neighbor {
+                self.in_s = Some(false);
+            }
+        } else if self.participating {
+            if pos - 1 < reduction_rounds {
+                // One Linial reduction step at degree 2: peers are my
+                // participating (same-layer, ≤ 2) neighbors.
+                let m = self.schedule[pos - 1];
+                let q = linial_prime(m, 2);
+                let e = (0..q)
+                    .find(|&e| {
+                        let mine = poly_eval(self.color, q, e);
+                        peer_colors.iter().all(|&c| poly_eval(c, q, e) != mine)
+                    })
+                    .expect("q > (d-1)*2 guarantees an evaluation point");
+                self.color = e * q + poly_eval(self.color, q, e);
+            } else if pos - 1 < reduction_rounds + (self.k as usize - 3) {
+                // Shift-down of class K−1−(pos−1−reduction_rounds).
+                let class = self.k - 1 - (pos - 1 - reduction_rounds) as u64;
+                if self.color == class {
+                    self.color = (0u64..3)
+                        .find(|c| !peer_colors.contains(c))
+                        .expect("degree <= 2 leaves a free color among {0,1,2}");
+                }
+            } else {
+                // Sweep rounds: class `pos − 1 − reduction − (K−3)` joins
+                // if undominated.
+                let class = (pos - 1 - reduction_rounds - (self.k as usize - 3)) as u64;
+                if self.color == class && self.in_s.is_none() {
+                    if s_neighbor {
+                        self.in_s = Some(false);
+                    } else {
+                        self.in_s = Some(true);
+                    }
+                    self.participating = false;
+                }
+                if pos + 1 == b && self.in_s.is_none() {
+                    // Defensive: participants always decide within their
+                    // block (colors are < K and within {0,1,2} by now).
+                    self.in_s = Some(false);
+                }
+            }
+        }
+
+        self.round += 1;
+        if self.round == self.num_layers * b {
+            return Status::Done(self.in_s == Some(true));
+        }
+        Status::Continue
+    }
+}
+
+/// Round counts of the two phases of [`tree_mis`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeMisRounds {
+    /// H-partition peeling rounds (= number of layers).
+    pub h_partition: usize,
+    /// Layered sweep rounds (`num_layers × block length`).
+    pub layered: usize,
+}
+
+impl TreeMisRounds {
+    /// Total rounds across both phases.
+    pub fn total(&self) -> usize {
+        self.h_partition + self.layered
+    }
+}
+
+/// The outcome of [`tree_mis`].
+#[derive(Debug, Clone)]
+pub struct TreeMisReport {
+    /// MIS membership per node.
+    pub in_set: Vec<bool>,
+    /// The H-partition used.
+    pub layers: Vec<usize>,
+    /// Number of layers.
+    pub num_layers: usize,
+    /// Per-phase round counts.
+    pub rounds: TreeMisRounds,
+}
+
+/// Runs the layered sweep on a precomputed H-partition.
+///
+/// # Errors
+///
+/// Propagates simulation errors; `layers` must come from a valid
+/// H-partition of `graph` (see [`check_h_partition`]).
+pub fn layered_mis(graph: &Graph, partition: &HPartition, seed: u64) -> Result<(Vec<bool>, usize)> {
+    if !check_h_partition(graph, &partition.layers) {
+        return Err(SimError::InvalidParameter {
+            message: "layers do not form an H-partition (some node has > 2 up-neighbors)".into(),
+        });
+    }
+    let inputs: Vec<LayerInput> = partition
+        .layers
+        .iter()
+        .map(|&layer| LayerInput { layer, num_layers: partition.num_layers })
+        .collect();
+    let n = graph.n() as u64;
+    let schedule = palette_schedule(n.pow(3) + 1, 2);
+    let k = (*schedule.last().expect("non-empty")).max(3) as usize;
+    let block = 1 + (schedule.len() - 1) + (k - 3) + 3;
+    let budget = partition.num_layers * block + 4;
+    let config = RunConfig::local(graph, seed, budget);
+    let report = run::<LayeredSweep>(graph, &inputs, &config)?;
+    Ok((report.outputs, report.rounds))
+}
+
+/// Deterministic MIS on a tree/forest with no Δ dependence: H-partition
+/// peeling followed by the layered degree-2 sweep.
+///
+/// # Errors
+///
+/// Propagates simulation errors from either phase.
+pub fn tree_mis(graph: &Graph, seed: u64) -> Result<TreeMisReport> {
+    let partition = h_partition(graph, seed)?;
+    let (in_set, layered_rounds) = layered_mis(graph, &partition, seed)?;
+    Ok(TreeMisReport {
+        in_set,
+        num_layers: partition.num_layers,
+        layers: partition.layers,
+        rounds: TreeMisRounds { h_partition: partition.rounds, layered: layered_rounds },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use local_sim::checkers::check_mis;
+    use local_sim::trees;
+
+    #[test]
+    fn h_partition_on_paths_is_single_layer() {
+        let g = trees::path(20).unwrap();
+        let hp = h_partition(&g, 0).unwrap();
+        assert_eq!(hp.num_layers, 1);
+        assert!(hp.layers.iter().all(|&l| l == 0));
+        assert!(check_h_partition(&g, &hp.layers));
+    }
+
+    #[test]
+    fn h_partition_layers_logarithmic_on_trees() {
+        for seed in 0..3 {
+            let g = trees::random_tree(300, 8, seed).unwrap();
+            let hp = h_partition(&g, seed).unwrap();
+            assert!(check_h_partition(&g, &hp.layers));
+            // Peeling removes ≥ 1/3 of a forest per round.
+            let cap = ((300f64).ln() / (1.5f64).ln()).ceil() as usize + 1;
+            assert!(hp.num_layers <= cap, "layers = {}", hp.num_layers);
+        }
+    }
+
+    #[test]
+    fn h_partition_star_two_layers() {
+        // Star with many leaves: leaves peel first, then the center.
+        let g = trees::star(10).unwrap();
+        let hp = h_partition(&g, 0).unwrap();
+        assert_eq!(hp.layers[0], 1); // center (node 0) peels second
+        assert!(hp.layers[1..].iter().all(|&l| l == 0));
+        assert!(check_h_partition(&g, &hp.layers));
+    }
+
+    #[test]
+    fn tree_mis_valid_on_regular_trees() {
+        for (delta, depth) in [(3usize, 4usize), (5, 3), (8, 2)] {
+            let g = trees::complete_regular_tree(delta, depth).unwrap();
+            let rep = tree_mis(&g, 7).unwrap();
+            check_mis(&g, &rep.in_set).unwrap();
+        }
+    }
+
+    #[test]
+    fn tree_mis_valid_on_random_trees() {
+        for seed in 0..4 {
+            let g = trees::random_tree(150, 10, seed).unwrap();
+            let rep = tree_mis(&g, seed).unwrap();
+            check_mis(&g, &rep.in_set).unwrap();
+        }
+    }
+
+    #[test]
+    fn tree_mis_valid_on_paths_and_stars() {
+        let p = trees::path(40).unwrap();
+        let rep = tree_mis(&p, 1).unwrap();
+        check_mis(&p, &rep.in_set).unwrap();
+
+        let s = trees::star(25).unwrap();
+        let rep = tree_mis(&s, 1).unwrap();
+        check_mis(&s, &rep.in_set).unwrap();
+        // Star MIS: either the center alone dominates or all leaves join.
+        assert!(rep.in_set[0] != rep.in_set[1]);
+    }
+
+    #[test]
+    fn rounds_independent_of_delta() {
+        // Same n, very different Δ: round counts should be comparable
+        // (driven by #layers, not degree).
+        let narrow = trees::complete_regular_tree(3, 5).unwrap(); // n = 94
+        let wide = trees::star(93).unwrap(); // n = 94, Δ = 93
+        let a = tree_mis(&narrow, 3).unwrap();
+        let b = tree_mis(&wide, 3).unwrap();
+        check_mis(&narrow, &a.in_set).unwrap();
+        check_mis(&wide, &b.in_set).unwrap();
+        // The wide tree has *fewer* layers; its rounds must not blow up
+        // with Δ.
+        assert!(b.rounds.total() <= a.rounds.total() + 5);
+    }
+
+    #[test]
+    fn layered_mis_rejects_bogus_partition() {
+        let g = trees::star(6).unwrap();
+        // All nodes in one layer: center has 6 up-neighbors.
+        let bogus =
+            HPartition { layers: vec![0; g.n()], num_layers: 1, rounds: 1 };
+        assert!(layered_mis(&g, &bogus, 0).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = trees::random_tree(80, 6, 2).unwrap();
+        let a = tree_mis(&g, 5).unwrap();
+        let b = tree_mis(&g, 5).unwrap();
+        assert_eq!(a.in_set, b.in_set);
+        assert_eq!(a.rounds, b.rounds);
+    }
+}

@@ -1,0 +1,508 @@
+//! Validity checkers for the solution concepts of the paper.
+//!
+//! Every checker returns `Ok(())` or a structured [`Violation`] naming the
+//! offending node or edge — the test suites and benches rely on these as the
+//! ground truth for every algorithm and transform in the workspace.
+
+use crate::graph::{Graph, NodeId, Orientation};
+
+/// A reason a candidate solution is invalid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Violation {
+    /// Two adjacent nodes are both in the set.
+    AdjacentPair {
+        /// One endpoint.
+        u: NodeId,
+        /// The other endpoint.
+        v: NodeId,
+    },
+    /// A node outside the set has no neighbor inside it.
+    NotDominated {
+        /// The undominated node.
+        node: NodeId,
+    },
+    /// A node exceeds a degree bound.
+    DegreeBound {
+        /// The offending node.
+        node: NodeId,
+        /// Its measured (out-)degree.
+        found: usize,
+        /// The allowed bound.
+        bound: usize,
+    },
+    /// An edge inside the set is not oriented.
+    UnorientedEdge {
+        /// The offending edge id.
+        edge: usize,
+    },
+    /// Two adjacent nodes share a color.
+    ColorConflict {
+        /// One endpoint.
+        u: NodeId,
+        /// The other endpoint.
+        v: NodeId,
+        /// The shared color.
+        color: usize,
+    },
+    /// A supplied vector has the wrong length.
+    ShapeMismatch {
+        /// Description of the mismatch.
+        message: String,
+    },
+    /// A matching touches a node twice.
+    MatchingOverlap {
+        /// The node covered twice.
+        node: NodeId,
+    },
+    /// A matching is not maximal: this edge could be added.
+    MatchingNotMaximal {
+        /// The addable edge.
+        edge: usize,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::AdjacentPair { u, v } => write!(f, "adjacent nodes {u} and {v} both selected"),
+            Violation::NotDominated { node } => write!(f, "node {node} is not dominated"),
+            Violation::DegreeBound { node, found, bound } => {
+                write!(f, "node {node} has (out-)degree {found} > bound {bound}")
+            }
+            Violation::UnorientedEdge { edge } => write!(f, "edge {edge} inside the set is unoriented"),
+            Violation::ColorConflict { u, v, color } => {
+                write!(f, "adjacent nodes {u} and {v} share color {color}")
+            }
+            Violation::ShapeMismatch { message } => write!(f, "shape mismatch: {message}"),
+            Violation::MatchingOverlap { node } => write!(f, "node {node} covered twice by matching"),
+            Violation::MatchingNotMaximal { edge } => {
+                write!(f, "matching not maximal: edge {edge} addable")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Violation {}
+
+fn check_shape(graph: &Graph, len: usize, what: &str) -> Result<(), Violation> {
+    if len != graph.n() {
+        return Err(Violation::ShapeMismatch {
+            message: format!("{what}: {len} entries for {} nodes", graph.n()),
+        });
+    }
+    Ok(())
+}
+
+/// Checks that `in_set` is an independent set.
+pub fn check_independent_set(graph: &Graph, in_set: &[bool]) -> Result<(), Violation> {
+    check_shape(graph, in_set.len(), "independent set")?;
+    for &(u, v) in graph.edges() {
+        if in_set[u] && in_set[v] {
+            return Err(Violation::AdjacentPair { u, v });
+        }
+    }
+    Ok(())
+}
+
+/// Checks that `in_set` is a dominating set: every node outside has a
+/// neighbor inside. (Note the paper's MIS phrasing: nodes *in* the set are
+/// allowed, of course.)
+pub fn check_dominating_set(graph: &Graph, in_set: &[bool]) -> Result<(), Violation> {
+    check_shape(graph, in_set.len(), "dominating set")?;
+    for v in 0..graph.n() {
+        if !in_set[v] && !graph.neighbors(v).any(|u| in_set[u]) {
+            return Err(Violation::NotDominated { node: v });
+        }
+    }
+    Ok(())
+}
+
+/// Checks that `in_set` is a maximal independent set: independent and
+/// dominating.
+pub fn check_mis(graph: &Graph, in_set: &[bool]) -> Result<(), Violation> {
+    check_independent_set(graph, in_set)?;
+    check_dominating_set(graph, in_set)
+}
+
+/// Checks that `in_set` is a *k-degree dominating set* (paper §1): a
+/// dominating set whose induced subgraph has maximum degree ≤ k.
+pub fn check_k_degree_domset(graph: &Graph, in_set: &[bool], k: usize) -> Result<(), Violation> {
+    check_dominating_set(graph, in_set)?;
+    for v in 0..graph.n() {
+        if !in_set[v] {
+            continue;
+        }
+        let induced = graph.neighbors(v).filter(|&u| in_set[u]).count();
+        if induced > k {
+            return Err(Violation::DegreeBound { node: v, found: induced, bound: k });
+        }
+    }
+    Ok(())
+}
+
+/// Checks that `(in_set, orientation)` is a *k-outdegree dominating set*
+/// (paper §1): a dominating set together with an orientation of the edges of
+/// its induced subgraph in which every member has outdegree ≤ k.
+pub fn check_k_outdegree_domset(
+    graph: &Graph,
+    in_set: &[bool],
+    orientation: &Orientation,
+    k: usize,
+) -> Result<(), Violation> {
+    check_dominating_set(graph, in_set)?;
+    if orientation.len() != graph.m() {
+        return Err(Violation::ShapeMismatch {
+            message: format!("orientation covers {} of {} edges", orientation.len(), graph.m()),
+        });
+    }
+    // Every induced edge must be oriented.
+    for (e, &(u, v)) in graph.edges().iter().enumerate() {
+        if in_set[u] && in_set[v] && orientation.dir(e).is_none() {
+            return Err(Violation::UnorientedEdge { edge: e });
+        }
+    }
+    for v in 0..graph.n() {
+        if !in_set[v] {
+            continue;
+        }
+        let out = orientation.out_degree_filtered(graph, v, |u| in_set[u]);
+        if out > k {
+            return Err(Violation::DegreeBound { node: v, found: out, bound: k });
+        }
+    }
+    Ok(())
+}
+
+/// Checks a proper node coloring.
+pub fn check_proper_coloring(graph: &Graph, colors: &[usize]) -> Result<(), Violation> {
+    check_shape(graph, colors.len(), "coloring")?;
+    for &(u, v) in graph.edges() {
+        if colors[u] == colors[v] {
+            return Err(Violation::ColorConflict { u, v, color: colors[u] });
+        }
+    }
+    Ok(())
+}
+
+/// Checks a *k-defective coloring* (paper §1.1): each color class induces a
+/// subgraph of maximum degree ≤ k.
+pub fn check_defective_coloring(graph: &Graph, colors: &[usize], k: usize) -> Result<(), Violation> {
+    check_shape(graph, colors.len(), "defective coloring")?;
+    for v in 0..graph.n() {
+        let same = graph.neighbors(v).filter(|&u| colors[u] == colors[v]).count();
+        if same > k {
+            return Err(Violation::DegreeBound { node: v, found: same, bound: k });
+        }
+    }
+    Ok(())
+}
+
+/// Checks a *k-arbdefective coloring* (paper §1.1): colors plus an
+/// orientation of the monochromatic edges under which every node has
+/// outdegree ≤ k within its color class.
+pub fn check_arbdefective_coloring(
+    graph: &Graph,
+    colors: &[usize],
+    orientation: &Orientation,
+    k: usize,
+) -> Result<(), Violation> {
+    check_shape(graph, colors.len(), "arbdefective coloring")?;
+    if orientation.len() != graph.m() {
+        return Err(Violation::ShapeMismatch {
+            message: format!("orientation covers {} of {} edges", orientation.len(), graph.m()),
+        });
+    }
+    for (e, &(u, v)) in graph.edges().iter().enumerate() {
+        if colors[u] == colors[v] && orientation.dir(e).is_none() {
+            return Err(Violation::UnorientedEdge { edge: e });
+        }
+    }
+    for v in 0..graph.n() {
+        let out = orientation.out_degree_filtered(graph, v, |u| colors[u] == colors[v]);
+        if out > k {
+            return Err(Violation::DegreeBound { node: v, found: out, bound: k });
+        }
+    }
+    Ok(())
+}
+
+/// Checks that `in_set` is an `(α, β)`-ruling set (paper §1): members are
+/// pairwise at distance ≥ α, and every node is within distance β of a
+/// member.
+pub fn check_ruling_set(
+    graph: &Graph,
+    in_set: &[bool],
+    alpha: usize,
+    beta: usize,
+) -> Result<(), Violation> {
+    check_shape(graph, in_set.len(), "ruling set")?;
+    // Multi-source BFS from the members gives the distance-to-set.
+    let mut dist = vec![usize::MAX; graph.n()];
+    let mut queue = std::collections::VecDeque::new();
+    for v in 0..graph.n() {
+        if in_set[v] {
+            dist[v] = 0;
+            queue.push_back(v);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        for t in graph.ports(u) {
+            if dist[t.node] == usize::MAX {
+                dist[t.node] = dist[u] + 1;
+                queue.push_back(t.node);
+            }
+        }
+    }
+    for (v, &d) in dist.iter().enumerate() {
+        if d > beta {
+            return Err(Violation::NotDominated { node: v });
+        }
+    }
+    // Pairwise distance ≥ α: BFS to depth α−1 from each member must not
+    // reach another member.
+    for v in 0..graph.n() {
+        if !in_set[v] {
+            continue;
+        }
+        let mut d = vec![usize::MAX; graph.n()];
+        d[v] = 0;
+        let mut queue = std::collections::VecDeque::from([v]);
+        while let Some(u) = queue.pop_front() {
+            if d[u] + 1 >= alpha {
+                continue;
+            }
+            for t in graph.ports(u) {
+                if d[t.node] == usize::MAX {
+                    d[t.node] = d[u] + 1;
+                    if in_set[t.node] {
+                        return Err(Violation::AdjacentPair { u: v, v: t.node });
+                    }
+                    queue.push_back(t.node);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks that `in_matching` is a maximal *b-matching* (paper §1): no node
+/// is covered by more than `b` matching edges, and no further edge can be
+/// added (every non-matching edge has a saturated endpoint).
+pub fn check_maximal_b_matching(
+    graph: &Graph,
+    in_matching: &[bool],
+    b: usize,
+) -> Result<(), Violation> {
+    if in_matching.len() != graph.m() {
+        return Err(Violation::ShapeMismatch {
+            message: format!("{} flags for {} edges", in_matching.len(), graph.m()),
+        });
+    }
+    let mut load = vec![0usize; graph.n()];
+    for (e, &(u, v)) in graph.edges().iter().enumerate() {
+        if in_matching[e] {
+            load[u] += 1;
+            load[v] += 1;
+        }
+    }
+    for (v, &l) in load.iter().enumerate() {
+        if l > b {
+            return Err(Violation::DegreeBound { node: v, found: l, bound: b });
+        }
+    }
+    for (e, &(u, v)) in graph.edges().iter().enumerate() {
+        if !in_matching[e] && load[u] < b && load[v] < b {
+            return Err(Violation::MatchingNotMaximal { edge: e });
+        }
+    }
+    Ok(())
+}
+
+/// Checks that `in_matching` (per-edge flags) is a maximal matching.
+pub fn check_maximal_matching(graph: &Graph, in_matching: &[bool]) -> Result<(), Violation> {
+    if in_matching.len() != graph.m() {
+        return Err(Violation::ShapeMismatch {
+            message: format!("{} flags for {} edges", in_matching.len(), graph.m()),
+        });
+    }
+    let mut covered = vec![false; graph.n()];
+    for (e, &(u, v)) in graph.edges().iter().enumerate() {
+        if in_matching[e] {
+            if covered[u] {
+                return Err(Violation::MatchingOverlap { node: u });
+            }
+            if covered[v] {
+                return Err(Violation::MatchingOverlap { node: v });
+            }
+            covered[u] = true;
+            covered[v] = true;
+        }
+    }
+    for (e, &(u, v)) in graph.edges().iter().enumerate() {
+        if !covered[u] && !covered[v] {
+            return Err(Violation::MatchingNotMaximal { edge: e });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::EdgeDir;
+    use crate::trees;
+
+    #[test]
+    fn mis_on_path() {
+        let g = trees::path(5).unwrap();
+        assert!(check_mis(&g, &[true, false, true, false, true]).is_ok());
+        // Not maximal: middle node undominated.
+        assert!(matches!(
+            check_mis(&g, &[true, false, false, false, true]),
+            Err(Violation::NotDominated { node: 2 })
+        ));
+        // Not independent.
+        assert!(matches!(
+            check_mis(&g, &[true, true, false, false, true]),
+            Err(Violation::AdjacentPair { u: 0, v: 1 })
+        ));
+    }
+
+    #[test]
+    fn k_degree_domset() {
+        let g = trees::star(4).unwrap();
+        // All nodes: center has induced degree 4 > 1.
+        let all = vec![true; 5];
+        assert!(matches!(
+            check_k_degree_domset(&g, &all, 1),
+            Err(Violation::DegreeBound { node: 0, found: 4, bound: 1 })
+        ));
+        assert!(check_k_degree_domset(&g, &all, 4).is_ok());
+        // Just the center: a 0-degree dominating set (an MIS, in fact).
+        let center = vec![true, false, false, false, false];
+        assert!(check_k_degree_domset(&g, &center, 0).is_ok());
+    }
+
+    #[test]
+    fn k_outdegree_domset() {
+        let g = trees::path(3).unwrap();
+        let all = vec![true; 3];
+        let mut o = Orientation::unoriented(g.m());
+        // Unoriented induced edges rejected.
+        assert!(matches!(
+            check_k_outdegree_domset(&g, &all, &o, 1),
+            Err(Violation::UnorientedEdge { .. })
+        ));
+        // Orient both edges out of node 1: outdegree 2.
+        o.orient_out_of(&g, 0, 1);
+        o.orient_out_of(&g, 1, 1);
+        assert!(matches!(
+            check_k_outdegree_domset(&g, &all, &o, 1),
+            Err(Violation::DegreeBound { node: 1, found: 2, bound: 1 })
+        ));
+        assert!(check_k_outdegree_domset(&g, &all, &o, 2).is_ok());
+        // Re-orient edge (1,2) out of 2: now everyone has outdegree <= 1.
+        let mut o2 = Orientation::unoriented(g.m());
+        o2.orient_out_of(&g, 0, 1);
+        o2.orient_out_of(&g, 1, 2);
+        assert!(check_k_outdegree_domset(&g, &all, &o2, 1).is_ok());
+    }
+
+    #[test]
+    fn colorings() {
+        let g = trees::path(4).unwrap();
+        assert!(check_proper_coloring(&g, &[0, 1, 0, 1]).is_ok());
+        assert!(matches!(
+            check_proper_coloring(&g, &[0, 0, 1, 0]),
+            Err(Violation::ColorConflict { u: 0, v: 1, color: 0 })
+        ));
+        // Monochromatic path: defect 2 at internal nodes.
+        assert!(check_defective_coloring(&g, &[0, 0, 0, 0], 2).is_ok());
+        assert!(matches!(
+            check_defective_coloring(&g, &[0, 0, 0, 0], 1),
+            Err(Violation::DegreeBound { .. })
+        ));
+    }
+
+    #[test]
+    fn arbdefective() {
+        let g = trees::path(3).unwrap();
+        let colors = vec![0, 0, 0];
+        let mut o = Orientation::unoriented(g.m());
+        o.orient_out_of(&g, 0, 0); // 0 -> 1
+        o.orient_out_of(&g, 1, 1); // 1 -> 2
+        assert!(check_arbdefective_coloring(&g, &colors, &o, 1).is_ok());
+        assert!(check_arbdefective_coloring(&g, &colors, &o, 0).is_err());
+        // Different colors need no orientation.
+        let o2 = Orientation::unoriented(g.m());
+        assert!(check_arbdefective_coloring(&g, &[0, 1, 0], &o2, 0).is_ok());
+    }
+
+    #[test]
+    fn matching() {
+        let g = trees::path(4).unwrap();
+        // Edges: (0,1), (1,2), (2,3).
+        assert!(check_maximal_matching(&g, &[true, false, true]).is_ok());
+        assert!(matches!(
+            check_maximal_matching(&g, &[true, true, false]),
+            Err(Violation::MatchingOverlap { node: 1 })
+        ));
+        assert!(matches!(
+            check_maximal_matching(&g, &[true, false, false]),
+            Err(Violation::MatchingNotMaximal { edge: 2 })
+        ));
+    }
+
+    #[test]
+    fn ruling_set_checker() {
+        let g = trees::path(7).unwrap();
+        // {0, 3, 6}: pairwise distance 3, every node within 1...
+        let s = vec![true, false, false, true, false, false, true];
+        assert!(check_ruling_set(&g, &s, 3, 2).is_ok());
+        assert!(check_ruling_set(&g, &s, 3, 1).is_ok()); // every node adjacent to a member
+        assert!(check_ruling_set(&g, &s, 4, 2).is_err()); // members at distance 3 < 4
+        // {0, 6}: node 3 is at distance 3 from both members.
+        let sparse = vec![true, false, false, false, false, false, true];
+        assert!(check_ruling_set(&g, &sparse, 2, 2).is_err());
+        assert!(check_ruling_set(&g, &sparse, 2, 3).is_ok());
+        // Empty set fails domination.
+        let empty = vec![false; 7];
+        assert!(matches!(
+            check_ruling_set(&g, &empty, 2, 3),
+            Err(Violation::NotDominated { .. })
+        ));
+        // An MIS is a (2,1)-ruling set.
+        let mis = vec![true, false, true, false, true, false, true];
+        assert!(check_ruling_set(&g, &mis, 2, 1).is_ok());
+    }
+
+    #[test]
+    fn b_matching_checker() {
+        let g = trees::star(3).unwrap();
+        // All three star edges: center load 3.
+        let all = vec![true, true, true];
+        assert!(check_maximal_b_matching(&g, &all, 3).is_ok());
+        assert!(matches!(
+            check_maximal_b_matching(&g, &all, 2),
+            Err(Violation::DegreeBound { node: 0, found: 3, bound: 2 })
+        ));
+        // Two edges with b=2: maximal (center saturated).
+        let two = vec![true, true, false];
+        assert!(check_maximal_b_matching(&g, &two, 2).is_ok());
+        // One edge with b=2: edge 1 addable -> not maximal.
+        let one = vec![true, false, false];
+        assert!(matches!(
+            check_maximal_b_matching(&g, &one, 2),
+            Err(Violation::MatchingNotMaximal { .. })
+        ));
+    }
+
+    #[test]
+    fn orientation_none_dir() {
+        let _g = trees::path(3).unwrap();
+        let o = Orientation::new(vec![Some(EdgeDir::Forward), None]);
+        assert_eq!(o.dir(0), Some(EdgeDir::Forward));
+        assert_eq!(o.dir(1), None);
+    }
+}

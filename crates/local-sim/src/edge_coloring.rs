@@ -1,0 +1,211 @@
+//! Proper edge colorings.
+//!
+//! The paper's key trick (Lemma 9) assumes a Δ-edge coloring is given as
+//! input: a coloring of the edges such that no two edges sharing an endpoint
+//! have the same color. Trees are Δ-edge-colorable (Vizing class 1), and a
+//! simple BFS construction achieves it.
+
+use crate::error::{Result, SimError};
+use crate::graph::{Graph, NodeId};
+
+/// A proper edge coloring, stored per edge id.
+///
+/// # Example
+///
+/// ```
+/// use local_sim::{trees, edge_coloring};
+///
+/// let g = trees::complete_regular_tree(3, 3).unwrap();
+/// let col = edge_coloring::tree_edge_coloring(&g).unwrap();
+/// assert_eq!(col.num_colors(), 3);
+/// assert!(edge_coloring::is_proper(&g, &col));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeColoring {
+    colors: Vec<usize>,
+    num_colors: usize,
+}
+
+impl EdgeColoring {
+    /// Creates an edge coloring from explicit per-edge colors.
+    pub fn new(colors: Vec<usize>) -> Self {
+        let num_colors = colors.iter().map(|&c| c + 1).max().unwrap_or(0);
+        EdgeColoring { colors, num_colors }
+    }
+
+    /// The color of edge `e`.
+    pub fn color(&self, e: usize) -> usize {
+        self.colors[e]
+    }
+
+    /// Number of colors used (max color + 1).
+    pub fn num_colors(&self) -> usize {
+        self.num_colors
+    }
+
+    /// Per-edge colors.
+    pub fn as_slice(&self) -> &[usize] {
+        &self.colors
+    }
+
+    /// The color of the edge at `(v, port)`.
+    pub fn color_at(&self, graph: &Graph, v: NodeId, port: usize) -> usize {
+        self.colors[graph.port_target(v, port).edge]
+    }
+
+    /// For node `v`, the port carrying color `c`, if any. In a Δ-edge-colored
+    /// Δ-regular tree, every internal node has exactly one port per color.
+    pub fn port_with_color(&self, graph: &Graph, v: NodeId, c: usize) -> Option<usize> {
+        (0..graph.degree(v)).find(|&p| self.color_at(graph, v, p) == c)
+    }
+}
+
+/// Computes a proper Δ-edge coloring of a tree by BFS: each node colors its
+/// child edges with the smallest colors distinct from its parent edge color
+/// and from each other.
+///
+/// # Errors
+///
+/// Returns [`SimError::NotATree`] for non-trees.
+pub fn tree_edge_coloring(graph: &Graph) -> Result<EdgeColoring> {
+    if graph.n() == 1 {
+        return Ok(EdgeColoring { colors: Vec::new(), num_colors: 0 });
+    }
+    let (order, parent) = graph.tree_order(0)?;
+    let mut colors = vec![usize::MAX; graph.m()];
+    for &v in &order {
+        // Color of the parent edge (if any).
+        let parent_color = if parent[v] == usize::MAX {
+            usize::MAX
+        } else {
+            let pe = graph
+                .ports(v)
+                .iter()
+                .find(|t| t.node == parent[v])
+                .expect("parent is a neighbor")
+                .edge;
+            colors[pe]
+        };
+        let mut next = 0usize;
+        for t in graph.ports(v) {
+            if t.node == parent[v] {
+                continue;
+            }
+            if next == parent_color {
+                next += 1;
+            }
+            colors[t.edge] = next;
+            next += 1;
+        }
+    }
+    debug_assert!(colors.iter().all(|&c| c != usize::MAX));
+    Ok(EdgeColoring::new(colors))
+}
+
+/// Whether `coloring` is a proper edge coloring of `graph`.
+pub fn is_proper(graph: &Graph, coloring: &EdgeColoring) -> bool {
+    for v in 0..graph.n() {
+        let mut seen = std::collections::HashSet::new();
+        for t in graph.ports(v) {
+            if !seen.insert(coloring.color(t.edge)) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// The *identified-ports* port numbering used by the paper's 0-round gadget
+/// (Lemmas 12, 15): re-derive a port numbering in which every edge of color
+/// `c` uses port `c` at **both** endpoints. Returns, per node, the
+/// permutation `perm[v][new_port] = old_port` (only total for nodes of full
+/// degree Δ).
+///
+/// # Errors
+///
+/// Fails if the coloring is not proper.
+pub fn identified_ports(graph: &Graph, coloring: &EdgeColoring) -> Result<Vec<Vec<Option<usize>>>> {
+    if !is_proper(graph, coloring) {
+        return Err(SimError::InvalidParameter {
+            message: "identified_ports requires a proper edge coloring".into(),
+        });
+    }
+    let k = coloring.num_colors();
+    let mut perm = Vec::with_capacity(graph.n());
+    for v in 0..graph.n() {
+        let mut row = vec![None; k];
+        for (p, t) in graph.ports(v).iter().enumerate() {
+            row[coloring.color(t.edge)] = Some(p);
+        }
+        perm.push(row);
+    }
+    Ok(perm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trees;
+
+    #[test]
+    fn complete_tree_uses_delta_colors() {
+        for delta in 2..6 {
+            let g = trees::complete_regular_tree(delta, 3).unwrap();
+            let col = tree_edge_coloring(&g).unwrap();
+            assert!(is_proper(&g, &col), "improper for delta={delta}");
+            assert_eq!(col.num_colors(), delta);
+        }
+    }
+
+    #[test]
+    fn random_trees_proper() {
+        for seed in 0..5 {
+            let g = trees::random_tree(60, 5, seed).unwrap();
+            let col = tree_edge_coloring(&g).unwrap();
+            assert!(is_proper(&g, &col));
+            assert!(col.num_colors() <= g.max_degree());
+        }
+    }
+
+    #[test]
+    fn single_node() {
+        let g = trees::complete_regular_tree(3, 0).unwrap();
+        let col = tree_edge_coloring(&g).unwrap();
+        assert_eq!(col.num_colors(), 0);
+    }
+
+    #[test]
+    fn color_at_and_port_with_color() {
+        let g = trees::complete_regular_tree(3, 2).unwrap();
+        let col = tree_edge_coloring(&g).unwrap();
+        for v in 0..g.n() {
+            for p in 0..g.degree(v) {
+                let c = col.color_at(&g, v, p);
+                assert_eq!(col.port_with_color(&g, v, c), Some(p));
+            }
+        }
+    }
+
+    #[test]
+    fn identified_ports_consistency() {
+        let g = trees::complete_regular_tree(3, 2).unwrap();
+        let col = tree_edge_coloring(&g).unwrap();
+        let perm = identified_ports(&g, &col).unwrap();
+        // For every edge of color c, both endpoints map new-port c to it.
+        for (e, &(u, v)) in g.edges().iter().enumerate() {
+            let c = col.color(e);
+            let pu = perm[u][c].unwrap();
+            let pv = perm[v][c].unwrap();
+            assert_eq!(g.port_target(u, pu).edge, e);
+            assert_eq!(g.port_target(v, pv).edge, e);
+        }
+    }
+
+    #[test]
+    fn improper_coloring_rejected() {
+        let g = trees::path(3).unwrap();
+        let bad = EdgeColoring::new(vec![0, 0]);
+        assert!(!is_proper(&g, &bad));
+        assert!(identified_ports(&g, &bad).is_err());
+    }
+}

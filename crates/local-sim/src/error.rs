@@ -1,0 +1,62 @@
+//! Error types for the simulator.
+
+use std::fmt;
+
+/// Errors from graph construction, input generation, or simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// An edge endpoint is out of range.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: usize,
+        /// Number of nodes in the graph.
+        n: usize,
+    },
+    /// A self-loop was supplied.
+    SelfLoop {
+        /// The node with the loop.
+        node: usize,
+    },
+    /// A duplicate edge was supplied.
+    DuplicateEdge {
+        /// First endpoint.
+        u: usize,
+        /// Second endpoint.
+        v: usize,
+    },
+    /// A parameter is outside its supported range.
+    InvalidParameter {
+        /// Description of the violated requirement.
+        message: String,
+    },
+    /// The simulation exceeded its round budget without terminating.
+    RoundLimitExceeded {
+        /// The budget that was exceeded.
+        max_rounds: usize,
+    },
+    /// An operation requiring a tree was invoked on a non-tree.
+    NotATree,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::NodeOutOfRange { node, n } => {
+                write!(f, "node {node} out of range for graph of {n} nodes")
+            }
+            SimError::SelfLoop { node } => write!(f, "self-loop at node {node}"),
+            SimError::DuplicateEdge { u, v } => write!(f, "duplicate edge ({u}, {v})"),
+            SimError::InvalidParameter { message } => write!(f, "invalid parameter: {message}"),
+            SimError::RoundLimitExceeded { max_rounds } => {
+                write!(f, "simulation did not terminate within {max_rounds} rounds")
+            }
+            SimError::NotATree => write!(f, "operation requires a tree"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, SimError>;

@@ -1,0 +1,526 @@
+//! Port-numbered graphs.
+//!
+//! In the port numbering model (paper §2.1) each node `v` privately numbers
+//! its incident edges `0..deg(v)`; an algorithm addresses neighbors only
+//! through ports. [`Graph`] stores, for every `(node, port)`, the neighbor,
+//! the *reverse port* (the port under which the neighbor sees this node) and
+//! the global edge id.
+
+use crate::error::{Result, SimError};
+use std::collections::VecDeque;
+
+/// Index of a node, in `0..n`.
+pub type NodeId = usize;
+
+/// What a port connects to: the neighbor, the reverse port, and the edge id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PortTarget {
+    /// The neighbor reached through this port.
+    pub node: NodeId,
+    /// The port under which the neighbor sees this node.
+    pub port: usize,
+    /// Global edge identifier (index into [`Graph::edges`]).
+    pub edge: usize,
+}
+
+/// An undirected simple graph with a fixed port numbering.
+///
+/// # Example
+///
+/// ```
+/// use local_sim::Graph;
+///
+/// let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+/// assert_eq!(g.degree(1), 2);
+/// assert_eq!(g.neighbor(0, 0), 1);
+/// assert!(g.is_tree());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Graph {
+    ports: Vec<Vec<PortTarget>>,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl Graph {
+    /// Builds a graph from an edge list. Ports are numbered in the order the
+    /// edges are listed (first edge mentioning a node becomes its port 0).
+    ///
+    /// # Errors
+    ///
+    /// Rejects endpoints `≥ n`, self-loops, and duplicate edges.
+    pub fn from_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Result<Self> {
+        let mut ports: Vec<Vec<PortTarget>> = vec![Vec::new(); n];
+        let mut canon: Vec<(NodeId, NodeId)> = Vec::with_capacity(edges.len());
+        let mut seen = std::collections::HashSet::new();
+        for (idx, &(u, v)) in edges.iter().enumerate() {
+            if u >= n {
+                return Err(SimError::NodeOutOfRange { node: u, n });
+            }
+            if v >= n {
+                return Err(SimError::NodeOutOfRange { node: v, n });
+            }
+            if u == v {
+                return Err(SimError::SelfLoop { node: u });
+            }
+            let key = (u.min(v), u.max(v));
+            if !seen.insert(key) {
+                return Err(SimError::DuplicateEdge { u, v });
+            }
+            canon.push(key);
+            let pu = ports[u].len();
+            let pv = ports[v].len();
+            ports[u].push(PortTarget { node: v, port: pv, edge: idx });
+            ports[v].push(PortTarget { node: u, port: pu, edge: idx });
+        }
+        Ok(Graph { ports, edges: canon })
+    }
+
+    /// Builds the cycle `0 — 1 — … — n−1 — 0` (the 2-regular graph used by
+    /// the Δ = 2 experiments: Cole–Vishkin coloring, MIS on cycles).
+    ///
+    /// By the edge-listing order, node `v ≥ 1` has port 0 toward its
+    /// predecessor `v−1` and port 1 toward `(v+1) mod n`, while node 0 has
+    /// port 0 toward node 1 and port 1 toward `n−1`.
+    ///
+    /// # Errors
+    ///
+    /// Requires `n ≥ 3` (smaller rings have duplicate edges).
+    pub fn cycle(n: usize) -> Result<Self> {
+        if n < 3 {
+            return Err(SimError::InvalidParameter {
+                message: format!("cycle needs n >= 3, got {n}"),
+            });
+        }
+        let edges: Vec<(NodeId, NodeId)> = (0..n).map(|v| (v, (v + 1) % n)).collect();
+        Self::from_edges(n, &edges)
+    }
+
+    /// The line graph `L(G)`: one node per edge of `G`, adjacent iff the
+    /// edges share an endpoint. Node `e` of the result corresponds to
+    /// `self.edges()[e]`.
+    ///
+    /// The paper's §1 uses this correspondence throughout: an MIS of
+    /// `L(G)` is a maximal matching of `G`, and b-matchings of `G` are
+    /// b-outdegree-style relaxations on `L(G)`.
+    pub fn line_graph(&self) -> Graph {
+        let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+        for v in 0..self.n() {
+            let incident: Vec<usize> = self.ports[v].iter().map(|t| t.edge).collect();
+            for i in 0..incident.len() {
+                for j in (i + 1)..incident.len() {
+                    let (a, b) = (incident[i].min(incident[j]), incident[i].max(incident[j]));
+                    edges.push((a, b));
+                }
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        Graph::from_edges(self.m(), &edges).expect("line graph edges are valid by construction")
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Number of edges.
+    pub fn m(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The canonical edge list; `edges()[e] = (u, v)` with `u < v`.
+    pub fn edges(&self) -> &[(NodeId, NodeId)] {
+        &self.edges
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.ports[v].len()
+    }
+
+    /// Maximum degree over all nodes (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.ports.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// The neighbor of `v` through port `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ≥ degree(v)`.
+    pub fn neighbor(&self, v: NodeId, p: usize) -> NodeId {
+        self.ports[v][p].node
+    }
+
+    /// Full port information for `(v, p)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ≥ degree(v)`.
+    pub fn port_target(&self, v: NodeId, p: usize) -> PortTarget {
+        self.ports[v][p]
+    }
+
+    /// All ports of `v`, in port order.
+    pub fn ports(&self, v: NodeId) -> &[PortTarget] {
+        &self.ports[v]
+    }
+
+    /// Iterates over the neighbors of `v` in port order.
+    pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.ports[v].iter().map(|t| t.node)
+    }
+
+    /// The port of `v` whose edge id is `e`, if incident.
+    pub fn port_of_edge(&self, v: NodeId, e: usize) -> Option<usize> {
+        self.ports[v].iter().position(|t| t.edge == e)
+    }
+
+    /// The other endpoint of edge `e` as seen from `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not an endpoint of `e`.
+    pub fn other_endpoint(&self, e: usize, v: NodeId) -> NodeId {
+        let (a, b) = self.edges[e];
+        if v == a {
+            b
+        } else {
+            assert_eq!(v, b, "node {v} is not an endpoint of edge {e}");
+            a
+        }
+    }
+
+    /// Whether the graph is connected (the empty graph counts as connected).
+    pub fn is_connected(&self) -> bool {
+        let n = self.n();
+        if n == 0 {
+            return true;
+        }
+        let mut seen = vec![false; n];
+        let mut queue = VecDeque::from([0usize]);
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(u) = queue.pop_front() {
+            for t in &self.ports[u] {
+                if !seen[t.node] {
+                    seen[t.node] = true;
+                    count += 1;
+                    queue.push_back(t.node);
+                }
+            }
+        }
+        count == n
+    }
+
+    /// Whether the graph is a tree (connected and `m = n − 1`).
+    pub fn is_tree(&self) -> bool {
+        self.n() > 0 && self.m() == self.n() - 1 && self.is_connected()
+    }
+
+    /// BFS distances from `root` (`usize::MAX` for unreachable nodes).
+    pub fn bfs_distances(&self, root: NodeId) -> Vec<usize> {
+        let mut dist = vec![usize::MAX; self.n()];
+        let mut queue = VecDeque::from([root]);
+        dist[root] = 0;
+        while let Some(u) = queue.pop_front() {
+            for t in &self.ports[u] {
+                if dist[t.node] == usize::MAX {
+                    dist[t.node] = dist[u] + 1;
+                    queue.push_back(t.node);
+                }
+            }
+        }
+        dist
+    }
+
+    /// A BFS ordering of the tree from `root` with each node's parent;
+    /// `parent[root] = usize::MAX`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NotATree`] if the graph is not a tree.
+    pub fn tree_order(&self, root: NodeId) -> Result<(Vec<NodeId>, Vec<NodeId>)> {
+        if !self.is_tree() {
+            return Err(SimError::NotATree);
+        }
+        let mut order = Vec::with_capacity(self.n());
+        let mut parent = vec![usize::MAX; self.n()];
+        let mut seen = vec![false; self.n()];
+        let mut queue = VecDeque::from([root]);
+        seen[root] = true;
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            for t in &self.ports[u] {
+                if !seen[t.node] {
+                    seen[t.node] = true;
+                    parent[t.node] = u;
+                    queue.push_back(t.node);
+                }
+            }
+        }
+        Ok((order, parent))
+    }
+
+    /// The `r`-th power of the graph: same nodes, an edge between every
+    /// pair at distance `1..=r`. Used for ruling-set constructions
+    /// (an MIS of `G^r` is an `(r+1, r)`-ruling set of `G`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r == 0`.
+    pub fn power(&self, r: usize) -> Graph {
+        assert!(r >= 1, "graph power requires r >= 1");
+        let mut edges = Vec::new();
+        for v in 0..self.n() {
+            // BFS to depth r.
+            let mut dist = vec![usize::MAX; self.n()];
+            dist[v] = 0;
+            let mut queue = VecDeque::from([v]);
+            while let Some(u) = queue.pop_front() {
+                if dist[u] == r {
+                    continue;
+                }
+                for t in &self.ports[u] {
+                    if dist[t.node] == usize::MAX {
+                        dist[t.node] = dist[u] + 1;
+                        queue.push_back(t.node);
+                    }
+                }
+            }
+            for (u, &d) in dist.iter().enumerate().skip(v + 1) {
+                if d != usize::MAX && d >= 1 && d <= r {
+                    edges.push((v, u));
+                }
+            }
+        }
+        Graph::from_edges(self.n(), &edges).expect("power graph is simple")
+    }
+
+    /// Girth of the graph (length of a shortest cycle), or `None` for
+    /// forests. O(n·m); intended for validation on small graphs.
+    pub fn girth(&self) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for start in 0..self.n() {
+            // BFS recording parent edges; a non-tree edge closes a cycle.
+            let mut dist = vec![usize::MAX; self.n()];
+            let mut parent_edge = vec![usize::MAX; self.n()];
+            dist[start] = 0;
+            let mut queue = VecDeque::from([start]);
+            while let Some(u) = queue.pop_front() {
+                for t in &self.ports[u] {
+                    if t.edge == parent_edge[u] {
+                        continue;
+                    }
+                    if dist[t.node] == usize::MAX {
+                        dist[t.node] = dist[u] + 1;
+                        parent_edge[t.node] = t.edge;
+                        queue.push_back(t.node);
+                    } else {
+                        let cycle = dist[u] + dist[t.node] + 1;
+                        best = Some(best.map_or(cycle, |b| b.min(cycle)));
+                    }
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Direction of an oriented edge relative to its canonical `(u, v)` pair
+/// (`u < v`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeDir {
+    /// Oriented from `u` to `v` (the canonical lower to higher endpoint).
+    Forward,
+    /// Oriented from `v` to `u`.
+    Backward,
+}
+
+/// An orientation of (a subset of) the edges of a graph.
+///
+/// Unoriented edges are represented as `None`; the k-outdegree dominating
+/// set problem only requires orienting the edges *inside* the dominating set
+/// (paper §1, definition of k-outdegree dominating sets).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Orientation {
+    dirs: Vec<Option<EdgeDir>>,
+}
+
+impl Orientation {
+    /// Creates an all-unoriented orientation for a graph with `m` edges.
+    pub fn unoriented(m: usize) -> Self {
+        Orientation { dirs: vec![None; m] }
+    }
+
+    /// Creates an orientation from explicit per-edge directions.
+    pub fn new(dirs: Vec<Option<EdgeDir>>) -> Self {
+        Orientation { dirs }
+    }
+
+    /// Number of edges covered.
+    pub fn len(&self) -> usize {
+        self.dirs.len()
+    }
+
+    /// Whether the orientation covers no edges.
+    pub fn is_empty(&self) -> bool {
+        self.dirs.is_empty()
+    }
+
+    /// The direction assigned to edge `e`.
+    pub fn dir(&self, e: usize) -> Option<EdgeDir> {
+        self.dirs[e]
+    }
+
+    /// Orients edge `e` as going *out of* node `from` (an endpoint).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is not an endpoint of `e`.
+    pub fn orient_out_of(&mut self, graph: &Graph, e: usize, from: NodeId) {
+        let (u, v) = graph.edges()[e];
+        self.dirs[e] = if from == u {
+            Some(EdgeDir::Forward)
+        } else {
+            assert_eq!(from, v, "node {from} is not an endpoint of edge {e}");
+            Some(EdgeDir::Backward)
+        };
+    }
+
+    /// Whether edge `e` is oriented out of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not an endpoint of `e`.
+    pub fn is_out_of(&self, graph: &Graph, e: usize, v: NodeId) -> bool {
+        let (u, w) = graph.edges()[e];
+        match self.dirs[e] {
+            Some(EdgeDir::Forward) => v == u,
+            Some(EdgeDir::Backward) => {
+                assert!(v == u || v == w, "node {v} is not an endpoint of edge {e}");
+                v == w
+            }
+            None => false,
+        }
+    }
+
+    /// Out-degree of `v` counting only edges whose *other* endpoint satisfies
+    /// `filter` (used to restrict to the induced subgraph of a set).
+    pub fn out_degree_filtered<F: Fn(NodeId) -> bool>(
+        &self,
+        graph: &Graph,
+        v: NodeId,
+        filter: F,
+    ) -> usize {
+        graph
+            .ports(v)
+            .iter()
+            .filter(|t| filter(t.node) && self.is_out_of(graph, t.edge, v))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_ports() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (2, 3)]).unwrap();
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.m(), 3);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(3), 1);
+        let t = g.port_target(0, 1);
+        assert_eq!(t.node, 2);
+        // Reverse port consistency.
+        let back = g.port_target(t.node, t.port);
+        assert_eq!(back.node, 0);
+        assert_eq!(back.port, 1);
+        assert_eq!(back.edge, t.edge);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(matches!(
+            Graph::from_edges(2, &[(0, 2)]),
+            Err(SimError::NodeOutOfRange { node: 2, n: 2 })
+        ));
+        assert!(matches!(Graph::from_edges(2, &[(1, 1)]), Err(SimError::SelfLoop { node: 1 })));
+        assert!(matches!(
+            Graph::from_edges(2, &[(0, 1), (1, 0)]),
+            Err(SimError::DuplicateEdge { .. })
+        ));
+    }
+
+    #[test]
+    fn connectivity_and_tree() {
+        let tree = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert!(tree.is_tree());
+        let forest = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert!(!forest.is_connected());
+        assert!(!forest.is_tree());
+        let cycle = Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap();
+        assert!(cycle.is_connected());
+        assert!(!cycle.is_tree());
+    }
+
+    #[test]
+    fn girth_detection() {
+        let tree = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert_eq!(tree.girth(), None);
+        let c5 = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
+        assert_eq!(c5.girth(), Some(5));
+        let k3 = Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap();
+        assert_eq!(k3.girth(), Some(3));
+    }
+
+    #[test]
+    fn bfs_and_tree_order() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (1, 3), (3, 4)]).unwrap();
+        let d = g.bfs_distances(0);
+        assert_eq!(d, vec![0, 1, 2, 2, 3]);
+        let (order, parent) = g.tree_order(0).unwrap();
+        assert_eq!(order[0], 0);
+        assert_eq!(parent[0], usize::MAX);
+        assert_eq!(parent[4], 3);
+        assert_eq!(order.len(), 5);
+    }
+
+    #[test]
+    fn power_graph_distances() {
+        let p5 = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        let p2 = p5.power(2);
+        // Path^2: edges between nodes at distance 1 or 2.
+        assert_eq!(p2.m(), 4 + 3);
+        assert!(p2.neighbors(0).any(|u| u == 2));
+        assert!(!p2.neighbors(0).any(|u| u == 3));
+        let p4 = p5.power(4);
+        // Distance <= 4 connects everything: complete graph on 5 nodes.
+        assert_eq!(p4.m(), 10);
+    }
+
+    #[test]
+    fn power_one_is_identity_shape() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (1, 3)]).unwrap();
+        let p1 = g.power(1);
+        assert_eq!(p1.m(), g.m());
+        for v in 0..g.n() {
+            assert_eq!(p1.degree(v), g.degree(v));
+        }
+    }
+
+    #[test]
+    fn orientation_out_degree() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let mut o = Orientation::unoriented(g.m());
+        o.orient_out_of(&g, 0, 1); // edge (0,1) out of 1
+        o.orient_out_of(&g, 1, 1); // edge (1,2) out of 1
+        assert_eq!(o.out_degree_filtered(&g, 1, |_| true), 2);
+        assert_eq!(o.out_degree_filtered(&g, 0, |_| true), 0);
+        assert_eq!(o.out_degree_filtered(&g, 1, |u| u == 2), 1);
+        assert!(o.is_out_of(&g, 0, 1));
+        assert!(!o.is_out_of(&g, 0, 0));
+    }
+}

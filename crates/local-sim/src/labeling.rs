@@ -1,0 +1,153 @@
+//! Per-(node, port) labelings — the output format of locally checkable
+//! problems in the round elimination formalism (paper §2.2).
+
+use crate::error::{Result, SimError};
+use crate::graph::{Graph, NodeId};
+
+/// An assignment of one label (a small integer) to every (node, port) pair.
+///
+/// In the round elimination formalism a solution assigns an element of Σ to
+/// each (node, incident edge) pair; this type stores it port-indexed.
+///
+/// # Example
+///
+/// ```
+/// use local_sim::{trees, PortLabeling};
+///
+/// let g = trees::path(3).unwrap();
+/// let mut lab = PortLabeling::uniform(&g, 0);
+/// lab.set(1, 0, 2);
+/// assert_eq!(lab.get(1, 0), 2);
+/// assert_eq!(lab.get(0, 0), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortLabeling {
+    labels: Vec<Vec<u8>>,
+}
+
+impl PortLabeling {
+    /// Creates a labeling with every port labeled `label`.
+    pub fn uniform(graph: &Graph, label: u8) -> Self {
+        PortLabeling {
+            labels: (0..graph.n()).map(|v| vec![label; graph.degree(v)]).collect(),
+        }
+    }
+
+    /// Creates a labeling from explicit per-node, per-port labels.
+    ///
+    /// # Errors
+    ///
+    /// Checks that the shape matches the graph.
+    pub fn from_vecs(graph: &Graph, labels: Vec<Vec<u8>>) -> Result<Self> {
+        if labels.len() != graph.n() {
+            return Err(SimError::InvalidParameter {
+                message: format!("{} label rows for {} nodes", labels.len(), graph.n()),
+            });
+        }
+        for (v, row) in labels.iter().enumerate() {
+            if row.len() != graph.degree(v) {
+                return Err(SimError::InvalidParameter {
+                    message: format!(
+                        "node {v} has {} labels for degree {}",
+                        row.len(),
+                        graph.degree(v)
+                    ),
+                });
+            }
+        }
+        Ok(PortLabeling { labels })
+    }
+
+    /// The label at `(v, port)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port is out of range.
+    pub fn get(&self, v: NodeId, port: usize) -> u8 {
+        self.labels[v][port]
+    }
+
+    /// Sets the label at `(v, port)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port is out of range.
+    pub fn set(&mut self, v: NodeId, port: usize, label: u8) {
+        self.labels[v][port] = label;
+    }
+
+    /// All labels of node `v`, port-indexed.
+    pub fn node_labels(&self, v: NodeId) -> &[u8] {
+        &self.labels[v]
+    }
+
+    /// The sorted multiset of labels at node `v` (its *configuration*).
+    pub fn node_config(&self, v: NodeId) -> Vec<u8> {
+        let mut c = self.labels[v].clone();
+        c.sort_unstable();
+        c
+    }
+
+    /// The two labels on edge `e`, as `(label at u side, label at v side)`
+    /// for the canonical `(u, v)` with `u < v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    pub fn edge_labels(&self, graph: &Graph, e: usize) -> (u8, u8) {
+        let (u, v) = graph.edges()[e];
+        let pu = graph.port_of_edge(u, e).expect("endpoint");
+        let pv = graph.port_of_edge(v, e).expect("endpoint");
+        (self.labels[u][pu], self.labels[v][pv])
+    }
+
+    /// Number of nodes covered.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the labeling covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Applies `f` to every label in place.
+    pub fn map_in_place<F: Fn(u8) -> u8>(&mut self, f: F) {
+        for row in &mut self.labels {
+            for l in row {
+                *l = f(*l);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trees;
+
+    #[test]
+    fn shape_validation() {
+        let g = trees::path(3).unwrap();
+        assert!(PortLabeling::from_vecs(&g, vec![vec![0], vec![0, 0], vec![0]]).is_ok());
+        assert!(PortLabeling::from_vecs(&g, vec![vec![0], vec![0], vec![0]]).is_err());
+        assert!(PortLabeling::from_vecs(&g, vec![vec![0], vec![0, 0]]).is_err());
+    }
+
+    #[test]
+    fn edge_labels_orientation() {
+        let g = trees::path(3).unwrap();
+        let mut lab = PortLabeling::uniform(&g, 0);
+        lab.set(0, 0, 1); // node 0's side of edge (0,1)
+        lab.set(1, 0, 2); // node 1's side of edge (0,1)
+        assert_eq!(lab.edge_labels(&g, 0), (1, 2));
+    }
+
+    #[test]
+    fn node_config_sorted() {
+        let g = trees::star(3).unwrap();
+        let mut lab = PortLabeling::uniform(&g, 5);
+        lab.set(0, 1, 2);
+        assert_eq!(lab.node_config(0), vec![2, 5, 5]);
+    }
+}

@@ -1,0 +1,55 @@
+//! # local-sim — a simulator for the LOCAL and port-numbering models
+//!
+//! This crate provides the execution substrate for the reproduction of
+//! Balliu–Brandt–Kuhn–Olivetti (PODC 2021): deterministic, seedable
+//! simulation of synchronous message-passing algorithms on graphs, plus the
+//! graph generators, inputs (port numberings, identifiers, Δ-edge colorings)
+//! and solution checkers the paper's setting requires.
+//!
+//! ## Modules
+//!
+//! * [`graph`] — port-numbered graphs (the PN model's topology, paper §2.1).
+//! * [`trees`] — generators: complete Δ-regular trees, random bounded-degree
+//!   trees, paths, stars, caterpillars.
+//! * [`edge_coloring`] — proper Δ-edge colorings of trees (the input
+//!   exploited by the paper's Lemma 9).
+//! * [`runner`] — the synchronous round executor for
+//!   [`runner::SyncAlgorithm`]s, with exact round accounting.
+//! * [`checkers`] — validity checkers for MIS, dominating sets, k-outdegree
+//!   and k-degree dominating sets, proper/defective/arbdefective colorings,
+//!   edge colorings and matchings.
+//! * [`labeling`] — per-(node, port) output labelings, the output format of
+//!   problems in the round elimination formalism.
+//! * [`lcl_solver`] — a centralized brute-force solver for locally checkable
+//!   labelings on trees (exact feasibility + witness extraction).
+//! * [`congest`] — CONGEST-model accounting: per-message bit sizes, so the
+//!   bandwidth footprint of every algorithm is measured, not assumed.
+//!
+//! ## Example
+//!
+//! ```
+//! use local_sim::trees;
+//!
+//! let g = trees::complete_regular_tree(3, 4).unwrap();
+//! assert!(g.is_tree());
+//! assert_eq!(g.max_degree(), 3);
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checkers;
+pub mod congest;
+pub mod edge_coloring;
+pub mod error;
+pub mod graph;
+pub mod labeling;
+pub mod lcl_solver;
+pub mod runner;
+pub mod trees;
+pub mod views;
+
+pub use edge_coloring::EdgeColoring;
+pub use error::SimError;
+pub use graph::{EdgeDir, Graph, NodeId, Orientation, PortTarget};
+pub use labeling::PortLabeling;
+pub use runner::{NodeInfo, RunReport, Status, SyncAlgorithm};

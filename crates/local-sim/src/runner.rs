@@ -1,0 +1,399 @@
+//! Synchronous execution of distributed algorithms (the LOCAL / PN models).
+//!
+//! In the LOCAL model (paper §2.1) computation proceeds in synchronous
+//! rounds: every node sends a message to each neighbor, receives the
+//! messages of its neighbors, and updates its state; message size and local
+//! computation are unbounded. The *time complexity* is the number of rounds
+//! until all nodes have produced their local output.
+//!
+//! [`run`] executes a [`SyncAlgorithm`] and reports the outputs together
+//! with the exact number of rounds consumed (the maximum over nodes of the
+//! number of send/receive cycles before halting).
+
+use crate::error::{Result, SimError};
+use crate::graph::Graph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Static, per-node information available from round 0.
+///
+/// In the port-numbering model `id` is `None`; in the LOCAL model it carries
+/// a globally unique identifier. `edge_colors`, when present, is the color
+/// of the edge behind each port (the paper's Δ-edge-coloring input).
+#[derive(Debug, Clone)]
+pub struct NodeInfo {
+    /// The node's unique identifier (LOCAL model), or `None` (PN model).
+    pub id: Option<u64>,
+    /// Degree of the node = number of ports.
+    pub degree: usize,
+    /// Total number of nodes (global knowledge, as in the LOCAL model).
+    pub n: usize,
+    /// Maximum degree Δ of the graph (global knowledge).
+    pub max_degree: usize,
+    /// Per-port edge colors, if an edge coloring is provided as input.
+    pub edge_colors: Option<Vec<usize>>,
+}
+
+/// Decision returned by [`SyncAlgorithm::receive`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Status<O> {
+    /// Keep participating in subsequent rounds.
+    Continue,
+    /// Halt with the given local output; the node stays silent afterwards.
+    Done(O),
+}
+
+/// A distributed algorithm, instantiated once per node.
+///
+/// The runner drives each round as `send` (one message per port) followed by
+/// `receive` (one `Option<Message>` per port — `None` if the neighbor has
+/// already halted). A node halts by returning [`Status::Done`].
+pub trait SyncAlgorithm: Sized {
+    /// Per-node input (e.g. a prior coloring); use `()` when not needed.
+    type Input;
+    /// Message type exchanged on edges.
+    type Message: Clone;
+    /// Local output type.
+    type Output;
+
+    /// Creates the initial state of a node.
+    fn init(info: &NodeInfo, input: &Self::Input, rng: &mut StdRng) -> Self;
+
+    /// Produces this round's outgoing messages, one per port.
+    fn send(&mut self, info: &NodeInfo) -> Vec<Self::Message>;
+
+    /// Consumes this round's incoming messages (port-indexed) and decides
+    /// whether to halt.
+    fn receive(
+        &mut self,
+        info: &NodeInfo,
+        incoming: Vec<Option<Self::Message>>,
+        rng: &mut StdRng,
+    ) -> Status<Self::Output>;
+}
+
+/// The result of a run: per-node outputs and the exact round count.
+#[derive(Debug, Clone)]
+pub struct RunReport<O> {
+    /// `outputs[v]` is the local output of node `v`.
+    pub outputs: Vec<O>,
+    /// Number of communication rounds until the last node halted.
+    pub rounds: usize,
+}
+
+/// Options controlling a simulation run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Seed from which all per-node randomness derives.
+    pub seed: u64,
+    /// Identifier assignment (`None` = port-numbering model).
+    pub ids: Option<Vec<u64>>,
+    /// Per-edge colors exposed to nodes, if any.
+    pub edge_colors: Option<Vec<usize>>,
+    /// Hard bound on the number of rounds.
+    pub max_rounds: usize,
+}
+
+impl RunConfig {
+    /// LOCAL-model configuration with sequential ids `1..=n` permuted by the
+    /// seed (adversarial-ish but reproducible).
+    pub fn local(graph: &Graph, seed: u64, max_rounds: usize) -> Self {
+        RunConfig {
+            seed,
+            ids: Some(random_ids(graph.n(), seed)),
+            edge_colors: None,
+            max_rounds,
+        }
+    }
+
+    /// Port-numbering-model configuration (no ids).
+    pub fn port_numbering(seed: u64, max_rounds: usize) -> Self {
+        RunConfig { seed, ids: None, edge_colors: None, max_rounds }
+    }
+
+    /// Attaches per-edge colors as node input.
+    #[must_use]
+    pub fn with_edge_colors(mut self, colors: Vec<usize>) -> Self {
+        self.edge_colors = Some(colors);
+        self
+    }
+}
+
+/// Generates `n` distinct identifiers from `1..=n³` (polynomial id space, as
+/// the LOCAL model assumes), shuffled deterministically by `seed`.
+pub fn random_ids(n: usize, seed: u64) -> Vec<u64> {
+    use rand::seq::SliceRandom;
+    use rand::Rng;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x1d5_ca1e);
+    let space = (n as u64).pow(3).max(n as u64);
+    let mut ids: Vec<u64> = Vec::with_capacity(n);
+    let mut used = std::collections::HashSet::new();
+    while ids.len() < n {
+        let candidate = rng.gen_range(1..=space);
+        if used.insert(candidate) {
+            ids.push(candidate);
+        }
+    }
+    ids.shuffle(&mut rng);
+    ids
+}
+
+/// Runs `A` on `graph` under `config` with per-node inputs.
+///
+/// # Errors
+///
+/// Returns [`SimError::RoundLimitExceeded`] if some node has not halted
+/// after `config.max_rounds` rounds, and [`SimError::InvalidParameter`] when
+/// the inputs' length does not match the graph.
+pub fn run<A: SyncAlgorithm>(
+    graph: &Graph,
+    inputs: &[A::Input],
+    config: &RunConfig,
+) -> Result<RunReport<A::Output>> {
+    run_observed::<A, _>(graph, inputs, config, |_, _, _, _| {})
+}
+
+/// [`run`] with a message observer: `observe(round, sender, port, message)`
+/// is called for every message put on the wire (rounds are 1-based). The
+/// hook behind the CONGEST accounting in [`crate::congest`].
+///
+/// # Errors
+///
+/// Same as [`run`].
+pub fn run_observed<A: SyncAlgorithm, F>(
+    graph: &Graph,
+    inputs: &[A::Input],
+    config: &RunConfig,
+    mut observe: F,
+) -> Result<RunReport<A::Output>>
+where
+    F: FnMut(usize, usize, usize, &A::Message),
+{
+    let n = graph.n();
+    if inputs.len() != n {
+        return Err(SimError::InvalidParameter {
+            message: format!("{} inputs for {} nodes", inputs.len(), n),
+        });
+    }
+    if let Some(ids) = &config.ids {
+        if ids.len() != n {
+            return Err(SimError::InvalidParameter {
+                message: format!("{} ids for {} nodes", ids.len(), n),
+            });
+        }
+    }
+    let max_degree = graph.max_degree();
+
+    let infos: Vec<NodeInfo> = (0..n)
+        .map(|v| NodeInfo {
+            id: config.ids.as_ref().map(|ids| ids[v]),
+            degree: graph.degree(v),
+            n,
+            max_degree,
+            edge_colors: config.edge_colors.as_ref().map(|cols| {
+                graph.ports(v).iter().map(|t| cols[t.edge]).collect()
+            }),
+        })
+        .collect();
+
+    let mut rngs: Vec<StdRng> = (0..n)
+        .map(|v| {
+            // Distinct stream per node, derived from the global seed.
+            StdRng::seed_from_u64(config.seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(v as u64))
+        })
+        .collect();
+
+    let mut states: Vec<Option<A>> = infos
+        .iter()
+        .zip(inputs)
+        .zip(&mut rngs)
+        .map(|((info, input), rng)| Some(A::init(info, input, rng)))
+        .collect();
+    let mut outputs: Vec<Option<A::Output>> = (0..n).map(|_| None).collect();
+    let mut active = n;
+    let mut rounds = 0usize;
+
+    while active > 0 {
+        if rounds >= config.max_rounds {
+            return Err(SimError::RoundLimitExceeded { max_rounds: config.max_rounds });
+        }
+        rounds += 1;
+        // Collect outgoing messages from active nodes.
+        let mut outgoing: Vec<Option<Vec<A::Message>>> = vec![None; n];
+        for v in 0..n {
+            if let Some(state) = states[v].as_mut() {
+                let msgs = state.send(&infos[v]);
+                assert_eq!(
+                    msgs.len(),
+                    graph.degree(v),
+                    "node {v} sent {} messages for {} ports",
+                    msgs.len(),
+                    graph.degree(v)
+                );
+                for (port, msg) in msgs.iter().enumerate() {
+                    observe(rounds, v, port, msg);
+                }
+                outgoing[v] = Some(msgs);
+            }
+        }
+        // Deliver and receive.
+        for v in 0..n {
+            if states[v].is_none() {
+                continue;
+            }
+            let incoming: Vec<Option<A::Message>> = graph
+                .ports(v)
+                .iter()
+                .map(|t| outgoing[t.node].as_ref().map(|msgs| msgs[t.port].clone()))
+                .collect();
+            let state = states[v].as_mut().expect("active node");
+            match state.receive(&infos[v], incoming, &mut rngs[v]) {
+                Status::Continue => {}
+                Status::Done(out) => {
+                    outputs[v] = Some(out);
+                    states[v] = None;
+                    active -= 1;
+                }
+            }
+        }
+    }
+
+    Ok(RunReport {
+        outputs: outputs.into_iter().map(|o| o.expect("halted with output")).collect(),
+        rounds,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trees;
+
+    /// Every node learns the maximum id within distance T by flooding.
+    struct FloodMax {
+        best: u64,
+        rounds_left: usize,
+    }
+
+    impl SyncAlgorithm for FloodMax {
+        type Input = usize; // number of rounds to flood
+        type Message = u64;
+        type Output = u64;
+
+        fn init(info: &NodeInfo, input: &usize, _rng: &mut StdRng) -> Self {
+            let id = info.id.expect("LOCAL model");
+            FloodMax { best: id, rounds_left: *input }
+        }
+
+        fn send(&mut self, info: &NodeInfo) -> Vec<u64> {
+            vec![self.best; info.degree]
+        }
+
+        fn receive(
+            &mut self,
+            _info: &NodeInfo,
+            incoming: Vec<Option<u64>>,
+            _rng: &mut StdRng,
+        ) -> Status<u64> {
+            for m in incoming.into_iter().flatten() {
+                self.best = self.best.max(m);
+            }
+            self.rounds_left -= 1;
+            if self.rounds_left == 0 {
+                Status::Done(self.best)
+            } else {
+                Status::Continue
+            }
+        }
+    }
+
+    #[test]
+    fn flood_max_reaches_radius() {
+        let g = trees::path(6).unwrap();
+        let config = RunConfig {
+            seed: 1,
+            ids: Some(vec![10, 20, 30, 99, 40, 50]),
+            edge_colors: None,
+            max_rounds: 100,
+        };
+        // After 2 rounds, node 0 knows the max within distance 2 (=30).
+        let inputs = vec![2usize; 6];
+        let report = run::<FloodMax>(&g, &inputs, &config).unwrap();
+        assert_eq!(report.rounds, 2);
+        assert_eq!(report.outputs[0], 30);
+        assert_eq!(report.outputs[3], 99);
+        assert_eq!(report.outputs[5], 99);
+
+        // After 5 rounds everyone knows the global max.
+        let inputs = vec![5usize; 6];
+        let report = run::<FloodMax>(&g, &inputs, &config).unwrap();
+        assert!(report.outputs.iter().all(|&o| o == 99));
+    }
+
+    #[test]
+    fn round_limit_enforced() {
+        struct Forever;
+        impl SyncAlgorithm for Forever {
+            type Input = ();
+            type Message = ();
+            type Output = ();
+            fn init(_: &NodeInfo, _: &(), _: &mut StdRng) -> Self {
+                Forever
+            }
+            fn send(&mut self, info: &NodeInfo) -> Vec<()> {
+                vec![(); info.degree]
+            }
+            fn receive(&mut self, _: &NodeInfo, _: Vec<Option<()>>, _: &mut StdRng) -> Status<()> {
+                Status::Continue
+            }
+        }
+        let g = trees::path(3).unwrap();
+        let config = RunConfig::port_numbering(0, 10);
+        let err = run::<Forever>(&g, &[(), (), ()], &config).unwrap_err();
+        assert!(matches!(err, SimError::RoundLimitExceeded { max_rounds: 10 }));
+    }
+
+    #[test]
+    fn ids_are_distinct_and_polynomial() {
+        let ids = random_ids(100, 42);
+        let set: std::collections::HashSet<_> = ids.iter().collect();
+        assert_eq!(set.len(), 100);
+        assert!(ids.iter().all(|&i| i >= 1 && i <= 100u64.pow(3)));
+        assert_eq!(ids, random_ids(100, 42));
+        assert_ne!(ids, random_ids(100, 43));
+    }
+
+    #[test]
+    fn edge_colors_exposed_per_port() {
+        use crate::edge_coloring;
+        struct ColorEcho;
+        impl SyncAlgorithm for ColorEcho {
+            type Input = ();
+            type Message = ();
+            type Output = Vec<usize>;
+            fn init(_: &NodeInfo, _: &(), _: &mut StdRng) -> Self {
+                ColorEcho
+            }
+            fn send(&mut self, info: &NodeInfo) -> Vec<()> {
+                vec![(); info.degree]
+            }
+            fn receive(
+                &mut self,
+                info: &NodeInfo,
+                _: Vec<Option<()>>,
+                _: &mut StdRng,
+            ) -> Status<Vec<usize>> {
+                Status::Done(info.edge_colors.clone().expect("colors provided"))
+            }
+        }
+        let g = trees::complete_regular_tree(3, 2).unwrap();
+        let col = edge_coloring::tree_edge_coloring(&g).unwrap();
+        let config = RunConfig::port_numbering(0, 10).with_edge_colors(col.as_slice().to_vec());
+        let report = run::<ColorEcho>(&g, &vec![(); g.n()], &config).unwrap();
+        for v in 0..g.n() {
+            for p in 0..g.degree(v) {
+                assert_eq!(report.outputs[v][p], col.color_at(&g, v, p));
+            }
+        }
+    }
+}

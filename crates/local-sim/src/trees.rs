@@ -1,0 +1,285 @@
+//! Tree generators.
+//!
+//! The paper's lower bounds are proved on Δ-regular trees; its upper-bound
+//! discussion concerns `n`-node trees of maximum degree Δ. This module
+//! generates both, plus assorted special trees used in tests.
+
+use crate::error::{Result, SimError};
+use crate::graph::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The complete Δ-regular tree of the given depth: the root has Δ children,
+/// every other internal node has Δ−1 children, and all leaves are at
+/// distance `depth` from the root. For `depth = 0` this is a single node.
+///
+/// Every internal node has degree exactly Δ, matching the paper's
+/// "Δ-regular tree" setting (leaves play the role of the boundary).
+///
+/// # Errors
+///
+/// Requires `delta ≥ 2`.
+///
+/// # Example
+///
+/// ```
+/// use local_sim::trees::complete_regular_tree;
+///
+/// let g = complete_regular_tree(3, 2).unwrap();
+/// // 1 + 3 + 3*2 = 10 nodes.
+/// assert_eq!(g.n(), 10);
+/// assert_eq!(g.degree(0), 3);
+/// ```
+pub fn complete_regular_tree(delta: usize, depth: usize) -> Result<Graph> {
+    if delta < 2 {
+        return Err(SimError::InvalidParameter {
+            message: format!("complete_regular_tree requires delta >= 2, got {delta}"),
+        });
+    }
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut frontier: Vec<NodeId> = vec![0];
+    let mut next_id: NodeId = 1;
+    for level in 0..depth {
+        let mut next_frontier = Vec::new();
+        for &v in &frontier {
+            let children = if level == 0 { delta } else { delta - 1 };
+            for _ in 0..children {
+                edges.push((v, next_id));
+                next_frontier.push(next_id);
+                next_id += 1;
+            }
+        }
+        frontier = next_frontier;
+    }
+    Graph::from_edges(next_id, &edges)
+}
+
+/// Number of nodes of [`complete_regular_tree`]`(delta, depth)` without
+/// building it.
+pub fn complete_regular_tree_size(delta: usize, depth: usize) -> usize {
+    if depth == 0 {
+        return 1;
+    }
+    let mut total = 1usize;
+    let mut level = delta;
+    for _ in 0..depth {
+        total += level;
+        level *= delta - 1;
+    }
+    total
+}
+
+/// A uniformly random attachment tree on `n` nodes with maximum degree
+/// `max_degree`: node `i` attaches to a uniformly random earlier node that
+/// still has spare capacity.
+///
+/// # Errors
+///
+/// Requires `n ≥ 1` and `max_degree ≥ 2` for `n ≥ 3` (a path needs internal
+/// degree 2).
+pub fn random_tree(n: usize, max_degree: usize, seed: u64) -> Result<Graph> {
+    if n == 0 {
+        return Err(SimError::InvalidParameter { message: "random_tree requires n >= 1".into() });
+    }
+    if n >= 2 && max_degree < 1 || n >= 3 && max_degree < 2 {
+        return Err(SimError::InvalidParameter {
+            message: format!("max_degree {max_degree} too small for n = {n}"),
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut degree = vec![0usize; n];
+    let mut available: Vec<NodeId> = vec![0];
+    let mut edges = Vec::with_capacity(n.saturating_sub(1));
+    for v in 1..n {
+        let idx = rng.gen_range(0..available.len());
+        let u = available[idx];
+        edges.push((u, v));
+        degree[u] += 1;
+        degree[v] += 1;
+        if degree[u] >= max_degree {
+            available.swap_remove(idx);
+        }
+        if degree[v] < max_degree {
+            available.push(v);
+        }
+        if available.is_empty() && v + 1 < n {
+            return Err(SimError::InvalidParameter {
+                message: "ran out of attachment capacity; increase max_degree".into(),
+            });
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// The path on `n` nodes.
+///
+/// # Errors
+///
+/// Requires `n ≥ 1`.
+pub fn path(n: usize) -> Result<Graph> {
+    if n == 0 {
+        return Err(SimError::InvalidParameter { message: "path requires n >= 1".into() });
+    }
+    let edges: Vec<(NodeId, NodeId)> = (1..n).map(|v| (v - 1, v)).collect();
+    Graph::from_edges(n, &edges)
+}
+
+/// The star with `leaves` leaves (center is node 0).
+///
+/// # Errors
+///
+/// Requires `leaves ≥ 1`.
+pub fn star(leaves: usize) -> Result<Graph> {
+    if leaves == 0 {
+        return Err(SimError::InvalidParameter { message: "star requires leaves >= 1".into() });
+    }
+    let edges: Vec<(NodeId, NodeId)> = (1..=leaves).map(|v| (0, v)).collect();
+    Graph::from_edges(leaves + 1, &edges)
+}
+
+/// A caterpillar: a spine path of `spine` nodes, each carrying `legs`
+/// pendant leaves.
+///
+/// # Errors
+///
+/// Requires `spine ≥ 1`.
+pub fn caterpillar(spine: usize, legs: usize) -> Result<Graph> {
+    if spine == 0 {
+        return Err(SimError::InvalidParameter { message: "caterpillar requires spine >= 1".into() });
+    }
+    let mut edges = Vec::new();
+    for v in 1..spine {
+        edges.push((v - 1, v));
+    }
+    let mut next = spine;
+    for s in 0..spine {
+        for _ in 0..legs {
+            edges.push((s, next));
+            next += 1;
+        }
+    }
+    Graph::from_edges(next, &edges)
+}
+
+/// A random tree whose *internal* nodes all have degree exactly Δ, built by
+/// growing a complete Δ-regular tree but stopping at a random subset of the
+/// frontier — useful for varied Δ-regular-tree tests.
+///
+/// # Errors
+///
+/// Requires `delta ≥ 2` and `depth ≥ 1`.
+pub fn random_regular_tree(delta: usize, depth: usize, keep_prob: f64, seed: u64) -> Result<Graph> {
+    if delta < 2 || depth == 0 {
+        return Err(SimError::InvalidParameter {
+            message: "random_regular_tree requires delta >= 2, depth >= 1".into(),
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut frontier: Vec<NodeId> = vec![0];
+    let mut next_id: NodeId = 1;
+    for level in 0..depth {
+        let mut next_frontier = Vec::new();
+        for &v in &frontier {
+            // A node either becomes internal (all Δ or Δ−1 children) or
+            // remains a leaf; the root always becomes internal.
+            let expand = level == 0 || level + 1 == 1 || rng.gen_bool(keep_prob);
+            if !expand {
+                continue;
+            }
+            let children = if level == 0 { delta } else { delta - 1 };
+            for _ in 0..children {
+                edges.push((v, next_id));
+                next_frontier.push(next_id);
+                next_id += 1;
+            }
+        }
+        frontier = next_frontier;
+        if frontier.is_empty() {
+            break;
+        }
+    }
+    Graph::from_edges(next_id, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_tree_shape() {
+        let g = complete_regular_tree(3, 3).unwrap();
+        assert!(g.is_tree());
+        assert_eq!(g.n(), complete_regular_tree_size(3, 3));
+        assert_eq!(g.n(), 1 + 3 + 6 + 12);
+        // Every non-leaf has degree exactly 3.
+        for v in 0..g.n() {
+            let d = g.degree(v);
+            assert!(d == 3 || d == 1, "node {v} has degree {d}");
+        }
+        let dist = g.bfs_distances(0);
+        assert_eq!(*dist.iter().max().unwrap(), 3);
+    }
+
+    #[test]
+    fn complete_tree_depth_zero() {
+        let g = complete_regular_tree(5, 0).unwrap();
+        assert_eq!(g.n(), 1);
+        assert_eq!(g.m(), 0);
+    }
+
+    #[test]
+    fn size_formula() {
+        for delta in 2..6 {
+            for depth in 0..5 {
+                let g = complete_regular_tree(delta, depth).unwrap();
+                assert_eq!(g.n(), complete_regular_tree_size(delta, depth));
+            }
+        }
+    }
+
+    #[test]
+    fn random_tree_properties() {
+        for seed in 0..5 {
+            let g = random_tree(50, 4, seed).unwrap();
+            assert!(g.is_tree());
+            assert!(g.max_degree() <= 4);
+            assert_eq!(g.n(), 50);
+        }
+    }
+
+    #[test]
+    fn random_tree_determinism() {
+        let a = random_tree(30, 5, 7).unwrap();
+        let b = random_tree(30, 5, 7).unwrap();
+        assert_eq!(a.edges(), b.edges());
+    }
+
+    #[test]
+    fn path_and_star() {
+        let p = path(5).unwrap();
+        assert!(p.is_tree());
+        assert_eq!(p.max_degree(), 2);
+        let s = star(6).unwrap();
+        assert!(s.is_tree());
+        assert_eq!(s.degree(0), 6);
+    }
+
+    #[test]
+    fn caterpillar_shape() {
+        let g = caterpillar(4, 2).unwrap();
+        assert!(g.is_tree());
+        assert_eq!(g.n(), 4 + 8);
+        assert_eq!(g.degree(1), 4); // two spine neighbors + two legs
+    }
+
+    #[test]
+    fn random_regular_tree_internal_degrees() {
+        let g = random_regular_tree(4, 4, 0.5, 3).unwrap();
+        assert!(g.is_tree());
+        for v in 0..g.n() {
+            let d = g.degree(v);
+            assert!(d == 4 || d == 1, "node {v} has degree {d}");
+        }
+    }
+}

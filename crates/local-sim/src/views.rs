@@ -1,0 +1,218 @@
+//! Radius-T views — the semantic core of the LOCAL model.
+//!
+//! A `T`-round algorithm in the LOCAL/PN model is exactly a function of the
+//! node's *radius-T view* (paper §2.1): the truncated universal cover
+//! rooted at the node, decorated with port numbers and any local inputs.
+//! This module computes canonical encodings of views, so that two nodes
+//! receive the same output from **every** `T`-round algorithm iff their
+//! encodings are equal.
+//!
+//! The lower-bound gadget of Lemmas 12/15 is an indistinguishability
+//! argument: with ports identified along a Δ-edge coloring, all interior
+//! nodes have identical radius-0 views (and identical radius-T views on the
+//! infinite Δ-regular tree). [`view_classes`] lets tests *measure* that.
+
+use crate::graph::{Graph, NodeId};
+use std::collections::HashMap;
+
+/// Optional decorations for views.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ViewInputs<'a> {
+    /// Per-node inputs (identifiers, colors, …).
+    pub node_input: Option<&'a [u64]>,
+    /// Per-edge inputs (edge colors, …), indexed by edge id.
+    pub edge_input: Option<&'a [usize]>,
+    /// Port renumbering: `relabel[v][p]` is the *displayed* number of port
+    /// `p` at node `v` (e.g. the edge color, for the identified-ports
+    /// gadget). Views order and label ports by the displayed numbers.
+    pub port_relabel: Option<&'a [Vec<usize>]>,
+}
+
+/// Canonically encodes the radius-`t` view of `v`.
+///
+/// The encoding recurses through all neighbors (the truncated universal
+/// cover — walks may backtrack, as in the standard definition) and records,
+/// per port in displayed order: the displayed port number on both sides,
+/// the edge input, and the neighbor's subview.
+///
+/// # Example
+///
+/// ```
+/// use local_sim::{trees, views};
+///
+/// let g = trees::complete_regular_tree(3, 3).unwrap();
+/// let inputs = views::ViewInputs::default();
+/// // In the PN model without inputs, all degree-3 nodes look identical at
+/// // radius 0.
+/// let a = views::view_encoding(&g, 0, 0, &inputs);
+/// let b = views::view_encoding(&g, 1, 0, &inputs);
+/// assert_eq!(a, b);
+/// ```
+pub fn view_encoding(graph: &Graph, v: NodeId, t: usize, inputs: &ViewInputs<'_>) -> String {
+    fn displayed_port(inputs: &ViewInputs<'_>, v: NodeId, p: usize) -> usize {
+        match inputs.port_relabel {
+            Some(relabel) => relabel[v][p],
+            None => p,
+        }
+    }
+    fn rec(graph: &Graph, v: NodeId, t: usize, inputs: &ViewInputs<'_>, out: &mut String) {
+        out.push('(');
+        if let Some(ni) = inputs.node_input {
+            out.push_str(&format!("i{}", ni[v]));
+        }
+        out.push_str(&format!("d{}", graph.degree(v)));
+        if t > 0 {
+            // Children in displayed-port order.
+            let mut ports: Vec<usize> = (0..graph.degree(v)).collect();
+            ports.sort_by_key(|&p| displayed_port(inputs, v, p));
+            for p in ports {
+                let target = graph.port_target(v, p);
+                out.push_str(&format!(
+                    "[{}>{}",
+                    displayed_port(inputs, v, p),
+                    displayed_port(inputs, target.node, target.port)
+                ));
+                if let Some(ei) = inputs.edge_input {
+                    out.push_str(&format!("c{}", ei[target.edge]));
+                }
+                rec(graph, target.node, t - 1, inputs, out);
+                out.push(']');
+            }
+        }
+        out.push(')');
+    }
+    let mut out = String::new();
+    rec(graph, v, t, inputs, &mut out);
+    out
+}
+
+/// Partitions the nodes into view-equivalence classes at radius `t`:
+/// `classes[v]` is a class index, and `count` is the number of distinct
+/// classes. Nodes in the same class are indistinguishable to every
+/// `t`-round algorithm (given the same inputs).
+pub fn view_classes(graph: &Graph, t: usize, inputs: &ViewInputs<'_>) -> (Vec<usize>, usize) {
+    let mut index: HashMap<String, usize> = HashMap::new();
+    let mut classes = Vec::with_capacity(graph.n());
+    for v in 0..graph.n() {
+        let enc = view_encoding(graph, v, t, inputs);
+        let next = index.len();
+        let class = *index.entry(enc).or_insert(next);
+        classes.push(class);
+    }
+    let count = index.len();
+    (classes, count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge_coloring;
+    use crate::trees;
+
+    #[test]
+    fn radius_zero_pn_views_depend_only_on_degree() {
+        let g = trees::complete_regular_tree(3, 3).unwrap();
+        let inputs = ViewInputs::default();
+        let (classes, count) = view_classes(&g, 0, &inputs);
+        // Exactly two classes: degree 3 (interior) and degree 1 (leaves).
+        assert_eq!(count, 2);
+        for v in 0..g.n() {
+            for u in 0..g.n() {
+                assert_eq!(classes[v] == classes[u], g.degree(v) == g.degree(u));
+            }
+        }
+    }
+
+    #[test]
+    fn ids_separate_views() {
+        let g = trees::path(4).unwrap();
+        let ids: Vec<u64> = vec![10, 20, 30, 40];
+        let inputs = ViewInputs { node_input: Some(&ids), ..Default::default() };
+        let (_, count) = view_classes(&g, 0, &inputs);
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn identified_ports_gadget_indistinguishability() {
+        // The Lemma 12 gadget: ports displayed as edge colors. Interior
+        // nodes whose radius-T ball avoids the leaves are pairwise
+        // indistinguishable at radius T.
+        let g = trees::complete_regular_tree(3, 5).unwrap();
+        let col = edge_coloring::tree_edge_coloring(&g).unwrap();
+        let relabel: Vec<Vec<usize>> = (0..g.n())
+            .map(|v| (0..g.degree(v)).map(|p| col.color_at(&g, v, p)).collect())
+            .collect();
+        let colors: Vec<usize> = col.as_slice().to_vec();
+        let inputs = ViewInputs {
+            node_input: None,
+            edge_input: Some(&colors),
+            port_relabel: Some(&relabel),
+        };
+        let dist_to_leaf = {
+            // Multi-source BFS from all leaves.
+            let mut dist = vec![usize::MAX; g.n()];
+            let mut queue = std::collections::VecDeque::new();
+            for (v, slot) in dist.iter_mut().enumerate() {
+                if g.degree(v) == 1 {
+                    *slot = 0;
+                    queue.push_back(v);
+                }
+            }
+            while let Some(u) = queue.pop_front() {
+                for t in g.ports(u) {
+                    if dist[t.node] == usize::MAX {
+                        dist[t.node] = dist[u] + 1;
+                        queue.push_back(t.node);
+                    }
+                }
+            }
+            dist
+        };
+        for t in 0..=2usize {
+            let (classes, _) = view_classes(&g, t, &inputs);
+            let deep: Vec<usize> = (0..g.n()).filter(|&v| dist_to_leaf[v] > t).collect();
+            assert!(deep.len() >= 2, "need at least two deep nodes at t={t}");
+            let class = classes[deep[0]];
+            for &v in &deep {
+                assert_eq!(
+                    classes[v], class,
+                    "node {v} distinguishable at radius {t} despite identified ports"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn without_identification_ports_do_distinguish() {
+        // With raw ports (no relabeling), the same tree has *many* view
+        // classes at radius 1: the port numbers leak orientation.
+        let g = trees::complete_regular_tree(3, 4).unwrap();
+        let inputs = ViewInputs::default();
+        let (_, count_r1) = view_classes(&g, 1, &inputs);
+        assert!(count_r1 > 2, "count = {count_r1}");
+    }
+
+    #[test]
+    fn view_growth_with_radius() {
+        // More radius, at least as many classes.
+        let g = trees::random_tree(40, 4, 3).unwrap();
+        let inputs = ViewInputs::default();
+        let mut prev = 0;
+        for t in 0..4 {
+            let (_, count) = view_classes(&g, t, &inputs);
+            assert!(count >= prev);
+            prev = count;
+        }
+    }
+
+    #[test]
+    fn backtracking_included() {
+        // Universal-cover semantics: on a 2-path, radius-2 views include the
+        // walk back through the origin; encodings still distinguish the
+        // center from the ends.
+        let g = trees::path(3).unwrap();
+        let inputs = ViewInputs::default();
+        let (classes, count) = view_classes(&g, 2, &inputs);
+        assert_eq!(count, 3, "two ends differ by port orientation? {classes:?}");
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests for the simulator substrate.
+
+use local_sim::lcl_solver::{LclInstance, LeafPolicy};
+use local_sim::{edge_coloring, trees, views, Graph};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Port numbering invariant: following a port and its reverse returns
+    /// to the origin, for every generated tree.
+    #[test]
+    fn ports_are_involutive(n in 2usize..120, max_deg in 2usize..7, seed in 0u64..500) {
+        let g = trees::random_tree(n, max_deg, seed).unwrap();
+        for v in 0..g.n() {
+            for p in 0..g.degree(v) {
+                let t = g.port_target(v, p);
+                let back = g.port_target(t.node, t.port);
+                prop_assert_eq!(back.node, v);
+                prop_assert_eq!(back.port, p);
+                prop_assert_eq!(back.edge, t.edge);
+            }
+        }
+    }
+
+    /// Tree edge colorings are proper and use at most Δ colors.
+    #[test]
+    fn tree_colorings_proper(n in 2usize..150, max_deg in 2usize..7, seed in 0u64..500) {
+        let g = trees::random_tree(n, max_deg, seed).unwrap();
+        let col = edge_coloring::tree_edge_coloring(&g).unwrap();
+        prop_assert!(edge_coloring::is_proper(&g, &col));
+        prop_assert!(col.num_colors() <= g.max_degree());
+    }
+
+    /// The power graph realizes exactly the ≤ r distances.
+    #[test]
+    fn power_graph_semantics(n in 2usize..60, max_deg in 2usize..5, r in 1usize..4, seed in 0u64..200) {
+        let g = trees::random_tree(n, max_deg, seed).unwrap();
+        let p = g.power(r);
+        for v in 0..g.n() {
+            let dist = g.bfs_distances(v);
+            for (u, &d) in dist.iter().enumerate() {
+                if u == v {
+                    continue;
+                }
+                let adjacent = p.neighbors(v).any(|w| w == u);
+                prop_assert_eq!(adjacent, d <= r, "v={}, u={}, d={}", v, u, d);
+            }
+        }
+    }
+
+    /// The LCL solver never returns an invalid labeling (differential
+    /// against its own checker) — here on proper-2-coloring-style
+    /// instances, which are solvable on every tree.
+    #[test]
+    fn lcl_solver_output_validates(n in 2usize..80, max_deg in 2usize..6, seed in 0u64..500) {
+        let g = trees::random_tree(n, max_deg, seed).unwrap();
+        let delta = g.max_degree();
+        let inst = LclInstance::new(
+            2,
+            delta,
+            vec![vec![0; delta], vec![1; delta]],
+            |a, b| a != b,
+            LeafPolicy::SubMultiset,
+        ).unwrap();
+        let sol = inst.solve(&g, seed).unwrap().expect("2-coloring exists on trees");
+        prop_assert!(inst.check(&g, &sol).is_ok());
+    }
+
+    /// View classes refine with radius and are permutation-invariant in the
+    /// label sense: classes count is between 1 and n.
+    #[test]
+    fn view_classes_sane(n in 2usize..60, max_deg in 2usize..5, t in 0usize..4, seed in 0u64..200) {
+        let g = trees::random_tree(n, max_deg, seed).unwrap();
+        let inputs = views::ViewInputs::default();
+        let (classes, count) = views::view_classes(&g, t, &inputs);
+        prop_assert!(count >= 1 && count <= g.n());
+        prop_assert_eq!(classes.len(), g.n());
+        prop_assert!(classes.iter().all(|&c| c < count));
+        // Same-class nodes must at least share their degree.
+        for v in 0..g.n() {
+            for u in 0..g.n() {
+                if classes[v] == classes[u] {
+                    prop_assert_eq!(g.degree(v), g.degree(u));
+                }
+            }
+        }
+    }
+
+    /// BFS distances satisfy the triangle inequality along edges.
+    #[test]
+    fn bfs_distance_sanity(n in 2usize..100, max_deg in 2usize..6, seed in 0u64..300) {
+        let g = trees::random_tree(n, max_deg, seed).unwrap();
+        let d = g.bfs_distances(0);
+        for &(u, v) in g.edges() {
+            let du = d[u] as i64;
+            let dv = d[v] as i64;
+            prop_assert!((du - dv).abs() <= 1);
+        }
+        prop_assert_eq!(d[0], 0);
+    }
+}
+
+/// Girth of a cycle graph with a chord (deterministic non-proptest check
+/// kept alongside for structural coverage).
+#[test]
+fn girth_with_chord() {
+    // C6 + chord (0,3): girth 4.
+    let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)])
+        .unwrap();
+    assert_eq!(g.girth(), Some(4));
+}

@@ -1,0 +1,169 @@
+//! Minimal dependency-free argument parsing for the `relim` CLI.
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand plus `--key value` options and
+/// `--flag` switches.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// The subcommand (first non-flag argument).
+    pub command: Option<String>,
+    options: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+/// A human-readable argument error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Option keys that take a value; everything else starting with `--` is a
+/// boolean flag.
+const VALUE_KEYS: &[&str] = &[
+    "node", "edge", "black", "white", "delta", "a", "x", "k", "n", "steps", "side", "max-steps",
+    "seed", "trials", "label-limit", "labels", "coloring", "criterion",
+];
+
+impl Args {
+    /// Parses raw arguments (excluding the program name).
+    ///
+    /// # Errors
+    ///
+    /// Rejects options missing their value and unexpected positionals.
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Self, ArgError> {
+        let mut args = Args::default();
+        let mut iter = raw.into_iter().peekable();
+        while let Some(tok) = iter.next() {
+            if let Some(key) = tok.strip_prefix("--") {
+                if VALUE_KEYS.contains(&key) {
+                    let value = iter
+                        .next()
+                        .ok_or_else(|| ArgError(format!("--{key} requires a value")))?;
+                    args.options.insert(key.to_owned(), value);
+                } else {
+                    args.flags.push(key.to_owned());
+                }
+            } else if args.command.is_none() {
+                args.command = Some(tok);
+            } else {
+                return Err(ArgError(format!("unexpected positional argument `{tok}`")));
+            }
+        }
+        Ok(args)
+    }
+
+    /// A string option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// A required string option.
+    ///
+    /// # Errors
+    ///
+    /// Describes the missing option.
+    pub fn require(&self, key: &str) -> Result<&str, ArgError> {
+        self.get(key).ok_or_else(|| ArgError(format!("missing required option --{key}")))
+    }
+
+    /// A numeric option with a default.
+    ///
+    /// # Errors
+    ///
+    /// Describes unparsable values.
+    pub fn get_u64(&self, key: &str, default: u64) -> Result<u64, ArgError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("--{key} expects an integer, got `{v}`"))),
+        }
+    }
+
+    /// An optional numeric option (no default).
+    ///
+    /// # Errors
+    ///
+    /// Describes unparsable values.
+    pub fn get_u64_opt(&self, key: &str) -> Result<Option<u64>, ArgError> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| ArgError(format!("--{key} expects an integer, got `{v}`"))),
+        }
+    }
+
+    /// A required numeric option.
+    ///
+    /// # Errors
+    ///
+    /// Describes missing/unparsable values.
+    pub fn require_u64(&self, key: &str) -> Result<u64, ArgError> {
+        self.require(key)?
+            .parse()
+            .map_err(|_| ArgError(format!("--{key} expects an integer")))
+    }
+
+    /// Whether a boolean flag is present.
+    pub fn has_flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+}
+
+/// Normalizes a constraint argument: `;` and literal `\n` both separate
+/// configuration lines, so shells without multi-line strings work too.
+pub fn constraint_text(raw: &str) -> String {
+    raw.replace("\\n", "\n").replace(';', "\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Result<Args, ArgError> {
+        Args::parse(words.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn command_options_flags() {
+        let a = parse(&["step", "--node", "M M", "--edge", "M M", "--condense"]).unwrap();
+        assert_eq!(a.command.as_deref(), Some("step"));
+        assert_eq!(a.get("node"), Some("M M"));
+        assert!(a.has_flag("condense"));
+        assert!(!a.has_flag("dot"));
+    }
+
+    #[test]
+    fn missing_value_rejected() {
+        assert!(parse(&["step", "--node"]).is_err());
+    }
+
+    #[test]
+    fn unexpected_positional_rejected() {
+        assert!(parse(&["step", "extra"]).is_err());
+    }
+
+    #[test]
+    fn numbers() {
+        let a = parse(&["chain", "--delta", "1024", "--k", "2"]).unwrap();
+        assert_eq!(a.require_u64("delta").unwrap(), 1024);
+        assert_eq!(a.get_u64("k", 0).unwrap(), 2);
+        assert_eq!(a.get_u64("seed", 7).unwrap(), 7);
+        assert!(a.require_u64("n").is_err());
+    }
+
+    #[test]
+    fn separators() {
+        assert_eq!(constraint_text("M M; P O"), "M M\n P O");
+        assert_eq!(constraint_text("M M\\nP O"), "M M\nP O");
+    }
+}

@@ -1,0 +1,567 @@
+//! `relim` — a command-line round eliminator.
+//!
+//! ```text
+//! relim step        --node "M M M" --edge "M [P O];O O" [--steps N] [--condense]
+//! relim diagram     --node ... --edge ... [--side node|edge] [--dot]
+//! relim zeroround   --node ... --edge ...
+//! relim fixed-point --node ... --edge ... [--max-steps N] [--label-limit L]
+//! relim family      --delta D --a A --x X [--plus]
+//! relim lemma6      --delta D --a A --x X
+//! relim lemma8      --delta D --a A --x X
+//! relim chain       --delta D [--k K] [--exact]
+//! relim bounds      --n N --delta D [--k K]
+//! relim help
+//! ```
+//!
+//! Constraint strings use the engine's text format; `;` or a literal `\n`
+//! separates configuration lines.
+
+mod args;
+
+use args::{constraint_text, ArgError, Args};
+use lb_family::family::{self, PiParams};
+use lb_family::{bounds, lemma6, lemma8, sequence};
+use relim_core::diagram::StrengthOrder;
+use relim_core::{autolb, autoub, condense, iterate, roundelim, zeroround, Problem};
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    match run(raw) {
+        Ok(output) => println!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run `relim help` for usage");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Dispatches a full invocation and returns the text to print.
+fn run(raw: Vec<String>) -> Result<String, Box<dyn std::error::Error>> {
+    let args = Args::parse(raw)?;
+    match args.command.as_deref() {
+        Some("step") => cmd_step(&args),
+        Some("bistep") => cmd_bistep(&args),
+        Some("diagram") => cmd_diagram(&args),
+        Some("zeroround") => cmd_zeroround(&args),
+        Some("trivial") => cmd_trivial(&args),
+        Some("autolb") => cmd_autolb(&args),
+        Some("autoub") => cmd_autoub(&args),
+        Some("fixed-point") => cmd_fixed_point(&args),
+        Some("family") => cmd_family(&args),
+        Some("lemma6") => cmd_lemma6(&args),
+        Some("lemma8") => cmd_lemma8(&args),
+        Some("chain") => cmd_chain(&args),
+        Some("bounds") => cmd_bounds(&args),
+        Some("help") | None => Ok(usage()),
+        Some(other) => Err(Box::new(ArgError(format!("unknown command `{other}`")))),
+    }
+}
+
+fn usage() -> String {
+    "relim — a command-line round eliminator (BBKO PODC 2021 reproduction)
+
+USAGE:
+  relim step        --node <N> --edge <E> [--steps N] [--condense]
+  relim bistep      --black <B> --white <W> [--steps N]
+  relim diagram     --node <N> --edge <E> [--side node|edge] [--dot]
+  relim zeroround   --node <N> --edge <E>
+  relim trivial     --node <N> --edge <E> [--coloring C]
+  relim autolb      --node <N> --edge <E> [--max-steps N] [--labels L] [--criterion gadget|universal]
+  relim autoub      --node <N> --edge <E> [--max-steps N] [--labels L] [--coloring C]
+  relim fixed-point --node <N> --edge <E> [--max-steps N] [--label-limit L]
+  relim family      --delta D --a A --x X [--plus]
+  relim lemma6      --delta D --a A --x X
+  relim lemma8      --delta D --a A --x X
+  relim chain       --delta D [--k K] [--exact]
+  relim bounds      --n N --delta D [--k K]
+
+Constraints use the text format: one condensed configuration per line
+(`;` or literal \\n separate lines), e.g. --node 'M M M;P O O'
+--edge 'M [P O];O O'."
+        .to_owned()
+}
+
+fn load_problem(args: &Args) -> Result<Problem, Box<dyn std::error::Error>> {
+    let node = constraint_text(args.require("node")?);
+    let edge = constraint_text(args.require("edge")?);
+    Ok(Problem::from_text(&node, &edge)?)
+}
+
+fn render_problem(p: &Problem, condensed: bool) -> String {
+    if condensed {
+        format!(
+            "N (degree {}):\n{}\n\nE:\n{}",
+            p.delta(),
+            condense::render_condensed(p.node(), p.alphabet()),
+            condense::render_condensed(p.edge(), p.alphabet()),
+        )
+    } else {
+        p.render()
+    }
+}
+
+fn cmd_step(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
+    let p = load_problem(args)?;
+    let steps = args.get_u64("steps", 1)? as usize;
+    let condensed = args.has_flag("condense");
+    let mut out = String::new();
+    let mut current = p;
+    for i in 1..=steps {
+        let (r, rr) = roundelim::rr_step(&current)?;
+        out.push_str(&format!("=== step {i}: R(Π) ===\n"));
+        out.push_str("labels: ");
+        let names: Vec<String> = r
+            .provenance
+            .iter()
+            .map(|s| s.display(current.alphabet()))
+            .collect();
+        out.push_str(&names.join(" "));
+        out.push_str(&format!("\n\n=== step {i}: R̄(R(Π)) ===\n"));
+        let (reduced, _) = rr.problem.drop_unused_labels();
+        out.push_str(&render_problem(&reduced, condensed));
+        out.push_str("\n\n");
+        current = reduced;
+    }
+    Ok(out.trim_end().to_owned())
+}
+
+fn cmd_bistep(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
+    use relim_core::biregular::{self, BiregularProblem};
+    let black = constraint_text(args.require("black")?);
+    let white = constraint_text(args.require("white")?);
+    let p = BiregularProblem::from_text(&black, &white)?;
+    let steps = args.get_u64("steps", 1)? as usize;
+    let mut out = format!(
+        "(δ_B, δ_W) = {:?}\n\n=== input ===\n{}\n\n",
+        p.degrees(),
+        p.render()
+    );
+    let mut current = p;
+    for i in 1..=steps {
+        let (_, b) = biregular::full_step(&current)?;
+        out.push_str(&format!("=== after full step {i} ===\n{}\n", b.problem.render()));
+        out.push_str(&format!(
+            "trivial for black nodes: {}\n\n",
+            biregular::trivial_black(&b.problem).is_some()
+        ));
+        current = b.problem;
+    }
+    Ok(out.trim_end().to_owned())
+}
+
+fn cmd_diagram(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
+    let p = load_problem(args)?;
+    let side = args.get("side").unwrap_or("edge");
+    let constraint = match side {
+        "node" => p.node(),
+        "edge" => p.edge(),
+        other => return Err(Box::new(ArgError(format!("--side must be node|edge, got {other}")))),
+    };
+    let order = StrengthOrder::of_constraint(constraint, p.alphabet().len());
+    if args.has_flag("dot") {
+        return Ok(order.to_dot(p.alphabet(), &format!("{side} diagram")));
+    }
+    let mut out = format!("{side} diagram (a -> b means b is stronger):\n");
+    for (a, b) in order.hasse_edges() {
+        out.push_str(&format!("  {} -> {}\n", p.alphabet().name(a), p.alphabet().name(b)));
+    }
+    Ok(out.trim_end().to_owned())
+}
+
+fn cmd_zeroround(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
+    let p = load_problem(args)?;
+    let report = zeroround::analyze(&p);
+    let mut out = format!(
+        "deterministically 0-round solvable on the identified-ports gadget: {}\n",
+        report.deterministically_solvable
+    );
+    match &report.witness {
+        Some(w) => out.push_str(&format!("witness configuration: {}\n", w.display(p.alphabet()))),
+        None => {
+            out.push_str("per-configuration self-incompatible labels:\n");
+            for (cfg, bad) in &report.bad_labels {
+                let bad = bad.expect("no witness, so every configuration has one");
+                out.push_str(&format!(
+                    "  {}  ⇒  {} is not self-compatible\n",
+                    cfg.display(p.alphabet()),
+                    p.alphabet().name(bad)
+                ));
+            }
+            out.push_str(&format!(
+                "randomized failure probability ≥ {:.3e} (Lemma 15-style bound)\n",
+                report.randomized_failure_lower_bound
+            ));
+        }
+    }
+    Ok(out.trim_end().to_owned())
+}
+
+fn cmd_trivial(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
+    let p = load_problem(args)?;
+    let mut out = String::new();
+    match zeroround::universal_witness(&p) {
+        Some(w) => out.push_str(&format!(
+            "bare PN model (trivial problem): SOLVABLE, witness {}\n",
+            w.display(p.alphabet())
+        )),
+        None => out.push_str("bare PN model (trivial problem): not solvable\n"),
+    }
+    match zeroround::analyze(&p).witness {
+        Some(w) => out.push_str(&format!(
+            "given a Δ-edge coloring (gadget criterion): SOLVABLE, witness {}\n",
+            w.display(p.alphabet())
+        )),
+        None => out.push_str("given a Δ-edge coloring (gadget criterion): not solvable\n"),
+    }
+    if let Some(c) = args.get_u64_opt("coloring")? {
+        let c = c as usize;
+        match zeroround::coloring_witness(&p, c) {
+            Some(ws) => {
+                out.push_str(&format!("given a proper {c}-vertex coloring: SOLVABLE\n"));
+                for (i, w) in ws.iter().enumerate() {
+                    out.push_str(&format!("  color {} -> {}\n", i + 1, w.display(p.alphabet())));
+                }
+            }
+            None => out.push_str(&format!("given a proper {c}-vertex coloring: not solvable\n")),
+        }
+    }
+    Ok(out.trim_end().to_owned())
+}
+
+fn cmd_autolb(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
+    let p = load_problem(args)?;
+    let triviality = match args.get("criterion").unwrap_or("gadget") {
+        "gadget" => autolb::Triviality::GadgetEdgeColoring,
+        "universal" => autolb::Triviality::Universal,
+        other => {
+            return Err(Box::new(ArgError(format!(
+                "--criterion must be gadget|universal, got {other}"
+            ))))
+        }
+    };
+    let opts = autolb::AutoLbOptions {
+        max_steps: args.get_u64("max-steps", 6)? as usize,
+        label_budget: args.get_u64("labels", 6)? as usize,
+        triviality,
+    };
+    let outcome = autolb::auto_lower_bound(&p, &opts);
+    let mut out = String::new();
+    for (i, step) in outcome.steps.iter().enumerate() {
+        out.push_str(&format!(
+            "step {}: |Σ| {} -> {}",
+            i + 1,
+            step.raw.alphabet().len(),
+            step.problem.alphabet().len()
+        ));
+        if !step.merges.is_empty() {
+            let merges: Vec<String> =
+                step.merges.iter().map(|(f, t)| format!("{f}->{t}")).collect();
+            out.push_str(&format!("  merges: {}", merges.join(", ")));
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("stopped: {:?}\n", outcome.stopped));
+    if outcome.unbounded() {
+        out.push_str(
+            "FIXED POINT: unbounded PN lower bound (⇒ Ω(log n) det / Ω(log log n) rand LOCAL)\n",
+        );
+    }
+    out.push_str(&format!(
+        "certified lower bound: {} rounds ({})\n",
+        outcome.certified_rounds,
+        match triviality {
+            autolb::Triviality::GadgetEdgeColoring => "holds even given a Δ-edge coloring",
+            autolb::Triviality::Universal => "bare PN model",
+        }
+    ));
+    let replay = autolb::verify_chain(&outcome)?;
+    out.push_str(&format!("certificate replay: OK ({replay} rounds)"));
+    Ok(out)
+}
+
+fn cmd_autoub(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
+    let p = load_problem(args)?;
+    let opts = autoub::AutoUbOptions {
+        max_steps: args.get_u64("max-steps", 6)? as usize,
+        label_budget: args.get_u64("labels", 10)? as usize,
+        coloring: args.get_u64_opt("coloring")?.map(|c| c as usize),
+    };
+    let outcome = autoub::auto_upper_bound(&p, &opts);
+    let mut out = String::new();
+    for (i, step) in outcome.steps.iter().enumerate() {
+        out.push_str(&format!(
+            "step {}: |Σ| {} -> {}",
+            i + 1,
+            step.raw.alphabet().len(),
+            step.problem.alphabet().len()
+        ));
+        if !step.removals.is_empty() {
+            out.push_str(&format!("  removed: {}", step.removals.join(", ")));
+        }
+        out.push('\n');
+    }
+    match (&outcome.bound, &outcome.failure) {
+        (Some(b), _) => {
+            let kind = match &b.kind {
+                autoub::UbKind::Pn => "bare PN model".to_owned(),
+                autoub::UbKind::EdgeColoring => "given a Δ-edge coloring".to_owned(),
+                autoub::UbKind::VertexColoring { colors } => {
+                    format!("given a proper {colors}-vertex coloring (+O(log* n) in LOCAL)")
+                }
+            };
+            out.push_str(&format!("upper bound: {} rounds ({kind})\n", b.rounds));
+        }
+        (None, Some(f)) => out.push_str(&format!("no upper bound found: {f:?}\n")),
+        (None, None) => unreachable!("outcome carries a bound or a failure"),
+    }
+    let replay = autoub::verify_ub(&outcome)?;
+    out.push_str(&format!("certificate replay: OK ({replay:?})"));
+    Ok(out)
+}
+
+fn cmd_fixed_point(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
+    let p = load_problem(args)?;
+    let max_steps = args.get_u64("max-steps", 5)? as usize;
+    let label_limit = args.get_u64("label-limit", 16)? as usize;
+    let outcome = iterate::iterate_rr(&p, max_steps, label_limit);
+    let mut out = String::from("step  labels  |N|     |E|\n");
+    for s in &outcome.stats {
+        out.push_str(&format!("{:<5} {:<7} {:<7} {:<7}\n", s.step, s.labels, s.node_configs, s.edge_configs));
+    }
+    out.push_str(&format!("stopped: {:?}", outcome.stopped));
+    Ok(out)
+}
+
+fn params_from(args: &Args) -> Result<PiParams, Box<dyn std::error::Error>> {
+    Ok(PiParams {
+        delta: args.require_u64("delta")? as u32,
+        a: args.require_u64("a")? as u32,
+        x: args.require_u64("x")? as u32,
+    })
+}
+
+fn cmd_family(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
+    let params = params_from(args)?;
+    let p = if args.has_flag("plus") {
+        family::pi_plus(&params)?
+    } else {
+        family::pi(&params)?
+    };
+    Ok(render_problem(&p, true))
+}
+
+fn cmd_lemma6(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
+    let params = params_from(args)?;
+    let report = lemma6::verify(&params)?;
+    Ok(format!(
+        "Lemma 6 at Δ={}, a={}, x={}:\n  provenance: {}\n  node constraint: {}\n  edge constraint: {}\n  Figure 5: {}\n  => {}",
+        params.delta,
+        params.a,
+        params.x,
+        report.provenance_matches,
+        report.node_matches,
+        report.edge_matches,
+        report.figure5_matches,
+        if report.matches_paper() { "VERIFIED" } else { "MISMATCH" }
+    ))
+}
+
+fn cmd_lemma8(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
+    let params = params_from(args)?;
+    let mach = lemma8::Lemma8Machinery::compute(&params)?;
+    let report = mach.verify();
+    Ok(format!(
+        "Lemma 8 at Δ={}, a={}, x={}:\n  |Σ''| = {}, |N''| = {}\n  all configurations relax to Π_rel: {}\n  Π_rel = Π⁺: {}\n  => {}",
+        params.delta,
+        params.a,
+        params.x,
+        report.rr_label_count,
+        report.rr_node_config_count,
+        report.all_node_configs_relax,
+        report.pi_rel_equals_pi_plus,
+        if report.matches_paper() { "VERIFIED" } else { "MISMATCH" }
+    ))
+}
+
+fn cmd_chain(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
+    let delta = args.require_u64("delta")? as u32;
+    let k = args.get_u64("k", 0)? as u32;
+    let chain = if args.has_flag("exact") {
+        sequence::exact_chain(delta, k)
+    } else {
+        sequence::paper_chain(delta, k)
+    };
+    let mut out = format!(
+        "lower-bound chain for Δ={delta}, k={k} ({}):\n",
+        if args.has_flag("exact") { "exact recurrence" } else { "paper schedule" }
+    );
+    for (i, s) in chain.steps.iter().enumerate() {
+        out.push_str(&format!("  Π_{i} = Π_Δ({}, {})\n", s.a, s.x));
+    }
+    out.push_str(&format!(
+        "length t = {} transitions  (t/log₂Δ = {:.3}); PN-model lower bound ≥ {} rounds",
+        chain.length(),
+        chain.slope(),
+        chain.pn_round_lower_bound()
+    ));
+    if args.has_flag("certify") {
+        let mut cert = lb_family::certificate::ChainCertificate::build(delta, k)?;
+        let ok = cert.verify(true)?;
+        out.push_str("\n\n");
+        out.push_str(&cert.render());
+        out.push_str(&format!("\ncertificate verifies: {ok}"));
+    }
+    Ok(out)
+}
+
+fn cmd_bounds(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
+    let n = args.require_u64("n")? as f64;
+    let delta = args.require_u64("delta")? as u32;
+    let k = args.get_u64("k", 0)? as u32;
+    Ok(format!(
+        "Theorem 1 at n={n:.0}, Δ={delta}, k={k}:\n  t(Δ,k) = {} (paper schedule), {} (exact)\n  deterministic LOCAL bound: min{{t, log_Δ n}} = {:.3}\n  randomized LOCAL bound: min{{t, log_Δ log n}} = {:.3}",
+        bounds::pn_lower_bound(delta, k),
+        bounds::pn_lower_bound_exact(delta, k),
+        bounds::theorem1_det(n, delta, k),
+        bounds::theorem1_rand(n, delta, k),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_words(words: &[&str]) -> String {
+        run(words.iter().map(|s| s.to_string()).collect()).expect("command succeeds")
+    }
+
+    #[test]
+    fn help_by_default() {
+        assert!(run_words(&[]).contains("USAGE"));
+        assert!(run_words(&["help"]).contains("relim step"));
+    }
+
+    #[test]
+    fn step_on_mis() {
+        let out = run_words(&["step", "--node", "M M M;P O O", "--edge", "M [P O];O O"]);
+        assert!(out.contains("R̄(R(Π))"));
+        assert!(out.contains("labels:"));
+    }
+
+    #[test]
+    fn diagram_edge_and_dot() {
+        let out = run_words(&["diagram", "--node", "M M M;P O O", "--edge", "M [P O];O O"]);
+        assert!(out.contains("P -> O"));
+        let dot = run_words(&[
+            "diagram", "--node", "M M M;P O O", "--edge", "M [P O];O O", "--dot",
+        ]);
+        assert!(dot.contains("digraph"));
+    }
+
+    #[test]
+    fn zeroround_mis() {
+        let out = run_words(&["zeroround", "--node", "M M M;P O O", "--edge", "M [P O];O O"]);
+        assert!(out.contains("false"));
+        assert!(out.contains("not self-compatible"));
+    }
+
+    #[test]
+    fn fixed_point_so() {
+        let out = run_words(&["fixed-point", "--node", "O I I", "--edge", "[O I] I"]);
+        assert!(out.contains("FixedPoint"), "{out}");
+    }
+
+    #[test]
+    fn family_and_lemmas() {
+        let fam = run_words(&["family", "--delta", "5", "--a", "3", "--x", "1"]);
+        assert!(fam.contains("N (degree 5)"));
+        let l6 = run_words(&["lemma6", "--delta", "4", "--a", "3", "--x", "1"]);
+        assert!(l6.contains("VERIFIED"));
+        let l8 = run_words(&["lemma8", "--delta", "3", "--a", "2", "--x", "0"]);
+        assert!(l8.contains("VERIFIED"));
+    }
+
+    #[test]
+    fn chain_and_bounds() {
+        let chain = run_words(&["chain", "--delta", "4096"]);
+        assert!(chain.contains("length t = 3"), "{chain}");
+        let exact = run_words(&["chain", "--delta", "4096", "--exact"]);
+        assert!(exact.contains("exact recurrence"));
+        let bounds = run_words(&["bounds", "--n", "1000000000", "--delta", "4096"]);
+        assert!(bounds.contains("Theorem 1"));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(run(vec!["step".into()]).is_err());
+        assert!(run(vec!["nonsense".into()]).is_err());
+        assert!(run(vec!["chain".into()]).is_err()); // missing --delta
+    }
+
+    #[test]
+    fn trivial_reports_all_criteria() {
+        // Perfect matching: solvable with the edge coloring, not bare.
+        let out = run_words(&[
+            "trivial", "--node", "M O", "--edge", "M M;O O", "--coloring", "2",
+        ]);
+        assert!(out.contains("bare PN model (trivial problem): not solvable"), "{out}");
+        assert!(out.contains("gadget criterion): SOLVABLE"), "{out}");
+        // Config cliques: MO is not cross-compatible with itself, and there
+        // is only one configuration, so 2-coloring does not help.
+        assert!(out.contains("2-vertex coloring: not solvable"), "{out}");
+    }
+
+    #[test]
+    fn autolb_on_sinkless_orientation() {
+        let out = run_words(&["autolb", "--node", "O I I", "--edge", "[O I] I"]);
+        assert!(out.contains("FIXED POINT"), "{out}");
+        assert!(out.contains("certificate replay: OK"), "{out}");
+    }
+
+    #[test]
+    fn autolb_criterion_choice() {
+        let out = run_words(&[
+            "autolb",
+            "--node",
+            "M M M;P O O",
+            "--edge",
+            "M [P O];O O",
+            "--max-steps",
+            "2",
+            "--labels",
+            "5",
+            "--criterion",
+            "universal",
+        ]);
+        assert!(out.contains("bare PN model"), "{out}");
+        let err = run(vec![
+            "autolb".into(),
+            "--node".into(),
+            "M M".into(),
+            "--edge".into(),
+            "M M".into(),
+            "--criterion".into(),
+            "bogus".into(),
+        ]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn bistep_on_hypergraph_so() {
+        let out = run_words(&["bistep", "--black", "O I I", "--white", "[O I] I I"]);
+        assert!(out.contains("(3, 3)"), "{out}");
+        assert!(out.contains("trivial for black nodes: false"), "{out}");
+    }
+
+    #[test]
+    fn autoub_with_coloring() {
+        let out = run_words(&[
+            "autoub", "--node", "M M;P O", "--edge", "M [P O];O O", "--max-steps", "5",
+            "--labels", "14", "--coloring", "3",
+        ]);
+        assert!(out.contains("upper bound:"), "{out}");
+        assert!(out.contains("3-vertex coloring"), "{out}");
+        assert!(out.contains("certificate replay: OK"), "{out}");
+    }
+}

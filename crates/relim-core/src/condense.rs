@@ -1,0 +1,155 @@
+//! Condensing explicit constraints back into compact lines.
+//!
+//! The engine stores constraints explicitly; papers (and the
+//! round-eliminator UI) write them as condensed configurations like
+//! `M [P O]^(Δ−1)`. [`condense`] greedily recovers such lines: it grows
+//! disjunctions as long as the line's expansion stays inside the
+//! constraint, then covers remaining configurations with further lines.
+//! The result is a *sound cover*: the union of the lines' expansions equals
+//! the constraint exactly (asserted), though it is not guaranteed to be the
+//! minimum-size description.
+
+use crate::constraint::Constraint;
+use crate::label::Label;
+use crate::labelset::LabelSet;
+use crate::line::Line;
+
+/// Greedily condenses a constraint into lines whose expansions exactly
+/// cover it.
+///
+/// # Example
+///
+/// ```
+/// use relim_core::{condense, Problem};
+///
+/// let mis = Problem::from_text("M M M\nP O O", "M [P O]\nO O").unwrap();
+/// let lines = condense::condense(mis.edge());
+/// // {MP, MO, OO} condenses to two lines: `M [P O]` and `O O`
+/// // (or an equivalent cover).
+/// assert!(lines.len() <= 2);
+/// ```
+pub fn condense(constraint: &Constraint) -> Vec<Line> {
+    let alphabet_size = 32 - constraint.support().bits().leading_zeros() as usize;
+    let mut covered: std::collections::HashSet<_> = std::collections::HashSet::new();
+    let mut lines = Vec::new();
+
+    for cfg in constraint.iter() {
+        if covered.contains(cfg) {
+            continue;
+        }
+        // Seed line: the configuration itself, groups = (singleton, count).
+        let mut groups: Vec<(LabelSet, u32)> = cfg
+            .counts()
+            .into_iter()
+            .map(|(l, c)| (LabelSet::singleton(l), c))
+            .collect();
+        // Grow each group's disjunction while the expansion stays inside.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for gi in 0..groups.len() {
+                for li in 0..alphabet_size {
+                    let label = Label::new(li as u8);
+                    if groups[gi].0.contains(label) {
+                        continue;
+                    }
+                    let mut candidate = groups.clone();
+                    candidate[gi].0 = candidate[gi].0.with(label);
+                    let line = Line::new(candidate.clone()).expect("non-empty");
+                    if line.expand().iter().all(|c| constraint.contains(c)) {
+                        groups = candidate;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        let line = Line::new(groups).expect("non-empty");
+        for c in line.expand() {
+            covered.insert(c);
+        }
+        lines.push(line);
+    }
+
+    debug_assert!(verify_cover(constraint, &lines), "condensation must cover exactly");
+    lines
+}
+
+/// Whether the union of the lines' expansions equals the constraint.
+pub fn verify_cover(constraint: &Constraint, lines: &[Line]) -> bool {
+    let mut union = std::collections::HashSet::new();
+    for line in lines {
+        for cfg in line.expand() {
+            if !constraint.contains(&cfg) {
+                return false;
+            }
+            union.insert(cfg);
+        }
+    }
+    union.len() == constraint.len()
+}
+
+/// Renders a constraint compactly: condensed lines, one per row.
+pub fn render_condensed(constraint: &Constraint, alphabet: &crate::label::Alphabet) -> String {
+    condense(constraint)
+        .iter()
+        .map(|l| l.display(alphabet))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Problem;
+
+    #[test]
+    fn mis_edge_condenses() {
+        let mis = Problem::from_text("M M M\nP O O", "M [P O]\nO O").unwrap();
+        let lines = condense(mis.edge());
+        assert!(verify_cover(mis.edge(), &lines));
+        assert!(lines.len() <= 2, "{lines:?}");
+    }
+
+    #[test]
+    fn node_constraint_condenses() {
+        let p = Problem::from_text("[A B]^3\nC C C", "A [A B C]\nB [B C]\nC C").unwrap();
+        let lines = condense(p.node());
+        assert!(verify_cover(p.node(), &lines));
+        // [AB]^3 has 4 configs + CCC: 5 configs condense to ~2 lines.
+        assert!(lines.len() <= 3, "{lines:?}");
+    }
+
+    #[test]
+    fn cover_is_exact_not_superset() {
+        let p = Problem::from_text("A A\nA B", "A [A B]").unwrap();
+        let lines = condense(p.node());
+        // Must not include BB (not in the constraint).
+        assert!(verify_cover(p.node(), &lines));
+        for line in &lines {
+            for cfg in line.expand() {
+                assert!(p.node().contains(&cfg));
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_parser() {
+        let p = Problem::from_text("M M M M\nP O O O\n[M P] X X X", "M [P O X]\nO [O X]\nP X\nX X")
+            .unwrap();
+        for constraint in [p.node(), p.edge()] {
+            let rendered = render_condensed(constraint, p.alphabet());
+            let reparsed = crate::parse::parse_constraint(&rendered, p.alphabet()).unwrap();
+            assert_eq!(constraint, &reparsed);
+        }
+    }
+
+    #[test]
+    fn family_node_constraint_recovers_paper_form() {
+        // The Π_Δ(a,x) node constraint at Δ=6, a=4, x=1 should condense to
+        // exactly 3 lines (M⁵X, A⁴X², PO⁵).
+        let node_text = "M^5 X\nA^4 X^2\nP O^5";
+        let p = Problem::from_text(node_text, "M M").unwrap();
+        let lines = condense(p.node());
+        assert_eq!(lines.len(), 3);
+    }
+}

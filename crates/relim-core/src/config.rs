@@ -1,0 +1,316 @@
+//! Configurations: multisets of labels (or label sets) of fixed length.
+
+use crate::label::{Alphabet, Label};
+use crate::labelset::LabelSet;
+use std::fmt;
+
+/// A configuration: a multiset of labels of some fixed degree.
+///
+/// The order of elements does not matter (paper §2.2); the internal
+/// representation is kept sorted so that equality and hashing are canonical.
+///
+/// # Example
+///
+/// ```
+/// use relim_core::{Config, Label};
+///
+/// let c = Config::new(vec![Label::new(2), Label::new(0), Label::new(2)]);
+/// assert_eq!(c.degree(), 3);
+/// assert_eq!(c.count(Label::new(2)), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Config {
+    labels: Vec<Label>,
+}
+
+impl Config {
+    /// Creates a configuration from labels (sorted internally).
+    pub fn new(mut labels: Vec<Label>) -> Self {
+        labels.sort_unstable();
+        Config { labels }
+    }
+
+    /// The empty configuration (degree 0).
+    pub fn empty() -> Self {
+        Config { labels: Vec::new() }
+    }
+
+    /// Number of labels (with multiplicity).
+    pub fn degree(&self) -> u32 {
+        self.labels.len() as u32
+    }
+
+    /// The sorted labels.
+    pub fn as_slice(&self) -> &[Label] {
+        &self.labels
+    }
+
+    /// Iterates over the labels (with multiplicity, sorted).
+    pub fn iter(&self) -> impl Iterator<Item = Label> + '_ {
+        self.labels.iter().copied()
+    }
+
+    /// Multiplicity of `label` in the configuration.
+    pub fn count(&self, label: Label) -> u32 {
+        self.labels.iter().filter(|&&l| l == label).count() as u32
+    }
+
+    /// Whether the configuration contains `label` at least once.
+    pub fn contains(&self, label: Label) -> bool {
+        self.labels.binary_search(&label).is_ok()
+    }
+
+    /// The set of distinct labels used.
+    pub fn support(&self) -> LabelSet {
+        self.labels.iter().copied().collect()
+    }
+
+    /// Distinct labels with their multiplicities, sorted by label.
+    pub fn counts(&self) -> Vec<(Label, u32)> {
+        let mut out: Vec<(Label, u32)> = Vec::new();
+        for &l in &self.labels {
+            match out.last_mut() {
+                Some((last, c)) if *last == l => *c += 1,
+                _ => out.push((l, 1)),
+            }
+        }
+        out
+    }
+
+    /// Returns a copy with one occurrence of `from` replaced by `to`.
+    ///
+    /// Returns `None` if `from` does not occur. This is the elementary
+    /// operation of the strength relation (paper §2.3).
+    #[must_use]
+    pub fn replace_one(&self, from: Label, to: Label) -> Option<Config> {
+        let pos = self.labels.iter().position(|&l| l == from)?;
+        let mut labels = self.labels.clone();
+        labels[pos] = to;
+        Some(Config::new(labels))
+    }
+
+    /// Returns a copy with `label` appended.
+    #[must_use]
+    pub fn with(&self, label: Label) -> Config {
+        let mut labels = self.labels.clone();
+        let pos = labels.partition_point(|&l| l <= label);
+        labels.insert(pos, label);
+        Config { labels }
+    }
+
+    /// Whether `self` is a sub-multiset of `other`.
+    pub fn is_sub_multiset_of(&self, other: &Config) -> bool {
+        if self.labels.len() > other.labels.len() {
+            return false;
+        }
+        // Both sorted: two-pointer containment.
+        let mut j = 0;
+        for &l in &self.labels {
+            while j < other.labels.len() && other.labels[j] < l {
+                j += 1;
+            }
+            if j >= other.labels.len() || other.labels[j] != l {
+                return false;
+            }
+            j += 1;
+        }
+        true
+    }
+
+    /// All sub-multisets of `self` (of every size, including empty and full).
+    pub fn sub_multisets(&self) -> Vec<Config> {
+        let counts = self.counts();
+        let mut out = vec![Config::empty()];
+        for (label, c) in counts {
+            let mut next = Vec::with_capacity(out.len() * (c as usize + 1));
+            for cfg in &out {
+                let mut cur = cfg.clone();
+                next.push(cur.clone());
+                for _ in 0..c {
+                    cur = cur.with(label);
+                    next.push(cur.clone());
+                }
+            }
+            out = next;
+        }
+        out
+    }
+
+    /// Remaps every label through `mapping` (indexed by old label).
+    ///
+    /// # Panics
+    ///
+    /// Panics if some label has no entry in `mapping`.
+    #[must_use]
+    pub fn map_labels(&self, mapping: &[Label]) -> Config {
+        Config::new(self.labels.iter().map(|l| mapping[l.index()]).collect())
+    }
+
+    /// Renders the configuration with alphabet names, compressing runs with
+    /// exponents: `M^2 X`.
+    pub fn display(&self, alphabet: &Alphabet) -> String {
+        let mut parts = Vec::new();
+        for (label, c) in self.counts() {
+            if c == 1 {
+                parts.push(alphabet.name(label).to_owned());
+            } else {
+                parts.push(format!("{}^{}", alphabet.name(label), c));
+            }
+        }
+        parts.join(" ")
+    }
+}
+
+impl FromIterator<Label> for Config {
+    fn from_iter<I: IntoIterator<Item = Label>>(iter: I) -> Self {
+        Config::new(iter.into_iter().collect())
+    }
+}
+
+impl fmt::Display for Config {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, l) in self.labels.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{}", l.index())?;
+        }
+        Ok(())
+    }
+}
+
+/// A configuration whose elements are *sets* of labels — the shape of
+/// configurations midway through a round elimination step (paper §2.3).
+///
+/// # Example
+///
+/// ```
+/// use relim_core::{Label, LabelSet, SetConfig};
+///
+/// let a = LabelSet::singleton(Label::new(0));
+/// let b = a.with(Label::new(1));
+/// let sc = SetConfig::new(vec![b, a]);
+/// assert_eq!(sc.degree(), 2);
+/// assert_eq!(sc.as_slice()[0], a); // sorted
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SetConfig {
+    sets: Vec<LabelSet>,
+}
+
+impl SetConfig {
+    /// Creates a set-configuration (sorted internally by raw bitmask).
+    pub fn new(mut sets: Vec<LabelSet>) -> Self {
+        sets.sort_unstable();
+        SetConfig { sets }
+    }
+
+    /// Number of elements (with multiplicity).
+    pub fn degree(&self) -> u32 {
+        self.sets.len() as u32
+    }
+
+    /// The sorted sets.
+    pub fn as_slice(&self) -> &[LabelSet] {
+        &self.sets
+    }
+
+    /// Iterates over the sets.
+    pub fn iter(&self) -> impl Iterator<Item = LabelSet> + '_ {
+        self.sets.iter().copied()
+    }
+
+    /// Renders with alphabet names, e.g. `MX^2 O`.
+    pub fn display(&self, alphabet: &Alphabet) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        let mut i = 0;
+        while i < self.sets.len() {
+            let mut j = i;
+            while j < self.sets.len() && self.sets[j] == self.sets[i] {
+                j += 1;
+            }
+            let name = self.sets[i].display(alphabet);
+            if j - i == 1 {
+                parts.push(name);
+            } else {
+                parts.push(format!("{}^{}", name, j - i));
+            }
+            i = j;
+        }
+        parts.join(" ")
+    }
+}
+
+impl FromIterator<LabelSet> for SetConfig {
+    fn from_iter<I: IntoIterator<Item = LabelSet>>(iter: I) -> Self {
+        SetConfig::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(i: u8) -> Label {
+        Label::new(i)
+    }
+
+    #[test]
+    fn canonical_sorting() {
+        let a = Config::new(vec![l(2), l(0), l(1)]);
+        let b = Config::new(vec![l(0), l(1), l(2)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn counts_and_support() {
+        let c = Config::new(vec![l(1), l(1), l(3)]);
+        assert_eq!(c.counts(), vec![(l(1), 2), (l(3), 1)]);
+        assert_eq!(c.support(), LabelSet::from_bits(0b1010));
+        assert_eq!(c.count(l(1)), 2);
+        assert_eq!(c.count(l(0)), 0);
+    }
+
+    #[test]
+    fn replace_one() {
+        let c = Config::new(vec![l(0), l(0), l(2)]);
+        let r = c.replace_one(l(0), l(2)).unwrap();
+        assert_eq!(r, Config::new(vec![l(0), l(2), l(2)]));
+        assert!(c.replace_one(l(1), l(2)).is_none());
+    }
+
+    #[test]
+    fn sub_multiset() {
+        let big = Config::new(vec![l(0), l(0), l(1)]);
+        assert!(Config::new(vec![l(0), l(1)]).is_sub_multiset_of(&big));
+        assert!(Config::new(vec![l(0), l(0)]).is_sub_multiset_of(&big));
+        assert!(!Config::new(vec![l(1), l(1)]).is_sub_multiset_of(&big));
+        assert!(Config::empty().is_sub_multiset_of(&big));
+        assert!(!big.is_sub_multiset_of(&Config::new(vec![l(0), l(1)])));
+    }
+
+    #[test]
+    fn sub_multisets_enumeration() {
+        let c = Config::new(vec![l(0), l(0), l(1)]);
+        let subs = c.sub_multisets();
+        // (2+1)*(1+1) = 6 sub-multisets.
+        assert_eq!(subs.len(), 6);
+        assert!(subs.contains(&Config::empty()));
+        assert!(subs.contains(&c));
+    }
+
+    #[test]
+    fn display_exponents() {
+        let alpha = Alphabet::new(&["M", "P", "O"]).unwrap();
+        let c = Config::new(vec![l(0), l(0), l(2)]);
+        assert_eq!(c.display(&alpha), "M^2 O");
+    }
+
+    #[test]
+    fn setconfig_sorted() {
+        let s1 = LabelSet::from_bits(0b1);
+        let s2 = LabelSet::from_bits(0b11);
+        let sc = SetConfig::new(vec![s2, s1, s2]);
+        assert_eq!(sc.as_slice(), &[s1, s2, s2]);
+    }
+}

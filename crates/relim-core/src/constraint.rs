@@ -1,0 +1,264 @@
+//! Constraints: explicit sets of configurations of a fixed degree.
+
+use crate::config::Config;
+use crate::error::{RelimError, Result};
+use crate::label::{Alphabet, Label};
+use crate::labelset::LabelSet;
+use crate::line::Line;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A node or edge constraint: a non-empty set of [`Config`]s sharing one
+/// degree.
+///
+/// Constraints are stored *explicitly* (every configuration enumerated);
+/// condensed [`Line`]s are a construction and display format. This keeps the
+/// engine operations simple and exactly faithful to the definitions in the
+/// paper (§2.3) at the price of memory — acceptable because the paper's
+/// problems use ≤ 8 labels.
+///
+/// # Example
+///
+/// ```
+/// use relim_core::{Alphabet, Config, Constraint, Line, LabelSet};
+///
+/// let alpha = Alphabet::new(&["M", "P", "O"]).unwrap();
+/// let m = alpha.label("M").unwrap();
+/// let p = alpha.label("P").unwrap();
+/// let o = alpha.label("O").unwrap();
+///
+/// // MIS node constraint for Δ=3: { MMM, POO }.
+/// let n = Constraint::from_configs(vec![
+///     Config::new(vec![m, m, m]),
+///     Config::new(vec![p, o, o]),
+/// ]).unwrap();
+/// assert_eq!(n.degree(), 3);
+/// assert_eq!(n.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Constraint {
+    degree: u32,
+    configs: BTreeSet<Config>,
+}
+
+impl Constraint {
+    /// Builds a constraint from explicit configurations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RelimError::EmptyConstraint`] when no configurations are
+    /// given, or [`RelimError::WrongDegree`] when degrees disagree.
+    pub fn from_configs<I: IntoIterator<Item = Config>>(configs: I) -> Result<Self> {
+        let mut set = BTreeSet::new();
+        let mut degree: Option<u32> = None;
+        for cfg in configs {
+            match degree {
+                None => degree = Some(cfg.degree()),
+                Some(d) if d != cfg.degree() => {
+                    return Err(RelimError::WrongDegree { expected: d, found: cfg.degree() })
+                }
+                _ => {}
+            }
+            set.insert(cfg);
+        }
+        let degree = degree.ok_or(RelimError::EmptyConstraint)?;
+        Ok(Constraint { degree, configs: set })
+    }
+
+    /// Builds a constraint by expanding condensed [`Line`]s.
+    ///
+    /// # Errors
+    ///
+    /// Propagates degree mismatches between lines and rejects empty input.
+    pub fn from_lines(lines: &[Line]) -> Result<Self> {
+        if lines.is_empty() {
+            return Err(RelimError::EmptyConstraint);
+        }
+        let degree = lines[0].degree();
+        let mut set = BTreeSet::new();
+        for line in lines {
+            if line.degree() != degree {
+                return Err(RelimError::WrongDegree { expected: degree, found: line.degree() });
+            }
+            set.extend(line.expand());
+        }
+        Ok(Constraint { degree, configs: set })
+    }
+
+    /// Common degree of all configurations.
+    pub fn degree(&self) -> u32 {
+        self.degree
+    }
+
+    /// Number of configurations.
+    pub fn len(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// Whether the constraint is empty (never true for validated values).
+    pub fn is_empty(&self) -> bool {
+        self.configs.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, config: &Config) -> bool {
+        self.configs.contains(config)
+    }
+
+    /// Iterates over the configurations in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = &Config> + '_ {
+        self.configs.iter()
+    }
+
+    /// The set of labels appearing in at least one configuration.
+    pub fn support(&self) -> LabelSet {
+        self.configs
+            .iter()
+            .fold(LabelSet::EMPTY, |acc, c| acc.union(c.support()))
+    }
+
+    /// Remaps all labels through `mapping`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a used label has no entry in `mapping`.
+    #[must_use]
+    pub fn map_labels(&self, mapping: &[Label]) -> Constraint {
+        Constraint {
+            degree: self.degree,
+            configs: self.configs.iter().map(|c| c.map_labels(mapping)).collect(),
+        }
+    }
+
+    /// Builds the *sub-multiset index*: every sub-multiset (of every size) of
+    /// every configuration. Used by the universal-quantification step of
+    /// round elimination to prune partial choices, and by checkers to define
+    /// the constraint on nodes of degree `< Δ`.
+    pub fn sub_multiset_index(&self) -> SubMultisetIndex {
+        let mut set = std::collections::HashSet::new();
+        for cfg in &self.configs {
+            for sub in cfg.sub_multisets() {
+                set.insert(sub);
+            }
+        }
+        SubMultisetIndex { degree: self.degree, set }
+    }
+
+    /// Renders each configuration on its own line using alphabet names.
+    pub fn display(&self, alphabet: &Alphabet) -> String {
+        self.configs
+            .iter()
+            .map(|c| c.display(alphabet))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Constraint(degree={}, {} configs)", self.degree, self.configs.len())
+    }
+}
+
+/// Index of all sub-multisets of a constraint's configurations.
+///
+/// `contains(c)` answers "can `c` be extended to a full configuration?",
+/// which is both the pruning test inside the `R̄`/`R` universal steps and the
+/// node-constraint semantics for non-full-degree nodes (e.g. tree leaves).
+#[derive(Debug, Clone)]
+pub struct SubMultisetIndex {
+    degree: u32,
+    set: std::collections::HashSet<Config>,
+}
+
+impl SubMultisetIndex {
+    /// Whether `config` is a sub-multiset of some full configuration.
+    pub fn contains(&self, config: &Config) -> bool {
+        self.set.contains(config)
+    }
+
+    /// Degree of the underlying constraint.
+    pub fn degree(&self) -> u32 {
+        self.degree
+    }
+
+    /// Number of distinct sub-multisets indexed.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(i: u8) -> Label {
+        Label::new(i)
+    }
+
+    #[test]
+    fn from_configs_validates_degree() {
+        let err = Constraint::from_configs(vec![
+            Config::new(vec![l(0), l(0)]),
+            Config::new(vec![l(0)]),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, RelimError::WrongDegree { expected: 2, found: 1 }));
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert!(matches!(
+            Constraint::from_configs(Vec::<Config>::new()),
+            Err(RelimError::EmptyConstraint)
+        ));
+    }
+
+    #[test]
+    fn from_lines_expands_and_dedups() {
+        let ls01 = LabelSet::from_bits(0b011);
+        let line1 = Line::new(vec![(ls01, 2)]).unwrap();
+        let line2 = Line::new(vec![(LabelSet::from_bits(0b001), 2)]).unwrap();
+        let c = Constraint::from_lines(&[line1, line2]).unwrap();
+        // Line 1 expands to {AA, AB, BB}; line 2 to {AA} (duplicate).
+        assert_eq!(c.len(), 3);
+        assert!(c.contains(&Config::new(vec![l(0), l(1)])));
+    }
+
+    #[test]
+    fn support_union() {
+        let c = Constraint::from_configs(vec![
+            Config::new(vec![l(0), l(2)]),
+            Config::new(vec![l(1), l(1)]),
+        ])
+        .unwrap();
+        assert_eq!(c.support(), LabelSet::from_bits(0b111));
+    }
+
+    #[test]
+    fn sub_multiset_index_semantics() {
+        let c = Constraint::from_configs(vec![Config::new(vec![l(0), l(0), l(1)])]).unwrap();
+        let idx = c.sub_multiset_index();
+        assert!(idx.contains(&Config::empty()));
+        assert!(idx.contains(&Config::new(vec![l(0), l(1)])));
+        assert!(idx.contains(&Config::new(vec![l(0), l(0), l(1)])));
+        assert!(!idx.contains(&Config::new(vec![l(1), l(1)])));
+    }
+
+    #[test]
+    fn map_labels_merges() {
+        let c = Constraint::from_configs(vec![
+            Config::new(vec![l(0), l(1)]),
+            Config::new(vec![l(1), l(0)]),
+        ])
+        .unwrap();
+        let mapped = c.map_labels(&[l(0), l(0)]);
+        assert_eq!(mapped.len(), 1);
+        assert!(mapped.contains(&Config::new(vec![l(0), l(0)])));
+    }
+}

@@ -1,0 +1,163 @@
+//! Isomorphism between problems: equality up to renaming of labels.
+
+use crate::label::Label;
+use crate::problem::Problem;
+
+/// Searches for a label bijection `σ` with `σ(P) = Q` (both constraints
+/// mapped configuration-by-configuration).
+///
+/// Returns `mapping` with `mapping[p_label] = q_label`, or `None` if the
+/// problems are not isomorphic. Backtracking over label assignments, pruned
+/// by per-label invariants (occurrence counts in node/edge configurations
+/// and self-compatibility), so it is fast for the ≤ 10-label problems of the
+/// paper.
+///
+/// # Example
+///
+/// ```
+/// use relim_core::{iso, Problem};
+///
+/// let p = Problem::from_text("M M\nP O", "M [P O]\nO O").unwrap();
+/// // Same problem with M renamed to Z and listed in a different order:
+/// let q = Problem::from_text("P O\nZ Z", "O O\nZ [P O]").unwrap();
+/// let mapping = iso::find_isomorphism(&p, &q).unwrap();
+/// let z = q.alphabet().label("Z").unwrap();
+/// let m = p.alphabet().label("M").unwrap();
+/// assert_eq!(mapping[m.index()], z);
+/// ```
+pub fn find_isomorphism(p: &Problem, q: &Problem) -> Option<Vec<Label>> {
+    if p.alphabet().len() != q.alphabet().len()
+        || p.delta() != q.delta()
+        || p.node().len() != q.node().len()
+        || p.edge().len() != q.edge().len()
+    {
+        return None;
+    }
+    let n = p.alphabet().len();
+    let p_sig = signatures(p);
+    let q_sig = signatures(q);
+
+    // candidates[a] = q-labels with the same signature as p-label a.
+    let candidates: Vec<Vec<Label>> = (0..n)
+        .map(|a| {
+            (0..n)
+                .filter(|&b| p_sig[a] == q_sig[b])
+                .map(|b| Label::new(b as u8))
+                .collect()
+        })
+        .collect();
+    if candidates.iter().any(Vec::is_empty) {
+        return None;
+    }
+
+    let mut mapping: Vec<Option<Label>> = vec![None; n];
+    let mut used = vec![false; n];
+    // Assign most-constrained labels first.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&a| candidates[a].len());
+
+    fn rec(
+        i: usize,
+        order: &[usize],
+        candidates: &[Vec<Label>],
+        mapping: &mut Vec<Option<Label>>,
+        used: &mut Vec<bool>,
+        p: &Problem,
+        q: &Problem,
+    ) -> bool {
+        if i == order.len() {
+            let m: Vec<Label> = mapping.iter().map(|x| x.expect("complete")).collect();
+            return check_mapping(p, q, &m);
+        }
+        let a = order[i];
+        for &b in &candidates[a] {
+            if used[b.index()] {
+                continue;
+            }
+            mapping[a] = Some(b);
+            used[b.index()] = true;
+            if rec(i + 1, order, candidates, mapping, used, p, q) {
+                return true;
+            }
+            mapping[a] = None;
+            used[b.index()] = false;
+        }
+        false
+    }
+
+    if rec(0, &order, &candidates, &mut mapping, &mut used, p, q) {
+        Some(mapping.into_iter().map(|x| x.expect("complete")).collect())
+    } else {
+        None
+    }
+}
+
+/// Whether `mapping` (p-label → q-label) sends `p` exactly onto `q`.
+pub fn check_mapping(p: &Problem, q: &Problem, mapping: &[Label]) -> bool {
+    p.node().map_labels(mapping) == *q.node() && p.edge().map_labels(mapping) == *q.edge()
+}
+
+/// Whether the problems are equal up to a renaming of labels.
+pub fn isomorphic(p: &Problem, q: &Problem) -> bool {
+    find_isomorphism(p, q).is_some()
+}
+
+/// A per-label invariant preserved by isomorphism.
+fn signatures(p: &Problem) -> Vec<(Vec<u32>, Vec<u32>, bool)> {
+    let n = p.alphabet().len();
+    (0..n)
+        .map(|i| {
+            let l = Label::new(i as u8);
+            let mut node_counts: Vec<u32> = p.node().iter().map(|c| c.count(l)).collect();
+            node_counts.sort_unstable();
+            let mut edge_counts: Vec<u32> = p.edge().iter().map(|c| c.count(l)).collect();
+            edge_counts.sort_unstable();
+            let self_compat = p
+                .edge()
+                .contains(&crate::config::Config::new(vec![l, l]));
+            (node_counts, edge_counts, self_compat)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_isomorphism() {
+        let p = Problem::from_text("M M M\nP O O", "M [P O]\nO O").unwrap();
+        let m = find_isomorphism(&p, &p).unwrap();
+        assert!(check_mapping(&p, &p, &m));
+    }
+
+    #[test]
+    fn renamed_isomorphism() {
+        let p = Problem::from_text("M M M\nP O O", "M [P O]\nO O").unwrap();
+        let q = Problem::from_text("a a a\nb c c", "a [b c]\nc c").unwrap();
+        assert!(isomorphic(&p, &q));
+    }
+
+    #[test]
+    fn non_isomorphic_detected() {
+        let p = Problem::from_text("M M\nP O", "M [P O]\nO O").unwrap();
+        let q = Problem::from_text("M M\nP O", "M [P O]\nM M").unwrap();
+        assert!(!isomorphic(&p, &q));
+    }
+
+    #[test]
+    fn swap_is_isomorphism() {
+        // Swapping P and O maps edge {MP, MO, OO} to {MO, MP, PP}: these two
+        // problems are isomorphic even though they look different.
+        let p = Problem::from_text("M M\nP O", "M [P O]\nO O").unwrap();
+        let q = Problem::from_text("M M\nP O", "M [P O]\nP P").unwrap();
+        assert!(isomorphic(&p, &q));
+    }
+
+    #[test]
+    fn size_mismatch_fast_path() {
+        let p = Problem::from_text("M M", "M M").unwrap();
+        let q = Problem::from_text("M M\nP P", "M M\nP P").unwrap();
+        assert!(!isomorphic(&p, &q));
+    }
+}

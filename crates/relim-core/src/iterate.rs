@@ -1,0 +1,167 @@
+//! Iterated round elimination with bookkeeping.
+//!
+//! Drives `Π ↦ R̄(R(Π))` repeatedly, recording description sizes and
+//! detecting fixed points — the workflow behind both the "doubly
+//! exponential growth" observation (paper §1.2, experiment E13) and
+//! fixed-point lower bounds (§1.2, "Fixed points").
+
+use crate::iso;
+use crate::problem::Problem;
+use crate::roundelim::rr_step;
+
+/// Why an iteration stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StopReason {
+    /// The latest problem is isomorphic to the previous one.
+    FixedPoint,
+    /// The configured maximum number of steps was reached.
+    MaxSteps,
+    /// The alphabet exceeded `label_limit` (doubly-exponential growth).
+    LabelLimit {
+        /// Labels the next step would have had to handle.
+        labels: usize,
+    },
+    /// A step produced an empty constraint.
+    Degenerate {
+        /// Engine error message.
+        message: String,
+    },
+}
+
+/// Description-size statistics for one problem in the iteration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepStats {
+    /// Iteration index (0 = input problem).
+    pub step: usize,
+    /// Alphabet size (used labels only).
+    pub labels: usize,
+    /// Node configuration count.
+    pub node_configs: usize,
+    /// Edge configuration count.
+    pub edge_configs: usize,
+}
+
+/// The outcome of [`iterate_rr`].
+#[derive(Debug, Clone)]
+pub struct IterationOutcome {
+    /// Per-step statistics, starting with the input problem.
+    pub stats: Vec<StepStats>,
+    /// The problems themselves (unused labels dropped), aligned with
+    /// `stats`.
+    pub problems: Vec<Problem>,
+    /// Why the iteration stopped.
+    pub stopped: StopReason,
+}
+
+impl IterationOutcome {
+    /// Whether a fixed point was found.
+    pub fn reached_fixed_point(&self) -> bool {
+        self.stopped == StopReason::FixedPoint
+    }
+}
+
+fn stats_of(step: usize, p: &Problem) -> StepStats {
+    StepStats {
+        step,
+        labels: p.alphabet().len(),
+        node_configs: p.node().len(),
+        edge_configs: p.edge().len(),
+    }
+}
+
+/// Iterates `R̄(R(·))` from `p`, up to `max_steps` applications, aborting
+/// before any step whose input alphabet exceeds `label_limit`.
+///
+/// # Example
+///
+/// ```
+/// use relim_core::{iterate, Problem};
+///
+/// // Sinkless orientation (fixed-point encoding) at Δ = 3.
+/// let so = Problem::from_text("O I I", "[O I] I").unwrap();
+/// let outcome = iterate::iterate_rr(&so, 5, 20);
+/// assert!(outcome.reached_fixed_point());
+/// assert_eq!(outcome.stats.len(), 2); // input + one confirming step
+/// ```
+pub fn iterate_rr(p: &Problem, max_steps: usize, label_limit: usize) -> IterationOutcome {
+    let (current, _) = p.drop_unused_labels();
+    let mut problems = vec![current];
+    let mut stats = vec![stats_of(0, &problems[0])];
+    for step in 1..=max_steps {
+        let prev = problems.last().expect("non-empty").clone();
+        if prev.alphabet().len() > label_limit {
+            return IterationOutcome {
+                stats,
+                problems,
+                stopped: StopReason::LabelLimit { labels: prev.alphabet().len() },
+            };
+        }
+        match rr_step(&prev) {
+            Ok((_, rr)) => {
+                let (reduced, _) = rr.problem.drop_unused_labels();
+                let fixed = iso::isomorphic(&reduced, &prev);
+                stats.push(stats_of(step, &reduced));
+                problems.push(reduced);
+                if fixed {
+                    return IterationOutcome { stats, problems, stopped: StopReason::FixedPoint };
+                }
+            }
+            Err(crate::error::RelimError::TooManyLabels { requested }) => {
+                return IterationOutcome {
+                    stats,
+                    problems,
+                    stopped: StopReason::LabelLimit { labels: requested },
+                }
+            }
+            Err(e) => {
+                return IterationOutcome {
+                    stats,
+                    problems,
+                    stopped: StopReason::Degenerate { message: e.to_string() },
+                }
+            }
+        }
+    }
+    IterationOutcome { stats, problems, stopped: StopReason::MaxSteps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sinkless_orientation_fixed_point_detected() {
+        let so = Problem::from_text("O I I I", "[O I] I").unwrap();
+        let outcome = iterate_rr(&so, 4, 20);
+        assert!(outcome.reached_fixed_point());
+        // Sizes stable across the confirming step.
+        assert_eq!(outcome.stats[0].labels, outcome.stats[1].labels);
+    }
+
+    #[test]
+    fn mis_growth_hits_label_limit() {
+        let mis = Problem::from_text("M M M\nP O O", "M [P O]\nO O").unwrap();
+        let outcome = iterate_rr(&mis, 10, 20);
+        assert!(matches!(outcome.stopped, StopReason::LabelLimit { .. }));
+        // Strictly growing label counts before the stop.
+        let labels: Vec<usize> = outcome.stats.iter().map(|s| s.labels).collect();
+        assert!(labels.windows(2).all(|w| w[1] >= w[0]));
+        assert!(labels.last().unwrap() > &labels[0]);
+    }
+
+    #[test]
+    fn max_steps_respected() {
+        let mis = Problem::from_text("M M M\nP O O", "M [P O]\nO O").unwrap();
+        let outcome = iterate_rr(&mis, 1, 64);
+        assert!(matches!(outcome.stopped, StopReason::MaxSteps) || outcome.stats.len() <= 2);
+        assert!(outcome.stats.len() <= 2);
+    }
+
+    #[test]
+    fn trivial_problem_is_fixed_point() {
+        // One self-compatible label: R̄(R(·)) keeps the problem trivial.
+        let p = Problem::from_text("A A", "A A").unwrap();
+        let outcome = iterate_rr(&p, 3, 20);
+        assert!(outcome.reached_fixed_point());
+    }
+}

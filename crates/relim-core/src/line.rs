@@ -1,0 +1,308 @@
+//! Condensed configurations ("lines").
+//!
+//! The paper writes constraints compactly as *condensed configurations* like
+//! `M^(Δ-x) X^x` or `P [M X]`: each position holds a *disjunction* of labels,
+//! and positions with the same disjunction are grouped with an exponent
+//! (§2.2, "Representation of Problems in the Framework"). A [`Line`]
+//! represents one such condensed configuration; a configuration is
+//! *contained* in a line if some choice of the disjunctions produces it.
+
+use crate::config::Config;
+use crate::error::{RelimError, Result};
+use crate::label::Alphabet;
+use crate::labelset::LabelSet;
+use crate::matching::transport_feasible;
+use std::fmt;
+
+/// A condensed configuration: a multiset of `(label set, multiplicity)`
+/// groups.
+///
+/// # Example
+///
+/// ```
+/// use relim_core::{Alphabet, Config, Line, LabelSet};
+///
+/// let alpha = Alphabet::new(&["M", "P", "O"]).unwrap();
+/// let m = alpha.label("M").unwrap();
+/// let p = alpha.label("P").unwrap();
+/// let o = alpha.label("O").unwrap();
+///
+/// // The condensed configuration `M [P O]` (edge constraint of MIS).
+/// let line = Line::new(vec![
+///     (LabelSet::singleton(m), 1),
+///     (LabelSet::singleton(p).with(o), 1),
+/// ]).unwrap();
+///
+/// assert!(line.contains(&Config::new(vec![m, p])));
+/// assert!(line.contains(&Config::new(vec![m, o])));
+/// assert!(!line.contains(&Config::new(vec![p, o])));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Line {
+    /// Sorted by label-set bits; no duplicate sets; no zero multiplicities.
+    groups: Vec<(LabelSet, u32)>,
+}
+
+impl Line {
+    /// Creates a line from `(set, multiplicity)` groups.
+    ///
+    /// Groups with identical sets are merged and the result is canonically
+    /// sorted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RelimError::EmptyConstraint`] if the total multiplicity is
+    /// zero or any group's label set is empty.
+    pub fn new(groups: Vec<(LabelSet, u32)>) -> Result<Self> {
+        let mut merged: Vec<(LabelSet, u32)> = Vec::new();
+        for (set, mult) in groups {
+            if mult == 0 {
+                continue;
+            }
+            if set.is_empty() {
+                return Err(RelimError::EmptyConstraint);
+            }
+            match merged.iter_mut().find(|(s, _)| *s == set) {
+                Some((_, m)) => *m += mult,
+                None => merged.push((set, mult)),
+            }
+        }
+        if merged.is_empty() {
+            return Err(RelimError::EmptyConstraint);
+        }
+        merged.sort_unstable_by_key(|(s, _)| *s);
+        Ok(Line { groups: merged })
+    }
+
+    /// Creates a line with every position holding the same disjunction.
+    pub fn uniform(set: LabelSet, degree: u32) -> Result<Self> {
+        Line::new(vec![(set, degree)])
+    }
+
+    /// Total degree (sum of multiplicities).
+    pub fn degree(&self) -> u32 {
+        self.groups.iter().map(|(_, m)| m).sum()
+    }
+
+    /// The groups, sorted by label-set bits.
+    pub fn groups(&self) -> &[(LabelSet, u32)] {
+        &self.groups
+    }
+
+    /// Union of all label sets mentioned.
+    pub fn support(&self) -> LabelSet {
+        self.groups
+            .iter()
+            .fold(LabelSet::EMPTY, |acc, (s, _)| acc.union(*s))
+    }
+
+    /// Whether `config` can be produced by choosing one label from each
+    /// position's disjunction (Hall's condition via a small max-flow).
+    pub fn contains(&self, config: &Config) -> bool {
+        if config.degree() != self.degree() {
+            return false;
+        }
+        let counts = config.counts();
+        let supply: Vec<u32> = counts.iter().map(|&(_, c)| c).collect();
+        let options: Vec<u64> = counts
+            .iter()
+            .map(|&(label, _)| {
+                let mut mask = 0u64;
+                for (g, (set, _)) in self.groups.iter().enumerate() {
+                    if set.contains(label) {
+                        mask |= 1 << g;
+                    }
+                }
+                mask
+            })
+            .collect();
+        let caps: Vec<u32> = self.groups.iter().map(|&(_, m)| m).collect();
+        transport_feasible(&supply, &options, &caps)
+    }
+
+    /// Expands the line into every concrete configuration it contains.
+    ///
+    /// The result is deduplicated and sorted. Beware: the expansion of a line
+    /// of degree Δ over large disjunctions can be combinatorially large.
+    pub fn expand(&self) -> Vec<Config> {
+        let mut acc: Vec<Config> = vec![Config::empty()];
+        for &(set, mult) in &self.groups {
+            let choices = multisets_from_set(set, mult);
+            let mut next = Vec::with_capacity(acc.len() * choices.len());
+            for base in &acc {
+                for choice in &choices {
+                    let mut labels: Vec<_> = base.iter().collect();
+                    labels.extend(choice.iter());
+                    next.push(Config::new(labels));
+                }
+            }
+            next.sort_unstable();
+            next.dedup();
+            acc = next;
+        }
+        acc
+    }
+
+    /// Remaps every label through `mapping`, merging groups as needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some label in the line has no entry in `mapping`.
+    #[must_use]
+    pub fn map_labels(&self, mapping: &[crate::label::Label]) -> Line {
+        let groups = self
+            .groups
+            .iter()
+            .map(|&(set, mult)| {
+                let mapped: LabelSet = set.iter().map(|l| mapping[l.index()]).collect();
+                (mapped, mult)
+            })
+            .collect();
+        Line::new(groups).expect("mapped line is non-empty")
+    }
+
+    /// Renders with alphabet names: `M^14 [P O]^2`.
+    pub fn display(&self, alphabet: &Alphabet) -> String {
+        let mut parts = Vec::new();
+        for &(set, mult) in &self.groups {
+            let body = if set.len() == 1 {
+                alphabet.name(set.first().expect("non-empty")).to_owned()
+            } else {
+                format!("[{}]", set.iter().map(|l| alphabet.name(l)).collect::<Vec<_>>().join(" "))
+            };
+            if mult == 1 {
+                parts.push(body);
+            } else {
+                parts.push(format!("{body}^{mult}"));
+            }
+        }
+        parts.join(" ")
+    }
+}
+
+impl fmt::Display for Line {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (set, mult)) in self.groups.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{set}^{mult}")?;
+        }
+        Ok(())
+    }
+}
+
+/// All multisets of size `k` drawn from the labels of `set`.
+///
+/// Recursion depth is the number of *distinct* labels (≤ 31), never the
+/// multiplicity, so lines of astronomically high degree expand safely.
+pub(crate) fn multisets_from_set(set: LabelSet, k: u32) -> Vec<Config> {
+    let labels: Vec<crate::label::Label> = set.iter().collect();
+    if labels.is_empty() {
+        return if k == 0 { vec![Config::empty()] } else { Vec::new() };
+    }
+    let mut out = Vec::new();
+    let mut counts = vec![0u32; labels.len()];
+    fn rec(
+        labels: &[crate::label::Label],
+        i: usize,
+        remaining: u32,
+        counts: &mut Vec<u32>,
+        out: &mut Vec<Config>,
+    ) {
+        if i + 1 == labels.len() {
+            counts[i] = remaining;
+            let mut cfg = Vec::with_capacity(counts.iter().sum::<u32>() as usize);
+            for (j, &c) in counts.iter().enumerate() {
+                cfg.extend(std::iter::repeat_n(labels[j], c as usize));
+            }
+            out.push(Config::new(cfg));
+            return;
+        }
+        for c in 0..=remaining {
+            counts[i] = c;
+            rec(labels, i + 1, remaining - c, counts, out);
+        }
+    }
+    rec(&labels, 0, k, &mut counts, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::Label;
+
+    fn l(i: u8) -> Label {
+        Label::new(i)
+    }
+
+    fn ls(bits: u32) -> LabelSet {
+        LabelSet::from_bits(bits)
+    }
+
+    #[test]
+    fn merge_and_canonicalize() {
+        let line = Line::new(vec![(ls(0b10), 1), (ls(0b01), 2), (ls(0b10), 3)]).unwrap();
+        assert_eq!(line.groups(), &[(ls(0b01), 2), (ls(0b10), 4)]);
+        assert_eq!(line.degree(), 6);
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert!(Line::new(vec![]).is_err());
+        assert!(Line::new(vec![(ls(0), 2)]).is_err());
+        assert!(Line::new(vec![(ls(1), 0)]).is_err());
+    }
+
+    #[test]
+    fn contains_basic() {
+        // Line: [AB] [AB] C  (labels 0=A, 1=B, 2=C)
+        let line = Line::new(vec![(ls(0b011), 2), (ls(0b100), 1)]).unwrap();
+        assert!(line.contains(&Config::new(vec![l(0), l(0), l(2)])));
+        assert!(line.contains(&Config::new(vec![l(0), l(1), l(2)])));
+        assert!(!line.contains(&Config::new(vec![l(0), l(1), l(1)])));
+        assert!(!line.contains(&Config::new(vec![l(2), l(2), l(0)])));
+        // Wrong degree.
+        assert!(!line.contains(&Config::new(vec![l(0), l(2)])));
+    }
+
+    #[test]
+    fn contains_needs_flow_not_greedy() {
+        // Groups: [A]^1, [AB]^1. Config A B: B must take group 2, A group 1.
+        let line = Line::new(vec![(ls(0b01), 1), (ls(0b11), 1)]).unwrap();
+        assert!(line.contains(&Config::new(vec![l(0), l(1)])));
+        assert!(line.contains(&Config::new(vec![l(0), l(0)])));
+        assert!(!line.contains(&Config::new(vec![l(1), l(1)])));
+    }
+
+    #[test]
+    fn expansion_matches_contains() {
+        let line = Line::new(vec![(ls(0b011), 2), (ls(0b110), 1)]).unwrap();
+        let expanded = line.expand();
+        // Every expanded config must be contained.
+        for cfg in &expanded {
+            assert!(line.contains(cfg), "expanded {cfg:?} not contained");
+        }
+        // Exhaustive cross-check over all multisets of degree 3 over 3 labels.
+        let all = multisets_from_set(ls(0b111), 3);
+        for cfg in all {
+            assert_eq!(expanded.contains(&cfg), line.contains(&cfg), "mismatch on {cfg:?}");
+        }
+    }
+
+    #[test]
+    fn multisets_count() {
+        // C(3+2-1, 2) = 6 multisets of size 2 from 3 labels.
+        assert_eq!(multisets_from_set(ls(0b111), 2).len(), 6);
+        assert_eq!(multisets_from_set(ls(0b1), 4).len(), 1);
+        assert_eq!(multisets_from_set(ls(0b111), 0).len(), 1);
+    }
+
+    #[test]
+    fn display_forms() {
+        let alpha = Alphabet::new(&["M", "P", "O"]).unwrap();
+        let line = Line::new(vec![(ls(0b001), 2), (ls(0b110), 1)]).unwrap();
+        assert_eq!(line.display(&alpha), "M^2 [P O]");
+    }
+}

@@ -1,0 +1,235 @@
+//! Small bipartite assignment feasibility tests.
+//!
+//! Several engine operations reduce to the question *"can `n` positions be
+//! assigned to capacity-bounded groups, respecting per-position options?"* —
+//! e.g. membership of a configuration in a condensed line (Hall's condition)
+//! or the relaxation test of Definition 7. The instances are tiny (≤ 64
+//! positions, ≤ 32 groups), so a simple augmenting-path matching is ideal.
+
+/// Decides whether every position can be assigned to some allowed group
+/// without exceeding group capacities.
+///
+/// `options[i]` is a bitmask over group indices that position `i` accepts;
+/// `caps[g]` is the capacity of group `g`. Returns an assignment
+/// (`result[i] = g`) if one exists.
+///
+/// # Example
+///
+/// ```
+/// use relim_core::matching::assign_positions;
+///
+/// // Two positions, both only accept group 0, which has capacity 1.
+/// assert!(assign_positions(&[0b01, 0b01], &[1, 5]).is_none());
+/// // Capacity 2 makes it feasible.
+/// assert!(assign_positions(&[0b01, 0b01], &[2, 5]).is_some());
+/// ```
+pub fn assign_positions(options: &[u64], caps: &[u32]) -> Option<Vec<usize>> {
+    let n = options.len();
+    let g = caps.len();
+    debug_assert!(g <= 64);
+    // Remaining capacity per group; slot assignment per position.
+    let mut remaining: Vec<u32> = caps.to_vec();
+    let mut assigned: Vec<Option<usize>> = vec![None; n];
+    // For augmenting paths we need, per group, the positions currently using
+    // it (a group can host several positions up to its capacity).
+    let mut users: Vec<Vec<usize>> = vec![Vec::new(); g];
+
+    for start in 0..n {
+        // Try to place position `start`, possibly displacing others.
+        let mut visited_groups = vec![false; g];
+        if !try_place(start, options, &mut remaining, &mut assigned, &mut users, &mut visited_groups) {
+            return None;
+        }
+    }
+    Some(assigned.into_iter().map(|a| a.expect("all positions placed")).collect())
+}
+
+fn try_place(
+    pos: usize,
+    options: &[u64],
+    remaining: &mut [u32],
+    assigned: &mut [Option<usize>],
+    users: &mut [Vec<usize>],
+    visited_groups: &mut [bool],
+) -> bool {
+    let opts = options[pos];
+    // First pass: any group with spare capacity?
+    for grp in 0..remaining.len() {
+        if opts & (1 << grp) != 0 && remaining[grp] > 0 {
+            remaining[grp] -= 1;
+            assigned[pos] = Some(grp);
+            users[grp].push(pos);
+            return true;
+        }
+    }
+    // Second pass: try to displace a current user of an allowed group.
+    for grp in 0..remaining.len() {
+        if opts & (1 << grp) == 0 || visited_groups[grp] {
+            continue;
+        }
+        visited_groups[grp] = true;
+        let current: Vec<usize> = users[grp].clone();
+        for other in current {
+            // Temporarily evict `other` and try to re-place it elsewhere.
+            let idx = users[grp].iter().position(|&p| p == other).expect("user listed");
+            users[grp].swap_remove(idx);
+            assigned[other] = None;
+            if try_place(other, options, remaining, assigned, users, visited_groups) {
+                assigned[pos] = Some(grp);
+                users[grp].push(pos);
+                return true;
+            }
+            // Restore.
+            assigned[other] = Some(grp);
+            users[grp].push(other);
+        }
+    }
+    false
+}
+
+/// Feasibility of a bipartite *transportation* instance: `supply[i]` units at
+/// each left node, `caps[g]` capacity at each right node, `options[i]` the
+/// right nodes reachable from left node `i`. Decides whether all supply can
+/// be shipped.
+///
+/// This is the multiplicity-aware version of [`assign_positions`], used for
+/// configuration-in-line membership where both the configuration labels and
+/// the line groups carry multiplicities.
+///
+/// # Example
+///
+/// ```
+/// use relim_core::matching::transport_feasible;
+///
+/// // 3 units at left node 0, which can reach groups 0 (cap 2) and 1 (cap 1).
+/// assert!(transport_feasible(&[3], &[0b11], &[2, 1]));
+/// assert!(!transport_feasible(&[4], &[0b11], &[2, 1]));
+/// ```
+pub fn transport_feasible(supply: &[u32], options: &[u64], caps: &[u32]) -> bool {
+    debug_assert_eq!(supply.len(), options.len());
+    let total: u32 = supply.iter().sum();
+    let reachable_cap: u64 = {
+        // Quick necessary check: total capacity of reachable groups.
+        let mut any: u64 = 0;
+        for &o in options {
+            any |= o;
+        }
+        caps.iter()
+            .enumerate()
+            .filter(|(g, _)| any & (1 << *g) != 0)
+            .map(|(_, &c)| c as u64)
+            .sum()
+    };
+    if (total as u64) > reachable_cap {
+        return false;
+    }
+    // Max-flow via repeated augmenting BFS on a tiny network.
+    // Nodes: 0 = source, 1..=L lefts, L+1..=L+G rights, L+G+1 = sink.
+    let l = supply.len();
+    let g = caps.len();
+    let n = l + g + 2;
+    let sink = n - 1;
+    // Capacity matrix (small sizes, dense is fine).
+    let mut cap = vec![vec![0i64; n]; n];
+    for i in 0..l {
+        cap[0][1 + i] = supply[i] as i64;
+        for grp in 0..g {
+            if options[i] & (1 << grp) != 0 {
+                cap[1 + i][1 + l + grp] = i64::MAX / 4;
+            }
+        }
+    }
+    for grp in 0..g {
+        cap[1 + l + grp][sink] = caps[grp] as i64;
+    }
+    let mut flow = 0i64;
+    loop {
+        // BFS for augmenting path.
+        let mut parent = vec![usize::MAX; n];
+        parent[0] = 0;
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(0usize);
+        while let Some(u) = queue.pop_front() {
+            for v in 0..n {
+                if parent[v] == usize::MAX && cap[u][v] > 0 {
+                    parent[v] = u;
+                    queue.push_back(v);
+                }
+            }
+        }
+        if parent[sink] == usize::MAX {
+            break;
+        }
+        // Find bottleneck.
+        let mut bottleneck = i64::MAX;
+        let mut v = sink;
+        while v != 0 {
+            let u = parent[v];
+            bottleneck = bottleneck.min(cap[u][v]);
+            v = u;
+        }
+        let mut v = sink;
+        while v != 0 {
+            let u = parent[v];
+            cap[u][v] -= bottleneck;
+            cap[v][u] += bottleneck;
+            v = u;
+        }
+        flow += bottleneck;
+    }
+    flow == total as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assign_simple() {
+        // 3 positions; groups: cap [1,1,1]; options give a unique solution.
+        let asg = assign_positions(&[0b001, 0b011, 0b111], &[1, 1, 1]).unwrap();
+        assert_eq!(asg[0], 0);
+        assert_eq!(asg[1], 1);
+        assert_eq!(asg[2], 2);
+    }
+
+    #[test]
+    fn assign_needs_augmenting() {
+        // Position 0 could take group 1, but greedy puts it in 0; position 1
+        // only accepts group 0, forcing an augmenting path.
+        let asg = assign_positions(&[0b11, 0b01], &[1, 1]).unwrap();
+        assert_eq!(asg[1], 0);
+        assert_eq!(asg[0], 1);
+    }
+
+    #[test]
+    fn assign_infeasible() {
+        assert!(assign_positions(&[0b01, 0b01, 0b10], &[1, 1]).is_none());
+    }
+
+    #[test]
+    fn assign_empty() {
+        assert_eq!(assign_positions(&[], &[1]).unwrap(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn transport_matches_assignment_semantics() {
+        // supply 2 of label A (reaches groups 0,1) and 1 of label B (group 1).
+        // caps: [1, 2] -> feasible (A->0, A->1, B->1).
+        assert!(transport_feasible(&[2, 1], &[0b11, 0b10], &[1, 2]));
+        // caps: [1, 1] -> infeasible (3 units, only 2 reachable capacity).
+        assert!(!transport_feasible(&[2, 1], &[0b11, 0b10], &[1, 1]));
+    }
+
+    #[test]
+    fn transport_hall_violation() {
+        // Two labels each supply 1, both only reach group 0 with cap 1.
+        assert!(!transport_feasible(&[1, 1], &[0b01, 0b01], &[1, 1]));
+    }
+
+    #[test]
+    fn transport_exact_capacity() {
+        assert!(transport_feasible(&[2, 2], &[0b01, 0b10], &[2, 2]));
+        assert!(!transport_feasible(&[3, 2], &[0b01, 0b10], &[2, 2]));
+    }
+}

@@ -1,0 +1,270 @@
+//! Text format for constraints and problems.
+//!
+//! The grammar, one condensed configuration per non-empty line:
+//!
+//! ```text
+//! line    := token+
+//! token   := atom exponent?
+//! atom    := NAME | '[' NAME+ ']'
+//! exponent:= '^' UINT
+//! NAME    := [A-Za-z0-9_'+-]+
+//! ```
+//!
+//! Examples: `M M M`, `P O^2`, `M [P O]`, `[M X]^3 A`.
+//! Lines starting with `#` are comments.
+
+use crate::constraint::Constraint;
+use crate::error::{RelimError, Result};
+use crate::label::Alphabet;
+use crate::labelset::LabelSet;
+use crate::line::Line;
+use crate::problem::Problem;
+
+fn is_name_char(c: char) -> bool {
+    c.is_alphanumeric() || matches!(c, '_' | '\'' | '+' | '-')
+}
+
+/// One parsed token: a disjunction of names with a multiplicity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct RawToken {
+    names: Vec<String>,
+    mult: u32,
+}
+
+fn parse_line_tokens(line: &str) -> Result<Vec<RawToken>> {
+    let mut tokens = Vec::new();
+    let mut chars = line.chars().peekable();
+    loop {
+        while matches!(chars.peek(), Some(c) if c.is_whitespace()) {
+            chars.next();
+        }
+        let Some(&c) = chars.peek() else { break };
+        let names = if c == '[' {
+            chars.next();
+            let mut names = Vec::new();
+            loop {
+                while matches!(chars.peek(), Some(c) if c.is_whitespace()) {
+                    chars.next();
+                }
+                match chars.peek() {
+                    Some(']') => {
+                        chars.next();
+                        break;
+                    }
+                    Some(&c) if is_name_char(c) => {
+                        let mut name = String::new();
+                        while matches!(chars.peek(), Some(&c) if is_name_char(c)) {
+                            name.push(chars.next().expect("peeked"));
+                        }
+                        names.push(name);
+                    }
+                    other => {
+                        return Err(RelimError::Parse {
+                            message: format!("unexpected {other:?} inside disjunction in `{line}`"),
+                        })
+                    }
+                }
+            }
+            if names.is_empty() {
+                return Err(RelimError::Parse {
+                    message: format!("empty disjunction `[]` in `{line}`"),
+                });
+            }
+            names
+        } else if is_name_char(c) {
+            let mut name = String::new();
+            while matches!(chars.peek(), Some(&c) if is_name_char(c)) {
+                name.push(chars.next().expect("peeked"));
+            }
+            vec![name]
+        } else {
+            return Err(RelimError::Parse {
+                message: format!("unexpected character `{c}` in `{line}`"),
+            });
+        };
+        // Optional exponent.
+        let mut mult = 1u32;
+        if matches!(chars.peek(), Some('^')) {
+            chars.next();
+            let mut digits = String::new();
+            while matches!(chars.peek(), Some(c) if c.is_ascii_digit()) {
+                digits.push(chars.next().expect("peeked"));
+            }
+            mult = digits.parse().map_err(|_| RelimError::Parse {
+                message: format!("bad exponent after `^` in `{line}`"),
+            })?;
+            if mult == 0 {
+                return Err(RelimError::Parse {
+                    message: format!("zero exponent in `{line}`"),
+                });
+            }
+        }
+        tokens.push(RawToken { names, mult });
+    }
+    if tokens.is_empty() {
+        return Err(RelimError::Parse { message: format!("empty configuration line `{line}`") });
+    }
+    Ok(tokens)
+}
+
+fn content_lines(text: &str) -> impl Iterator<Item = &str> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+}
+
+/// Collects all label names appearing in the text, in order of first
+/// appearance.
+pub(crate) fn collect_names(texts: &[&str]) -> Result<Vec<String>> {
+    let mut names: Vec<String> = Vec::new();
+    for text in texts {
+        for line in content_lines(text) {
+            for tok in parse_line_tokens(line)? {
+                for name in tok.names {
+                    if !names.contains(&name) {
+                        names.push(name);
+                    }
+                }
+            }
+        }
+    }
+    Ok(names)
+}
+
+/// Parses a constraint against an existing alphabet.
+///
+/// # Errors
+///
+/// Fails on syntax errors, unknown labels, or degree mismatches between
+/// lines.
+///
+/// # Example
+///
+/// ```
+/// use relim_core::{Alphabet, parse};
+///
+/// let alpha = Alphabet::new(&["M", "P", "O"]).unwrap();
+/// let c = parse::parse_constraint("M M M\nP O^2", &alpha).unwrap();
+/// assert_eq!(c.degree(), 3);
+/// assert_eq!(c.len(), 2);
+/// ```
+pub fn parse_constraint(text: &str, alphabet: &Alphabet) -> Result<Constraint> {
+    let lines = parse_lines(text, alphabet)?;
+    Constraint::from_lines(&lines)
+}
+
+/// Parses the condensed lines of a constraint without expanding them.
+///
+/// # Errors
+///
+/// Fails on syntax errors or unknown labels.
+pub fn parse_lines(text: &str, alphabet: &Alphabet) -> Result<Vec<Line>> {
+    let mut lines = Vec::new();
+    for raw in content_lines(text) {
+        let tokens = parse_line_tokens(raw)?;
+        let mut groups = Vec::new();
+        for tok in tokens {
+            let mut set = LabelSet::EMPTY;
+            for name in &tok.names {
+                set = set.with(alphabet.label(name)?);
+            }
+            groups.push((set, tok.mult));
+        }
+        lines.push(Line::new(groups)?);
+    }
+    Ok(lines)
+}
+
+/// Parses a full problem; the alphabet is inferred from the order of first
+/// appearance across the node then edge text.
+///
+/// # Errors
+///
+/// Fails on syntax errors, degree inconsistencies, or a non-2 edge degree.
+///
+/// # Example
+///
+/// ```
+/// use relim_core::parse;
+///
+/// let p = parse::parse_problem("M M M\nP O O", "M [P O]\nO O").unwrap();
+/// assert_eq!(p.alphabet().names(), &["M".to_string(), "P".into(), "O".into()]);
+/// ```
+pub fn parse_problem(node_text: &str, edge_text: &str) -> Result<Problem> {
+    let names = collect_names(&[node_text, edge_text])?;
+    let alphabet = Alphabet::new(&names)?;
+    let node = parse_constraint(node_text, &alphabet)?;
+    let edge = parse_constraint(edge_text, &alphabet)?;
+    Problem::new(alphabet, node, edge)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::label::Label;
+
+    #[test]
+    fn token_forms() {
+        let toks = parse_line_tokens("M [P O]^2 X^3").unwrap();
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[0], RawToken { names: vec!["M".into()], mult: 1 });
+        assert_eq!(toks[1], RawToken { names: vec!["P".into(), "O".into()], mult: 2 });
+        assert_eq!(toks[2], RawToken { names: vec!["X".into()], mult: 3 });
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_line_tokens("").is_err());
+        assert!(parse_line_tokens("[ ]").is_err());
+        assert!(parse_line_tokens("M^0").is_err());
+        assert!(parse_line_tokens("M^").is_err());
+        assert!(parse_line_tokens("M ]").is_err());
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let alpha = Alphabet::new(&["A"]).unwrap();
+        let c = parse_constraint("# header\n\nA A\n  \n# trailing", &alpha).unwrap();
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn degree_mismatch_between_lines() {
+        let alpha = Alphabet::new(&["A"]).unwrap();
+        assert!(parse_constraint("A A\nA A A", &alpha).is_err());
+    }
+
+    #[test]
+    fn unknown_label() {
+        let alpha = Alphabet::new(&["A"]).unwrap();
+        assert!(matches!(
+            parse_constraint("A B", &alpha),
+            Err(RelimError::UnknownLabel { .. })
+        ));
+    }
+
+    #[test]
+    fn full_problem_alphabet_order() {
+        let p = parse_problem("M M\nP O", "M [P O]\nO O").unwrap();
+        assert_eq!(
+            p.alphabet().names(),
+            &["M".to_string(), "P".into(), "O".into()]
+        );
+        // Expansion: M[PO] = {MP, MO}.
+        let m = Label::new(0);
+        let pp = Label::new(1);
+        let o = Label::new(2);
+        assert!(p.edge().contains(&Config::new(vec![m, pp])));
+        assert!(p.edge().contains(&Config::new(vec![m, o])));
+        assert!(p.edge().contains(&Config::new(vec![o, o])));
+        assert_eq!(p.edge().len(), 3);
+    }
+
+    #[test]
+    fn exponent_disjunction_expansion() {
+        let p = parse_problem("[A B]^2", "A B").unwrap();
+        // {AA, AB, BB}
+        assert_eq!(p.node().len(), 3);
+    }
+}

@@ -1,0 +1,195 @@
+//! Relaxations of configurations (paper Definition 7).
+//!
+//! A configuration of label sets `Y₁ … Y_Δ` *can be relaxed to*
+//! `Z₁ … Z_Δ` if there is a permutation `ρ` with `Y_i ⊆ Z_ρ(i)` for all
+//! `i`. Lemma 8 of the paper rests on showing that every node configuration
+//! of `R̄(R(Π_Δ(a,x)))` can be relaxed to a configuration of the fixed
+//! problem `Π_rel`; this module provides that check as executable code.
+
+use crate::config::SetConfig;
+use crate::line::Line;
+use crate::matching::assign_positions;
+
+/// Whether `from` can be relaxed to `to` (Definition 7): a perfect matching
+/// pairing each `from`-position with a distinct `to`-position such that
+/// `from_i ⊆ to_j`.
+///
+/// # Example
+///
+/// ```
+/// use relim_core::{relax, Label, LabelSet, SetConfig};
+///
+/// let a = LabelSet::singleton(Label::new(0));
+/// let ab = a.with(Label::new(1));
+/// let from = SetConfig::new(vec![a, a]);
+/// let to = SetConfig::new(vec![ab, a]);
+/// assert!(relax::config_relaxes_to(&from, &to));
+/// assert!(!relax::config_relaxes_to(&to, &from));
+/// ```
+pub fn config_relaxes_to(from: &SetConfig, to: &SetConfig) -> bool {
+    if from.degree() != to.degree() {
+        return false;
+    }
+    let to_sets = to.as_slice();
+    let options: Vec<u64> = from
+        .as_slice()
+        .iter()
+        .map(|&y| {
+            let mut mask = 0u64;
+            for (j, &z) in to_sets.iter().enumerate() {
+                if y.is_subset_of(z) {
+                    mask |= 1 << j;
+                }
+            }
+            mask
+        })
+        .collect();
+    let caps = vec![1u32; to_sets.len()];
+    assign_positions(&options, &caps).is_some()
+}
+
+/// Whether `from` can be relaxed into the condensed line `to_line`, where
+/// each group of the line is a *set-of-labels slot with multiplicity*: the
+/// matching pairs each `from`-position with a group whose set is a superset.
+///
+/// This is the line-level version of [`config_relaxes_to`], matching how the
+/// paper writes `Π_rel` as condensed configurations.
+pub fn config_relaxes_to_line(from: &SetConfig, to_line: &Line) -> bool {
+    if from.degree() != to_line.degree() {
+        return false;
+    }
+    let groups = to_line.groups();
+    let options: Vec<u64> = from
+        .as_slice()
+        .iter()
+        .map(|&y| {
+            let mut mask = 0u64;
+            for (g, &(set, _)) in groups.iter().enumerate() {
+                if y.is_subset_of(set) {
+                    mask |= 1 << g;
+                }
+            }
+            mask
+        })
+        .collect();
+    let caps: Vec<u32> = groups.iter().map(|&(_, m)| m).collect();
+    assign_positions(&options, &caps).is_some()
+}
+
+/// Finds, for each configuration in `from`, a line of `to_lines` it relaxes
+/// into; returns the per-configuration line index, or the index of the first
+/// configuration with no relaxation.
+///
+/// # Errors
+///
+/// On failure returns the offending configuration.
+pub fn all_relax_to_lines<'a, I>(
+    from: I,
+    to_lines: &[Line],
+) -> Result<Vec<usize>, SetConfig>
+where
+    I: IntoIterator<Item = &'a SetConfig>,
+{
+    let mut assignments = Vec::new();
+    for cfg in from {
+        match to_lines
+            .iter()
+            .position(|line| config_relaxes_to_line(cfg, line))
+        {
+            Some(idx) => assignments.push(idx),
+            None => return Err(cfg.clone()),
+        }
+    }
+    Ok(assignments)
+}
+
+/// Produces the relaxed configuration: positions of `from` matched into the
+/// groups of `to_line`, each replaced by the group's (superset) label set.
+/// Returns `None` when no relaxation exists.
+pub fn relax_into_line(from: &SetConfig, to_line: &Line) -> Option<SetConfig> {
+    if from.degree() != to_line.degree() {
+        return None;
+    }
+    let groups = to_line.groups();
+    let options: Vec<u64> = from
+        .as_slice()
+        .iter()
+        .map(|&y| {
+            let mut mask = 0u64;
+            for (g, &(set, _)) in groups.iter().enumerate() {
+                if y.is_subset_of(set) {
+                    mask |= 1 << g;
+                }
+            }
+            mask
+        })
+        .collect();
+    let caps: Vec<u32> = groups.iter().map(|&(_, m)| m).collect();
+    let assignment = assign_positions(&options, &caps)?;
+    Some(SetConfig::new(
+        assignment.into_iter().map(|g| groups[g].0).collect(),
+    ))
+}
+
+/// Convenience: every `from`-set is a subset of the corresponding set in the
+/// result, which is drawn from `to_line`'s groups.
+pub fn is_valid_relaxation(from: &SetConfig, relaxed: &SetConfig) -> bool {
+    config_relaxes_to(from, relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::Label;
+    use crate::labelset::LabelSet;
+
+    fn ls(bits: u32) -> LabelSet {
+        LabelSet::from_bits(bits)
+    }
+
+    #[test]
+    fn degree_mismatch() {
+        let a = SetConfig::new(vec![ls(1)]);
+        let b = SetConfig::new(vec![ls(1), ls(1)]);
+        assert!(!config_relaxes_to(&a, &b));
+    }
+
+    #[test]
+    fn permutation_needed() {
+        // from = ({A}, {B}); to = ({B,C}, {A,C}) — needs the swap.
+        let from = SetConfig::new(vec![ls(0b001), ls(0b010)]);
+        let to = SetConfig::new(vec![ls(0b110), ls(0b101)]);
+        assert!(config_relaxes_to(&from, &to));
+    }
+
+    #[test]
+    fn line_relaxation_with_multiplicity() {
+        // Line: [ABC]^2 [A]^1; from = ({A},{B},{A}).
+        let line = Line::new(vec![(ls(0b111), 2), (ls(0b001), 1)]).unwrap();
+        let from = SetConfig::new(vec![ls(0b001), ls(0b010), ls(0b001)]);
+        assert!(config_relaxes_to_line(&from, &line));
+        // from = ({B},{B},{B}) cannot: only two positions accept B.
+        let bad = SetConfig::new(vec![ls(0b010), ls(0b010), ls(0b010)]);
+        assert!(!config_relaxes_to_line(&bad, &line));
+    }
+
+    #[test]
+    fn relax_into_line_produces_supersets() {
+        let line = Line::new(vec![(ls(0b111), 1), (ls(0b011), 1)]).unwrap();
+        let from = SetConfig::new(vec![ls(0b001), ls(0b100)]);
+        let relaxed = relax_into_line(&from, &line).unwrap();
+        assert!(is_valid_relaxation(&from, &relaxed));
+        // {C}=0b100 must land in the [ABC] group.
+        assert!(relaxed.as_slice().contains(&ls(0b111)));
+    }
+
+    #[test]
+    fn all_relax_reports_offender() {
+        let line = Line::new(vec![(ls(0b001), 2)]).unwrap();
+        let good = SetConfig::new(vec![ls(0b001), ls(0b001)]);
+        let bad = SetConfig::new(vec![ls(0b010), ls(0b001)]);
+        let res = all_relax_to_lines([&good, &bad], std::slice::from_ref(&line));
+        assert_eq!(res.unwrap_err(), bad);
+        let _ = Label::new(0);
+    }
+}

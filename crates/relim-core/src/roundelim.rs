@@ -1,0 +1,555 @@
+//! The round elimination operators `R(·)` and `R̄(·)` (paper §2.3).
+//!
+//! Given a problem `Π = (Σ, N, E)`:
+//!
+//! * [`r_step`] computes `Π' = R(Π)`:
+//!   - `E_Π'`: all **maximal** configurations `A₁ A₂` of non-empty label sets
+//!     such that every choice `(a₁, a₂) ∈ A₁ × A₂` lies in `E_Π`;
+//!   - `Σ_Π'`: the sets appearing in `E_Π'`;
+//!   - `N_Π'`: all configurations `B₁ … B_Δ` over `Σ_Π'` admitting **some**
+//!     choice in `N_Π`.
+//! * [`rbar_step`] computes `Π'' = R̄(Π')` — the same with the roles of node
+//!   and edge constraints swapped.
+//!
+//! By Brandt's automatic speedup theorem (paper Theorem 3), on Δ-regular
+//! trees of girth `≥ 2T+2`, `Π` is solvable in `T` rounds iff `R̄(R(Π))` is
+//! solvable in `max{T−1, 0}` rounds in the port numbering model.
+//!
+//! The universal ("for-all + maximality") sides use two exact accelerations:
+//!
+//! 1. **Observation 4** (right-closedness): maximal configurations only use
+//!    label sets that are upward-closed in the relevant strength order, so
+//!    candidates are enumerated over [`crate::rightclosed::right_closed_sets`].
+//! 2. For the degree-2 edge side, maximal pairs are exactly the fixed points
+//!    of the Galois connection `A ↦ ⋂_{a∈A} compat(a)`.
+
+use crate::config::{Config, SetConfig};
+use crate::constraint::{Constraint, SubMultisetIndex};
+use crate::diagram::StrengthOrder;
+use crate::error::{RelimError, Result};
+use crate::label::{Alphabet, Label};
+use crate::labelset::LabelSet;
+use crate::line::Line;
+use crate::matching::assign_positions;
+use crate::problem::Problem;
+use crate::rightclosed::right_closed_sets;
+
+/// The result of one `R(·)` or `R̄(·)` application.
+///
+/// `provenance[i]` records which set of *old* labels the new label `i`
+/// stands for.
+#[derive(Debug, Clone)]
+pub struct Step {
+    /// The derived problem.
+    pub problem: Problem,
+    /// For each new label, the set of old labels it represents.
+    pub provenance: Vec<LabelSet>,
+}
+
+impl Step {
+    /// Looks up the new label corresponding to a given set of old labels.
+    pub fn label_of_set(&self, set: LabelSet) -> Option<Label> {
+        self.provenance
+            .iter()
+            .position(|&s| s == set)
+            .map(|i| Label::new(i as u8))
+    }
+
+    /// Views a configuration of the derived problem as a [`SetConfig`] over
+    /// the old alphabet.
+    pub fn as_set_config(&self, config: &Config) -> SetConfig {
+        config.iter().map(|l| self.provenance[l.index()]).collect()
+    }
+}
+
+/// Applies `R(·)`: universal step on the edge constraint, existential step on
+/// the node constraint.
+///
+/// # Errors
+///
+/// Returns [`RelimError::DegenerateProblem`] when the derived problem would
+/// have an empty constraint (the input admits no universal pairs or no
+/// existential choices).
+///
+/// # Panics
+///
+/// Panics if the alphabet exceeds the right-closed enumeration limit
+/// (22 labels); see [`crate::rightclosed::right_closed_sets`].
+///
+/// # Example
+///
+/// ```
+/// use relim_core::{Problem, roundelim::r_step};
+///
+/// let mis = Problem::from_text("M M M\nP O O", "M [P O]\nO O").unwrap();
+/// let step = r_step(&mis).unwrap();
+/// // Lemma 6 of the paper (specialised to the MIS sub-family) implies the
+/// // new edge constraint consists of maximal pairs only.
+/// assert_eq!(step.problem.edge().degree(), 2);
+/// ```
+pub fn r_step(p: &Problem) -> Result<Step> {
+    let n = p.alphabet().len();
+    let order = StrengthOrder::of_constraint(p.edge(), n);
+    let compat = p.edge_compat();
+
+    // --- Universal side: maximal pairs via the Galois connection. ---
+    let partner = |set: LabelSet| -> LabelSet {
+        let mut acc = LabelSet::full(n);
+        for a in set.iter() {
+            acc = acc.intersect(compat[a.index()]);
+        }
+        acc
+    };
+    let mut pairs: Vec<(LabelSet, LabelSet)> = Vec::new();
+    for &a in right_closed_sets(&order).iter() {
+        let b = partner(a);
+        if b.is_empty() {
+            continue;
+        }
+        if partner(b) == a {
+            let pair = if a <= b { (a, b) } else { (b, a) };
+            if !pairs.contains(&pair) {
+                pairs.push(pair);
+            }
+        }
+    }
+    pairs.sort_unstable();
+
+    let set_configs: Vec<SetConfig> = pairs
+        .iter()
+        .map(|&(a, b)| SetConfig::new(vec![a, b]))
+        .collect();
+
+    finish_step(p, set_configs, UniversalSide::Edge)
+}
+
+/// Applies `R̄(·)`: universal step on the node constraint, existential step on
+/// the edge constraint.
+///
+/// # Errors
+///
+/// Returns [`RelimError::DegenerateProblem`] when a derived constraint
+/// would be empty, and [`RelimError::TooManyLabels`] if the alphabet
+/// exceeds the right-closed enumeration limit (22 labels).
+pub fn rbar_step(p: &Problem) -> Result<Step> {
+    let n = p.alphabet().len();
+    if n > 22 {
+        return Err(RelimError::TooManyLabels { requested: n });
+    }
+    let order = StrengthOrder::of_constraint(p.node(), n);
+    let cands = right_closed_sets(&order);
+    let delta = p.delta();
+    let sub_index = p.node().sub_multiset_index();
+
+    let raw = forall_multisets(&cands, delta, &sub_index);
+    let maximal = dominance_filter(raw);
+    finish_step(p, maximal, UniversalSide::Node)
+}
+
+/// One full round elimination step `Π ↦ R̄(R(Π))`, returning both
+/// intermediate results.
+///
+/// # Errors
+///
+/// Returns [`RelimError::DegenerateProblem`] when a derived constraint
+/// would be empty, and [`RelimError::TooManyLabels`] when an intermediate
+/// alphabet exceeds the enumeration limit.
+pub fn rr_step(p: &Problem) -> Result<(Step, Step)> {
+    let r = r_step(p)?;
+    let rr = rbar_step(&r.problem)?;
+    Ok((r, rr))
+}
+
+enum UniversalSide {
+    Edge,
+    Node,
+}
+
+/// Builds the derived problem: names the new labels, installs the universal
+/// side, and computes the existential side by the paper's replacement method
+/// ("replace each label y by the disjunction of all label sets containing
+/// y").
+fn finish_step(p: &Problem, universal: Vec<SetConfig>, side: UniversalSide) -> Result<Step> {
+    let derived = derive_sides(p.alphabet(), universal, match side {
+        UniversalSide::Edge => p.node(),
+        UniversalSide::Node => p.edge(),
+    })?;
+    let (node, edge) = match side {
+        UniversalSide::Edge => (derived.existential, derived.universal),
+        UniversalSide::Node => (derived.universal, derived.existential),
+    };
+    let problem = Problem::new(derived.alphabet, node, edge).expect("derived problem is valid");
+    Ok(Step { problem, provenance: derived.provenance })
+}
+
+/// The two derived constraints of a speedup step, over the new alphabet.
+pub(crate) struct DerivedSides {
+    pub(crate) alphabet: Alphabet,
+    pub(crate) universal: Constraint,
+    pub(crate) existential: Constraint,
+    pub(crate) provenance: Vec<LabelSet>,
+}
+
+/// From a computed universal side, builds the new alphabet (one label per
+/// occurring set, named by display), installs the universal constraint and
+/// computes the existential constraint from `exists_src` by the paper's
+/// replacement method.
+pub(crate) fn derive_sides(
+    old_alphabet: &Alphabet,
+    universal: Vec<SetConfig>,
+    exists_src: &Constraint,
+) -> Result<DerivedSides> {
+    if universal.is_empty() {
+        return Err(RelimError::DegenerateProblem {
+            message: "universal side is empty: no maximal configurations exist".into(),
+        });
+    }
+    // Collect the new alphabet: sets appearing in the universal side,
+    // deterministically ordered by (cardinality, bitmask).
+    let mut sets: Vec<LabelSet> = universal
+        .iter()
+        .flat_map(|sc| sc.iter())
+        .collect();
+    sets.sort_unstable_by_key(|s| (s.len(), s.bits()));
+    sets.dedup();
+
+    let names: Vec<String> = sets.iter().map(|s| s.display(old_alphabet)).collect();
+    let alphabet = Alphabet::new(&names)
+        .map_err(|_| RelimError::TooManyLabels { requested: names.len() })?;
+    let label_of: std::collections::HashMap<LabelSet, Label> = sets
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| (s, Label::new(i as u8)))
+        .collect();
+
+    let universal_constraint = Constraint::from_configs(universal.iter().map(|sc| {
+        Config::new(sc.iter().map(|s| label_of[&s]).collect())
+    }))
+    .expect("non-empty universal side");
+
+    // Existential side: replacement method. D(y) = set of new labels whose
+    // provenance contains old label y.
+    let mut disjunction: Vec<LabelSet> = vec![LabelSet::EMPTY; old_alphabet.len()];
+    for (i, s) in sets.iter().enumerate() {
+        for y in s.iter() {
+            disjunction[y.index()] = disjunction[y.index()].with(Label::new(i as u8));
+        }
+    }
+    let lines: Vec<Line> = exists_src
+        .iter()
+        .filter_map(|cfg| {
+            // Skip configurations containing labels that vanished from
+            // the new alphabet (no set contains them): they admit no
+            // choice and contribute nothing.
+            let groups: Option<Vec<(LabelSet, u32)>> = cfg
+                .counts()
+                .into_iter()
+                .map(|(y, cnt)| {
+                    let d = disjunction[y.index()];
+                    if d.is_empty() {
+                        None
+                    } else {
+                        Some((d, cnt))
+                    }
+                })
+                .collect();
+            groups.map(|g| Line::new(g).expect("non-empty groups"))
+        })
+        .collect();
+    let existential = Constraint::from_lines(&lines).map_err(|_| RelimError::DegenerateProblem {
+        message: "existential side is empty: every configuration uses a vanished label".into(),
+    })?;
+
+    Ok(DerivedSides { alphabet, universal: universal_constraint, existential, provenance: sets })
+}
+
+/// Enumerates all configurations `B₁ … B_Δ` over `cands` whose every choice
+/// is (a sub-multiset of) a node configuration — the universal condition.
+///
+/// DFS over non-decreasing candidate indices, carrying the deduplicated set
+/// of partial-choice multisets. A partial choice that is not a sub-multiset
+/// of any configuration can never be completed, pruning the branch
+/// (soundness: the universal condition fails for any completion).
+pub(crate) fn forall_multisets(
+    cands: &[LabelSet],
+    delta: u32,
+    sub_index: &SubMultisetIndex,
+) -> Vec<SetConfig> {
+    let mut out = Vec::new();
+    let mut chosen: Vec<LabelSet> = Vec::with_capacity(delta as usize);
+
+    fn rec(
+        cands: &[LabelSet],
+        start: usize,
+        remaining: u32,
+        frontier: &[Config],
+        chosen: &mut Vec<LabelSet>,
+        sub_index: &SubMultisetIndex,
+        out: &mut Vec<SetConfig>,
+    ) {
+        if remaining == 0 {
+            out.push(SetConfig::new(chosen.clone()));
+            return;
+        }
+        for (i, &cand) in cands.iter().enumerate().skip(start) {
+            // Extend every partial choice by every label of `cand`.
+            let mut next: Vec<Config> = Vec::with_capacity(frontier.len() * cand.len());
+            let mut ok = true;
+            'ext: for m in frontier {
+                for b in cand.iter() {
+                    let extended = m.with(b);
+                    if !sub_index.contains(&extended) {
+                        ok = false;
+                        break 'ext;
+                    }
+                    next.push(extended);
+                }
+            }
+            if !ok {
+                continue;
+            }
+            next.sort_unstable();
+            next.dedup();
+            chosen.push(cand);
+            rec(cands, i, remaining - 1, &next, chosen, sub_index, out);
+            chosen.pop();
+        }
+    }
+
+    rec(
+        cands,
+        0,
+        delta,
+        &[Config::empty()],
+        &mut chosen,
+        sub_index,
+        &mut out,
+    );
+    out
+}
+
+/// Removes configurations dominated by another configuration
+/// (position-wise `⊆` after the best permutation — a bipartite matching).
+pub(crate) fn dominance_filter(configs: Vec<SetConfig>) -> Vec<SetConfig> {
+    let mut keep = vec![true; configs.len()];
+    for i in 0..configs.len() {
+        if !keep[i] {
+            continue;
+        }
+        for j in 0..configs.len() {
+            if i == j || !keep[i] {
+                continue;
+            }
+            if keep[j] && dominates(&configs[j], &configs[i]) {
+                keep[i] = false;
+            }
+        }
+    }
+    configs
+        .into_iter()
+        .zip(keep)
+        .filter_map(|(c, k)| k.then_some(c))
+        .collect()
+}
+
+/// Whether `big` dominates `small`: `big ≠ small` and there is a perfect
+/// matching pairing every position of `small` with a distinct position of
+/// `big` such that `small_i ⊆ big_j`.
+pub fn dominates(big: &SetConfig, small: &SetConfig) -> bool {
+    if big == small || big.degree() != small.degree() {
+        return false;
+    }
+    let big_sets = big.as_slice();
+    let options: Vec<u64> = small
+        .as_slice()
+        .iter()
+        .map(|&s| {
+            let mut mask = 0u64;
+            for (j, &b) in big_sets.iter().enumerate() {
+                if s.is_subset_of(b) {
+                    mask |= 1 << j;
+                }
+            }
+            mask
+        })
+        .collect();
+    let caps = vec![1u32; big_sets.len()];
+    assign_positions(&options, &caps).is_some()
+}
+
+/// Brute-force reference implementation of the universal edge side, without
+/// the right-closedness and Galois accelerations. Exposed for differential
+/// testing; exponential in `|Σ|`.
+///
+/// # Errors
+///
+/// Returns an error if the alphabet has more than 16 labels.
+pub fn r_step_edge_bruteforce(p: &Problem) -> Result<Vec<SetConfig>> {
+    let n = p.alphabet().len();
+    if n > 16 {
+        return Err(RelimError::TooManyLabels { requested: n });
+    }
+    let compat = p.edge_compat();
+    let universe = LabelSet::full(n);
+    let mut all: Vec<SetConfig> = Vec::new();
+    for a in crate::labelset::subsets_nonempty(universe) {
+        for b in crate::labelset::subsets_nonempty(universe) {
+            if b.bits() < a.bits() {
+                continue;
+            }
+            let ok = a.iter().all(|x| b.is_subset_of(compat[x.index()]));
+            if ok {
+                all.push(SetConfig::new(vec![a, b]));
+            }
+        }
+    }
+    Ok(dominance_filter(all))
+}
+
+/// Brute-force reference implementation of the universal node side.
+/// Exponential; only usable for tiny alphabets and degrees.
+///
+/// # Errors
+///
+/// Returns an error if the alphabet has more than 8 labels.
+pub fn rbar_step_node_bruteforce(p: &Problem) -> Result<Vec<SetConfig>> {
+    let n = p.alphabet().len();
+    if n > 8 {
+        return Err(RelimError::TooManyLabels { requested: n });
+    }
+    let universe = LabelSet::full(n);
+    let all_sets: Vec<LabelSet> = crate::labelset::subsets_nonempty(universe).collect();
+    let sub_index = p.node().sub_multiset_index();
+    let raw = forall_multisets(&all_sets_sorted(all_sets), p.delta(), &sub_index);
+    Ok(dominance_filter(raw))
+}
+
+fn all_sets_sorted(mut sets: Vec<LabelSet>) -> Vec<LabelSet> {
+    sets.sort_unstable_by_key(|s| (s.len(), s.bits()));
+    sets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mis3() -> Problem {
+        Problem::from_text("M M M\nP O O", "M [P O]\nO O").unwrap()
+    }
+
+    #[test]
+    fn r_step_mis_edge_pairs_are_maximal_and_valid() {
+        let p = mis3();
+        let step = r_step(&p).unwrap();
+        // Every pair's choices must be in E; pairs must be mutually
+        // non-dominating.
+        let compat = p.edge_compat();
+        let pairs: Vec<SetConfig> = step
+            .problem
+            .edge()
+            .iter()
+            .map(|c| step.as_set_config(c))
+            .collect();
+        for sc in &pairs {
+            let s = sc.as_slice();
+            for a in s[0].iter() {
+                assert!(
+                    s[1].is_subset_of(compat[a.index()]),
+                    "non-universal pair {sc:?}"
+                );
+            }
+        }
+        for x in &pairs {
+            for y in &pairs {
+                assert!(!dominates(x, y), "{y:?} dominated by {x:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn r_step_matches_bruteforce_on_mis() {
+        let p = mis3();
+        let step = r_step(&p).unwrap();
+        let mut fast: Vec<SetConfig> = step
+            .problem
+            .edge()
+            .iter()
+            .map(|c| step.as_set_config(c))
+            .collect();
+        let mut brute = r_step_edge_bruteforce(&p).unwrap();
+        fast.sort();
+        brute.sort();
+        assert_eq!(fast, brute);
+    }
+
+    #[test]
+    fn rbar_matches_bruteforce_on_small_problem() {
+        // Sinkless-orientation-like toy: 2 labels, Δ=3.
+        let p = Problem::from_text("O [O I]^2", "O I").unwrap();
+        let r = r_step(&p).unwrap();
+        let mut fast: Vec<SetConfig> = {
+            let step = rbar_step(&r.problem).unwrap();
+            step.problem
+                .node()
+                .iter()
+                .map(|c| step.as_set_config(c))
+                .collect()
+        };
+        let mut brute = rbar_step_node_bruteforce(&r.problem).unwrap();
+        fast.sort();
+        brute.sort();
+        assert_eq!(fast, brute);
+    }
+
+    #[test]
+    fn exists_side_replacement_method() {
+        // For MIS, N_{R(Π)} is obtained by replacing M, P, O by the
+        // disjunctions of new labels containing them; the result must admit a
+        // choice in N for every configuration.
+        let p = mis3();
+        let step = r_step(&p).unwrap();
+        for cfg in step.problem.node().iter() {
+            let sc = step.as_set_config(cfg);
+            // Verify the existential condition by explicit search.
+            let mut found = false;
+            let sets = sc.as_slice();
+            let mut pick = vec![Label::new(0); sets.len()];
+            fn search(
+                sets: &[LabelSet],
+                i: usize,
+                pick: &mut [Label],
+                node: &Constraint,
+                found: &mut bool,
+            ) {
+                if *found {
+                    return;
+                }
+                if i == sets.len() {
+                    if node.contains(&Config::new(pick.to_vec())) {
+                        *found = true;
+                    }
+                    return;
+                }
+                for l in sets[i].iter() {
+                    pick[i] = l;
+                    search(sets, i + 1, pick, node, found);
+                }
+            }
+            search(sets, 0, &mut pick, p.node(), &mut found);
+            assert!(found, "config {sc:?} admits no choice in N");
+        }
+    }
+
+    #[test]
+    fn dominance_basic() {
+        let a = LabelSet::from_bits(0b01);
+        let ab = LabelSet::from_bits(0b11);
+        let x = SetConfig::new(vec![a, a]);
+        let y = SetConfig::new(vec![ab, a]);
+        assert!(dominates(&y, &x));
+        assert!(!dominates(&x, &y));
+        assert!(!dominates(&x, &x));
+        let filtered = dominance_filter(vec![x, y.clone()]);
+        assert_eq!(filtered, vec![y]);
+    }
+}

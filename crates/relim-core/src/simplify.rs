@@ -1,0 +1,246 @@
+//! Problem simplification operations (the round-eliminator's toolbox).
+//!
+//! Lower-bound proofs via round elimination (paper §1.2) hinge on
+//! *simplifying* the problems in the sequence: replacing a problem by a
+//! relaxation (0-round solvable **from** it) that has a smaller
+//! description, without making it trivially easy. This module provides the
+//! standard operations:
+//!
+//! * [`merge_labels`] — map one label onto another everywhere (a
+//!   relaxation: any solution converts by renaming);
+//! * [`remove_label`] — delete every configuration using a label (a
+//!   restriction: the result is at most as easy);
+//! * [`add_node_config`] / [`add_edge_config`] — explicit relaxations;
+//! * [`remove_node_config`] / [`remove_edge_config`] — explicit
+//!   restrictions;
+//! * [`is_relaxation_of`] — the containment check justifying a
+//!   simplification step.
+
+use crate::config::Config;
+use crate::constraint::Constraint;
+use crate::error::{RelimError, Result};
+use crate::label::Label;
+use crate::problem::Problem;
+
+/// Merges label `from` into label `to`: every occurrence of `from` in both
+/// constraints is replaced by `to`, and `from` is dropped from the
+/// alphabet.
+///
+/// The result is a **relaxation** of `p` under the output map
+/// `from ↦ to`: any solution of `p` becomes a solution of the result in 0
+/// rounds.
+///
+/// # Errors
+///
+/// Requires `from ≠ to`, both within the alphabet.
+///
+/// # Example
+///
+/// ```
+/// use relim_core::{simplify, Problem};
+///
+/// let mis = Problem::from_text("M M M\nP O O", "M [P O]\nO O").unwrap();
+/// let p = mis.alphabet().label("P").unwrap();
+/// let o = mis.alphabet().label("O").unwrap();
+/// let merged = simplify::merge_labels(&mis, p, o).unwrap();
+/// assert_eq!(merged.alphabet().len(), 2);
+/// // P O O became O O O.
+/// assert_eq!(merged.node().len(), 2);
+/// ```
+pub fn merge_labels(p: &Problem, from: Label, to: Label) -> Result<Problem> {
+    let n = p.alphabet().len();
+    if from == to || from.index() >= n || to.index() >= n {
+        return Err(RelimError::InvalidParameter {
+            message: format!("merge_labels requires distinct in-range labels, got {from} -> {to}"),
+        });
+    }
+    let mapping: Vec<Label> = (0..n)
+        .map(|i| if i == from.index() { to } else { Label::new(i as u8) })
+        .collect();
+    let node = p.node().map_labels(&mapping);
+    let edge = p.edge().map_labels(&mapping);
+    let merged = Problem::new(p.alphabet().clone(), node, edge)?;
+    let (reduced, _) = merged.drop_unused_labels();
+    Ok(reduced)
+}
+
+/// Removes a label: every configuration mentioning it is deleted from both
+/// constraints. The result is a **restriction** of `p` (at most as easy).
+///
+/// # Errors
+///
+/// Returns [`RelimError::DegenerateProblem`] if a constraint would become
+/// empty.
+pub fn remove_label(p: &Problem, label: Label) -> Result<Problem> {
+    let filter = |c: &Constraint| -> Result<Constraint> {
+        let kept: Vec<Config> = c.iter().filter(|cfg| !cfg.contains(label)).cloned().collect();
+        Constraint::from_configs(kept).map_err(|_| RelimError::DegenerateProblem {
+            message: format!("removing label {label} empties a constraint"),
+        })
+    };
+    let node = filter(p.node())?;
+    let edge = filter(p.edge())?;
+    let stripped = Problem::new(p.alphabet().clone(), node, edge)?;
+    let (reduced, _) = stripped.drop_unused_labels();
+    Ok(reduced)
+}
+
+/// Adds a node configuration (a relaxation).
+///
+/// # Errors
+///
+/// The configuration must have degree Δ and in-range labels.
+pub fn add_node_config(p: &Problem, cfg: Config) -> Result<Problem> {
+    if cfg.degree() != p.delta() {
+        return Err(RelimError::WrongDegree { expected: p.delta(), found: cfg.degree() });
+    }
+    let node = Constraint::from_configs(p.node().iter().cloned().chain([cfg]))?;
+    Problem::new(p.alphabet().clone(), node, p.edge().clone())
+}
+
+/// Adds an edge configuration (a relaxation).
+///
+/// # Errors
+///
+/// The configuration must have degree 2 and in-range labels.
+pub fn add_edge_config(p: &Problem, cfg: Config) -> Result<Problem> {
+    if cfg.degree() != 2 {
+        return Err(RelimError::WrongDegree { expected: 2, found: cfg.degree() });
+    }
+    let edge = Constraint::from_configs(p.edge().iter().cloned().chain([cfg]))?;
+    Problem::new(p.alphabet().clone(), p.node().clone(), edge)
+}
+
+/// Removes a node configuration (a restriction).
+///
+/// # Errors
+///
+/// Returns [`RelimError::DegenerateProblem`] if it was the last one.
+pub fn remove_node_config(p: &Problem, cfg: &Config) -> Result<Problem> {
+    let kept: Vec<Config> = p.node().iter().filter(|c| *c != cfg).cloned().collect();
+    let node = Constraint::from_configs(kept).map_err(|_| RelimError::DegenerateProblem {
+        message: "removing the last node configuration".into(),
+    })?;
+    Problem::new(p.alphabet().clone(), node, p.edge().clone())
+}
+
+/// Removes an edge configuration (a restriction).
+///
+/// # Errors
+///
+/// Returns [`RelimError::DegenerateProblem`] if it was the last one.
+pub fn remove_edge_config(p: &Problem, cfg: &Config) -> Result<Problem> {
+    let kept: Vec<Config> = p.edge().iter().filter(|c| *c != cfg).cloned().collect();
+    let edge = Constraint::from_configs(kept).map_err(|_| RelimError::DegenerateProblem {
+        message: "removing the last edge configuration".into(),
+    })?;
+    Problem::new(p.alphabet().clone(), p.node().clone(), edge)
+}
+
+/// Whether `easier` is a relaxation of `harder` **over the same alphabet**:
+/// every configuration allowed by `harder` is allowed by `easier` (so any
+/// `harder`-solution is an `easier`-solution verbatim).
+pub fn is_relaxation_of(easier: &Problem, harder: &Problem) -> bool {
+    easier.alphabet().len() == harder.alphabet().len()
+        && harder.node().iter().all(|c| easier.node().contains(c))
+        && harder.edge().iter().all(|c| easier.edge().contains(c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mis3() -> Problem {
+        Problem::from_text("M M M\nP O O", "M [P O]\nO O").unwrap()
+    }
+
+    #[test]
+    fn merge_p_into_o() {
+        let p = mis3();
+        let pl = p.alphabet().label("P").unwrap();
+        let o = p.alphabet().label("O").unwrap();
+        let merged = merge_labels(&p, pl, o).unwrap();
+        assert_eq!(merged.alphabet().len(), 2);
+        // Node: {MMM, OOO}; edge: {MO, OO}.
+        assert_eq!(merged.node().len(), 2);
+        assert_eq!(merged.edge().len(), 2);
+    }
+
+    #[test]
+    fn merge_validates() {
+        let p = mis3();
+        let m = p.alphabet().label("M").unwrap();
+        assert!(merge_labels(&p, m, m).is_err());
+    }
+
+    #[test]
+    fn remove_label_m() {
+        let p = mis3();
+        let m = p.alphabet().label("M").unwrap();
+        // Node keeps only P O O; edge keeps only OO.
+        let stripped = remove_label(&p, m).unwrap();
+        assert_eq!(stripped.node().len(), 1);
+        assert_eq!(stripped.edge().len(), 1);
+        assert_eq!(stripped.alphabet().len(), 2);
+    }
+
+    #[test]
+    fn remove_label_degenerate() {
+        let p = Problem::from_text("A A", "A A").unwrap();
+        let a = p.alphabet().label("A").unwrap();
+        assert!(matches!(
+            remove_label(&p, a),
+            Err(RelimError::DegenerateProblem { .. })
+        ));
+    }
+
+    #[test]
+    fn add_and_remove_configs() {
+        let p = mis3();
+        let m = p.alphabet().label("M").unwrap();
+        let o = p.alphabet().label("O").unwrap();
+        let mm = Config::new(vec![m, m]);
+        let relaxed = add_edge_config(&p, mm.clone()).unwrap();
+        assert!(relaxed.edge().contains(&mm));
+        assert!(is_relaxation_of(&relaxed, &p));
+        assert!(!is_relaxation_of(&p, &relaxed));
+        let back = remove_edge_config(&relaxed, &mm).unwrap();
+        assert!(back.semantically_equal(&p));
+        // Node config round trip.
+        let ooo = Config::new(vec![o, o, o]);
+        let relaxed = add_node_config(&p, ooo.clone()).unwrap();
+        assert!(is_relaxation_of(&relaxed, &p));
+        let back = remove_node_config(&relaxed, &ooo).unwrap();
+        assert!(back.semantically_equal(&p));
+    }
+
+    #[test]
+    fn degree_validation() {
+        let p = mis3();
+        let m = p.alphabet().label("M").unwrap();
+        assert!(add_node_config(&p, Config::new(vec![m])).is_err());
+        assert!(add_edge_config(&p, Config::new(vec![m, m, m])).is_err());
+    }
+
+    #[test]
+    fn merged_problem_is_relaxation_via_renaming() {
+        // Merging is a relaxation in the renamed sense: map solutions of
+        // MIS through P ↦ O and they satisfy the merged problem. We check
+        // the constraint-level fact: image(N_MIS) ⊆ N_merged.
+        let p = mis3();
+        let pl = p.alphabet().label("P").unwrap();
+        let o = p.alphabet().label("O").unwrap();
+        let merged = merge_labels(&p, pl, o).unwrap();
+        let mapping: Vec<Label> = vec![
+            merged.alphabet().label("M").unwrap(),
+            merged.alphabet().label("O").unwrap(), // P -> O
+            merged.alphabet().label("O").unwrap(),
+        ];
+        for cfg in p.node().iter() {
+            assert!(merged.node().contains(&cfg.map_labels(&mapping)));
+        }
+        for cfg in p.edge().iter() {
+            assert!(merged.edge().contains(&cfg.map_labels(&mapping)));
+        }
+    }
+}

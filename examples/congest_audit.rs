@@ -1,0 +1,164 @@
+//! CONGEST audit: measure the bandwidth footprint of every distributed
+//! algorithm in the suite and report which ones already run in the
+//! CONGEST model (paper §2.1: same model, `O(log n)`-bit messages).
+//!
+//! Lower bounds transfer from LOCAL to CONGEST for free; upper bounds do
+//! not. This audit shows that the §1.1 pipelines are CONGEST-compatible
+//! as implemented — their messages are lottery values, colors and flags —
+//! while radius-gathering (the generic "LOCAL algorithm = function of the
+//! T-ball view") is not.
+//!
+//! ```text
+//! cargo run --example congest_audit
+//! ```
+
+use mis_domset_lb::algos::{luby, tree_mis};
+use mis_domset_lb::sim::checkers::check_mis;
+use mis_domset_lb::sim::congest::{congest_bandwidth, run_congest, CongestStats, MessageSize};
+use mis_domset_lb::sim::runner::{NodeInfo, RunConfig, Status, SyncAlgorithm};
+use mis_domset_lb::sim::trees;
+use rand::rngs::StdRng;
+
+fn row(name: &str, n: usize, rounds: usize, stats: &CongestStats) {
+    println!(
+        "{name:<28} {n:>6} {rounds:>7} {:>10} {:>12} {:>8}",
+        stats.max_message_bits,
+        stats.total_bits,
+        if stats.is_congest(n) { "yes" } else { "NO" }
+    );
+}
+
+/// Generic LOCAL-style ball gathering: each node floods everything it
+/// knows for `radius` rounds — the textbook reason LOCAL upper bounds do
+/// not transfer to CONGEST.
+struct BallGather {
+    known: Vec<u64>,
+    left: usize,
+}
+
+impl SyncAlgorithm for BallGather {
+    type Input = usize;
+    type Message = Vec<u64>;
+    type Output = usize;
+
+    fn init(info: &NodeInfo, input: &usize, _rng: &mut StdRng) -> Self {
+        BallGather { known: vec![info.id.expect("LOCAL")], left: *input }
+    }
+
+    fn send(&mut self, info: &NodeInfo) -> Vec<Vec<u64>> {
+        vec![self.known.clone(); info.degree]
+    }
+
+    fn receive(
+        &mut self,
+        _info: &NodeInfo,
+        incoming: Vec<Option<Vec<u64>>>,
+        _rng: &mut StdRng,
+    ) -> Status<usize> {
+        for msg in incoming.into_iter().flatten() {
+            for id in msg {
+                if !self.known.contains(&id) {
+                    self.known.push(id);
+                }
+            }
+        }
+        self.left -= 1;
+        if self.left == 0 {
+            Status::Done(self.known.len())
+        } else {
+            Status::Continue
+        }
+    }
+}
+
+fn main() {
+    let n = 400usize;
+    let g = trees::random_tree(n, 8, 7).expect("valid tree");
+    println!(
+        "CONGEST audit on a random tree: n = {n}, Δ = {}, bandwidth budget = {} bits\n",
+        g.max_degree(),
+        congest_bandwidth(n)
+    );
+    println!(
+        "{:<28} {:>6} {:>7} {:>10} {:>12} {:>8}",
+        "algorithm", "n", "rounds", "max bits", "total bits", "CONGEST"
+    );
+
+    // Luby's randomized MIS: 65-bit messages (tag + lottery value).
+    let config = RunConfig::port_numbering(3, 400);
+    let report =
+        run_congest::<luby::Luby>(&g, &vec![(); n], &config).expect("runs");
+    check_mis(&g, &report.outputs).expect("valid MIS");
+    row("Luby MIS (randomized)", n, report.rounds, &report.stats);
+
+    // H-partition peeling: zero-bit messages (presence is the signal).
+    let report = run_congest::<HPartitionProbe>(&g, &vec![(); n], &config).expect("runs");
+    let layers = report.outputs.clone();
+    row("H-partition peeling", n, report.rounds, &report.stats);
+
+    // Layered tree MIS sweep: 66-bit full-state messages.
+    let num_layers = layers.iter().copied().max().unwrap_or(0) + 1;
+    let inputs: Vec<tree_mis::LayerInput> = layers
+        .iter()
+        .map(|&layer| tree_mis::LayerInput { layer, num_layers })
+        .collect();
+    let config_local = RunConfig::local(&g, 5, 8000);
+    let report =
+        run_congest::<tree_mis::LayeredSweep>(&g, &inputs, &config_local).expect("runs");
+    check_mis(&g, &report.outputs).expect("valid MIS");
+    row("tree MIS layered sweep", n, report.rounds, &report.stats);
+
+    // Ball gathering: messages grow with the ball — not CONGEST.
+    let config_local = RunConfig::local(&g, 5, 64);
+    let report =
+        run_congest::<BallGather>(&g, &vec![4usize; n], &config_local).expect("runs");
+    row("radius-4 ball gathering", n, report.rounds, &report.stats);
+
+    println!(
+        "\nEvery paper-relevant pipeline above fits the budget; only the\n\
+         generic view-gathering pattern (which LOCAL-model proofs allow\n\
+         but never need here) exceeds it."
+    );
+}
+
+/// The peeling algorithm of `tree_mis::h_partition`, re-run here through
+/// the instrumented runner (unit messages).
+struct HPartitionProbe {
+    round: usize,
+}
+
+impl SyncAlgorithm for HPartitionProbe {
+    type Input = ();
+    type Message = ();
+    type Output = usize;
+
+    fn init(_info: &NodeInfo, _input: &(), _rng: &mut StdRng) -> Self {
+        HPartitionProbe { round: 0 }
+    }
+
+    fn send(&mut self, info: &NodeInfo) -> Vec<()> {
+        vec![(); info.degree]
+    }
+
+    fn receive(
+        &mut self,
+        _info: &NodeInfo,
+        incoming: Vec<Option<()>>,
+        _rng: &mut StdRng,
+    ) -> Status<usize> {
+        let active = incoming.iter().flatten().count();
+        if active <= 2 {
+            return Status::Done(self.round);
+        }
+        self.round += 1;
+        Status::Continue
+    }
+}
+
+// Ensure the audit table stays truthful if message types change.
+#[allow(dead_code)]
+fn static_checks() {
+    fn assert_message_size<T: MessageSize>() {}
+    assert_message_size::<luby::LubyMsg>();
+    assert_message_size::<Vec<u64>>();
+}

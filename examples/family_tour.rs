@@ -1,0 +1,110 @@
+//! A tour of the problem family on a concrete tree (Figures 2 and 3):
+//! solve `Π_4(2,2)` on a Δ-regular tree, render the labeling, then walk
+//! the Lemma 9 and Lemma 11 transformations.
+//!
+//! ```text
+//! cargo run --example family_tour
+//! ```
+
+use mis_domset_lb::family::convert::{self, BoundaryPolicy};
+use mis_domset_lb::family::family::{self, PiParams};
+use mis_domset_lb::family::transforms;
+use mis_domset_lb::sim::lcl_solver::LeafPolicy;
+use mis_domset_lb::sim::{edge_coloring, trees, Graph, PortLabeling};
+
+const LABEL_NAMES: [&str; 6] = ["M", "P", "O", "A", "X", "C"];
+
+fn render(graph: &Graph, labeling: &PortLabeling, title: &str) {
+    println!("--- {title} ---");
+    for v in 0..graph.n().min(16) {
+        let labels: Vec<String> = (0..graph.degree(v))
+            .map(|p| {
+                format!(
+                    "{}:{}",
+                    graph.neighbor(v, p),
+                    LABEL_NAMES[labeling.get(v, p) as usize]
+                )
+            })
+            .collect();
+        let kind = node_kind(labeling.node_labels(v));
+        println!("  node {v:>2} ({kind:<7}) -> {}", labels.join("  "));
+    }
+    if graph.n() > 16 {
+        println!("  … ({} more nodes)", graph.n() - 16);
+    }
+}
+
+fn node_kind(labels: &[u8]) -> &'static str {
+    if labels.contains(&family::C) {
+        "type-C"
+    } else if labels.contains(&family::A) {
+        "type-3"
+    } else if labels.contains(&family::M) {
+        "type-1"
+    } else if labels.contains(&family::P) {
+        "type-2"
+    } else {
+        "pure-X"
+    }
+}
+
+fn main() {
+    // Figure 2's setting: a = 2, x = 2 — here on a Δ=4 regular tree.
+    let params = PiParams { delta: 4, a: 2, x: 2 };
+    let pi = family::pi(&params).expect("valid parameters");
+    println!("=== Π_Δ(a,x) with Δ=4, a=2, x=2 (Figure 2's parameters) ===");
+    println!("{}\n", pi.render());
+
+    let tree = trees::complete_regular_tree(4, 3).expect("tree");
+    println!(
+        "tree: complete 4-regular tree of depth 3 ({} nodes, {} edges)\n",
+        tree.n(),
+        tree.m()
+    );
+
+    let inst = convert::to_lcl(&pi, LeafPolicy::SubMultiset).expect("convert");
+    let labeling = inst
+        .solve(&tree, 2021)
+        .expect("tree ok")
+        .expect("Π_4(2,2) is solvable");
+    convert::check_labeling(&pi, &tree, &labeling, BoundaryPolicy::SubMultiset)
+        .expect("solver output is valid");
+    render(&tree, &labeling, "a valid Π_4(2,2) labeling (checker-approved)");
+
+    // ---------------------------------------------------------------
+    // Lemma 11: relax to a smaller a / larger x.
+    // ---------------------------------------------------------------
+    let to = PiParams { delta: 4, a: 1, x: 3 };
+    let relaxed = transforms::lemma11_relax(&params, &to, &tree, &labeling).expect("relax");
+    let pi_to = family::pi(&to).expect("valid");
+    convert::check_labeling(&pi_to, &tree, &relaxed, BoundaryPolicy::InteriorOnly)
+        .expect("Lemma 11 output is valid");
+    println!("\nLemma 11: relaxed Π_4(2,2) → Π_4(1,3) in 0 rounds. ✓");
+
+    // ---------------------------------------------------------------
+    // Lemma 9: from Π⁺ to the next family member, using a Δ-edge coloring.
+    // ---------------------------------------------------------------
+    let plus_params = PiParams { delta: 4, a: 3, x: 0 };
+    let plus = family::pi_plus(&plus_params).expect("valid");
+    let plus_inst = convert::to_lcl(&plus, LeafPolicy::SubMultiset).expect("convert");
+    let plus_sol = plus_inst
+        .solve(&tree, 99)
+        .expect("tree ok")
+        .expect("Π⁺ solvable");
+    let coloring = edge_coloring::tree_edge_coloring(&tree).expect("Δ-edge coloring");
+    println!(
+        "\nΔ-edge coloring with {} colors computed (the Lemma 9 input).",
+        coloring.num_colors()
+    );
+    let (converted, next) =
+        transforms::lemma9_transform(&plus_params, &tree, &coloring, &plus_sol)
+            .expect("transform");
+    let pi_next = family::pi(&next).expect("valid");
+    convert::check_labeling(&pi_next, &tree, &converted, BoundaryPolicy::InteriorOnly)
+        .expect("Lemma 9 output is valid");
+    println!(
+        "Lemma 9: Π⁺_4(3,0) solution → Π_4({},{}) solution in 0 rounds. ✓",
+        next.a, next.x
+    );
+    render(&tree, &converted, "the transformed labeling");
+}

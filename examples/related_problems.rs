@@ -1,0 +1,88 @@
+//! The paper's neighborhood of problems, live: ruling sets (§1, the *other*
+//! MIS relaxation), b-matchings (§1, the line-graph relatives), and the
+//! view-indistinguishability argument behind the 0-round gadget
+//! (Lemmas 12/15).
+//!
+//! ```text
+//! cargo run --release --example related_problems
+//! ```
+
+use mis_domset_lb::algos::{b_matching, ruling_set};
+use mis_domset_lb::sim::{checkers, edge_coloring, trees, views};
+
+fn main() {
+    // ---------------------------------------------------------------
+    // Ruling sets: relax MIS's domination radius instead of its
+    // independence (the paper keeps domination and relaxes independence).
+    // ---------------------------------------------------------------
+    println!("=== (β+1, β)-ruling sets via MIS on G^β ===");
+    println!("{:>4} {:>8} {:>8} {:>14} {:>16}", "β", "n", "|S|", "G^β rounds", "simulated rounds");
+    let tree = trees::complete_regular_tree(3, 6).expect("tree");
+    for beta in 1..=4 {
+        let rep = ruling_set::ruling_set_power_mis(&tree, beta, 11).expect("ruling set");
+        checkers::check_ruling_set(&tree, &rep.in_set, beta + 1, beta).expect("valid");
+        println!(
+            "{:>4} {:>8} {:>8} {:>14} {:>16}",
+            beta,
+            tree.n(),
+            rep.in_set.iter().filter(|&&b| b).count(),
+            rep.power_graph_rounds,
+            rep.simulated_rounds
+        );
+    }
+    println!("(members thin out as β grows — the relaxation the paper contrasts with)");
+
+    // ---------------------------------------------------------------
+    // Maximal b-matchings: the line-graph relatives of k-outdegree
+    // dominating sets (paper §1).
+    // ---------------------------------------------------------------
+    println!("\n=== maximal b-matchings by edge-color sweep ===");
+    println!("{:>4} {:>4} {:>8} {:>10} {:>8}", "Δ", "b", "edges", "matched", "rounds");
+    for delta in [3usize, 4, 5] {
+        let g = trees::complete_regular_tree(delta, 3).expect("tree");
+        let col = edge_coloring::tree_edge_coloring(&g).expect("coloring");
+        for b in 1..=delta.min(3) {
+            let rep = b_matching::maximal_b_matching(&g, &col, b, 0).expect("b-matching");
+            checkers::check_maximal_b_matching(&g, &rep.in_matching, b).expect("valid");
+            println!(
+                "{:>4} {:>4} {:>8} {:>10} {:>8}",
+                delta,
+                b,
+                g.m(),
+                rep.in_matching.iter().filter(|&&e| e).count(),
+                rep.rounds
+            );
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // The indistinguishability gadget: with ports identified along a
+    // Δ-edge coloring, deep nodes have *identical* radius-T views — no
+    // T-round algorithm can treat them differently (the engine of
+    // Lemmas 12/15).
+    // ---------------------------------------------------------------
+    println!("\n=== view indistinguishability on the identified-ports gadget ===");
+    let g = trees::complete_regular_tree(3, 6).expect("tree");
+    let col = edge_coloring::tree_edge_coloring(&g).expect("coloring");
+    let relabel: Vec<Vec<usize>> = (0..g.n())
+        .map(|v| (0..g.degree(v)).map(|p| col.color_at(&g, v, p)).collect())
+        .collect();
+    let colors: Vec<usize> = col.as_slice().to_vec();
+    let gadget_inputs = views::ViewInputs {
+        node_input: None,
+        edge_input: Some(&colors),
+        port_relabel: Some(&relabel),
+    };
+    let plain_inputs = views::ViewInputs::default();
+    println!(
+        "{:>8} {:>22} {:>22}",
+        "radius", "classes (raw ports)", "classes (identified)"
+    );
+    for t in 0..=3 {
+        let (_, raw) = views::view_classes(&g, t, &plain_inputs);
+        let (_, gadget) = views::view_classes(&g, t, &gadget_inputs);
+        println!("{:>8} {:>22} {:>22}", t, raw, gadget);
+    }
+    println!("(identified ports collapse the interior into few classes: the nodes an");
+    println!(" algorithm must treat identically — the heart of the 0-round impossibility)");
+}

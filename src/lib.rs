@@ -1,0 +1,25 @@
+//! # mis-domset-lb — facade crate
+//!
+//! Reproduction of Balliu, Brandt, Kuhn, Olivetti,
+//! *"Improved Distributed Lower Bounds for MIS and Bounded (Out-)Degree
+//! Dominating Sets in Trees"* (PODC 2021, arXiv:2106.02440).
+//!
+//! This crate re-exports the four workspace crates:
+//!
+//! * [`relim`] — the round elimination engine (`relim-core`),
+//! * [`family`] — the paper's `Π_Δ(a,x)` problem family and lemma machinery
+//!   (`lb-family`),
+//! * [`sim`] — the LOCAL / port-numbering model simulator (`local-sim`),
+//! * [`algos`] — the distributed upper-bound algorithms (`local-algos`).
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! per-figure reproduction index; the `examples/` directory contains
+//! runnable walkthroughs (start with `cargo run --example quickstart`).
+//!
+//! The README (rendered below) doubles as a compile-checked tour.
+#![doc = include_str!("../README.md")]
+
+pub use lb_family as family;
+pub use local_algos as algos;
+pub use local_sim as sim;
+pub use relim_core as relim;

@@ -1,0 +1,137 @@
+//! Cross-crate integration tests: distributed algorithms feeding the
+//! lower-bound machinery, validated by the checkers on larger instances.
+
+use mis_domset_lb::algos::{self, luby, matching, sequential};
+use mis_domset_lb::family::family::{self, PiParams};
+use mis_domset_lb::family::{convert, transforms};
+use mis_domset_lb::sim::{checkers, edge_coloring, trees};
+
+/// The paper's §1.1 pipeline produces valid k-ODS whose Lemma 5 image is a
+/// valid `Π_Δ(a,k)` labeling — algorithms and lower-bound family agree on
+/// the solution format.
+#[test]
+fn kods_pipeline_feeds_lemma5() {
+    for (delta, k) in [(4usize, 1usize), (5, 2), (6, 3)] {
+        let tree = trees::complete_regular_tree(delta, 3).unwrap();
+        let rep = algos::k_outdegree_domset(&tree, k, 13).unwrap();
+        checkers::check_k_outdegree_domset(&tree, &rep.in_set, &rep.orientation, k).unwrap();
+        let labeling =
+            transforms::lemma5_transform(&tree, &rep.in_set, &rep.orientation, k as u32)
+                .unwrap();
+        let a = (delta as u32).min(k as u32 + 2);
+        let pi = family::pi(&PiParams { delta: delta as u32, a, x: k as u32 }).unwrap();
+        convert::check_labeling(
+            &pi,
+            &tree,
+            &labeling,
+            convert::BoundaryPolicy::InteriorOnly,
+        )
+        .unwrap_or_else(|v| panic!("delta={delta}, k={k}: {v}"));
+    }
+}
+
+/// MIS algorithms (deterministic sweep, Δ+1 variant, Luby) agree with the
+/// checker on a diverse tree zoo.
+#[test]
+fn mis_algorithms_on_tree_zoo() {
+    let zoo: Vec<local_sim::Graph> = vec![
+        trees::path(40).unwrap(),
+        trees::star(12).unwrap(),
+        trees::caterpillar(8, 3).unwrap(),
+        trees::complete_regular_tree(3, 4).unwrap(),
+        trees::random_tree(90, 5, 3).unwrap(),
+    ];
+    for g in &zoo {
+        let det = algos::mis_deterministic(g, 2).unwrap();
+        checkers::check_mis(g, &det.in_set).unwrap();
+        let plus1 = algos::domset::mis_via_delta_plus_one(g, 2).unwrap();
+        checkers::check_mis(g, &plus1.in_set).unwrap();
+        let rand = luby::luby_mis(g, 2).unwrap();
+        checkers::check_mis(g, &rand.in_set).unwrap();
+    }
+}
+
+/// The sweep phase of the k-ODS pipeline shrinks as k grows (the Δ/k shape
+/// of E11), at fixed Δ.
+#[test]
+fn sweep_rounds_shrink_with_k() {
+    let delta = 8usize;
+    let tree = trees::complete_regular_tree(delta, 2).unwrap();
+    let mut prev_buckets = usize::MAX;
+    for k in [0usize, 1, 3, 7] {
+        let rep = algos::k_outdegree_domset(&tree, k, 1).unwrap();
+        checkers::check_k_outdegree_domset(&tree, &rep.in_set, &rep.orientation, k).unwrap();
+        assert!(rep.buckets <= prev_buckets);
+        prev_buckets = rep.buckets;
+        assert!(rep.rounds.sweep <= rep.buckets + 2);
+    }
+}
+
+/// Solution sizes: distributed MIS is within the greedy baselines' regime
+/// (n/(Δ+1) ≤ |MIS| ≤ n/2 on trees with at least 2 nodes).
+#[test]
+fn mis_sizes_sane() {
+    let g = trees::random_tree(150, 4, 8).unwrap();
+    let det = algos::mis_deterministic(&g, 4).unwrap();
+    let greedy = sequential::greedy_mis(&g, None);
+    let det_size = sequential::set_size(&det.in_set);
+    let greedy_size = sequential::set_size(&greedy);
+    let lower = g.n() / (g.max_degree() + 1);
+    assert!(det_size >= lower, "{det_size} < {lower}");
+    assert!(greedy_size >= lower);
+}
+
+/// Maximal matching via edge colors, checked against the matching checker
+/// and against the MIS-in-line-graph intuition (§1's b-matching remark).
+#[test]
+fn matching_and_edge_colorings() {
+    for delta in 3..=6 {
+        let g = trees::complete_regular_tree(delta, 3).unwrap();
+        let col = edge_coloring::tree_edge_coloring(&g).unwrap();
+        assert_eq!(col.num_colors(), delta);
+        let rep = matching::maximal_matching(&g, &col, 0).unwrap();
+        checkers::check_maximal_matching(&g, &rep.in_matching).unwrap();
+        assert!(rep.rounds <= delta + 3);
+    }
+}
+
+/// Defective/arbdefective colorings validate across a parameter grid on
+/// random trees (not just regular ones).
+#[test]
+fn coloring_grid_on_random_trees() {
+    for seed in 0..3u64 {
+        let g = trees::random_tree(80, 6, seed).unwrap();
+        let base = algos::linial::linial_coloring(&g, seed).unwrap();
+        checkers::check_proper_coloring(&g, &base.colors).unwrap();
+
+        for k in 1..=3usize {
+            let def =
+                algos::defective::defective_coloring(&g, &base.colors, base.num_colors, k, seed)
+                    .unwrap();
+            checkers::check_defective_coloring(&g, &def.colors, k).unwrap();
+        }
+        for buckets in [2usize, 3] {
+            let arb = algos::arbdefective::arbdefective_coloring(
+                &g,
+                &base.colors,
+                base.num_colors,
+                buckets,
+                seed,
+            )
+            .unwrap();
+            let k = g.max_degree() / buckets;
+            checkers::check_arbdefective_coloring(&g, &arb.buckets, &arb.orientation, k)
+                .unwrap();
+        }
+    }
+}
+
+/// k = 0 everywhere: the k-ODS pipeline degenerates to an MIS, matching
+/// the paper's observation that 0-outdegree dominating sets are MIS.
+#[test]
+fn k_zero_is_mis() {
+    let tree = trees::complete_regular_tree(4, 3).unwrap();
+    let rep = algos::k_outdegree_domset(&tree, 0, 21).unwrap();
+    checkers::check_mis(&tree, &rep.in_set).unwrap();
+    checkers::check_k_outdegree_domset(&tree, &rep.in_set, &rep.orientation, 0).unwrap();
+}

@@ -1,0 +1,224 @@
+//! Failure injection: every checker and verifier in the workspace must
+//! *reject* deliberately corrupted artifacts.
+//!
+//! The reproduction's claims rest on checker validation (EXPERIMENTS.md
+//! records "checker-valid" everywhere), so a checker that accepts garbage
+//! would silently void them. Each test below takes a known-good artifact,
+//! applies a targeted, minimal corruption, and asserts the precise
+//! rejection.
+
+use mis_domset_lb::algos::{domset, luby, tree_mis};
+use mis_domset_lb::family::family::{self, PiParams};
+use mis_domset_lb::family::{convert, matchings};
+use mis_domset_lb::sim::checkers::{self, Violation};
+use mis_domset_lb::sim::lcl_solver::LeafPolicy;
+use mis_domset_lb::sim::{edge_coloring, trees, Graph};
+
+#[test]
+fn mis_checker_rejects_independence_violation() {
+    let g = trees::path(6).unwrap();
+    let rep = luby::luby_mis(&g, 1).unwrap();
+    checkers::check_mis(&g, &rep.in_set).unwrap();
+    // Force two adjacent members.
+    let mut bad = rep.in_set.clone();
+    let v = (0..g.n()).find(|&v| bad[v]).unwrap();
+    let u = g.neighbor(v, 0);
+    bad[u] = true;
+    assert!(matches!(
+        checkers::check_mis(&g, &bad),
+        Err(Violation::AdjacentPair { .. })
+    ));
+}
+
+#[test]
+fn mis_checker_rejects_maximality_violation() {
+    let g = trees::star(5).unwrap();
+    let rep = luby::luby_mis(&g, 2).unwrap();
+    // Empty set: center and leaves all undominated.
+    let bad = vec![false; g.n()];
+    assert!(matches!(
+        checkers::check_mis(&g, &bad),
+        Err(Violation::NotDominated { .. })
+    ));
+    // Also: removing one member from a valid MIS breaks it.
+    let mut weaker = rep.in_set.clone();
+    let v = (0..g.n()).find(|&v| weaker[v]).unwrap();
+    weaker[v] = false;
+    assert!(checkers::check_mis(&g, &weaker).is_err());
+}
+
+#[test]
+fn kods_checker_rejects_outdegree_overflow() {
+    let k = 1usize;
+    let g = trees::complete_regular_tree(4, 3).unwrap();
+    let rep = domset::k_outdegree_domset(&g, k, 3).unwrap();
+    checkers::check_k_outdegree_domset(&g, &rep.in_set, &rep.orientation, k).unwrap();
+    // Claim a tighter bound than the solution satisfies — or corrupt the
+    // set: adding every node forces in-set edges beyond outdegree k.
+    let all = vec![true; g.n()];
+    let mut orientation = mis_domset_lb::sim::Orientation::unoriented(g.m());
+    for e in 0..g.m() {
+        let (u, _) = g.edges()[e];
+        orientation.orient_out_of(&g, e, u);
+    }
+    assert!(checkers::check_k_outdegree_domset(&g, &all, &orientation, 0).is_err());
+}
+
+#[test]
+fn kods_checker_rejects_unoriented_in_set_edges() {
+    let g = trees::path(4).unwrap();
+    let all = vec![true; g.n()];
+    let orientation = mis_domset_lb::sim::Orientation::unoriented(g.m());
+    assert!(matches!(
+        checkers::check_k_outdegree_domset(&g, &all, &orientation, 3),
+        Err(Violation::UnorientedEdge { .. })
+    ));
+}
+
+#[test]
+fn coloring_checkers_reject_conflicts() {
+    let g = trees::path(5).unwrap();
+    let mut colors = vec![0usize, 1, 0, 1, 0];
+    checkers::check_proper_coloring(&g, &colors).unwrap();
+    colors[1] = 0;
+    assert!(matches!(
+        checkers::check_proper_coloring(&g, &colors),
+        Err(Violation::ColorConflict { .. })
+    ));
+    // Defective: a monochromatic star center with 3 same-color neighbors
+    // violates defect 2 but satisfies defect 3.
+    let s = trees::star(3).unwrap();
+    let mono = vec![0usize; s.n()];
+    assert!(checkers::check_defective_coloring(&s, &mono, 3).is_ok());
+    assert!(checkers::check_defective_coloring(&s, &mono, 2).is_err());
+}
+
+#[test]
+fn matching_checkers_reject_oversaturation_and_nonmaximality() {
+    let g = trees::complete_regular_tree(3, 2).unwrap();
+    let coloring = edge_coloring::tree_edge_coloring(&g).unwrap();
+    let rep = mis_domset_lb::algos::b_matching::maximal_b_matching(&g, &coloring, 1, 5).unwrap();
+    checkers::check_maximal_b_matching(&g, &rep.in_matching, 1).unwrap();
+    // Oversaturation: all edges in a b=1 matching.
+    let all = vec![true; g.m()];
+    assert!(checkers::check_maximal_b_matching(&g, &all, 1).is_err());
+    // Non-maximality: the empty matching.
+    let none = vec![false; g.m()];
+    assert!(checkers::check_maximal_b_matching(&g, &none, 1).is_err());
+    assert!(checkers::check_maximal_matching(&g, &none).is_err());
+}
+
+#[test]
+fn matching_encoding_rejects_corrupted_labelings() {
+    let g = trees::complete_regular_tree(4, 2).unwrap();
+    let coloring = edge_coloring::tree_edge_coloring(&g).unwrap();
+    let rep = mis_domset_lb::algos::b_matching::maximal_b_matching(&g, &coloring, 1, 5).unwrap();
+    matchings::check_b_matching_labeling(&g, &rep.in_matching, 4, 1).unwrap();
+
+    let problem = matchings::maximal_matching_problem(4).unwrap();
+    let mut labeling = matchings::matching_to_labeling(&g, &rep.in_matching, 1).unwrap();
+    // Corrupt one port: claim a matched edge where there is none.
+    let v = (0..g.n()).find(|&v| labeling.node_labels(v).iter().filter(|&&l| l == 0).count() == 1)
+        .expect("some matched node");
+    let o_port = (0..g.degree(v)).find(|&p| labeling.get(v, p) != 0).expect("unmatched port");
+    labeling.set(v, o_port, 0); // a second M at a b=1 node
+    assert!(convert::check_labeling(&problem, &g, &labeling, convert::BoundaryPolicy::SubMultiset)
+        .is_err());
+}
+
+#[test]
+fn family_labeling_checker_rejects_corruption() {
+    let params = PiParams { delta: 3, a: 2, x: 0 };
+    let p = family::pi(&params).unwrap();
+    let inst = convert::to_lcl(&p, LeafPolicy::SubMultiset).unwrap();
+    let tree = trees::complete_regular_tree(3, 3).unwrap();
+    let sol = inst.solve(&tree, 5).unwrap().expect("solvable");
+    convert::check_labeling(&p, &tree, &sol, convert::BoundaryPolicy::SubMultiset).unwrap();
+    // Flip every port of an interior node to M: MM edges appear.
+    let mut bad = sol.clone();
+    let m = p.alphabet().label("M").unwrap().raw();
+    let interior = (0..tree.n()).find(|&v| tree.degree(v) == 3).unwrap();
+    for port in 0..tree.degree(interior) {
+        bad.set(interior, port, m);
+    }
+    for neighbor_port in 0..tree.degree(interior) {
+        let u = tree.neighbor(interior, neighbor_port);
+        for port in 0..tree.degree(u) {
+            if tree.neighbor(u, port) == interior {
+                bad.set(u, port, m);
+            }
+        }
+    }
+    assert!(
+        convert::check_labeling(&p, &tree, &bad, convert::BoundaryPolicy::InteriorOnly).is_err()
+    );
+}
+
+#[test]
+fn h_partition_validator_rejects_bad_layers() {
+    let g = trees::complete_regular_tree(3, 4).unwrap();
+    let hp = tree_mis::h_partition(&g, 0).unwrap();
+    assert!(tree_mis::check_h_partition(&g, &hp.layers));
+    // Push the root to the bottom layer: it gains 3 up-neighbors.
+    let mut bad = hp.layers.clone();
+    let root_layer = *bad.iter().max().unwrap();
+    let root = bad.iter().position(|&l| l == root_layer).unwrap();
+    bad[root] = 0;
+    // Only a corruption if the root actually had degree 3 neighbors above.
+    if g.degree(root) == 3 {
+        assert!(!tree_mis::check_h_partition(&g, &bad));
+    }
+}
+
+#[test]
+fn edge_coloring_validator_rejects_improper() {
+    let g = trees::star(4).unwrap();
+    let proper = edge_coloring::tree_edge_coloring(&g).unwrap();
+    assert!(edge_coloring::is_proper(&g, &proper));
+    let improper = mis_domset_lb::sim::EdgeColoring::new(vec![0; g.m()]);
+    assert!(!edge_coloring::is_proper(&g, &improper));
+}
+
+#[test]
+fn ruling_set_checker_rejects_uncovered_nodes() {
+    let g = trees::path(9).unwrap();
+    // Singleton at one end: not a (2, 2)-ruling set of a long path.
+    let mut in_set = vec![false; g.n()];
+    in_set[0] = true;
+    assert!(matches!(
+        checkers::check_ruling_set(&g, &in_set, 2, 2),
+        Err(Violation::NotDominated { .. })
+    ));
+    // Members at both ends and middle: fine for beta = 2.
+    in_set[4] = true;
+    in_set[8] = true;
+    checkers::check_ruling_set(&g, &in_set, 2, 2).unwrap();
+    // Adjacent members violate alpha = 2.
+    in_set[1] = true;
+    assert!(matches!(
+        checkers::check_ruling_set(&g, &in_set, 2, 2),
+        Err(Violation::AdjacentPair { .. })
+    ));
+}
+
+#[test]
+fn shape_mismatches_rejected_everywhere() {
+    let g = trees::path(4).unwrap();
+    assert!(matches!(
+        checkers::check_mis(&g, &[true, false]),
+        Err(Violation::ShapeMismatch { .. })
+    ));
+    assert!(checkers::check_proper_coloring(&g, &[0]).is_err());
+    assert!(matchings::matching_to_labeling(&g, &[true], 1).is_err());
+    assert!(matchings::matching_from_line_mis(&g, &[true]).is_err());
+}
+
+#[test]
+fn cycle_generator_and_line_graph_edge_cases() {
+    assert!(Graph::cycle(2).is_err());
+    let c3 = Graph::cycle(3).unwrap();
+    assert_eq!(c3.girth(), Some(3));
+    // The line graph of a triangle is a triangle.
+    let l = c3.line_graph();
+    assert_eq!((l.n(), l.m()), (3, 3));
+}
