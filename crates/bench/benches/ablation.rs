@@ -22,8 +22,7 @@ fn print_tables() {
     );
     for (delta, a, x) in [(4u32, 3u32, 0u32), (6, 4, 1), (8, 5, 2)] {
         let p = family::pi(&PiParams { delta, a, x }).expect("valid");
-        let order =
-            relim_core::diagram::StrengthOrder::of_constraint(p.edge(), p.alphabet().len());
+        let order = relim_core::diagram::StrengthOrder::of_constraint(p.edge(), p.alphabet().len());
         let rc = relim_core::rightclosed::right_closed_sets(&order).len();
         let all = (1usize << p.alphabet().len()) - 1;
         println!(
@@ -43,9 +42,7 @@ fn bench(c: &mut Criterion) {
     print_tables();
     let p = family::pi(&PiParams { delta: 4, a: 3, x: 0 }).expect("valid");
 
-    c.bench_function("edge_side_galois", |b| {
-        b.iter(|| r_step(&p).expect("ok"))
-    });
+    c.bench_function("edge_side_galois", |b| b.iter(|| r_step(&p).expect("ok")));
     c.bench_function("edge_side_bruteforce", |b| {
         b.iter(|| r_step_edge_bruteforce(&p).expect("ok"))
     });
@@ -56,9 +53,7 @@ fn bench(c: &mut Criterion) {
     // brute force is merely ~450× slower instead of unmeasurable.
     let p3 = family::pi(&PiParams { delta: 3, a: 2, x: 0 }).expect("valid");
     let r3 = r_step(&p3).expect("ok");
-    c.bench_function("node_side_rightclosed", |b| {
-        b.iter(|| rbar_step(&r3.problem).expect("ok"))
-    });
+    c.bench_function("node_side_rightclosed", |b| b.iter(|| rbar_step(&r3.problem).expect("ok")));
     c.bench_function("node_side_bruteforce", |b| {
         b.iter(|| rbar_step_node_bruteforce(&r3.problem).expect("ok"))
     });

@@ -57,10 +57,7 @@ fn print_autoub_table() {
     for colors in [3usize, 4] {
         let opts = AutoUbOptions { max_steps: 6, label_budget: 14, coloring: Some(colors) };
         let outcome = autoub::auto_upper_bound(&mis2, &opts);
-        let cell = outcome
-            .bound
-            .as_ref()
-            .map_or("not found".to_owned(), |b| b.rounds.to_string());
+        let cell = outcome.bound.as_ref().map_or("not found".to_owned(), |b| b.rounds.to_string());
         assert!(autoub::verify_ub(&outcome).is_ok());
         println!("{:<34} {:>10}", format!("given a proper {colors}-coloring"), cell);
     }
@@ -72,9 +69,7 @@ fn bench(c: &mut Criterion) {
 
     let mis = family::mis(3).unwrap();
     let opts = AutoLbOptions { max_steps: 2, label_budget: 6, ..Default::default() };
-    c.bench_function("autolb_mis3_two_steps", |b| {
-        b.iter(|| autolb::auto_lower_bound(&mis, &opts))
-    });
+    c.bench_function("autolb_mis3_two_steps", |b| b.iter(|| autolb::auto_lower_bound(&mis, &opts)));
 
     let so = Problem::from_text("O I I", "[O I] I").unwrap();
     c.bench_function("autolb_sinkless_fixed_point", |b| {

@@ -10,7 +10,8 @@ fn print_tables() {
             "{:>10} {:>5} {:>10} {:>10} {:>12} {:>12}",
             "Delta", "t", "logD(n)", "det LB", "logD(logn)", "rand LB"
         );
-        for row in bounds::theorem1_table(n, &[4, 16, 64, 256, 1024, 4096, 1 << 14, 1 << 18, 1 << 22], 0)
+        for row in
+            bounds::theorem1_table(n, &[4, 16, 64, 256, 1024, 4096, 1 << 14, 1 << 18, 1 << 22], 0)
         {
             println!(
                 "{:>10} {:>5} {:>10.2} {:>10.2} {:>12.3} {:>12.3}",
@@ -43,7 +44,9 @@ fn print_tables() {
 fn bench(c: &mut Criterion) {
     print_tables();
     c.bench_function("theorem1_table_9_deltas", |b| {
-        b.iter(|| bounds::theorem1_table(1e9, &[4, 16, 64, 256, 1024, 4096, 1 << 14, 1 << 18, 1 << 22], 0))
+        b.iter(|| {
+            bounds::theorem1_table(1e9, &[4, 16, 64, 256, 1024, 4096, 1 << 14, 1 << 18, 1 << 22], 0)
+        })
     });
     c.bench_function("corollary2_det_n1e30", |b| b.iter(|| bounds::corollary2_det(1e30)));
 }

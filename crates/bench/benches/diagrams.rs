@@ -25,11 +25,7 @@ fn print_tables() {
     let order = StrengthOrder::of_constraint(claimed.node(), 8);
     println!("[Figure 5] R(Pi) node diagram Hasse edges:");
     for (a, b) in order.hasse_edges() {
-        println!(
-            "  {} -> {}",
-            claimed.alphabet().name(a),
-            claimed.alphabet().name(b)
-        );
+        println!("  {} -> {}", claimed.alphabet().name(a), claimed.alphabet().name(b));
     }
 }
 
@@ -51,11 +47,7 @@ fn bench(c: &mut Criterion) {
         .expect("convert");
     let tree = local_sim::trees::complete_regular_tree(4, 3).expect("tree");
     c.bench_function("figure2_solve_pi_4_2_2", |b| {
-        b.iter(|| {
-            inst.solve(&tree, 2021)
-                .expect("tree ok")
-                .expect("solvable")
-        })
+        b.iter(|| inst.solve(&tree, 2021).expect("tree ok").expect("solvable"))
     });
 }
 

@@ -54,13 +54,9 @@ fn print_tables() {
 fn bench(c: &mut Criterion) {
     print_tables();
     let mis = family::mis(3).expect("valid");
-    c.bench_function("rr_step_mis_d3", |b| {
-        b.iter(|| rr_step(&mis).expect("non-degenerate"))
-    });
+    c.bench_function("rr_step_mis_d3", |b| b.iter(|| rr_step(&mis).expect("non-degenerate")));
     let pi = family::pi(&PiParams { delta: 8, a: 6, x: 2 }).expect("valid");
-    c.bench_function("r_step_family_d8", |b| {
-        b.iter(|| r_step(&pi).expect("non-degenerate"))
-    });
+    c.bench_function("r_step_family_d8", |b| b.iter(|| r_step(&pi).expect("non-degenerate")));
 }
 
 criterion_group! {

@@ -14,9 +14,8 @@ fn print_tables() {
     for (delta, k) in [(4usize, 0usize), (4, 1), (5, 1), (5, 2), (6, 2)] {
         let tree = trees::complete_regular_tree(delta, 3).expect("tree");
         let rep = k_outdegree_domset(&tree, k, 3).expect("pipeline");
-        let labeling =
-            transforms::lemma5_transform(&tree, &rep.in_set, &rep.orientation, k as u32)
-                .expect("transform");
+        let labeling = transforms::lemma5_transform(&tree, &rep.in_set, &rep.orientation, k as u32)
+            .expect("transform");
         let pi = family::pi(&PiParams {
             delta: delta as u32,
             a: (k as u32 + 2).min(delta as u32),

@@ -11,7 +11,8 @@ use local_sim::{edge_coloring, trees};
 fn print_tables() {
     println!("\n[E6/Lemma 9] transform validity across parameters:");
     println!("{:>4} {:>3} {:>3} {:>8} {:>10} {:>8}", "D", "a", "x", "n", "next(a,x)", "valid");
-    for (delta, a, x) in [(4u32, 3u32, 0u32), (4, 3, 1), (5, 4, 0), (5, 5, 1), (6, 5, 2), (6, 6, 1)] {
+    for (delta, a, x) in [(4u32, 3u32, 0u32), (4, 3, 1), (5, 4, 0), (5, 5, 1), (6, 5, 2), (6, 6, 1)]
+    {
         let params = PiParams { delta, a, x };
         if 2 * x + 1 > a || a < x + 1 {
             continue;
@@ -48,9 +49,7 @@ fn bench(c: &mut Criterion) {
     let coloring = edge_coloring::tree_edge_coloring(&tree).expect("coloring");
     let sol = inst.solve(&tree, 5).expect("tree").expect("solvable");
     c.bench_function("lemma9_transform_d6_n547", |b| {
-        b.iter(|| {
-            transforms::lemma9_transform(&params, &tree, &coloring, &sol).expect("transform")
-        })
+        b.iter(|| transforms::lemma9_transform(&params, &tree, &coloring, &sol).expect("transform"))
     });
     c.bench_function("lemma9_solve_pi_plus_d6_n547", |b| {
         b.iter(|| inst.solve(&tree, 5).expect("tree").expect("solvable"))

@@ -39,11 +39,8 @@ fn print_matching_chains() {
     println!("{:>4} {:>7} {:>10} {:>8}", "Δ", "budget", "certified", "replay");
     for delta in [3u32, 4] {
         let mm = matchings::maximal_matching_problem(delta).expect("valid");
-        let opts = AutoLbOptions {
-            max_steps: 2,
-            label_budget: 6,
-            triviality: Triviality::Universal,
-        };
+        let opts =
+            AutoLbOptions { max_steps: 2, label_budget: 6, triviality: Triviality::Universal };
         let outcome = autolb::auto_lower_bound(&mm, &opts);
         let replay = autolb::verify_chain(&outcome).is_ok();
         println!(
@@ -84,9 +81,7 @@ fn bench(c: &mut Criterion) {
     // The cost of generality: specialized rr_step vs biregular full_step
     // on the same (Δ, 2) input.
     let mm = matchings::maximal_matching_problem(3).expect("valid");
-    c.bench_function("rr_step_specialized_mm3", |b| {
-        b.iter(|| rr_step(&mm).expect("ok"))
-    });
+    c.bench_function("rr_step_specialized_mm3", |b| b.iter(|| rr_step(&mm).expect("ok")));
     let bi = BiregularProblem::from_problem(&mm);
     c.bench_function("biregular_full_step_mm3", |b| {
         b.iter(|| biregular::full_step(&bi).expect("ok"))

@@ -54,9 +54,7 @@ fn bench(c: &mut Criterion) {
     c.bench_function("mis_deterministic_d4_n161", |b| {
         b.iter(|| mis_deterministic(&tree, 3).expect("det"))
     });
-    c.bench_function("luby_mis_d4_n161", |b| {
-        b.iter(|| luby::luby_mis(&tree, 3).expect("luby"))
-    });
+    c.bench_function("luby_mis_d4_n161", |b| b.iter(|| luby::luby_mis(&tree, 3).expect("luby")));
 }
 
 criterion_group! {

@@ -18,10 +18,7 @@ fn print_delta_sweep() {
     // Caterpillars give exact Δ control at (nearly) fixed n: `spine`
     // spine nodes with `legs = Δ − 2` leaves each.
     println!("\n[E18a] rounds at n ≈ 250 vs Δ (caterpillars):");
-    println!(
-        "{:>4} {:>6} {:>14} {:>10} {:>16}",
-        "Δ", "n", "tree-MIS (H)", "Luby", "Linial+sweep"
-    );
+    println!("{:>4} {:>6} {:>14} {:>10} {:>16}", "Δ", "n", "tree-MIS (H)", "Luby", "Linial+sweep");
     for delta in [4usize, 8, 16, 32, 64] {
         let legs = delta - 2;
         let spine = (250 / (legs + 1)).max(2);
@@ -60,12 +57,8 @@ fn bench(c: &mut Criterion) {
     print_n_sweep();
 
     let g = trees::random_tree(200, 8, 3).expect("tree");
-    c.bench_function("tree_mis_n200", |b| {
-        b.iter(|| tree_mis::tree_mis(&g, 3).expect("runs"))
-    });
-    c.bench_function("luby_mis_n200", |b| {
-        b.iter(|| luby::luby_mis(&g, 3).expect("runs"))
-    });
+    c.bench_function("tree_mis_n200", |b| b.iter(|| tree_mis::tree_mis(&g, 3).expect("runs")));
+    c.bench_function("luby_mis_n200", |b| b.iter(|| luby::luby_mis(&g, 3).expect("runs")));
     c.bench_function("linial_sweep_mis_n200", |b| {
         b.iter(|| domset::mis_deterministic(&g, 3).expect("runs"))
     });

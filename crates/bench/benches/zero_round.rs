@@ -37,8 +37,13 @@ fn print_tables() {
         let mc = zeroround_mc::simulate_uniform(&p, 50_000, 7);
         println!(
             "{:>4} {:>3} {:>3} {:>9} {:>14.2e} {:>12.4} {:>12}",
-            delta, "-", "-", report.deterministically_solvable,
-            report.randomized_failure_lower_bound, mc.rate, "(MIS)"
+            delta,
+            "-",
+            "-",
+            report.deterministically_solvable,
+            report.randomized_failure_lower_bound,
+            mc.rate,
+            "(MIS)"
         );
     }
 }

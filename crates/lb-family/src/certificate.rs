@@ -126,10 +126,7 @@ impl ChainCertificate {
                 step.index, step.params.a, step.params.x, step.not_zero_round_solvable
             ));
             if let (Some(c10), Some(legal)) = (step.corollary10_output, step.relaxation_legal) {
-                out.push_str(&format!(
-                    "   —C10→ ({}, {})  —L11 legal: {}",
-                    c10.a, c10.x, legal
-                ));
+                out.push_str(&format!("   —C10→ ({}, {})  —L11 legal: {}", c10.a, c10.x, legal));
             }
             out.push('\n');
         }

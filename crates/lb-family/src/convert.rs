@@ -34,11 +34,8 @@ pub fn to_lcl(problem: &Problem, leaf_policy: LeafPolicy) -> Result<LclInstance>
     if n > 32 {
         return Err(RelimError::TooManyLabels { requested: n });
     }
-    let configs: Vec<Vec<u8>> = problem
-        .node()
-        .iter()
-        .map(|c| c.iter().map(|l| l.raw()).collect())
-        .collect();
+    let configs: Vec<Vec<u8>> =
+        problem.node().iter().map(|c| c.iter().map(|l| l.raw()).collect()).collect();
     let edge = problem.edge().clone();
     LclInstance::new(
         n as u8,
@@ -85,11 +82,7 @@ pub fn check_labeling(
             continue;
         }
         let cfg = Config::new(labeling.node_config(v).iter().map(|&l| Label::new(l)).collect());
-        let ok = if d == delta {
-            problem.node().contains(&cfg)
-        } else {
-            sub_index.contains(&cfg)
-        };
+        let ok = if d == delta { problem.node().contains(&cfg) } else { sub_index.contains(&cfg) };
         if !ok {
             return Err(LclViolation::NodeConfig { node: v, config: labeling.node_config(v) });
         }
@@ -144,9 +137,8 @@ mod tests {
         let tree = trees::complete_regular_tree(3, 4).unwrap();
         let sol = inst.solve(&tree, 9).unwrap().expect("solvable");
         check_labeling(&p, &tree, &sol, BoundaryPolicy::SubMultiset).unwrap();
-        let in_set: Vec<bool> = (0..tree.n())
-            .map(|v| sol.node_labels(v).iter().all(|&l| l == 0))
-            .collect();
+        let in_set: Vec<bool> =
+            (0..tree.n()).map(|v| sol.node_labels(v).iter().all(|&l| l == 0)).collect();
         // Independence holds everywhere; domination holds at least at
         // interior nodes (leaves may be undominated boundary).
         local_sim::checkers::check_independent_set(&tree, &in_set).unwrap();

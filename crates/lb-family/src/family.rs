@@ -100,14 +100,8 @@ fn set(labels: &[u8]) -> LabelSet {
 /// Builds a [`Line`] from `(label, multiplicity)` pairs, skipping zero
 /// multiplicities.
 fn line(groups: &[(u8, u32)]) -> Line {
-    Line::new(
-        groups
-            .iter()
-            .filter(|&&(_, m)| m > 0)
-            .map(|&(l, m)| (singleton(l), m))
-            .collect(),
-    )
-    .expect("family line is non-empty")
+    Line::new(groups.iter().filter(|&&(_, m)| m > 0).map(|&(l, m)| (singleton(l), m)).collect())
+        .expect("family line is non-empty")
 }
 
 /// The problem `Π_Δ(a,x)` (paper §3.1).
@@ -255,11 +249,8 @@ mod tests {
     fn figure4_edge_diagram() {
         let p = pi(&PiParams { delta: 6, a: 4, x: 1 }).unwrap();
         let order = StrengthOrder::of_constraint(p.edge(), 5);
-        let mut edges: Vec<(u8, u8)> = order
-            .hasse_edges()
-            .into_iter()
-            .map(|(a, b)| (a.raw(), b.raw()))
-            .collect();
+        let mut edges: Vec<(u8, u8)> =
+            order.hasse_edges().into_iter().map(|(a, b)| (a.raw(), b.raw())).collect();
         edges.sort_unstable();
         let mut expected = figure4_expected_hasse();
         expected.sort_unstable();

@@ -119,18 +119,7 @@ pub fn claimed_r_of_pi(params: &PiParams) -> Result<Problem> {
 /// sets: `X→M, X→O, M→U, O→U, O→A, U→B, A→B, A→P, B→Q, P→Q`.
 pub fn figure5_expected_hasse() -> Vec<(u8, u8)> {
     use rp_labels::{A, B, M, O, P, Q, U, X};
-    vec![
-        (X, M),
-        (X, O),
-        (M, U),
-        (O, U),
-        (O, A),
-        (U, B),
-        (A, B),
-        (A, P),
-        (B, Q),
-        (P, Q),
-    ]
+    vec![(X, M), (X, O), (M, U), (O, U), (O, A), (U, B), (A, B), (A, P), (B, Q), (P, Q)]
 }
 
 /// The outcome of verifying Lemma 6 at one parameter point.
@@ -175,11 +164,8 @@ pub fn verify(params: &PiParams) -> Result<Lemma6Report> {
     let edge_matches = provenance_matches && step.problem.edge() == claimed.edge();
 
     let order = StrengthOrder::of_constraint(claimed.node(), claimed.alphabet().len());
-    let mut hasse: Vec<(u8, u8)> = order
-        .hasse_edges()
-        .into_iter()
-        .map(|(a, b)| (a.raw(), b.raw()))
-        .collect();
+    let mut hasse: Vec<(u8, u8)> =
+        order.hasse_edges().into_iter().map(|(a, b)| (a.raw(), b.raw())).collect();
     hasse.sort_unstable();
     let mut expected = figure5_expected_hasse();
     expected.sort_unstable();
@@ -252,9 +238,9 @@ mod tests {
         for (i, &si) in prov.iter().enumerate() {
             for (j, &sj) in prov.iter().enumerate() {
                 if si.is_strict_subset_of(sj) {
-                    let covered = prov.iter().any(|&z| {
-                        si.is_strict_subset_of(z) && z.is_strict_subset_of(sj)
-                    });
+                    let covered = prov
+                        .iter()
+                        .any(|&z| si.is_strict_subset_of(z) && z.is_strict_subset_of(sj));
                     if !covered {
                         expected.push((i as u8, j as u8));
                     }

@@ -36,12 +36,12 @@ use relim_core::{Config, Label, LabelSet, Line, Problem};
 pub fn super_labels() -> Vec<LabelSet> {
     let s = |ls: &[u8]| -> LabelSet { ls.iter().map(|&l| Label::new(l)).collect() };
     vec![
-        s(&[rp::M, rp::U, rp::B, rp::Q]),                         // -> M
-        s(&[rp::P, rp::Q]),                                       // -> P
-        s(&[rp::O, rp::U, rp::A, rp::B, rp::P, rp::Q]),           // -> O
-        s(&[rp::A, rp::B, rp::P, rp::Q]),                         // -> A
+        s(&[rp::M, rp::U, rp::B, rp::Q]),                             // -> M
+        s(&[rp::P, rp::Q]),                                           // -> P
+        s(&[rp::O, rp::U, rp::A, rp::B, rp::P, rp::Q]),               // -> O
+        s(&[rp::A, rp::B, rp::P, rp::Q]),                             // -> A
         s(&[rp::X, rp::M, rp::O, rp::U, rp::A, rp::B, rp::P, rp::Q]), // -> X
-        s(&[rp::U, rp::B, rp::P, rp::Q]),                         // -> C
+        s(&[rp::U, rp::B, rp::P, rp::Q]),                             // -> C
     ]
 }
 
@@ -108,9 +108,9 @@ pub fn pi_rel_problem(params: &PiParams) -> Result<Problem> {
     for i in 0..6u8 {
         for j in i..6u8 {
             let ok = sup[i as usize].iter().any(|ai| {
-                sup[j as usize].iter().any(|bj| {
-                    claimed_rp.edge().contains(&Config::new(vec![ai, bj]))
-                })
+                sup[j as usize]
+                    .iter()
+                    .any(|bj| claimed_rp.edge().contains(&Config::new(vec![ai, bj])))
             });
             if ok {
                 edge_cfgs.push(Config::new(vec![Label::new(i), Label::new(j)]));
@@ -118,11 +118,7 @@ pub fn pi_rel_problem(params: &PiParams) -> Result<Problem> {
         }
     }
     let edge = relim_core::Constraint::from_configs(edge_cfgs)?;
-    Problem::new(
-        relim_core::Alphabet::new(&["M", "P", "O", "A", "X", "C"])?,
-        node,
-        edge,
-    )
+    Problem::new(relim_core::Alphabet::new(&["M", "P", "O", "A", "X", "C"])?, node, edge)
 }
 
 /// Everything needed to state, verify and *run* Lemma 8 at one parameter
@@ -201,10 +197,11 @@ impl Lemma8Machinery {
             }
         }
 
-        let pi_rel_equals_pi_plus = match (pi_rel_problem(&self.params), family::pi_plus(&self.params)) {
-            (Ok(rel), Ok(plus)) => rel.semantically_equal(&plus),
-            _ => false,
-        };
+        let pi_rel_equals_pi_plus =
+            match (pi_rel_problem(&self.params), family::pi_plus(&self.params)) {
+                (Ok(rel), Ok(plus)) => rel.semantically_equal(&plus),
+                _ => false,
+            };
 
         Lemma8Report {
             params: self.params,
@@ -233,9 +230,8 @@ impl Lemma8Machinery {
         for v in 0..graph.n() {
             let d = graph.degree(v);
             // Per-port provenance sets (over R(Π) labels).
-            let port_sets: Vec<LabelSet> = (0..d)
-                .map(|p| self.rr.provenance[labeling.get(v, p) as usize])
-                .collect();
+            let port_sets: Vec<LabelSet> =
+                (0..d).map(|p| self.rr.provenance[labeling.get(v, p) as usize]).collect();
             let mut assigned: Option<Vec<u8>> = None;
             for line in &self.rel_lines {
                 let groups = line.groups();
@@ -257,9 +253,8 @@ impl Lemma8Machinery {
                         .into_iter()
                         .map(|g| {
                             let target = groups[g].0;
-                            sup.iter()
-                                .position(|&s| s == target)
-                                .expect("groups are super-labels") as u8
+                            sup.iter().position(|&s| s == target).expect("groups are super-labels")
+                                as u8
                         })
                         .collect();
                     assigned = Some(labels);
@@ -295,19 +290,15 @@ impl Lemma8Machinery {
         graph: &Graph,
         seed: u64,
     ) -> Result<Option<std::result::Result<(), LclViolation>>> {
-        let inst = convert::to_lcl(&self.rr.problem, local_sim::lcl_solver::LeafPolicy::SubMultiset)?;
+        let inst =
+            convert::to_lcl(&self.rr.problem, local_sim::lcl_solver::LeafPolicy::SubMultiset)?;
         let sol = inst
             .solve(graph, seed)
             .map_err(|e| RelimError::InvalidParameter { message: e.to_string() })?;
         let Some(sol) = sol else { return Ok(None) };
         let transformed = self.transform(graph, &sol)?;
         let plus = family::pi_plus(&self.params)?;
-        Ok(Some(convert::check_labeling(
-            &plus,
-            graph,
-            &transformed,
-            BoundaryPolicy::InteriorOnly,
-        )))
+        Ok(Some(convert::check_labeling(&plus, graph, &transformed, BoundaryPolicy::InteriorOnly)))
     }
 }
 

@@ -85,11 +85,7 @@ pub fn maximal_b_matching_problem(delta: u32, b: u32) -> Result<Problem> {
     for j in 0..b {
         node.push(config(&[(m(), j), (p(), delta - j)]));
     }
-    let edge = vec![
-        config(&[(m(), 2)]),
-        config(&[(o(), 2)]),
-        config(&[(o(), 1), (p(), 1)]),
-    ];
+    let edge = vec![config(&[(m(), 2)]), config(&[(o(), 2)]), config(&[(o(), 1), (p(), 1)])];
     Problem::new(alphabet, Constraint::from_configs(node)?, Constraint::from_configs(edge)?)
 }
 
@@ -109,11 +105,7 @@ fn config(parts: &[(Label, u32)]) -> Config {
 ///
 /// Rejects flag vectors of the wrong length or nodes with more than `b`
 /// matched edges.
-pub fn matching_to_labeling(
-    graph: &Graph,
-    in_matching: &[bool],
-    b: usize,
-) -> Result<PortLabeling> {
+pub fn matching_to_labeling(graph: &Graph, in_matching: &[bool], b: usize) -> Result<PortLabeling> {
     if in_matching.len() != graph.m() {
         return Err(RelimError::InvalidParameter {
             message: format!("{} flags for {} edges", in_matching.len(), graph.m()),
@@ -248,8 +240,7 @@ mod tests {
         for b in 1usize..=3 {
             let g = trees::complete_regular_tree(4, 3).unwrap();
             let coloring = tree_edge_coloring(&g).unwrap();
-            let rep =
-                local_algos::b_matching::maximal_b_matching(&g, &coloring, b, 7).unwrap();
+            let rep = local_algos::b_matching::maximal_b_matching(&g, &coloring, b, 7).unwrap();
             check_b_matching_labeling(&g, &rep.in_matching, 4, b as u32).unwrap();
         }
     }

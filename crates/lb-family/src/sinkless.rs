@@ -28,8 +28,7 @@ pub fn sinkless_orientation(delta: u32) -> Result<Problem> {
     let alphabet = Alphabet::new(&["O", "I"])?;
     let o = LabelSet::singleton(Label::new(0));
     let i = LabelSet::singleton(Label::new(1));
-    let node = Constraint::from_lines(&[Line::new(vec![(o, 1), (i, delta - 1)])
-        .expect("valid")])?;
+    let node = Constraint::from_lines(&[Line::new(vec![(o, 1), (i, delta - 1)]).expect("valid")])?;
     let edge = Constraint::from_lines(&[Line::new(vec![(o.union(i), 1), (i, 1)]).expect("valid")])?;
     Problem::new(alphabet, node, edge)
 }
@@ -51,8 +50,10 @@ pub fn sinkless_orientation_strict_edges(delta: u32) -> Result<Problem> {
     let alphabet = Alphabet::new(&["O", "I"])?;
     let o = LabelSet::singleton(Label::new(0));
     let i = LabelSet::singleton(Label::new(1));
-    let node = Constraint::from_lines(&[Line::new(vec![(o, 1), (o.union(i), delta - 1)])
-        .expect("valid")])?;
+    let node =
+        Constraint::from_lines(
+            &[Line::new(vec![(o, 1), (o.union(i), delta - 1)]).expect("valid")],
+        )?;
     let edge = Constraint::from_lines(&[Line::new(vec![(o, 1), (i, 1)]).expect("valid")])?;
     Problem::new(alphabet, node, edge)
 }

@@ -130,11 +130,7 @@ pub fn lemma9_transform(
             // C-node: low-color C-ports become A, everything else X.
             for (p, slot) in row.iter_mut().enumerate() {
                 let color = coloring.color_at(graph, v, p);
-                *slot = if *slot == family::C && color < threshold {
-                    family::A
-                } else {
-                    family::X
-                };
+                *slot = if *slot == family::C && color < threshold { family::A } else { family::X };
             }
             trim_label(&mut row, family::A, family::X, target);
         } else if has_a {
@@ -170,7 +166,9 @@ pub fn lemma11_relax(
     to.validate()?;
     if to.delta != from.delta || to.a > from.a || to.x < from.x {
         return Err(RelimError::InvalidParameter {
-            message: format!("Lemma 11 requires a <= a', x >= x', same delta; got {from:?} -> {to:?}"),
+            message: format!(
+                "Lemma 11 requires a <= a', x >= x', same delta; got {from:?} -> {to:?}"
+            ),
         });
     }
     let delta = from.delta as usize;
@@ -220,12 +218,7 @@ mod tests {
         let mut o = Orientation::unoriented(graph.m());
         for (v, &par) in parent.iter().enumerate() {
             if par != usize::MAX {
-                let e = graph
-                    .ports(v)
-                    .iter()
-                    .find(|t| t.node == par)
-                    .unwrap()
-                    .edge;
+                let e = graph.ports(v).iter().find(|t| t.node == par).unwrap().edge;
                 o.orient_out_of(graph, e, v);
             }
         }
@@ -249,9 +242,8 @@ mod tests {
         let p_mis = family::mis(3).unwrap();
         let inst = convert::to_lcl(&p_mis, LeafPolicy::SubMultiset).unwrap();
         let sol = inst.solve(&tree, 3).unwrap().unwrap();
-        let in_set: Vec<bool> = (0..tree.n())
-            .map(|v| sol.node_labels(v).iter().all(|&l| l == 0))
-            .collect();
+        let in_set: Vec<bool> =
+            (0..tree.n()).map(|v| sol.node_labels(v).iter().all(|&l| l == 0)).collect();
         // Leaves may be undominated boundary nodes; patch by adding them.
         let mut in_set = in_set;
         for v in 0..tree.n() {

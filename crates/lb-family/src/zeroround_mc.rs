@@ -38,11 +38,7 @@ pub struct McOutcome {
 pub fn simulate_uniform(problem: &Problem, trials: u64, seed: u64) -> McOutcome {
     let mut rng = StdRng::seed_from_u64(seed);
     let delta = problem.delta() as usize;
-    let configs: Vec<Vec<Label>> = problem
-        .node()
-        .iter()
-        .map(|c| c.iter().collect())
-        .collect();
+    let configs: Vec<Vec<Label>> = problem.node().iter().map(|c| c.iter().collect()).collect();
     let mut failures = 0u64;
     let draw = |rng: &mut StdRng| -> Vec<Label> {
         let mut cfg = configs[rng.gen_range(0..configs.len())].clone();
@@ -74,11 +70,7 @@ pub fn simulate_uniform(problem: &Problem, trials: u64, seed: u64) -> McOutcome 
 pub fn simulate_uniform_any_port(problem: &Problem, trials: u64, seed: u64) -> McOutcome {
     let mut rng = StdRng::seed_from_u64(seed);
     let delta = problem.delta() as usize;
-    let configs: Vec<Vec<Label>> = problem
-        .node()
-        .iter()
-        .map(|c| c.iter().collect())
-        .collect();
+    let configs: Vec<Vec<Label>> = problem.node().iter().map(|c| c.iter().collect()).collect();
     let mut failures = 0u64;
     let draw = |rng: &mut StdRng| -> Vec<Label> {
         let mut cfg = configs[rng.gen_range(0..configs.len())].clone();
@@ -88,9 +80,8 @@ pub fn simulate_uniform_any_port(problem: &Problem, trials: u64, seed: u64) -> M
     for _ in 0..trials {
         let f = draw(&mut rng);
         let g = draw(&mut rng);
-        let bad = (0..delta).any(|port| {
-            !problem.edge().contains(&Config::new(vec![f[port], g[port]]))
-        });
+        let bad =
+            (0..delta).any(|port| !problem.edge().contains(&Config::new(vec![f[port], g[port]])));
         if bad {
             failures += 1;
         }

@@ -86,9 +86,7 @@ impl SyncAlgorithm for ArbDefective {
             for b in self.known.iter().flatten() {
                 load[*b] += 1;
             }
-            let bucket = (0..self.buckets)
-                .min_by_key(|&j| load[j])
-                .expect("buckets >= 1");
+            let bucket = (0..self.buckets).min_by_key(|&j| load[j]).expect("buckets >= 1");
             let out_ports: Vec<usize> = self
                 .known
                 .iter()
@@ -134,10 +132,8 @@ pub fn arbdefective_coloring(
     local_sim::checkers::check_proper_coloring(graph, colors).map_err(|v| {
         local_sim::SimError::InvalidParameter { message: format!("input not proper: {v}") }
     })?;
-    let inputs: Vec<ArbInput> = colors
-        .iter()
-        .map(|&color| ArbInput { color, num_colors, buckets })
-        .collect();
+    let inputs: Vec<ArbInput> =
+        colors.iter().map(|&color| ArbInput { color, num_colors, buckets }).collect();
     let config = RunConfig::port_numbering(seed, num_colors + 4);
     let report = run::<ArbDefective>(graph, &inputs, &config)?;
 
@@ -163,8 +159,7 @@ mod tests {
         for (delta, buckets) in [(4usize, 2usize), (4, 5), (5, 3), (3, 1)] {
             let g = trees::complete_regular_tree(delta, 3).unwrap();
             let rep = linial::linial_coloring(&g, 7).unwrap();
-            let arb =
-                arbdefective_coloring(&g, &rep.colors, rep.num_colors, buckets, 0).unwrap();
+            let arb = arbdefective_coloring(&g, &rep.colors, rep.num_colors, buckets, 0).unwrap();
             let k = delta / buckets;
             check_arbdefective_coloring(&g, &arb.buckets, &arb.orientation, k).unwrap();
             assert!(arb.buckets.iter().all(|&b| b < buckets));

@@ -166,12 +166,7 @@ mod tests {
         let g = trees::random_tree(80, 5, 4).unwrap();
         let col = tree_edge_coloring(&g).unwrap();
         let count = |b: usize| {
-            maximal_b_matching(&g, &col, b, 0)
-                .unwrap()
-                .in_matching
-                .iter()
-                .filter(|&&e| e)
-                .count()
+            maximal_b_matching(&g, &col, b, 0).unwrap().in_matching.iter().filter(|&&e| e).count()
         };
         assert!(count(2) >= count(1));
         assert!(count(3) >= count(2));

@@ -57,9 +57,8 @@ impl SyncAlgorithm for ColorReduce {
         let eliminated = self.m - 1 - self.round;
         if self.color == eliminated {
             let used: std::collections::HashSet<usize> = incoming.into_iter().flatten().collect();
-            self.color = (0..self.t)
-                .find(|c| !used.contains(c))
-                .expect("t >= Δ+1 guarantees a free color");
+            self.color =
+                (0..self.t).find(|c| !used.contains(c)).expect("t >= Δ+1 guarantees a free color");
         }
         self.round += 1;
         if eliminated == self.t {
@@ -91,10 +90,8 @@ pub fn reduce_colors(
     if m <= t {
         return Ok((colors.to_vec(), 0));
     }
-    let inputs: Vec<ReduceInput> = colors
-        .iter()
-        .map(|&color| ReduceInput { color, m, t })
-        .collect();
+    let inputs: Vec<ReduceInput> =
+        colors.iter().map(|&color| ReduceInput { color, m, t }).collect();
     let config = RunConfig::port_numbering(seed, m + 2);
     let report = run::<ColorReduce>(graph, &inputs, &config)?;
     Ok((report.outputs, report.rounds))

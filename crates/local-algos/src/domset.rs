@@ -65,11 +65,7 @@ pub fn k_outdegree_domset(graph: &Graph, k: usize, seed: u64) -> Result<KodsRepo
         in_set,
         orientation: arb.orientation,
         buckets,
-        rounds: PhaseRounds {
-            coloring: col.rounds,
-            bucketing: arb.rounds,
-            sweep: sweep_rounds,
-        },
+        rounds: PhaseRounds { coloring: col.rounds, bucketing: arb.rounds, sweep: sweep_rounds },
     })
 }
 
@@ -98,11 +94,7 @@ pub fn k_degree_domset(graph: &Graph, k: usize, seed: u64) -> Result<KdegReport>
     Ok(KdegReport {
         in_set,
         defective_colors: def.num_colors,
-        rounds: PhaseRounds {
-            coloring: col.rounds,
-            bucketing: def.rounds,
-            sweep: sweep_rounds,
-        },
+        rounds: PhaseRounds { coloring: col.rounds, bucketing: def.rounds, sweep: sweep_rounds },
     })
 }
 
@@ -152,11 +144,7 @@ pub fn mis_via_delta_plus_one(graph: &Graph, seed: u64) -> Result<MisReport> {
     Ok(MisReport {
         in_set,
         num_colors: t,
-        rounds: PhaseRounds {
-            coloring: col.rounds,
-            bucketing: reduce_rounds,
-            sweep: sweep_rounds,
-        },
+        rounds: PhaseRounds { coloring: col.rounds, bucketing: reduce_rounds, sweep: sweep_rounds },
     })
 }
 

@@ -132,11 +132,7 @@ impl SyncAlgorithm for Linial {
         let n = info.n as u64;
         let m0 = n.pow(3) + 1; // identifier space 1..=n³
         let schedule = palette_schedule(m0, info.max_degree as u64);
-        Linial {
-            color: info.id.expect("Linial requires the LOCAL model (ids)"),
-            schedule,
-            step: 0,
-        }
+        Linial { color: info.id.expect("Linial requires the LOCAL model (ids)"), schedule, step: 0 }
     }
 
     fn send(&mut self, info: &NodeInfo) -> Vec<u64> {
@@ -248,10 +244,7 @@ mod tests {
             let rep = linial_coloring(&g, 42).unwrap();
             check_proper_coloring(&g, &rep.colors).unwrap();
             assert!(rep.num_colors < g.n().pow(3));
-            assert!(
-                rep.colors.iter().all(|&c| c < rep.num_colors),
-                "colors within palette"
-            );
+            assert!(rep.colors.iter().all(|&c| c < rep.num_colors), "colors within palette");
         }
     }
 

@@ -87,9 +87,7 @@ impl SyncAlgorithm for Luby {
             if self.state == LubyState::PendingJoin {
                 return Status::Done(true);
             }
-            let neighbor_joined = incoming
-                .iter()
-                .any(|m| matches!(m, Some(LubyMsg::Joined(true))));
+            let neighbor_joined = incoming.iter().any(|m| matches!(m, Some(LubyMsg::Joined(true))));
             if neighbor_joined {
                 return Status::Done(false);
             }

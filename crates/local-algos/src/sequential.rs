@@ -49,12 +49,7 @@ pub fn all_nodes_kods(graph: &Graph) -> (Vec<bool>, Orientation) {
     let mut orientation = Orientation::unoriented(graph.m());
     for (v, &par) in parent.iter().enumerate() {
         if par != usize::MAX {
-            let e = graph
-                .ports(v)
-                .iter()
-                .find(|t| t.node == par)
-                .expect("parent adjacency")
-                .edge;
+            let e = graph.ports(v).iter().find(|t| t.node == par).expect("parent adjacency").edge;
             orientation.orient_out_of(graph, e, v);
         }
     }

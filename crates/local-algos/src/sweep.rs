@@ -102,10 +102,8 @@ pub fn class_sweep(
             message: "class index out of range".into(),
         });
     }
-    let inputs: Vec<SweepInput> = classes
-        .iter()
-        .map(|&class| SweepInput { class, num_classes })
-        .collect();
+    let inputs: Vec<SweepInput> =
+        classes.iter().map(|&class| SweepInput { class, num_classes }).collect();
     let config = RunConfig::port_numbering(seed, num_classes + 4);
     let report = run::<ClassSweep>(graph, &inputs, &config)?;
     Ok((report.outputs, report.rounds))
@@ -141,8 +139,7 @@ mod tests {
         for seed in 0..3 {
             let g = trees::random_tree(60, 4, seed).unwrap();
             let rep = crate::linial::linial_coloring(&g, seed).unwrap();
-            let (in_set, rounds) =
-                class_sweep(&g, &rep.colors, rep.num_colors, seed).unwrap();
+            let (in_set, rounds) = class_sweep(&g, &rep.colors, rep.num_colors, seed).unwrap();
             checkers::check_mis(&g, &in_set).unwrap();
             assert!(rounds <= rep.num_colors + 2);
         }

@@ -202,12 +202,8 @@ impl SyncAlgorithm for LayeredSweep {
         let reduction_rounds = self.schedule.len() - 1;
 
         let s_neighbor = incoming.iter().flatten().any(|m| m.in_s);
-        let peer_colors: Vec<u64> = incoming
-            .iter()
-            .flatten()
-            .filter(|m| m.participating)
-            .map(|m| m.color)
-            .collect();
+        let peer_colors: Vec<u64> =
+            incoming.iter().flatten().filter(|m| m.participating).map(|m| m.color).collect();
 
         if pos == 0 {
             // Freeze this block's participants: my layer's turn, still
@@ -428,8 +424,7 @@ mod tests {
     fn layered_mis_rejects_bogus_partition() {
         let g = trees::star(6).unwrap();
         // All nodes in one layer: center has 6 up-neighbors.
-        let bogus =
-            HPartition { layers: vec![0; g.n()], num_layers: 1, rounds: 1 };
+        let bogus = HPartition { layers: vec![0; g.n()], num_layers: 1, rounds: 1 };
         assert!(layered_mis(&g, &bogus, 0).is_err());
     }
 

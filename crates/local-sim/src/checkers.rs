@@ -65,17 +65,23 @@ pub enum Violation {
 impl std::fmt::Display for Violation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            Violation::AdjacentPair { u, v } => write!(f, "adjacent nodes {u} and {v} both selected"),
+            Violation::AdjacentPair { u, v } => {
+                write!(f, "adjacent nodes {u} and {v} both selected")
+            }
             Violation::NotDominated { node } => write!(f, "node {node} is not dominated"),
             Violation::DegreeBound { node, found, bound } => {
                 write!(f, "node {node} has (out-)degree {found} > bound {bound}")
             }
-            Violation::UnorientedEdge { edge } => write!(f, "edge {edge} inside the set is unoriented"),
+            Violation::UnorientedEdge { edge } => {
+                write!(f, "edge {edge} inside the set is unoriented")
+            }
             Violation::ColorConflict { u, v, color } => {
                 write!(f, "adjacent nodes {u} and {v} share color {color}")
             }
             Violation::ShapeMismatch { message } => write!(f, "shape mismatch: {message}"),
-            Violation::MatchingOverlap { node } => write!(f, "node {node} covered twice by matching"),
+            Violation::MatchingOverlap { node } => {
+                write!(f, "node {node} covered twice by matching")
+            }
             Violation::MatchingNotMaximal { edge } => {
                 write!(f, "matching not maximal: edge {edge} addable")
             }
@@ -187,7 +193,11 @@ pub fn check_proper_coloring(graph: &Graph, colors: &[usize]) -> Result<(), Viol
 
 /// Checks a *k-defective coloring* (paper §1.1): each color class induces a
 /// subgraph of maximum degree ≤ k.
-pub fn check_defective_coloring(graph: &Graph, colors: &[usize], k: usize) -> Result<(), Violation> {
+pub fn check_defective_coloring(
+    graph: &Graph,
+    colors: &[usize],
+    k: usize,
+) -> Result<(), Violation> {
     check_shape(graph, colors.len(), "defective coloring")?;
     for v in 0..graph.n() {
         let same = graph.neighbors(v).filter(|&u| colors[u] == colors[v]).count();
@@ -462,16 +472,14 @@ mod tests {
         assert!(check_ruling_set(&g, &s, 3, 2).is_ok());
         assert!(check_ruling_set(&g, &s, 3, 1).is_ok()); // every node adjacent to a member
         assert!(check_ruling_set(&g, &s, 4, 2).is_err()); // members at distance 3 < 4
+
         // {0, 6}: node 3 is at distance 3 from both members.
         let sparse = vec![true, false, false, false, false, false, true];
         assert!(check_ruling_set(&g, &sparse, 2, 2).is_err());
         assert!(check_ruling_set(&g, &sparse, 2, 3).is_ok());
         // Empty set fails domination.
         let empty = vec![false; 7];
-        assert!(matches!(
-            check_ruling_set(&g, &empty, 2, 3),
-            Err(Violation::NotDominated { .. })
-        ));
+        assert!(matches!(check_ruling_set(&g, &empty, 2, 3), Err(Violation::NotDominated { .. })));
         // An MIS is a (2,1)-ruling set.
         let mis = vec![true, false, true, false, true, false, true];
         assert!(check_ruling_set(&g, &mis, 2, 1).is_ok());

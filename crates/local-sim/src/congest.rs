@@ -154,12 +154,8 @@ where
     A: SyncAlgorithm,
     A::Message: MessageSize,
 {
-    let mut stats = CongestStats {
-        max_message_bits: 0,
-        total_bits: 0,
-        messages: 0,
-        per_round_max: Vec::new(),
-    };
+    let mut stats =
+        CongestStats { max_message_bits: 0, total_bits: 0, messages: 0, per_round_max: Vec::new() };
     let report = run_observed::<A, _>(graph, inputs, config, |round, _v, _port, msg| {
         let bits = msg.size_bits();
         stats.max_message_bits = stats.max_message_bits.max(bits);

@@ -413,11 +413,7 @@ impl Orientation {
         v: NodeId,
         filter: F,
     ) -> usize {
-        graph
-            .ports(v)
-            .iter()
-            .filter(|t| filter(t.node) && self.is_out_of(graph, t.edge, v))
-            .count()
+        graph.ports(v).iter().filter(|t| filter(t.node) && self.is_out_of(graph, t.edge, v)).count()
     }
 }
 

@@ -28,9 +28,7 @@ pub struct PortLabeling {
 impl PortLabeling {
     /// Creates a labeling with every port labeled `label`.
     pub fn uniform(graph: &Graph, label: u8) -> Self {
-        PortLabeling {
-            labels: (0..graph.n()).map(|v| vec![label; graph.degree(v)]).collect(),
-        }
+        PortLabeling { labels: (0..graph.n()).map(|v| vec![label; graph.degree(v)]).collect() }
     }
 
     /// Creates a labeling from explicit per-node, per-port labels.

@@ -97,19 +97,9 @@ impl LclInstance {
         sorted_configs.sort();
         sorted_configs.dedup();
         let edge_ok = (0..num_labels)
-            .map(|a| {
-                (0..num_labels)
-                    .map(|b| edge_pred(a, b) || edge_pred(b, a))
-                    .collect()
-            })
+            .map(|a| (0..num_labels).map(|b| edge_pred(a, b) || edge_pred(b, a)).collect())
             .collect();
-        Ok(LclInstance {
-            num_labels,
-            delta,
-            configs: sorted_configs,
-            edge_ok,
-            leaf_policy,
-        })
+        Ok(LclInstance { num_labels, delta, configs: sorted_configs, edge_ok, leaf_policy })
     }
 
     /// Number of labels.
@@ -175,9 +165,7 @@ impl LclInstance {
         let mut per_degree: HashMap<usize, Vec<Vec<u8>>> = HashMap::new();
         for v in 0..n {
             let d = graph.degree(v);
-            per_degree
-                .entry(d)
-                .or_insert_with(|| self.configs_for_degree(d));
+            per_degree.entry(d).or_insert_with(|| self.configs_for_degree(d));
         }
 
         // edge_col[b] = bitmask of labels a with edge_ok(a, b).
@@ -197,10 +185,8 @@ impl LclInstance {
         // parent edge.
         let mut feas: Vec<u32> = vec![0; n];
         for &v in order.iter().rev() {
-            let children: Vec<NodeId> = graph
-                .neighbors(v)
-                .filter(|&u| parent[v] != u && parent[u] == v)
-                .collect();
+            let children: Vec<NodeId> =
+                graph.neighbors(v).filter(|&u| parent[v] != u && parent[u] == v).collect();
             // Labels v may put on the edge toward child c, given c's feas.
             let child_allowed: Vec<u32> = children
                 .iter()
@@ -218,9 +204,8 @@ impl LclInstance {
             let cfgs = &per_degree[&graph.degree(v)];
             if parent[v] == usize::MAX {
                 // Root: feasibility only.
-                let ok = cfgs
-                    .iter()
-                    .any(|c| assign_multiset_to_children(c, &child_allowed).is_some());
+                let ok =
+                    cfgs.iter().any(|c| assign_multiset_to_children(c, &child_allowed).is_some());
                 if !ok {
                     return Ok(None);
                 }
@@ -299,7 +284,8 @@ impl LclInstance {
                         // compatible with beta (randomized).
                         let mut options: Vec<u8> = (0..self.num_labels)
                             .filter(|&g| {
-                                feas[child] & (1 << g) != 0 && self.edge_ok[beta as usize][g as usize]
+                                feas[child] & (1 << g) != 0
+                                    && self.edge_ok[beta as usize][g as usize]
                             })
                             .collect();
                         options.shuffle(&mut rng);
@@ -320,7 +306,11 @@ impl LclInstance {
     /// # Errors
     ///
     /// Returns the first violation found.
-    pub fn check(&self, graph: &Graph, labeling: &PortLabeling) -> std::result::Result<(), LclViolation> {
+    pub fn check(
+        &self,
+        graph: &Graph,
+        labeling: &PortLabeling,
+    ) -> std::result::Result<(), LclViolation> {
         for v in 0..graph.n() {
             let cfg = labeling.node_config(v);
             let allowed = self.configs_for_degree(graph.degree(v));
@@ -464,7 +454,13 @@ fn augment(
         }
         visited[slot] = true;
         if match_of[slot].is_none()
-            || augment(match_of[slot].expect("occupied"), remaining, child_allowed, match_of, visited)
+            || augment(
+                match_of[slot].expect("occupied"),
+                remaining,
+                child_allowed,
+                match_of,
+                visited,
+            )
         {
             match_of[slot] = Some(child);
             return true;
@@ -543,14 +539,8 @@ mod tests {
 
     #[test]
     fn exact_only_policy() {
-        let inst = LclInstance::new(
-            1,
-            3,
-            vec![vec![0, 0, 0]],
-            |_, _| true,
-            LeafPolicy::ExactOnly,
-        )
-        .unwrap();
+        let inst = LclInstance::new(1, 3, vec![vec![0, 0, 0]], |_, _| true, LeafPolicy::ExactOnly)
+            .unwrap();
         // A star with 3 leaves: leaves have degree 1 -> infeasible.
         let g = trees::star(3).unwrap();
         assert_eq!(inst.solve(&g, 0).unwrap(), None);

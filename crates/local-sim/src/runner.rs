@@ -98,12 +98,7 @@ impl RunConfig {
     /// LOCAL-model configuration with sequential ids `1..=n` permuted by the
     /// seed (adversarial-ish but reproducible).
     pub fn local(graph: &Graph, seed: u64, max_rounds: usize) -> Self {
-        RunConfig {
-            seed,
-            ids: Some(random_ids(graph.n(), seed)),
-            edge_colors: None,
-            max_rounds,
-        }
+        RunConfig { seed, ids: Some(random_ids(graph.n(), seed)), edge_colors: None, max_rounds }
     }
 
     /// Port-numbering-model configuration (no ids).
@@ -190,16 +185,19 @@ where
             degree: graph.degree(v),
             n,
             max_degree,
-            edge_colors: config.edge_colors.as_ref().map(|cols| {
-                graph.ports(v).iter().map(|t| cols[t.edge]).collect()
-            }),
+            edge_colors: config
+                .edge_colors
+                .as_ref()
+                .map(|cols| graph.ports(v).iter().map(|t| cols[t.edge]).collect()),
         })
         .collect();
 
     let mut rngs: Vec<StdRng> = (0..n)
         .map(|v| {
             // Distinct stream per node, derived from the global seed.
-            StdRng::seed_from_u64(config.seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(v as u64))
+            StdRng::seed_from_u64(
+                config.seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(v as u64),
+            )
         })
         .collect();
 

@@ -145,7 +145,9 @@ pub fn star(leaves: usize) -> Result<Graph> {
 /// Requires `spine ≥ 1`.
 pub fn caterpillar(spine: usize, legs: usize) -> Result<Graph> {
     if spine == 0 {
-        return Err(SimError::InvalidParameter { message: "caterpillar requires spine >= 1".into() });
+        return Err(SimError::InvalidParameter {
+            message: "caterpillar requires spine >= 1".into(),
+        });
     }
     let mut edges = Vec::new();
     for v in 1..spine {

@@ -106,7 +106,7 @@ proptest! {
 #[test]
 fn girth_with_chord() {
     // C6 + chord (0,3): girth 4.
-    let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)])
-        .unwrap();
+    let g =
+        Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)]).unwrap();
     assert_eq!(g.girth(), Some(4));
 }

@@ -27,8 +27,24 @@ impl std::error::Error for ArgError {}
 /// Option keys that take a value; everything else starting with `--` is a
 /// boolean flag.
 const VALUE_KEYS: &[&str] = &[
-    "node", "edge", "black", "white", "delta", "a", "x", "k", "n", "steps", "side", "max-steps",
-    "seed", "trials", "label-limit", "labels", "coloring", "criterion",
+    "node",
+    "edge",
+    "black",
+    "white",
+    "delta",
+    "a",
+    "x",
+    "k",
+    "n",
+    "steps",
+    "side",
+    "max-steps",
+    "seed",
+    "trials",
+    "label-limit",
+    "labels",
+    "coloring",
+    "criterion",
 ];
 
 impl Args {
@@ -43,9 +59,8 @@ impl Args {
         while let Some(tok) = iter.next() {
             if let Some(key) = tok.strip_prefix("--") {
                 if VALUE_KEYS.contains(&key) {
-                    let value = iter
-                        .next()
-                        .ok_or_else(|| ArgError(format!("--{key} requires a value")))?;
+                    let value =
+                        iter.next().ok_or_else(|| ArgError(format!("--{key} requires a value")))?;
                     args.options.insert(key.to_owned(), value);
                 } else {
                     args.flags.push(key.to_owned());
@@ -81,9 +96,9 @@ impl Args {
     pub fn get_u64(&self, key: &str, default: u64) -> Result<u64, ArgError> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|_| ArgError(format!("--{key} expects an integer, got `{v}`"))),
+            Some(v) => {
+                v.parse().map_err(|_| ArgError(format!("--{key} expects an integer, got `{v}`")))
+            }
         }
     }
 
@@ -108,9 +123,7 @@ impl Args {
     ///
     /// Describes missing/unparsable values.
     pub fn require_u64(&self, key: &str) -> Result<u64, ArgError> {
-        self.require(key)?
-            .parse()
-            .map_err(|_| ArgError(format!("--{key} expects an integer")))
+        self.require(key)?.parse().map_err(|_| ArgError(format!("--{key} expects an integer")))
     }
 
     /// Whether a boolean flag is present.

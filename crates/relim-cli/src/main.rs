@@ -111,11 +111,8 @@ fn cmd_step(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
         let (r, rr) = roundelim::rr_step(&current)?;
         out.push_str(&format!("=== step {i}: R(Π) ===\n"));
         out.push_str("labels: ");
-        let names: Vec<String> = r
-            .provenance
-            .iter()
-            .map(|s| s.display(current.alphabet()))
-            .collect();
+        let names: Vec<String> =
+            r.provenance.iter().map(|s| s.display(current.alphabet())).collect();
         out.push_str(&names.join(" "));
         out.push_str(&format!("\n\n=== step {i}: R̄(R(Π)) ===\n"));
         let (reduced, _) = rr.problem.drop_unused_labels();
@@ -132,11 +129,7 @@ fn cmd_bistep(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
     let white = constraint_text(args.require("white")?);
     let p = BiregularProblem::from_text(&black, &white)?;
     let steps = args.get_u64("steps", 1)? as usize;
-    let mut out = format!(
-        "(δ_B, δ_W) = {:?}\n\n=== input ===\n{}\n\n",
-        p.degrees(),
-        p.render()
-    );
+    let mut out = format!("(δ_B, δ_W) = {:?}\n\n=== input ===\n{}\n\n", p.degrees(), p.render());
     let mut current = p;
     for i in 1..=steps {
         let (_, b) = biregular::full_step(&current)?;
@@ -327,7 +320,10 @@ fn cmd_fixed_point(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
     let outcome = iterate::iterate_rr(&p, max_steps, label_limit);
     let mut out = String::from("step  labels  |N|     |E|\n");
     for s in &outcome.stats {
-        out.push_str(&format!("{:<5} {:<7} {:<7} {:<7}\n", s.step, s.labels, s.node_configs, s.edge_configs));
+        out.push_str(&format!(
+            "{:<5} {:<7} {:<7} {:<7}\n",
+            s.step, s.labels, s.node_configs, s.edge_configs
+        ));
     }
     out.push_str(&format!("stopped: {:?}", outcome.stopped));
     Ok(out)
@@ -343,11 +339,7 @@ fn params_from(args: &Args) -> Result<PiParams, Box<dyn std::error::Error>> {
 
 fn cmd_family(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
     let params = params_from(args)?;
-    let p = if args.has_flag("plus") {
-        family::pi_plus(&params)?
-    } else {
-        family::pi(&params)?
-    };
+    let p = if args.has_flag("plus") { family::pi_plus(&params)? } else { family::pi(&params)? };
     Ok(render_problem(&p, true))
 }
 
@@ -453,9 +445,8 @@ mod tests {
     fn diagram_edge_and_dot() {
         let out = run_words(&["diagram", "--node", "M M M;P O O", "--edge", "M [P O];O O"]);
         assert!(out.contains("P -> O"));
-        let dot = run_words(&[
-            "diagram", "--node", "M M M;P O O", "--edge", "M [P O];O O", "--dot",
-        ]);
+        let dot =
+            run_words(&["diagram", "--node", "M M M;P O O", "--edge", "M [P O];O O", "--dot"]);
         assert!(dot.contains("digraph"));
     }
 
@@ -502,9 +493,7 @@ mod tests {
     #[test]
     fn trivial_reports_all_criteria() {
         // Perfect matching: solvable with the edge coloring, not bare.
-        let out = run_words(&[
-            "trivial", "--node", "M O", "--edge", "M M;O O", "--coloring", "2",
-        ]);
+        let out = run_words(&["trivial", "--node", "M O", "--edge", "M M;O O", "--coloring", "2"]);
         assert!(out.contains("bare PN model (trivial problem): not solvable"), "{out}");
         assert!(out.contains("gadget criterion): SOLVABLE"), "{out}");
         // Config cliques: MO is not cross-compatible with itself, and there
@@ -557,8 +546,17 @@ mod tests {
     #[test]
     fn autoub_with_coloring() {
         let out = run_words(&[
-            "autoub", "--node", "M M;P O", "--edge", "M [P O];O O", "--max-steps", "5",
-            "--labels", "14", "--coloring", "3",
+            "autoub",
+            "--node",
+            "M M;P O",
+            "--edge",
+            "M [P O];O O",
+            "--max-steps",
+            "5",
+            "--labels",
+            "14",
+            "--coloring",
+            "3",
         ]);
         assert!(out.contains("upper bound:"), "{out}");
         assert!(out.contains("3-vertex coloring"), "{out}");

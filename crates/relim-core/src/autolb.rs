@@ -296,7 +296,9 @@ pub fn verify_chain(outcome: &AutoLbOutcome) -> Result<usize> {
             cur = simplify::merge_labels(&cur, f, t)?;
         }
         if !iso::isomorphic(&cur, &step.problem) {
-            return Err(mismatch(format!("step {i}: merges do not reproduce the recorded problem")));
+            return Err(mismatch(format!(
+                "step {i}: merges do not reproduce the recorded problem"
+            )));
         }
         let trivial = outcome.triviality.is_trivial(&cur);
         let last = i + 1 == outcome.steps.len();

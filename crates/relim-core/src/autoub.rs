@@ -314,16 +314,11 @@ mod tests {
         let p = Problem::from_text("A A A\nB B B", "A B").unwrap();
         // Without the coloring endpoint the bare criteria do not fire
         // within the step budget (2-coloring needs symmetry breaking).
-        let plain = auto_upper_bound(
-            &p,
-            &AutoUbOptions { max_steps: 2, label_budget: 12, coloring: None },
-        );
+        let plain =
+            auto_upper_bound(&p, &AutoUbOptions { max_steps: 2, label_budget: 12, coloring: None });
         assert!(plain.bound.is_none());
         // With it, 0 rounds.
-        let with = auto_upper_bound(
-            &p,
-            &AutoUbOptions { coloring: Some(2), ..Default::default() },
-        );
+        let with = auto_upper_bound(&p, &AutoUbOptions { coloring: Some(2), ..Default::default() });
         let bound = with.bound.clone().expect("found");
         assert_eq!(bound.rounds, 0);
         assert_eq!(bound.kind, UbKind::VertexColoring { colors: 2 });
@@ -337,10 +332,8 @@ mod tests {
         let mis2 = Problem::from_text("M M\nP O", "M [P O]\nO O").unwrap();
         let opts = AutoUbOptions { max_steps: 6, label_budget: 14, coloring: Some(3) };
         let outcome = auto_upper_bound(&mis2, &opts);
-        let bound = outcome
-            .bound
-            .clone()
-            .expect("MIS on cycles has a constant bound given a 3-coloring");
+        let bound =
+            outcome.bound.clone().expect("MIS on cycles has a constant bound given a 3-coloring");
         assert!(bound.rounds <= 6);
         assert!(matches!(bound.kind, UbKind::VertexColoring { colors: 3 }));
         assert_eq!(verify_ub(&outcome).unwrap(), Some(bound.rounds));
@@ -375,8 +368,10 @@ mod tests {
     #[test]
     fn failure_reports_max_steps() {
         let mis = Problem::from_text("M M M\nP O O", "M [P O]\nO O").unwrap();
-        let outcome =
-            auto_upper_bound(&mis, &AutoUbOptions { max_steps: 1, label_budget: 10, coloring: None });
+        let outcome = auto_upper_bound(
+            &mis,
+            &AutoUbOptions { max_steps: 1, label_budget: 10, coloring: None },
+        );
         assert!(outcome.bound.is_none());
         assert_eq!(outcome.failure, Some(UbFailure::MaxSteps));
         assert_eq!(verify_ub(&outcome).unwrap(), None);

@@ -247,11 +247,7 @@ pub fn trivial_black(p: &BiregularProblem) -> Option<Config> {
 
 /// Whether every size-`k` multiset over `support` is a configuration of
 /// `constraint`.
-fn all_multisets_in(
-    support: &[crate::label::Label],
-    k: u32,
-    constraint: &Constraint,
-) -> bool {
+fn all_multisets_in(support: &[crate::label::Label], k: u32, constraint: &Constraint) -> bool {
     fn rec(
         support: &[crate::label::Label],
         start: usize,
@@ -364,11 +360,9 @@ mod tests {
     #[test]
     fn trivial_black_generalizes_universal() {
         // (Δ, 2): agrees with zeroround::universal_witness.
-        for (node, edge) in [
-            ("A A A", "A A"),
-            ("M M M\nP O O", "M [P O]\nO O"),
-            ("M O", "M M\nO O"),
-        ] {
+        for (node, edge) in
+            [("A A A", "A A"), ("M M M\nP O O", "M [P O]\nO O"), ("M O", "M M\nO O")]
+        {
             let p = Problem::from_text(node, edge).unwrap();
             let bi = BiregularProblem::from_problem(&p);
             assert_eq!(

@@ -38,11 +38,8 @@ pub fn condense(constraint: &Constraint) -> Vec<Line> {
             continue;
         }
         // Seed line: the configuration itself, groups = (singleton, count).
-        let mut groups: Vec<(LabelSet, u32)> = cfg
-            .counts()
-            .into_iter()
-            .map(|(l, c)| (LabelSet::singleton(l), c))
-            .collect();
+        let mut groups: Vec<(LabelSet, u32)> =
+            cfg.counts().into_iter().map(|(l, c)| (LabelSet::singleton(l), c)).collect();
         // Grow each group's disjunction while the expansion stays inside.
         let mut changed = true;
         while changed {
@@ -90,11 +87,7 @@ pub fn verify_cover(constraint: &Constraint, lines: &[Line]) -> bool {
 
 /// Renders a constraint compactly: condensed lines, one per row.
 pub fn render_condensed(constraint: &Constraint, alphabet: &crate::label::Alphabet) -> String {
-    condense(constraint)
-        .iter()
-        .map(|l| l.display(alphabet))
-        .collect::<Vec<_>>()
-        .join("\n")
+    condense(constraint).iter().map(|l| l.display(alphabet)).collect::<Vec<_>>().join("\n")
 }
 
 #[cfg(test)]

@@ -112,9 +112,7 @@ impl Constraint {
 
     /// The set of labels appearing in at least one configuration.
     pub fn support(&self) -> LabelSet {
-        self.configs
-            .iter()
-            .fold(LabelSet::EMPTY, |acc, c| acc.union(c.support()))
+        self.configs.iter().fold(LabelSet::EMPTY, |acc, c| acc.union(c.support()))
     }
 
     /// Remaps all labels through `mapping`.
@@ -146,11 +144,7 @@ impl Constraint {
 
     /// Renders each configuration on its own line using alphabet names.
     pub fn display(&self, alphabet: &Alphabet) -> String {
-        self.configs
-            .iter()
-            .map(|c| c.display(alphabet))
-            .collect::<Vec<_>>()
-            .join("\n")
+        self.configs.iter().map(|c| c.display(alphabet)).collect::<Vec<_>>().join("\n")
     }
 }
 
@@ -203,11 +197,9 @@ mod tests {
 
     #[test]
     fn from_configs_validates_degree() {
-        let err = Constraint::from_configs(vec![
-            Config::new(vec![l(0), l(0)]),
-            Config::new(vec![l(0)]),
-        ])
-        .unwrap_err();
+        let err =
+            Constraint::from_configs(vec![Config::new(vec![l(0), l(0)]), Config::new(vec![l(0)])])
+                .unwrap_err();
         assert!(matches!(err, RelimError::WrongDegree { expected: 2, found: 1 }));
     }
 

@@ -131,11 +131,7 @@ impl StrengthOrder {
             out.push_str(&format!("  \"{}\";\n", alphabet.name(l)));
         }
         for (a, b) in self.hasse_edges() {
-            out.push_str(&format!(
-                "  \"{}\" -> \"{}\";\n",
-                alphabet.name(a),
-                alphabet.name(b)
-            ));
+            out.push_str(&format!("  \"{}\" -> \"{}\";\n", alphabet.name(a), alphabet.name(b)));
         }
         out.push_str("}\n");
         out
@@ -173,11 +169,7 @@ mod tests {
         let p = mis3();
         let order = StrengthOrder::of_constraint(p.edge(), 3);
         let a = p.alphabet();
-        let (m, pp, o) = (
-            a.label("M").unwrap(),
-            a.label("P").unwrap(),
-            a.label("O").unwrap(),
-        );
+        let (m, pp, o) = (a.label("M").unwrap(), a.label("P").unwrap(), a.label("O").unwrap());
         assert!(order.is_stronger(o, pp));
         assert!(!order.is_at_least_as_strong(m, pp));
         assert!(!order.is_at_least_as_strong(pp, m));
@@ -190,11 +182,7 @@ mod tests {
         let p = mis3();
         let order = StrengthOrder::of_constraint(p.edge(), 3);
         let a = p.alphabet();
-        let (m, pp, o) = (
-            a.label("M").unwrap(),
-            a.label("P").unwrap(),
-            a.label("O").unwrap(),
-        );
+        let (m, pp, o) = (a.label("M").unwrap(), a.label("P").unwrap(), a.label("O").unwrap());
         let just_p = LabelSet::singleton(pp);
         assert!(!order.is_right_closed(just_p));
         assert_eq!(order.upward_closure(just_p), just_p.with(o));

@@ -39,12 +39,7 @@ pub fn find_isomorphism(p: &Problem, q: &Problem) -> Option<Vec<Label>> {
 
     // candidates[a] = q-labels with the same signature as p-label a.
     let candidates: Vec<Vec<Label>> = (0..n)
-        .map(|a| {
-            (0..n)
-                .filter(|&b| p_sig[a] == q_sig[b])
-                .map(|b| Label::new(b as u8))
-                .collect()
-        })
+        .map(|a| (0..n).filter(|&b| p_sig[a] == q_sig[b]).map(|b| Label::new(b as u8)).collect())
         .collect();
     if candidates.iter().any(Vec::is_empty) {
         return None;
@@ -112,9 +107,7 @@ fn signatures(p: &Problem) -> Vec<(Vec<u32>, Vec<u32>, bool)> {
             node_counts.sort_unstable();
             let mut edge_counts: Vec<u32> = p.edge().iter().map(|c| c.count(l)).collect();
             edge_counts.sort_unstable();
-            let self_compat = p
-                .edge()
-                .contains(&crate::config::Config::new(vec![l, l]));
+            let self_compat = p.edge().contains(&crate::config::Config::new(vec![l, l]));
             (node_counts, edge_counts, self_compat)
         })
         .collect()

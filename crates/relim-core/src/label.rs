@@ -36,10 +36,7 @@ impl Label {
     ///
     /// Panics if `index >= 31`; labels beyond [`MAX_LABELS`] are unsupported.
     pub fn new(index: u8) -> Self {
-        assert!(
-            (index as usize) < MAX_LABELS,
-            "label index {index} exceeds MAX_LABELS"
-        );
+        assert!((index as usize) < MAX_LABELS, "label index {index} exceeds MAX_LABELS");
         Label(index)
     }
 

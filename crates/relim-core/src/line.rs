@@ -91,9 +91,7 @@ impl Line {
 
     /// Union of all label sets mentioned.
     pub fn support(&self) -> LabelSet {
-        self.groups
-            .iter()
-            .fold(LabelSet::EMPTY, |acc, (s, _)| acc.union(*s))
+        self.groups.iter().fold(LabelSet::EMPTY, |acc, (s, _)| acc.union(*s))
     }
 
     /// Whether `config` can be produced by choosing one label from each

@@ -37,7 +37,14 @@ pub fn assign_positions(options: &[u64], caps: &[u32]) -> Option<Vec<usize>> {
     for start in 0..n {
         // Try to place position `start`, possibly displacing others.
         let mut visited_groups = vec![false; g];
-        if !try_place(start, options, &mut remaining, &mut assigned, &mut users, &mut visited_groups) {
+        if !try_place(
+            start,
+            options,
+            &mut remaining,
+            &mut assigned,
+            &mut users,
+            &mut visited_groups,
+        ) {
             return None;
         }
     }
@@ -114,11 +121,7 @@ pub fn transport_feasible(supply: &[u32], options: &[u64], caps: &[u32]) -> bool
         for &o in options {
             any |= o;
         }
-        caps.iter()
-            .enumerate()
-            .filter(|(g, _)| any & (1 << *g) != 0)
-            .map(|(_, &c)| c as u64)
-            .sum()
+        caps.iter().enumerate().filter(|(g, _)| any & (1 << *g) != 0).map(|(_, &c)| c as u64).sum()
     };
     if (total as u64) > reachable_cap {
         return false;

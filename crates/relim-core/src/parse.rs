@@ -94,9 +94,7 @@ fn parse_line_tokens(line: &str) -> Result<Vec<RawToken>> {
                 message: format!("bad exponent after `^` in `{line}`"),
             })?;
             if mult == 0 {
-                return Err(RelimError::Parse {
-                    message: format!("zero exponent in `{line}`"),
-                });
+                return Err(RelimError::Parse { message: format!("zero exponent in `{line}`") });
             }
         }
         tokens.push(RawToken { names, mult });
@@ -108,9 +106,7 @@ fn parse_line_tokens(line: &str) -> Result<Vec<RawToken>> {
 }
 
 fn content_lines(text: &str) -> impl Iterator<Item = &str> {
-    text.lines()
-        .map(str::trim)
-        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+    text.lines().map(str::trim).filter(|l| !l.is_empty() && !l.starts_with('#'))
 }
 
 /// Collects all label names appearing in the text, in order of first
@@ -238,19 +234,13 @@ mod tests {
     #[test]
     fn unknown_label() {
         let alpha = Alphabet::new(&["A"]).unwrap();
-        assert!(matches!(
-            parse_constraint("A B", &alpha),
-            Err(RelimError::UnknownLabel { .. })
-        ));
+        assert!(matches!(parse_constraint("A B", &alpha), Err(RelimError::UnknownLabel { .. })));
     }
 
     #[test]
     fn full_problem_alphabet_order() {
         let p = parse_problem("M M\nP O", "M [P O]\nO O").unwrap();
-        assert_eq!(
-            p.alphabet().names(),
-            &["M".to_string(), "P".into(), "O".into()]
-        );
+        assert_eq!(p.alphabet().names(), &["M".to_string(), "P".into(), "O".into()]);
         // Expansion: M[PO] = {MP, MO}.
         let m = Label::new(0);
         let pp = Label::new(1);

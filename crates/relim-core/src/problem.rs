@@ -117,10 +117,7 @@ impl Problem {
             mapping[l.index()] = Some(Label::new(names.len() as u8));
             names.push(self.alphabet.name(l).to_owned());
         }
-        let dense: Vec<Label> = mapping
-            .iter()
-            .map(|m| m.unwrap_or(Label::new(0)))
-            .collect();
+        let dense: Vec<Label> = mapping.iter().map(|m| m.unwrap_or(Label::new(0))).collect();
         let alphabet = Alphabet::new(&names).expect("subset of valid alphabet");
         let node = self.node.map_labels(&dense);
         let edge = self.edge.map_labels(&dense);
@@ -150,11 +147,7 @@ impl Problem {
             }
             seen[m.index()] = true;
         }
-        Problem::new(
-            new_alphabet,
-            self.node.map_labels(mapping),
-            self.edge.map_labels(mapping),
-        )
+        Problem::new(new_alphabet, self.node.map_labels(mapping), self.edge.map_labels(mapping))
     }
 
     /// Whether two problems are *semantically equal*: same alphabet size and
@@ -233,11 +226,7 @@ mod tests {
     fn edge_compat_matrix() {
         let p = mis3();
         let a = p.alphabet();
-        let (m, pp, o) = (
-            a.label("M").unwrap(),
-            a.label("P").unwrap(),
-            a.label("O").unwrap(),
-        );
+        let (m, pp, o) = (a.label("M").unwrap(), a.label("P").unwrap(), a.label("O").unwrap());
         let compat = p.edge_compat();
         assert!(compat[m.index()].contains(pp));
         assert!(compat[m.index()].contains(o));
@@ -267,9 +256,7 @@ mod tests {
         let mapping = vec![l(0), l(2), l(1)];
         let new_alpha = Alphabet::new(&["M", "O", "P"]).unwrap();
         let q = p.rename(&mapping, new_alpha).unwrap();
-        let back = q
-            .rename(&mapping, p.alphabet().clone())
-            .unwrap();
+        let back = q.rename(&mapping, p.alphabet().clone()).unwrap();
         assert!(p.semantically_equal(&back));
     }
 }

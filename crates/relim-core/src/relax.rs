@@ -83,19 +83,13 @@ pub fn config_relaxes_to_line(from: &SetConfig, to_line: &Line) -> bool {
 /// # Errors
 ///
 /// On failure returns the offending configuration.
-pub fn all_relax_to_lines<'a, I>(
-    from: I,
-    to_lines: &[Line],
-) -> Result<Vec<usize>, SetConfig>
+pub fn all_relax_to_lines<'a, I>(from: I, to_lines: &[Line]) -> Result<Vec<usize>, SetConfig>
 where
     I: IntoIterator<Item = &'a SetConfig>,
 {
     let mut assignments = Vec::new();
     for cfg in from {
-        match to_lines
-            .iter()
-            .position(|line| config_relaxes_to_line(cfg, line))
-        {
+        match to_lines.iter().position(|line| config_relaxes_to_line(cfg, line)) {
             Some(idx) => assignments.push(idx),
             None => return Err(cfg.clone()),
         }
@@ -126,9 +120,7 @@ pub fn relax_into_line(from: &SetConfig, to_line: &Line) -> Option<SetConfig> {
         .collect();
     let caps: Vec<u32> = groups.iter().map(|&(_, m)| m).collect();
     let assignment = assign_positions(&options, &caps)?;
-    Some(SetConfig::new(
-        assignment.into_iter().map(|g| groups[g].0).collect(),
-    ))
+    Some(SetConfig::new(assignment.into_iter().map(|g| groups[g].0).collect()))
 }
 
 /// Convenience: every `from`-set is a subset of the corresponding set in the

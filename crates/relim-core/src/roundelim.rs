@@ -49,10 +49,7 @@ pub struct Step {
 impl Step {
     /// Looks up the new label corresponding to a given set of old labels.
     pub fn label_of_set(&self, set: LabelSet) -> Option<Label> {
-        self.provenance
-            .iter()
-            .position(|&s| s == set)
-            .map(|i| Label::new(i as u8))
+        self.provenance.iter().position(|&s| s == set).map(|i| Label::new(i as u8))
     }
 
     /// Views a configuration of the derived problem as a [`SetConfig`] over
@@ -115,10 +112,8 @@ pub fn r_step(p: &Problem) -> Result<Step> {
     }
     pairs.sort_unstable();
 
-    let set_configs: Vec<SetConfig> = pairs
-        .iter()
-        .map(|&(a, b)| SetConfig::new(vec![a, b]))
-        .collect();
+    let set_configs: Vec<SetConfig> =
+        pairs.iter().map(|&(a, b)| SetConfig::new(vec![a, b])).collect();
 
     finish_step(p, set_configs, UniversalSide::Edge)
 }
@@ -170,10 +165,14 @@ enum UniversalSide {
 /// ("replace each label y by the disjunction of all label sets containing
 /// y").
 fn finish_step(p: &Problem, universal: Vec<SetConfig>, side: UniversalSide) -> Result<Step> {
-    let derived = derive_sides(p.alphabet(), universal, match side {
-        UniversalSide::Edge => p.node(),
-        UniversalSide::Node => p.edge(),
-    })?;
+    let derived = derive_sides(
+        p.alphabet(),
+        universal,
+        match side {
+            UniversalSide::Edge => p.node(),
+            UniversalSide::Node => p.edge(),
+        },
+    )?;
     let (node, edge) = match side {
         UniversalSide::Edge => (derived.existential, derived.universal),
         UniversalSide::Node => (derived.universal, derived.existential),
@@ -206,25 +205,19 @@ pub(crate) fn derive_sides(
     }
     // Collect the new alphabet: sets appearing in the universal side,
     // deterministically ordered by (cardinality, bitmask).
-    let mut sets: Vec<LabelSet> = universal
-        .iter()
-        .flat_map(|sc| sc.iter())
-        .collect();
+    let mut sets: Vec<LabelSet> = universal.iter().flat_map(|sc| sc.iter()).collect();
     sets.sort_unstable_by_key(|s| (s.len(), s.bits()));
     sets.dedup();
 
     let names: Vec<String> = sets.iter().map(|s| s.display(old_alphabet)).collect();
-    let alphabet = Alphabet::new(&names)
-        .map_err(|_| RelimError::TooManyLabels { requested: names.len() })?;
-    let label_of: std::collections::HashMap<LabelSet, Label> = sets
-        .iter()
-        .enumerate()
-        .map(|(i, &s)| (s, Label::new(i as u8)))
-        .collect();
+    let alphabet =
+        Alphabet::new(&names).map_err(|_| RelimError::TooManyLabels { requested: names.len() })?;
+    let label_of: std::collections::HashMap<LabelSet, Label> =
+        sets.iter().enumerate().map(|(i, &s)| (s, Label::new(i as u8))).collect();
 
-    let universal_constraint = Constraint::from_configs(universal.iter().map(|sc| {
-        Config::new(sc.iter().map(|s| label_of[&s]).collect())
-    }))
+    let universal_constraint = Constraint::from_configs(
+        universal.iter().map(|sc| Config::new(sc.iter().map(|s| label_of[&s]).collect())),
+    )
     .expect("non-empty universal side");
 
     // Existential side: replacement method. D(y) = set of new labels whose
@@ -256,9 +249,10 @@ pub(crate) fn derive_sides(
             groups.map(|g| Line::new(g).expect("non-empty groups"))
         })
         .collect();
-    let existential = Constraint::from_lines(&lines).map_err(|_| RelimError::DegenerateProblem {
-        message: "existential side is empty: every configuration uses a vanished label".into(),
-    })?;
+    let existential =
+        Constraint::from_lines(&lines).map_err(|_| RelimError::DegenerateProblem {
+            message: "existential side is empty: every configuration uses a vanished label".into(),
+        })?;
 
     Ok(DerivedSides { alphabet, universal: universal_constraint, existential, provenance: sets })
 }
@@ -316,15 +310,7 @@ pub(crate) fn forall_multisets(
         }
     }
 
-    rec(
-        cands,
-        0,
-        delta,
-        &[Config::empty()],
-        &mut chosen,
-        sub_index,
-        &mut out,
-    );
+    rec(cands, 0, delta, &[Config::empty()], &mut chosen, sub_index, &mut out);
     out
 }
 
@@ -345,11 +331,7 @@ pub(crate) fn dominance_filter(configs: Vec<SetConfig>) -> Vec<SetConfig> {
             }
         }
     }
-    configs
-        .into_iter()
-        .zip(keep)
-        .filter_map(|(c, k)| k.then_some(c))
-        .collect()
+    configs.into_iter().zip(keep).filter_map(|(c, k)| k.then_some(c)).collect()
 }
 
 /// Whether `big` dominates `small`: `big ≠ small` and there is a perfect
@@ -444,19 +426,12 @@ mod tests {
         // Every pair's choices must be in E; pairs must be mutually
         // non-dominating.
         let compat = p.edge_compat();
-        let pairs: Vec<SetConfig> = step
-            .problem
-            .edge()
-            .iter()
-            .map(|c| step.as_set_config(c))
-            .collect();
+        let pairs: Vec<SetConfig> =
+            step.problem.edge().iter().map(|c| step.as_set_config(c)).collect();
         for sc in &pairs {
             let s = sc.as_slice();
             for a in s[0].iter() {
-                assert!(
-                    s[1].is_subset_of(compat[a.index()]),
-                    "non-universal pair {sc:?}"
-                );
+                assert!(s[1].is_subset_of(compat[a.index()]), "non-universal pair {sc:?}");
             }
         }
         for x in &pairs {
@@ -470,12 +445,8 @@ mod tests {
     fn r_step_matches_bruteforce_on_mis() {
         let p = mis3();
         let step = r_step(&p).unwrap();
-        let mut fast: Vec<SetConfig> = step
-            .problem
-            .edge()
-            .iter()
-            .map(|c| step.as_set_config(c))
-            .collect();
+        let mut fast: Vec<SetConfig> =
+            step.problem.edge().iter().map(|c| step.as_set_config(c)).collect();
         let mut brute = r_step_edge_bruteforce(&p).unwrap();
         fast.sort();
         brute.sort();
@@ -489,11 +460,7 @@ mod tests {
         let r = r_step(&p).unwrap();
         let mut fast: Vec<SetConfig> = {
             let step = rbar_step(&r.problem).unwrap();
-            step.problem
-                .node()
-                .iter()
-                .map(|c| step.as_set_config(c))
-                .collect()
+            step.problem.node().iter().map(|c| step.as_set_config(c)).collect()
         };
         let mut brute = rbar_step_node_bruteforce(&r.problem).unwrap();
         fast.sort();

@@ -54,9 +54,8 @@ pub fn merge_labels(p: &Problem, from: Label, to: Label) -> Result<Problem> {
             message: format!("merge_labels requires distinct in-range labels, got {from} -> {to}"),
         });
     }
-    let mapping: Vec<Label> = (0..n)
-        .map(|i| if i == from.index() { to } else { Label::new(i as u8) })
-        .collect();
+    let mapping: Vec<Label> =
+        (0..n).map(|i| if i == from.index() { to } else { Label::new(i as u8) }).collect();
     let node = p.node().map_labels(&mapping);
     let edge = p.edge().map_labels(&mapping);
     let merged = Problem::new(p.alphabet().clone(), node, edge)?;
@@ -188,10 +187,7 @@ mod tests {
     fn remove_label_degenerate() {
         let p = Problem::from_text("A A", "A A").unwrap();
         let a = p.alphabet().label("A").unwrap();
-        assert!(matches!(
-            remove_label(&p, a),
-            Err(RelimError::DegenerateProblem { .. })
-        ));
+        assert!(matches!(remove_label(&p, a), Err(RelimError::DegenerateProblem { .. })));
     }
 
     #[test]

@@ -121,11 +121,7 @@ pub fn universal_witness(p: &Problem) -> Option<Config> {
     let compat = p.edge_compat();
     p.node()
         .iter()
-        .find(|cfg| {
-            cfg.iter().all(|x| {
-                cfg.iter().all(|y| compat[x.index()].contains(y))
-            })
-        })
+        .find(|cfg| cfg.iter().all(|x| cfg.iter().all(|y| compat[x.index()].contains(y))))
         .cloned()
 }
 
@@ -184,14 +180,10 @@ pub fn coloring_witness(p: &Problem, c: usize) -> Option<Vec<Config>> {
     // supports[i] = set of labels used by configs[i].
     let supports: Vec<crate::labelset::LabelSet> = configs
         .iter()
-        .map(|cfg| {
-            cfg.iter().fold(crate::labelset::LabelSet::EMPTY, |acc, l| acc.with(l))
-        })
+        .map(|cfg| cfg.iter().fold(crate::labelset::LabelSet::EMPTY, |acc, l| acc.with(l)))
         .collect();
     let cross_ok = |i: usize, j: usize| {
-        supports[i]
-            .iter()
-            .all(|x| supports[j].is_subset_of(compat[x.index()]))
+        supports[i].iter().all(|x| supports[j].is_subset_of(compat[x.index()]))
     };
     // Depth-first clique search; configuration counts here are small
     // enough (≤ a few hundred) that this is immediate for the small `c`
@@ -252,9 +244,7 @@ pub fn solvable_deterministically(p: &Problem) -> bool {
             p.edge().contains(&Config::new(vec![l, l]))
         })
         .collect();
-    p.node()
-        .iter()
-        .any(|cfg| cfg.iter().all(|l| self_compat[l.index()]))
+    p.node().iter().any(|cfg| cfg.iter().all(|l| self_compat[l.index()]))
 }
 
 #[cfg(test)]

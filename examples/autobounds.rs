@@ -62,10 +62,7 @@ fn main() {
         let p = family::pi(&PiParams { delta, a, x }).expect("valid");
         let opts = AutoLbOptions { max_steps: 1, label_budget: 6, ..Default::default() };
         let o = autolb::auto_lower_bound(&p, &opts);
-        println!(
-            "Π_{delta}({a},{x}): certified ≥ {} rounds ({:?})",
-            o.certified_rounds, o.stopped
-        );
+        println!("Π_{delta}({a},{x}): certified ≥ {} rounds ({:?})", o.certified_rounds, o.stopped);
     }
     println!();
 
@@ -139,11 +136,7 @@ fn main() {
     // Lower/upper bounds certified by the same engine are consistent.
     let lb = autolb::auto_lower_bound(
         &p,
-        &AutoLbOptions {
-            max_steps: 2,
-            label_budget: 16,
-            triviality: Triviality::Universal,
-        },
+        &AutoLbOptions { max_steps: 2, label_budget: 16, triviality: Triviality::Universal },
     );
     let ub = outcome.bound.expect("present").rounds;
     assert!(lb.certified_rounds <= ub, "lb {} vs ub {ub}", lb.certified_rounds);

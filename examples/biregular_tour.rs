@@ -80,11 +80,7 @@ fn main() {
     // 4. Without the coloring, the automatic search certifies a lower
     //    bound for maximal matching — with a replayable certificate.
     // ---------------------------------------------------------------
-    let opts = AutoLbOptions {
-        max_steps: 2,
-        label_budget: 6,
-        triviality: Triviality::Universal,
-    };
+    let opts = AutoLbOptions { max_steps: 2, label_budget: 6, triviality: Triviality::Universal };
     let outcome = autolb::auto_lower_bound(&mm, &opts);
     autolb::verify_chain(&outcome).expect("certificate replays");
     println!(
@@ -105,13 +101,7 @@ fn main() {
     matchings::check_b_matching_labeling(&g, &matching, g.max_degree() as u32, 1)
         .expect("labeling satisfies the encoding");
     println!("=== line-graph bridge ===");
-    println!(
-        "tree: n = {}, m = {}; L(G): n = {}, m = {}",
-        g.n(),
-        g.m(),
-        lg.n(),
-        lg.m()
-    );
+    println!("tree: n = {}, m = {}; L(G): n = {}, m = {}", g.n(), g.m(), lg.n(), lg.m());
     println!(
         "Luby MIS of L(G) → maximal matching of G: {} matched edges, all checks pass ✓",
         matching.iter().filter(|&&b| b).count()

@@ -86,8 +86,7 @@ fn main() {
 
     // Luby's randomized MIS: 65-bit messages (tag + lottery value).
     let config = RunConfig::port_numbering(3, 400);
-    let report =
-        run_congest::<luby::Luby>(&g, &vec![(); n], &config).expect("runs");
+    let report = run_congest::<luby::Luby>(&g, &vec![(); n], &config).expect("runs");
     check_mis(&g, &report.outputs).expect("valid MIS");
     row("Luby MIS (randomized)", n, report.rounds, &report.stats);
 
@@ -98,20 +97,16 @@ fn main() {
 
     // Layered tree MIS sweep: 66-bit full-state messages.
     let num_layers = layers.iter().copied().max().unwrap_or(0) + 1;
-    let inputs: Vec<tree_mis::LayerInput> = layers
-        .iter()
-        .map(|&layer| tree_mis::LayerInput { layer, num_layers })
-        .collect();
+    let inputs: Vec<tree_mis::LayerInput> =
+        layers.iter().map(|&layer| tree_mis::LayerInput { layer, num_layers }).collect();
     let config_local = RunConfig::local(&g, 5, 8000);
-    let report =
-        run_congest::<tree_mis::LayeredSweep>(&g, &inputs, &config_local).expect("runs");
+    let report = run_congest::<tree_mis::LayeredSweep>(&g, &inputs, &config_local).expect("runs");
     check_mis(&g, &report.outputs).expect("valid MIS");
     row("tree MIS layered sweep", n, report.rounds, &report.stats);
 
     // Ball gathering: messages grow with the ball — not CONGEST.
     let config_local = RunConfig::local(&g, 5, 64);
-    let report =
-        run_congest::<BallGather>(&g, &vec![4usize; n], &config_local).expect("runs");
+    let report = run_congest::<BallGather>(&g, &vec![4usize; n], &config_local).expect("runs");
     row("radius-4 ball gathering", n, report.rounds, &report.stats);
 
     println!(

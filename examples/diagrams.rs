@@ -45,11 +45,8 @@ fn main() {
 
     // Cross-check against the hard-coded expectations used by the tests.
     let order = StrengthOrder::of_constraint(claimed.node(), claimed.alphabet().len());
-    let mut got: Vec<(u8, u8)> = order
-        .hasse_edges()
-        .into_iter()
-        .map(|(a, b)| (a.raw(), b.raw()))
-        .collect();
+    let mut got: Vec<(u8, u8)> =
+        order.hasse_edges().into_iter().map(|(a, b)| (a.raw(), b.raw())).collect();
     got.sort_unstable();
     let mut want = lemma6::figure5_expected_hasse();
     want.sort_unstable();

@@ -19,11 +19,7 @@ fn render(graph: &Graph, labeling: &PortLabeling, title: &str) {
     for v in 0..graph.n().min(16) {
         let labels: Vec<String> = (0..graph.degree(v))
             .map(|p| {
-                format!(
-                    "{}:{}",
-                    graph.neighbor(v, p),
-                    LABEL_NAMES[labeling.get(v, p) as usize]
-                )
+                format!("{}:{}", graph.neighbor(v, p), LABEL_NAMES[labeling.get(v, p) as usize])
             })
             .collect();
         let kind = node_kind(labeling.node_labels(v));
@@ -56,17 +52,10 @@ fn main() {
     println!("{}\n", pi.render());
 
     let tree = trees::complete_regular_tree(4, 3).expect("tree");
-    println!(
-        "tree: complete 4-regular tree of depth 3 ({} nodes, {} edges)\n",
-        tree.n(),
-        tree.m()
-    );
+    println!("tree: complete 4-regular tree of depth 3 ({} nodes, {} edges)\n", tree.n(), tree.m());
 
     let inst = convert::to_lcl(&pi, LeafPolicy::SubMultiset).expect("convert");
-    let labeling = inst
-        .solve(&tree, 2021)
-        .expect("tree ok")
-        .expect("Π_4(2,2) is solvable");
+    let labeling = inst.solve(&tree, 2021).expect("tree ok").expect("Π_4(2,2) is solvable");
     convert::check_labeling(&pi, &tree, &labeling, BoundaryPolicy::SubMultiset)
         .expect("solver output is valid");
     render(&tree, &labeling, "a valid Π_4(2,2) labeling (checker-approved)");
@@ -87,24 +76,17 @@ fn main() {
     let plus_params = PiParams { delta: 4, a: 3, x: 0 };
     let plus = family::pi_plus(&plus_params).expect("valid");
     let plus_inst = convert::to_lcl(&plus, LeafPolicy::SubMultiset).expect("convert");
-    let plus_sol = plus_inst
-        .solve(&tree, 99)
-        .expect("tree ok")
-        .expect("Π⁺ solvable");
+    let plus_sol = plus_inst.solve(&tree, 99).expect("tree ok").expect("Π⁺ solvable");
     let coloring = edge_coloring::tree_edge_coloring(&tree).expect("Δ-edge coloring");
     println!(
         "\nΔ-edge coloring with {} colors computed (the Lemma 9 input).",
         coloring.num_colors()
     );
     let (converted, next) =
-        transforms::lemma9_transform(&plus_params, &tree, &coloring, &plus_sol)
-            .expect("transform");
+        transforms::lemma9_transform(&plus_params, &tree, &coloring, &plus_sol).expect("transform");
     let pi_next = family::pi(&next).expect("valid");
     convert::check_labeling(&pi_next, &tree, &converted, BoundaryPolicy::InteriorOnly)
         .expect("Lemma 9 output is valid");
-    println!(
-        "Lemma 9: Π⁺_4(3,0) solution → Π_4({},{}) solution in 0 rounds. ✓",
-        next.a, next.x
-    );
+    println!("Lemma 9: Π⁺_4(3,0) solution → Π_4({},{}) solution in 0 rounds. ✓", next.a, next.x);
     render(&tree, &converted, "the transformed labeling");
 }

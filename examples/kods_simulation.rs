@@ -80,9 +80,8 @@ fn main() {
     let k = 1usize;
     let tree = trees::complete_regular_tree(delta, 3).expect("tree");
     let rep = algos::k_outdegree_domset(&tree, k, 3).expect("pipeline");
-    let labeling =
-        transforms::lemma5_transform(&tree, &rep.in_set, &rep.orientation, k as u32)
-            .expect("transform");
+    let labeling = transforms::lemma5_transform(&tree, &rep.in_set, &rep.orientation, k as u32)
+        .expect("transform");
     let pi = family::pi(&PiParams { delta: delta as u32, a: 3, x: k as u32 }).expect("valid");
     convert::check_labeling(&pi, &tree, &labeling, convert::BoundaryPolicy::InteriorOnly)
         .expect("Lemma 5 output is a valid Π_Δ(a,k) solution");

@@ -33,11 +33,7 @@ fn main() {
     println!("=== R(Π) — computed by the engine ===");
     println!("new labels (as sets of old labels):");
     for (i, set) in step.provenance.iter().enumerate() {
-        println!(
-            "  {} = {}",
-            step.problem.alphabet().names()[i],
-            set.display(pi.alphabet())
-        );
+        println!("  {} = {}", step.problem.alphabet().names()[i], set.display(pi.alphabet()));
     }
     println!(
         "|N| = {} configurations, |E| = {} configurations\n",

@@ -64,9 +64,8 @@ fn main() {
     println!("\n=== view indistinguishability on the identified-ports gadget ===");
     let g = trees::complete_regular_tree(3, 6).expect("tree");
     let col = edge_coloring::tree_edge_coloring(&g).expect("coloring");
-    let relabel: Vec<Vec<usize>> = (0..g.n())
-        .map(|v| (0..g.degree(v)).map(|p| col.color_at(&g, v, p)).collect())
-        .collect();
+    let relabel: Vec<Vec<usize>> =
+        (0..g.n()).map(|v| (0..g.degree(v)).map(|p| col.color_at(&g, v, p)).collect()).collect();
     let colors: Vec<usize> = col.as_slice().to_vec();
     let gadget_inputs = views::ViewInputs {
         node_input: None,
@@ -74,10 +73,7 @@ fn main() {
         port_relabel: Some(&relabel),
     };
     let plain_inputs = views::ViewInputs::default();
-    println!(
-        "{:>8} {:>22} {:>22}",
-        "radius", "classes (raw ports)", "classes (identified)"
-    );
+    println!("{:>8} {:>22} {:>22}", "radius", "classes (raw ports)", "classes (identified)");
     for t in 0..=3 {
         let (_, raw) = views::view_classes(&g, t, &plain_inputs);
         let (_, gadget) = views::view_classes(&g, t, &gadget_inputs);

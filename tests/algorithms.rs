@@ -16,17 +16,11 @@ fn kods_pipeline_feeds_lemma5() {
         let rep = algos::k_outdegree_domset(&tree, k, 13).unwrap();
         checkers::check_k_outdegree_domset(&tree, &rep.in_set, &rep.orientation, k).unwrap();
         let labeling =
-            transforms::lemma5_transform(&tree, &rep.in_set, &rep.orientation, k as u32)
-                .unwrap();
+            transforms::lemma5_transform(&tree, &rep.in_set, &rep.orientation, k as u32).unwrap();
         let a = (delta as u32).min(k as u32 + 2);
         let pi = family::pi(&PiParams { delta: delta as u32, a, x: k as u32 }).unwrap();
-        convert::check_labeling(
-            &pi,
-            &tree,
-            &labeling,
-            convert::BoundaryPolicy::InteriorOnly,
-        )
-        .unwrap_or_else(|v| panic!("delta={delta}, k={k}: {v}"));
+        convert::check_labeling(&pi, &tree, &labeling, convert::BoundaryPolicy::InteriorOnly)
+            .unwrap_or_else(|v| panic!("delta={delta}, k={k}: {v}"));
     }
 }
 
@@ -120,8 +114,7 @@ fn coloring_grid_on_random_trees() {
             )
             .unwrap();
             let k = g.max_degree() / buckets;
-            checkers::check_arbdefective_coloring(&g, &arb.buckets, &arb.orientation, k)
-                .unwrap();
+            checkers::check_arbdefective_coloring(&g, &arb.buckets, &arb.orientation, k).unwrap();
         }
     }
 }

@@ -94,20 +94,13 @@ fn mis_on_cycles_coloring_criteria() {
 /// problems: whenever both exist (same criterion strength), lb ≤ ub.
 #[test]
 fn automatic_bounds_are_consistent() {
-    for (node, edge) in [
-        ("A A A", "A A"),
-        ("M O", "M M;O O"),
-        ("M M;P O", "M [P O];O O"),
-        ("A A;B B", "A B"),
-    ] {
+    for (node, edge) in
+        [("A A A", "A A"), ("M O", "M M;O O"), ("M M;P O", "M [P O];O O"), ("A A;B B", "A B")]
+    {
         let p = Problem::from_text(&node.replace(';', "\n"), &edge.replace(';', "\n")).unwrap();
         let lb = autolb::auto_lower_bound(
             &p,
-            &AutoLbOptions {
-                max_steps: 3,
-                label_budget: 8,
-                triviality: Triviality::Universal,
-            },
+            &AutoLbOptions { max_steps: 3, label_budget: 8, triviality: Triviality::Universal },
         );
         let ub = autoub::auto_upper_bound(
             &p,

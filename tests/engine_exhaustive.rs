@@ -82,9 +82,31 @@ fn exhaustive_three_labels_delta2_sample() {
     // 3 labels, Δ=2: 6 node multisets, 6 edge multisets -> 63 × 63 = 3969.
     let problems = all_problems(3, 2);
     assert_eq!(problems.len(), 3969);
-    // Full differential on every 7th problem (580 problems) keeps the test
-    // fast while covering the space systematically.
+    // Full differential on every 7th problem (567 problems) keeps tier-1
+    // fast while covering the space systematically; the full sweep is the
+    // `#[ignore]`d tier-2 test below.
     let sample: Vec<_> = problems.into_iter().step_by(7).collect();
+    run_differential(&sample);
+}
+
+#[test]
+#[ignore = "tier-2 full sweep (~7x the sampled test); run with --ignored"]
+fn exhaustive_three_labels_delta2_full() {
+    let problems = all_problems(3, 2);
+    assert_eq!(problems.len(), 3969);
+    run_differential(&problems);
+}
+
+#[test]
+#[ignore = "tier-2 full sweep of the 3-label Δ=3 space; run with --ignored in release mode"]
+fn exhaustive_three_labels_delta3_sampled_wide() {
+    // 3 labels, Δ=3: 10 node multisets, 6 edge multisets -> 1023 × 63.
+    // Even sampled this is tier-2 territory; every 97th problem gives a
+    // systematic ~660-problem slice of a space the tier-1 suite never
+    // touches at all.
+    let problems = all_problems(3, 3);
+    assert_eq!(problems.len(), 1023 * 63);
+    let sample: Vec<_> = problems.into_iter().step_by(97).collect();
     run_differential(&sample);
 }
 
@@ -94,12 +116,8 @@ fn run_differential(problems: &[Problem]) {
         // --- R step: fast vs brute force on the universal edge side. ---
         match roundelim::r_step(p) {
             Ok(step) => {
-                let mut fast: Vec<_> = step
-                    .problem
-                    .edge()
-                    .iter()
-                    .map(|c| step.as_set_config(c))
-                    .collect();
+                let mut fast: Vec<_> =
+                    step.problem.edge().iter().map(|c| step.as_set_config(c)).collect();
                 let mut brute = r_step_edge_bruteforce(p).expect("small alphabet");
                 fast.sort();
                 brute.sort();
@@ -116,14 +134,10 @@ fn run_differential(problems: &[Problem]) {
                 if step.problem.alphabet().len() <= 8 {
                     match roundelim::rbar_step(&step.problem) {
                         Ok(rr) => {
-                            let mut fast_n: Vec<_> = rr
-                                .problem
-                                .node()
-                                .iter()
-                                .map(|c| rr.as_set_config(c))
-                                .collect();
-                            let mut brute_n = rbar_step_node_bruteforce(&step.problem)
-                                .expect("small alphabet");
+                            let mut fast_n: Vec<_> =
+                                rr.problem.node().iter().map(|c| rr.as_set_config(c)).collect();
+                            let mut brute_n =
+                                rbar_step_node_bruteforce(&step.problem).expect("small alphabet");
                             fast_n.sort();
                             brute_n.sort();
                             assert_eq!(fast_n, brute_n, "R̄-step mismatch after {p}");
@@ -136,11 +150,7 @@ fn run_differential(problems: &[Problem]) {
         }
     }
     // Degenerate problems exist but must be a minority of the space.
-    assert!(
-        degenerate * 2 < problems.len(),
-        "{degenerate} of {} degenerate",
-        problems.len()
-    );
+    assert!(degenerate * 2 < problems.len(), "{degenerate} of {} degenerate", problems.len());
 }
 
 /// On every small problem, 0-round solvability must agree between the
@@ -155,11 +165,10 @@ fn zeroround_exhaustive_cross_check() {
         // Brute force: some node configuration all of whose labels are
         // self-compatible, i.e. assignment f with multiset(f) ∈ N and
         // (f(i), f(i)) ∈ E for all ports i.
-        let brute = p.node().iter().any(|cfg| {
-            cfg.iter().all(|l| {
-                p.edge().contains(&Config::new(vec![l, l]))
-            })
-        });
+        let brute = p
+            .node()
+            .iter()
+            .any(|cfg| cfg.iter().all(|l| p.edge().contains(&Config::new(vec![l, l]))));
         assert_eq!(fast, brute, "0-round mismatch on {p}");
         let _ = LabelSet::EMPTY;
     }

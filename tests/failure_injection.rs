@@ -24,10 +24,7 @@ fn mis_checker_rejects_independence_violation() {
     let v = (0..g.n()).find(|&v| bad[v]).unwrap();
     let u = g.neighbor(v, 0);
     bad[u] = true;
-    assert!(matches!(
-        checkers::check_mis(&g, &bad),
-        Err(Violation::AdjacentPair { .. })
-    ));
+    assert!(matches!(checkers::check_mis(&g, &bad), Err(Violation::AdjacentPair { .. })));
 }
 
 #[test]
@@ -36,10 +33,7 @@ fn mis_checker_rejects_maximality_violation() {
     let rep = luby::luby_mis(&g, 2).unwrap();
     // Empty set: center and leaves all undominated.
     let bad = vec![false; g.n()];
-    assert!(matches!(
-        checkers::check_mis(&g, &bad),
-        Err(Violation::NotDominated { .. })
-    ));
+    assert!(matches!(checkers::check_mis(&g, &bad), Err(Violation::NotDominated { .. })));
     // Also: removing one member from a valid MIS breaks it.
     let mut weaker = rep.in_set.clone();
     let v = (0..g.n()).find(|&v| weaker[v]).unwrap();
@@ -118,7 +112,8 @@ fn matching_encoding_rejects_corrupted_labelings() {
     let problem = matchings::maximal_matching_problem(4).unwrap();
     let mut labeling = matchings::matching_to_labeling(&g, &rep.in_matching, 1).unwrap();
     // Corrupt one port: claim a matched edge where there is none.
-    let v = (0..g.n()).find(|&v| labeling.node_labels(v).iter().filter(|&&l| l == 0).count() == 1)
+    let v = (0..g.n())
+        .find(|&v| labeling.node_labels(v).iter().filter(|&&l| l == 0).count() == 1)
         .expect("some matched node");
     let o_port = (0..g.degree(v)).find(|&p| labeling.get(v, p) != 0).expect("unmatched port");
     labeling.set(v, o_port, 0); // a second M at a b=1 node

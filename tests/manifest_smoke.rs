@@ -1,0 +1,61 @@
+//! Manifest smoke test: the workspace wiring itself is under test.
+//!
+//! Asserts that the facade crate's four re-exports (`relim`, `family`,
+//! `sim`, `algos`) resolve and are the *same* crates the workspace
+//! members export (not stale copies), and that the quickstart path —
+//! the exact calls `examples/quickstart.rs` makes — works end to end.
+//! The examples themselves are compiled by `cargo build --examples`
+//! (run in CI); this test guards the library surface they rely on.
+
+use mis_domset_lb::{algos, family, relim, sim};
+
+#[test]
+fn facade_reexports_resolve_and_interoperate() {
+    // relim: engine types are usable through the facade path.
+    let mis = relim::Problem::from_text("M M M\nP O O", "M [P O]\nO O").expect("parse");
+    assert_eq!(mis.delta(), 3);
+
+    // family: builds problems the engine accepts...
+    let params = family::PiParams { delta: 4, a: 3, x: 1 };
+    let pi = family::family::pi(&params).expect("valid params");
+
+    // ...and the engine processes them: the types interoperate, which
+    // proves the facade re-exports the same `relim-core` the
+    // `lb-family` crate was compiled against.
+    let step = relim::roundelim::r_step(&pi).expect("non-degenerate");
+    assert!(step.problem.alphabet().len() >= pi.alphabet().len());
+
+    // sim: generators and graph accessors through the facade path.
+    let tree = sim::trees::complete_regular_tree(3, 3).expect("valid tree");
+    assert!(tree.is_tree());
+    assert_eq!(tree.max_degree(), 3);
+
+    // algos: an end-to-end pipeline on a sim-built tree, checked by a
+    // sim checker — all four re-exports in one data flow.
+    let rep = algos::mis_deterministic(&tree, 7).expect("pipeline runs");
+    assert!(sim::checkers::check_mis(&tree, &rep.in_set).is_ok());
+}
+
+#[test]
+fn quickstart_example_path_works() {
+    // Mirrors examples/quickstart.rs step by step, so a regression that
+    // would break `cargo run --example quickstart` fails here too.
+    let mis = family::family::mis(3).expect("Δ = 3 is valid");
+    assert!(!mis.render().is_empty());
+
+    let params = family::PiParams { delta: 4, a: 3, x: 1 };
+    let pi = family::family::pi(&params).expect("valid parameters");
+    let step = relim::roundelim::r_step(&pi).expect("Π is non-degenerate");
+    assert_eq!(step.provenance.len(), step.problem.alphabet().len());
+
+    let report = family::lemma6::verify(&params).expect("valid parameters");
+    assert!(report.matches_paper());
+}
+
+#[test]
+fn cli_crate_is_wired() {
+    // The relim binary is exercised by its own unit tests; here we only
+    // assert the workspace layout keeps the facade independent of it
+    // (the facade must not depend on the CLI). This is a compile-time
+    // fact; the test documents it for readers.
+}

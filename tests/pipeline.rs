@@ -26,10 +26,7 @@ fn one_full_chain_step_with_witnesses() {
     assert!(mach.verify().matches_paper());
 
     // Solve R̄(R(Π)) on the tree and convert to Π⁺ (Lemma 8's 0-round map).
-    let check = mach
-        .end_to_end(&tree, 5)
-        .unwrap()
-        .expect("R̄(R(Π)) solvable on the tree");
+    let check = mach.end_to_end(&tree, 5).unwrap().expect("R̄(R(Π)) solvable on the tree");
     assert!(check.is_ok(), "{check:?}");
 
     // Now the Lemma 9 conversion on an actual Π⁺ solution.
@@ -40,25 +37,15 @@ fn one_full_chain_step_with_witnesses() {
         transforms::lemma9_transform(&params, &tree, &coloring, &plus_sol).unwrap();
     assert_eq!(next, params.corollary10_step());
     let pi_next = family::pi(&next).unwrap();
-    convert::check_labeling(
-        &pi_next,
-        &tree,
-        &converted,
-        convert::BoundaryPolicy::InteriorOnly,
-    )
-    .unwrap();
+    convert::check_labeling(&pi_next, &tree, &converted, convert::BoundaryPolicy::InteriorOnly)
+        .unwrap();
 
     // And Lemma 11 down to the paper-schedule parameters.
     let scheduled = PiParams { delta: 4, a: next.a.min(1), x: next.x };
     let relaxed = transforms::lemma11_relax(&next, &scheduled, &tree, &converted).unwrap();
     let pi_sched = family::pi(&scheduled).unwrap();
-    convert::check_labeling(
-        &pi_sched,
-        &tree,
-        &relaxed,
-        convert::BoundaryPolicy::InteriorOnly,
-    )
-    .unwrap();
+    convert::check_labeling(&pi_sched, &tree, &relaxed, convert::BoundaryPolicy::InteriorOnly)
+        .unwrap();
 }
 
 /// Lemma 12 holds along every chain the bound evaluators use.
@@ -115,10 +102,7 @@ fn sinkless_orientation_anchor() {
     let strict = sinkless::sinkless_orientation_strict_edges(4).unwrap();
     let (_, rr) = rr_step(&strict).unwrap();
     let (reduced, _) = rr.problem.drop_unused_labels();
-    assert!(iso::isomorphic(
-        &reduced,
-        &sinkless::sinkless_orientation(4).unwrap()
-    ));
+    assert!(iso::isomorphic(&reduced, &sinkless::sinkless_orientation(4).unwrap()));
 }
 
 /// Theorem 1 / Corollary 2 arithmetic stays consistent with the chains.
@@ -144,11 +128,8 @@ fn bounds_consistent_with_chains() {
 fn growth_contrast_between_naive_and_family() {
     let mis = family::mis(3).unwrap();
     let (r1, rr1) = rr_step(&mis).unwrap();
-    let naive_labels = [
-        mis.alphabet().len(),
-        r1.problem.alphabet().len(),
-        rr1.problem.alphabet().len(),
-    ];
+    let naive_labels =
+        [mis.alphabet().len(), r1.problem.alphabet().len(), rr1.problem.alphabet().len()];
     assert!(naive_labels[2] > naive_labels[0], "{naive_labels:?}");
 
     // The family: R(Π) has exactly 8 labels at every valid parameter point.

@@ -340,10 +340,7 @@ fn random_problem(num_labels: u8, delta: u32, node_mask: u64, edge_mask: u64) ->
     Problem::new(alphabet, node, edge).ok()
 }
 
-fn multisets(
-    set: mis_domset_lb::relim::LabelSet,
-    k: u32,
-) -> Vec<mis_domset_lb::relim::Config> {
+fn multisets(set: mis_domset_lb::relim::LabelSet, k: u32) -> Vec<mis_domset_lb::relim::Config> {
     use mis_domset_lb::relim::{Config, Label};
     let labels: Vec<Label> = set.iter().collect();
     let mut out = Vec::new();

@@ -1,0 +1,144 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses:
+//! [`Criterion::bench_function`], [`Bencher::iter`], `sample_size`,
+//! [`black_box`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors this shim instead of the real crate (see
+//! `vendor/README.md`). It is a wall-clock timer, not a statistics
+//! engine: each benchmark runs `sample_size` timed samples after one
+//! warm-up sample and reports min / median / max per-iteration time.
+//! Good enough to (a) keep all 15 bench targets compiling and running in
+//! CI and (b) spot order-of-magnitude regressions; swap in the real
+//! criterion when the environment gains registry access.
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver (a wall-clock shim of `criterion::Criterion`).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10, measurement_iters: 1 }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark (min 1).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Number of closure iterations per sample (min 1).
+    pub fn measurement_iters(mut self, n: u64) -> Self {
+        self.measurement_iters = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark and prints a one-line summary.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size + 1);
+        // One warm-up sample plus `sample_size` recorded samples.
+        for _ in 0..=self.sample_size {
+            let mut b = Bencher { iters: self.measurement_iters, elapsed: Duration::ZERO };
+            f(&mut b);
+            samples.push(b.per_iter());
+        }
+        samples.remove(0);
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        println!(
+            "bench {id:<44} median {:>12?}  (min {:?}, max {:?}, samples {})",
+            median,
+            samples[0],
+            samples[samples.len() - 1],
+            samples.len()
+        );
+        self
+    }
+}
+
+/// Times closures for one sample.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` runs of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    fn per_iter(&self) -> Duration {
+        self.elapsed / (self.iters.max(1) as u32)
+    }
+}
+
+/// Declares a benchmark group, in either the plain or the `name = ...,
+/// config = ..., targets = ...` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("noop_sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(3);
+        targets = sample_bench
+    }
+
+    #[test]
+    fn group_runs() {
+        benches();
+    }
+
+    #[test]
+    fn plain_form_compiles() {
+        criterion_group!(plain, sample_bench);
+        plain();
+    }
+}

@@ -1,0 +1,313 @@
+//! Offline stand-in for the subset of the `rand` 0.8 API this workspace
+//! uses: `rngs::StdRng`, [`SeedableRng`], [`Rng`] (`gen`, `gen_range`,
+//! `gen_bool`) and [`seq::SliceRandom`] (`shuffle`, `choose`).
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors this shim instead of the real crate (see
+//! `vendor/README.md`). The generator is xoshiro256++ seeded via SplitMix64;
+//! it is deterministic for a given seed, which is exactly the property the
+//! simulator and tests rely on. It makes **no** cryptographic claims, and
+//! its streams differ from the real `StdRng` (ChaCha12) — only the API
+//! contract is preserved.
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core entropy source: everything is derived from `next_u64`.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Construction of RNGs from seeds (the `rand` 0.8 trait, trimmed).
+pub trait SeedableRng: Sized {
+    /// The raw seed type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Builds the RNG from a raw byte seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the RNG from a `u64`, expanding it with SplitMix64 —
+    /// different `u64` seeds give unrelated streams.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            // SplitMix64 step (public-domain constants).
+            state = state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^= z >> 31;
+            for (b, s) in chunk.iter_mut().zip(z.to_le_bytes()) {
+                *b = s;
+            }
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types producible by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Samples a uniform value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Integer types usable with [`Rng::gen_range`].
+pub trait SampleUniform: Copy {
+    /// Uniform sample from `[low, high]` (both inclusive).
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low <= high, "gen_range: empty range");
+                let span = (high as i128 - low as i128) as u128 + 1;
+                // Modulo bias is ≤ span/2^64 — irrelevant for simulation use.
+                let offset = (rng.next_u64() as u128) % span;
+                (low as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws a uniform sample from the range.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd + OneStep> SampleRange<T> for Range<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_inclusive(rng, self.start, self.end.back_one())
+    }
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for RangeInclusive<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+/// Helper: predecessor, for converting `a..b` to `a..=b-1`.
+pub trait OneStep {
+    /// `self - 1`.
+    fn back_one(self) -> Self;
+}
+
+macro_rules! impl_one_step {
+    ($($t:ty),*) => {$(
+        impl OneStep for $t {
+            fn back_one(self) -> Self { self - 1 }
+        }
+    )*};
+}
+impl_one_step!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// User-facing convenience methods (the `rand` 0.8 `Rng` trait, trimmed).
+pub trait Rng: RngCore {
+    /// A uniform value of type `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// A uniform value in `range` (`a..b` or `a..=b`).
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p must be in [0, 1]");
+        <f64 as Standard>::sample(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! Concrete generators.
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic seedable generator (xoshiro256++ in this shim; the
+    /// real `rand` uses ChaCha12 — streams differ, the API does not).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256++ (Blackman & Vigna, public domain).
+            let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks(8).enumerate() {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(chunk);
+                s[i] = u64::from_le_bytes(b);
+            }
+            // All-zero state is a fixed point of xoshiro; nudge it.
+            if s == [0; 4] {
+                s = [0x9e3779b97f4a7c15, 1, 2, 3];
+            }
+            StdRng { s }
+        }
+    }
+
+    /// Alias: the shim's `SmallRng` is the same generator.
+    pub type SmallRng = StdRng;
+}
+
+pub mod seq {
+    //! Slice sampling helpers (`rand::seq`, trimmed).
+    use super::RngCore;
+
+    /// Shuffling and choosing on slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// A uniformly chosen element, `None` on an empty slice.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get((rng.next_u64() % self.len() as u64) as usize)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let va: Vec<u64> = (0..16).map(|_| a.gen()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.gen()).collect();
+        assert_eq!(va, vb);
+        let mut c = StdRng::seed_from_u64(8);
+        let vc: Vec<u64> = (0..16).map(|_| c.gen()).collect();
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: usize = rng.gen_range(0..10);
+            assert!(x < 10);
+            let y: u64 = rng.gen_range(1..=5);
+            assert!((1..=5).contains(&y));
+            let z: i32 = rng.gen_range(-3..3);
+            assert!((-3..3).contains(&z));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements virtually never shuffle to identity");
+    }
+
+    #[test]
+    fn f64_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+}
