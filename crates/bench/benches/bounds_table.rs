@@ -4,20 +4,24 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use lb_family::bounds;
 
 fn print_tables() {
-    for n in [1e6, 1e9, 1e15] {
-        println!("\n[E10/Theorem 1] bounds at n = {n:.0e}:");
-        println!(
-            "{:>10} {:>5} {:>10} {:>10} {:>12} {:>12}",
+    let pool = bench::shared_pool();
+    let ns = [1e6, 1e9, 1e15];
+    for section in pool.map(&ns, |&n| {
+        let mut out = format!(
+            "\n[E10/Theorem 1] bounds at n = {n:.0e}:\n{:>10} {:>5} {:>10} {:>10} {:>12} {:>12}\n",
             "Delta", "t", "logD(n)", "det LB", "logD(logn)", "rand LB"
         );
         for row in
             bounds::theorem1_table(n, &[4, 16, 64, 256, 1024, 4096, 1 << 14, 1 << 18, 1 << 22], 0)
         {
-            println!(
-                "{:>10} {:>5} {:>10.2} {:>10.2} {:>12.3} {:>12.3}",
+            out.push_str(&format!(
+                "{:>10} {:>5} {:>10.2} {:>10.2} {:>12.3} {:>12.3}\n",
                 row.delta, row.t, row.det_cap, row.det_bound, row.rand_cap, row.rand_bound
-            );
+            ));
         }
+        out
+    }) {
+        print!("{section}");
     }
 
     println!("\n[E10b/Corollary 2] balanced-degree bounds:");
@@ -25,11 +29,12 @@ fn print_tables() {
         "{:>10} {:>10} {:>10} {:>10} {:>12} {:>12}",
         "n", "D*_det", "det", "sqrt(logn)", "D*_rand", "rand"
     );
-    for exp in [6, 9, 12, 18, 24, 30, 40, 60] {
+    let exps = [6, 9, 12, 18, 24, 30, 40, 60];
+    for row in pool.map(&exps, |&exp| {
         let n = 10f64.powi(exp);
         let (dd, bd) = bounds::corollary2_det(n);
         let (dr, br) = bounds::corollary2_rand(n);
-        println!(
+        format!(
             "{:>10.0e} {:>10} {:>10.2} {:>10.2} {:>12} {:>12.3}",
             n,
             dd,
@@ -37,7 +42,9 @@ fn print_tables() {
             n.log2().sqrt(),
             dr,
             br
-        );
+        )
+    }) {
+        println!("{row}");
     }
 }
 

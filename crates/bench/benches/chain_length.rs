@@ -10,10 +10,12 @@ fn print_tables() {
         "{:>12} {:>8} {:>8} {:>10} {:>10} {:>7}",
         "Delta", "t_paper", "t_exact", "paper/log2", "exact/log2", "sound"
     );
+    let pool = bench::shared_pool();
     let deltas: Vec<u32> = (3..=30).map(|e| 1u32 << e).collect();
-    for row in sequence::chain_length_table(&deltas, 0) {
+    let table = sequence::chain_length_table(&deltas, 0);
+    for row in pool.map(&table, |row| {
         let chain = sequence::paper_chain(row.delta, 0);
-        println!(
+        format!(
             "{:>12} {:>8} {:>8} {:>10.3} {:>10.3} {:>7}",
             row.delta,
             row.paper_t,
@@ -21,18 +23,23 @@ fn print_tables() {
             row.paper_slope,
             row.exact_slope,
             sequence::chain_transitions_sound(&chain)
-        );
+        )
+    }) {
+        println!("{row}");
     }
 
     println!("\n[E9b] chain length vs k at Delta = 2^20:");
     println!("{:>6} {:>8} {:>8}", "k", "t_paper", "t_exact");
-    for k in [0u32, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024] {
-        println!(
+    let ks = [0u32, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
+    for row in pool.map(&ks, |&k| {
+        format!(
             "{:>6} {:>8} {:>8}",
             k,
             sequence::paper_chain(1 << 20, k).length(),
             sequence::exact_chain(1 << 20, k).length()
-        );
+        )
+    }) {
+        println!("{row}");
     }
 }
 

@@ -6,26 +6,43 @@ use lb_family::family::{self, PiParams};
 use lb_family::lemma6;
 use relim_core::diagram::StrengthOrder;
 
+/// The three figure sections, as one grid submitted to the shared pool.
+enum Figure {
+    MisEdge,
+    PiEdge,
+    RPiNode,
+}
+
 fn print_tables() {
-    let mis = family::mis(3).expect("valid");
-    let order = StrengthOrder::of_constraint(mis.edge(), 3);
-    println!("\n[E1/Figure 1] MIS edge diagram Hasse edges:");
-    for (a, b) in order.hasse_edges() {
-        println!("  {} -> {}", mis.alphabet().name(a), mis.alphabet().name(b));
-    }
-
-    let pi = family::pi(&PiParams { delta: 8, a: 5, x: 1 }).expect("valid");
-    let order = StrengthOrder::of_constraint(pi.edge(), 5);
-    println!("[E3/Figure 4] Pi edge diagram Hasse edges:");
-    for (a, b) in order.hasse_edges() {
-        println!("  {} -> {}", pi.alphabet().name(a), pi.alphabet().name(b));
-    }
-
-    let claimed = lemma6::claimed_r_of_pi(&PiParams { delta: 8, a: 5, x: 1 }).expect("valid");
-    let order = StrengthOrder::of_constraint(claimed.node(), 8);
-    println!("[Figure 5] R(Pi) node diagram Hasse edges:");
-    for (a, b) in order.hasse_edges() {
-        println!("  {} -> {}", claimed.alphabet().name(a), claimed.alphabet().name(b));
+    let figures = [Figure::MisEdge, Figure::PiEdge, Figure::RPiNode];
+    for section in bench::shared_pool().map(&figures, |figure| {
+        let (header, problem, constraint_is_node, n) = match figure {
+            Figure::MisEdge => {
+                ("\n[E1/Figure 1] MIS edge diagram Hasse edges:", family::mis(3), false, 3)
+            }
+            Figure::PiEdge => (
+                "[E3/Figure 4] Pi edge diagram Hasse edges:",
+                family::pi(&PiParams { delta: 8, a: 5, x: 1 }),
+                false,
+                5,
+            ),
+            Figure::RPiNode => (
+                "[Figure 5] R(Pi) node diagram Hasse edges:",
+                lemma6::claimed_r_of_pi(&PiParams { delta: 8, a: 5, x: 1 }),
+                true,
+                8,
+            ),
+        };
+        let p = problem.expect("valid");
+        let order =
+            StrengthOrder::of_constraint(if constraint_is_node { p.node() } else { p.edge() }, n);
+        let mut out = format!("{header}\n");
+        for (a, b) in order.hasse_edges() {
+            out.push_str(&format!("  {} -> {}\n", p.alphabet().name(a), p.alphabet().name(b)));
+        }
+        out
+    }) {
+        print!("{section}");
     }
 }
 

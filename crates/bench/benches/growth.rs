@@ -17,8 +17,11 @@ fn print_tables() {
         current.node().len(),
         current.edge().len()
     );
+    // The growth chain is inherently sequential; each step still shards
+    // its universal sides over the shared pool.
+    let pool = bench::shared_pool();
     for step_idx in 1..=2 {
-        match rr_step(&current) {
+        match relim_core::roundelim::rr_step_with(&current, &pool) {
             Ok((_, rr)) => {
                 let (reduced, _) = rr.problem.drop_unused_labels();
                 println!(
@@ -43,11 +46,14 @@ fn print_tables() {
 
     println!("\n[E13b] the family's alphabet stays constant under R(.):");
     println!("{:>4} {:>3} {:>3} {:>14}", "D", "a", "x", "labels of R(Pi)");
-    for (delta, a, x) in [(4u32, 3u32, 0u32), (6, 4, 1), (8, 6, 2), (10, 8, 3)] {
+    let grid = [(4u32, 3u32, 0u32), (6, 4, 1), (8, 6, 2), (10, 8, 3)];
+    for row in bench::shared_pool().map(&grid, |&(delta, a, x)| {
         let pi = family::pi(&PiParams { delta, a, x }).expect("valid");
         let step = r_step(&pi).expect("non-degenerate");
-        println!("{:>4} {:>3} {:>3} {:>14}", delta, a, x, step.problem.alphabet().len());
         assert_eq!(step.problem.alphabet().len(), 8);
+        format!("{:>4} {:>3} {:>3} {:>14}", delta, a, x, step.problem.alphabet().len())
+    }) {
+        println!("{row}");
     }
 }
 

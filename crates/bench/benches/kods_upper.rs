@@ -11,25 +11,29 @@ fn print_tables() {
         "{:>4} {:>4} {:>7} {:>9} {:>9} {:>9} {:>9} {:>7}",
         "D", "k", "n", "buckets", "coloring", "bucket", "sweep", "|S|"
     );
-    for delta in [4usize, 6, 8, 10] {
+    let pool = bench::shared_pool();
+    let grid: Vec<(usize, usize)> = [4usize, 6, 8, 10]
+        .into_iter()
+        .flat_map(|delta| [0usize, 1, 2, delta / 2, delta].map(|k| (delta, k)))
+        .collect();
+    for row in pool.map(&grid, |&(delta, k)| {
         let depth = if delta >= 8 { 2 } else { 3 };
         let tree = trees::complete_regular_tree(delta, depth).expect("tree");
-        for k in [0usize, 1, 2, delta / 2, delta] {
-            let rep = k_outdegree_domset(&tree, k, 5).expect("pipeline");
-            checkers::check_k_outdegree_domset(&tree, &rep.in_set, &rep.orientation, k)
-                .expect("valid");
-            println!(
-                "{:>4} {:>4} {:>7} {:>9} {:>9} {:>9} {:>9} {:>7}",
-                delta,
-                k,
-                tree.n(),
-                rep.buckets,
-                rep.rounds.coloring,
-                rep.rounds.bucketing,
-                rep.rounds.sweep,
-                rep.in_set.iter().filter(|&&b| b).count()
-            );
-        }
+        let rep = k_outdegree_domset(&tree, k, 5).expect("pipeline");
+        checkers::check_k_outdegree_domset(&tree, &rep.in_set, &rep.orientation, k).expect("valid");
+        format!(
+            "{:>4} {:>4} {:>7} {:>9} {:>9} {:>9} {:>9} {:>7}",
+            delta,
+            k,
+            tree.n(),
+            rep.buckets,
+            rep.rounds.coloring,
+            rep.rounds.bucketing,
+            rep.rounds.sweep,
+            rep.in_set.iter().filter(|&&b| b).count()
+        )
+    }) {
+        println!("{row}");
     }
     println!("(sweep <= buckets + 2 = Delta/(k+1) + O(1); trees resolve early, so the");
     println!(" worst-case Delta/k shape lives in the buckets column)");
@@ -41,23 +45,27 @@ fn print_tables() {
         "{:>4} {:>4} {:>7} {:>12} {:>9} {:>9} {:>9}",
         "D", "k", "n", "def-colors", "coloring", "bucket", "sweep"
     );
-    for delta in [4usize, 6, 8] {
+    let degree_grid: Vec<(usize, usize)> = [4usize, 6, 8]
+        .into_iter()
+        .flat_map(|delta| [1usize, 2, delta / 2].map(|k| (delta, k)))
+        .collect();
+    for row in pool.map(&degree_grid, |&(delta, k)| {
         let depth = if delta >= 8 { 2 } else { 3 };
         let tree = trees::complete_regular_tree(delta, depth).expect("tree");
-        for k in [1usize, 2, delta / 2] {
-            let rep = k_degree_domset(&tree, k, 5).expect("pipeline");
-            checkers::check_k_degree_domset(&tree, &rep.in_set, k).expect("valid");
-            println!(
-                "{:>4} {:>4} {:>7} {:>12} {:>9} {:>9} {:>9}",
-                delta,
-                k,
-                tree.n(),
-                rep.defective_colors,
-                rep.rounds.coloring,
-                rep.rounds.bucketing,
-                rep.rounds.sweep,
-            );
-        }
+        let rep = k_degree_domset(&tree, k, 5).expect("pipeline");
+        checkers::check_k_degree_domset(&tree, &rep.in_set, k).expect("valid");
+        format!(
+            "{:>4} {:>4} {:>7} {:>12} {:>9} {:>9} {:>9}",
+            delta,
+            k,
+            tree.n(),
+            rep.defective_colors,
+            rep.rounds.coloring,
+            rep.rounds.bucketing,
+            rep.rounds.sweep,
+        )
+    }) {
+        println!("{row}");
     }
     println!("(def-colors shrinks as k grows: the (Δ/k)² palette shape)");
 
@@ -67,12 +75,15 @@ fn print_tables() {
     println!("\n[E11b] adversarial class assignment: measured sweep rounds = class count:");
     println!("{:>9} {:>9}", "classes", "rounds");
     let tree = trees::complete_regular_tree(4, 3).expect("tree");
-    for classes in [2usize, 4, 8, 16, 32] {
+    let class_counts = [2usize, 4, 8, 16, 32];
+    for row in pool.map(&class_counts, |&classes| {
         let assignment = vec![classes - 1; tree.n()];
         let (in_set, rounds) =
             local_algos::sweep::class_sweep(&tree, &assignment, classes, 0).expect("sweep");
         assert!(in_set.iter().all(|&b| b), "everyone joins in the last class");
-        println!("{:>9} {:>9}", classes, rounds);
+        format!("{:>9} {:>9}", classes, rounds)
+    }) {
+        println!("{row}");
     }
 }
 

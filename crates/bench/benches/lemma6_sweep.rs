@@ -1,6 +1,7 @@
 //! E4: Lemma 6 verification sweep — the engine's `R(Π_Δ(a,x))` equals the
 //! paper's 8-label problem at every valid parameter point.
 
+use bench::shared_pool;
 use criterion::{criterion_group, criterion_main, Criterion};
 use lb_family::family::PiParams;
 use lb_family::lemma6;
@@ -8,12 +9,16 @@ use lb_family::lemma6;
 fn print_tables() {
     println!("\n[E4/Lemma 6] verification sweep:");
     println!("{:>4} {:>8} {:>8} {:>14}", "D", "points", "passed", "max |N(R(Pi))|");
-    for delta in 3..=9 {
-        let reports = lemma6::verify_sweep(delta).expect("sweep");
+    let pool = shared_pool();
+    let deltas: Vec<u32> = (3..=9).collect();
+    for row in pool.map(&deltas, |&delta| {
+        let reports = lemma6::verify_sweep_with(delta, &pool).expect("sweep");
         let passed = reports.iter().filter(|r| r.matches_paper()).count();
         let max_n = reports.iter().map(|r| r.node_config_count).max().unwrap_or(0);
-        println!("{:>4} {:>8} {:>8} {:>14}", delta, reports.len(), passed, max_n);
         assert_eq!(passed, reports.len(), "Lemma 6 must verify everywhere");
+        format!("{:>4} {:>8} {:>8} {:>14}", delta, reports.len(), passed, max_n)
+    }) {
+        println!("{row}");
     }
 }
 

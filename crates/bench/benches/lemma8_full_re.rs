@@ -1,6 +1,7 @@
 //! E5: the full `R̄(R(Π_Δ(a,x)))` computation and its Lemma 8 relaxation —
 //! the step the paper reasons about without computing, done exactly.
 
+use bench::shared_pool;
 use criterion::{criterion_group, criterion_main, Criterion};
 use lb_family::family::PiParams;
 use lb_family::lemma8::Lemma8Machinery;
@@ -11,7 +12,8 @@ fn print_tables() {
         "{:>4} {:>3} {:>3} {:>9} {:>8} {:>9} {:>9}",
         "D", "a", "x", "|Sigma''|", "|N''|", "relaxes", "rel=plus"
     );
-    for (delta, a, x) in [
+    let pool = shared_pool();
+    let grid: Vec<PiParams> = [
         (3u32, 2u32, 0u32),
         (4, 2, 0),
         (4, 3, 0),
@@ -22,24 +24,28 @@ fn print_tables() {
         (5, 3, 0),
         (5, 4, 1),
         (5, 5, 2),
-    ] {
-        let params = PiParams { delta, a, x };
-        if !params.lemma6_applicable() {
-            continue;
-        }
-        let mach = Lemma8Machinery::compute(&params).expect("compute");
+    ]
+    .into_iter()
+    .map(|(delta, a, x)| PiParams { delta, a, x })
+    .filter(PiParams::lemma6_applicable)
+    .collect();
+    // The grid is submitted to the shared pool; rows print in grid order.
+    for row in pool.map(&grid, |params| {
+        let mach = Lemma8Machinery::compute_with(params, &pool).expect("compute");
         let report = mach.verify();
-        println!(
+        assert!(report.matches_paper(), "Lemma 8 must verify at {params:?}");
+        format!(
             "{:>4} {:>3} {:>3} {:>9} {:>8} {:>9} {:>9}",
-            delta,
-            a,
-            x,
+            params.delta,
+            params.a,
+            params.x,
             report.rr_label_count,
             report.rr_node_config_count,
             report.all_node_configs_relax,
             report.pi_rel_equals_pi_plus
-        );
-        assert!(report.matches_paper(), "Lemma 8 must verify at {params:?}");
+        )
+    }) {
+        println!("{row}");
     }
 }
 

@@ -11,32 +11,35 @@ use local_sim::{edge_coloring, trees};
 fn print_tables() {
     println!("\n[E6/Lemma 9] transform validity across parameters:");
     println!("{:>4} {:>3} {:>3} {:>8} {:>10} {:>8}", "D", "a", "x", "n", "next(a,x)", "valid");
-    for (delta, a, x) in [(4u32, 3u32, 0u32), (4, 3, 1), (5, 4, 0), (5, 5, 1), (6, 5, 2), (6, 6, 1)]
-    {
-        let params = PiParams { delta, a, x };
-        if 2 * x + 1 > a || a < x + 1 {
-            continue;
-        }
-        let plus = family::pi_plus(&params).expect("valid");
+    let grid: Vec<PiParams> =
+        [(4u32, 3u32, 0u32), (4, 3, 1), (5, 4, 0), (5, 5, 1), (6, 5, 2), (6, 6, 1)]
+            .into_iter()
+            .map(|(delta, a, x)| PiParams { delta, a, x })
+            .filter(|p| 2 * p.x < p.a && p.a > p.x)
+            .collect();
+    for row in bench::shared_pool().map(&grid, |params| {
+        let plus = family::pi_plus(params).expect("valid");
         let inst = convert::to_lcl(&plus, LeafPolicy::SubMultiset).expect("convert");
-        let tree = trees::complete_regular_tree(delta as usize, 3).expect("tree");
+        let tree = trees::complete_regular_tree(params.delta as usize, 3).expect("tree");
         let coloring = edge_coloring::tree_edge_coloring(&tree).expect("coloring");
         let sol = inst.solve(&tree, 5).expect("tree").expect("solvable");
         let (out, next) =
-            transforms::lemma9_transform(&params, &tree, &coloring, &sol).expect("transform");
+            transforms::lemma9_transform(params, &tree, &coloring, &sol).expect("transform");
         let target = family::pi(&next).expect("valid");
         let valid =
             convert::check_labeling(&target, &tree, &out, BoundaryPolicy::InteriorOnly).is_ok();
-        println!(
+        assert!(valid);
+        format!(
             "{:>4} {:>3} {:>3} {:>8} {:>10} {:>8}",
-            delta,
-            a,
-            x,
+            params.delta,
+            params.a,
+            params.x,
             tree.n(),
             format!("({},{})", next.a, next.x),
             valid
-        );
-        assert!(valid);
+        )
+    }) {
+        println!("{row}");
     }
 }
 

@@ -20,56 +20,64 @@ use relim_core::zeroround;
 fn print_matching_landscape() {
     println!("\n[E19a] b-matching triviality landscape (0-round solvability):");
     println!("{:>4} {:>3} {:>10} {:>22}", "Δ", "b", "bare PN", "given Δ-edge coloring");
-    for delta in [3u32, 4, 5] {
-        for b in 1..=delta {
-            let p = matchings::maximal_b_matching_problem(delta, b).expect("valid");
-            println!(
-                "{:>4} {:>3} {:>10} {:>22}",
-                delta,
-                b,
-                if zeroround::solvable_pn_universal(&p) { "yes" } else { "no" },
-                if zeroround::solvable_deterministically(&p) { "yes" } else { "no" }
-            );
-        }
+    let grid: Vec<(u32, u32)> =
+        [3u32, 4, 5].into_iter().flat_map(|delta| (1..=delta).map(move |b| (delta, b))).collect();
+    for row in bench::shared_pool().map(&grid, |&(delta, b)| {
+        let p = matchings::maximal_b_matching_problem(delta, b).expect("valid");
+        format!(
+            "{:>4} {:>3} {:>10} {:>22}",
+            delta,
+            b,
+            if zeroround::solvable_pn_universal(&p) { "yes" } else { "no" },
+            if zeroround::solvable_deterministically(&p) { "yes" } else { "no" }
+        )
+    }) {
+        println!("{row}");
     }
 }
 
 fn print_matching_chains() {
     println!("\n[E19b] automatic chains for maximal matching (universal criterion):");
     println!("{:>4} {:>7} {:>10} {:>8}", "Δ", "budget", "certified", "replay");
-    for delta in [3u32, 4] {
+    let deltas = [3u32, 4];
+    for row in bench::shared_pool().map(&deltas, |&delta| {
         let mm = matchings::maximal_matching_problem(delta).expect("valid");
         let opts =
             AutoLbOptions { max_steps: 2, label_budget: 6, triviality: Triviality::Universal };
         let outcome = autolb::auto_lower_bound(&mm, &opts);
         let replay = autolb::verify_chain(&outcome).is_ok();
-        println!(
+        format!(
             "{:>4} {:>7} {:>10} {:>8}",
             delta,
             opts.label_budget,
             outcome.certified_rounds,
             if replay { "ok" } else { "FAIL" }
-        );
+        )
+    }) {
+        println!("{row}");
     }
 }
 
 fn print_hso_fixed_points() {
     println!("\n[E19c] hypergraph sinkless orientation under one full biregular step:");
     println!("{:>10} {:>8} {:>8} {:>8} {:>8}", "(δ_B,δ_W)", "|Σ|→", "|B|→", "|W|→", "trivial");
-    for (db, dw) in [(3u32, 2u32), (3, 3), (4, 3), (3, 4)] {
+    let grid = [(3u32, 2u32), (3, 3), (4, 3), (3, 4)];
+    for row in bench::shared_pool().map(&grid, |&(db, dw)| {
         let black = format!("O{}", " I".repeat(db as usize - 1));
         let white = format!("[O I]{}", " I".repeat(dw as usize - 1));
         let hso = BiregularProblem::from_text(&black, &white).expect("valid");
         let (_, step) = biregular::full_step(&hso).expect("steps");
         let q = &step.problem;
-        println!(
+        format!(
             "{:>10} {:>8} {:>8} {:>8} {:>8}",
             format!("({db},{dw})"),
             format!("{}→{}", hso.alphabet().len(), q.alphabet().len()),
             format!("{}→{}", hso.black().len(), q.black().len()),
             format!("{}→{}", hso.white().len(), q.white().len()),
             if biregular::trivial_black(q).is_some() { "yes" } else { "no" }
-        );
+        )
+    }) {
+        println!("{row}");
     }
 }
 

@@ -11,7 +11,9 @@ fn print_tables() {
         "{:>4} {:>7} {:>10} {:>10} {:>10} {:>12}",
         "D", "n", "det total", "det sweep", "d+1 sweep", "Luby (avg5)"
     );
-    for delta in [3usize, 4, 5, 6, 8] {
+    let pool = bench::shared_pool();
+    let deltas = [3usize, 4, 5, 6, 8];
+    for row in pool.map(&deltas, |&delta| {
         let depth = if delta >= 6 { 2 } else { 3 };
         let tree = trees::complete_regular_tree(delta, depth).expect("tree");
         let det = mis_deterministic(&tree, 3).expect("det");
@@ -24,7 +26,7 @@ fn print_tables() {
             checkers::check_mis(&tree, &r.in_set).expect("valid");
             total += r.rounds;
         }
-        println!(
+        format!(
             "{:>4} {:>7} {:>10} {:>10} {:>10} {:>12.1}",
             delta,
             tree.n(),
@@ -32,19 +34,24 @@ fn print_tables() {
             det.rounds.sweep,
             plus1.rounds.sweep,
             total as f64 / 5.0
-        );
+        )
+    }) {
+        println!("{row}");
     }
     println!("(the Δ+1-sweep column grows with Δ; Luby's column tracks log n)");
 
     println!("\n[E12b] Luby rounds vs n on max-degree-4 random trees:");
     println!("{:>8} {:>12}", "n", "Luby (avg5)");
-    for n in [50usize, 200, 800, 3200] {
+    let sizes = [50usize, 200, 800, 3200];
+    for row in pool.map(&sizes, |&n| {
         let tree = trees::random_tree(n, 4, 1).expect("tree");
         let mut total = 0usize;
         for seed in 0..5 {
             total += luby::luby_mis(&tree, seed).expect("luby").rounds;
         }
-        println!("{:>8} {:>12.1}", n, total as f64 / 5.0);
+        format!("{:>8} {:>12.1}", n, total as f64 / 5.0)
+    }) {
+        println!("{row}");
     }
 }
 

@@ -1,6 +1,7 @@
 //! E8: 0-round solvability on the identified-ports gadget (Lemmas 12, 15):
 //! analytic reports plus Monte-Carlo failure rates for uniform strategies.
 
+use bench::shared_pool;
 use criterion::{criterion_group, criterion_main, Criterion};
 use lb_family::family::{self, PiParams};
 use lb_family::zeroround_mc;
@@ -12,12 +13,16 @@ fn print_tables() {
         "{:>4} {:>3} {:>3} {:>9} {:>14} {:>12} {:>12}",
         "D", "a", "x", "det-solv", "analytic LB", "MC rate", "MC any-port"
     );
-    for (delta, a, x) in [(3u32, 2u32, 0u32), (4, 3, 1), (6, 4, 1), (8, 5, 2)] {
+    let pool = shared_pool();
+    let grid = [(3u32, 2u32, 0u32), (4, 3, 1), (6, 4, 1), (8, 5, 2)];
+    for row in pool.map(&grid, |&(delta, a, x)| {
         let p = family::pi(&PiParams { delta, a, x }).expect("valid");
         let report = zeroround::analyze(&p);
-        let mc = zeroround_mc::simulate_uniform(&p, 50_000, 7);
-        let mc_any = zeroround_mc::simulate_uniform_any_port(&p, 50_000, 7);
-        println!(
+        let mc = zeroround_mc::simulate_uniform_with(&p, 50_000, 7, &pool);
+        let mc_any = zeroround_mc::simulate_uniform_any_port_with(&p, 50_000, 7, &pool);
+        assert!(!report.deterministically_solvable);
+        assert!(mc.rate >= report.randomized_failure_lower_bound);
+        format!(
             "{:>4} {:>3} {:>3} {:>9} {:>14.2e} {:>12.4} {:>12.4}",
             delta,
             a,
@@ -26,16 +31,17 @@ fn print_tables() {
             report.randomized_failure_lower_bound,
             mc.rate,
             mc_any.rate
-        );
-        assert!(!report.deterministically_solvable);
-        assert!(mc.rate >= report.randomized_failure_lower_bound);
+        )
+    }) {
+        println!("{row}");
     }
     // MIS rows for comparison.
-    for delta in [3u32, 5] {
+    let mis_deltas = [3u32, 5];
+    for row in pool.map(&mis_deltas, |&delta| {
         let p = family::mis(delta).expect("valid");
         let report = zeroround::analyze(&p);
-        let mc = zeroround_mc::simulate_uniform(&p, 50_000, 7);
-        println!(
+        let mc = zeroround_mc::simulate_uniform_with(&p, 50_000, 7, &pool);
+        format!(
             "{:>4} {:>3} {:>3} {:>9} {:>14.2e} {:>12.4} {:>12}",
             delta,
             "-",
@@ -44,7 +50,9 @@ fn print_tables() {
             report.randomized_failure_lower_bound,
             mc.rate,
             "(MIS)"
-        );
+        )
+    }) {
+        println!("{row}");
     }
 }
 

@@ -1,0 +1,207 @@
+//! The `BENCH_relim.json` baseline: a machine-readable record of the
+//! parallel round-elimination engine's wall-clock behaviour, emitted by
+//! the `bench-driver` binary alongside the human tables.
+//!
+//! Schema (`bench-relim/1`): a header with the thread configuration plus
+//! one entry per kernel, each carrying its parameter assignments, one
+//! timed run per thread count, the parallel speedup
+//! (`wall(1 thread) / wall(N threads)`), and whether the parallel output
+//! was byte-identical to the sequential one (always asserted before the
+//! file is written).
+
+use crate::json::Json;
+
+/// One timed run of a kernel at a fixed thread count.
+#[derive(Debug, Clone)]
+pub struct Run {
+    /// Pool size used.
+    pub threads: usize,
+    /// Median wall-clock nanoseconds across `samples`.
+    pub wall_ns: u64,
+    /// Fastest sample.
+    pub min_ns: u64,
+    /// Slowest sample.
+    pub max_ns: u64,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+/// One kernel's baseline entry.
+#[derive(Debug, Clone)]
+pub struct Entry {
+    /// Stable kernel id, e.g. `lemma8_sweep_d5`.
+    pub id: String,
+    /// Kernel parameters (name, value).
+    pub params: Vec<(String, Json)>,
+    /// Timed runs, one per thread count (sequential first).
+    pub runs: Vec<Run>,
+    /// `wall(threads=1) / wall(threads=N)` for the widest run, when the
+    /// entry was measured at more than one thread count.
+    pub speedup: Option<f64>,
+    /// Whether the parallel result rendered byte-identically to the
+    /// sequential result (`None` for single-configuration kernels).
+    pub byte_identical: Option<bool>,
+}
+
+/// The whole baseline file.
+#[derive(Debug, Clone)]
+pub struct Baseline {
+    /// Whether this was a `--quick` (CI smoke) run.
+    pub quick: bool,
+    /// Parallel thread count the driver was asked to compare against.
+    pub threads: usize,
+    /// Per-kernel entries.
+    pub entries: Vec<Entry>,
+}
+
+impl Entry {
+    fn to_json(&self) -> Json {
+        let runs = self
+            .runs
+            .iter()
+            .map(|r| {
+                Json::Obj(vec![
+                    ("threads".into(), Json::Int(r.threads as i64)),
+                    ("wall_ns".into(), Json::Int(r.wall_ns as i64)),
+                    ("min_ns".into(), Json::Int(r.min_ns as i64)),
+                    ("max_ns".into(), Json::Int(r.max_ns as i64)),
+                    ("samples".into(), Json::Int(r.samples as i64)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("id".into(), Json::str(&self.id)),
+            ("params".into(), Json::Obj(self.params.clone())),
+            ("runs".into(), Json::Arr(runs)),
+            ("speedup".into(), self.speedup.map_or(Json::Null, Json::Float)),
+            ("byte_identical".into(), self.byte_identical.map_or(Json::Null, Json::Bool)),
+        ])
+    }
+}
+
+impl Baseline {
+    /// The file as a JSON value.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema".into(), Json::str("bench-relim/1")),
+            ("generated_by".into(), Json::str("bench-driver")),
+            ("quick".into(), Json::Bool(self.quick)),
+            ("threads".into(), Json::Int(self.threads as i64)),
+            (
+                "available_parallelism".into(),
+                Json::Int(crate::Pool::available_parallelism() as i64),
+            ),
+            ("entries".into(), Json::Arr(self.entries.iter().map(Entry::to_json).collect())),
+        ])
+    }
+
+    /// Writes the baseline to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json().render())
+    }
+
+    /// The human-readable wall-clock table printed next to the file.
+    pub fn render_table(&self) -> String {
+        let mut out = format!(
+            "{:<28} {:>8} {:>14} {:>14} {:>9} {:>10}\n",
+            "kernel", "threads", "median", "min", "speedup", "identical"
+        );
+        for e in &self.entries {
+            for (i, r) in e.runs.iter().enumerate() {
+                let last = i + 1 == e.runs.len();
+                out.push_str(&format!(
+                    "{:<28} {:>8} {:>14} {:>14} {:>9} {:>10}\n",
+                    if i == 0 { e.id.as_str() } else { "" },
+                    r.threads,
+                    format_ns(r.wall_ns),
+                    format_ns(r.min_ns),
+                    match (last, e.speedup) {
+                        (true, Some(s)) => format!("{s:.2}x"),
+                        _ => "-".into(),
+                    },
+                    match (last, e.byte_identical) {
+                        (true, Some(b)) => if b { "yes" } else { "NO" }.into(),
+                        _ => "-".to_owned(),
+                    },
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Renders nanoseconds with an adaptive unit.
+pub fn format_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Baseline {
+        Baseline {
+            quick: true,
+            threads: 4,
+            entries: vec![Entry {
+                id: "lemma8_sweep_d4".into(),
+                params: vec![("delta".into(), Json::Int(4))],
+                runs: vec![
+                    Run {
+                        threads: 1,
+                        wall_ns: 2_000_000,
+                        min_ns: 1_900_000,
+                        max_ns: 2_100_000,
+                        samples: 3,
+                    },
+                    Run {
+                        threads: 4,
+                        wall_ns: 1_000_000,
+                        min_ns: 950_000,
+                        max_ns: 1_200_000,
+                        samples: 3,
+                    },
+                ],
+                speedup: Some(2.0),
+                byte_identical: Some(true),
+            }],
+        }
+    }
+
+    #[test]
+    fn json_shape() {
+        let text = sample().to_json().render();
+        assert!(text.contains("\"schema\": \"bench-relim/1\""));
+        assert!(text.contains("\"id\": \"lemma8_sweep_d4\""));
+        assert!(text.contains("\"speedup\": 2"));
+        assert!(text.contains("\"byte_identical\": true"));
+    }
+
+    #[test]
+    fn table_mentions_speedup_on_last_run_only() {
+        let table = sample().render_table();
+        assert!(table.contains("2.00x"));
+        assert!(table.contains("yes"));
+        assert_eq!(table.matches("2.00x").count(), 1);
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(format_ns(12), "12ns");
+        assert_eq!(format_ns(1_500), "1.50us");
+        assert_eq!(format_ns(2_500_000), "2.50ms");
+        assert_eq!(format_ns(3_210_000_000), "3.210s");
+    }
+}

@@ -1,0 +1,38 @@
+//! Shared infrastructure for the bench crate: the process-wide
+//! work-stealing pool the experiment drivers submit their parameter grids
+//! to, a dependency-free JSON value writer, and the `BENCH_relim.json`
+//! baseline format emitted by the `bench-driver` binary.
+//!
+//! Every driver computes its table rows through [`shared_pool`] (rows are
+//! independent grid points; results come back in grid order, so tables are
+//! byte-identical at any thread count) and prints them afterwards. The
+//! machine-readable counterpart of the wall-clock tables is the
+//! [`baseline`] module.
+
+#![forbid(unsafe_code)]
+
+pub use relim_pool::Pool;
+
+pub mod baseline;
+pub mod json;
+
+/// The pool the bench drivers submit their grids to: `RELIM_THREADS` if
+/// set, otherwise available parallelism.
+pub fn shared_pool() -> Pool {
+    Pool::from_env()
+}
+
+/// Times `samples` runs of `f` and returns (last result, median wall ns,
+/// min wall ns, max wall ns).
+pub fn time_median<R>(samples: usize, mut f: impl FnMut() -> R) -> (R, u64, u64, u64) {
+    assert!(samples > 0);
+    let mut walls: Vec<u64> = Vec::with_capacity(samples);
+    let mut last = None;
+    for _ in 0..samples {
+        let start = std::time::Instant::now();
+        last = Some(std::hint::black_box(f()));
+        walls.push(start.elapsed().as_nanos() as u64);
+    }
+    walls.sort_unstable();
+    (last.expect("samples > 0"), walls[walls.len() / 2], walls[0], walls[walls.len() - 1])
+}

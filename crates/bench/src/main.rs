@@ -1,1 +1,231 @@
-fn main() {}
+//! `bench-driver` — the machine-readable baseline emitter for the
+//! parallel round-elimination engine.
+//!
+//! Runs the engine's hot kernels at 1 thread and at the requested pool
+//! width, asserts the parallel outputs are **byte-identical** to the
+//! sequential ones, prints a wall-clock table, and writes
+//! `BENCH_relim.json` (schema `bench-relim/1`, see `bench::baseline`).
+//!
+//! ```text
+//! bench-driver [--quick] [--threads N] [--out PATH]
+//! ```
+//!
+//! * `--quick`   — CI smoke sizes (Δ=4 sweep, small kernels)
+//! * `--threads` — parallel pool width (default: RELIM_THREADS or
+//!   available parallelism)
+//! * `--out`     — baseline path (default: `BENCH_relim.json`)
+
+use bench::baseline::{Baseline, Entry, Run};
+use bench::json::Json;
+use bench::{time_median, Pool};
+use lb_family::family::{self, PiParams};
+use lb_family::{lemma8, zeroround_mc};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use relim_core::roundelim::{
+    dominance_filter_reference, dominance_filter_with, r_step, rbar_step_with,
+};
+use relim_core::{iterate, Label, LabelSet, SetConfig};
+
+struct Options {
+    quick: bool,
+    threads: usize,
+    out: std::path::PathBuf,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        quick: false,
+        threads: Pool::from_env().threads(),
+        out: std::path::PathBuf::from("BENCH_relim.json"),
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--threads" => {
+                let v = iter.next().ok_or("--threads requires a value")?;
+                opts.threads = v.parse().map_err(|_| format!("bad --threads value `{v}`"))?;
+            }
+            "--out" => {
+                opts.out = iter.next().ok_or("--out requires a value")?.into();
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if opts.threads == 0 {
+        opts.threads = Pool::available_parallelism();
+    }
+    Ok(opts)
+}
+
+/// Times `f` at 1 thread and at `threads`, asserting the rendered outputs
+/// match, and builds the baseline entry.
+fn compare<R>(
+    id: &str,
+    params: Vec<(String, Json)>,
+    threads: usize,
+    samples: usize,
+    f: impl Fn(&Pool) -> R,
+    render: impl Fn(&R) -> String,
+) -> Entry {
+    let sequential = Pool::sequential();
+    let parallel = Pool::new(threads);
+    let (seq_out, seq_med, seq_min, seq_max) = time_median(samples, || f(&sequential));
+    let (par_out, par_med, par_min, par_max) = time_median(samples, || f(&parallel));
+    let identical = render(&par_out) == render(&seq_out);
+    assert!(identical, "{id}: parallel output differs from sequential");
+    Entry {
+        id: id.to_owned(),
+        params,
+        runs: vec![
+            Run { threads: 1, wall_ns: seq_med, min_ns: seq_min, max_ns: seq_max, samples },
+            Run { threads, wall_ns: par_med, min_ns: par_min, max_ns: par_max, samples },
+        ],
+        speedup: Some(seq_med as f64 / par_med.max(1) as f64),
+        byte_identical: Some(identical),
+    }
+}
+
+/// Deterministic synthetic dominance-filter workload: `n` random
+/// degree-`degree` set-configurations over `labels` labels.
+fn synthetic_configs(n: usize, degree: usize, labels: u8, seed: u64) -> Vec<SetConfig> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            SetConfig::new(
+                (0..degree)
+                    .map(|_| {
+                        let mut set = LabelSet::EMPTY;
+                        while set.is_empty() {
+                            for l in 0..labels {
+                                if rng.gen_range(0..3) == 0 {
+                                    set = set.with(Label::new(l));
+                                }
+                            }
+                        }
+                        set
+                    })
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: bench-driver [--quick] [--threads N] [--out PATH]");
+            std::process::exit(2);
+        }
+    };
+    let mut entries = Vec::new();
+
+    // 1. The headline kernel: the Lemma 8 verification sweep (tier-2 at
+    // Δ=5) — the acceptance workload for the parallel engine.
+    let sweep_delta = if opts.quick { 4 } else { 5 };
+    let sweep_samples = if opts.quick { 3 } else { 1 };
+    entries.push(compare(
+        &format!("lemma8_sweep_d{sweep_delta}"),
+        vec![
+            ("delta".into(), Json::Int(i64::from(sweep_delta))),
+            ("points".into(), Json::Int(family::sweep_points(sweep_delta).len() as i64)),
+        ],
+        opts.threads,
+        sweep_samples,
+        |pool| lemma8::verify_sweep_with(sweep_delta, pool).expect("sweep"),
+        |reports| format!("{reports:?}"),
+    ));
+
+    // 2. One R̄ application on the family at the largest unit-suite point:
+    // the raw universal-side enumeration plus dominance filter.
+    let pi = family::pi(&PiParams { delta: 5, a: 4, x: 1 }).expect("valid");
+    let r = r_step(&pi).expect("r step");
+    entries.push(compare(
+        "rbar_step_pi_d5_a4_x1",
+        vec![("labels".into(), Json::Int(r.problem.alphabet().len() as i64))],
+        opts.threads,
+        if opts.quick { 3 } else { 5 },
+        |pool| rbar_step_with(&r.problem, pool).expect("rbar"),
+        |step| format!("{}\n{:?}", step.problem.render(), step.provenance),
+    ));
+
+    // 3. Iterated round elimination on MIS until the label limit.
+    let mis = family::mis(3).expect("valid");
+    entries.push(compare(
+        "iterate_rr_mis_d3",
+        vec![("max_steps".into(), Json::Int(10)), ("label_limit".into(), Json::Int(20))],
+        opts.threads,
+        if opts.quick { 3 } else { 5 },
+        |pool| iterate::iterate_rr_with(&mis, 10, 20, pool),
+        |outcome| format!("{:?}\n{:?}", outcome.stats, outcome.stopped),
+    ));
+
+    // 4. The chunk-sharded Monte-Carlo gadget simulation.
+    let mc_trials: u64 = if opts.quick { 65_536 } else { 1 << 20 };
+    let mc_problem = family::pi(&PiParams { delta: 6, a: 4, x: 1 }).expect("valid");
+    entries.push(compare(
+        "zeroround_mc_uniform",
+        vec![
+            ("trials".into(), Json::Int(mc_trials as i64)),
+            ("chunk".into(), Json::Int(zeroround_mc::CHUNK_TRIALS as i64)),
+        ],
+        opts.threads,
+        if opts.quick { 3 } else { 5 },
+        |pool| zeroround_mc::simulate_uniform_with(&mc_problem, mc_trials, 7, pool),
+        |out| format!("{}/{}", out.failures, out.trials),
+    ));
+
+    // 5. The dominance-filter rewrite: seed's quadratic reference vs the
+    // bucketed pass, sequential and sharded.
+    let n_configs = if opts.quick { 400 } else { 1_500 };
+    let configs = synthetic_configs(n_configs, 4, 6, 2021);
+    let reference = dominance_filter_reference(configs.clone());
+    let (ref_out, ref_med, ref_min, ref_max) =
+        time_median(3, || dominance_filter_reference(configs.clone()));
+    assert_eq!(ref_out, reference);
+    entries.push(Entry {
+        id: "dominance_filter_reference".into(),
+        params: vec![
+            ("configs".into(), Json::Int(n_configs as i64)),
+            ("survivors".into(), Json::Int(reference.len() as i64)),
+        ],
+        runs: vec![Run {
+            threads: 1,
+            wall_ns: ref_med,
+            min_ns: ref_min,
+            max_ns: ref_max,
+            samples: 3,
+        }],
+        speedup: None,
+        byte_identical: None,
+    });
+    let mut bucketed = compare(
+        "dominance_filter_bucketed",
+        vec![("configs".into(), Json::Int(n_configs as i64))],
+        opts.threads,
+        3,
+        |pool| dominance_filter_with(configs.clone(), pool),
+        |survivors| format!("{survivors:?}"),
+    );
+    assert_eq!(bucketed.runs.len(), 2, "bucketed entry carries sequential + parallel runs");
+    let rewrite_speedup = ref_med as f64 / bucketed.runs[0].wall_ns.max(1) as f64;
+    bucketed.params.push(("speedup_vs_reference".into(), Json::Float(rewrite_speedup)));
+    let bucketed_out = dominance_filter_with(configs.clone(), &Pool::sequential());
+    assert_eq!(bucketed_out, reference, "bucketed filter must match the seed reference");
+    entries.push(bucketed);
+
+    let baseline = Baseline { quick: opts.quick, threads: opts.threads, entries };
+    println!("\n[BENCH_relim] parallel engine baseline (1 vs {} threads):", opts.threads);
+    print!("{}", baseline.render_table());
+    println!("dominance rewrite vs seed reference: {rewrite_speedup:.2}x (sequential)");
+    match baseline.write(&opts.out) {
+        Ok(()) => println!("wrote {}", opts.out.display()),
+        Err(e) => {
+            eprintln!("error: failed to write {}: {e}", opts.out.display());
+            std::process::exit(1);
+        }
+    }
+}

@@ -104,6 +104,22 @@ fn line(groups: &[(u8, u32)]) -> Line {
         .expect("family line is non-empty")
 }
 
+/// All `(a, x)` parameter points with Lemma 6's hypothesis
+/// `x + 2 ≤ a ≤ Δ` for one `Δ`, in sweep order (`a` ascending, then `x`) —
+/// the grid the Lemma 6/8 verification sweeps and the bench drivers walk.
+pub fn sweep_points(delta: u32) -> Vec<PiParams> {
+    let mut out = Vec::new();
+    for a in 2..=delta {
+        for x in 0..=a.saturating_sub(2) {
+            let params = PiParams { delta, a, x };
+            if params.lemma6_applicable() {
+                out.push(params);
+            }
+        }
+    }
+    out
+}
+
 /// The problem `Π_Δ(a,x)` (paper §3.1).
 ///
 /// # Errors

@@ -187,16 +187,19 @@ pub fn verify(params: &PiParams) -> Result<Lemma6Report> {
 ///
 /// Propagates engine errors.
 pub fn verify_sweep(delta: u32) -> Result<Vec<Lemma6Report>> {
-    let mut out = Vec::new();
-    for a in 2..=delta {
-        for x in 0..=a.saturating_sub(2) {
-            let params = PiParams { delta, a, x };
-            if params.lemma6_applicable() {
-                out.push(verify(&params)?);
-            }
-        }
-    }
-    Ok(out)
+    verify_sweep_with(delta, &relim_pool::Pool::sequential())
+}
+
+/// [`verify_sweep`] with the `(a, x)` parameter points sharded over `pool`.
+/// Reports come back in sweep order — byte-identical to [`verify_sweep`]
+/// at any thread count.
+///
+/// # Errors
+///
+/// Propagates engine errors (from the earliest failing point).
+pub fn verify_sweep_with(delta: u32, pool: &relim_pool::Pool) -> Result<Vec<Lemma6Report>> {
+    let points = family::sweep_points(delta);
+    pool.try_map(&points, verify)
 }
 
 #[cfg(test)]

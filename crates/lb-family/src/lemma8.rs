@@ -28,8 +28,9 @@ use local_sim::{Graph, PortLabeling};
 use relim_core::error::{RelimError, Result};
 use relim_core::matching::assign_positions;
 use relim_core::relax;
-use relim_core::roundelim::{rr_step, Step};
+use relim_core::roundelim::{rr_step_with, Step};
 use relim_core::{Config, Label, LabelSet, Line, Problem};
+use relim_pool::Pool;
 
 /// The six "super-labels" of `Π_rel`, as right-closed sets of `R(Π)` labels,
 /// ordered to coincide with the `Π⁺` alphabet `[M, P, O, A, X, C]`.
@@ -171,9 +172,20 @@ impl Lemma8Machinery {
     ///
     /// Requires Lemma 6's hypothesis; propagates engine errors.
     pub fn compute(params: &PiParams) -> Result<Self> {
+        Self::compute_with(params, &Pool::sequential())
+    }
+
+    /// [`Lemma8Machinery::compute`] with the exponential `R̄` enumeration and
+    /// dominance filter sharded over `pool`. Byte-identical to the
+    /// sequential computation at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Lemma8Machinery::compute`].
+    pub fn compute_with(params: &PiParams, pool: &Pool) -> Result<Self> {
         let p = family::pi(params)?;
         let rel_lines = pi_rel_node_lines(params)?;
-        let (r, rr) = rr_step(&p)?;
+        let (r, rr) = rr_step_with(&p, pool)?;
         Ok(Lemma8Machinery { params: *params, r, rr, rel_lines })
     }
 
@@ -309,17 +321,23 @@ impl Lemma8Machinery {
 ///
 /// Propagates engine errors.
 pub fn verify_sweep(delta: u32) -> Result<Vec<Lemma8Report>> {
-    let mut out = Vec::new();
-    for a in 2..=delta {
-        for x in 0..=a.saturating_sub(2) {
-            let params = PiParams { delta, a, x };
-            if params.lemma6_applicable() {
-                let mach = Lemma8Machinery::compute(&params)?;
-                out.push(mach.verify());
-            }
-        }
-    }
-    Ok(out)
+    verify_sweep_with(delta, &Pool::sequential())
+}
+
+/// [`verify_sweep`] sharded over `pool`: the `(a, x)` parameter points are
+/// distributed across the workers (uneven point costs are balanced by work
+/// stealing), and each point's engine computation itself uses the pool when
+/// it is the first to reach it. Reports come back in sweep order —
+/// byte-identical to [`verify_sweep`] at any thread count.
+///
+/// # Errors
+///
+/// Propagates engine errors (from the earliest failing point).
+pub fn verify_sweep_with(delta: u32, pool: &Pool) -> Result<Vec<Lemma8Report>> {
+    let points = family::sweep_points(delta);
+    pool.try_map(&points, |params| {
+        Lemma8Machinery::compute_with(params, pool).map(|mach| mach.verify())
+    })
 }
 
 #[cfg(test)]
@@ -346,12 +364,25 @@ mod tests {
     }
 
     #[test]
-    #[ignore = "exponential: run with --ignored in release mode"]
+    #[cfg_attr(
+        not(feature = "exhaustive"),
+        ignore = "exponential: run with --ignored in release mode, or --features exhaustive"
+    )]
     fn lemma8_delta5_sweep_full() {
         let reports = verify_sweep(5).unwrap();
         assert_eq!(reports.len(), 10);
         for report in reports {
             assert!(report.matches_paper(), "failed: {report:?}");
+        }
+    }
+
+    #[test]
+    fn sweep_parallel_matches_sequential() {
+        let seq = verify_sweep(4).unwrap();
+        for threads in [2, 8] {
+            let par = verify_sweep_with(4, &Pool::new(threads)).unwrap();
+            let render = |rs: &[Lemma8Report]| format!("{rs:?}");
+            assert_eq!(render(&par), render(&seq), "threads = {threads}");
         }
     }
 

@@ -7,12 +7,24 @@
 //! draws put an incompatible pair on it. The paper proves every such
 //! algorithm fails with probability `≥ 1/(3Δ)² ≥ 1/Δ⁸`; this module
 //! *measures* failure rates of concrete strategies to illustrate the bound.
+//!
+//! ## Chunked determinism
+//!
+//! Trials are drawn in fixed-size chunks of [`CHUNK_TRIALS`], each chunk
+//! from its own splitmix-derived RNG stream, and failure counts are summed
+//! in chunk order. The chunk — not the thread — is the unit of randomness,
+//! so sharding chunks over a [`Pool`] is byte-identical to the sequential
+//! run at any thread count.
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use relim_core::zeroround;
 use relim_core::{Config, Label, Problem};
+use relim_pool::Pool;
+
+/// Trials per RNG chunk (the unit of parallel sharding).
+pub const CHUNK_TRIALS: u64 = 4096;
 
 /// Outcome of a Monte-Carlo 0-round experiment.
 #[derive(Debug, Clone)]
@@ -28,6 +40,15 @@ pub struct McOutcome {
     pub analytic_lower_bound: f64,
 }
 
+/// Which per-edge failure event a simulation counts.
+#[derive(Debug, Clone, Copy)]
+enum FailureEvent {
+    /// One uniformly random shared port receives an incompatible pair.
+    SinglePort,
+    /// Any of the Δ identified ports receives an incompatible pair.
+    AnyPort,
+}
+
 /// Simulates the uniform strategy on the identified-ports gadget:
 /// both endpoints of an edge independently pick a uniformly random node
 /// configuration and a uniformly random assignment of it to their Δ ports;
@@ -36,24 +57,77 @@ pub struct McOutcome {
 /// Each trial simulates one edge (ports are identified, so one edge
 /// suffices and trials are independent).
 pub fn simulate_uniform(problem: &Problem, trials: u64, seed: u64) -> McOutcome {
-    let mut rng = StdRng::seed_from_u64(seed);
+    simulate_uniform_with(problem, trials, seed, &Pool::sequential())
+}
+
+/// [`simulate_uniform`] with the trial chunks sharded over `pool`.
+/// Byte-identical to the sequential run at any thread count.
+pub fn simulate_uniform_with(problem: &Problem, trials: u64, seed: u64, pool: &Pool) -> McOutcome {
+    simulate(problem, trials, seed, pool, FailureEvent::SinglePort)
+}
+
+/// Like [`simulate_uniform`] but counts an edge as failed if *any* of the Δ
+/// identified ports receives an incompatible pair — the actual per-edge
+/// failure event of the gadget (all Δ ports are shared between the two
+/// endpoints of the respective edges of that color class).
+pub fn simulate_uniform_any_port(problem: &Problem, trials: u64, seed: u64) -> McOutcome {
+    simulate_uniform_any_port_with(problem, trials, seed, &Pool::sequential())
+}
+
+/// [`simulate_uniform_any_port`] with the trial chunks sharded over `pool`.
+/// Byte-identical to the sequential run at any thread count.
+pub fn simulate_uniform_any_port_with(
+    problem: &Problem,
+    trials: u64,
+    seed: u64,
+    pool: &Pool,
+) -> McOutcome {
+    simulate(problem, trials, seed, pool, FailureEvent::AnyPort)
+}
+
+fn simulate(
+    problem: &Problem,
+    trials: u64,
+    seed: u64,
+    pool: &Pool,
+    event: FailureEvent,
+) -> McOutcome {
     let delta = problem.delta() as usize;
     let configs: Vec<Vec<Label>> = problem.node().iter().map(|c| c.iter().collect()).collect();
-    let mut failures = 0u64;
-    let draw = |rng: &mut StdRng| -> Vec<Label> {
-        let mut cfg = configs[rng.gen_range(0..configs.len())].clone();
-        cfg.shuffle(rng);
-        cfg
-    };
-    for _ in 0..trials {
-        let f = draw(&mut rng);
-        let g = draw(&mut rng);
-        let port = rng.gen_range(0..delta);
-        let pair = Config::new(vec![f[port], g[port]]);
-        if !problem.edge().contains(&pair) {
-            failures += 1;
-        }
-    }
+
+    // (chunk index, trials in chunk) — the last chunk may be short.
+    let chunks: Vec<(u64, u64)> = (0..trials.div_ceil(CHUNK_TRIALS))
+        .map(|c| (c, CHUNK_TRIALS.min(trials - c * CHUNK_TRIALS)))
+        .collect();
+    let failures: u64 = pool
+        .map(&chunks, |&(chunk, chunk_trials)| {
+            let mut rng = StdRng::seed_from_u64(chunk_seed(seed, chunk));
+            let draw = |rng: &mut StdRng| -> Vec<Label> {
+                let mut cfg = configs[rng.gen_range(0..configs.len())].clone();
+                cfg.shuffle(rng);
+                cfg
+            };
+            let mut failures = 0u64;
+            for _ in 0..chunk_trials {
+                let f = draw(&mut rng);
+                let g = draw(&mut rng);
+                let bad = match event {
+                    FailureEvent::SinglePort => {
+                        let port = rng.gen_range(0..delta);
+                        !problem.edge().contains(&Config::new(vec![f[port], g[port]]))
+                    }
+                    FailureEvent::AnyPort => (0..delta)
+                        .any(|port| !problem.edge().contains(&Config::new(vec![f[port], g[port]]))),
+                };
+                if bad {
+                    failures += 1;
+                }
+            }
+            failures
+        })
+        .iter()
+        .sum();
+
     let report = zeroround::analyze(problem);
     McOutcome {
         trials,
@@ -63,36 +137,13 @@ pub fn simulate_uniform(problem: &Problem, trials: u64, seed: u64) -> McOutcome 
     }
 }
 
-/// Like [`simulate_uniform`] but counts an edge as failed if *any* of the Δ
-/// identified ports receives an incompatible pair — the actual per-edge
-/// failure event of the gadget (all Δ ports are shared between the two
-/// endpoints of the respective edges of that color class).
-pub fn simulate_uniform_any_port(problem: &Problem, trials: u64, seed: u64) -> McOutcome {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let delta = problem.delta() as usize;
-    let configs: Vec<Vec<Label>> = problem.node().iter().map(|c| c.iter().collect()).collect();
-    let mut failures = 0u64;
-    let draw = |rng: &mut StdRng| -> Vec<Label> {
-        let mut cfg = configs[rng.gen_range(0..configs.len())].clone();
-        cfg.shuffle(rng);
-        cfg
-    };
-    for _ in 0..trials {
-        let f = draw(&mut rng);
-        let g = draw(&mut rng);
-        let bad =
-            (0..delta).any(|port| !problem.edge().contains(&Config::new(vec![f[port], g[port]])));
-        if bad {
-            failures += 1;
-        }
-    }
-    let report = zeroround::analyze(problem);
-    McOutcome {
-        trials,
-        failures,
-        rate: failures as f64 / trials as f64,
-        analytic_lower_bound: report.randomized_failure_lower_bound,
-    }
+/// Splitmix64 of the base seed and the chunk index: decorrelated,
+/// reproducible per-chunk streams.
+fn chunk_seed(seed: u64, chunk: u64) -> u64 {
+    let mut z = seed.wrapping_add(chunk.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 #[cfg(test)]
@@ -131,5 +182,20 @@ mod tests {
         let a = simulate_uniform(&p, 5_000, 42);
         let b = simulate_uniform(&p, 5_000, 42);
         assert_eq!(a.failures, b.failures);
+    }
+
+    #[test]
+    fn sharded_chunks_match_sequential_exactly() {
+        let p = family::mis(3).unwrap();
+        // Cover >1 chunk and a short tail chunk.
+        let trials = 2 * CHUNK_TRIALS + 513;
+        let seq = simulate_uniform(&p, trials, 42);
+        for threads in [2, 8] {
+            let par = simulate_uniform_with(&p, trials, 42, &Pool::new(threads));
+            assert_eq!(par.failures, seq.failures, "threads = {threads}");
+            let par_any = simulate_uniform_any_port_with(&p, trials, 42, &Pool::new(threads));
+            let seq_any = simulate_uniform_any_port(&p, trials, 42);
+            assert_eq!(par_any.failures, seq_any.failures, "threads = {threads}");
+        }
     }
 }

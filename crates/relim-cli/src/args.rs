@@ -45,6 +45,8 @@ const VALUE_KEYS: &[&str] = &[
     "labels",
     "coloring",
     "criterion",
+    "threads",
+    "lemma",
 ];
 
 impl Args {

@@ -7,7 +7,8 @@
 //! relim fixed-point --node ... --edge ... [--max-steps N] [--label-limit L]
 //! relim family      --delta D --a A --x X [--plus]
 //! relim lemma6      --delta D --a A --x X
-//! relim lemma8      --delta D --a A --x X
+//! relim lemma8      --delta D --a A --x X [--threads T]
+//! relim sweep       --delta D [--lemma 6|8] [--threads T]
 //! relim chain       --delta D [--k K] [--exact]
 //! relim bounds      --n N --delta D [--k K]
 //! relim help
@@ -15,6 +16,11 @@
 //!
 //! Constraint strings use the engine's text format; `;` or a literal `\n`
 //! separates configuration lines.
+//!
+//! `--threads T` shards the engine's universal sides and the verification
+//! sweeps over a work-stealing pool (default: available parallelism, or
+//! the `RELIM_THREADS` environment variable). Output is byte-identical at
+//! any thread count.
 
 mod args;
 
@@ -23,6 +29,7 @@ use lb_family::family::{self, PiParams};
 use lb_family::{bounds, lemma6, lemma8, sequence};
 use relim_core::diagram::StrengthOrder;
 use relim_core::{autolb, autoub, condense, iterate, roundelim, zeroround, Problem};
+use relim_pool::Pool;
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -51,6 +58,7 @@ fn run(raw: Vec<String>) -> Result<String, Box<dyn std::error::Error>> {
         Some("family") => cmd_family(&args),
         Some("lemma6") => cmd_lemma6(&args),
         Some("lemma8") => cmd_lemma8(&args),
+        Some("sweep") => cmd_sweep(&args),
         Some("chain") => cmd_chain(&args),
         Some("bounds") => cmd_bounds(&args),
         Some("help") | None => Ok(usage()),
@@ -72,14 +80,26 @@ USAGE:
   relim fixed-point --node <N> --edge <E> [--max-steps N] [--label-limit L]
   relim family      --delta D --a A --x X [--plus]
   relim lemma6      --delta D --a A --x X
-  relim lemma8      --delta D --a A --x X
+  relim lemma8      --delta D --a A --x X [--threads T]
+  relim sweep       --delta D [--lemma 6|8] [--threads T]
   relim chain       --delta D [--k K] [--exact]
   relim bounds      --n N --delta D [--k K]
 
 Constraints use the text format: one condensed configuration per line
 (`;` or literal \\n separate lines), e.g. --node 'M M M;P O O'
---edge 'M [P O];O O'."
+--edge 'M [P O];O O'. `--threads T` (also: RELIM_THREADS) shards the
+engine over a work-stealing pool; output is byte-identical at any
+thread count. `step` and `fixed-point` accept --threads too."
         .to_owned()
+}
+
+/// The pool for this invocation: `--threads N` if given, otherwise
+/// `RELIM_THREADS` / available parallelism.
+fn pool_from(args: &Args) -> Result<Pool, Box<dyn std::error::Error>> {
+    Ok(match args.get_u64_opt("threads")? {
+        Some(n) => Pool::new(n as usize),
+        None => Pool::from_env(),
+    })
 }
 
 fn load_problem(args: &Args) -> Result<Problem, Box<dyn std::error::Error>> {
@@ -103,12 +123,13 @@ fn render_problem(p: &Problem, condensed: bool) -> String {
 
 fn cmd_step(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
     let p = load_problem(args)?;
+    let pool = pool_from(args)?;
     let steps = args.get_u64("steps", 1)? as usize;
     let condensed = args.has_flag("condense");
     let mut out = String::new();
     let mut current = p;
     for i in 1..=steps {
-        let (r, rr) = roundelim::rr_step(&current)?;
+        let (r, rr) = roundelim::rr_step_with(&current, &pool)?;
         out.push_str(&format!("=== step {i}: R(Π) ===\n"));
         out.push_str("labels: ");
         let names: Vec<String> =
@@ -317,7 +338,7 @@ fn cmd_fixed_point(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
     let p = load_problem(args)?;
     let max_steps = args.get_u64("max-steps", 5)? as usize;
     let label_limit = args.get_u64("label-limit", 16)? as usize;
-    let outcome = iterate::iterate_rr(&p, max_steps, label_limit);
+    let outcome = iterate::iterate_rr_with(&p, max_steps, label_limit, &pool_from(args)?);
     let mut out = String::from("step  labels  |N|     |E|\n");
     for s in &outcome.stats {
         out.push_str(&format!(
@@ -361,7 +382,7 @@ fn cmd_lemma6(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
 
 fn cmd_lemma8(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
     let params = params_from(args)?;
-    let mach = lemma8::Lemma8Machinery::compute(&params)?;
+    let mach = lemma8::Lemma8Machinery::compute_with(&params, &pool_from(args)?)?;
     let report = mach.verify();
     Ok(format!(
         "Lemma 8 at Δ={}, a={}, x={}:\n  |Σ''| = {}, |N''| = {}\n  all configurations relax to Π_rel: {}\n  Π_rel = Π⁺: {}\n  => {}",
@@ -374,6 +395,57 @@ fn cmd_lemma8(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
         report.pi_rel_equals_pi_plus,
         if report.matches_paper() { "VERIFIED" } else { "MISMATCH" }
     ))
+}
+
+fn cmd_sweep(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
+    let delta = args.require_u64("delta")? as u32;
+    let pool = pool_from(args)?;
+    let lemma = args.get_u64("lemma", 8)?;
+    let mut out = String::new();
+    match lemma {
+        6 => {
+            out.push_str(&format!(
+                "Lemma 6 sweep at Δ={delta} ({} threads):\n{:>3} {:>3} {:>14} {:>10}\n",
+                pool.threads(),
+                "a",
+                "x",
+                "|N(R(Π))|",
+                "verdict"
+            ));
+            for r in lemma6::verify_sweep_with(delta, &pool)? {
+                out.push_str(&format!(
+                    "{:>3} {:>3} {:>14} {:>10}\n",
+                    r.params.a,
+                    r.params.x,
+                    r.node_config_count,
+                    if r.matches_paper() { "VERIFIED" } else { "MISMATCH" }
+                ));
+            }
+        }
+        8 => {
+            out.push_str(&format!(
+                "Lemma 8 sweep at Δ={delta} ({} threads):\n{:>3} {:>3} {:>7} {:>7} {:>10}\n",
+                pool.threads(),
+                "a",
+                "x",
+                "|Σ''|",
+                "|N''|",
+                "verdict"
+            ));
+            for r in lemma8::verify_sweep_with(delta, &pool)? {
+                out.push_str(&format!(
+                    "{:>3} {:>3} {:>7} {:>7} {:>10}\n",
+                    r.params.a,
+                    r.params.x,
+                    r.rr_label_count,
+                    r.rr_node_config_count,
+                    if r.matches_paper() { "VERIFIED" } else { "MISMATCH" }
+                ));
+            }
+        }
+        other => return Err(Box::new(ArgError(format!("--lemma must be 6|8, got {other}")))),
+    }
+    Ok(out.trim_end().to_owned())
 }
 
 fn cmd_chain(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
@@ -471,6 +543,45 @@ mod tests {
         assert!(l6.contains("VERIFIED"));
         let l8 = run_words(&["lemma8", "--delta", "3", "--a", "2", "--x", "0"]);
         assert!(l8.contains("VERIFIED"));
+    }
+
+    #[test]
+    fn sweep_subcommand() {
+        // Thread counts must not change the output bytes.
+        let one = run_words(&["sweep", "--delta", "4", "--threads", "1"]);
+        assert!(one.contains("Lemma 8 sweep at Δ=4 (1 threads)"), "{one}");
+        assert!(one.contains("VERIFIED"), "{one}");
+        let four = run_words(&["sweep", "--delta", "4", "--threads", "4"]);
+        assert_eq!(
+            one.lines().skip(1).collect::<Vec<_>>(),
+            four.lines().skip(1).collect::<Vec<_>>()
+        );
+        let l6 = run_words(&["sweep", "--delta", "5", "--lemma", "6", "--threads", "2"]);
+        assert!(l6.contains("Lemma 6 sweep"), "{l6}");
+        assert!(!l6.contains("MISMATCH"), "{l6}");
+        assert!(run(vec![
+            "sweep".into(),
+            "--delta".into(),
+            "4".into(),
+            "--lemma".into(),
+            "7".into()
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn step_threads_flag_is_deterministic() {
+        let base = run_words(&["step", "--node", "M M M;P O O", "--edge", "M [P O];O O"]);
+        let threaded = run_words(&[
+            "step",
+            "--node",
+            "M M M;P O O",
+            "--edge",
+            "M [P O];O O",
+            "--threads",
+            "3",
+        ]);
+        assert_eq!(base, threaded);
     }
 
     #[test]

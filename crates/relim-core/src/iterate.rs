@@ -7,7 +7,8 @@
 
 use crate::iso;
 use crate::problem::Problem;
-use crate::roundelim::rr_step;
+use crate::roundelim::rr_step_with;
+use relim_pool::Pool;
 
 /// Why an iteration stopped.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -84,6 +85,17 @@ fn stats_of(step: usize, p: &Problem) -> StepStats {
 /// assert_eq!(outcome.stats.len(), 2); // input + one confirming step
 /// ```
 pub fn iterate_rr(p: &Problem, max_steps: usize, label_limit: usize) -> IterationOutcome {
+    iterate_rr_with(p, max_steps, label_limit, &Pool::sequential())
+}
+
+/// [`iterate_rr`] with each `R̄(R(·))` application sharded over `pool`.
+/// Outcome is byte-identical to [`iterate_rr`] at any thread count.
+pub fn iterate_rr_with(
+    p: &Problem,
+    max_steps: usize,
+    label_limit: usize,
+    pool: &Pool,
+) -> IterationOutcome {
     let (current, _) = p.drop_unused_labels();
     let mut problems = vec![current];
     let mut stats = vec![stats_of(0, &problems[0])];
@@ -96,7 +108,7 @@ pub fn iterate_rr(p: &Problem, max_steps: usize, label_limit: usize) -> Iteratio
                 stopped: StopReason::LabelLimit { labels: prev.alphabet().len() },
             };
         }
-        match rr_step(&prev) {
+        match rr_step_with(&prev, pool) {
             Ok((_, rr)) => {
                 let (reduced, _) = rr.problem.drop_unused_labels();
                 let fixed = iso::isomorphic(&reduced, &prev);

@@ -87,4 +87,5 @@ pub use label::{Alphabet, Label};
 pub use labelset::LabelSet;
 pub use line::Line;
 pub use problem::Problem;
+pub use relim_pool::Pool;
 pub use roundelim::Step;

@@ -22,6 +22,14 @@
 //!    candidates are enumerated over [`crate::rightclosed::right_closed_sets`].
 //! 2. For the degree-2 edge side, maximal pairs are exactly the fixed points
 //!    of the Galois connection `A ↦ ⋂_{a∈A} compat(a)`.
+//!
+//! Both hot paths are parallelizable over a [`Pool`]: the `R̄` enumeration
+//! splits its DFS at the top candidate level into stealable subtree tasks
+//! ([`forall_multisets`]'s internals), and the dominance filter shards its
+//! per-configuration maximality checks. Parallel results are collected and
+//! canonically re-ordered, so every `*_with` entry point is
+//! **byte-identical** to its sequential counterpart at any thread count
+//! (enforced by the differential proptests at the workspace root).
 
 use crate::config::{Config, SetConfig};
 use crate::constraint::{Constraint, SubMultisetIndex};
@@ -33,6 +41,8 @@ use crate::line::Line;
 use crate::matching::assign_positions;
 use crate::problem::Problem;
 use crate::rightclosed::right_closed_sets;
+use relim_pool::Pool;
+use std::collections::BTreeMap;
 
 /// The result of one `R(·)` or `R̄(·)` application.
 ///
@@ -104,13 +114,11 @@ pub fn r_step(p: &Problem) -> Result<Step> {
             continue;
         }
         if partner(b) == a {
-            let pair = if a <= b { (a, b) } else { (b, a) };
-            if !pairs.contains(&pair) {
-                pairs.push(pair);
-            }
+            pairs.push(if a <= b { (a, b) } else { (b, a) });
         }
     }
     pairs.sort_unstable();
+    pairs.dedup();
 
     let set_configs: Vec<SetConfig> =
         pairs.iter().map(|&(a, b)| SetConfig::new(vec![a, b])).collect();
@@ -127,6 +135,17 @@ pub fn r_step(p: &Problem) -> Result<Step> {
 /// would be empty, and [`RelimError::TooManyLabels`] if the alphabet
 /// exceeds the right-closed enumeration limit (22 labels).
 pub fn rbar_step(p: &Problem) -> Result<Step> {
+    rbar_step_with(p, &Pool::sequential())
+}
+
+/// [`rbar_step`] with the universal enumeration and the dominance filter
+/// sharded over `pool`. Output is byte-identical to [`rbar_step`] at any
+/// thread count.
+///
+/// # Errors
+///
+/// Same as [`rbar_step`].
+pub fn rbar_step_with(p: &Problem, pool: &Pool) -> Result<Step> {
     let n = p.alphabet().len();
     if n > 22 {
         return Err(RelimError::TooManyLabels { requested: n });
@@ -136,8 +155,8 @@ pub fn rbar_step(p: &Problem) -> Result<Step> {
     let delta = p.delta();
     let sub_index = p.node().sub_multiset_index();
 
-    let raw = forall_multisets(&cands, delta, &sub_index);
-    let maximal = dominance_filter(raw);
+    let raw = forall_multisets_with(&cands, delta, &sub_index, pool);
+    let maximal = dominance_filter_with(raw, pool);
     finish_step(p, maximal, UniversalSide::Node)
 }
 
@@ -150,8 +169,18 @@ pub fn rbar_step(p: &Problem) -> Result<Step> {
 /// would be empty, and [`RelimError::TooManyLabels`] when an intermediate
 /// alphabet exceeds the enumeration limit.
 pub fn rr_step(p: &Problem) -> Result<(Step, Step)> {
+    rr_step_with(p, &Pool::sequential())
+}
+
+/// [`rr_step`] with the expensive `R̄` side sharded over `pool`. Output is
+/// byte-identical to [`rr_step`] at any thread count.
+///
+/// # Errors
+///
+/// Same as [`rr_step`].
+pub fn rr_step_with(p: &Problem, pool: &Pool) -> Result<(Step, Step)> {
     let r = r_step(p)?;
-    let rr = rbar_step(&r.problem)?;
+    let rr = rbar_step_with(&r.problem, pool)?;
     Ok((r, rr))
 }
 
@@ -269,54 +298,164 @@ pub(crate) fn forall_multisets(
     delta: u32,
     sub_index: &SubMultisetIndex,
 ) -> Vec<SetConfig> {
-    let mut out = Vec::new();
-    let mut chosen: Vec<LabelSet> = Vec::with_capacity(delta as usize);
+    forall_multisets_with(cands, delta, sub_index, &Pool::sequential())
+}
 
-    fn rec(
-        cands: &[LabelSet],
-        start: usize,
-        remaining: u32,
-        frontier: &[Config],
-        chosen: &mut Vec<LabelSet>,
-        sub_index: &SubMultisetIndex,
-        out: &mut Vec<SetConfig>,
-    ) {
-        if remaining == 0 {
-            out.push(SetConfig::new(chosen.clone()));
-            return;
-        }
-        for (i, &cand) in cands.iter().enumerate().skip(start) {
-            // Extend every partial choice by every label of `cand`.
-            let mut next: Vec<Config> = Vec::with_capacity(frontier.len() * cand.len());
-            let mut ok = true;
-            'ext: for m in frontier {
-                for b in cand.iter() {
-                    let extended = m.with(b);
-                    if !sub_index.contains(&extended) {
-                        ok = false;
-                        break 'ext;
-                    }
-                    next.push(extended);
-                }
-            }
-            if !ok {
-                continue;
-            }
-            next.sort_unstable();
-            next.dedup();
-            chosen.push(cand);
-            rec(cands, i, remaining - 1, &next, chosen, sub_index, out);
-            chosen.pop();
-        }
+/// [`forall_multisets`] with the DFS split at the top candidate level into
+/// one stealable subtree task per starting candidate. Subtree outputs are
+/// concatenated in candidate order, which is exactly the sequential DFS
+/// emission order — output is byte-identical at any thread count.
+pub(crate) fn forall_multisets_with(
+    cands: &[LabelSet],
+    delta: u32,
+    sub_index: &SubMultisetIndex,
+    pool: &Pool,
+) -> Vec<SetConfig> {
+    if delta == 0 {
+        return vec![SetConfig::new(Vec::new())];
     }
+    if pool.threads() <= 1 || cands.len() <= 1 {
+        let mut out = Vec::new();
+        let mut chosen: Vec<LabelSet> = Vec::with_capacity(delta as usize);
+        forall_rec(cands, 0, delta, &[Config::empty()], &mut chosen, sub_index, &mut out);
+        return out;
+    }
+    let tops: Vec<usize> = (0..cands.len()).collect();
+    let subtrees: Vec<Vec<SetConfig>> = pool.map(&tops, |&top| {
+        let mut out = Vec::new();
+        // Replicate the level-0 loop body for index `top`: extend the empty
+        // partial choice by every label of the top candidate, then recurse
+        // over non-decreasing candidate indices as usual.
+        let cand = cands[top];
+        let mut next: Vec<Config> = Vec::with_capacity(cand.len());
+        for b in cand.iter() {
+            let extended = Config::new(vec![b]);
+            if !sub_index.contains(&extended) {
+                return out;
+            }
+            next.push(extended);
+        }
+        next.sort_unstable();
+        next.dedup();
+        let mut chosen: Vec<LabelSet> = Vec::with_capacity(delta as usize);
+        chosen.push(cand);
+        forall_rec(cands, top, delta - 1, &next, &mut chosen, sub_index, &mut out);
+        out
+    });
+    subtrees.into_iter().flatten().collect()
+}
 
-    rec(cands, 0, delta, &[Config::empty()], &mut chosen, sub_index, &mut out);
-    out
+/// The shared DFS over non-decreasing candidate indices, carrying the
+/// deduplicated set of partial-choice multisets (see [`forall_multisets`]).
+fn forall_rec(
+    cands: &[LabelSet],
+    start: usize,
+    remaining: u32,
+    frontier: &[Config],
+    chosen: &mut Vec<LabelSet>,
+    sub_index: &SubMultisetIndex,
+    out: &mut Vec<SetConfig>,
+) {
+    if remaining == 0 {
+        out.push(SetConfig::new(chosen.clone()));
+        return;
+    }
+    for (i, &cand) in cands.iter().enumerate().skip(start) {
+        // Extend every partial choice by every label of `cand`.
+        let mut next: Vec<Config> = Vec::with_capacity(frontier.len() * cand.len());
+        let mut ok = true;
+        'ext: for m in frontier {
+            for b in cand.iter() {
+                let extended = m.with(b);
+                if !sub_index.contains(&extended) {
+                    ok = false;
+                    break 'ext;
+                }
+                next.push(extended);
+            }
+        }
+        if !ok {
+            continue;
+        }
+        next.sort_unstable();
+        next.dedup();
+        chosen.push(cand);
+        forall_rec(cands, i, remaining - 1, &next, chosen, sub_index, out);
+        chosen.pop();
+    }
 }
 
 /// Removes configurations dominated by another configuration
 /// (position-wise `⊆` after the best permutation — a bipartite matching).
-pub(crate) fn dominance_filter(configs: Vec<SetConfig>) -> Vec<SetConfig> {
+///
+/// Domination is a strict partial order (transitive, and antisymmetric
+/// because mutual domination forces equal cardinality sums and hence equal
+/// multisets), so the survivors are exactly the **maximal** configurations
+/// — independent of input order. The input order of survivors is preserved.
+pub fn dominance_filter(configs: Vec<SetConfig>) -> Vec<SetConfig> {
+    dominance_filter_with(configs, &Pool::sequential())
+}
+
+/// [`dominance_filter`] with the per-configuration maximality checks
+/// sharded over `pool`, after a bucketing pass that prunes candidate
+/// dominators:
+///
+/// * configurations are grouped by their sorted cardinality signature, and
+///   a configuration can only be dominated from a bucket whose signature
+///   dominates its own position-wise;
+/// * within a bucket, the support union must be a superset of the
+///   candidate's support;
+/// * the bipartite matching inside [`dominates`] only runs on pairs that
+///   survive both pre-checks.
+///
+/// Output is byte-identical to [`dominance_filter`] at any thread count.
+pub fn dominance_filter_with(configs: Vec<SetConfig>, pool: &Pool) -> Vec<SetConfig> {
+    if configs.len() <= 1 {
+        return configs;
+    }
+    // Signature = (sorted cardinalities, support union) per configuration.
+    let sigs: Vec<(Vec<u8>, LabelSet)> = configs
+        .iter()
+        .map(|c| {
+            let mut cards: Vec<u8> = c.iter().map(|s| s.len() as u8).collect();
+            cards.sort_unstable();
+            (cards, c.iter().fold(LabelSet::EMPTY, LabelSet::union))
+        })
+        .collect();
+    let mut buckets: BTreeMap<&[u8], Vec<usize>> = BTreeMap::new();
+    for (i, (cards, _)) in sigs.iter().enumerate() {
+        buckets.entry(cards.as_slice()).or_default().push(i);
+    }
+    let buckets: Vec<(&[u8], Vec<usize>)> = buckets.into_iter().collect();
+
+    let indices: Vec<usize> = (0..configs.len()).collect();
+    let keep: Vec<bool> = pool.map(&indices, |&i| {
+        let (cards_i, support_i) = &sigs[i];
+        for (cards_j, members) in &buckets {
+            // A dominator's sorted cardinality vector must dominate ours
+            // position-wise (any witnessing matching only grows sets).
+            if cards_j.len() != cards_i.len()
+                || !cards_i.iter().zip(cards_j.iter()).all(|(a, b)| a <= b)
+            {
+                continue;
+            }
+            for &j in members {
+                if j != i
+                    && support_i.is_subset_of(sigs[j].1)
+                    && dominates(&configs[j], &configs[i])
+                {
+                    return false;
+                }
+            }
+        }
+        true
+    });
+    configs.into_iter().zip(keep).filter_map(|(c, k)| k.then_some(c)).collect()
+}
+
+/// The seed's quadratic dominance filter, kept verbatim as the reference
+/// implementation for differential tests of the bucketed/sharded rewrite.
+pub fn dominance_filter_reference(configs: Vec<SetConfig>) -> Vec<SetConfig> {
     let mut keep = vec![true; configs.len()];
     for i in 0..configs.len() {
         if !keep[i] {
@@ -342,8 +481,8 @@ pub fn dominates(big: &SetConfig, small: &SetConfig) -> bool {
         return false;
     }
     let big_sets = big.as_slice();
-    let options: Vec<u64> = small
-        .as_slice()
+    let small_sets = small.as_slice();
+    let options: Vec<u64> = small_sets
         .iter()
         .map(|&s| {
             let mut mask = 0u64;
@@ -355,6 +494,20 @@ pub fn dominates(big: &SetConfig, small: &SetConfig) -> bool {
             mask
         })
         .collect();
+    // Hall-style pre-check before the matching: every run of equal sets in
+    // `small` (they share one options mask, since `small` is sorted) needs
+    // at least as many distinct superset positions in `big`.
+    let mut k = 0;
+    while k < small_sets.len() {
+        let mut m = k;
+        while m < small_sets.len() && small_sets[m] == small_sets[k] {
+            m += 1;
+        }
+        if (options[k].count_ones() as usize) < m - k {
+            return false;
+        }
+        k = m;
+    }
     let caps = vec![1u32; big_sets.len()];
     assign_positions(&options, &caps).is_some()
 }
@@ -504,6 +657,42 @@ mod tests {
             }
             search(sets, 0, &mut pick, p.node(), &mut found);
             assert!(found, "config {sc:?} admits no choice in N");
+        }
+    }
+
+    #[test]
+    fn rbar_parallel_matches_sequential_bytewise() {
+        // MIS after one R step is the heaviest node-side enumeration in the
+        // unit suite; the parallel engine must reproduce it exactly.
+        let p = mis3();
+        let r = r_step(&p).unwrap();
+        let seq = rbar_step(&r.problem).unwrap();
+        for threads in [2, 3, 8] {
+            let par = rbar_step_with(&r.problem, &Pool::new(threads)).unwrap();
+            assert_eq!(par.problem.render(), seq.problem.render(), "threads = {threads}");
+            assert_eq!(par.provenance, seq.provenance, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn dominance_filter_matches_reference() {
+        // All subsets of a 4-label universe in pairs: a dense dominance
+        // structure exercising buckets, pre-checks, and the matching.
+        let sets: Vec<LabelSet> = crate::labelset::subsets_nonempty(LabelSet::full(4)).collect();
+        let mut configs = Vec::new();
+        for (i, &a) in sets.iter().enumerate() {
+            for &b in sets.iter().skip(i) {
+                configs.push(SetConfig::new(vec![a, b]));
+            }
+        }
+        let expected = dominance_filter_reference(configs.clone());
+        assert_eq!(dominance_filter(configs.clone()), expected);
+        for threads in [2, 8] {
+            assert_eq!(
+                dominance_filter_with(configs.clone(), &Pool::new(threads)),
+                expected,
+                "threads = {threads}"
+            );
         }
     }
 

@@ -1,0 +1,334 @@
+//! # relim-pool — a hand-rolled work-stealing thread pool (std-only)
+//!
+//! The round elimination engine's hot paths (the universal sides of `R(·)`
+//! and `R̄(·)`, the Lemma 8 parameter sweeps, the bench grids) are
+//! embarrassingly parallel at coarse granularity but with *wildly* uneven
+//! task sizes: one DFS subtree or one `(a, x)` parameter point can cost
+//! orders of magnitude more than its neighbours. A fixed block split
+//! therefore wastes most of the hardware; this crate provides load
+//! balancing by work stealing instead.
+//!
+//! Like the `vendor/` shims, it is dependency-free by necessity (the build
+//! environment has no crates.io route), so the pool is built from `std`
+//! primitives only and contains no `unsafe`:
+//!
+//! * [`Pool::map`] runs a closure over a slice, seeding one mutex-guarded
+//!   deque per worker with a contiguous block of item indices; workers pop
+//!   their own deque from the front and **steal half** of the largest
+//!   other deque when empty.
+//! * Borrowed inputs are supported without `unsafe` by running workers
+//!   under [`std::thread::scope`]; worker threads live for one `map` call.
+//!   Tasks in this workspace are milliseconds-to-seconds, so the spawn
+//!   cost (~tens of µs) is noise.
+//!
+//! ## Determinism
+//!
+//! Results are collected as `(index, value)` pairs and re-sorted by index
+//! before returning, so `map` output is **byte-identical at any thread
+//! count** — the invariant the engine's differential tests enforce. Only
+//! the *schedule* is nondeterministic; the result never is.
+//!
+//! ## Nesting
+//!
+//! `map` called from inside a pool worker runs inline and sequentially
+//! (a thread-local guard detects re-entry). This lets high-level sweeps
+//! shard over parameter points while the engine underneath unconditionally
+//! requests parallelism for its own sub-problems: whichever level reaches
+//! the pool first gets the workers, and nothing oversubscribes.
+
+#![forbid(unsafe_code)]
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+thread_local! {
+    /// Set while the current thread is a pool worker; nested `map` calls
+    /// observe it and degrade to inline sequential execution.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// A work-stealing thread pool configuration.
+///
+/// Cheap to construct and copy; worker threads are spawned per
+/// [`Pool::map`] call (scoped), so a `Pool` is really a *policy* — how many
+/// workers to use — plus the stealing scheduler.
+///
+/// # Example
+///
+/// ```
+/// use relim_pool::Pool;
+///
+/// let pool = Pool::new(4);
+/// let squares = pool.map(&[1u64, 2, 3, 4], |&x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]); // input order, any thread count
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Pool {
+    /// A pool with exactly `threads` workers; `0` means
+    /// [`Pool::available_parallelism`].
+    pub fn new(threads: usize) -> Pool {
+        if threads == 0 {
+            Pool { threads: Self::available_parallelism() }
+        } else {
+            Pool { threads }
+        }
+    }
+
+    /// The single-threaded pool: every `map` runs inline, no threads are
+    /// spawned. This is the reference schedule parallel runs must match.
+    pub const fn sequential() -> Pool {
+        Pool { threads: 1 }
+    }
+
+    /// Reads the thread count from the `RELIM_THREADS` environment
+    /// variable, falling back to [`Pool::available_parallelism`].
+    pub fn from_env() -> Pool {
+        match std::env::var("RELIM_THREADS").ok().and_then(|v| v.parse::<usize>().ok()) {
+            Some(n) => Pool::new(n),
+            None => Pool::new(0),
+        }
+    }
+
+    /// What the standard library reports as available parallelism
+    /// (at least 1).
+    pub fn available_parallelism() -> usize {
+        std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+    }
+
+    /// Number of workers this pool uses.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Applies `f` to every item, in parallel, returning results **in input
+    /// order** regardless of thread count or schedule.
+    ///
+    /// Runs inline (no spawns) when the pool is sequential, the input has
+    /// at most one item, or the caller is itself a pool worker (nested
+    /// parallelism degrades rather than oversubscribing).
+    ///
+    /// # Panics
+    ///
+    /// A panic in `f` is propagated to the caller once all workers stop.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let workers = self.threads.min(items.len());
+        if workers <= 1 || IN_WORKER.with(Cell::get) {
+            return items.iter().map(f).collect();
+        }
+
+        // Seed one deque per worker with a contiguous block of indices.
+        let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+            .map(|w| {
+                let lo = w * items.len() / workers;
+                let hi = (w + 1) * items.len() / workers;
+                Mutex::new((lo..hi).collect())
+            })
+            .collect();
+
+        let mut buckets: Vec<Vec<(usize, R)>> = Vec::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for w in 0..workers {
+                let queues = &queues;
+                let f = &f;
+                handles.push(scope.spawn(move || {
+                    IN_WORKER.with(|g| g.set(true));
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let idx = pop_own(&queues[w]).or_else(|| steal_into(queues, w));
+                        match idx {
+                            Some(i) => local.push((i, f(&items[i]))),
+                            None => break,
+                        }
+                    }
+                    IN_WORKER.with(|g| g.set(false));
+                    local
+                }));
+            }
+            for h in handles {
+                match h.join() {
+                    Ok(local) => buckets.push(local),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+        });
+
+        // Canonical re-sort: schedule-independent output order.
+        let mut tagged: Vec<(usize, R)> = buckets.into_iter().flatten().collect();
+        tagged.sort_unstable_by_key(|&(i, _)| i);
+        debug_assert_eq!(tagged.len(), items.len());
+        tagged.into_iter().map(|(_, r)| r).collect()
+    }
+
+    /// Fallible [`Pool::map`]: applies `f` to every item and returns the
+    /// collected successes, or the error of the **earliest** failing item
+    /// (deterministic at any thread count).
+    ///
+    /// All items are evaluated even when one fails; sweeps here are finite
+    /// and an early-cancel protocol is not worth its nondeterminism risk.
+    ///
+    /// # Errors
+    ///
+    /// The error produced by the lowest-indexed failing item.
+    pub fn try_map<T, R, E, F>(&self, items: &[T], f: F) -> Result<Vec<R>, E>
+    where
+        T: Sync,
+        R: Send,
+        E: Send,
+        F: Fn(&T) -> Result<R, E> + Sync,
+    {
+        self.map(items, f).into_iter().collect()
+    }
+}
+
+impl Default for Pool {
+    /// [`Pool::from_env`].
+    fn default() -> Self {
+        Pool::from_env()
+    }
+}
+
+/// Pops the front of the worker's own deque.
+fn pop_own(queue: &Mutex<VecDeque<usize>>) -> Option<usize> {
+    queue.lock().expect("pool queue poisoned").pop_front()
+}
+
+/// Steals the back half of the largest foreign deque into `queues[w]`,
+/// returning one stolen index to run immediately. Returns `None` only
+/// after a full snapshot pass observes every foreign deque empty — a
+/// victim drained between snapshot and lock triggers a retry, not an
+/// early exit (a worker leaving while uneven work remains elsewhere would
+/// silently degrade the pool toward sequential).
+fn steal_into(queues: &[Mutex<VecDeque<usize>>], w: usize) -> Option<usize> {
+    loop {
+        // Pick the victim with the most queued work (snapshot lengths
+        // first so only one foreign lock is held while splitting).
+        let victim = queues
+            .iter()
+            .enumerate()
+            .filter(|&(v, _)| v != w)
+            .map(|(v, q)| (v, q.lock().expect("pool queue poisoned").len()))
+            .filter(|&(_, len)| len > 0)
+            .max_by_key(|&(_, len)| len)?
+            .0;
+        let mut stolen = {
+            let mut q = queues[victim].lock().expect("pool queue poisoned");
+            let keep = q.len() - q.len().div_ceil(2);
+            q.split_off(keep)
+        };
+        let Some(first) = stolen.pop_front() else {
+            // Raced: the victim drained before we locked it. Re-snapshot.
+            continue;
+        };
+        if !stolen.is_empty() {
+            queues[w].lock().expect("pool queue poisoned").append(&mut stolen);
+        }
+        return Some(first);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_preserves_order_at_any_thread_count() {
+        let items: Vec<u64> = (0..257).collect();
+        let expected: Vec<u64> = items.iter().map(|&x| x * 31 + 7).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let got = Pool::new(threads).map(&items, |&x| x * 31 + 7);
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn uneven_tasks_all_run_exactly_once() {
+        // Steeply skewed task sizes exercise the stealing path.
+        let items: Vec<u64> = (0..64).collect();
+        let ran = AtomicUsize::new(0);
+        let out = Pool::new(4).map(&items, |&x| {
+            ran.fetch_add(1, Ordering::Relaxed);
+            // Task 0 is ~64x the size of task 63.
+            let spins = (64 - x) * 2_000;
+            let mut acc = x;
+            for i in 0..spins {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            std::hint::black_box(acc);
+            x
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), items.len());
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn nested_map_degrades_to_inline() {
+        let outer: Vec<usize> = (0..8).collect();
+        let pool = Pool::new(4);
+        let got = pool.map(&outer, |&i| {
+            // Inside a worker: this inner map must run inline (and still be
+            // correct).
+            let inner: Vec<usize> = (0..4).collect();
+            pool.map(&inner, |&j| i * 10 + j).iter().sum::<usize>()
+        });
+        let expected: Vec<usize> = outer.iter().map(|&i| 4 * (i * 10) + 6).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn try_map_returns_earliest_error() {
+        let items: Vec<u32> = (0..100).collect();
+        for threads in [1, 4] {
+            let got: Result<Vec<u32>, u32> =
+                Pool::new(threads).try_map(&items, |&x| if x % 30 == 17 { Err(x) } else { Ok(x) });
+            assert_eq!(got, Err(17), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn zero_means_available_parallelism() {
+        assert_eq!(Pool::new(0).threads(), Pool::available_parallelism());
+        assert!(Pool::new(0).threads() >= 1);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let pool = Pool::new(8);
+        assert_eq!(pool.map(&[] as &[u8], |&x| x), Vec::<u8>::new());
+        assert_eq!(pool.map(&[5u8], |&x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn panics_propagate() {
+        let items: Vec<u32> = (0..32).collect();
+        let result = std::panic::catch_unwind(|| {
+            Pool::new(4).map(&items, |&x| {
+                assert!(x != 13, "boom");
+                x
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn sequential_pool_spawns_nothing() {
+        // Observable via the worker guard: it stays false on this thread.
+        let pool = Pool::sequential();
+        let out = pool.map(&[1, 2, 3], |&x| {
+            assert!(!IN_WORKER.with(Cell::get));
+            x * 2
+        });
+        assert_eq!(out, vec![2, 4, 6]);
+    }
+}

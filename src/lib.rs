@@ -4,13 +4,15 @@
 //! *"Improved Distributed Lower Bounds for MIS and Bounded (Out-)Degree
 //! Dominating Sets in Trees"* (PODC 2021, arXiv:2106.02440).
 //!
-//! This crate re-exports the four workspace crates:
+//! This crate re-exports the five workspace crates:
 //!
 //! * [`relim`] — the round elimination engine (`relim-core`),
 //! * [`family`] — the paper's `Π_Δ(a,x)` problem family and lemma machinery
 //!   (`lb-family`),
 //! * [`sim`] — the LOCAL / port-numbering model simulator (`local-sim`),
-//! * [`algos`] — the distributed upper-bound algorithms (`local-algos`).
+//! * [`algos`] — the distributed upper-bound algorithms (`local-algos`),
+//! * [`pool`] — the work-stealing thread pool the engine's `*_with` entry
+//!   points shard over (`relim-pool`).
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! per-figure reproduction index; the `examples/` directory contains
@@ -23,3 +25,4 @@ pub use lb_family as family;
 pub use local_algos as algos;
 pub use local_sim as sim;
 pub use relim_core as relim;
+pub use relim_pool as pool;

@@ -90,7 +90,10 @@ fn exhaustive_three_labels_delta2_sample() {
 }
 
 #[test]
-#[ignore = "tier-2 full sweep (~7x the sampled test); run with --ignored"]
+#[cfg_attr(
+    not(feature = "exhaustive"),
+    ignore = "tier-2 full sweep (~7x the sampled test); run with --ignored or --features exhaustive"
+)]
 fn exhaustive_three_labels_delta2_full() {
     let problems = all_problems(3, 2);
     assert_eq!(problems.len(), 3969);
@@ -98,7 +101,11 @@ fn exhaustive_three_labels_delta2_full() {
 }
 
 #[test]
-#[ignore = "tier-2 full sweep of the 3-label Δ=3 space; run with --ignored in release mode"]
+#[cfg_attr(
+    not(feature = "exhaustive"),
+    ignore = "tier-2 full sweep of the 3-label Δ=3 space; run with --ignored in release mode, \
+              or --features exhaustive"
+)]
 fn exhaustive_three_labels_delta3_sampled_wide() {
     // 3 labels, Δ=3: 10 node multisets, 6 edge multisets -> 1023 × 63.
     // Even sampled this is tier-2 territory; every 97th problem gives a
