@@ -21,8 +21,8 @@ fn print_tables() {
         "{:>4} {:>3} {:>3} {:>12} {:>14} {:>12} {:>14}",
         "D", "a", "x", "rc-sets", "all-subsets", "rc-pairs", "all-pairs"
     );
-    let grid = [(4u32, 3u32, 0u32), (6, 4, 1), (8, 5, 2)];
-    for row in shared_pool().map(&grid, |&(delta, a, x)| {
+    let grid = vec![(4u32, 3u32, 0u32), (6, 4, 1), (8, 5, 2)];
+    for row in shared_pool().map_owned(grid, |&(delta, a, x)| {
         let p = family::pi(&PiParams { delta, a, x }).expect("valid");
         let order = relim_core::diagram::StrengthOrder::of_constraint(p.edge(), p.alphabet().len());
         let rc = relim_core::rightclosed::right_closed_sets(&order).len();

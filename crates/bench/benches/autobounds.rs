@@ -24,11 +24,14 @@ fn print_autolb_table() {
         ("Π_3(3,0)".into(), family::pi(&PiParams { delta: 3, a: 3, x: 0 }).unwrap()),
         ("Π_4(4,0)".into(), family::pi(&PiParams { delta: 4, a: 4, x: 0 }).unwrap()),
     ];
-    // (problem × budget) grid, submitted to the shared pool.
-    let grid: Vec<(&String, &Problem, usize)> =
-        cases.iter().flat_map(|(name, p)| [5usize, 6].map(|budget| (name, p, budget))).collect();
-    for row in bench::shared_pool().map(&grid, |&(name, p, budget)| {
-        let opts = AutoLbOptions { max_steps: 3, label_budget: budget, ..Default::default() };
+    // (problem × budget) grid, submitted to the shared pool's persistent
+    // workers (the tasks own their problem clones).
+    let grid: Vec<(String, Problem, usize)> = cases
+        .iter()
+        .flat_map(|(name, p)| [5usize, 6].map(|budget| (name.clone(), p.clone(), budget)))
+        .collect();
+    for row in bench::shared_pool().map_owned(grid, |(name, p, budget)| {
+        let opts = AutoLbOptions { max_steps: 3, label_budget: *budget, ..Default::default() };
         let outcome = autolb::auto_lower_bound(p, &opts);
         let replay = autolb::verify_chain(&outcome).is_ok();
         format!(

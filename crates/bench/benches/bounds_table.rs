@@ -5,8 +5,8 @@ use lb_family::bounds;
 
 fn print_tables() {
     let pool = bench::shared_pool();
-    let ns = [1e6, 1e9, 1e15];
-    for section in pool.map(&ns, |&n| {
+    let ns = vec![1e6, 1e9, 1e15];
+    for section in pool.map_owned(ns, |&n| {
         let mut out = format!(
             "\n[E10/Theorem 1] bounds at n = {n:.0e}:\n{:>10} {:>5} {:>10} {:>10} {:>12} {:>12}\n",
             "Delta", "t", "logD(n)", "det LB", "logD(logn)", "rand LB"
@@ -29,8 +29,8 @@ fn print_tables() {
         "{:>10} {:>10} {:>10} {:>10} {:>12} {:>12}",
         "n", "D*_det", "det", "sqrt(logn)", "D*_rand", "rand"
     );
-    let exps = [6, 9, 12, 18, 24, 30, 40, 60];
-    for row in pool.map(&exps, |&exp| {
+    let exps = vec![6, 9, 12, 18, 24, 30, 40, 60];
+    for row in pool.map_owned(exps, |&exp| {
         let n = 10f64.powi(exp);
         let (dd, bd) = bounds::corollary2_det(n);
         let (dr, br) = bounds::corollary2_rand(n);

@@ -13,7 +13,7 @@ fn print_tables() {
     let pool = bench::shared_pool();
     let deltas: Vec<u32> = (3..=30).map(|e| 1u32 << e).collect();
     let table = sequence::chain_length_table(&deltas, 0);
-    for row in pool.map(&table, |row| {
+    for row in pool.map_owned(table, |row| {
         let chain = sequence::paper_chain(row.delta, 0);
         format!(
             "{:>12} {:>8} {:>8} {:>10.3} {:>10.3} {:>7}",
@@ -30,8 +30,8 @@ fn print_tables() {
 
     println!("\n[E9b] chain length vs k at Delta = 2^20:");
     println!("{:>6} {:>8} {:>8}", "k", "t_paper", "t_exact");
-    let ks = [0u32, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
-    for row in pool.map(&ks, |&k| {
+    let ks = vec![0u32, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
+    for row in pool.map_owned(ks, |&k| {
         format!(
             "{:>6} {:>8} {:>8}",
             k,

@@ -14,8 +14,8 @@ enum Figure {
 }
 
 fn print_tables() {
-    let figures = [Figure::MisEdge, Figure::PiEdge, Figure::RPiNode];
-    for section in bench::shared_pool().map(&figures, |figure| {
+    let figures = vec![Figure::MisEdge, Figure::PiEdge, Figure::RPiNode];
+    for section in bench::shared_pool().map_owned(figures, |figure| {
         let (header, problem, constraint_is_node, n) = match figure {
             Figure::MisEdge => {
                 ("\n[E1/Figure 1] MIS edge diagram Hasse edges:", family::mis(3), false, 3)

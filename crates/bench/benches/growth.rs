@@ -46,8 +46,8 @@ fn print_tables() {
 
     println!("\n[E13b] the family's alphabet stays constant under R(.):");
     println!("{:>4} {:>3} {:>3} {:>14}", "D", "a", "x", "labels of R(Pi)");
-    let grid = [(4u32, 3u32, 0u32), (6, 4, 1), (8, 6, 2), (10, 8, 3)];
-    for row in bench::shared_pool().map(&grid, |&(delta, a, x)| {
+    let grid = vec![(4u32, 3u32, 0u32), (6, 4, 1), (8, 6, 2), (10, 8, 3)];
+    for row in bench::shared_pool().map_owned(grid, |&(delta, a, x)| {
         let pi = family::pi(&PiParams { delta, a, x }).expect("valid");
         let step = r_step(&pi).expect("non-degenerate");
         assert_eq!(step.problem.alphabet().len(), 8);

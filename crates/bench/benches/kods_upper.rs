@@ -16,7 +16,7 @@ fn print_tables() {
         .into_iter()
         .flat_map(|delta| [0usize, 1, 2, delta / 2, delta].map(|k| (delta, k)))
         .collect();
-    for row in pool.map(&grid, |&(delta, k)| {
+    for row in pool.map_owned(grid, |&(delta, k)| {
         let depth = if delta >= 8 { 2 } else { 3 };
         let tree = trees::complete_regular_tree(delta, depth).expect("tree");
         let rep = k_outdegree_domset(&tree, k, 5).expect("pipeline");
@@ -49,7 +49,7 @@ fn print_tables() {
         .into_iter()
         .flat_map(|delta| [1usize, 2, delta / 2].map(|k| (delta, k)))
         .collect();
-    for row in pool.map(&degree_grid, |&(delta, k)| {
+    for row in pool.map_owned(degree_grid, |&(delta, k)| {
         let depth = if delta >= 8 { 2 } else { 3 };
         let tree = trees::complete_regular_tree(delta, depth).expect("tree");
         let rep = k_degree_domset(&tree, k, 5).expect("pipeline");
@@ -75,8 +75,8 @@ fn print_tables() {
     println!("\n[E11b] adversarial class assignment: measured sweep rounds = class count:");
     println!("{:>9} {:>9}", "classes", "rounds");
     let tree = trees::complete_regular_tree(4, 3).expect("tree");
-    let class_counts = [2usize, 4, 8, 16, 32];
-    for row in pool.map(&class_counts, |&classes| {
+    let class_counts = vec![2usize, 4, 8, 16, 32];
+    for row in pool.map_owned(class_counts, move |&classes| {
         let assignment = vec![classes - 1; tree.n()];
         let (in_set, rounds) =
             local_algos::sweep::class_sweep(&tree, &assignment, classes, 0).expect("sweep");

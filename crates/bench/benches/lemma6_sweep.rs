@@ -11,7 +11,7 @@ fn print_tables() {
     println!("{:>4} {:>8} {:>8} {:>14}", "D", "points", "passed", "max |N(R(Pi))|");
     let pool = shared_pool();
     let deltas: Vec<u32> = (3..=9).collect();
-    for row in pool.map(&deltas, |&delta| {
+    for row in pool.map_owned(deltas, move |&delta| {
         let reports = lemma6::verify_sweep_with(delta, &pool).expect("sweep");
         let passed = reports.iter().filter(|r| r.matches_paper()).count();
         let max_n = reports.iter().map(|r| r.node_config_count).max().unwrap_or(0);

@@ -29,8 +29,9 @@ fn print_tables() {
     .map(|(delta, a, x)| PiParams { delta, a, x })
     .filter(PiParams::lemma6_applicable)
     .collect();
-    // The grid is submitted to the shared pool; rows print in grid order.
-    for row in pool.map(&grid, |params| {
+    // The grid is submitted to the shared pool's persistent workers; rows
+    // print in grid order.
+    for row in pool.map_owned(grid, move |params| {
         let mach = Lemma8Machinery::compute_with(params, &pool).expect("compute");
         let report = mach.verify();
         assert!(report.matches_paper(), "Lemma 8 must verify at {params:?}");

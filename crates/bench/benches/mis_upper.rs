@@ -12,8 +12,8 @@ fn print_tables() {
         "D", "n", "det total", "det sweep", "d+1 sweep", "Luby (avg5)"
     );
     let pool = bench::shared_pool();
-    let deltas = [3usize, 4, 5, 6, 8];
-    for row in pool.map(&deltas, |&delta| {
+    let deltas = vec![3usize, 4, 5, 6, 8];
+    for row in pool.map_owned(deltas, |&delta| {
         let depth = if delta >= 6 { 2 } else { 3 };
         let tree = trees::complete_regular_tree(delta, depth).expect("tree");
         let det = mis_deterministic(&tree, 3).expect("det");
@@ -42,8 +42,8 @@ fn print_tables() {
 
     println!("\n[E12b] Luby rounds vs n on max-degree-4 random trees:");
     println!("{:>8} {:>12}", "n", "Luby (avg5)");
-    let sizes = [50usize, 200, 800, 3200];
-    for row in pool.map(&sizes, |&n| {
+    let sizes = vec![50usize, 200, 800, 3200];
+    for row in pool.map_owned(sizes, |&n| {
         let tree = trees::random_tree(n, 4, 1).expect("tree");
         let mut total = 0usize;
         for seed in 0..5 {

@@ -19,8 +19,8 @@ fn print_delta_sweep() {
     // spine nodes with `legs = Δ − 2` leaves each.
     println!("\n[E18a] rounds at n ≈ 250 vs Δ (caterpillars):");
     println!("{:>4} {:>6} {:>14} {:>10} {:>16}", "Δ", "n", "tree-MIS (H)", "Luby", "Linial+sweep");
-    let deltas = [4usize, 8, 16, 32, 64];
-    for row in bench::shared_pool().map(&deltas, |&delta| {
+    let deltas = vec![4usize, 8, 16, 32, 64];
+    for row in bench::shared_pool().map_owned(deltas, |&delta| {
         let legs = delta - 2;
         let spine = (250 / (legs + 1)).max(2);
         let g = trees::caterpillar(spine, legs).expect("tree");
@@ -46,8 +46,8 @@ fn print_delta_sweep() {
 fn print_n_sweep() {
     println!("\n[E18b] rounds at Δ ≤ 8 vs n (random trees, seed 2):");
     println!("{:>6} {:>8} {:>14} {:>10}", "n", "layers", "tree-MIS (H)", "Luby");
-    let sizes = [50usize, 100, 200, 400, 800];
-    for row in bench::shared_pool().map(&sizes, |&n| {
+    let sizes = vec![50usize, 100, 200, 400, 800];
+    for row in bench::shared_pool().map_owned(sizes, |&n| {
         let g = trees::random_tree(n, 8, 2).expect("tree");
         let t = tree_mis::tree_mis(&g, 2).expect("tree MIS");
         check_mis(&g, &t.in_set).expect("valid");

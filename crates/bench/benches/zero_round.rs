@@ -14,8 +14,8 @@ fn print_tables() {
         "D", "a", "x", "det-solv", "analytic LB", "MC rate", "MC any-port"
     );
     let pool = shared_pool();
-    let grid = [(3u32, 2u32, 0u32), (4, 3, 1), (6, 4, 1), (8, 5, 2)];
-    for row in pool.map(&grid, |&(delta, a, x)| {
+    let grid = vec![(3u32, 2u32, 0u32), (4, 3, 1), (6, 4, 1), (8, 5, 2)];
+    for row in pool.map_owned(grid, move |&(delta, a, x)| {
         let p = family::pi(&PiParams { delta, a, x }).expect("valid");
         let report = zeroround::analyze(&p);
         let mc = zeroround_mc::simulate_uniform_with(&p, 50_000, 7, &pool);
@@ -36,8 +36,8 @@ fn print_tables() {
         println!("{row}");
     }
     // MIS rows for comparison.
-    let mis_deltas = [3u32, 5];
-    for row in pool.map(&mis_deltas, |&delta| {
+    let mis_deltas = vec![3u32, 5];
+    for row in pool.map_owned(mis_deltas, move |&delta| {
         let p = family::mis(delta).expect("valid");
         let report = zeroround::analyze(&p);
         let mc = zeroround_mc::simulate_uniform_with(&p, 50_000, 7, &pool);

@@ -134,6 +134,128 @@ impl Baseline {
     }
 }
 
+/// Object keys whose values are timing- or hardware-dependent: a diff
+/// only requires them to be *present with the right kind* (number or
+/// null), never value-equal.
+const TIMING_KEYS: [&str; 6] =
+    ["wall_ns", "min_ns", "max_ns", "speedup", "speedup_vs_reference", "available_parallelism"];
+
+/// Schema-checks a parsed `BENCH_relim.json`: schema tag, header keys,
+/// per-entry/run key presence, and the byte-identity assertions
+/// (`byte_identical` must never be `false`). Returns human-readable
+/// problems; empty means the file is well-formed.
+pub fn schema_problems(doc: &Json) -> Vec<String> {
+    let mut out = Vec::new();
+    match doc.get("schema").and_then(Json::as_str) {
+        Some("bench-relim/1") => {}
+        Some(other) => out.push(format!("schema: expected `bench-relim/1`, got `{other}`")),
+        None => out.push("schema: missing or not a string".into()),
+    }
+    for key in ["generated_by", "quick", "threads", "available_parallelism", "entries"] {
+        if doc.get(key).is_none() {
+            out.push(format!("header: missing key `{key}`"));
+        }
+    }
+    let Some(entries) = doc.get("entries").and_then(Json::as_arr) else {
+        out.push("entries: missing or not an array".into());
+        return out;
+    };
+    if entries.is_empty() {
+        out.push("entries: empty".into());
+    }
+    for (i, entry) in entries.iter().enumerate() {
+        let id = entry.get("id").and_then(Json::as_str).unwrap_or("?");
+        for key in ["id", "params", "runs", "speedup", "byte_identical"] {
+            if entry.get(key).is_none() {
+                out.push(format!("entries[{i}] ({id}): missing key `{key}`"));
+            }
+        }
+        if entry.get("byte_identical") == Some(&Json::Bool(false)) {
+            out.push(format!("entries[{i}] ({id}): byte_identical is false"));
+        }
+        let Some(runs) = entry.get("runs").and_then(Json::as_arr) else {
+            out.push(format!("entries[{i}] ({id}): runs missing or not an array"));
+            continue;
+        };
+        for (j, run) in runs.iter().enumerate() {
+            for key in ["threads", "wall_ns", "min_ns", "max_ns", "samples"] {
+                if !run.get(key).is_some_and(Json::is_number) {
+                    out.push(format!("entries[{i}] ({id}) runs[{j}]: `{key}` missing/non-number"));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Diffs a freshly generated baseline against the committed one:
+/// everything must be structurally **equal** — same keys in the same
+/// order, same entry ids, same params, same per-run `threads`/`samples` —
+/// except the [`TIMING_KEYS`], whose values may drift run-to-run (only
+/// their presence and kind are compared). Returns human-readable
+/// mismatches; empty means no perf-schema regression.
+pub fn diff_problems(committed: &Json, fresh: &Json) -> Vec<String> {
+    let mut out = Vec::new();
+    diff_value("$", committed, fresh, &mut out);
+    out
+}
+
+fn diff_value(path: &str, committed: &Json, fresh: &Json, out: &mut Vec<String>) {
+    match (committed, fresh) {
+        (Json::Obj(a), Json::Obj(b)) => {
+            let a_keys: Vec<&str> = a.iter().map(|(k, _)| k.as_str()).collect();
+            let b_keys: Vec<&str> = b.iter().map(|(k, _)| k.as_str()).collect();
+            if a_keys != b_keys {
+                out.push(format!("{path}: keys {a_keys:?} vs {b_keys:?}"));
+                return;
+            }
+            for ((key, va), (_, vb)) in a.iter().zip(b.iter()) {
+                let sub = format!("{path}.{key}");
+                if TIMING_KEYS.contains(&key.as_str()) {
+                    // Tolerate the value, require the kind: a number (or
+                    // null, for absent speedups) on both sides.
+                    let kind_ok = |v: &Json| v.is_number() || *v == Json::Null;
+                    if !kind_ok(va) || !kind_ok(vb) || (va == &Json::Null) != (vb == &Json::Null) {
+                        out.push(format!("{sub}: {} vs {}", va.kind(), vb.kind()));
+                    }
+                } else {
+                    diff_value(&sub, va, vb, out);
+                }
+            }
+        }
+        (Json::Arr(a), Json::Arr(b)) => {
+            if a.len() != b.len() {
+                out.push(format!("{path}: {} items vs {}", a.len(), b.len()));
+                return;
+            }
+            for (i, (va, vb)) in a.iter().zip(b.iter()).enumerate() {
+                diff_value(&format!("{path}[{i}]"), va, vb, out);
+            }
+        }
+        _ => {
+            if committed != fresh {
+                out.push(format!(
+                    "{path}: committed {} != fresh {}",
+                    short(committed),
+                    short(fresh)
+                ));
+            }
+        }
+    }
+}
+
+fn short(v: &Json) -> String {
+    let text = v.render();
+    let text = text.trim();
+    if text.len() > 40 {
+        // Truncate on a char boundary: values may hold multi-byte UTF-8.
+        let cut = (0..=40).rev().find(|&i| text.is_char_boundary(i)).unwrap_or(0);
+        format!("{}…", &text[..cut])
+    } else {
+        text.to_owned()
+    }
+}
+
 /// Renders nanoseconds with an adaptive unit.
 pub fn format_ns(ns: u64) -> String {
     if ns >= 1_000_000_000 {
@@ -203,5 +325,57 @@ mod tests {
         assert_eq!(format_ns(1_500), "1.50us");
         assert_eq!(format_ns(2_500_000), "2.50ms");
         assert_eq!(format_ns(3_210_000_000), "3.210s");
+    }
+
+    #[test]
+    fn schema_check_passes_on_emitted_shape() {
+        let doc = Json::parse(&sample().to_json().render()).unwrap();
+        assert_eq!(schema_problems(&doc), Vec::<String>::new());
+    }
+
+    #[test]
+    fn schema_check_flags_missing_keys_and_false_identity() {
+        let mut base = sample();
+        base.entries[0].byte_identical = Some(false);
+        let doc = Json::parse(&base.to_json().render()).unwrap();
+        let problems = schema_problems(&doc);
+        assert!(problems.iter().any(|p| p.contains("byte_identical is false")), "{problems:?}");
+
+        let doc = Json::parse("{\"schema\": \"bench-relim/2\"}").unwrap();
+        let problems = schema_problems(&doc);
+        assert!(problems.iter().any(|p| p.contains("bench-relim/1")), "{problems:?}");
+        assert!(problems.iter().any(|p| p.contains("entries")), "{problems:?}");
+    }
+
+    #[test]
+    fn diff_tolerates_timing_drift_only() {
+        let committed = Json::parse(&sample().to_json().render()).unwrap();
+        // Same schema, different timings: no problems.
+        let mut drifted = sample();
+        drifted.entries[0].runs[1].wall_ns = 999;
+        drifted.entries[0].runs[1].min_ns = 1;
+        drifted.entries[0].speedup = Some(0.01);
+        let drifted = Json::parse(&drifted.to_json().render()).unwrap();
+        assert_eq!(diff_problems(&committed, &drifted), Vec::<String>::new());
+
+        // A renamed kernel id is a schema regression.
+        let mut renamed = sample();
+        renamed.entries[0].id = "lemma8_sweep_d5".into();
+        let renamed = Json::parse(&renamed.to_json().render()).unwrap();
+        let problems = diff_problems(&committed, &renamed);
+        assert!(problems.iter().any(|p| p.contains(".id")), "{problems:?}");
+
+        // A changed non-timing param value is a regression too.
+        let mut reparam = sample();
+        reparam.entries[0].params[0].1 = Json::Int(5);
+        let reparam = Json::parse(&reparam.to_json().render()).unwrap();
+        assert!(!diff_problems(&committed, &reparam).is_empty());
+
+        // A dropped run (thread count no longer measured) is a regression.
+        let mut fewer = sample();
+        fewer.entries[0].runs.pop();
+        let fewer = Json::parse(&fewer.to_json().render()).unwrap();
+        let problems = diff_problems(&committed, &fewer);
+        assert!(problems.iter().any(|p| p.contains("items")), "{problems:?}");
     }
 }

@@ -8,14 +8,19 @@
 //!
 //! ```text
 //! bench-driver [--quick] [--threads N] [--out PATH]
+//! bench-driver --diff COMMITTED FRESH
 //! ```
 //!
 //! * `--quick`   — CI smoke sizes (Δ=4 sweep, small kernels)
 //! * `--threads` — parallel pool width (default: RELIM_THREADS or
 //!   available parallelism)
 //! * `--out`     — baseline path (default: `BENCH_relim.json`)
+//! * `--diff`    — compare a fresh baseline against the committed one:
+//!   schema + key presence + byte-identity assertions must hold and all
+//!   non-timing fields must match exactly (timing fields may drift).
+//!   Exits non-zero on any problem — the CI perf-schema regression gate.
 
-use bench::baseline::{Baseline, Entry, Run};
+use bench::baseline::{diff_problems, schema_problems, Baseline, Entry, Run};
 use bench::json::Json;
 use bench::{time_median, Pool};
 use lb_family::family::{self, PiParams};
@@ -29,15 +34,20 @@ use relim_core::{iterate, Label, LabelSet, SetConfig};
 
 struct Options {
     quick: bool,
-    threads: usize,
+    /// `--threads N` if given; resolved from `RELIM_THREADS` / available
+    /// parallelism only when a baseline is actually generated (so
+    /// `--diff` never touches, and never trips over, the environment).
+    threads: Option<usize>,
     out: std::path::PathBuf,
+    diff: Option<(std::path::PathBuf, std::path::PathBuf)>,
 }
 
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
         quick: false,
-        threads: Pool::from_env().threads(),
+        threads: None,
         out: std::path::PathBuf::from("BENCH_relim.json"),
+        diff: None,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -45,18 +55,48 @@ fn parse_args() -> Result<Options, String> {
             "--quick" => opts.quick = true,
             "--threads" => {
                 let v = iter.next().ok_or("--threads requires a value")?;
-                opts.threads = v.parse().map_err(|_| format!("bad --threads value `{v}`"))?;
+                opts.threads = Some(v.parse().map_err(|_| format!("bad --threads value `{v}`"))?);
             }
             "--out" => {
                 opts.out = iter.next().ok_or("--out requires a value")?.into();
             }
+            "--diff" => {
+                let committed = iter.next().ok_or("--diff requires COMMITTED and FRESH paths")?;
+                let fresh = iter.next().ok_or("--diff requires COMMITTED and FRESH paths")?;
+                opts.diff = Some((committed.into(), fresh.into()));
+            }
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
-    if opts.threads == 0 {
-        opts.threads = Pool::available_parallelism();
-    }
     Ok(opts)
+}
+
+/// The `--diff` mode: parse both baselines, schema-check the fresh one,
+/// and require non-timing equality against the committed one.
+fn run_diff(committed: &std::path::Path, fresh: &std::path::Path) -> Result<(), String> {
+    let load = |path: &std::path::Path| -> Result<Json, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    };
+    let committed_doc = load(committed)?;
+    let fresh_doc = load(fresh)?;
+    let mut problems = schema_problems(&fresh_doc);
+    problems.extend(diff_problems(&committed_doc, &fresh_doc));
+    if problems.is_empty() {
+        println!(
+            "baseline diff OK: {} matches {} (timing fields ignored)",
+            fresh.display(),
+            committed.display()
+        );
+        Ok(())
+    } else {
+        Err(format!(
+            "baseline diff found {} problem(s):\n  {}",
+            problems.len(),
+            problems.join("\n  ")
+        ))
+    }
 }
 
 /// Times `f` at 1 thread and at `threads`, asserting the rendered outputs
@@ -117,9 +157,30 @@ fn main() {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: bench-driver [--quick] [--threads N] [--out PATH]");
+            eprintln!(
+                "usage: bench-driver [--quick] [--threads N] [--out PATH]\n       \
+                 bench-driver --diff COMMITTED FRESH"
+            );
             std::process::exit(2);
         }
+    };
+    if let Some((committed, fresh)) = &opts.diff {
+        if let Err(e) = run_diff(committed, fresh) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    let threads = match opts.threads {
+        Some(0) => Pool::available_parallelism(),
+        Some(n) => n,
+        None => match Pool::try_from_env() {
+            Ok(pool) => pool.threads(),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        },
     };
     let mut entries = Vec::new();
 
@@ -133,7 +194,7 @@ fn main() {
             ("delta".into(), Json::Int(i64::from(sweep_delta))),
             ("points".into(), Json::Int(family::sweep_points(sweep_delta).len() as i64)),
         ],
-        opts.threads,
+        threads,
         sweep_samples,
         |pool| lemma8::verify_sweep_with(sweep_delta, pool).expect("sweep"),
         |reports| format!("{reports:?}"),
@@ -146,21 +207,68 @@ fn main() {
     entries.push(compare(
         "rbar_step_pi_d5_a4_x1",
         vec![("labels".into(), Json::Int(r.problem.alphabet().len() as i64))],
-        opts.threads,
+        threads,
         if opts.quick { 3 } else { 5 },
         |pool| rbar_step_with(&r.problem, pool).expect("rbar"),
         |step| format!("{}\n{:?}", step.problem.render(), step.provenance),
     ));
 
-    // 3. Iterated round elimination on MIS until the label limit.
+    // 3. Iterated round elimination on MIS until the label limit — the
+    // memoized default, plus the memoization-off reference so the
+    // before/after of the sub-index cache is recorded side by side.
     let mis = family::mis(3).expect("valid");
     entries.push(compare(
         "iterate_rr_mis_d3",
-        vec![("max_steps".into(), Json::Int(10)), ("label_limit".into(), Json::Int(20))],
-        opts.threads,
+        vec![
+            ("max_steps".into(), Json::Int(10)),
+            ("label_limit".into(), Json::Int(20)),
+            ("memoized".into(), Json::Bool(true)),
+        ],
+        threads,
         if opts.quick { 3 } else { 5 },
         |pool| iterate::iterate_rr_with(&mis, 10, 20, pool),
         |outcome| format!("{:?}\n{:?}", outcome.stats, outcome.stopped),
+    ));
+    entries.push(compare(
+        "iterate_rr_mis_d3_memo_off",
+        vec![
+            ("max_steps".into(), Json::Int(10)),
+            ("label_limit".into(), Json::Int(20)),
+            ("memoized".into(), Json::Bool(false)),
+        ],
+        threads,
+        if opts.quick { 3 } else { 5 },
+        |pool| iterate::iterate_rr_unmemoized(&mis, 10, 20, pool),
+        |outcome| format!("{:?}\n{:?}", outcome.stats, outcome.stopped),
+    ));
+    // The two paths must also agree with *each other*, not just across
+    // thread counts.
+    {
+        let pool = Pool::new(threads);
+        let memo = iterate::iterate_rr_with(&mis, 10, 20, &pool);
+        let plain = iterate::iterate_rr_unmemoized(&mis, 10, 20, &pool);
+        assert_eq!(
+            format!("{:?}\n{:?}", memo.stats, memo.stopped),
+            format!("{:?}\n{:?}", plain.stats, plain.stopped),
+            "memoized iterate_rr must match the memoization-off reference"
+        );
+    }
+
+    // 3b. Pool submission overhead: many micro-tasks whose per-item work
+    // is trivial, so the measured cost is dominated by what the
+    // persistent pool amortizes (no per-call thread spawns).
+    let micro_items: Vec<u64> = (0..4096).collect();
+    entries.push(compare(
+        "pool_map_owned_micro",
+        vec![("items".into(), Json::Int(micro_items.len() as i64))],
+        threads,
+        if opts.quick { 5 } else { 9 },
+        |pool| {
+            pool.map_owned(micro_items.clone(), |&x| {
+                x.wrapping_mul(6364136223846793005).rotate_left(17)
+            })
+        },
+        |out| format!("{out:?}"),
     ));
 
     // 4. The chunk-sharded Monte-Carlo gadget simulation.
@@ -172,7 +280,7 @@ fn main() {
             ("trials".into(), Json::Int(mc_trials as i64)),
             ("chunk".into(), Json::Int(zeroround_mc::CHUNK_TRIALS as i64)),
         ],
-        opts.threads,
+        threads,
         if opts.quick { 3 } else { 5 },
         |pool| zeroround_mc::simulate_uniform_with(&mc_problem, mc_trials, 7, pool),
         |out| format!("{}/{}", out.failures, out.trials),
@@ -205,7 +313,7 @@ fn main() {
     let mut bucketed = compare(
         "dominance_filter_bucketed",
         vec![("configs".into(), Json::Int(n_configs as i64))],
-        opts.threads,
+        threads,
         3,
         |pool| dominance_filter_with(configs.clone(), pool),
         |survivors| format!("{survivors:?}"),
@@ -217,8 +325,8 @@ fn main() {
     assert_eq!(bucketed_out, reference, "bucketed filter must match the seed reference");
     entries.push(bucketed);
 
-    let baseline = Baseline { quick: opts.quick, threads: opts.threads, entries };
-    println!("\n[BENCH_relim] parallel engine baseline (1 vs {} threads):", opts.threads);
+    let baseline = Baseline { quick: opts.quick, threads, entries };
+    println!("\n[BENCH_relim] parallel engine baseline (1 vs {} threads):", threads);
     print!("{}", baseline.render_table());
     println!("dominance rewrite vs seed reference: {rewrite_speedup:.2}x (sequential)");
     match baseline.write(&opts.out) {

@@ -190,16 +190,15 @@ pub fn verify_sweep(delta: u32) -> Result<Vec<Lemma6Report>> {
     verify_sweep_with(delta, &relim_pool::Pool::sequential())
 }
 
-/// [`verify_sweep`] with the `(a, x)` parameter points sharded over `pool`.
-/// Reports come back in sweep order — byte-identical to [`verify_sweep`]
-/// at any thread count.
+/// [`verify_sweep`] with the `(a, x)` parameter points sharded over the
+/// persistent workers of `pool`. Reports come back in sweep order —
+/// byte-identical to [`verify_sweep`] at any thread count.
 ///
 /// # Errors
 ///
 /// Propagates engine errors (from the earliest failing point).
 pub fn verify_sweep_with(delta: u32, pool: &relim_pool::Pool) -> Result<Vec<Lemma6Report>> {
-    let points = family::sweep_points(delta);
-    pool.try_map(&points, verify)
+    pool.try_map_owned(family::sweep_points(delta), verify)
 }
 
 #[cfg(test)]

@@ -324,19 +324,20 @@ pub fn verify_sweep(delta: u32) -> Result<Vec<Lemma8Report>> {
     verify_sweep_with(delta, &Pool::sequential())
 }
 
-/// [`verify_sweep`] sharded over `pool`: the `(a, x)` parameter points are
-/// distributed across the workers (uneven point costs are balanced by work
-/// stealing), and each point's engine computation itself uses the pool when
-/// it is the first to reach it. Reports come back in sweep order —
-/// byte-identical to [`verify_sweep`] at any thread count.
+/// [`verify_sweep`] sharded over the persistent workers of `pool`: the
+/// `(a, x)` parameter points are distributed across the workers (uneven
+/// point costs are balanced by work stealing), and each point's engine
+/// computation itself uses the pool when it is the first to reach it.
+/// Reports come back in sweep order — byte-identical to [`verify_sweep`]
+/// at any thread count.
 ///
 /// # Errors
 ///
 /// Propagates engine errors (from the earliest failing point).
 pub fn verify_sweep_with(delta: u32, pool: &Pool) -> Result<Vec<Lemma8Report>> {
-    let points = family::sweep_points(delta);
-    pool.try_map(&points, |params| {
-        Lemma8Machinery::compute_with(params, pool).map(|mach| mach.verify())
+    let engine_pool = *pool;
+    pool.try_map_owned(family::sweep_points(delta), move |params| {
+        Lemma8Machinery::compute_with(params, &engine_pool).map(|mach| mach.verify())
     })
 }
 

@@ -94,13 +94,17 @@ fn simulate(
 ) -> McOutcome {
     let delta = problem.delta() as usize;
     let configs: Vec<Vec<Label>> = problem.node().iter().map(|c| c.iter().collect()).collect();
+    // The chunk tasks run on the persistent workers, so they own their
+    // context: the expanded configurations move in, the edge constraint is
+    // cloned once per simulation (trials dominate by orders of magnitude).
+    let edge = problem.edge().clone();
 
     // (chunk index, trials in chunk) — the last chunk may be short.
     let chunks: Vec<(u64, u64)> = (0..trials.div_ceil(CHUNK_TRIALS))
         .map(|c| (c, CHUNK_TRIALS.min(trials - c * CHUNK_TRIALS)))
         .collect();
     let failures: u64 = pool
-        .map(&chunks, |&(chunk, chunk_trials)| {
+        .map_owned(chunks, move |&(chunk, chunk_trials)| {
             let mut rng = StdRng::seed_from_u64(chunk_seed(seed, chunk));
             let draw = |rng: &mut StdRng| -> Vec<Label> {
                 let mut cfg = configs[rng.gen_range(0..configs.len())].clone();
@@ -114,10 +118,11 @@ fn simulate(
                 let bad = match event {
                     FailureEvent::SinglePort => {
                         let port = rng.gen_range(0..delta);
-                        !problem.edge().contains(&Config::new(vec![f[port], g[port]]))
+                        !edge.contains(&Config::new(vec![f[port], g[port]]))
                     }
-                    FailureEvent::AnyPort => (0..delta)
-                        .any(|port| !problem.edge().contains(&Config::new(vec![f[port], g[port]]))),
+                    FailureEvent::AnyPort => {
+                        (0..delta).any(|port| !edge.contains(&Config::new(vec![f[port], g[port]])))
+                    }
                 };
                 if bad {
                     failures += 1;

@@ -94,11 +94,12 @@ thread count. `step` and `fixed-point` accept --threads too."
 }
 
 /// The pool for this invocation: `--threads N` if given, otherwise
-/// `RELIM_THREADS` / available parallelism.
+/// `RELIM_THREADS` / available parallelism. A malformed `RELIM_THREADS`
+/// (zero, empty, non-numeric) is a reported error, not a silent fallback.
 fn pool_from(args: &Args) -> Result<Pool, Box<dyn std::error::Error>> {
     Ok(match args.get_u64_opt("threads")? {
         Some(n) => Pool::new(n as usize),
-        None => Pool::from_env(),
+        None => Pool::try_from_env().map_err(|e| Box::new(ArgError(e.to_string())))?,
     })
 }
 

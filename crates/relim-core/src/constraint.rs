@@ -35,7 +35,7 @@ use std::fmt;
 /// assert_eq!(n.degree(), 3);
 /// assert_eq!(n.len(), 2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Constraint {
     degree: u32,
     configs: BTreeSet<Config>,

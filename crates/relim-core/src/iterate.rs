@@ -4,11 +4,29 @@
 //! detecting fixed points — the workflow behind both the "doubly
 //! exponential growth" observation (paper §1.2, experiment E13) and
 //! fixed-point lower bounds (§1.2, "Fixed points").
+//!
+//! ## Cross-step memoization
+//!
+//! Each `R̄` application starts by building the **sub-multiset index** of
+//! the node constraint it universally quantifies over — a pure function of
+//! that constraint. Fixed-point searches recompute steps on recurring
+//! problems (the confirming step at a fixed point, repeated probes of the
+//! same problem), so [`iterate_rr_with`] threads a [`SubIndexCache`]
+//! through its steps: an exact-match cache from node constraints to
+//! `Arc`-shared indices. Cache hits skip the enumeration work of
+//! rebuilding the index and are **byte-identical** to cache misses (the
+//! index content is fully determined by the constraint) — pinned by
+//! [`iterate_rr_unmemoized`], the memoization-off reference path the
+//! differential suite compares against.
 
+use crate::constraint::{Constraint, SubMultisetIndex};
+use crate::error::RelimError;
 use crate::iso;
 use crate::problem::Problem;
-use crate::roundelim::rr_step_with;
+use crate::roundelim::{r_step, rbar_step_with_index, rr_step_with, Step, MAX_LABELS};
 use relim_pool::Pool;
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Why an iteration stopped.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -88,13 +106,133 @@ pub fn iterate_rr(p: &Problem, max_steps: usize, label_limit: usize) -> Iteratio
     iterate_rr_with(p, max_steps, label_limit, &Pool::sequential())
 }
 
-/// [`iterate_rr`] with each `R̄(R(·))` application sharded over `pool`.
-/// Outcome is byte-identical to [`iterate_rr`] at any thread count.
+/// An exact-match cache from node constraints to their `Arc`-shared
+/// sub-multiset indices, letting consecutive (or repeated) `iterate_rr`
+/// steps reuse the index enumeration work.
+///
+/// The index is a pure function of the constraint, so a hit is
+/// byte-identical to a rebuild. The cache is bounded: when `capacity`
+/// distinct constraints are held, the next insertion clears the map (an
+/// epoch reset — simple, deterministic, and sufficient for fixed-point
+/// searches whose working set is tiny).
+#[derive(Debug, Clone)]
+pub struct SubIndexCache {
+    entries: HashMap<Constraint, Arc<SubMultisetIndex>>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl SubIndexCache {
+    /// A cache holding up to 64 constraints.
+    pub fn new() -> SubIndexCache {
+        SubIndexCache::with_capacity(64)
+    }
+
+    /// A cache holding up to `capacity` constraints (at least 1).
+    pub fn with_capacity(capacity: usize) -> SubIndexCache {
+        SubIndexCache { entries: HashMap::new(), capacity: capacity.max(1), hits: 0, misses: 0 }
+    }
+
+    /// The index for `constraint`, shared from the cache or built (and
+    /// cached) on a miss.
+    pub fn get_or_build(&mut self, constraint: &Constraint) -> Arc<SubMultisetIndex> {
+        if let Some(index) = self.entries.get(constraint) {
+            self.hits += 1;
+            return Arc::clone(index);
+        }
+        self.misses += 1;
+        let index = Arc::new(constraint.sub_multiset_index());
+        if self.entries.len() >= self.capacity {
+            self.entries.clear();
+        }
+        self.entries.insert(constraint.clone(), Arc::clone(&index));
+        index
+    }
+
+    /// Lookups answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that had to build the index.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Distinct constraints currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl Default for SubIndexCache {
+    fn default() -> Self {
+        SubIndexCache::new()
+    }
+}
+
+/// One `Π ↦ R̄(R(Π))` application with the `R̄` side's sub-multiset index
+/// served from `cache`. Byte-identical to
+/// [`rr_step_with`] at any thread count and any cache state.
+///
+/// # Errors
+///
+/// Same as [`crate::roundelim::rr_step`].
+pub fn rr_step_memo(
+    p: &Problem,
+    pool: &Pool,
+    cache: &mut SubIndexCache,
+) -> crate::error::Result<(Step, Step)> {
+    let r = r_step(p)?;
+    // Mirror `rbar_step_with`'s label guard *before* touching the cache:
+    // an over-limit alphabet must fail without building a huge index.
+    let n = r.problem.alphabet().len();
+    if n > MAX_LABELS {
+        return Err(RelimError::TooManyLabels { requested: n });
+    }
+    let index = cache.get_or_build(r.problem.node());
+    let rr = rbar_step_with_index(&r.problem, &index, pool)?;
+    Ok((r, rr))
+}
+
+/// [`iterate_rr`] with each `R̄(R(·))` application sharded over `pool` and
+/// the sub-multiset indices memoized across steps (a fresh
+/// [`SubIndexCache`] per call). Outcome is byte-identical to
+/// [`iterate_rr`] at any thread count.
 pub fn iterate_rr_with(
     p: &Problem,
     max_steps: usize,
     label_limit: usize,
     pool: &Pool,
+) -> IterationOutcome {
+    let mut cache = SubIndexCache::new();
+    iterate_impl(p, max_steps, label_limit, |prev| rr_step_memo(prev, pool, &mut cache))
+}
+
+/// The memoization-off reference for [`iterate_rr_with`]: every step
+/// rebuilds its sub-multiset index from scratch. Exists so differential
+/// tests can pin that the memoized path changes nothing.
+pub fn iterate_rr_unmemoized(
+    p: &Problem,
+    max_steps: usize,
+    label_limit: usize,
+    pool: &Pool,
+) -> IterationOutcome {
+    iterate_impl(p, max_steps, label_limit, |prev| rr_step_with(prev, pool))
+}
+
+/// The shared iteration loop, parameterized over how one step is computed.
+fn iterate_impl(
+    p: &Problem,
+    max_steps: usize,
+    label_limit: usize,
+    mut step_fn: impl FnMut(&Problem) -> crate::error::Result<(Step, Step)>,
 ) -> IterationOutcome {
     let (current, _) = p.drop_unused_labels();
     let mut problems = vec![current];
@@ -108,7 +246,7 @@ pub fn iterate_rr_with(
                 stopped: StopReason::LabelLimit { labels: prev.alphabet().len() },
             };
         }
-        match rr_step_with(&prev, pool) {
+        match step_fn(&prev) {
             Ok((_, rr)) => {
                 let (reduced, _) = rr.problem.drop_unused_labels();
                 let fixed = iso::isomorphic(&reduced, &prev);
@@ -175,5 +313,70 @@ mod tests {
         let p = Problem::from_text("A A", "A A").unwrap();
         let outcome = iterate_rr(&p, 3, 20);
         assert!(outcome.reached_fixed_point());
+    }
+
+    fn render_outcome(o: &IterationOutcome) -> String {
+        let rendered: Vec<String> = o.problems.iter().map(Problem::render).collect();
+        format!("{:?}\n{:?}\n{}", o.stats, o.stopped, rendered.join("\n---\n"))
+    }
+
+    #[test]
+    fn memoized_iteration_matches_unmemoized_reference() {
+        for (node, edge) in
+            [("O I I I", "[O I] I"), ("M M M\nP O O", "M [P O]\nO O"), ("A A", "A A")]
+        {
+            let p = Problem::from_text(node, edge).unwrap();
+            let reference = render_outcome(&iterate_rr_unmemoized(&p, 6, 20, &Pool::sequential()));
+            let memoized = render_outcome(&iterate_rr_with(&p, 6, 20, &Pool::sequential()));
+            assert_eq!(memoized, reference, "problem: {node} / {edge}");
+        }
+    }
+
+    #[test]
+    fn cache_hits_share_the_index_and_change_nothing() {
+        let p = Problem::from_text("M M M\nP O O", "M [P O]\nO O").unwrap();
+        let mut cache = SubIndexCache::new();
+        let first = cache.get_or_build(p.node());
+        let second = cache.get_or_build(p.node());
+        assert!(Arc::ptr_eq(&first, &second), "a hit must share the built index");
+        assert_eq!((cache.hits(), cache.misses(), cache.len()), (1, 1, 1));
+        assert_eq!(first.len(), p.node().sub_multiset_index().len());
+    }
+
+    #[test]
+    fn cache_epoch_reset_respects_capacity() {
+        let mut cache = SubIndexCache::with_capacity(2);
+        let constraints = ["A A", "A B", "B B"].map(|e| {
+            let p = Problem::from_text("A A\nB B", e).unwrap();
+            p.edge().clone()
+        });
+        for c in &constraints {
+            cache.get_or_build(c);
+        }
+        // Third insert overflowed capacity 2: the map was cleared first.
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.misses(), 3);
+    }
+
+    #[test]
+    fn fixed_point_confirmation_hits_the_cache() {
+        // Sinkless orientation: the confirming step recomputes the same
+        // problem, so its R(Π) node constraint repeats exactly and the
+        // memoized path must score a hit while matching the reference.
+        // (Alphabet *names* grow each step — the provenance-set display —
+        // but the cache keys on the name-free `Constraint`, which repeats
+        // exactly at the fixed point.)
+        let so = Problem::from_text("O I I", "[O I] I").unwrap();
+        let pool = Pool::sequential();
+        let mut cache = SubIndexCache::new();
+        let mut current = so.drop_unused_labels().0;
+        for step in 0..2 {
+            let (_, rr) = rr_step_memo(&current, &pool, &mut cache).unwrap();
+            let (reduced, _) = rr.problem.drop_unused_labels();
+            assert!(iso::isomorphic(&reduced, &current), "step {step} left the fixed point");
+            current = reduced;
+        }
+        assert_eq!(cache.hits(), 1, "the confirming step must reuse the index");
+        assert_eq!(cache.misses(), 1);
     }
 }

@@ -26,10 +26,17 @@
 //! Both hot paths are parallelizable over a [`Pool`]: the `R̄` enumeration
 //! splits its DFS at the top candidate level into stealable subtree tasks
 //! ([`forall_multisets`]'s internals), and the dominance filter shards its
-//! per-configuration maximality checks. Parallel results are collected and
+//! per-configuration maximality checks. Batches go to the **persistent**
+//! worker set ([`Pool::map_owned`] — task payloads are `Arc`-owned, so no
+//! threads are spawned per call), and parallel results are collected and
 //! canonically re-ordered, so every `*_with` entry point is
 //! **byte-identical** to its sequential counterpart at any thread count
 //! (enforced by the differential proptests at the workspace root).
+//!
+//! The `R̄` side's sub-multiset index is a pure function of the node
+//! constraint; [`rbar_step_with_index`] accepts a prebuilt (and possibly
+//! memoized — see [`crate::iterate::SubIndexCache`]) index so fixed-point
+//! searches can reuse it across steps.
 
 use crate::config::{Config, SetConfig};
 use crate::constraint::{Constraint, SubMultisetIndex};
@@ -43,6 +50,14 @@ use crate::problem::Problem;
 use crate::rightclosed::right_closed_sets;
 use relim_pool::Pool;
 use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Largest alphabet the universal-side enumeration accepts — the
+/// right-closed-set enumeration limit of
+/// [`crate::rightclosed::right_closed_sets`]. Shared by every guard
+/// (including the memoized path in [`crate::iterate`]) so the limit can
+/// only ever change in one place.
+pub const MAX_LABELS: usize = 22;
 
 /// The result of one `R(·)` or `R̄(·)` application.
 ///
@@ -147,15 +162,46 @@ pub fn rbar_step(p: &Problem) -> Result<Step> {
 /// Same as [`rbar_step`].
 pub fn rbar_step_with(p: &Problem, pool: &Pool) -> Result<Step> {
     let n = p.alphabet().len();
-    if n > 22 {
+    if n > MAX_LABELS {
         return Err(RelimError::TooManyLabels { requested: n });
     }
+    let sub_index = Arc::new(p.node().sub_multiset_index());
+    rbar_step_with_index(p, &sub_index, pool)
+}
+
+/// [`rbar_step_with`] with a prebuilt sub-multiset index of `p.node()`
+/// (the index is a pure function of the constraint, so a cached one —
+/// see [`crate::iterate::SubIndexCache`] — produces byte-identical
+/// results while skipping the enumeration work of rebuilding it).
+///
+/// # Errors
+///
+/// Same as [`rbar_step`].
+///
+/// # Panics
+///
+/// Panics if `sub_index` was built from a constraint of a different
+/// degree than `p.node()` (the cheap part of the "index matches the
+/// constraint" contract).
+pub fn rbar_step_with_index(
+    p: &Problem,
+    sub_index: &Arc<SubMultisetIndex>,
+    pool: &Pool,
+) -> Result<Step> {
+    let n = p.alphabet().len();
+    if n > MAX_LABELS {
+        return Err(RelimError::TooManyLabels { requested: n });
+    }
+    assert_eq!(
+        sub_index.degree(),
+        p.node().degree(),
+        "sub-multiset index was built for a different constraint"
+    );
     let order = StrengthOrder::of_constraint(p.node(), n);
     let cands = right_closed_sets(&order);
     let delta = p.delta();
-    let sub_index = p.node().sub_multiset_index();
 
-    let raw = forall_multisets_with(&cands, delta, &sub_index, pool);
+    let raw = forall_multisets_with(&cands, delta, sub_index, pool);
     let maximal = dominance_filter_with(raw, pool);
     finish_step(p, maximal, UniversalSide::Node)
 }
@@ -298,30 +344,37 @@ pub(crate) fn forall_multisets(
     delta: u32,
     sub_index: &SubMultisetIndex,
 ) -> Vec<SetConfig> {
-    forall_multisets_with(cands, delta, sub_index, &Pool::sequential())
+    if delta == 0 {
+        return vec![SetConfig::new(Vec::new())];
+    }
+    let mut out = Vec::new();
+    let mut chosen: Vec<LabelSet> = Vec::with_capacity(delta as usize);
+    forall_rec(cands, 0, delta, &[Config::empty()], &mut chosen, sub_index, &mut out);
+    out
 }
 
 /// [`forall_multisets`] with the DFS split at the top candidate level into
-/// one stealable subtree task per starting candidate. Subtree outputs are
-/// concatenated in candidate order, which is exactly the sequential DFS
-/// emission order — output is byte-identical at any thread count.
+/// one stealable subtree task per starting candidate, submitted to the
+/// persistent worker set (candidates and index are `Arc`-shared with the
+/// `'static` tasks). Subtree outputs are concatenated in candidate order,
+/// which is exactly the sequential DFS emission order — output is
+/// byte-identical at any thread count.
 pub(crate) fn forall_multisets_with(
     cands: &[LabelSet],
     delta: u32,
-    sub_index: &SubMultisetIndex,
+    sub_index: &Arc<SubMultisetIndex>,
     pool: &Pool,
 ) -> Vec<SetConfig> {
     if delta == 0 {
         return vec![SetConfig::new(Vec::new())];
     }
     if pool.threads() <= 1 || cands.len() <= 1 {
-        let mut out = Vec::new();
-        let mut chosen: Vec<LabelSet> = Vec::with_capacity(delta as usize);
-        forall_rec(cands, 0, delta, &[Config::empty()], &mut chosen, sub_index, &mut out);
-        return out;
+        return forall_multisets(cands, delta, sub_index);
     }
     let tops: Vec<usize> = (0..cands.len()).collect();
-    let subtrees: Vec<Vec<SetConfig>> = pool.map(&tops, |&top| {
+    let cands: Arc<Vec<LabelSet>> = Arc::new(cands.to_vec());
+    let sub_index = Arc::clone(sub_index);
+    let subtrees: Vec<Vec<SetConfig>> = pool.map_owned(tops, move |&top| {
         let mut out = Vec::new();
         // Replicate the level-0 loop body for index `top`: extend the empty
         // partial choice by every label of the top candidate, then recurse
@@ -339,7 +392,7 @@ pub(crate) fn forall_multisets_with(
         next.dedup();
         let mut chosen: Vec<LabelSet> = Vec::with_capacity(delta as usize);
         chosen.push(cand);
-        forall_rec(cands, top, delta - 1, &next, &mut chosen, sub_index, &mut out);
+        forall_rec(&cands, top, delta - 1, &next, &mut chosen, &sub_index, &mut out);
         out
     });
     subtrees.into_iter().flatten().collect()
@@ -422,35 +475,55 @@ pub fn dominance_filter_with(configs: Vec<SetConfig>, pool: &Pool) -> Vec<SetCon
             (cards, c.iter().fold(LabelSet::EMPTY, LabelSet::union))
         })
         .collect();
-    let mut buckets: BTreeMap<&[u8], Vec<usize>> = BTreeMap::new();
+    let mut buckets: BTreeMap<Vec<u8>, Vec<usize>> = BTreeMap::new();
     for (i, (cards, _)) in sigs.iter().enumerate() {
-        buckets.entry(cards.as_slice()).or_default().push(i);
+        buckets.entry(cards.clone()).or_default().push(i);
     }
-    let buckets: Vec<(&[u8], Vec<usize>)> = buckets.into_iter().collect();
+    let buckets: Vec<(Vec<u8>, Vec<usize>)> = buckets.into_iter().collect();
 
+    if pool.threads() <= 1 {
+        // Inline path: no shared ownership needed, survivors move out.
+        let keep: Vec<bool> =
+            (0..configs.len()).map(|i| is_maximal(&configs, &sigs, &buckets, i)).collect();
+        return configs.into_iter().zip(keep).filter_map(|(c, k)| k.then_some(c)).collect();
+    }
+
+    // Persistent-pool path: the `'static` tasks co-own the configurations
+    // and pre-computed signatures; survivors are cloned out by the worker
+    // that checked them (same output bytes as the move above).
     let indices: Vec<usize> = (0..configs.len()).collect();
-    let keep: Vec<bool> = pool.map(&indices, |&i| {
-        let (cards_i, support_i) = &sigs[i];
-        for (cards_j, members) in &buckets {
-            // A dominator's sorted cardinality vector must dominate ours
-            // position-wise (any witnessing matching only grows sets).
-            if cards_j.len() != cards_i.len()
-                || !cards_i.iter().zip(cards_j.iter()).all(|(a, b)| a <= b)
-            {
-                continue;
-            }
-            for &j in members {
-                if j != i
-                    && support_i.is_subset_of(sigs[j].1)
-                    && dominates(&configs[j], &configs[i])
-                {
-                    return false;
-                }
+    let shared = Arc::new((configs, sigs, buckets));
+    let survivors: Vec<Option<SetConfig>> = pool.map_owned(indices, move |&i| {
+        let (configs, sigs, buckets) = &*shared;
+        is_maximal(configs, sigs, buckets, i).then(|| configs[i].clone())
+    });
+    survivors.into_iter().flatten().collect()
+}
+
+/// Whether `configs[i]` is dominated by no other configuration, using the
+/// bucket pre-checks of [`dominance_filter_with`].
+fn is_maximal(
+    configs: &[SetConfig],
+    sigs: &[(Vec<u8>, LabelSet)],
+    buckets: &[(Vec<u8>, Vec<usize>)],
+    i: usize,
+) -> bool {
+    let (cards_i, support_i) = &sigs[i];
+    for (cards_j, members) in buckets {
+        // A dominator's sorted cardinality vector must dominate ours
+        // position-wise (any witnessing matching only grows sets).
+        if cards_j.len() != cards_i.len()
+            || !cards_i.iter().zip(cards_j.iter()).all(|(a, b)| a <= b)
+        {
+            continue;
+        }
+        for &j in members {
+            if j != i && support_i.is_subset_of(sigs[j].1) && dominates(&configs[j], &configs[i]) {
+                return false;
             }
         }
-        true
-    });
-    configs.into_iter().zip(keep).filter_map(|(c, k)| k.then_some(c)).collect()
+    }
+    true
 }
 
 /// The seed's quadratic dominance filter, kept verbatim as the reference

@@ -1,4 +1,4 @@
-//! # relim-pool — a hand-rolled work-stealing thread pool (std-only)
+//! # relim-pool — a persistent work-stealing thread pool (std-only)
 //!
 //! The round elimination engine's hot paths (the universal sides of `R(·)`
 //! and `R̄(·)`, the Lemma 8 parameter sweeps, the bench grids) are
@@ -10,49 +10,93 @@
 //!
 //! Like the `vendor/` shims, it is dependency-free by necessity (the build
 //! environment has no crates.io route), so the pool is built from `std`
-//! primitives only and contains no `unsafe`:
+//! primitives only and contains no `unsafe`.
 //!
-//! * [`Pool::map`] runs a closure over a slice, seeding one mutex-guarded
-//!   deque per worker with a contiguous block of item indices; workers pop
-//!   their own deque from the front and **steal half** of the largest
-//!   other deque when empty.
-//! * Borrowed inputs are supported without `unsafe` by running workers
-//!   under [`std::thread::scope`]; worker threads live for one `map` call.
-//!   Tasks in this workspace are milliseconds-to-seconds, so the spawn
-//!   cost (~tens of µs) is noise.
+//! ## Persistent worker set
+//!
+//! Round elimination submits *thousands* of micro-batches per fixed-point
+//! search (one per `R̄` DFS level, one per dominance shard, one per sweep
+//! point), so spawning workers per call would make the spawn cost the hot
+//! path. Instead the crate keeps one **process-wide worker set**, created
+//! lazily on the first parallel batch and grown on demand up to the widest
+//! pool ever requested (bounded by [`MAX_WORKERS`]). Idle workers park on a
+//! condition variable; there is no explicit shutdown — parked threads cost
+//! nothing and die with the process.
+//!
+//! Work reaches the workers through a **submission queue** of batches:
+//!
+//! * [`Pool::map_owned`] / [`Pool::try_map_owned`] take `'static` task
+//!   payloads (the items and the closure are *owned* by the batch — use
+//!   `Arc` for shared context instead of borrows) and push one batch onto
+//!   the queue. Each batch carries per-virtual-worker deques seeded with
+//!   contiguous index blocks; participants (the submitting thread plus any
+//!   idle persistent workers) pop their own deque from the front and
+//!   **steal half** of the largest other deque when empty. Results return
+//!   to the submitter through a per-batch [`std::sync::mpsc`] channel.
+//! * [`Pool::map`] / [`Pool::try_map`] are the **scoped compatibility
+//!   shim** for borrowed inputs: they still spawn scoped threads per call
+//!   (the only `unsafe`-free way to ship non-`'static` borrows to other
+//!   threads). New code and all engine hot paths use the owned entry
+//!   points; the shim remains for cheap cold-path call sites.
 //!
 //! ## Determinism
 //!
 //! Results are collected as `(index, value)` pairs and re-sorted by index
-//! before returning, so `map` output is **byte-identical at any thread
-//! count** — the invariant the engine's differential tests enforce. Only
-//! the *schedule* is nondeterministic; the result never is.
+//! before returning, so `map`/`map_owned` output is **byte-identical at
+//! any thread count** — the invariant the engine's differential tests
+//! enforce. Only the *schedule* is nondeterministic; the result never is.
+//! How many persistent workers actually join a batch (zero is possible
+//! when they are busy — the submitter always participates and can drain
+//! the batch alone) affects wall-clock only, never output.
+//!
+//! ## Panics — pinned semantics
+//!
+//! A panic inside a `map_owned` task is caught at the task boundary: the
+//! **worker survives** (the pool is never poisoned and stays usable for
+//! later batches), the batch still runs its remaining tasks, and the
+//! submitter re-raises the payload of the **lowest-indexed** panicking
+//! task — deterministic at any thread count. The scoped shim propagates
+//! the first joined worker's panic, as before.
 //!
 //! ## Nesting
 //!
-//! `map` called from inside a pool worker runs inline and sequentially
-//! (a thread-local guard detects re-entry). This lets high-level sweeps
-//! shard over parameter points while the engine underneath unconditionally
-//! requests parallelism for its own sub-problems: whichever level reaches
-//! the pool first gets the workers, and nothing oversubscribes.
+//! `map`/`map_owned` called from inside a pool worker (or from a task the
+//! submitting thread runs while participating) executes inline and
+//! sequentially (a thread-local guard detects re-entry). This lets
+//! high-level sweeps shard over parameter points while the engine
+//! underneath unconditionally requests parallelism for its own
+//! sub-problems: whichever level reaches the pool first gets the workers,
+//! and nothing oversubscribes or deadlocks.
 
 #![forbid(unsafe_code)]
 
+use std::any::Any;
 use std::cell::Cell;
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
+
+/// Upper bound on the persistent worker set. Batches may request wider
+/// pools; work stealing lets fewer participants drain any batch, so the
+/// cap changes wall-clock only, never output.
+pub const MAX_WORKERS: usize = 64;
+
+/// A panic payload carried from a worker back to the submitting thread.
+type Payload = Box<dyn Any + Send + 'static>;
 
 thread_local! {
-    /// Set while the current thread is a pool worker; nested `map` calls
-    /// observe it and degrade to inline sequential execution.
+    /// Set while the current thread is running batch tasks; nested map
+    /// calls observe it and degrade to inline sequential execution.
     static IN_WORKER: Cell<bool> = const { Cell::new(false) };
 }
 
-/// A work-stealing thread pool configuration.
+/// A handle to the shared worker set plus a *width policy* (how many
+/// workers a batch is split for).
 ///
-/// Cheap to construct and copy; worker threads are spawned per
-/// [`Pool::map`] call (scoped), so a `Pool` is really a *policy* — how many
-/// workers to use — plus the stealing scheduler.
+/// Cheap to construct and copy; the worker threads themselves are
+/// process-global, created lazily by the first parallel
+/// [`Pool::map_owned`] call and reused by every later batch.
 ///
 /// # Example
 ///
@@ -60,12 +104,46 @@ thread_local! {
 /// use relim_pool::Pool;
 ///
 /// let pool = Pool::new(4);
-/// let squares = pool.map(&[1u64, 2, 3, 4], |&x| x * x);
+/// let squares = pool.map_owned((1u64..=4).collect(), |&x| x * x);
 /// assert_eq!(squares, vec![1, 4, 9, 16]); // input order, any thread count
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Pool {
     threads: usize,
+}
+
+/// Error returned by [`Pool::try_from_env`] when `RELIM_THREADS` is set
+/// to something other than a positive integer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadsEnvError {
+    raw: String,
+}
+
+impl std::fmt::Display for ThreadsEnvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "RELIM_THREADS must be a positive integer (e.g. 4), got `{}`; \
+             unset it to use available parallelism",
+            self.raw
+        )
+    }
+}
+
+impl std::error::Error for ThreadsEnvError {}
+
+/// Parses a `RELIM_THREADS` value: a positive integer, with surrounding
+/// whitespace tolerated. `0`, empty, and non-numeric values are rejected
+/// (use an unset variable, not `0`, to mean "available parallelism").
+///
+/// # Errors
+///
+/// Returns [`ThreadsEnvError`] describing the rejected value.
+pub fn parse_threads(raw: &str) -> Result<usize, ThreadsEnvError> {
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(ThreadsEnvError { raw: raw.to_owned() }),
+    }
 }
 
 impl Pool {
@@ -79,18 +157,42 @@ impl Pool {
         }
     }
 
-    /// The single-threaded pool: every `map` runs inline, no threads are
-    /// spawned. This is the reference schedule parallel runs must match.
+    /// The single-threaded pool: every map runs inline, no worker
+    /// participates. This is the reference schedule parallel runs must
+    /// match.
     pub const fn sequential() -> Pool {
         Pool { threads: 1 }
     }
 
     /// Reads the thread count from the `RELIM_THREADS` environment
-    /// variable, falling back to [`Pool::available_parallelism`].
+    /// variable, falling back to [`Pool::available_parallelism`] when the
+    /// variable is unset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThreadsEnvError`] when the variable is set but is not a
+    /// positive integer (`0`, empty, non-numeric, or non-unicode) — a
+    /// misconfiguration that used to be silently absorbed.
+    pub fn try_from_env() -> Result<Pool, ThreadsEnvError> {
+        match std::env::var("RELIM_THREADS") {
+            Ok(raw) => parse_threads(&raw).map(Pool::new),
+            Err(std::env::VarError::NotPresent) => Ok(Pool::new(0)),
+            Err(std::env::VarError::NotUnicode(raw)) => {
+                Err(ThreadsEnvError { raw: raw.to_string_lossy().into_owned() })
+            }
+        }
+    }
+
+    /// [`Pool::try_from_env`], panicking with the parse error's message on
+    /// a misconfigured `RELIM_THREADS`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `RELIM_THREADS` is set but not a positive integer.
     pub fn from_env() -> Pool {
-        match std::env::var("RELIM_THREADS").ok().and_then(|v| v.parse::<usize>().ok()) {
-            Some(n) => Pool::new(n),
-            None => Pool::new(0),
+        match Self::try_from_env() {
+            Ok(pool) => pool,
+            Err(e) => panic!("{e}"),
         }
     }
 
@@ -100,17 +202,104 @@ impl Pool {
         std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
     }
 
-    /// Number of workers this pool uses.
+    /// Number of workers this pool splits batches for.
     pub fn threads(&self) -> usize {
         self.threads
     }
 
-    /// Applies `f` to every item, in parallel, returning results **in input
-    /// order** regardless of thread count or schedule.
+    /// Applies `f` to every owned item on the **persistent worker set**,
+    /// returning results in input order regardless of thread count or
+    /// schedule.
+    ///
+    /// The batch owns its payload (`items` and `f` move in), which is what
+    /// lets long-lived workers run it without `unsafe`: share context with
+    /// the closure via `Arc`, not borrows. Runs inline (nothing submitted)
+    /// when the pool is sequential, the input has at most one item, or the
+    /// caller is itself running pool tasks (nested parallelism degrades
+    /// rather than deadlocking).
+    ///
+    /// # Panics
+    ///
+    /// A panic in `f` is re-raised on the caller once the batch drains;
+    /// with several panicking tasks, the lowest-indexed payload is the one
+    /// re-raised (deterministic at any thread count). Workers survive.
+    pub fn map_owned<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send + Sync + 'static,
+        R: Send + 'static,
+        F: Fn(&T) -> R + Send + Sync + 'static,
+    {
+        let n = items.len();
+        let workers = self.threads.min(n);
+        if workers <= 1 || IN_WORKER.with(Cell::get) {
+            return items.iter().map(f).collect();
+        }
+
+        let (tx, rx) = mpsc::channel::<(usize, Result<R, Payload>)>();
+        let batch: Arc<BatchState<T, R, F>> = Arc::new(BatchState {
+            items,
+            f,
+            queues: seed_queues(n, workers),
+            claims: AtomicUsize::new(0),
+            results: Mutex::new(tx),
+        });
+
+        let registry = registry();
+        registry.submit(batch.clone() as Arc<dyn Batch>, workers - 1);
+        // The submitter always participates: the batch completes even if
+        // every persistent worker is busy elsewhere.
+        batch.participate();
+
+        let mut tagged: Vec<(usize, Result<R, Payload>)> = Vec::with_capacity(n);
+        for _ in 0..n {
+            tagged.push(rx.recv().expect("pool worker dropped a batch channel"));
+        }
+        registry.retire(&(batch as Arc<dyn Batch>));
+
+        // Canonical re-sort: schedule-independent output order (and
+        // deterministic choice of which panic payload is re-raised).
+        tagged.sort_unstable_by_key(|&(i, _)| i);
+        let mut out = Vec::with_capacity(n);
+        for (_, result) in tagged {
+            match result {
+                Ok(value) => out.push(value),
+                Err(payload) => resume_unwind(payload),
+            }
+        }
+        out
+    }
+
+    /// Fallible [`Pool::map_owned`]: returns the collected successes, or
+    /// the error of the **earliest** failing item (deterministic at any
+    /// thread count).
+    ///
+    /// All items are evaluated even when one fails; sweeps here are finite
+    /// and an early-cancel protocol is not worth its nondeterminism risk.
+    ///
+    /// # Errors
+    ///
+    /// The error produced by the lowest-indexed failing item.
+    pub fn try_map_owned<T, R, E, F>(&self, items: Vec<T>, f: F) -> Result<Vec<R>, E>
+    where
+        T: Send + Sync + 'static,
+        R: Send + 'static,
+        E: Send + 'static,
+        F: Fn(&T) -> Result<R, E> + Send + Sync + 'static,
+    {
+        self.map_owned(items, f).into_iter().collect()
+    }
+
+    /// Applies `f` to every borrowed item, in parallel, returning results
+    /// **in input order** regardless of thread count or schedule.
+    ///
+    /// This is the **scoped compatibility shim**: borrowed inputs cannot
+    /// cross into the persistent (`'static`) worker set without `unsafe`,
+    /// so this entry point still spawns scoped threads that live for one
+    /// call. Prefer [`Pool::map_owned`] on hot paths — the per-call spawn
+    /// cost (~tens of µs per worker) dominates micro-batches.
     ///
     /// Runs inline (no spawns) when the pool is sequential, the input has
-    /// at most one item, or the caller is itself a pool worker (nested
-    /// parallelism degrades rather than oversubscribing).
+    /// at most one item, or the caller is itself a pool worker.
     ///
     /// # Panics
     ///
@@ -126,15 +315,7 @@ impl Pool {
             return items.iter().map(f).collect();
         }
 
-        // Seed one deque per worker with a contiguous block of indices.
-        let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
-            .map(|w| {
-                let lo = w * items.len() / workers;
-                let hi = (w + 1) * items.len() / workers;
-                Mutex::new((lo..hi).collect())
-            })
-            .collect();
-
+        let queues = seed_queues(items.len(), workers);
         let mut buckets: Vec<Vec<(usize, R)>> = Vec::new();
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(workers);
@@ -158,7 +339,7 @@ impl Pool {
             for h in handles {
                 match h.join() {
                     Ok(local) => buckets.push(local),
-                    Err(payload) => std::panic::resume_unwind(payload),
+                    Err(payload) => resume_unwind(payload),
                 }
             }
         });
@@ -170,12 +351,9 @@ impl Pool {
         tagged.into_iter().map(|(_, r)| r).collect()
     }
 
-    /// Fallible [`Pool::map`]: applies `f` to every item and returns the
-    /// collected successes, or the error of the **earliest** failing item
-    /// (deterministic at any thread count).
-    ///
-    /// All items are evaluated even when one fails; sweeps here are finite
-    /// and an early-cancel protocol is not worth its nondeterminism risk.
+    /// Fallible [`Pool::map`] (scoped shim): the collected successes, or
+    /// the error of the **earliest** failing item (deterministic at any
+    /// thread count).
     ///
     /// # Errors
     ///
@@ -196,6 +374,174 @@ impl Default for Pool {
     fn default() -> Self {
         Pool::from_env()
     }
+}
+
+/// One deque per virtual worker, seeded with a contiguous block of item
+/// indices (the sequential order, so steals preserve locality).
+fn seed_queues(n: usize, workers: usize) -> Vec<Mutex<VecDeque<usize>>> {
+    (0..workers)
+        .map(|w| {
+            let lo = w * n / workers;
+            let hi = (w + 1) * n / workers;
+            Mutex::new((lo..hi).collect())
+        })
+        .collect()
+}
+
+/// The object-safe face of a submitted batch, as seen by the persistent
+/// workers.
+trait Batch: Send + Sync {
+    /// Claims a virtual-worker slot and runs tasks (own deque first,
+    /// stealing when empty) until the batch is drained. Returns `false`
+    /// without doing work when every slot is already claimed.
+    fn participate(&self) -> bool;
+
+    /// Whether another idle worker could still contribute: an unclaimed
+    /// slot remains and some deque is non-empty.
+    fn wants_workers(&self) -> bool;
+}
+
+/// A submitted batch: the owned payload, the per-virtual-worker deques,
+/// and the result channel back to the submitter.
+struct BatchState<T, R, F> {
+    items: Vec<T>,
+    f: F,
+    queues: Vec<Mutex<VecDeque<usize>>>,
+    /// Next virtual-worker slot to hand out; beyond `queues.len()`, late
+    /// arrivals are turned away (the claimed participants drain the rest
+    /// by stealing).
+    claims: AtomicUsize,
+    /// Per-batch result channel. `Sender` is `Send` but not `Sync`, so
+    /// participants clone their own handle under this lock.
+    results: Mutex<mpsc::Sender<(usize, Result<R, Payload>)>>,
+}
+
+impl<T, R, F> Batch for BatchState<T, R, F>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Send + Sync,
+{
+    fn participate(&self) -> bool {
+        let w = self.claims.fetch_add(1, Ordering::Relaxed);
+        if w >= self.queues.len() {
+            return false;
+        }
+        let tx = self.results.lock().expect("pool batch channel poisoned").clone();
+        let was_worker = IN_WORKER.with(|g| g.replace(true));
+        loop {
+            let idx = pop_own(&self.queues[w]).or_else(|| steal_into(&self.queues, w));
+            let Some(i) = idx else { break };
+            // Task panics are caught at the task boundary: the worker (and
+            // the pool) survive, and the submitter re-raises the payload
+            // deterministically once the batch drains.
+            let result = catch_unwind(AssertUnwindSafe(|| (self.f)(&self.items[i])));
+            // A send error means the submitter is gone (it panicked out of
+            // its recv loop); finishing quietly is all we can do.
+            let _ = tx.send((i, result));
+        }
+        IN_WORKER.with(|g| g.set(was_worker));
+        true
+    }
+
+    fn wants_workers(&self) -> bool {
+        self.claims.load(Ordering::Relaxed) < self.queues.len()
+            && self.queues.iter().any(|q| !q.lock().expect("pool queue poisoned").is_empty())
+    }
+}
+
+/// The process-wide submission queue and worker accounting.
+struct Registry {
+    state: Mutex<RegistryState>,
+    work_ready: Condvar,
+}
+
+struct RegistryState {
+    /// Open batches that may still want participants.
+    batches: Vec<Arc<dyn Batch>>,
+    /// Persistent workers spawned so far (high-water mark, never shrinks).
+    workers: usize,
+}
+
+/// The lazily-created global registry. Workers hold `&'static` references
+/// to it; they park on `work_ready` between batches and die with the
+/// process (no explicit shutdown — see the crate docs).
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        state: Mutex::new(RegistryState { batches: Vec::new(), workers: 0 }),
+        work_ready: Condvar::new(),
+    })
+}
+
+impl Registry {
+    /// Publishes a batch and grows the worker set toward `extra` helpers
+    /// (the submitter is the remaining participant), capped at
+    /// [`MAX_WORKERS`].
+    fn submit(&self, batch: Arc<dyn Batch>, extra: usize) {
+        // Reserve the worker ordinals under the lock, but spawn outside
+        // it: a spawn failure (thread exhaustion) must not poison the
+        // registry mutex and take the process-wide pool down with it.
+        let (first, target) = {
+            let mut state = self.state.lock().expect("pool registry poisoned");
+            state.batches.push(batch);
+            let target = state.workers.max(extra.min(MAX_WORKERS));
+            let first = state.workers + 1;
+            state.workers = target;
+            (first, target)
+        };
+        for ordinal in first..=target {
+            if !spawn_worker(ordinal) {
+                // Give the unspawned ordinals back; the submitter always
+                // participates, so the batch completes regardless.
+                let mut state = self.state.lock().expect("pool registry poisoned");
+                state.workers -= target + 1 - ordinal;
+                break;
+            }
+        }
+        // Wake only as many parked workers as the batch can seat —
+        // notify_all would stampede the whole set through the registry
+        // lock for every micro-batch. A worker woken for a batch that
+        // filled up meanwhile simply re-parks.
+        for _ in 0..extra.min(MAX_WORKERS) {
+            self.work_ready.notify_one();
+        }
+    }
+
+    /// Eagerly removes a completed batch (workers also prune lazily).
+    fn retire(&self, batch: &Arc<dyn Batch>) {
+        let mut state = self.state.lock().expect("pool registry poisoned");
+        state.batches.retain(|b| !Arc::ptr_eq(b, batch));
+    }
+}
+
+/// Spawns one detached persistent worker; returns whether the OS granted
+/// the thread (a refusal degrades parallelism, never correctness — the
+/// submitter can drain any batch alone). The thread parks on the
+/// registry's condition variable whenever the submission queue has no
+/// batch wanting workers.
+fn spawn_worker(ordinal: usize) -> bool {
+    std::thread::Builder::new()
+        .name(format!("relim-pool-{ordinal}"))
+        .spawn(|| {
+            let registry = registry();
+            loop {
+                let batch = {
+                    let mut state = registry.state.lock().expect("pool registry poisoned");
+                    loop {
+                        // Prune batches that no longer want participants;
+                        // anything left is claimable right now.
+                        state.batches.retain(|b| b.wants_workers());
+                        if let Some(batch) = state.batches.first() {
+                            break Arc::clone(batch);
+                        }
+                        state = registry.work_ready.wait(state).expect("pool registry poisoned");
+                    }
+                };
+                batch.participate();
+            }
+        })
+        .is_ok()
 }
 
 /// Pops the front of the worker's own deque.
@@ -248,7 +594,9 @@ mod tests {
         let expected: Vec<u64> = items.iter().map(|&x| x * 31 + 7).collect();
         for threads in [1, 2, 3, 8, 64] {
             let got = Pool::new(threads).map(&items, |&x| x * 31 + 7);
-            assert_eq!(got, expected, "threads = {threads}");
+            assert_eq!(got, expected, "scoped, threads = {threads}");
+            let got = Pool::new(threads).map_owned(items.clone(), |&x| x * 31 + 7);
+            assert_eq!(got, expected, "owned, threads = {threads}");
         }
     }
 
@@ -273,14 +621,36 @@ mod tests {
     }
 
     #[test]
+    fn owned_uneven_tasks_all_run_exactly_once() {
+        let items: Vec<u64> = (0..64).collect();
+        let ran = Arc::new(AtomicUsize::new(0));
+        let ran2 = Arc::clone(&ran);
+        let out = Pool::new(4).map_owned(items.clone(), move |&x| {
+            ran2.fetch_add(1, Ordering::Relaxed);
+            let spins = (64 - x) * 2_000;
+            let mut acc = x;
+            for i in 0..spins {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            std::hint::black_box(acc);
+            x
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), items.len());
+        assert_eq!(out, items);
+    }
+
+    #[test]
     fn nested_map_degrades_to_inline() {
         let outer: Vec<usize> = (0..8).collect();
         let pool = Pool::new(4);
-        let got = pool.map(&outer, |&i| {
-            // Inside a worker: this inner map must run inline (and still be
-            // correct).
+        let got = pool.map_owned(outer.clone(), move |&i| {
+            // Inside a batch task: this inner map must run inline (and
+            // still be correct), whichever entry point is used.
             let inner: Vec<usize> = (0..4).collect();
-            pool.map(&inner, |&j| i * 10 + j).iter().sum::<usize>()
+            let scoped: usize = pool.map(&inner, |&j| i * 10 + j).iter().sum();
+            let owned: usize = pool.map_owned(inner, move |&j| i * 10 + j).iter().sum();
+            assert_eq!(scoped, owned);
+            owned
         });
         let expected: Vec<usize> = outer.iter().map(|&i| 4 * (i * 10) + 6).collect();
         assert_eq!(got, expected);
@@ -292,7 +662,10 @@ mod tests {
         for threads in [1, 4] {
             let got: Result<Vec<u32>, u32> =
                 Pool::new(threads).try_map(&items, |&x| if x % 30 == 17 { Err(x) } else { Ok(x) });
-            assert_eq!(got, Err(17), "threads = {threads}");
+            assert_eq!(got, Err(17), "scoped, threads = {threads}");
+            let got: Result<Vec<u32>, u32> = Pool::new(threads)
+                .try_map_owned(items.clone(), |&x| if x % 30 == 17 { Err(x) } else { Ok(x) });
+            assert_eq!(got, Err(17), "owned, threads = {threads}");
         }
     }
 
@@ -307,6 +680,8 @@ mod tests {
         let pool = Pool::new(8);
         assert_eq!(pool.map(&[] as &[u8], |&x| x), Vec::<u8>::new());
         assert_eq!(pool.map(&[5u8], |&x| x + 1), vec![6]);
+        assert_eq!(pool.map_owned(Vec::<u8>::new(), |&x| x), Vec::<u8>::new());
+        assert_eq!(pool.map_owned(vec![5u8], |&x| x + 1), vec![6]);
     }
 
     #[test]
@@ -325,10 +700,33 @@ mod tests {
     fn sequential_pool_spawns_nothing() {
         // Observable via the worker guard: it stays false on this thread.
         let pool = Pool::sequential();
-        let out = pool.map(&[1, 2, 3], |&x| {
+        let out = pool.map_owned(vec![1, 2, 3], |&x| {
             assert!(!IN_WORKER.with(Cell::get));
             x * 2
         });
         assert_eq!(out, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn parse_threads_accepts_positive_integers_only() {
+        assert_eq!(parse_threads("1"), Ok(1));
+        assert_eq!(parse_threads(" 8 "), Ok(8));
+        assert_eq!(parse_threads("64"), Ok(64));
+        for bad in ["0", "", "  ", "-3", "4.5", "four", "1e3", "0x4"] {
+            let err = parse_threads(bad).unwrap_err();
+            assert!(
+                err.to_string().contains("positive integer"),
+                "`{bad}` must be rejected with a clear message, got: {err}"
+            );
+            assert!(err.to_string().contains(bad.trim()) || bad.trim().is_empty());
+        }
+    }
+
+    #[test]
+    fn from_env_is_consistent_with_try_from_env() {
+        // Whatever the ambient RELIM_THREADS is (the CI matrix sets valid
+        // values), the panicking and fallible readers must agree.
+        let tried = Pool::try_from_env().expect("ambient RELIM_THREADS must be valid in tests");
+        assert_eq!(Pool::from_env(), tried);
     }
 }

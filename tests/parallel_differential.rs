@@ -3,14 +3,22 @@
 //! **byte-identical** output to the sequential engine — the determinism
 //! invariant the work-stealing pool promises (results are collected and
 //! canonically re-sorted, so the schedule can never leak into the output).
+//! With the persistent pool this also covers end-to-end `iterate_rr_with`
+//! fixed-point searches (thousands of micro-batches through the shared
+//! worker set) and the memoized sub-multiset-index path against its
+//! memoization-off reference.
 //!
 //! Problems are drawn from the full space of small LCLs (random non-empty
 //! subsets of the node/edge configuration spaces), seeded via the standard
-//! `PROPTEST_SEED` plumbing.
+//! `PROPTEST_SEED` plumbing. The adversarial dominance-filter inputs
+//! (all-equal cardinality signatures, singleton buckets, empty inputs,
+//! empty member sets, duplicates) are pinned deterministically below the
+//! property tests.
 
 use mis_domset_lb::pool::Pool;
+use mis_domset_lb::relim::iterate::{iterate_rr_unmemoized, iterate_rr_with, IterationOutcome};
 use mis_domset_lb::relim::roundelim::{
-    dominance_filter_reference, dominance_filter_with, rr_step, rr_step_with,
+    dominance_filter, dominance_filter_reference, dominance_filter_with, rr_step, rr_step_with,
 };
 use mis_domset_lb::relim::{Alphabet, Config, Constraint, Label, LabelSet, Problem, SetConfig};
 use proptest::prelude::*;
@@ -129,4 +137,128 @@ proptest! {
             prop_assert_eq!(&filtered, &reference, "threads = {}", threads);
         }
     }
+
+    /// End-to-end `iterate_rr_with` (a full fixed-point search, not a
+    /// single step) is byte-identical across thread counts 1/2/8 — and the
+    /// memoized sub-multiset-index path agrees exactly with the
+    /// memoization-off reference at every one of them.
+    #[test]
+    fn iterate_rr_identical_across_threads_and_memoization(p in problems()) {
+        let reference =
+            render_outcome(&iterate_rr_unmemoized(&p, 4, 12, &Pool::sequential()));
+        for threads in [1usize, 2, 8] {
+            let memoized = render_outcome(&iterate_rr_with(&p, 4, 12, &Pool::new(threads)));
+            prop_assert_eq!(&memoized, &reference, "memoized, threads = {}", threads);
+            let unmemoized =
+                render_outcome(&iterate_rr_unmemoized(&p, 4, 12, &Pool::new(threads)));
+            prop_assert_eq!(&unmemoized, &reference, "memo off, threads = {}", threads);
+        }
+    }
+}
+
+/// Canonical rendering of a full iteration outcome: per-step stats, stop
+/// reason, and every intermediate problem's exact text.
+fn render_outcome(o: &IterationOutcome) -> String {
+    let rendered: Vec<String> = o.problems.iter().map(Problem::render).collect();
+    format!("{:?}\n{:?}\n{}", o.stats, o.stopped, rendered.join("\n---\n"))
+}
+
+/// `dominance_filter_with` must match the seed's quadratic reference on
+/// `configs` at thread counts 1, 2 and 8 (and via the default entry
+/// points).
+fn assert_matches_reference(configs: Vec<SetConfig>, what: &str) {
+    let reference = dominance_filter_reference(configs.clone());
+    assert_eq!(dominance_filter(configs.clone()), reference, "{what}: sequential entry point");
+    for threads in [1usize, 2, 8] {
+        assert_eq!(
+            dominance_filter_with(configs.clone(), &Pool::new(threads)),
+            reference,
+            "{what}: threads = {threads}"
+        );
+    }
+}
+
+fn set(bits: u32) -> LabelSet {
+    LabelSet::from_bits(bits)
+}
+
+/// All-equal cardinality signatures: every configuration has the sorted
+/// cardinality vector `[2, 2]`, so the whole input lands in **one**
+/// bucket and the signature pre-check can prune nothing — domination is
+/// decided by support subsets and the matching alone.
+#[test]
+fn dominance_adversarial_all_equal_signatures() {
+    let two_element_sets: Vec<LabelSet> =
+        [0b0011u32, 0b0101, 0b0110, 0b1001, 0b1010, 0b1100].map(set).to_vec();
+    let mut configs = Vec::new();
+    for &a in &two_element_sets {
+        for &b in &two_element_sets {
+            configs.push(SetConfig::new(vec![a, b]));
+        }
+    }
+    assert_matches_reference(configs, "all-equal signatures");
+}
+
+/// Singleton buckets: pairwise distinct cardinality signatures (a strict
+/// chain of nested sets), so every bucket holds exactly one configuration
+/// and all domination happens *across* buckets.
+#[test]
+fn dominance_adversarial_singleton_buckets() {
+    let chain: Vec<SetConfig> = (1..=6u32)
+        .map(|k| {
+            let grown = set((1 << k) - 1); // {0}, {0,1}, ..., {0..5}
+            SetConfig::new(vec![set(1), grown])
+        })
+        .collect();
+    assert_matches_reference(chain, "singleton buckets");
+}
+
+/// Empty configuration sets, in both senses: an empty *input* (no
+/// configurations at all) and configurations whose member sets are
+/// `LabelSet::EMPTY` (cardinality-0 positions — every set dominates
+/// them, so only the all-empty equality case survives inside a bucket).
+#[test]
+fn dominance_adversarial_empty_inputs_and_empty_sets() {
+    assert_matches_reference(Vec::new(), "empty input");
+
+    let empty = LabelSet::EMPTY;
+    let configs = vec![
+        SetConfig::new(vec![empty, empty]),
+        SetConfig::new(vec![empty, set(0b1)]),
+        SetConfig::new(vec![set(0b1), set(0b11)]),
+        SetConfig::new(vec![empty, empty]),
+        SetConfig::new(vec![set(0b11), set(0b11)]),
+    ];
+    assert_matches_reference(configs, "empty member sets");
+}
+
+/// Exact duplicates never dominate each other (domination is strict), so
+/// every copy must survive — a classic fast-path trap.
+#[test]
+fn dominance_adversarial_duplicates_survive_together() {
+    let dup = SetConfig::new(vec![set(0b01), set(0b01)]);
+    let bigger = SetConfig::new(vec![set(0b11), set(0b01)]);
+    let configs = vec![dup.clone(), dup.clone(), dup.clone(), bigger.clone()];
+    let reference = dominance_filter_reference(configs.clone());
+    // The duplicates are all dominated by `bigger`; `bigger` survives.
+    assert_eq!(reference, vec![bigger.clone()]);
+    assert_matches_reference(configs, "duplicates with a dominator");
+
+    // Without a dominator, all copies survive together.
+    let configs = vec![dup.clone(), dup.clone(), dup];
+    let reference = dominance_filter_reference(configs.clone());
+    assert_eq!(reference.len(), 3);
+    assert_matches_reference(configs, "duplicates alone");
+}
+
+/// A single configuration short-circuits every path; degree-0
+/// configurations (empty position lists) exercise the trivial-matching
+/// corner.
+#[test]
+fn dominance_adversarial_degenerate_shapes() {
+    let lone = vec![SetConfig::new(vec![set(0b1), set(0b10)])];
+    assert_matches_reference(lone, "single configuration");
+
+    let degree_zero = vec![SetConfig::new(Vec::new()), SetConfig::new(Vec::new())];
+    assert_matches_reference(degree_zero, "degree-0 configurations");
 }
