@@ -10,7 +10,7 @@
 //! `tests/engine_exhaustive.rs`); the ablation quantifies the speedup that
 //! makes the Lemma 6/8 sweeps feasible.
 
-use bench::shared_pool;
+use bench::shared_engine;
 use criterion::{criterion_group, criterion_main, Criterion};
 use lb_family::family::{self, PiParams};
 use relim_core::roundelim::{r_step, r_step_edge_bruteforce, rbar_step, rbar_step_node_bruteforce};
@@ -22,7 +22,7 @@ fn print_tables() {
         "D", "a", "x", "rc-sets", "all-subsets", "rc-pairs", "all-pairs"
     );
     let grid = vec![(4u32, 3u32, 0u32), (6, 4, 1), (8, 5, 2)];
-    for row in shared_pool().map_owned(grid, |&(delta, a, x)| {
+    for row in shared_engine().map_owned(grid, |&(delta, a, x)| {
         let p = family::pi(&PiParams { delta, a, x }).expect("valid");
         let order = relim_core::diagram::StrengthOrder::of_constraint(p.edge(), p.alphabet().len());
         let rc = relim_core::rightclosed::right_closed_sets(&order).len();

@@ -24,15 +24,17 @@ fn print_autolb_table() {
         ("Π_3(3,0)".into(), family::pi(&PiParams { delta: 3, a: 3, x: 0 }).unwrap()),
         ("Π_4(4,0)".into(), family::pi(&PiParams { delta: 4, a: 4, x: 0 }).unwrap()),
     ];
-    // (problem × budget) grid, submitted to the shared pool's persistent
+    // (problem × budget) grid, submitted to the shared engine session's persistent
     // workers (the tasks own their problem clones).
     let grid: Vec<(String, Problem, usize)> = cases
         .iter()
         .flat_map(|(name, p)| [5usize, 6].map(|budget| (name.clone(), p.clone(), budget)))
         .collect();
-    for row in bench::shared_pool().map_owned(grid, |(name, p, budget)| {
+    let engine = bench::shared_engine();
+    let session = engine.clone();
+    for row in engine.map_owned(grid, move |(name, p, budget)| {
         let opts = AutoLbOptions { max_steps: 3, label_budget: *budget, ..Default::default() };
-        let outcome = autolb::auto_lower_bound(p, &opts);
+        let outcome = session.auto_lower_bound(p, &opts);
         let replay = autolb::verify_chain(&outcome).is_ok();
         format!(
             "{:<26} {:>7} {:>6} {:>10} {:>8}",
@@ -47,7 +49,7 @@ fn print_autolb_table() {
     }
 }
 
-fn print_autoub_table() {
+fn print_autoub_table(engine: &bench::Engine) {
     println!("\n[E17b] automatic upper bounds for MIS on cycles (Δ = 2):");
     println!("{:<34} {:>10}", "promise", "rounds");
     let mis2 = family::mis(2).unwrap();
@@ -58,7 +60,7 @@ fn print_autoub_table() {
     );
     for colors in [3usize, 4] {
         let opts = AutoUbOptions { max_steps: 6, label_budget: 14, coloring: Some(colors) };
-        let outcome = autoub::auto_upper_bound(&mis2, &opts);
+        let outcome = engine.auto_upper_bound(&mis2, &opts);
         let cell = outcome.bound.as_ref().map_or("not found".to_owned(), |b| b.rounds.to_string());
         assert!(autoub::verify_ub(&outcome).is_ok());
         println!("{:<34} {:>10}", format!("given a proper {colors}-coloring"), cell);
@@ -66,22 +68,23 @@ fn print_autoub_table() {
 }
 
 fn bench(c: &mut Criterion) {
+    let engine = bench::shared_engine();
     print_autolb_table();
-    print_autoub_table();
+    print_autoub_table(&engine);
 
     let mis = family::mis(3).unwrap();
     let opts = AutoLbOptions { max_steps: 2, label_budget: 6, ..Default::default() };
-    c.bench_function("autolb_mis3_two_steps", |b| b.iter(|| autolb::auto_lower_bound(&mis, &opts)));
+    c.bench_function("autolb_mis3_two_steps", |b| b.iter(|| engine.auto_lower_bound(&mis, &opts)));
 
     let so = Problem::from_text("O I I", "[O I] I").unwrap();
     c.bench_function("autolb_sinkless_fixed_point", |b| {
-        b.iter(|| autolb::auto_lower_bound(&so, &AutoLbOptions::default()))
+        b.iter(|| engine.auto_lower_bound(&so, &AutoLbOptions::default()))
     });
 
     let mis2 = family::mis(2).unwrap();
     let ub_opts = AutoUbOptions { max_steps: 6, label_budget: 14, coloring: Some(3) };
     c.bench_function("autoub_mis2_coloring3", |b| {
-        b.iter(|| autoub::auto_upper_bound(&mis2, &ub_opts))
+        b.iter(|| engine.auto_upper_bound(&mis2, &ub_opts))
     });
 }
 

@@ -4,9 +4,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use lb_family::bounds;
 
 fn print_tables() {
-    let pool = bench::shared_pool();
+    let engine = bench::shared_engine();
     let ns = vec![1e6, 1e9, 1e15];
-    for section in pool.map_owned(ns, |&n| {
+    for section in engine.map_owned(ns, |&n| {
         let mut out = format!(
             "\n[E10/Theorem 1] bounds at n = {n:.0e}:\n{:>10} {:>5} {:>10} {:>10} {:>12} {:>12}\n",
             "Delta", "t", "logD(n)", "det LB", "logD(logn)", "rand LB"
@@ -30,7 +30,7 @@ fn print_tables() {
         "n", "D*_det", "det", "sqrt(logn)", "D*_rand", "rand"
     );
     let exps = vec![6, 9, 12, 18, 24, 30, 40, 60];
-    for row in pool.map_owned(exps, |&exp| {
+    for row in engine.map_owned(exps, |&exp| {
         let n = 10f64.powi(exp);
         let (dd, bd) = bounds::corollary2_det(n);
         let (dr, br) = bounds::corollary2_rand(n);

@@ -10,10 +10,10 @@ fn print_tables() {
         "{:>12} {:>8} {:>8} {:>10} {:>10} {:>7}",
         "Delta", "t_paper", "t_exact", "paper/log2", "exact/log2", "sound"
     );
-    let pool = bench::shared_pool();
+    let engine = bench::shared_engine();
     let deltas: Vec<u32> = (3..=30).map(|e| 1u32 << e).collect();
     let table = sequence::chain_length_table(&deltas, 0);
-    for row in pool.map_owned(table, |row| {
+    for row in engine.map_owned(table, |row| {
         let chain = sequence::paper_chain(row.delta, 0);
         format!(
             "{:>12} {:>8} {:>8} {:>10.3} {:>10.3} {:>7}",
@@ -31,7 +31,7 @@ fn print_tables() {
     println!("\n[E9b] chain length vs k at Delta = 2^20:");
     println!("{:>6} {:>8} {:>8}", "k", "t_paper", "t_exact");
     let ks = vec![0u32, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
-    for row in pool.map_owned(ks, |&k| {
+    for row in engine.map_owned(ks, |&k| {
         format!(
             "{:>6} {:>8} {:>8}",
             k,

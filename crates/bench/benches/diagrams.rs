@@ -6,7 +6,7 @@ use lb_family::family::{self, PiParams};
 use lb_family::lemma6;
 use relim_core::diagram::StrengthOrder;
 
-/// The three figure sections, as one grid submitted to the shared pool.
+/// The three figure sections, as one grid submitted to the shared engine session.
 enum Figure {
     MisEdge,
     PiEdge,
@@ -15,7 +15,7 @@ enum Figure {
 
 fn print_tables() {
     let figures = vec![Figure::MisEdge, Figure::PiEdge, Figure::RPiNode];
-    for section in bench::shared_pool().map_owned(figures, |figure| {
+    for section in bench::shared_engine().map_owned(figures, |figure| {
         let (header, problem, constraint_is_node, n) = match figure {
             Figure::MisEdge => {
                 ("\n[E1/Figure 1] MIS edge diagram Hasse edges:", family::mis(3), false, 3)

@@ -18,10 +18,10 @@ fn print_tables() {
         current.edge().len()
     );
     // The growth chain is inherently sequential; each step still shards
-    // its universal sides over the shared pool.
-    let pool = bench::shared_pool();
+    // its universal sides over the shared engine session.
+    let engine = bench::shared_engine();
     for step_idx in 1..=2 {
-        match relim_core::roundelim::rr_step_with(&current, &pool) {
+        match engine.rr_step(&current) {
             Ok((_, rr)) => {
                 let (reduced, _) = rr.problem.drop_unused_labels();
                 println!(
@@ -47,7 +47,7 @@ fn print_tables() {
     println!("\n[E13b] the family's alphabet stays constant under R(.):");
     println!("{:>4} {:>3} {:>3} {:>14}", "D", "a", "x", "labels of R(Pi)");
     let grid = vec![(4u32, 3u32, 0u32), (6, 4, 1), (8, 6, 2), (10, 8, 3)];
-    for row in bench::shared_pool().map_owned(grid, |&(delta, a, x)| {
+    for row in bench::shared_engine().map_owned(grid, |&(delta, a, x)| {
         let pi = family::pi(&PiParams { delta, a, x }).expect("valid");
         let step = r_step(&pi).expect("non-degenerate");
         assert_eq!(step.problem.alphabet().len(), 8);

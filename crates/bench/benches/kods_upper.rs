@@ -11,12 +11,12 @@ fn print_tables() {
         "{:>4} {:>4} {:>7} {:>9} {:>9} {:>9} {:>9} {:>7}",
         "D", "k", "n", "buckets", "coloring", "bucket", "sweep", "|S|"
     );
-    let pool = bench::shared_pool();
+    let engine = bench::shared_engine();
     let grid: Vec<(usize, usize)> = [4usize, 6, 8, 10]
         .into_iter()
         .flat_map(|delta| [0usize, 1, 2, delta / 2, delta].map(|k| (delta, k)))
         .collect();
-    for row in pool.map_owned(grid, |&(delta, k)| {
+    for row in engine.map_owned(grid, |&(delta, k)| {
         let depth = if delta >= 8 { 2 } else { 3 };
         let tree = trees::complete_regular_tree(delta, depth).expect("tree");
         let rep = k_outdegree_domset(&tree, k, 5).expect("pipeline");
@@ -49,7 +49,7 @@ fn print_tables() {
         .into_iter()
         .flat_map(|delta| [1usize, 2, delta / 2].map(|k| (delta, k)))
         .collect();
-    for row in pool.map_owned(degree_grid, |&(delta, k)| {
+    for row in engine.map_owned(degree_grid, |&(delta, k)| {
         let depth = if delta >= 8 { 2 } else { 3 };
         let tree = trees::complete_regular_tree(delta, depth).expect("tree");
         let rep = k_degree_domset(&tree, k, 5).expect("pipeline");
@@ -76,7 +76,7 @@ fn print_tables() {
     println!("{:>9} {:>9}", "classes", "rounds");
     let tree = trees::complete_regular_tree(4, 3).expect("tree");
     let class_counts = vec![2usize, 4, 8, 16, 32];
-    for row in pool.map_owned(class_counts, move |&classes| {
+    for row in engine.map_owned(class_counts, move |&classes| {
         let assignment = vec![classes - 1; tree.n()];
         let (in_set, rounds) =
             local_algos::sweep::class_sweep(&tree, &assignment, classes, 0).expect("sweep");

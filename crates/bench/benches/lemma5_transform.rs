@@ -12,7 +12,7 @@ fn print_tables() {
     println!("\n[E7/Lemma 5] pipeline k-ODS -> Pi_D(a,k) labeling:");
     println!("{:>4} {:>3} {:>7} {:>7} {:>8}", "D", "k", "n", "|S|", "valid");
     let grid = vec![(4usize, 0usize), (4, 1), (5, 1), (5, 2), (6, 2)];
-    for row in bench::shared_pool().map_owned(grid, |&(delta, k)| {
+    for row in bench::shared_engine().map_owned(grid, |&(delta, k)| {
         let tree = trees::complete_regular_tree(delta, 3).expect("tree");
         let rep = k_outdegree_domset(&tree, k, 3).expect("pipeline");
         let labeling = transforms::lemma5_transform(&tree, &rep.in_set, &rep.orientation, k as u32)

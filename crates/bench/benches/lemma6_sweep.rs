@@ -1,7 +1,7 @@
 //! E4: Lemma 6 verification sweep — the engine's `R(Π_Δ(a,x))` equals the
 //! paper's 8-label problem at every valid parameter point.
 
-use bench::shared_pool;
+use bench::shared_engine;
 use criterion::{criterion_group, criterion_main, Criterion};
 use lb_family::family::PiParams;
 use lb_family::lemma6;
@@ -9,10 +9,11 @@ use lb_family::lemma6;
 fn print_tables() {
     println!("\n[E4/Lemma 6] verification sweep:");
     println!("{:>4} {:>8} {:>8} {:>14}", "D", "points", "passed", "max |N(R(Pi))|");
-    let pool = shared_pool();
+    let engine = shared_engine();
+    let session = engine.clone();
     let deltas: Vec<u32> = (3..=9).collect();
-    for row in pool.map_owned(deltas, move |&delta| {
-        let reports = lemma6::verify_sweep_with(delta, &pool).expect("sweep");
+    for row in engine.map_owned(deltas, move |&delta| {
+        let reports = lemma6::verify_sweep(delta, &session).expect("sweep");
         let passed = reports.iter().filter(|r| r.matches_paper()).count();
         let max_n = reports.iter().map(|r| r.node_config_count).max().unwrap_or(0);
         assert_eq!(passed, reports.len(), "Lemma 6 must verify everywhere");

@@ -1,7 +1,7 @@
 //! E5: the full `R̄(R(Π_Δ(a,x)))` computation and its Lemma 8 relaxation —
 //! the step the paper reasons about without computing, done exactly.
 
-use bench::shared_pool;
+use bench::shared_engine;
 use criterion::{criterion_group, criterion_main, Criterion};
 use lb_family::family::PiParams;
 use lb_family::lemma8::Lemma8Machinery;
@@ -12,7 +12,7 @@ fn print_tables() {
         "{:>4} {:>3} {:>3} {:>9} {:>8} {:>9} {:>9}",
         "D", "a", "x", "|Sigma''|", "|N''|", "relaxes", "rel=plus"
     );
-    let pool = shared_pool();
+    let engine = shared_engine();
     let grid: Vec<PiParams> = [
         (3u32, 2u32, 0u32),
         (4, 2, 0),
@@ -29,10 +29,11 @@ fn print_tables() {
     .map(|(delta, a, x)| PiParams { delta, a, x })
     .filter(PiParams::lemma6_applicable)
     .collect();
-    // The grid is submitted to the shared pool's persistent workers; rows
-    // print in grid order.
-    for row in pool.map_owned(grid, move |params| {
-        let mach = Lemma8Machinery::compute_with(params, &pool).expect("compute");
+    // The grid is submitted to the session's persistent workers; rows
+    // print in grid order, and every point shares the session cache.
+    let session = engine.clone();
+    for row in engine.map_owned(grid, move |params| {
+        let mach = Lemma8Machinery::compute(params, &session).expect("compute");
         let report = mach.verify();
         assert!(report.matches_paper(), "Lemma 8 must verify at {params:?}");
         format!(
@@ -55,8 +56,9 @@ fn bench(c: &mut Criterion) {
     for (delta, a, x) in [(3u32, 2u32, 0u32), (4, 3, 0), (5, 4, 1)] {
         let params = PiParams { delta, a, x };
         c.bench_function(&format!("lemma8_full_rr_d{delta}_a{a}_x{x}"), |b| {
+            let engine = shared_engine();
             b.iter(|| {
-                let mach = Lemma8Machinery::compute(&params).expect("compute");
+                let mach = Lemma8Machinery::compute(&params, &engine).expect("compute");
                 assert!(mach.verify().matches_paper());
             })
         });

@@ -17,7 +17,7 @@ fn print_tables() {
             .map(|(delta, a, x)| PiParams { delta, a, x })
             .filter(|p| 2 * p.x < p.a && p.a > p.x)
             .collect();
-    for row in bench::shared_pool().map_owned(grid, |params| {
+    for row in bench::shared_engine().map_owned(grid, |params| {
         let plus = family::pi_plus(params).expect("valid");
         let inst = convert::to_lcl(&plus, LeafPolicy::SubMultiset).expect("convert");
         let tree = trees::complete_regular_tree(params.delta as usize, 3).expect("tree");

@@ -22,7 +22,7 @@ fn print_matching_landscape() {
     println!("{:>4} {:>3} {:>10} {:>22}", "Δ", "b", "bare PN", "given Δ-edge coloring");
     let grid: Vec<(u32, u32)> =
         [3u32, 4, 5].into_iter().flat_map(|delta| (1..=delta).map(move |b| (delta, b))).collect();
-    for row in bench::shared_pool().map_owned(grid, |&(delta, b)| {
+    for row in bench::shared_engine().map_owned(grid, |&(delta, b)| {
         let p = matchings::maximal_b_matching_problem(delta, b).expect("valid");
         format!(
             "{:>4} {:>3} {:>10} {:>22}",
@@ -40,11 +40,13 @@ fn print_matching_chains() {
     println!("\n[E19b] automatic chains for maximal matching (universal criterion):");
     println!("{:>4} {:>7} {:>10} {:>8}", "Δ", "budget", "certified", "replay");
     let deltas = vec![3u32, 4];
-    for row in bench::shared_pool().map_owned(deltas, |&delta| {
+    let engine = bench::shared_engine();
+    let session = engine.clone();
+    for row in engine.map_owned(deltas, move |&delta| {
         let mm = matchings::maximal_matching_problem(delta).expect("valid");
         let opts =
             AutoLbOptions { max_steps: 2, label_budget: 6, triviality: Triviality::Universal };
-        let outcome = autolb::auto_lower_bound(&mm, &opts);
+        let outcome = session.auto_lower_bound(&mm, &opts);
         let replay = autolb::verify_chain(&outcome).is_ok();
         format!(
             "{:>4} {:>7} {:>10} {:>8}",
@@ -62,7 +64,7 @@ fn print_hso_fixed_points() {
     println!("\n[E19c] hypergraph sinkless orientation under one full biregular step:");
     println!("{:>10} {:>8} {:>8} {:>8} {:>8}", "(δ_B,δ_W)", "|Σ|→", "|B|→", "|W|→", "trivial");
     let grid = vec![(3u32, 2u32), (3, 3), (4, 3), (3, 4)];
-    for row in bench::shared_pool().map_owned(grid, |&(db, dw)| {
+    for row in bench::shared_engine().map_owned(grid, |&(db, dw)| {
         let black = format!("O{}", " I".repeat(db as usize - 1));
         let white = format!("[O I]{}", " I".repeat(dw as usize - 1));
         let hso = BiregularProblem::from_text(&black, &white).expect("valid");

@@ -11,9 +11,9 @@ fn print_tables() {
         "{:>4} {:>7} {:>10} {:>10} {:>10} {:>12}",
         "D", "n", "det total", "det sweep", "d+1 sweep", "Luby (avg5)"
     );
-    let pool = bench::shared_pool();
+    let engine = bench::shared_engine();
     let deltas = vec![3usize, 4, 5, 6, 8];
-    for row in pool.map_owned(deltas, |&delta| {
+    for row in engine.map_owned(deltas, |&delta| {
         let depth = if delta >= 6 { 2 } else { 3 };
         let tree = trees::complete_regular_tree(delta, depth).expect("tree");
         let det = mis_deterministic(&tree, 3).expect("det");
@@ -43,7 +43,7 @@ fn print_tables() {
     println!("\n[E12b] Luby rounds vs n on max-degree-4 random trees:");
     println!("{:>8} {:>12}", "n", "Luby (avg5)");
     let sizes = vec![50usize, 200, 800, 3200];
-    for row in pool.map_owned(sizes, |&n| {
+    for row in engine.map_owned(sizes, |&n| {
         let tree = trees::random_tree(n, 4, 1).expect("tree");
         let mut total = 0usize;
         for seed in 0..5 {

@@ -20,7 +20,7 @@ fn print_delta_sweep() {
     println!("\n[E18a] rounds at n ≈ 250 vs Δ (caterpillars):");
     println!("{:>4} {:>6} {:>14} {:>10} {:>16}", "Δ", "n", "tree-MIS (H)", "Luby", "Linial+sweep");
     let deltas = vec![4usize, 8, 16, 32, 64];
-    for row in bench::shared_pool().map_owned(deltas, |&delta| {
+    for row in bench::shared_engine().map_owned(deltas, |&delta| {
         let legs = delta - 2;
         let spine = (250 / (legs + 1)).max(2);
         let g = trees::caterpillar(spine, legs).expect("tree");
@@ -47,7 +47,7 @@ fn print_n_sweep() {
     println!("\n[E18b] rounds at Δ ≤ 8 vs n (random trees, seed 2):");
     println!("{:>6} {:>8} {:>14} {:>10}", "n", "layers", "tree-MIS (H)", "Luby");
     let sizes = vec![50usize, 100, 200, 400, 800];
-    for row in bench::shared_pool().map_owned(sizes, |&n| {
+    for row in bench::shared_engine().map_owned(sizes, |&n| {
         let g = trees::random_tree(n, 8, 2).expect("tree");
         let t = tree_mis::tree_mis(&g, 2).expect("tree MIS");
         check_mis(&g, &t.in_set).expect("valid");

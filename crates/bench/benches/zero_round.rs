@@ -1,7 +1,7 @@
 //! E8: 0-round solvability on the identified-ports gadget (Lemmas 12, 15):
 //! analytic reports plus Monte-Carlo failure rates for uniform strategies.
 
-use bench::shared_pool;
+use bench::shared_engine;
 use criterion::{criterion_group, criterion_main, Criterion};
 use lb_family::family::{self, PiParams};
 use lb_family::zeroround_mc;
@@ -13,13 +13,14 @@ fn print_tables() {
         "{:>4} {:>3} {:>3} {:>9} {:>14} {:>12} {:>12}",
         "D", "a", "x", "det-solv", "analytic LB", "MC rate", "MC any-port"
     );
-    let pool = shared_pool();
+    let engine = shared_engine();
+    let session = engine.clone();
     let grid = vec![(3u32, 2u32, 0u32), (4, 3, 1), (6, 4, 1), (8, 5, 2)];
-    for row in pool.map_owned(grid, move |&(delta, a, x)| {
+    for row in engine.map_owned(grid, move |&(delta, a, x)| {
         let p = family::pi(&PiParams { delta, a, x }).expect("valid");
         let report = zeroround::analyze(&p);
-        let mc = zeroround_mc::simulate_uniform_with(&p, 50_000, 7, &pool);
-        let mc_any = zeroround_mc::simulate_uniform_any_port_with(&p, 50_000, 7, &pool);
+        let mc = zeroround_mc::simulate_uniform(&p, 50_000, 7, &session);
+        let mc_any = zeroround_mc::simulate_uniform_any_port(&p, 50_000, 7, &session);
         assert!(!report.deterministically_solvable);
         assert!(mc.rate >= report.randomized_failure_lower_bound);
         format!(
@@ -37,10 +38,11 @@ fn print_tables() {
     }
     // MIS rows for comparison.
     let mis_deltas = vec![3u32, 5];
-    for row in pool.map_owned(mis_deltas, move |&delta| {
+    let session = engine.clone();
+    for row in engine.map_owned(mis_deltas, move |&delta| {
         let p = family::mis(delta).expect("valid");
         let report = zeroround::analyze(&p);
-        let mc = zeroround_mc::simulate_uniform_with(&p, 50_000, 7, &pool);
+        let mc = zeroround_mc::simulate_uniform(&p, 50_000, 7, &session);
         format!(
             "{:>4} {:>3} {:>3} {:>9} {:>14.2e} {:>12.4} {:>12}",
             delta,
@@ -60,8 +62,9 @@ fn bench(c: &mut Criterion) {
     print_tables();
     let p = family::pi(&PiParams { delta: 8, a: 5, x: 2 }).expect("valid");
     c.bench_function("zeroround_analyze_d8", |b| b.iter(|| zeroround::analyze(&p)));
+    let engine = shared_engine();
     c.bench_function("zeroround_mc_10k_d8", |b| {
-        b.iter(|| zeroround_mc::simulate_uniform(&p, 10_000, 3))
+        b.iter(|| zeroround_mc::simulate_uniform(&p, 10_000, 3, &engine))
     });
 }
 

@@ -2,12 +2,15 @@
 //! parallel round-elimination engine's wall-clock behaviour, emitted by
 //! the `bench-driver` binary alongside the human tables.
 //!
-//! Schema (`bench-relim/1`): a header with the thread configuration plus
+//! Schema (`bench-relim/2`): a header with the thread configuration plus
 //! one entry per kernel, each carrying its parameter assignments, one
-//! timed run per thread count, the parallel speedup
-//! (`wall(1 thread) / wall(N threads)`), and whether the parallel output
-//! was byte-identical to the sequential one (always asserted before the
-//! file is written).
+//! timed run per configuration (usually thread counts; the
+//! `engine_session_reuse` kernel compares per-call vs shared engine
+//! caches instead), the speedup of the last run over the first, and
+//! whether the compared outputs were byte-identical (always asserted
+//! before the file is written). `bench-relim/2` added the
+//! `engine_session_reuse` kernel when the drivers moved onto the
+//! `Engine` session API.
 
 use crate::json::Json;
 
@@ -83,13 +86,13 @@ impl Baseline {
     /// The file as a JSON value.
     pub fn to_json(&self) -> Json {
         Json::Obj(vec![
-            ("schema".into(), Json::str("bench-relim/1")),
+            ("schema".into(), Json::str("bench-relim/2")),
             ("generated_by".into(), Json::str("bench-driver")),
             ("quick".into(), Json::Bool(self.quick)),
             ("threads".into(), Json::Int(self.threads as i64)),
             (
                 "available_parallelism".into(),
-                Json::Int(crate::Pool::available_parallelism() as i64),
+                Json::Int(crate::Engine::available_parallelism() as i64),
             ),
             ("entries".into(), Json::Arr(self.entries.iter().map(Entry::to_json).collect())),
         ])
@@ -147,8 +150,8 @@ const TIMING_KEYS: [&str; 6] =
 pub fn schema_problems(doc: &Json) -> Vec<String> {
     let mut out = Vec::new();
     match doc.get("schema").and_then(Json::as_str) {
-        Some("bench-relim/1") => {}
-        Some(other) => out.push(format!("schema: expected `bench-relim/1`, got `{other}`")),
+        Some("bench-relim/2") => {}
+        Some(other) => out.push(format!("schema: expected `bench-relim/2`, got `{other}`")),
         None => out.push("schema: missing or not a string".into()),
     }
     for key in ["generated_by", "quick", "threads", "available_parallelism", "entries"] {
@@ -191,7 +194,7 @@ pub fn schema_problems(doc: &Json) -> Vec<String> {
 /// Diffs a freshly generated baseline against the committed one:
 /// everything must be structurally **equal** — same keys in the same
 /// order, same entry ids, same params, same per-run `threads`/`samples` —
-/// except the [`TIMING_KEYS`], whose values may drift run-to-run (only
+/// except the timing keys (`TIMING_KEYS`), whose values may drift run-to-run (only
 /// their presence and kind are compared). Returns human-readable
 /// mismatches; empty means no perf-schema regression.
 pub fn diff_problems(committed: &Json, fresh: &Json) -> Vec<String> {
@@ -305,7 +308,7 @@ mod tests {
     #[test]
     fn json_shape() {
         let text = sample().to_json().render();
-        assert!(text.contains("\"schema\": \"bench-relim/1\""));
+        assert!(text.contains("\"schema\": \"bench-relim/2\""));
         assert!(text.contains("\"id\": \"lemma8_sweep_d4\""));
         assert!(text.contains("\"speedup\": 2"));
         assert!(text.contains("\"byte_identical\": true"));
@@ -341,9 +344,9 @@ mod tests {
         let problems = schema_problems(&doc);
         assert!(problems.iter().any(|p| p.contains("byte_identical is false")), "{problems:?}");
 
-        let doc = Json::parse("{\"schema\": \"bench-relim/2\"}").unwrap();
+        let doc = Json::parse("{\"schema\": \"bench-relim/1\"}").unwrap();
         let problems = schema_problems(&doc);
-        assert!(problems.iter().any(|p| p.contains("bench-relim/1")), "{problems:?}");
+        assert!(problems.iter().any(|p| p.contains("bench-relim/2")), "{problems:?}");
         assert!(problems.iter().any(|p| p.contains("entries")), "{problems:?}");
     }
 

@@ -1,25 +1,27 @@
-//! Shared infrastructure for the bench crate: the process-wide
-//! work-stealing pool the experiment drivers submit their parameter grids
+//! Shared infrastructure for the bench crate: the round-elimination
+//! [`Engine`] session the experiment drivers submit their parameter grids
 //! to, a dependency-free JSON value writer, and the `BENCH_relim.json`
 //! baseline format emitted by the `bench-driver` binary.
 //!
-//! Every driver computes its table rows through [`shared_pool`] (rows are
-//! independent grid points; results come back in grid order, so tables are
-//! byte-identical at any thread count) and prints them afterwards. The
-//! machine-readable counterpart of the wall-clock tables is the
-//! [`baseline`] module.
+//! Every driver computes its table rows through [`shared_engine`] (rows
+//! are independent grid points sharded with [`Engine::map_owned`]; results
+//! come back in grid order, so tables are byte-identical at any thread
+//! count), cloning the session into the task closures when the rows
+//! themselves run engine steps — one pool handle and one sub-multiset
+//! index cache per driver process. The machine-readable counterpart of
+//! the wall-clock tables is the [`baseline`] module.
 
 #![forbid(unsafe_code)]
 
-pub use relim_pool::Pool;
+pub use relim_core::Engine;
 
 pub mod baseline;
 pub mod json;
 
-/// The pool the bench drivers submit their grids to: `RELIM_THREADS` if
-/// set, otherwise available parallelism.
-pub fn shared_pool() -> Pool {
-    Pool::from_env()
+/// The engine session the bench drivers submit their grids to:
+/// `RELIM_THREADS` wide if set, otherwise available parallelism.
+pub fn shared_engine() -> Engine {
+    Engine::from_env()
 }
 
 /// Times `samples` runs of `f` and returns (last result, median wall ns,

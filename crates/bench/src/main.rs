@@ -1,10 +1,13 @@
 //! `bench-driver` — the machine-readable baseline emitter for the
-//! parallel round-elimination engine.
+//! round-elimination `Engine` sessions.
 //!
-//! Runs the engine's hot kernels at 1 thread and at the requested pool
-//! width, asserts the parallel outputs are **byte-identical** to the
-//! sequential ones, prints a wall-clock table, and writes
-//! `BENCH_relim.json` (schema `bench-relim/1`, see `bench::baseline`).
+//! Runs the engine's hot kernels through a sequential session and through
+//! a session at the requested pool width, asserts the parallel outputs
+//! are **byte-identical** to the sequential ones, prints a wall-clock
+//! table, and writes `BENCH_relim.json` (schema `bench-relim/2`, see
+//! `bench::baseline`). The `engine_session_reuse` kernel additionally
+//! compares a shared session cache against per-call fresh caches on the
+//! `autolb` workload.
 //!
 //! ```text
 //! bench-driver [--quick] [--threads N] [--out PATH]
@@ -12,7 +15,7 @@
 //! ```
 //!
 //! * `--quick`   — CI smoke sizes (Δ=4 sweep, small kernels)
-//! * `--threads` — parallel pool width (default: RELIM_THREADS or
+//! * `--threads` — parallel session width (default: RELIM_THREADS or
 //!   available parallelism)
 //! * `--out`     — baseline path (default: `BENCH_relim.json`)
 //! * `--diff`    — compare a fresh baseline against the committed one:
@@ -22,15 +25,14 @@
 
 use bench::baseline::{diff_problems, schema_problems, Baseline, Entry, Run};
 use bench::json::Json;
-use bench::{time_median, Pool};
+use bench::{time_median, Engine};
 use lb_family::family::{self, PiParams};
 use lb_family::{lemma8, zeroround_mc};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use relim_core::roundelim::{
-    dominance_filter_reference, dominance_filter_with, r_step, rbar_step_with,
-};
-use relim_core::{iterate, Label, LabelSet, SetConfig};
+use relim_core::autolb::AutoLbOptions;
+use relim_core::roundelim::{dominance_filter_reference, r_step};
+use relim_core::{Label, LabelSet, SetConfig};
 
 struct Options {
     quick: bool,
@@ -99,18 +101,21 @@ fn run_diff(committed: &std::path::Path, fresh: &std::path::Path) -> Result<(), 
     }
 }
 
-/// Times `f` at 1 thread and at `threads`, asserting the rendered outputs
-/// match, and builds the baseline entry.
+/// Times `f` through a sequential session and a `threads`-wide session,
+/// asserting the rendered outputs match, and builds the baseline entry.
+/// Each invocation receives a session of the right width; kernels that
+/// must *not* reuse a cache across samples build a fresh child session
+/// inside the closure (see the iterate kernels).
 fn compare<R>(
     id: &str,
     params: Vec<(String, Json)>,
     threads: usize,
     samples: usize,
-    f: impl Fn(&Pool) -> R,
+    f: impl Fn(&Engine) -> R,
     render: impl Fn(&R) -> String,
 ) -> Entry {
-    let sequential = Pool::sequential();
-    let parallel = Pool::new(threads);
+    let sequential = Engine::sequential();
+    let parallel = Engine::builder().threads(threads).build();
     let (seq_out, seq_med, seq_min, seq_max) = time_median(samples, || f(&sequential));
     let (par_out, par_med, par_min, par_max) = time_median(samples, || f(&parallel));
     let identical = render(&par_out) == render(&seq_out);
@@ -123,6 +128,78 @@ fn compare<R>(
             Run { threads, wall_ns: par_med, min_ns: par_min, max_ns: par_max, samples },
         ],
         speedup: Some(seq_med as f64 / par_med.max(1) as f64),
+        byte_identical: Some(identical),
+    }
+}
+
+/// A fresh child session of the same width as `engine` — used by kernels
+/// whose measurement must not leak state (cache contents) across samples.
+fn fresh(engine: &Engine, memoize: bool) -> Engine {
+    Engine::builder().threads(engine.threads()).memoize(memoize).build()
+}
+
+/// The `engine_session_reuse` kernel: `repeats` identical `autolb` merge
+/// searches on MIS (Δ=3), once with a **fresh session per call** (run 1:
+/// every call rebuilds its sub-multiset indices) and once through **one
+/// shared session** (run 2: calls after the first are served from the
+/// session's `SubIndexCache`). Outcomes must be byte-identical; the
+/// cache-hit count of the shared session is recorded in params.
+fn engine_session_reuse_entry(repeats: usize) -> Entry {
+    let mis = family::mis(3).expect("valid");
+    let opts = AutoLbOptions { max_steps: 3, label_budget: 6, ..Default::default() };
+    let render = |o: &relim_core::autolb::AutoLbOutcome| {
+        let chain: Vec<String> = o.chain().map(|p| p.render()).collect();
+        format!("{:?} {} {}", o.stopped, o.certified_rounds, chain.join("|"))
+    };
+
+    let (per_call_out, per_call_med, per_call_min, per_call_max) = time_median(3, || {
+        let mut last = String::new();
+        for _ in 0..repeats {
+            let engine = Engine::sequential();
+            last = render(&engine.auto_lower_bound(&mis, &opts));
+        }
+        last
+    });
+
+    let shared = Engine::sequential();
+    let shared2 = shared.clone();
+    let (shared_out, shared_med, shared_min, shared_max) = time_median(3, move || {
+        let mut last = String::new();
+        for _ in 0..repeats {
+            last = render(&shared2.auto_lower_bound(&mis, &opts));
+        }
+        last
+    });
+    let identical = per_call_out == shared_out;
+    assert!(identical, "engine_session_reuse: shared-cache outcome differs from per-call");
+    let report = shared.report();
+    assert!(report.cache_hits > 0, "shared session must score cache hits across repeats");
+
+    Entry {
+        id: "engine_session_reuse".into(),
+        params: vec![
+            ("repeats".into(), Json::Int(repeats as i64)),
+            ("mode_run0".into(), Json::str("per_call_cache")),
+            ("mode_run1".into(), Json::str("shared_cache")),
+            ("shared_cache_hits".into(), Json::Int(report.cache_hits as i64)),
+        ],
+        runs: vec![
+            Run {
+                threads: 1,
+                wall_ns: per_call_med,
+                min_ns: per_call_min,
+                max_ns: per_call_max,
+                samples: 3,
+            },
+            Run {
+                threads: 1,
+                wall_ns: shared_med,
+                min_ns: shared_min,
+                max_ns: shared_max,
+                samples: 3,
+            },
+        ],
+        speedup: Some(per_call_med as f64 / shared_med.max(1) as f64),
         byte_identical: Some(identical),
     }
 }
@@ -172,10 +249,10 @@ fn main() {
         return;
     }
     let threads = match opts.threads {
-        Some(0) => Pool::available_parallelism(),
+        Some(0) => Engine::available_parallelism(),
         Some(n) => n,
-        None => match Pool::try_from_env() {
-            Ok(pool) => pool.threads(),
+        None => match Engine::try_from_env() {
+            Ok(engine) => engine.threads(),
             Err(e) => {
                 eprintln!("error: {e}");
                 std::process::exit(2);
@@ -185,7 +262,9 @@ fn main() {
     let mut entries = Vec::new();
 
     // 1. The headline kernel: the Lemma 8 verification sweep (tier-2 at
-    // Δ=5) — the acceptance workload for the parallel engine.
+    // Δ=5) — the acceptance workload for the parallel engine. A fresh
+    // child session per sample keeps the per-point index builds inside
+    // the measurement (cross-call reuse is `engine_session_reuse`'s job).
     let sweep_delta = if opts.quick { 4 } else { 5 };
     let sweep_samples = if opts.quick { 3 } else { 1 };
     entries.push(compare(
@@ -196,12 +275,14 @@ fn main() {
         ],
         threads,
         sweep_samples,
-        |pool| lemma8::verify_sweep_with(sweep_delta, pool).expect("sweep"),
+        |engine| lemma8::verify_sweep(sweep_delta, &fresh(engine, true)).expect("sweep"),
         |reports| format!("{reports:?}"),
     ));
 
     // 2. One R̄ application on the family at the largest unit-suite point:
-    // the raw universal-side enumeration plus dominance filter.
+    // the raw universal-side enumeration plus dominance filter. A fresh
+    // child session per sample keeps the index build inside the
+    // measurement (the session cache would otherwise absorb it).
     let pi = family::pi(&PiParams { delta: 5, a: 4, x: 1 }).expect("valid");
     let r = r_step(&pi).expect("r step");
     entries.push(compare(
@@ -209,13 +290,15 @@ fn main() {
         vec![("labels".into(), Json::Int(r.problem.alphabet().len() as i64))],
         threads,
         if opts.quick { 3 } else { 5 },
-        |pool| rbar_step_with(&r.problem, pool).expect("rbar"),
+        |engine| fresh(engine, true).rbar_step(&r.problem).expect("rbar"),
         |step| format!("{}\n{:?}", step.problem.render(), step.provenance),
     ));
 
     // 3. Iterated round elimination on MIS until the label limit — the
     // memoized default, plus the memoization-off reference so the
-    // before/after of the sub-index cache is recorded side by side.
+    // before/after of the sub-index cache is recorded side by side. Each
+    // sample gets a fresh child session: the kernel measures *within-run*
+    // memoization, not cross-sample reuse (that is `engine_session_reuse`).
     let mis = family::mis(3).expect("valid");
     entries.push(compare(
         "iterate_rr_mis_d3",
@@ -226,7 +309,7 @@ fn main() {
         ],
         threads,
         if opts.quick { 3 } else { 5 },
-        |pool| iterate::iterate_rr_with(&mis, 10, 20, pool),
+        |engine| fresh(engine, true).iterate_with_limits(&mis, 10, 20),
         |outcome| format!("{:?}\n{:?}", outcome.stats, outcome.stopped),
     ));
     entries.push(compare(
@@ -238,19 +321,23 @@ fn main() {
         ],
         threads,
         if opts.quick { 3 } else { 5 },
-        |pool| iterate::iterate_rr_unmemoized(&mis, 10, 20, pool),
+        |engine| fresh(engine, false).iterate_with_limits(&mis, 10, 20),
         |outcome| format!("{:?}\n{:?}", outcome.stats, outcome.stopped),
     ));
     // The two paths must also agree with *each other*, not just across
     // thread counts.
     {
-        let pool = Pool::new(threads);
-        let memo = iterate::iterate_rr_with(&mis, 10, 20, &pool);
-        let plain = iterate::iterate_rr_unmemoized(&mis, 10, 20, &pool);
+        let engine = Engine::builder().threads(threads).build();
+        let memo = engine.iterate_with_limits(&mis, 10, 20);
+        let plain = Engine::builder()
+            .threads(threads)
+            .memoize(false)
+            .build()
+            .iterate_with_limits(&mis, 10, 20);
         assert_eq!(
             format!("{:?}\n{:?}", memo.stats, memo.stopped),
             format!("{:?}\n{:?}", plain.stats, plain.stopped),
-            "memoized iterate_rr must match the memoization-off reference"
+            "memoized iterate must match the memoization-off reference"
         );
     }
 
@@ -263,13 +350,19 @@ fn main() {
         vec![("items".into(), Json::Int(micro_items.len() as i64))],
         threads,
         if opts.quick { 5 } else { 9 },
-        |pool| {
-            pool.map_owned(micro_items.clone(), |&x| {
+        |engine| {
+            engine.map_owned(micro_items.clone(), |&x| {
                 x.wrapping_mul(6364136223846793005).rotate_left(17)
             })
         },
         |out| format!("{out:?}"),
     ));
+
+    // 3c. Session reuse: the same autolb merge search driven repeatedly
+    // through ONE long-lived session (shared SubIndexCache — run 2) vs a
+    // fresh session per call (cold cache every time — run 1). Outcomes
+    // must be byte-identical; the cache-hit delta is recorded in params.
+    entries.push(engine_session_reuse_entry(if opts.quick { 6 } else { 12 }));
 
     // 4. The chunk-sharded Monte-Carlo gadget simulation.
     let mc_trials: u64 = if opts.quick { 65_536 } else { 1 << 20 };
@@ -282,7 +375,7 @@ fn main() {
         ],
         threads,
         if opts.quick { 3 } else { 5 },
-        |pool| zeroround_mc::simulate_uniform_with(&mc_problem, mc_trials, 7, pool),
+        |engine| zeroround_mc::simulate_uniform(&mc_problem, mc_trials, 7, engine),
         |out| format!("{}/{}", out.failures, out.trials),
     ));
 
@@ -315,13 +408,13 @@ fn main() {
         vec![("configs".into(), Json::Int(n_configs as i64))],
         threads,
         3,
-        |pool| dominance_filter_with(configs.clone(), pool),
+        |engine| engine.dominance_filter(configs.clone()),
         |survivors| format!("{survivors:?}"),
     );
     assert_eq!(bucketed.runs.len(), 2, "bucketed entry carries sequential + parallel runs");
     let rewrite_speedup = ref_med as f64 / bucketed.runs[0].wall_ns.max(1) as f64;
     bucketed.params.push(("speedup_vs_reference".into(), Json::Float(rewrite_speedup)));
-    let bucketed_out = dominance_filter_with(configs.clone(), &Pool::sequential());
+    let bucketed_out = Engine::sequential().dominance_filter(configs.clone());
     assert_eq!(bucketed_out, reference, "bucketed filter must match the seed reference");
     entries.push(bucketed);
 

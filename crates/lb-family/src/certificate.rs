@@ -12,6 +12,7 @@ use crate::family::{self, PiParams};
 use crate::{lemma6, lemma8, sequence};
 use relim_core::error::Result;
 use relim_core::zeroround;
+use relim_core::Engine;
 
 /// One chain member with its transition evidence.
 #[derive(Debug, Clone)]
@@ -78,14 +79,15 @@ impl ChainCertificate {
         self.steps.len().saturating_sub(1) as u32
     }
 
-    /// Re-checks every recorded fact; with `engine_checks` (and `Δ ≤ 5`),
-    /// also re-verifies Lemmas 6 and 8 at every transition with the round
-    /// elimination engine.
+    /// Re-checks every recorded fact; with an [`Engine`] session (and
+    /// `Δ ≤ 5`), also re-verifies Lemmas 6 and 8 at every transition with
+    /// the round elimination engine — all transitions share the session's
+    /// cache and workers.
     ///
     /// # Errors
     ///
     /// Propagates engine errors (e.g. parameters outside lemma hypotheses).
-    pub fn verify(&mut self, engine_checks: bool) -> Result<bool> {
+    pub fn verify(&mut self, engine: Option<&Engine>) -> Result<bool> {
         let mut ok = true;
         for (i, step) in self.steps.iter().enumerate() {
             // Lemma 12 side conditions + direct engine check.
@@ -99,15 +101,17 @@ impl ChainCertificate {
                 ok &= step.relaxation_legal == Some(true);
             }
         }
-        if engine_checks && self.delta <= 5 {
-            for step in &self.steps {
-                if step.corollary10_output.is_some() && step.params.lemma6_applicable() {
-                    ok &= lemma6::verify(&step.params)?.matches_paper();
-                    let mach = lemma8::Lemma8Machinery::compute(&step.params)?;
-                    ok &= mach.verify().matches_paper();
+        if let Some(engine) = engine {
+            if self.delta <= 5 {
+                for step in &self.steps {
+                    if step.corollary10_output.is_some() && step.params.lemma6_applicable() {
+                        ok &= lemma6::verify(&step.params)?.matches_paper();
+                        let mach = lemma8::Lemma8Machinery::compute(&step.params, engine)?;
+                        ok &= mach.verify().matches_paper();
+                    }
                 }
+                self.engine_verified = true;
             }
-            self.engine_verified = true;
         }
         Ok(ok)
     }
@@ -151,7 +155,7 @@ mod tests {
     #[test]
     fn certificate_small_delta_engine_verified() {
         let mut cert = ChainCertificate::build(4, 0).unwrap();
-        assert!(cert.verify(true).unwrap(), "{}", cert.render());
+        assert!(cert.verify(Some(&Engine::sequential())).unwrap(), "{}", cert.render());
         assert!(cert.engine_verified);
         assert!(cert.render().contains("Lower-bound certificate"));
     }
@@ -160,14 +164,14 @@ mod tests {
     fn certificate_large_delta_arithmetic_only() {
         let mut cert = ChainCertificate::build(1 << 18, 0).unwrap();
         assert_eq!(cert.length(), 5);
-        assert!(cert.verify(false).unwrap());
+        assert!(cert.verify(None).unwrap());
         assert!(!cert.engine_verified);
     }
 
     #[test]
     fn certificate_with_k() {
         let mut cert = ChainCertificate::build(1 << 15, 3).unwrap();
-        assert!(cert.verify(false).unwrap());
+        assert!(cert.verify(None).unwrap());
         assert!(cert.length() >= 2);
         // x starts at k.
         assert_eq!(cert.steps[0].params.x, 3);
@@ -177,6 +181,6 @@ mod tests {
     fn tampered_certificate_fails() {
         let mut cert = ChainCertificate::build(4096, 0).unwrap();
         cert.steps[0].not_zero_round_solvable = false;
-        assert!(!cert.verify(false).unwrap());
+        assert!(!cert.verify(None).unwrap());
     }
 }

@@ -181,24 +181,27 @@ pub fn verify(params: &PiParams) -> Result<Lemma6Report> {
     })
 }
 
-/// Sweeps Lemma 6 verification over all valid `(a, x)` for one `Δ`.
-///
-/// # Errors
-///
-/// Propagates engine errors.
-pub fn verify_sweep(delta: u32) -> Result<Vec<Lemma6Report>> {
-    verify_sweep_with(delta, &relim_pool::Pool::sequential())
-}
-
-/// [`verify_sweep`] with the `(a, x)` parameter points sharded over the
-/// persistent workers of `pool`. Reports come back in sweep order —
-/// byte-identical to [`verify_sweep`] at any thread count.
+/// Sweeps Lemma 6 verification over all valid `(a, x)` for one `Δ`, with
+/// the parameter points sharded over the session's workers. Reports come
+/// back in sweep order — byte-identical at any thread count.
 ///
 /// # Errors
 ///
 /// Propagates engine errors (from the earliest failing point).
-pub fn verify_sweep_with(delta: u32, pool: &relim_pool::Pool) -> Result<Vec<Lemma6Report>> {
-    pool.try_map_owned(family::sweep_points(delta), verify)
+pub fn verify_sweep(delta: u32, engine: &relim_core::Engine) -> Result<Vec<Lemma6Report>> {
+    engine.try_map_owned(family::sweep_points(delta), verify)
+}
+
+/// [`verify_sweep`] over an ad-hoc pool width.
+///
+/// # Errors
+///
+/// Propagates engine errors (from the earliest failing point).
+#[deprecated(
+    note = "construct a relim_core::engine::Engine session and call verify_sweep(delta, &engine)"
+)]
+pub fn verify_sweep_with(delta: u32, pool: &relim_core::Pool) -> Result<Vec<Lemma6Report>> {
+    verify_sweep(delta, &relim_core::Engine::builder().threads(pool.threads()).build())
 }
 
 #[cfg(test)]
@@ -218,7 +221,7 @@ mod tests {
 
     #[test]
     fn lemma6_sweep_delta5() {
-        let reports = verify_sweep(5).unwrap();
+        let reports = verify_sweep(5, &relim_core::Engine::sequential()).unwrap();
         assert!(!reports.is_empty());
         for r in reports {
             assert!(r.matches_paper(), "failed at {:?}", r.params);

@@ -28,9 +28,8 @@ use local_sim::{Graph, PortLabeling};
 use relim_core::error::{RelimError, Result};
 use relim_core::matching::assign_positions;
 use relim_core::relax;
-use relim_core::roundelim::{rr_step_with, Step};
-use relim_core::{Config, Label, LabelSet, Line, Problem};
-use relim_pool::Pool;
+use relim_core::roundelim::Step;
+use relim_core::{Config, Engine, Label, LabelSet, Line, Pool, Problem};
 
 /// The six "super-labels" of `Π_rel`, as right-closed sets of `R(Π)` labels,
 /// ordered to coincide with the `Π⁺` alphabet `[M, P, O, A, X, C]`.
@@ -163,7 +162,9 @@ impl Lemma8Report {
 }
 
 impl Lemma8Machinery {
-    /// Computes `R(Π)`, `R̄(R(Π))` and the `Π_rel` lines.
+    /// Computes `R(Π)`, `R̄(R(Π))` and the `Π_rel` lines through `engine`
+    /// (the exponential `R̄` enumeration and dominance filter shard over
+    /// the session's workers; byte-identical at any thread count).
     ///
     /// The `R̄` step is exponential in general; keep `Δ ≤ 6` (the default
     /// tests use 3–5).
@@ -171,22 +172,23 @@ impl Lemma8Machinery {
     /// # Errors
     ///
     /// Requires Lemma 6's hypothesis; propagates engine errors.
-    pub fn compute(params: &PiParams) -> Result<Self> {
-        Self::compute_with(params, &Pool::sequential())
+    pub fn compute(params: &PiParams, engine: &Engine) -> Result<Self> {
+        let p = family::pi(params)?;
+        let rel_lines = pi_rel_node_lines(params)?;
+        let (r, rr) = engine.rr_step(&p)?;
+        Ok(Lemma8Machinery { params: *params, r, rr, rel_lines })
     }
 
-    /// [`Lemma8Machinery::compute`] with the exponential `R̄` enumeration and
-    /// dominance filter sharded over `pool`. Byte-identical to the
-    /// sequential computation at any thread count.
+    /// [`Lemma8Machinery::compute`] over an ad-hoc pool width.
     ///
     /// # Errors
     ///
     /// Same as [`Lemma8Machinery::compute`].
+    #[deprecated(
+        note = "construct a relim_core::engine::Engine session and call compute(params, &engine)"
+    )]
     pub fn compute_with(params: &PiParams, pool: &Pool) -> Result<Self> {
-        let p = family::pi(params)?;
-        let rel_lines = pi_rel_node_lines(params)?;
-        let (r, rr) = rr_step_with(&p, pool)?;
-        Ok(Lemma8Machinery { params: *params, r, rr, rel_lines })
+        Self::compute(params, &Engine::builder().threads(pool.threads()).build())
     }
 
     /// The problem `R̄(R(Π))`.
@@ -314,31 +316,35 @@ impl Lemma8Machinery {
     }
 }
 
-/// Sweeps Lemma 8 verification over all valid `(a, x)` for one `Δ`.
-/// Exponential in Δ — keep `Δ ≤ 5`.
-///
-/// # Errors
-///
-/// Propagates engine errors.
-pub fn verify_sweep(delta: u32) -> Result<Vec<Lemma8Report>> {
-    verify_sweep_with(delta, &Pool::sequential())
-}
-
-/// [`verify_sweep`] sharded over the persistent workers of `pool`: the
-/// `(a, x)` parameter points are distributed across the workers (uneven
-/// point costs are balanced by work stealing), and each point's engine
-/// computation itself uses the pool when it is the first to reach it.
-/// Reports come back in sweep order — byte-identical to [`verify_sweep`]
-/// at any thread count.
+/// Sweeps Lemma 8 verification over all valid `(a, x)` for one `Δ`,
+/// sharded over the session's workers: the `(a, x)` parameter points are
+/// distributed across the workers (uneven point costs are balanced by
+/// work stealing), each point's `R̄` computation itself uses the session
+/// pool when it is the first to reach it, and every point's engine calls
+/// share the session's sub-multiset index cache. Reports come back in
+/// sweep order — byte-identical at any thread count. Exponential in Δ —
+/// keep `Δ ≤ 5`.
 ///
 /// # Errors
 ///
 /// Propagates engine errors (from the earliest failing point).
-pub fn verify_sweep_with(delta: u32, pool: &Pool) -> Result<Vec<Lemma8Report>> {
-    let engine_pool = *pool;
-    pool.try_map_owned(family::sweep_points(delta), move |params| {
-        Lemma8Machinery::compute_with(params, &engine_pool).map(|mach| mach.verify())
+pub fn verify_sweep(delta: u32, engine: &Engine) -> Result<Vec<Lemma8Report>> {
+    let session = engine.clone();
+    engine.try_map_owned(family::sweep_points(delta), move |params| {
+        Lemma8Machinery::compute(params, &session).map(|mach| mach.verify())
     })
+}
+
+/// [`verify_sweep`] over an ad-hoc pool width.
+///
+/// # Errors
+///
+/// Propagates engine errors (from the earliest failing point).
+#[deprecated(
+    note = "construct a relim_core::engine::Engine session and call verify_sweep(delta, &engine)"
+)]
+pub fn verify_sweep_with(delta: u32, pool: &Pool) -> Result<Vec<Lemma8Report>> {
+    verify_sweep(delta, &Engine::builder().threads(pool.threads()).build())
 }
 
 #[cfg(test)]
@@ -349,7 +355,7 @@ mod tests {
     #[test]
     fn lemma8_delta3() {
         let params = PiParams { delta: 3, a: 2, x: 0 };
-        let mach = Lemma8Machinery::compute(&params).unwrap();
+        let mach = Lemma8Machinery::compute(&params, &Engine::sequential()).unwrap();
         let report = mach.verify();
         assert!(report.matches_paper(), "{report:?}");
         assert!(report.rr_node_config_count > 0);
@@ -357,7 +363,7 @@ mod tests {
 
     #[test]
     fn lemma8_delta4_sweep() {
-        let reports = verify_sweep(4).unwrap();
+        let reports = verify_sweep(4, &Engine::sequential()).unwrap();
         assert_eq!(reports.len(), 6);
         for report in reports {
             assert!(report.matches_paper(), "failed: {report:?}");
@@ -370,7 +376,7 @@ mod tests {
         ignore = "exponential: run with --ignored in release mode, or --features exhaustive"
     )]
     fn lemma8_delta5_sweep_full() {
-        let reports = verify_sweep(5).unwrap();
+        let reports = verify_sweep(5, &Engine::sequential()).unwrap();
         assert_eq!(reports.len(), 10);
         for report in reports {
             assert!(report.matches_paper(), "failed: {report:?}");
@@ -379,12 +385,24 @@ mod tests {
 
     #[test]
     fn sweep_parallel_matches_sequential() {
-        let seq = verify_sweep(4).unwrap();
+        let seq = verify_sweep(4, &Engine::sequential()).unwrap();
         for threads in [2, 8] {
-            let par = verify_sweep_with(4, &Pool::new(threads)).unwrap();
+            let par = verify_sweep(4, &Engine::builder().threads(threads).build()).unwrap();
             let render = |rs: &[Lemma8Report]| format!("{rs:?}");
             assert_eq!(render(&par), render(&seq), "threads = {threads}");
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_pool_wrappers_match_the_session_path() {
+        let seq = verify_sweep(4, &Engine::sequential()).unwrap();
+        let compat = verify_sweep_with(4, &Pool::new(2)).unwrap();
+        assert_eq!(format!("{compat:?}"), format!("{seq:?}"));
+        let params = PiParams { delta: 3, a: 2, x: 0 };
+        let a = Lemma8Machinery::compute(&params, &Engine::sequential()).unwrap();
+        let b = Lemma8Machinery::compute_with(&params, &Pool::sequential()).unwrap();
+        assert_eq!(a.rr.problem.render(), b.rr.problem.render());
     }
 
     #[test]
@@ -415,7 +433,7 @@ mod tests {
     #[test]
     fn end_to_end_transform_on_tree() {
         let params = PiParams { delta: 3, a: 2, x: 0 };
-        let mach = Lemma8Machinery::compute(&params).unwrap();
+        let mach = Lemma8Machinery::compute(&params, &Engine::sequential()).unwrap();
         let tree = trees::complete_regular_tree(3, 3).unwrap();
         for seed in 0..3 {
             let outcome = mach.end_to_end(&tree, seed).unwrap();

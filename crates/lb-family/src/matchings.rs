@@ -230,7 +230,7 @@ mod tests {
             label_budget: 6,
             triviality: autolb::Triviality::Universal,
         };
-        let outcome = autolb::auto_lower_bound(&mm, &opts);
+        let outcome = relim_core::Engine::sequential().auto_lower_bound(&mm, &opts);
         assert!(outcome.certified_rounds >= 1);
         assert_eq!(autolb::verify_chain(&outcome).unwrap(), outcome.certified_rounds);
     }

@@ -13,15 +13,14 @@
 //! Trials are drawn in fixed-size chunks of [`CHUNK_TRIALS`], each chunk
 //! from its own splitmix-derived RNG stream, and failure counts are summed
 //! in chunk order. The chunk — not the thread — is the unit of randomness,
-//! so sharding chunks over a [`Pool`] is byte-identical to the sequential
-//! run at any thread count.
+//! so sharding chunks over an [`Engine`] session is byte-identical to the
+//! sequential run at any thread count.
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use relim_core::zeroround;
-use relim_core::{Config, Label, Problem};
-use relim_pool::Pool;
+use relim_core::{Config, Engine, Label, Pool, Problem};
 
 /// Trials per RNG chunk (the unit of parallel sharding).
 pub const CHUNK_TRIALS: u64 = 4096;
@@ -53,43 +52,57 @@ enum FailureEvent {
 /// both endpoints of an edge independently pick a uniformly random node
 /// configuration and a uniformly random assignment of it to their Δ ports;
 /// the shared port `c` then carries the pair of labels at position `c`.
+/// The trial chunks shard over the session's workers — byte-identical to
+/// a sequential session at any thread count.
 ///
 /// Each trial simulates one edge (ports are identified, so one edge
 /// suffices and trials are independent).
-pub fn simulate_uniform(problem: &Problem, trials: u64, seed: u64) -> McOutcome {
-    simulate_uniform_with(problem, trials, seed, &Pool::sequential())
+pub fn simulate_uniform(problem: &Problem, trials: u64, seed: u64, engine: &Engine) -> McOutcome {
+    simulate(problem, trials, seed, engine, FailureEvent::SinglePort)
 }
 
-/// [`simulate_uniform`] with the trial chunks sharded over `pool`.
-/// Byte-identical to the sequential run at any thread count.
+/// [`simulate_uniform`] over an ad-hoc pool width.
+#[deprecated(note = "construct a relim_core::engine::Engine session and call \
+            simulate_uniform(problem, trials, seed, &engine)")]
 pub fn simulate_uniform_with(problem: &Problem, trials: u64, seed: u64, pool: &Pool) -> McOutcome {
-    simulate(problem, trials, seed, pool, FailureEvent::SinglePort)
+    simulate_uniform(problem, trials, seed, &engine_of(pool))
 }
 
 /// Like [`simulate_uniform`] but counts an edge as failed if *any* of the Δ
 /// identified ports receives an incompatible pair — the actual per-edge
 /// failure event of the gadget (all Δ ports are shared between the two
 /// endpoints of the respective edges of that color class).
-pub fn simulate_uniform_any_port(problem: &Problem, trials: u64, seed: u64) -> McOutcome {
-    simulate_uniform_any_port_with(problem, trials, seed, &Pool::sequential())
+pub fn simulate_uniform_any_port(
+    problem: &Problem,
+    trials: u64,
+    seed: u64,
+    engine: &Engine,
+) -> McOutcome {
+    simulate(problem, trials, seed, engine, FailureEvent::AnyPort)
 }
 
-/// [`simulate_uniform_any_port`] with the trial chunks sharded over `pool`.
-/// Byte-identical to the sequential run at any thread count.
+/// [`simulate_uniform_any_port`] over an ad-hoc pool width.
+#[deprecated(note = "construct a relim_core::engine::Engine session and call \
+            simulate_uniform_any_port(problem, trials, seed, &engine)")]
 pub fn simulate_uniform_any_port_with(
     problem: &Problem,
     trials: u64,
     seed: u64,
     pool: &Pool,
 ) -> McOutcome {
-    simulate(problem, trials, seed, pool, FailureEvent::AnyPort)
+    simulate_uniform_any_port(problem, trials, seed, &engine_of(pool))
+}
+
+/// A session matching a legacy pool width (for the deprecated wrappers).
+fn engine_of(pool: &Pool) -> Engine {
+    Engine::builder().threads(pool.threads()).build()
 }
 
 fn simulate(
     problem: &Problem,
     trials: u64,
     seed: u64,
-    pool: &Pool,
+    engine: &Engine,
     event: FailureEvent,
 ) -> McOutcome {
     let delta = problem.delta() as usize;
@@ -103,7 +116,7 @@ fn simulate(
     let chunks: Vec<(u64, u64)> = (0..trials.div_ceil(CHUNK_TRIALS))
         .map(|c| (c, CHUNK_TRIALS.min(trials - c * CHUNK_TRIALS)))
         .collect();
-    let failures: u64 = pool
+    let failures: u64 = engine
         .map_owned(chunks, move |&(chunk, chunk_trials)| {
             let mut rng = StdRng::seed_from_u64(chunk_seed(seed, chunk));
             let draw = |rng: &mut StdRng| -> Vec<Label> {
@@ -156,10 +169,14 @@ mod tests {
     use super::*;
     use crate::family::{self, PiParams};
 
+    fn sequential() -> Engine {
+        Engine::sequential()
+    }
+
     #[test]
     fn uniform_strategy_fails_often_on_pi() {
         let p = family::pi(&PiParams { delta: 4, a: 3, x: 1 }).unwrap();
-        let out = simulate_uniform(&p, 20_000, 7);
+        let out = simulate_uniform(&p, 20_000, 7, &sequential());
         // The analytic bound holds for the *best* strategy; the uniform one
         // must fail at least that often.
         assert!(out.rate >= out.analytic_lower_bound);
@@ -169,38 +186,44 @@ mod tests {
     #[test]
     fn any_port_failure_dominates_single_port() {
         let p = family::pi(&PiParams { delta: 4, a: 3, x: 1 }).unwrap();
-        let single = simulate_uniform(&p, 20_000, 11);
-        let any = simulate_uniform_any_port(&p, 20_000, 11);
+        let single = simulate_uniform(&p, 20_000, 11, &sequential());
+        let any = simulate_uniform_any_port(&p, 20_000, 11, &sequential());
         assert!(any.rate >= single.rate);
     }
 
     #[test]
     fn mis_uniform_strategy_fails() {
         let p = family::mis(3).unwrap();
-        let out = simulate_uniform_any_port(&p, 20_000, 3);
+        let out = simulate_uniform_any_port(&p, 20_000, 3, &sequential());
         assert!(out.rate > 0.1, "rate = {}", out.rate);
     }
 
     #[test]
     fn deterministic_reproducibility() {
         let p = family::mis(3).unwrap();
-        let a = simulate_uniform(&p, 5_000, 42);
-        let b = simulate_uniform(&p, 5_000, 42);
+        let a = simulate_uniform(&p, 5_000, 42, &sequential());
+        let b = simulate_uniform(&p, 5_000, 42, &sequential());
         assert_eq!(a.failures, b.failures);
     }
 
     #[test]
+    #[allow(deprecated)] // also pins the pool-taking compatibility wrappers
     fn sharded_chunks_match_sequential_exactly() {
         let p = family::mis(3).unwrap();
         // Cover >1 chunk and a short tail chunk.
         let trials = 2 * CHUNK_TRIALS + 513;
-        let seq = simulate_uniform(&p, trials, 42);
+        let seq = simulate_uniform(&p, trials, 42, &sequential());
         for threads in [2, 8] {
-            let par = simulate_uniform_with(&p, trials, 42, &Pool::new(threads));
+            let engine = Engine::builder().threads(threads).build();
+            let par = simulate_uniform(&p, trials, 42, &engine);
             assert_eq!(par.failures, seq.failures, "threads = {threads}");
-            let par_any = simulate_uniform_any_port_with(&p, trials, 42, &Pool::new(threads));
-            let seq_any = simulate_uniform_any_port(&p, trials, 42);
+            let compat = simulate_uniform_with(&p, trials, 42, &Pool::new(threads));
+            assert_eq!(compat.failures, seq.failures, "wrapper, threads = {threads}");
+            let par_any = simulate_uniform_any_port(&p, trials, 42, &engine);
+            let seq_any = simulate_uniform_any_port(&p, trials, 42, &sequential());
             assert_eq!(par_any.failures, seq_any.failures, "threads = {threads}");
+            let compat_any = simulate_uniform_any_port_with(&p, trials, 42, &Pool::new(threads));
+            assert_eq!(compat_any.failures, seq_any.failures, "wrapper, threads = {threads}");
         }
     }
 }

@@ -1,26 +1,30 @@
 //! `relim` — a command-line round eliminator.
 //!
 //! ```text
-//! relim step        --node "M M M" --edge "M [P O];O O" [--steps N] [--condense]
-//! relim diagram     --node ... --edge ... [--side node|edge] [--dot]
-//! relim zeroround   --node ... --edge ...
-//! relim fixed-point --node ... --edge ... [--max-steps N] [--label-limit L]
-//! relim family      --delta D --a A --x X [--plus]
-//! relim lemma6      --delta D --a A --x X
-//! relim lemma8      --delta D --a A --x X [--threads T]
-//! relim sweep       --delta D [--lemma 6|8] [--threads T]
-//! relim chain       --delta D [--k K] [--exact]
-//! relim bounds      --n N --delta D [--k K]
+//! relim [--threads T] step        --node "M M M" --edge "M [P O];O O" [--steps N] [--condense]
+//! relim [--threads T] diagram     --node ... --edge ... [--side node|edge] [--dot]
+//! relim [--threads T] zeroround   --node ... --edge ...
+//! relim [--threads T] fixed-point --node ... --edge ... [--max-steps N] [--label-limit L]
+//! relim [--threads T] family      --delta D --a A --x X [--plus]
+//! relim [--threads T] lemma6      --delta D --a A --x X
+//! relim [--threads T] lemma8      --delta D --a A --x X
+//! relim [--threads T] sweep       --delta D [--lemma 6|8]
+//! relim [--threads T] chain       --delta D [--k K] [--exact]
+//! relim [--threads T] bounds      --n N --delta D [--k K]
 //! relim help
 //! ```
 //!
 //! Constraint strings use the engine's text format; `;` or a literal `\n`
 //! separates configuration lines.
 //!
-//! `--threads T` shards the engine's universal sides and the verification
-//! sweeps over a work-stealing pool (default: available parallelism, or
-//! the `RELIM_THREADS` environment variable). Output is byte-identical at
-//! any thread count.
+//! `--threads T` is a **global** flag (valid before or after the
+//! subcommand): one round-elimination [`Engine`] session is built from it
+//! (default: available parallelism, or the `RELIM_THREADS` environment
+//! variable) and flows through every subcommand, so sweeps, repeated
+//! steps and bound searches within one invocation share the session's
+//! worker pool and sub-multiset index cache. Setting both `--threads` and
+//! `RELIM_THREADS` to different values is an error, not a silent
+//! preference. Output is byte-identical at any thread count.
 
 mod args;
 
@@ -28,8 +32,8 @@ use args::{constraint_text, ArgError, Args};
 use lb_family::family::{self, PiParams};
 use lb_family::{bounds, lemma6, lemma8, sequence};
 use relim_core::diagram::StrengthOrder;
-use relim_core::{autolb, autoub, condense, iterate, roundelim, zeroround, Problem};
-use relim_pool::Pool;
+use relim_core::engine::parse_threads;
+use relim_core::{autolb, autoub, condense, zeroround, Engine, Problem};
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -46,30 +50,37 @@ fn main() {
 /// Dispatches a full invocation and returns the text to print.
 fn run(raw: Vec<String>) -> Result<String, Box<dyn std::error::Error>> {
     let args = Args::parse(raw)?;
-    match args.command.as_deref() {
-        Some("step") => cmd_step(&args),
-        Some("bistep") => cmd_bistep(&args),
-        Some("diagram") => cmd_diagram(&args),
-        Some("zeroround") => cmd_zeroround(&args),
-        Some("trivial") => cmd_trivial(&args),
-        Some("autolb") => cmd_autolb(&args),
-        Some("autoub") => cmd_autoub(&args),
-        Some("fixed-point") => cmd_fixed_point(&args),
-        Some("family") => cmd_family(&args),
-        Some("lemma6") => cmd_lemma6(&args),
-        Some("lemma8") => cmd_lemma8(&args),
-        Some("sweep") => cmd_sweep(&args),
-        Some("chain") => cmd_chain(&args),
-        Some("bounds") => cmd_bounds(&args),
-        Some("help") | None => Ok(usage()),
-        Some(other) => Err(Box::new(ArgError(format!("unknown command `{other}`")))),
+    let command = match args.command.as_deref() {
+        Some("help") | None => return Ok(usage()),
+        Some(command) => command,
+    };
+    // One session per invocation: every subcommand below shares its pool
+    // handle and sub-multiset index cache.
+    let engine = engine_from(&args)?;
+    match command {
+        "step" => cmd_step(&args, &engine),
+        "bistep" => cmd_bistep(&args),
+        "diagram" => cmd_diagram(&args),
+        "zeroround" => cmd_zeroround(&args),
+        "trivial" => cmd_trivial(&args),
+        "autolb" => cmd_autolb(&args, &engine),
+        "autoub" => cmd_autoub(&args, &engine),
+        "fixed-point" => cmd_fixed_point(&args, &engine),
+        "family" => cmd_family(&args),
+        "lemma6" => cmd_lemma6(&args),
+        "lemma8" => cmd_lemma8(&args, &engine),
+        "sweep" => cmd_sweep(&args, &engine),
+        "chain" => cmd_chain(&args, &engine),
+        "bounds" => cmd_bounds(&args),
+        other => Err(Box::new(ArgError(format!("unknown command `{other}`")))),
     }
 }
 
 fn usage() -> String {
     "relim — a command-line round eliminator (BBKO PODC 2021 reproduction)
 
-USAGE:
+USAGE: relim [--threads T] <command> ...
+
   relim step        --node <N> --edge <E> [--steps N] [--condense]
   relim bistep      --black <B> --white <W> [--steps N]
   relim diagram     --node <N> --edge <E> [--side node|edge] [--dot]
@@ -80,27 +91,58 @@ USAGE:
   relim fixed-point --node <N> --edge <E> [--max-steps N] [--label-limit L]
   relim family      --delta D --a A --x X [--plus]
   relim lemma6      --delta D --a A --x X
-  relim lemma8      --delta D --a A --x X [--threads T]
-  relim sweep       --delta D [--lemma 6|8] [--threads T]
+  relim lemma8      --delta D --a A --x X
+  relim sweep       --delta D [--lemma 6|8]
   relim chain       --delta D [--k K] [--exact]
   relim bounds      --n N --delta D [--k K]
 
 Constraints use the text format: one condensed configuration per line
 (`;` or literal \\n separate lines), e.g. --node 'M M M;P O O'
---edge 'M [P O];O O'. `--threads T` (also: RELIM_THREADS) shards the
-engine over a work-stealing pool; output is byte-identical at any
-thread count. `step` and `fixed-point` accept --threads too."
+--edge 'M [P O];O O'. `--threads T` is a global flag (before or after
+the subcommand; also: RELIM_THREADS — setting both to different values
+is an error): one engine session sized from it runs the whole
+invocation, and output is byte-identical at any thread count."
         .to_owned()
 }
 
-/// The pool for this invocation: `--threads N` if given, otherwise
-/// `RELIM_THREADS` / available parallelism. A malformed `RELIM_THREADS`
-/// (zero, empty, non-numeric) is a reported error, not a silent fallback.
-fn pool_from(args: &Args) -> Result<Pool, Box<dyn std::error::Error>> {
-    Ok(match args.get_u64_opt("threads")? {
-        Some(n) => Pool::new(n as usize),
-        None => Pool::try_from_env().map_err(|e| Box::new(ArgError(e.to_string())))?,
-    })
+/// The engine session for this invocation: one per run, sized from the
+/// global `--threads N` flag or the `RELIM_THREADS` environment variable.
+/// A malformed `RELIM_THREADS` (zero, empty, non-numeric) is a reported
+/// error, not a silent fallback — and setting *both* the flag and the
+/// variable to different values is rejected instead of silently
+/// preferring the flag.
+fn engine_from(args: &Args) -> Result<Engine, Box<dyn std::error::Error>> {
+    let env = match std::env::var("RELIM_THREADS") {
+        Ok(raw) => Some(raw),
+        Err(std::env::VarError::NotPresent) => None,
+        Err(std::env::VarError::NotUnicode(raw)) => Some(raw.to_string_lossy().into_owned()),
+    };
+    let threads = resolve_threads(args.get_u64_opt("threads")?, env.as_deref())?;
+    Ok(Engine::builder().threads(threads).build())
+}
+
+/// The pure flag-vs-environment resolution behind [`engine_from`]:
+/// returns the width to build the session with (`0` = available
+/// parallelism), or the error describing a malformed or conflicting
+/// configuration.
+fn resolve_threads(flag: Option<u64>, env: Option<&str>) -> Result<usize, ArgError> {
+    match (flag, env) {
+        (None, None) => Ok(0),
+        (None, Some(raw)) => parse_threads(raw).map_err(|e| ArgError(e.to_string())),
+        (Some(n), None) => Ok(n as usize),
+        (Some(n), Some(raw)) => {
+            let env_threads = parse_threads(raw).map_err(|e| {
+                ArgError(format!("--threads {n} conflicts with the environment: {e}"))
+            })?;
+            if env_threads as u64 != n {
+                return Err(ArgError(format!(
+                    "conflicting thread counts: --threads {n} vs RELIM_THREADS={env_threads}; \
+                     unset one of them (they must agree when both are given)"
+                )));
+            }
+            Ok(n as usize)
+        }
+    }
 }
 
 fn load_problem(args: &Args) -> Result<Problem, Box<dyn std::error::Error>> {
@@ -122,15 +164,14 @@ fn render_problem(p: &Problem, condensed: bool) -> String {
     }
 }
 
-fn cmd_step(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
+fn cmd_step(args: &Args, engine: &Engine) -> Result<String, Box<dyn std::error::Error>> {
     let p = load_problem(args)?;
-    let pool = pool_from(args)?;
     let steps = args.get_u64("steps", 1)? as usize;
     let condensed = args.has_flag("condense");
     let mut out = String::new();
     let mut current = p;
     for i in 1..=steps {
-        let (r, rr) = roundelim::rr_step_with(&current, &pool)?;
+        let (r, rr) = engine.rr_step(&current)?;
         out.push_str(&format!("=== step {i}: R(Π) ===\n"));
         out.push_str("labels: ");
         let names: Vec<String> =
@@ -244,7 +285,7 @@ fn cmd_trivial(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
     Ok(out.trim_end().to_owned())
 }
 
-fn cmd_autolb(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
+fn cmd_autolb(args: &Args, engine: &Engine) -> Result<String, Box<dyn std::error::Error>> {
     let p = load_problem(args)?;
     let triviality = match args.get("criterion").unwrap_or("gadget") {
         "gadget" => autolb::Triviality::GadgetEdgeColoring,
@@ -260,7 +301,7 @@ fn cmd_autolb(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
         label_budget: args.get_u64("labels", 6)? as usize,
         triviality,
     };
-    let outcome = autolb::auto_lower_bound(&p, &opts);
+    let outcome = engine.auto_lower_bound(&p, &opts);
     let mut out = String::new();
     for (i, step) in outcome.steps.iter().enumerate() {
         out.push_str(&format!(
@@ -295,14 +336,14 @@ fn cmd_autolb(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
     Ok(out)
 }
 
-fn cmd_autoub(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
+fn cmd_autoub(args: &Args, engine: &Engine) -> Result<String, Box<dyn std::error::Error>> {
     let p = load_problem(args)?;
     let opts = autoub::AutoUbOptions {
         max_steps: args.get_u64("max-steps", 6)? as usize,
         label_budget: args.get_u64("labels", 10)? as usize,
         coloring: args.get_u64_opt("coloring")?.map(|c| c as usize),
     };
-    let outcome = autoub::auto_upper_bound(&p, &opts);
+    let outcome = engine.auto_upper_bound(&p, &opts);
     let mut out = String::new();
     for (i, step) in outcome.steps.iter().enumerate() {
         out.push_str(&format!(
@@ -335,11 +376,11 @@ fn cmd_autoub(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
     Ok(out)
 }
 
-fn cmd_fixed_point(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
+fn cmd_fixed_point(args: &Args, engine: &Engine) -> Result<String, Box<dyn std::error::Error>> {
     let p = load_problem(args)?;
     let max_steps = args.get_u64("max-steps", 5)? as usize;
     let label_limit = args.get_u64("label-limit", 16)? as usize;
-    let outcome = iterate::iterate_rr_with(&p, max_steps, label_limit, &pool_from(args)?);
+    let outcome = engine.iterate_with_limits(&p, max_steps, label_limit);
     let mut out = String::from("step  labels  |N|     |E|\n");
     for s in &outcome.stats {
         out.push_str(&format!(
@@ -381,9 +422,9 @@ fn cmd_lemma6(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
     ))
 }
 
-fn cmd_lemma8(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
+fn cmd_lemma8(args: &Args, engine: &Engine) -> Result<String, Box<dyn std::error::Error>> {
     let params = params_from(args)?;
-    let mach = lemma8::Lemma8Machinery::compute_with(&params, &pool_from(args)?)?;
+    let mach = lemma8::Lemma8Machinery::compute(&params, engine)?;
     let report = mach.verify();
     Ok(format!(
         "Lemma 8 at Δ={}, a={}, x={}:\n  |Σ''| = {}, |N''| = {}\n  all configurations relax to Π_rel: {}\n  Π_rel = Π⁺: {}\n  => {}",
@@ -398,22 +439,21 @@ fn cmd_lemma8(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
     ))
 }
 
-fn cmd_sweep(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
+fn cmd_sweep(args: &Args, engine: &Engine) -> Result<String, Box<dyn std::error::Error>> {
     let delta = args.require_u64("delta")? as u32;
-    let pool = pool_from(args)?;
     let lemma = args.get_u64("lemma", 8)?;
     let mut out = String::new();
     match lemma {
         6 => {
             out.push_str(&format!(
                 "Lemma 6 sweep at Δ={delta} ({} threads):\n{:>3} {:>3} {:>14} {:>10}\n",
-                pool.threads(),
+                engine.threads(),
                 "a",
                 "x",
                 "|N(R(Π))|",
                 "verdict"
             ));
-            for r in lemma6::verify_sweep_with(delta, &pool)? {
+            for r in lemma6::verify_sweep(delta, engine)? {
                 out.push_str(&format!(
                     "{:>3} {:>3} {:>14} {:>10}\n",
                     r.params.a,
@@ -426,14 +466,14 @@ fn cmd_sweep(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
         8 => {
             out.push_str(&format!(
                 "Lemma 8 sweep at Δ={delta} ({} threads):\n{:>3} {:>3} {:>7} {:>7} {:>10}\n",
-                pool.threads(),
+                engine.threads(),
                 "a",
                 "x",
                 "|Σ''|",
                 "|N''|",
                 "verdict"
             ));
-            for r in lemma8::verify_sweep_with(delta, &pool)? {
+            for r in lemma8::verify_sweep(delta, engine)? {
                 out.push_str(&format!(
                     "{:>3} {:>3} {:>7} {:>7} {:>10}\n",
                     r.params.a,
@@ -449,7 +489,7 @@ fn cmd_sweep(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
     Ok(out.trim_end().to_owned())
 }
 
-fn cmd_chain(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
+fn cmd_chain(args: &Args, engine: &Engine) -> Result<String, Box<dyn std::error::Error>> {
     let delta = args.require_u64("delta")? as u32;
     let k = args.get_u64("k", 0)? as u32;
     let chain = if args.has_flag("exact") {
@@ -472,7 +512,7 @@ fn cmd_chain(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
     ));
     if args.has_flag("certify") {
         let mut cert = lb_family::certificate::ChainCertificate::build(delta, k)?;
-        let ok = cert.verify(true)?;
+        let ok = cert.verify(Some(engine))?;
         out.push_str("\n\n");
         out.push_str(&cert.render());
         out.push_str(&format!("\ncertificate verifies: {ok}"));
@@ -499,6 +539,13 @@ mod tests {
 
     fn run_words(words: &[&str]) -> String {
         run(words.iter().map(|s| s.to_string()).collect()).expect("command succeeds")
+    }
+
+    /// A `--threads` value that cannot conflict with the ambient
+    /// `RELIM_THREADS` (the CI determinism matrix sets it for the whole
+    /// test run): the environment's value when set, else `preferred`.
+    fn threads_value(preferred: &str) -> String {
+        std::env::var("RELIM_THREADS").unwrap_or_else(|_| preferred.to_owned())
     }
 
     #[test]
@@ -548,16 +595,18 @@ mod tests {
 
     #[test]
     fn sweep_subcommand() {
-        // Thread counts must not change the output bytes.
-        let one = run_words(&["sweep", "--delta", "4", "--threads", "1"]);
-        assert!(one.contains("Lemma 8 sweep at Δ=4 (1 threads)"), "{one}");
+        // Thread counts must not change the output bytes (the sweep runs
+        // at whatever width the ambient environment permits).
+        let t = threads_value("1");
+        let one = run_words(&["sweep", "--delta", "4", "--threads", &t]);
+        assert!(one.contains(&format!("Lemma 8 sweep at Δ=4 ({t} threads)")), "{one}");
         assert!(one.contains("VERIFIED"), "{one}");
-        let four = run_words(&["sweep", "--delta", "4", "--threads", "4"]);
+        let plain = run_words(&["sweep", "--delta", "4"]);
         assert_eq!(
             one.lines().skip(1).collect::<Vec<_>>(),
-            four.lines().skip(1).collect::<Vec<_>>()
+            plain.lines().skip(1).collect::<Vec<_>>()
         );
-        let l6 = run_words(&["sweep", "--delta", "5", "--lemma", "6", "--threads", "2"]);
+        let l6 = run_words(&["sweep", "--delta", "5", "--lemma", "6"]);
         assert!(l6.contains("Lemma 6 sweep"), "{l6}");
         assert!(!l6.contains("MISMATCH"), "{l6}");
         assert!(run(vec![
@@ -571,18 +620,34 @@ mod tests {
     }
 
     #[test]
-    fn step_threads_flag_is_deterministic() {
+    fn step_threads_flag_is_deterministic_and_global() {
         let base = run_words(&["step", "--node", "M M M;P O O", "--edge", "M [P O];O O"]);
-        let threaded = run_words(&[
-            "step",
-            "--node",
-            "M M M;P O O",
-            "--edge",
-            "M [P O];O O",
-            "--threads",
-            "3",
-        ]);
-        assert_eq!(base, threaded);
+        let t = threads_value("3");
+        // The flag is global: before the subcommand works too.
+        let threaded_before =
+            run_words(&["--threads", &t, "step", "--node", "M M M;P O O", "--edge", "M [P O];O O"]);
+        assert_eq!(base, threaded_before);
+        let threaded_after =
+            run_words(&["step", "--node", "M M M;P O O", "--edge", "M [P O];O O", "--threads", &t]);
+        assert_eq!(base, threaded_after);
+    }
+
+    #[test]
+    fn threads_flag_and_env_must_agree() {
+        // Pure resolution: unset env falls back to the flag / available
+        // parallelism; agreeing values pass; disagreeing or malformed
+        // combinations are loud errors, never a silent preference.
+        assert_eq!(resolve_threads(None, None).unwrap(), 0);
+        assert_eq!(resolve_threads(Some(3), None).unwrap(), 3);
+        assert_eq!(resolve_threads(None, Some("4")).unwrap(), 4);
+        assert_eq!(resolve_threads(Some(4), Some("4")).unwrap(), 4);
+        let conflict = resolve_threads(Some(4), Some("2")).unwrap_err();
+        assert!(conflict.to_string().contains("conflicting thread counts"), "{conflict}");
+        assert!(conflict.to_string().contains("unset one"), "{conflict}");
+        let bad_env = resolve_threads(Some(4), Some("zero")).unwrap_err();
+        assert!(bad_env.to_string().contains("conflicts with the environment"), "{bad_env}");
+        let bad_env_alone = resolve_threads(None, Some("0")).unwrap_err();
+        assert!(bad_env_alone.to_string().contains("positive integer"), "{bad_env_alone}");
     }
 
     #[test]

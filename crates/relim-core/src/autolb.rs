@@ -22,13 +22,30 @@
 //! Every outcome carries a machine-checkable certificate: [`verify_chain`]
 //! replays the round elimination steps and merges from scratch and
 //! re-checks non-triviality of every chain element.
+//!
+//! The search is driven through a [`crate::engine::Engine`] session, which
+//! shares one sub-multiset index cache across every step of the merge
+//! search:
+//!
+//! ```
+//! use relim_core::engine::Engine;
+//! use relim_core::{autolb, Problem};
+//!
+//! // Sinkless orientation at Δ = 3 is a fixed point of R̄(R(·)): the
+//! // search discovers it and certifies an unbounded PN lower bound.
+//! let engine = Engine::sequential();
+//! let so = Problem::from_text("O I I", "[O I] I").unwrap();
+//! let outcome = engine.auto_lower_bound(&so, &autolb::AutoLbOptions::default());
+//! assert!(outcome.unbounded());
+//! assert!(autolb::verify_chain(&outcome).is_ok());
+//! ```
 
 use crate::diagram::StrengthOrder;
 use crate::error::{RelimError, Result};
 use crate::iso;
 use crate::label::Label;
 use crate::problem::Problem;
-use crate::roundelim::rr_step;
+use crate::roundelim::{rr_step, Step};
 use crate::simplify;
 use crate::zeroround;
 
@@ -147,19 +164,26 @@ impl AutoLbOutcome {
 
 /// Runs the automatic lower-bound search from `p`.
 ///
-/// # Example
-///
-/// ```
-/// use relim_core::{autolb, Problem};
-///
-/// // Sinkless orientation at Δ = 3 is a fixed point of R̄(R(·)): the
-/// // search discovers it and certifies an unbounded PN lower bound.
-/// let so = Problem::from_text("O I I", "[O I] I").unwrap();
-/// let outcome = autolb::auto_lower_bound(&so, &autolb::AutoLbOptions::default());
-/// assert!(outcome.unbounded());
-/// assert!(autolb::verify_chain(&outcome).is_ok());
-/// ```
+/// Each `R̄(R(·))` step rebuilds its engine state from scratch; prefer
+/// [`crate::engine::Engine::auto_lower_bound`], which shares one
+/// sub-multiset index cache across the whole merge search (byte-identical
+/// outcome).
+#[deprecated(
+    note = "construct a relim_core::engine::Engine session and call Engine::auto_lower_bound \
+            — the session shares one SubIndexCache across the merge search"
+)]
 pub fn auto_lower_bound(p: &Problem, opts: &AutoLbOptions) -> AutoLbOutcome {
+    crate::engine::Engine::sequential().auto_lower_bound(p, opts)
+}
+
+/// The search loop behind [`crate::engine::Engine::auto_lower_bound`],
+/// parameterized over how one `Π ↦ R̄(R(Π))` application is computed (the
+/// engine passes its cache-serving session step).
+pub(crate) fn auto_lower_bound_with_step(
+    p: &Problem,
+    opts: &AutoLbOptions,
+    mut step_fn: impl FnMut(&Problem) -> Result<(Step, Step)>,
+) -> AutoLbOutcome {
     let (initial, _) = p.drop_unused_labels();
     let done = |steps: Vec<ChainStep>, stopped: AutoLbStop, certified: usize| AutoLbOutcome {
         initial: initial.clone(),
@@ -178,7 +202,7 @@ pub fn auto_lower_bound(p: &Problem, opts: &AutoLbOptions) -> AutoLbOutcome {
     let mut prev = initial.clone();
 
     for _ in 0..opts.max_steps {
-        let rbar = match rr_step(&prev) {
+        let rbar = match step_fn(&prev) {
             Ok((_, rbar)) => rbar,
             Err(e) => return done(steps, AutoLbStop::Engine(e.to_string()), chain_len),
         };
@@ -323,9 +347,14 @@ pub fn verify_chain(outcome: &AutoLbOutcome) -> Result<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::Engine;
 
     fn mis3() -> Problem {
         Problem::from_text("M M M\nP O O", "M [P O]\nO O").unwrap()
+    }
+
+    fn auto_lower_bound(p: &Problem, opts: &AutoLbOptions) -> AutoLbOutcome {
+        Engine::sequential().auto_lower_bound(p, opts)
     }
 
     #[test]

@@ -34,7 +34,7 @@ use crate::config::Config;
 use crate::error::{RelimError, Result};
 use crate::label::Label;
 use crate::problem::Problem;
-use crate::roundelim::rr_step;
+use crate::roundelim::{rr_step, Step};
 use crate::simplify;
 use crate::zeroround;
 
@@ -149,20 +149,37 @@ fn endpoint(p: &Problem, rounds: usize, coloring: Option<usize>) -> Option<Upper
 
 /// Runs the automatic upper-bound search from `p`.
 ///
-/// # Example
+/// Each `R̄(R(·))` step rebuilds its engine state from scratch; prefer
+/// [`crate::engine::Engine::auto_upper_bound`], which serves every step
+/// from the session cache (byte-identical outcome):
 ///
 /// ```
+/// use relim_core::engine::Engine;
 /// use relim_core::{autoub, Problem};
 ///
 /// // Proper 2-coloring is 0-round solvable given a 2-coloring input.
 /// let two_col = Problem::from_text("A A A\nB B B", "A B").unwrap();
 /// let opts = autoub::AutoUbOptions { coloring: Some(2), ..Default::default() };
-/// let outcome = autoub::auto_upper_bound(&two_col, &opts);
+/// let outcome = Engine::sequential().auto_upper_bound(&two_col, &opts);
 /// assert!(autoub::verify_ub(&outcome).is_ok());
 /// let bound = outcome.bound.expect("found");
 /// assert_eq!(bound.rounds, 0);
 /// ```
+#[deprecated(
+    note = "construct a relim_core::engine::Engine session and call Engine::auto_upper_bound"
+)]
 pub fn auto_upper_bound(p: &Problem, opts: &AutoUbOptions) -> AutoUbOutcome {
+    crate::engine::Engine::sequential().auto_upper_bound(p, opts)
+}
+
+/// The search loop behind [`crate::engine::Engine::auto_upper_bound`],
+/// parameterized over how one `Π ↦ R̄(R(Π))` application is computed (the
+/// engine passes its cache-serving session step).
+pub(crate) fn auto_upper_bound_with_step(
+    p: &Problem,
+    opts: &AutoUbOptions,
+    mut step_fn: impl FnMut(&Problem) -> Result<(Step, Step)>,
+) -> AutoUbOutcome {
     let (initial, _) = p.drop_unused_labels();
     let mut outcome = AutoUbOutcome {
         initial: initial.clone(),
@@ -178,7 +195,7 @@ pub fn auto_upper_bound(p: &Problem, opts: &AutoUbOptions) -> AutoUbOutcome {
 
     let mut prev = initial;
     for step in 1..=opts.max_steps {
-        let rbar = match rr_step(&prev) {
+        let rbar = match step_fn(&prev) {
             Ok((_, rbar)) => rbar,
             Err(e) => {
                 outcome.failure = Some(UbFailure::Engine(e.to_string()));
@@ -288,6 +305,11 @@ pub fn verify_ub(outcome: &AutoUbOutcome) -> Result<Option<usize>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::Engine;
+
+    fn auto_upper_bound(p: &Problem, opts: &AutoUbOptions) -> AutoUbOutcome {
+        Engine::sequential().auto_upper_bound(p, opts)
+    }
 
     #[test]
     fn trivial_problem_zero_rounds() {

@@ -1,0 +1,671 @@
+//! The stateful round-elimination session: [`Engine`].
+//!
+//! The automatic lower-bound machinery of the paper is one long stateful
+//! computation — a round-elimination chain where every step reuses the
+//! alphabet, diagram and sub-multiset structure of the last — yet the
+//! crate's historical surface exposed it as stateless free functions
+//! (`rr_step_with`, `iterate_rr_with`, `auto_lower_bound`, …), each taking
+//! an ad-hoc [`Pool`] and rebuilding caches from scratch. The [`Engine`]
+//! replaces that surface with a *session object* that owns:
+//!
+//! * a **persistent-pool handle** (a width policy over the process-wide
+//!   worker set of `relim-pool` — the `Engine` is the one component that
+//!   hands the pool to the rest of the system),
+//! * a **long-lived [`SubIndexCache`]** shared across *all* calls — in
+//!   particular across the steps of [`Engine::auto_lower_bound`]'s merge
+//!   search and across repeated [`Engine::iterate`] probes,
+//! * the memoization toggle and default step limits, and
+//! * session counters surfaced through [`EngineReport`] (cache hits,
+//!   per-operator step counts, batch counts, wall time) that were
+//!   previously unobservable.
+//!
+//! Determinism is inherited, not re-argued: every `Engine` method is
+//! **byte-identical** to its free-function counterpart at any thread
+//! count and any cache state, because cache hits return the same bytes a
+//! rebuild would (the sub-multiset index is a pure function of the node
+//! constraint) and pool results are canonically re-sorted. The
+//! differential suite at the workspace root pins this.
+//!
+//! # Example
+//!
+//! ```
+//! use relim_core::engine::Engine;
+//! use relim_core::Problem;
+//!
+//! let engine = Engine::builder().threads(2).build();
+//! let mis = Problem::from_text("M M M\nP O O", "M [P O]\nO O").unwrap();
+//!
+//! // One full R̄(R(·)) application through the session.
+//! let (_r, rr) = engine.rr_step(&mis).unwrap();
+//! assert!(rr.problem.alphabet().len() >= 3);
+//!
+//! // The session observed the work and the cache traffic.
+//! let report = engine.report();
+//! assert_eq!((report.r_steps, report.rbar_steps), (1, 1));
+//! assert_eq!(report.cache_hits + report.cache_misses, 1);
+//! ```
+#![deny(missing_docs)]
+
+use crate::autolb::{self, AutoLbOptions, AutoLbOutcome};
+use crate::autoub::{self, AutoUbOptions, AutoUbOutcome};
+use crate::config::SetConfig;
+use crate::constraint::{Constraint, SubMultisetIndex};
+use crate::error::{RelimError, Result};
+use crate::iterate::{self, IterationOutcome, SubIndexCache};
+use crate::problem::Problem;
+use crate::roundelim::{self, Step, MAX_LABELS};
+use relim_pool::Pool;
+pub use relim_pool::{parse_threads, ThreadsEnvError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Builder for an [`Engine`] session.
+///
+/// ```
+/// use relim_core::engine::Engine;
+///
+/// let engine = Engine::builder()
+///     .threads(4)            // pool width (0 = available parallelism)
+///     .cache_capacity(128)   // sub-multiset index cache bound
+///     .memoize(true)         // share indices across steps (default)
+///     .max_steps(6)          // default iteration step limit
+///     .label_limit(20)       // default iteration label limit
+///     .build();
+/// assert_eq!(engine.threads(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EngineBuilder {
+    threads: usize,
+    cache_capacity: usize,
+    memoize: bool,
+    max_steps: usize,
+    label_limit: usize,
+}
+
+impl EngineBuilder {
+    /// Pool width the session shards over; `0` (the default) means
+    /// [`Pool::available_parallelism`]. Output never depends on this —
+    /// only wall clock does.
+    pub fn threads(mut self, threads: usize) -> EngineBuilder {
+        self.threads = threads;
+        self
+    }
+
+    /// Bound on the number of distinct node constraints the session's
+    /// [`SubIndexCache`] holds (default 64; clamped to at least 1).
+    pub fn cache_capacity(mut self, capacity: usize) -> EngineBuilder {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Whether `R̄` steps serve their sub-multiset index from the session
+    /// cache (default `true`). Turning memoization off rebuilds the index
+    /// on every step — byte-identical output, strictly more work; the
+    /// differential suite uses it as the reference configuration.
+    pub fn memoize(mut self, memoize: bool) -> EngineBuilder {
+        self.memoize = memoize;
+        self
+    }
+
+    /// Default maximum number of `R̄(R(·))` applications for
+    /// [`Engine::iterate`] (default 8).
+    pub fn max_steps(mut self, max_steps: usize) -> EngineBuilder {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Default alphabet-size abort threshold for [`Engine::iterate`]
+    /// (default 20).
+    pub fn label_limit(mut self, label_limit: usize) -> EngineBuilder {
+        self.label_limit = label_limit;
+        self
+    }
+
+    /// Builds the session. Cheap: no threads are spawned until the first
+    /// parallel batch reaches the process-wide worker set.
+    pub fn build(self) -> Engine {
+        Engine {
+            shared: Arc::new(EngineShared {
+                pool: Pool::new(self.threads),
+                memoize: self.memoize,
+                cache_capacity: self.cache_capacity,
+                cache: Mutex::new(SubIndexCache::with_capacity(self.cache_capacity)),
+                uncached_builds: AtomicU64::new(0),
+                r_steps: AtomicU64::new(0),
+                rbar_steps: AtomicU64::new(0),
+                dominance_filters: AtomicU64::new(0),
+                iterate_runs: AtomicU64::new(0),
+                autolb_runs: AtomicU64::new(0),
+                autoub_runs: AtomicU64::new(0),
+                map_batches: AtomicU64::new(0),
+                wall_ns: AtomicU64::new(0),
+                max_steps: self.max_steps,
+                label_limit: self.label_limit,
+            }),
+        }
+    }
+}
+
+impl Default for EngineBuilder {
+    fn default() -> Self {
+        EngineBuilder {
+            threads: 0,
+            cache_capacity: 64,
+            memoize: true,
+            max_steps: 8,
+            label_limit: 20,
+        }
+    }
+}
+
+/// The shared state behind a (cheaply clonable) [`Engine`] handle.
+struct EngineShared {
+    pool: Pool,
+    memoize: bool,
+    cache_capacity: usize,
+    cache: Mutex<SubIndexCache>,
+    /// Index builds performed with memoization off (counted as misses in
+    /// the report, since the cache never saw them).
+    uncached_builds: AtomicU64,
+    r_steps: AtomicU64,
+    rbar_steps: AtomicU64,
+    dominance_filters: AtomicU64,
+    iterate_runs: AtomicU64,
+    autolb_runs: AtomicU64,
+    autoub_runs: AtomicU64,
+    map_batches: AtomicU64,
+    wall_ns: AtomicU64,
+    max_steps: usize,
+    label_limit: usize,
+}
+
+/// A stateful round-elimination session.
+///
+/// Construction is through [`Engine::builder`] (or the [`Engine::sequential`]
+/// / [`Engine::from_env`] shorthands). The handle is cheap to clone
+/// (`Arc`-shared state) and `Send + Sync`, so it can travel into the
+/// `'static` task closures of [`Engine::map_owned`] — sweeps shard their
+/// parameter points over the session while each point's engine calls share
+/// the same cache underneath.
+///
+/// Every method is byte-identical to its (now deprecated) free-function
+/// counterpart at any thread count; see the module docs.
+#[derive(Clone)]
+pub struct Engine {
+    shared: Arc<EngineShared>,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("threads", &self.threads())
+            .field("memoize", &self.shared.memoize)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Engine {
+    /// Starts building a session.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::default()
+    }
+
+    /// A single-threaded session: every operation runs inline on the
+    /// calling thread. This is the reference schedule parallel sessions
+    /// must match byte-for-byte.
+    pub fn sequential() -> Engine {
+        Engine::builder().threads(1).build()
+    }
+
+    /// A session sized from the `RELIM_THREADS` environment variable
+    /// (available parallelism when unset), with default cache and limits.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `RELIM_THREADS` is set but not a positive integer; use
+    /// [`Engine::try_from_env`] to surface the error instead.
+    pub fn from_env() -> Engine {
+        match Engine::try_from_env() {
+            Ok(engine) => engine,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Engine::from_env`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ThreadsEnvError`] describing a malformed
+    /// `RELIM_THREADS` value (`0`, empty, non-numeric).
+    pub fn try_from_env() -> std::result::Result<Engine, ThreadsEnvError> {
+        let pool = Pool::try_from_env()?;
+        Ok(Engine::builder().threads(pool.threads()).build())
+    }
+
+    /// Number of workers this session splits parallel batches for.
+    pub fn threads(&self) -> usize {
+        self.shared.pool.threads()
+    }
+
+    /// Whether `R̄` steps serve their sub-multiset index from the session
+    /// cache.
+    pub fn memoizing(&self) -> bool {
+        self.shared.memoize
+    }
+
+    /// What the standard library reports as available parallelism (at
+    /// least 1). Exposed here so downstream crates need no direct
+    /// `relim-pool` dependency.
+    pub fn available_parallelism() -> usize {
+        Pool::available_parallelism()
+    }
+
+    /// Applies `R(·)` (universal step on the edge constraint).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`crate::roundelim::r_step`].
+    pub fn r_step(&self, p: &Problem) -> Result<Step> {
+        self.timed(|| {
+            self.shared.r_steps.fetch_add(1, Ordering::Relaxed);
+            roundelim::r_step(p)
+        })
+    }
+
+    /// Applies `R̄(·)` (universal step on the node constraint), sharding
+    /// the enumeration and dominance filter over the session pool and
+    /// serving the sub-multiset index from the session cache.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`crate::roundelim::rbar_step`].
+    pub fn rbar_step(&self, p: &Problem) -> Result<Step> {
+        self.timed(|| self.rbar_step_inner(p))
+    }
+
+    /// One full `Π ↦ R̄(R(Π))` application, returning both intermediate
+    /// steps.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`crate::roundelim::rr_step`].
+    pub fn rr_step(&self, p: &Problem) -> Result<(Step, Step)> {
+        self.timed(|| self.rr_step_inner(p))
+    }
+
+    /// Removes dominated configurations (see
+    /// [`crate::roundelim::dominance_filter`]), sharding the maximality
+    /// checks over the session pool.
+    pub fn dominance_filter(&self, configs: Vec<SetConfig>) -> Vec<SetConfig> {
+        self.timed(|| {
+            self.shared.dominance_filters.fetch_add(1, Ordering::Relaxed);
+            roundelim::dominance_filter_pooled(configs, &self.shared.pool)
+        })
+    }
+
+    /// Iterates `R̄(R(·))` with the session's default step and label
+    /// limits (see [`EngineBuilder::max_steps`] /
+    /// [`EngineBuilder::label_limit`]).
+    pub fn iterate(&self, p: &Problem) -> IterationOutcome {
+        self.iterate_with_limits(p, self.shared.max_steps, self.shared.label_limit)
+    }
+
+    /// Iterates `R̄(R(·))` from `p`, up to `max_steps` applications,
+    /// aborting before any step whose input alphabet exceeds
+    /// `label_limit`. Consecutive (and repeated) searches share the
+    /// session cache.
+    pub fn iterate_with_limits(
+        &self,
+        p: &Problem,
+        max_steps: usize,
+        label_limit: usize,
+    ) -> IterationOutcome {
+        self.timed(|| {
+            self.shared.iterate_runs.fetch_add(1, Ordering::Relaxed);
+            iterate::iterate_with_step(p, max_steps, label_limit, |prev| self.rr_step_inner(prev))
+        })
+    }
+
+    /// Runs the automatic lower-bound search (see [`crate::autolb`]) with
+    /// every `R̄(R(·))` application served by this session — all steps of
+    /// the merge search share the one [`SubIndexCache`], which
+    /// [`EngineReport::cache_hits`] makes observable.
+    pub fn auto_lower_bound(&self, p: &Problem, opts: &AutoLbOptions) -> AutoLbOutcome {
+        self.timed(|| {
+            self.shared.autolb_runs.fetch_add(1, Ordering::Relaxed);
+            autolb::auto_lower_bound_with_step(p, opts, |prev| self.rr_step_inner(prev))
+        })
+    }
+
+    /// Runs the automatic upper-bound search (see [`crate::autoub`]) with
+    /// every `R̄(R(·))` application served by this session.
+    pub fn auto_upper_bound(&self, p: &Problem, opts: &AutoUbOptions) -> AutoUbOutcome {
+        self.timed(|| {
+            self.shared.autoub_runs.fetch_add(1, Ordering::Relaxed);
+            autoub::auto_upper_bound_with_step(p, opts, |prev| self.rr_step_inner(prev))
+        })
+    }
+
+    /// Applies `f` to every owned item over the session pool, returning
+    /// results in input order at any thread count. This is how sweeps and
+    /// bench grids shard work while keeping the `Engine` the only
+    /// consumer of the underlying pool crate: clone the handle into the
+    /// closure and call back into the session from inside the tasks
+    /// (nested parallelism degrades to inline execution, never deadlocks).
+    pub fn map_owned<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send + Sync + 'static,
+        R: Send + 'static,
+        F: Fn(&T) -> R + Send + Sync + 'static,
+    {
+        self.shared.map_batches.fetch_add(1, Ordering::Relaxed);
+        self.shared.pool.map_owned(items, f)
+    }
+
+    /// Fallible [`Engine::map_owned`]: the collected successes, or the
+    /// error of the earliest failing item (deterministic at any thread
+    /// count).
+    ///
+    /// # Errors
+    ///
+    /// The error produced by the lowest-indexed failing item.
+    pub fn try_map_owned<T, R, E, F>(&self, items: Vec<T>, f: F) -> std::result::Result<Vec<R>, E>
+    where
+        T: Send + Sync + 'static,
+        R: Send + 'static,
+        E: Send + 'static,
+        F: Fn(&T) -> std::result::Result<R, E> + Send + Sync + 'static,
+    {
+        self.shared.map_batches.fetch_add(1, Ordering::Relaxed);
+        self.shared.pool.try_map_owned(items, f)
+    }
+
+    /// A snapshot of the session counters.
+    ///
+    /// ```
+    /// use relim_core::engine::Engine;
+    /// use relim_core::Problem;
+    ///
+    /// // Sinkless orientation is a fixed point: a repeated probe of the
+    /// // same problem recomputes the same R(Π) node constraint, so the
+    /// // session cache scores a hit the stateless API could never have.
+    /// let engine = Engine::sequential();
+    /// let so = Problem::from_text("O I I", "[O I] I").unwrap();
+    /// assert!(engine.iterate_with_limits(&so, 5, 20).reached_fixed_point());
+    /// assert!(engine.iterate_with_limits(&so, 5, 20).reached_fixed_point());
+    /// let report = engine.report();
+    /// assert_eq!(report.cache_misses, 1, "second search rebuilt nothing");
+    /// assert_eq!(report.cache_hits, 1);
+    /// ```
+    pub fn report(&self) -> EngineReport {
+        let cache = self.shared.cache.lock().expect("engine cache poisoned");
+        let uncached = self.shared.uncached_builds.load(Ordering::Relaxed);
+        EngineReport {
+            threads: self.threads(),
+            memoize: self.shared.memoize,
+            cache_hits: cache.hits(),
+            cache_misses: cache.misses() + uncached,
+            cache_entries: cache.len(),
+            cache_capacity: self.shared.cache_capacity.max(1),
+            r_steps: self.shared.r_steps.load(Ordering::Relaxed),
+            rbar_steps: self.shared.rbar_steps.load(Ordering::Relaxed),
+            dominance_filters: self.shared.dominance_filters.load(Ordering::Relaxed),
+            iterate_runs: self.shared.iterate_runs.load(Ordering::Relaxed),
+            autolb_runs: self.shared.autolb_runs.load(Ordering::Relaxed),
+            autoub_runs: self.shared.autoub_runs.load(Ordering::Relaxed),
+            map_batches: self.shared.map_batches.load(Ordering::Relaxed),
+            wall_ns: self.shared.wall_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Times one public entry point into the session wall-clock counter.
+    fn timed<R>(&self, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let out = f();
+        self.shared.wall_ns.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        out
+    }
+
+    /// The sub-multiset index of `constraint`: from the session cache when
+    /// memoizing (hit or build-and-insert), a fresh build otherwise. A hit
+    /// is byte-identical to a rebuild — the index is a pure function of
+    /// the constraint.
+    fn cached_index(&self, constraint: &Constraint) -> Arc<SubMultisetIndex> {
+        if !self.shared.memoize {
+            self.shared.uncached_builds.fetch_add(1, Ordering::Relaxed);
+            return Arc::new(constraint.sub_multiset_index());
+        }
+        if let Some(index) =
+            self.shared.cache.lock().expect("engine cache poisoned").lookup(constraint)
+        {
+            return index;
+        }
+        // Build outside the lock so concurrent sweep points do not
+        // serialize on each other's enumeration work; a racing duplicate
+        // build inserts the same bytes.
+        let index = Arc::new(constraint.sub_multiset_index());
+        self.shared
+            .cache
+            .lock()
+            .expect("engine cache poisoned")
+            .insert(constraint.clone(), Arc::clone(&index));
+        index
+    }
+
+    /// `R̄(·)` through the session cache, without the entry-point timer
+    /// (shared by the step drivers so wall time is not double counted).
+    fn rbar_step_inner(&self, p: &Problem) -> Result<Step> {
+        let n = p.alphabet().len();
+        if n > MAX_LABELS {
+            return Err(RelimError::TooManyLabels { requested: n });
+        }
+        self.shared.rbar_steps.fetch_add(1, Ordering::Relaxed);
+        let index = self.cached_index(p.node());
+        roundelim::rbar_step_indexed(p, &index, &self.shared.pool)
+    }
+
+    /// `R̄(R(·))` through the session cache, without the entry-point timer.
+    fn rr_step_inner(&self, p: &Problem) -> Result<(Step, Step)> {
+        self.shared.r_steps.fetch_add(1, Ordering::Relaxed);
+        let r = roundelim::r_step(p)?;
+        let rr = self.rbar_step_inner(&r.problem)?;
+        Ok((r, rr))
+    }
+}
+
+/// A snapshot of an [`Engine`] session's counters — see
+/// [`Engine::report`].
+///
+/// Counts are cumulative since construction. `cache_hits`/`cache_misses`
+/// cover every sub-multiset index lookup the session performed (with
+/// memoization off, every build counts as a miss); the remaining counters
+/// record how many times each operator ran. `wall_ns` is the total wall
+/// time spent inside the session's round-elimination operators (steps,
+/// iterations, bound searches, dominance filters) — the generic
+/// [`Engine::map_owned`] passthrough is *not* timed, because its tasks
+/// routinely call back into those operators and would double-count.
+/// Unlike every other field `wall_ns` is schedule-dependent, so tests
+/// must not compare it.
+#[derive(Debug, Clone)]
+pub struct EngineReport {
+    /// Pool width of the session.
+    pub threads: usize,
+    /// Whether the session memoizes sub-multiset indices.
+    pub memoize: bool,
+    /// Index lookups answered from the session cache.
+    pub cache_hits: u64,
+    /// Index lookups that had to build (including memoization-off builds).
+    pub cache_misses: u64,
+    /// Distinct constraints currently held by the cache.
+    pub cache_entries: usize,
+    /// Configured cache bound.
+    pub cache_capacity: usize,
+    /// `R(·)` applications (including those inside `rr_step`, iterations
+    /// and bound searches).
+    pub r_steps: u64,
+    /// `R̄(·)` applications.
+    pub rbar_steps: u64,
+    /// Stand-alone dominance filter calls.
+    pub dominance_filters: u64,
+    /// [`Engine::iterate`] / [`Engine::iterate_with_limits`] runs.
+    pub iterate_runs: u64,
+    /// [`Engine::auto_lower_bound`] runs.
+    pub autolb_runs: u64,
+    /// [`Engine::auto_upper_bound`] runs.
+    pub autoub_runs: u64,
+    /// Parallel batches submitted through [`Engine::map_owned`] /
+    /// [`Engine::try_map_owned`] (sweep points, Monte-Carlo chunks, bench
+    /// grids).
+    pub map_batches: u64,
+    /// Total wall time (nanoseconds) spent inside the session's
+    /// round-elimination operators (not the `map_owned` passthroughs —
+    /// their tasks call back into the operators, which would double
+    /// count). Schedule-dependent — never byte-stable across runs.
+    pub wall_ns: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mis3() -> Problem {
+        Problem::from_text("M M M\nP O O", "M [P O]\nO O").unwrap()
+    }
+
+    #[test]
+    fn engine_rr_step_matches_free_functions() {
+        let p = mis3();
+        let free = roundelim::rr_step(&p).unwrap();
+        for threads in [1, 2, 8] {
+            let engine = Engine::builder().threads(threads).build();
+            let (r, rr) = engine.rr_step(&p).unwrap();
+            assert_eq!(r.problem.render(), free.0.problem.render(), "threads = {threads}");
+            assert_eq!(rr.problem.render(), free.1.problem.render(), "threads = {threads}");
+            assert_eq!(rr.provenance, free.1.provenance, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn memoization_off_matches_memoization_on() {
+        let p = mis3();
+        let on = Engine::builder().threads(2).memoize(true).build();
+        let off = Engine::builder().threads(2).memoize(false).build();
+        let a = on.iterate_with_limits(&p, 3, 20);
+        let b = off.iterate_with_limits(&p, 3, 20);
+        let render = |o: &IterationOutcome| {
+            let rendered: Vec<String> = o.problems.iter().map(Problem::render).collect();
+            format!("{:?}\n{:?}\n{}", o.stats, o.stopped, rendered.join("\n---\n"))
+        };
+        assert_eq!(render(&a), render(&b));
+        assert_eq!(on.report().cache_hits + on.report().cache_misses, off.report().cache_misses);
+        assert_eq!(off.report().cache_hits, 0, "memoization off never hits");
+    }
+
+    #[test]
+    fn report_counts_operators() {
+        let engine = Engine::sequential();
+        let p = mis3();
+        engine.r_step(&p).unwrap();
+        engine.rbar_step(&p).unwrap();
+        engine.rr_step(&p).unwrap();
+        engine.dominance_filter(Vec::new());
+        let report = engine.report();
+        assert_eq!(report.r_steps, 2); // r_step + the one inside rr_step
+        assert_eq!(report.rbar_steps, 2);
+        assert_eq!(report.dominance_filters, 1);
+        assert_eq!(report.threads, 1);
+        assert!(report.memoize);
+    }
+
+    #[test]
+    fn fixed_point_search_hits_the_session_cache() {
+        let engine = Engine::sequential();
+        let so = Problem::from_text("O I I", "[O I] I").unwrap();
+        assert!(engine.iterate_with_limits(&so, 5, 20).reached_fixed_point());
+        // The fixed point is detected without a confirming recomputation,
+        // so the first search builds exactly one index; a repeated probe
+        // of the same problem is then answered from the session cache.
+        assert!(engine.iterate_with_limits(&so, 5, 20).reached_fixed_point());
+        let report = engine.report();
+        assert_eq!(report.cache_hits, 1, "repeat search must reuse the index");
+        assert_eq!(report.cache_misses, 1);
+        assert_eq!(report.iterate_runs, 2);
+    }
+
+    #[test]
+    fn autolb_merge_search_shares_one_cache() {
+        // The session cache persists across the merge search's calls:
+        // an iterate probe of sinkless orientation populates it, and the
+        // auto_lower_bound run that follows computes the *same* R(Π) node
+        // constraint — with the stateless API it rebuilt the index; the
+        // session must hit.
+        let engine = Engine::sequential();
+        let so = Problem::from_text("O I I", "[O I] I").unwrap();
+        engine.iterate_with_limits(&so, 1, 20);
+        let misses_before = engine.report().cache_misses;
+        let outcome = engine.auto_lower_bound(&so, &AutoLbOptions::default());
+        assert!(outcome.unbounded());
+        let report = engine.report();
+        assert!(report.cache_hits >= 1, "merge search must reuse the session cache: {report:?}");
+        assert_eq!(report.cache_misses, misses_before, "autolb must rebuild nothing");
+        assert_eq!(report.autolb_runs, 1);
+
+        // A second identical search is answered from cache alone.
+        let before = engine.report();
+        let again = engine.auto_lower_bound(&so, &AutoLbOptions::default());
+        assert!(again.unbounded());
+        let after = engine.report();
+        assert_eq!(after.cache_misses, before.cache_misses, "repeat run must not rebuild");
+        assert!(after.cache_hits > before.cache_hits);
+    }
+
+    #[test]
+    fn autoub_chain_hits_the_cache_within_one_search() {
+        // Sinkless orientation never becomes trivial, so the upper-bound
+        // chain keeps stepping through byte-equal R(Π) node constraints:
+        // steps 2 and 3 of a single search must be served from cache.
+        let engine = Engine::sequential();
+        let so = Problem::from_text("O I I", "[O I] I").unwrap();
+        let opts = AutoUbOptions { max_steps: 3, label_budget: 20, coloring: None };
+        let outcome = engine.auto_upper_bound(&so, &opts);
+        assert!(outcome.bound.is_none());
+        let report = engine.report();
+        assert_eq!((report.cache_hits, report.cache_misses), (2, 1), "{report:?}");
+        assert_eq!(report.autoub_runs, 1);
+    }
+
+    #[test]
+    fn iterate_uses_builder_defaults() {
+        let engine = Engine::builder().threads(1).max_steps(1).label_limit(40).build();
+        let outcome = engine.iterate(&mis3());
+        assert!(outcome.stats.len() <= 2, "max_steps(1) caps the iteration");
+    }
+
+    #[test]
+    fn map_owned_counts_batches_and_preserves_order() {
+        let engine = Engine::builder().threads(4).build();
+        let got = engine.map_owned((0u64..100).collect(), |&x| x * 3);
+        assert_eq!(got, (0..100).map(|x| x * 3).collect::<Vec<u64>>());
+        let tried: std::result::Result<Vec<u64>, ()> =
+            engine.try_map_owned((0u64..10).collect(), |&x| Ok(x));
+        assert_eq!(tried.unwrap().len(), 10);
+        assert_eq!(engine.report().map_batches, 2);
+    }
+
+    #[test]
+    fn clones_share_the_session() {
+        let engine = Engine::sequential();
+        let clone = engine.clone();
+        clone.rr_step(&mis3()).unwrap();
+        assert_eq!(engine.report().rbar_steps, 1, "clones must observe the same counters");
+    }
+
+    #[test]
+    fn env_constructors_agree_with_pool() {
+        let tried = Engine::try_from_env().expect("ambient RELIM_THREADS must be valid in tests");
+        assert_eq!(tried.threads(), Pool::try_from_env().unwrap().threads());
+        assert_eq!(Engine::from_env().threads(), tried.threads());
+        assert!(Engine::available_parallelism() >= 1);
+    }
+}

@@ -11,11 +11,12 @@
 //! the node constraint it universally quantifies over — a pure function of
 //! that constraint. Fixed-point searches recompute steps on recurring
 //! problems (the confirming step at a fixed point, repeated probes of the
-//! same problem), so [`iterate_rr_with`] threads a [`SubIndexCache`]
-//! through its steps: an exact-match cache from node constraints to
-//! `Arc`-shared indices. Cache hits skip the enumeration work of
-//! rebuilding the index and are **byte-identical** to cache misses (the
-//! index content is fully determined by the constraint) — pinned by
+//! same problem), so the session API ([`crate::engine::Engine::iterate`])
+//! serves the index from a [`SubIndexCache`]: an exact-match cache from
+//! node constraints to `Arc`-shared indices, owned by the `Engine` and
+//! shared across *all* of its calls. Cache hits skip the enumeration work
+//! of rebuilding the index and are **byte-identical** to cache misses
+//! (the index content is fully determined by the constraint) — pinned by
 //! [`iterate_rr_unmemoized`], the memoization-off reference path the
 //! differential suite compares against.
 
@@ -23,7 +24,7 @@ use crate::constraint::{Constraint, SubMultisetIndex};
 use crate::error::RelimError;
 use crate::iso;
 use crate::problem::Problem;
-use crate::roundelim::{r_step, rbar_step_with_index, rr_step_with, Step, MAX_LABELS};
+use crate::roundelim::{r_step, rbar_step_indexed, rbar_step_pooled, Step, MAX_LABELS};
 use relim_pool::Pool;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -90,20 +91,11 @@ fn stats_of(step: usize, p: &Problem) -> StepStats {
 
 /// Iterates `R̄(R(·))` from `p`, up to `max_steps` applications, aborting
 /// before any step whose input alphabet exceeds `label_limit`.
-///
-/// # Example
-///
-/// ```
-/// use relim_core::{iterate, Problem};
-///
-/// // Sinkless orientation (fixed-point encoding) at Δ = 3.
-/// let so = Problem::from_text("O I I", "[O I] I").unwrap();
-/// let outcome = iterate::iterate_rr(&so, 5, 20);
-/// assert!(outcome.reached_fixed_point());
-/// assert_eq!(outcome.stats.len(), 2); // input + one confirming step
-/// ```
+#[deprecated(
+    note = "construct a relim_core::engine::Engine session and call Engine::iterate_with_limits"
+)]
 pub fn iterate_rr(p: &Problem, max_steps: usize, label_limit: usize) -> IterationOutcome {
-    iterate_rr_with(p, max_steps, label_limit, &Pool::sequential())
+    crate::engine::Engine::sequential().iterate_with_limits(p, max_steps, label_limit)
 }
 
 /// An exact-match cache from node constraints to their `Arc`-shared
@@ -137,17 +129,37 @@ impl SubIndexCache {
     /// The index for `constraint`, shared from the cache or built (and
     /// cached) on a miss.
     pub fn get_or_build(&mut self, constraint: &Constraint) -> Arc<SubMultisetIndex> {
-        if let Some(index) = self.entries.get(constraint) {
-            self.hits += 1;
-            return Arc::clone(index);
+        if let Some(index) = self.lookup(constraint) {
+            return index;
         }
-        self.misses += 1;
         let index = Arc::new(constraint.sub_multiset_index());
+        self.insert(constraint.clone(), Arc::clone(&index));
+        index
+    }
+
+    /// The cached index for `constraint`, if held; counts a hit or a miss.
+    /// Split out from [`SubIndexCache::get_or_build`] so a caller (the
+    /// [`crate::engine::Engine`]) can build outside its cache lock.
+    pub fn lookup(&mut self, constraint: &Constraint) -> Option<Arc<SubMultisetIndex>> {
+        match self.entries.get(constraint) {
+            Some(index) => {
+                self.hits += 1;
+                Some(Arc::clone(index))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a built index, clearing the map first when `capacity`
+    /// distinct constraints are already held (the epoch reset).
+    pub fn insert(&mut self, constraint: Constraint, index: Arc<SubMultisetIndex>) {
         if self.entries.len() >= self.capacity {
             self.entries.clear();
         }
-        self.entries.insert(constraint.clone(), Arc::clone(&index));
-        index
+        self.entries.insert(constraint, index);
     }
 
     /// Lookups answered from the cache.
@@ -178,26 +190,29 @@ impl Default for SubIndexCache {
 }
 
 /// One `Π ↦ R̄(R(Π))` application with the `R̄` side's sub-multiset index
-/// served from `cache`. Byte-identical to
-/// [`rr_step_with`] at any thread count and any cache state.
+/// served from `cache`. Byte-identical to [`crate::roundelim::rr_step`]
+/// at any thread count and any cache state.
 ///
 /// # Errors
 ///
 /// Same as [`crate::roundelim::rr_step`].
+#[deprecated(
+    note = "construct a relim_core::engine::Engine session — Engine::rr_step owns the cache"
+)]
 pub fn rr_step_memo(
     p: &Problem,
     pool: &Pool,
     cache: &mut SubIndexCache,
 ) -> crate::error::Result<(Step, Step)> {
     let r = r_step(p)?;
-    // Mirror `rbar_step_with`'s label guard *before* touching the cache:
+    // Mirror the engine's label guard *before* touching the cache:
     // an over-limit alphabet must fail without building a huge index.
     let n = r.problem.alphabet().len();
     if n > MAX_LABELS {
         return Err(RelimError::TooManyLabels { requested: n });
     }
     let index = cache.get_or_build(r.problem.node());
-    let rr = rbar_step_with_index(&r.problem, &index, pool)?;
+    let rr = rbar_step_indexed(&r.problem, &index, pool)?;
     Ok((r, rr))
 }
 
@@ -205,30 +220,43 @@ pub fn rr_step_memo(
 /// the sub-multiset indices memoized across steps (a fresh
 /// [`SubIndexCache`] per call). Outcome is byte-identical to
 /// [`iterate_rr`] at any thread count.
+#[deprecated(
+    note = "construct a relim_core::engine::Engine session and call Engine::iterate_with_limits \
+            — the session cache also persists across calls"
+)]
 pub fn iterate_rr_with(
     p: &Problem,
     max_steps: usize,
     label_limit: usize,
     pool: &Pool,
 ) -> IterationOutcome {
-    let mut cache = SubIndexCache::new();
-    iterate_impl(p, max_steps, label_limit, |prev| rr_step_memo(prev, pool, &mut cache))
+    crate::engine::Engine::builder().threads(pool.threads()).build().iterate_with_limits(
+        p,
+        max_steps,
+        label_limit,
+    )
 }
 
-/// The memoization-off reference for [`iterate_rr_with`]: every step
-/// rebuilds its sub-multiset index from scratch. Exists so differential
-/// tests can pin that the memoized path changes nothing.
+/// The memoization-off reference for [`crate::engine::Engine::iterate`]:
+/// every step rebuilds its sub-multiset index from scratch, with no
+/// session state anywhere. Exists so differential tests can pin that the
+/// memoized path changes nothing; not deprecated on purpose.
 pub fn iterate_rr_unmemoized(
     p: &Problem,
     max_steps: usize,
     label_limit: usize,
     pool: &Pool,
 ) -> IterationOutcome {
-    iterate_impl(p, max_steps, label_limit, |prev| rr_step_with(prev, pool))
+    iterate_with_step(p, max_steps, label_limit, |prev| {
+        let r = r_step(prev)?;
+        let rr = rbar_step_pooled(&r.problem, pool)?;
+        Ok((r, rr))
+    })
 }
 
-/// The shared iteration loop, parameterized over how one step is computed.
-fn iterate_impl(
+/// The shared iteration loop, parameterized over how one step is computed
+/// (the engine passes its cache-serving session step).
+pub(crate) fn iterate_with_step(
     p: &Problem,
     max_steps: usize,
     label_limit: usize,
@@ -278,11 +306,12 @@ fn iterate_impl(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::Engine;
 
     #[test]
     fn sinkless_orientation_fixed_point_detected() {
         let so = Problem::from_text("O I I I", "[O I] I").unwrap();
-        let outcome = iterate_rr(&so, 4, 20);
+        let outcome = Engine::sequential().iterate_with_limits(&so, 4, 20);
         assert!(outcome.reached_fixed_point());
         // Sizes stable across the confirming step.
         assert_eq!(outcome.stats[0].labels, outcome.stats[1].labels);
@@ -291,7 +320,7 @@ mod tests {
     #[test]
     fn mis_growth_hits_label_limit() {
         let mis = Problem::from_text("M M M\nP O O", "M [P O]\nO O").unwrap();
-        let outcome = iterate_rr(&mis, 10, 20);
+        let outcome = Engine::sequential().iterate_with_limits(&mis, 10, 20);
         assert!(matches!(outcome.stopped, StopReason::LabelLimit { .. }));
         // Strictly growing label counts before the stop.
         let labels: Vec<usize> = outcome.stats.iter().map(|s| s.labels).collect();
@@ -302,7 +331,7 @@ mod tests {
     #[test]
     fn max_steps_respected() {
         let mis = Problem::from_text("M M M\nP O O", "M [P O]\nO O").unwrap();
-        let outcome = iterate_rr(&mis, 1, 64);
+        let outcome = Engine::sequential().iterate_with_limits(&mis, 1, 64);
         assert!(matches!(outcome.stopped, StopReason::MaxSteps) || outcome.stats.len() <= 2);
         assert!(outcome.stats.len() <= 2);
     }
@@ -311,7 +340,7 @@ mod tests {
     fn trivial_problem_is_fixed_point() {
         // One self-compatible label: R̄(R(·)) keeps the problem trivial.
         let p = Problem::from_text("A A", "A A").unwrap();
-        let outcome = iterate_rr(&p, 3, 20);
+        let outcome = Engine::sequential().iterate_with_limits(&p, 3, 20);
         assert!(outcome.reached_fixed_point());
     }
 
@@ -327,9 +356,22 @@ mod tests {
         {
             let p = Problem::from_text(node, edge).unwrap();
             let reference = render_outcome(&iterate_rr_unmemoized(&p, 6, 20, &Pool::sequential()));
-            let memoized = render_outcome(&iterate_rr_with(&p, 6, 20, &Pool::sequential()));
+            let memoized = render_outcome(&Engine::sequential().iterate_with_limits(&p, 6, 20));
             assert_eq!(memoized, reference, "problem: {node} / {edge}");
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_the_session_path() {
+        // The one-release compatibility contract: the deprecated free
+        // functions must stay byte-identical to the Engine they wrap.
+        let p = Problem::from_text("M M M\nP O O", "M [P O]\nO O").unwrap();
+        let wrapper = render_outcome(&iterate_rr(&p, 4, 20));
+        let session = render_outcome(&Engine::sequential().iterate_with_limits(&p, 4, 20));
+        assert_eq!(wrapper, session);
+        let pooled = render_outcome(&iterate_rr_with(&p, 4, 20, &Pool::new(2)));
+        assert_eq!(pooled, session);
     }
 
     #[test]
@@ -359,6 +401,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // pins the legacy explicit-cache building block
     fn fixed_point_confirmation_hits_the_cache() {
         // Sinkless orientation: the confirming step recomputes the same
         // problem, so its R(Π) node constraint repeats exactly and the

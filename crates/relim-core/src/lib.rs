@@ -22,6 +22,12 @@
 //!
 //! ## What the engine provides
 //!
+//! * [`engine::Engine`] — **the entry point**: a builder-constructed
+//!   session that owns the worker-pool handle, a long-lived sub-multiset
+//!   index cache shared across all calls, and per-session statistics
+//!   ([`engine::EngineReport`]). Every operator below is reachable as an
+//!   `Engine` method; the historical pool-taking free functions survive
+//!   one release as deprecated wrappers.
 //! * [`Problem`] — validated problems over interned alphabets, with a text
 //!   format ([`parse`]) compatible in spirit with the round-eliminator.
 //! * [`roundelim::r_step`] / [`roundelim::rbar_step`] — the `R(·)` and
@@ -64,6 +70,7 @@ pub mod condense;
 pub mod config;
 pub mod constraint;
 pub mod diagram;
+pub mod engine;
 pub mod error;
 pub mod iso;
 pub mod iterate;
@@ -82,6 +89,7 @@ pub mod zeroround;
 pub use config::{Config, SetConfig};
 pub use constraint::Constraint;
 pub use diagram::StrengthOrder;
+pub use engine::{Engine, EngineBuilder, EngineReport};
 pub use error::RelimError;
 pub use label::{Alphabet, Label};
 pub use labelset::LabelSet;

@@ -25,18 +25,20 @@
 //!
 //! Both hot paths are parallelizable over a [`Pool`]: the `R̄` enumeration
 //! splits its DFS at the top candidate level into stealable subtree tasks
-//! ([`forall_multisets`]'s internals), and the dominance filter shards its
+//! (`forall_multisets`'s internals), and the dominance filter shards its
 //! per-configuration maximality checks. Batches go to the **persistent**
 //! worker set ([`Pool::map_owned`] — task payloads are `Arc`-owned, so no
 //! threads are spawned per call), and parallel results are collected and
-//! canonically re-ordered, so every `*_with` entry point is
+//! canonically re-ordered, so every parallel entry point is
 //! **byte-identical** to its sequential counterpart at any thread count
 //! (enforced by the differential proptests at the workspace root).
 //!
-//! The `R̄` side's sub-multiset index is a pure function of the node
-//! constraint; [`rbar_step_with_index`] accepts a prebuilt (and possibly
-//! memoized — see [`crate::iterate::SubIndexCache`]) index so fixed-point
-//! searches can reuse it across steps.
+//! The parallel (and cache-serving) surface of these operators is the
+//! session API, [`crate::engine::Engine`]: it owns the pool handle and a
+//! long-lived [`crate::iterate::SubIndexCache`] the `R̄` side's
+//! sub-multiset index is served from. The free functions here compute the
+//! operators sequentially; the old pool-taking `*_with` variants remain
+//! one release as deprecated wrappers over an `Engine`.
 
 use crate::config::{Config, SetConfig};
 use crate::constraint::{Constraint, SubMultisetIndex};
@@ -142,7 +144,9 @@ pub fn r_step(p: &Problem) -> Result<Step> {
 }
 
 /// Applies `R̄(·)`: universal step on the node constraint, existential step on
-/// the edge constraint.
+/// the edge constraint. Runs sequentially; use
+/// [`crate::engine::Engine::rbar_step`] to shard over a worker pool and
+/// serve the sub-multiset index from a session cache (byte-identical).
 ///
 /// # Errors
 ///
@@ -150,7 +154,7 @@ pub fn r_step(p: &Problem) -> Result<Step> {
 /// would be empty, and [`RelimError::TooManyLabels`] if the alphabet
 /// exceeds the right-closed enumeration limit (22 labels).
 pub fn rbar_step(p: &Problem) -> Result<Step> {
-    rbar_step_with(p, &Pool::sequential())
+    rbar_step_pooled(p, &Pool::sequential())
 }
 
 /// [`rbar_step`] with the universal enumeration and the dominance filter
@@ -160,16 +164,23 @@ pub fn rbar_step(p: &Problem) -> Result<Step> {
 /// # Errors
 ///
 /// Same as [`rbar_step`].
+#[deprecated(note = "construct a relim_core::engine::Engine session and call Engine::rbar_step")]
 pub fn rbar_step_with(p: &Problem, pool: &Pool) -> Result<Step> {
+    crate::engine::Engine::builder().threads(pool.threads()).build().rbar_step(p)
+}
+
+/// The pooled `R̄(·)` implementation behind [`rbar_step`] and the engine:
+/// builds a fresh sub-multiset index of `p.node()`.
+pub(crate) fn rbar_step_pooled(p: &Problem, pool: &Pool) -> Result<Step> {
     let n = p.alphabet().len();
     if n > MAX_LABELS {
         return Err(RelimError::TooManyLabels { requested: n });
     }
     let sub_index = Arc::new(p.node().sub_multiset_index());
-    rbar_step_with_index(p, &sub_index, pool)
+    rbar_step_indexed(p, &sub_index, pool)
 }
 
-/// [`rbar_step_with`] with a prebuilt sub-multiset index of `p.node()`
+/// [`rbar_step`] with a prebuilt sub-multiset index of `p.node()`
 /// (the index is a pure function of the constraint, so a cached one —
 /// see [`crate::iterate::SubIndexCache`] — produces byte-identical
 /// results while skipping the enumeration work of rebuilding it).
@@ -183,7 +194,22 @@ pub fn rbar_step_with(p: &Problem, pool: &Pool) -> Result<Step> {
 /// Panics if `sub_index` was built from a constraint of a different
 /// degree than `p.node()` (the cheap part of the "index matches the
 /// constraint" contract).
+#[deprecated(
+    note = "construct a relim_core::engine::Engine session — it owns the index cache and \
+            calls the prebuilt-index path internally"
+)]
 pub fn rbar_step_with_index(
+    p: &Problem,
+    sub_index: &Arc<SubMultisetIndex>,
+    pool: &Pool,
+) -> Result<Step> {
+    rbar_step_indexed(p, sub_index, pool)
+}
+
+/// The shared `R̄(·)` body: universal enumeration against a prebuilt
+/// (possibly cache-served) sub-multiset index, then the dominance filter,
+/// both sharded over `pool`.
+pub(crate) fn rbar_step_indexed(
     p: &Problem,
     sub_index: &Arc<SubMultisetIndex>,
     pool: &Pool,
@@ -202,12 +228,14 @@ pub fn rbar_step_with_index(
     let delta = p.delta();
 
     let raw = forall_multisets_with(&cands, delta, sub_index, pool);
-    let maximal = dominance_filter_with(raw, pool);
+    let maximal = dominance_filter_pooled(raw, pool);
     finish_step(p, maximal, UniversalSide::Node)
 }
 
 /// One full round elimination step `Π ↦ R̄(R(Π))`, returning both
-/// intermediate results.
+/// intermediate results. Runs sequentially; use
+/// [`crate::engine::Engine::rr_step`] for the pooled, cache-served
+/// session path (byte-identical).
 ///
 /// # Errors
 ///
@@ -215,7 +243,9 @@ pub fn rbar_step_with_index(
 /// would be empty, and [`RelimError::TooManyLabels`] when an intermediate
 /// alphabet exceeds the enumeration limit.
 pub fn rr_step(p: &Problem) -> Result<(Step, Step)> {
-    rr_step_with(p, &Pool::sequential())
+    let r = r_step(p)?;
+    let rr = rbar_step_pooled(&r.problem, &Pool::sequential())?;
+    Ok((r, rr))
 }
 
 /// [`rr_step`] with the expensive `R̄` side sharded over `pool`. Output is
@@ -224,10 +254,9 @@ pub fn rr_step(p: &Problem) -> Result<(Step, Step)> {
 /// # Errors
 ///
 /// Same as [`rr_step`].
+#[deprecated(note = "construct a relim_core::engine::Engine session and call Engine::rr_step")]
 pub fn rr_step_with(p: &Problem, pool: &Pool) -> Result<(Step, Step)> {
-    let r = r_step(p)?;
-    let rr = rbar_step_with(&r.problem, pool)?;
-    Ok((r, rr))
+    crate::engine::Engine::builder().threads(pool.threads()).build().rr_step(p)
 }
 
 enum UniversalSide {
@@ -445,8 +474,20 @@ fn forall_rec(
 /// because mutual domination forces equal cardinality sums and hence equal
 /// multisets), so the survivors are exactly the **maximal** configurations
 /// — independent of input order. The input order of survivors is preserved.
+/// Runs sequentially; use [`crate::engine::Engine::dominance_filter`] to
+/// shard the maximality checks (byte-identical).
 pub fn dominance_filter(configs: Vec<SetConfig>) -> Vec<SetConfig> {
-    dominance_filter_with(configs, &Pool::sequential())
+    dominance_filter_pooled(configs, &Pool::sequential())
+}
+
+/// [`dominance_filter`] with the per-configuration maximality checks
+/// sharded over `pool`. Output is byte-identical to [`dominance_filter`]
+/// at any thread count.
+#[deprecated(
+    note = "construct a relim_core::engine::Engine session and call Engine::dominance_filter"
+)]
+pub fn dominance_filter_with(configs: Vec<SetConfig>, pool: &Pool) -> Vec<SetConfig> {
+    crate::engine::Engine::builder().threads(pool.threads()).build().dominance_filter(configs)
 }
 
 /// [`dominance_filter`] with the per-configuration maximality checks
@@ -462,7 +503,7 @@ pub fn dominance_filter(configs: Vec<SetConfig>) -> Vec<SetConfig> {
 ///   survive both pre-checks.
 ///
 /// Output is byte-identical to [`dominance_filter`] at any thread count.
-pub fn dominance_filter_with(configs: Vec<SetConfig>, pool: &Pool) -> Vec<SetConfig> {
+pub(crate) fn dominance_filter_pooled(configs: Vec<SetConfig>, pool: &Pool) -> Vec<SetConfig> {
     if configs.len() <= 1 {
         return configs;
     }
@@ -741,7 +782,8 @@ mod tests {
         let r = r_step(&p).unwrap();
         let seq = rbar_step(&r.problem).unwrap();
         for threads in [2, 3, 8] {
-            let par = rbar_step_with(&r.problem, &Pool::new(threads)).unwrap();
+            let engine = crate::engine::Engine::builder().threads(threads).build();
+            let par = engine.rbar_step(&r.problem).unwrap();
             assert_eq!(par.problem.render(), seq.problem.render(), "threads = {threads}");
             assert_eq!(par.provenance, seq.provenance, "threads = {threads}");
         }
@@ -761,11 +803,8 @@ mod tests {
         let expected = dominance_filter_reference(configs.clone());
         assert_eq!(dominance_filter(configs.clone()), expected);
         for threads in [2, 8] {
-            assert_eq!(
-                dominance_filter_with(configs.clone(), &Pool::new(threads)),
-                expected,
-                "threads = {threads}"
-            );
+            let engine = crate::engine::Engine::builder().threads(threads).build();
+            assert_eq!(engine.dominance_filter(configs.clone()), expected, "threads = {threads}");
         }
     }
 

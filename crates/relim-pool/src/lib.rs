@@ -24,20 +24,20 @@
 //! nothing and die with the process.
 //!
 //! Work reaches the workers through a **submission queue** of batches:
+//! [`Pool::map_owned`] / [`Pool::try_map_owned`] take `'static` task
+//! payloads (the items and the closure are *owned* by the batch — use
+//! `Arc` for shared context instead of borrows) and push one batch onto
+//! the queue. Each batch carries per-virtual-worker deques seeded with
+//! contiguous index blocks; participants (the submitting thread plus any
+//! idle persistent workers) pop their own deque from the front and
+//! **steal half** of the largest other deque when empty. Results return
+//! to the submitter through a per-batch [`std::sync::mpsc`] channel.
 //!
-//! * [`Pool::map_owned`] / [`Pool::try_map_owned`] take `'static` task
-//!   payloads (the items and the closure are *owned* by the batch — use
-//!   `Arc` for shared context instead of borrows) and push one batch onto
-//!   the queue. Each batch carries per-virtual-worker deques seeded with
-//!   contiguous index blocks; participants (the submitting thread plus any
-//!   idle persistent workers) pop their own deque from the front and
-//!   **steal half** of the largest other deque when empty. Results return
-//!   to the submitter through a per-batch [`std::sync::mpsc`] channel.
-//! * [`Pool::map`] / [`Pool::try_map`] are the **scoped compatibility
-//!   shim** for borrowed inputs: they still spawn scoped threads per call
-//!   (the only `unsafe`-free way to ship non-`'static` borrows to other
-//!   threads). New code and all engine hot paths use the owned entry
-//!   points; the shim remains for cheap cold-path call sites.
+//! The owned entry points are the *only* entry points: the scoped
+//! borrowed-input shim (`Pool::map`/`try_map`, which spawned scoped
+//! threads per call) is gone — every call site converted to owned
+//! submission, and the round elimination `Engine` session in `relim-core`
+//! is the one consumer that hands this crate to the rest of the system.
 //!
 //! ## Determinism
 //!
@@ -55,12 +55,11 @@
 //! **worker survives** (the pool is never poisoned and stays usable for
 //! later batches), the batch still runs its remaining tasks, and the
 //! submitter re-raises the payload of the **lowest-indexed** panicking
-//! task — deterministic at any thread count. The scoped shim propagates
-//! the first joined worker's panic, as before.
+//! task — deterministic at any thread count.
 //!
 //! ## Nesting
 //!
-//! `map`/`map_owned` called from inside a pool worker (or from a task the
+//! `map_owned` called from inside a pool worker (or from a task the
 //! submitting thread runs while participating) executes inline and
 //! sequentially (a thread-local guard detects re-entry). This lets
 //! high-level sweeps shard over parameter points while the engine
@@ -288,85 +287,6 @@ impl Pool {
     {
         self.map_owned(items, f).into_iter().collect()
     }
-
-    /// Applies `f` to every borrowed item, in parallel, returning results
-    /// **in input order** regardless of thread count or schedule.
-    ///
-    /// This is the **scoped compatibility shim**: borrowed inputs cannot
-    /// cross into the persistent (`'static`) worker set without `unsafe`,
-    /// so this entry point still spawns scoped threads that live for one
-    /// call. Prefer [`Pool::map_owned`] on hot paths — the per-call spawn
-    /// cost (~tens of µs per worker) dominates micro-batches.
-    ///
-    /// Runs inline (no spawns) when the pool is sequential, the input has
-    /// at most one item, or the caller is itself a pool worker.
-    ///
-    /// # Panics
-    ///
-    /// A panic in `f` is propagated to the caller once all workers stop.
-    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
-    where
-        T: Sync,
-        R: Send,
-        F: Fn(&T) -> R + Sync,
-    {
-        let workers = self.threads.min(items.len());
-        if workers <= 1 || IN_WORKER.with(Cell::get) {
-            return items.iter().map(f).collect();
-        }
-
-        let queues = seed_queues(items.len(), workers);
-        let mut buckets: Vec<Vec<(usize, R)>> = Vec::new();
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(workers);
-            for w in 0..workers {
-                let queues = &queues;
-                let f = &f;
-                handles.push(scope.spawn(move || {
-                    IN_WORKER.with(|g| g.set(true));
-                    let mut local: Vec<(usize, R)> = Vec::new();
-                    loop {
-                        let idx = pop_own(&queues[w]).or_else(|| steal_into(queues, w));
-                        match idx {
-                            Some(i) => local.push((i, f(&items[i]))),
-                            None => break,
-                        }
-                    }
-                    IN_WORKER.with(|g| g.set(false));
-                    local
-                }));
-            }
-            for h in handles {
-                match h.join() {
-                    Ok(local) => buckets.push(local),
-                    Err(payload) => resume_unwind(payload),
-                }
-            }
-        });
-
-        // Canonical re-sort: schedule-independent output order.
-        let mut tagged: Vec<(usize, R)> = buckets.into_iter().flatten().collect();
-        tagged.sort_unstable_by_key(|&(i, _)| i);
-        debug_assert_eq!(tagged.len(), items.len());
-        tagged.into_iter().map(|(_, r)| r).collect()
-    }
-
-    /// Fallible [`Pool::map`] (scoped shim): the collected successes, or
-    /// the error of the **earliest** failing item (deterministic at any
-    /// thread count).
-    ///
-    /// # Errors
-    ///
-    /// The error produced by the lowest-indexed failing item.
-    pub fn try_map<T, R, E, F>(&self, items: &[T], f: F) -> Result<Vec<R>, E>
-    where
-        T: Sync,
-        R: Send,
-        E: Send,
-        F: Fn(&T) -> Result<R, E> + Sync,
-    {
-        self.map(items, f).into_iter().collect()
-    }
 }
 
 impl Default for Pool {
@@ -593,31 +513,9 @@ mod tests {
         let items: Vec<u64> = (0..257).collect();
         let expected: Vec<u64> = items.iter().map(|&x| x * 31 + 7).collect();
         for threads in [1, 2, 3, 8, 64] {
-            let got = Pool::new(threads).map(&items, |&x| x * 31 + 7);
-            assert_eq!(got, expected, "scoped, threads = {threads}");
             let got = Pool::new(threads).map_owned(items.clone(), |&x| x * 31 + 7);
-            assert_eq!(got, expected, "owned, threads = {threads}");
+            assert_eq!(got, expected, "threads = {threads}");
         }
-    }
-
-    #[test]
-    fn uneven_tasks_all_run_exactly_once() {
-        // Steeply skewed task sizes exercise the stealing path.
-        let items: Vec<u64> = (0..64).collect();
-        let ran = AtomicUsize::new(0);
-        let out = Pool::new(4).map(&items, |&x| {
-            ran.fetch_add(1, Ordering::Relaxed);
-            // Task 0 is ~64x the size of task 63.
-            let spins = (64 - x) * 2_000;
-            let mut acc = x;
-            for i in 0..spins {
-                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
-            }
-            std::hint::black_box(acc);
-            x
-        });
-        assert_eq!(ran.load(Ordering::Relaxed), items.len());
-        assert_eq!(out, items);
     }
 
     #[test]
@@ -644,13 +542,11 @@ mod tests {
         let outer: Vec<usize> = (0..8).collect();
         let pool = Pool::new(4);
         let got = pool.map_owned(outer.clone(), move |&i| {
-            // Inside a batch task: this inner map must run inline (and
-            // still be correct), whichever entry point is used.
+            // Inside a batch task: this inner map must run inline (the
+            // re-entry guard is observable) and still be correct.
+            assert!(IN_WORKER.with(Cell::get) || pool.threads() <= 1);
             let inner: Vec<usize> = (0..4).collect();
-            let scoped: usize = pool.map(&inner, |&j| i * 10 + j).iter().sum();
-            let owned: usize = pool.map_owned(inner, move |&j| i * 10 + j).iter().sum();
-            assert_eq!(scoped, owned);
-            owned
+            pool.map_owned(inner, move |&j| i * 10 + j).iter().sum::<usize>()
         });
         let expected: Vec<usize> = outer.iter().map(|&i| 4 * (i * 10) + 6).collect();
         assert_eq!(got, expected);
@@ -660,12 +556,9 @@ mod tests {
     fn try_map_returns_earliest_error() {
         let items: Vec<u32> = (0..100).collect();
         for threads in [1, 4] {
-            let got: Result<Vec<u32>, u32> =
-                Pool::new(threads).try_map(&items, |&x| if x % 30 == 17 { Err(x) } else { Ok(x) });
-            assert_eq!(got, Err(17), "scoped, threads = {threads}");
             let got: Result<Vec<u32>, u32> = Pool::new(threads)
                 .try_map_owned(items.clone(), |&x| if x % 30 == 17 { Err(x) } else { Ok(x) });
-            assert_eq!(got, Err(17), "owned, threads = {threads}");
+            assert_eq!(got, Err(17), "threads = {threads}");
         }
     }
 
@@ -678,8 +571,6 @@ mod tests {
     #[test]
     fn empty_and_singleton_inputs() {
         let pool = Pool::new(8);
-        assert_eq!(pool.map(&[] as &[u8], |&x| x), Vec::<u8>::new());
-        assert_eq!(pool.map(&[5u8], |&x| x + 1), vec![6]);
         assert_eq!(pool.map_owned(Vec::<u8>::new(), |&x| x), Vec::<u8>::new());
         assert_eq!(pool.map_owned(vec![5u8], |&x| x + 1), vec![6]);
     }
@@ -688,7 +579,7 @@ mod tests {
     fn panics_propagate() {
         let items: Vec<u32> = (0..32).collect();
         let result = std::panic::catch_unwind(|| {
-            Pool::new(4).map(&items, |&x| {
+            Pool::new(4).map_owned(items, |&x| {
                 assert!(x != 13, "boom");
                 x
             })

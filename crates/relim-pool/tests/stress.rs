@@ -169,6 +169,21 @@ fn skewed_batches_drain_completely() {
     assert_eq!(got, items);
 }
 
+/// The owned path fully replaces the retired scoped `map` shim: borrowed
+/// context that used to cross into scoped threads now travels as `Arc`s
+/// captured by the `'static` closure, with identical ordering semantics.
+#[test]
+fn arc_shared_context_replaces_borrowed_captures() {
+    let pool = Pool::new(4);
+    // Context that a scoped closure would have borrowed.
+    let table: Arc<Vec<u64>> = Arc::new((0..256).map(|x| x * x).collect());
+    let indices: Vec<usize> = (0..256).rev().collect();
+    let table2 = Arc::clone(&table);
+    let got = pool.map_owned(indices.clone(), move |&i| table2[i]);
+    let expected: Vec<u64> = indices.iter().map(|&i| table[i]).collect();
+    assert_eq!(got, expected);
+}
+
 /// The fallible owned entry point reports the earliest error even when a
 /// later item also fails, and evaluates every item (no early cancel).
 #[test]

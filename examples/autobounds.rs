@@ -11,14 +11,19 @@ use mis_domset_lb::family::sequence;
 use mis_domset_lb::relim::autolb::{self, AutoLbOptions, Triviality};
 use mis_domset_lb::relim::autoub::{self, AutoUbOptions, UbKind};
 use mis_domset_lb::relim::{zeroround, Problem};
+use mis_domset_lb::Engine;
 
 fn main() {
+    // One session for the whole walkthrough: the searches below share its
+    // worker pool and sub-multiset index cache.
+    let engine = Engine::from_env();
+
     // ---------------------------------------------------------------
     // 1. Sinkless orientation: the search detects the fixed point and
     //    certifies an unbounded PN lower bound (⇒ Ω(log n) LOCAL).
     // ---------------------------------------------------------------
     let so = Problem::from_text("O I I", "[O I] I").expect("valid");
-    let outcome = autolb::auto_lower_bound(&so, &AutoLbOptions::default());
+    let outcome = engine.auto_lower_bound(&so, &AutoLbOptions::default());
     println!("=== autolb: sinkless orientation (Δ = 3) ===");
     println!("stopped: {:?}", outcome.stopped);
     println!("unbounded fixed point: {}", outcome.unbounded());
@@ -32,7 +37,7 @@ fn main() {
     // ---------------------------------------------------------------
     let mis = family::mis(3).expect("valid");
     let opts = AutoLbOptions { max_steps: 3, label_budget: 6, ..Default::default() };
-    let outcome = autolb::auto_lower_bound(&mis, &opts);
+    let outcome = engine.auto_lower_bound(&mis, &opts);
     println!("=== autolb: MIS (Δ = 3), budget 6 labels ===");
     for (i, step) in outcome.steps.iter().enumerate() {
         // Derived label names are sets-of-sets and get long; print counts
@@ -61,7 +66,7 @@ fn main() {
     for (delta, a, x) in [(3u32, 3u32, 0u32), (4, 4, 0), (4, 3, 1)] {
         let p = family::pi(&PiParams { delta, a, x }).expect("valid");
         let opts = AutoLbOptions { max_steps: 1, label_budget: 6, ..Default::default() };
-        let o = autolb::auto_lower_bound(&p, &opts);
+        let o = engine.auto_lower_bound(&p, &opts);
         println!("Π_{delta}({a},{x}): certified ≥ {} rounds ({:?})", o.certified_rounds, o.stopped);
     }
     println!();
@@ -98,7 +103,7 @@ fn main() {
         zeroround::coloring_witness(&mis2, 3).is_some()
     );
     let opts = AutoUbOptions { max_steps: 6, label_budget: 14, coloring: Some(3) };
-    let outcome = autoub::auto_upper_bound(&mis2, &opts);
+    let outcome = engine.auto_upper_bound(&mis2, &opts);
     let bound = outcome.bound.clone().expect("bounded given a 3-coloring");
     let kind = match &bound.kind {
         UbKind::Pn => "bare PN".to_owned(),
@@ -123,10 +128,8 @@ fn main() {
         zeroround::solvable_pn_universal(&p),
         zeroround::solvable_deterministically(&p)
     );
-    let outcome = autoub::auto_upper_bound(
-        &p,
-        &AutoUbOptions { max_steps: 2, label_budget: 16, coloring: None },
-    );
+    let outcome = engine
+        .auto_upper_bound(&p, &AutoUbOptions { max_steps: 2, label_budget: 16, coloring: None });
     println!(
         "autoub: {} rounds",
         outcome.bound.as_ref().map_or("none".to_owned(), |b| b.rounds.to_string())
@@ -134,7 +137,7 @@ fn main() {
     autoub::verify_ub(&outcome).expect("certificate replays");
 
     // Lower/upper bounds certified by the same engine are consistent.
-    let lb = autolb::auto_lower_bound(
+    let lb = engine.auto_lower_bound(
         &p,
         &AutoLbOptions { max_steps: 2, label_budget: 16, triviality: Triviality::Universal },
     );

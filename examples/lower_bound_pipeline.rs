@@ -11,14 +11,19 @@
 use mis_domset_lb::family::family::PiParams;
 use mis_domset_lb::family::lemma8::Lemma8Machinery;
 use mis_domset_lb::family::{bounds, lemma6, sequence};
+use mis_domset_lb::Engine;
 
 fn main() {
+    // One engine session drives the whole pipeline: every sweep point and
+    // Lemma 8 computation below shares its worker pool and index cache.
+    let engine = Engine::from_env();
+
     // ---------------------------------------------------------------
     // Phase 1: mechanical lemma verification (engine-checked).
     // ---------------------------------------------------------------
     println!("=== Phase 1: Lemma 6 sweep (Δ = 3..6, all valid a, x) ===");
     for delta in 3..=6 {
-        let reports = lemma6::verify_sweep(delta).expect("sweep");
+        let reports = lemma6::verify_sweep(delta, &engine).expect("sweep");
         let ok = reports.iter().filter(|r| r.matches_paper()).count();
         println!("Δ = {delta}: {}/{} parameter points verified", ok, reports.len());
         assert_eq!(ok, reports.len());
@@ -27,7 +32,7 @@ fn main() {
     println!("\n=== Phase 1b: Lemma 8 — full R̄(R(Π)) at Δ = 3, 4 ===");
     for (delta, a, x) in [(3u32, 2u32, 0u32), (4, 3, 0), (4, 4, 1)] {
         let params = PiParams { delta, a, x };
-        let mach = Lemma8Machinery::compute(&params).expect("compute");
+        let mach = Lemma8Machinery::compute(&params, &engine).expect("compute");
         let report = mach.verify();
         println!(
             "Δ={delta}, a={a}, x={x}: |Σ''|={:<3} |N''|={:<5} relaxes→Π_rel: {}  Π_rel=Π⁺: {}",

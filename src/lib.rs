@@ -6,13 +6,16 @@
 //!
 //! This crate re-exports the five workspace crates:
 //!
-//! * [`relim`] — the round elimination engine (`relim-core`),
+//! * [`relim`] — the round elimination engine (`relim-core`), whose
+//!   stateful session API [`Engine`] is the system's entry point
+//!   (re-exported at this root for convenience),
 //! * [`family`] — the paper's `Π_Δ(a,x)` problem family and lemma machinery
 //!   (`lb-family`),
 //! * [`sim`] — the LOCAL / port-numbering model simulator (`local-sim`),
 //! * [`algos`] — the distributed upper-bound algorithms (`local-algos`),
-//! * [`pool`] — the work-stealing thread pool the engine's `*_with` entry
-//!   points shard over (`relim-pool`).
+//! * [`pool`] — the work-stealing thread pool underneath (`relim-pool`);
+//!   the `Engine` session owns the pool handle, so downstream code
+//!   normally never touches this crate directly.
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! per-figure reproduction index; the `examples/` directory contains
@@ -25,4 +28,5 @@ pub use lb_family as family;
 pub use local_algos as algos;
 pub use local_sim as sim;
 pub use relim_core as relim;
+pub use relim_core::{Engine, EngineBuilder, EngineReport};
 pub use relim_pool as pool;

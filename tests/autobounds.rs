@@ -14,6 +14,7 @@ use mis_domset_lb::sim::checkers::check_mis;
 use mis_domset_lb::sim::congest::{run_congest, MessageSize};
 use mis_domset_lb::sim::runner::RunConfig;
 use mis_domset_lb::sim::{trees, Graph};
+use mis_domset_lb::Engine;
 
 /// Lemma 12 certifies that every `Π_Δ(a,x)` with `a ≥ 1`, `x ≤ Δ−1` is
 /// non-trivial even given the Δ-edge coloring; the automatic search must
@@ -24,7 +25,7 @@ fn autolb_certifies_family_members() {
     for (delta, a, x) in [(3u32, 3u32, 0u32), (4, 4, 0), (4, 3, 1)] {
         let p = family::pi(&PiParams { delta, a, x }).unwrap();
         let opts = AutoLbOptions { max_steps: 1, label_budget: 6, ..Default::default() };
-        let outcome = autolb::auto_lower_bound(&p, &opts);
+        let outcome = Engine::sequential().auto_lower_bound(&p, &opts);
         assert!(
             outcome.certified_rounds >= 1,
             "Π_{delta}({a},{x}): certified {}",
@@ -41,7 +42,7 @@ fn autolb_certifies_family_members() {
 fn autolb_extends_mis_chain() {
     let mis = family::mis(3).unwrap();
     let opts = AutoLbOptions { max_steps: 2, label_budget: 6, ..Default::default() };
-    let outcome = autolb::auto_lower_bound(&mis, &opts);
+    let outcome = Engine::sequential().auto_lower_bound(&mis, &opts);
     assert!(outcome.certified_rounds >= 2, "certified {}", outcome.certified_rounds);
     assert_eq!(autolb::verify_chain(&outcome).unwrap(), outcome.certified_rounds);
     // The merges recorded are genuine (every step within budget).
@@ -64,7 +65,7 @@ fn paper_chain_beats_generic_search_at_scale() {
     // sane label budget — the hand-crafted family is the whole point.
     let mis = family::mis(8).unwrap(); // already Δ = 8 is heavy for raw rr
     let opts = AutoLbOptions { max_steps: 1, label_budget: 4, ..Default::default() };
-    let outcome = autolb::auto_lower_bound(&mis, &opts);
+    let outcome = Engine::sequential().auto_lower_bound(&mis, &opts);
     // Whatever happens (engine error, no viable merge, or one step), the
     // certificate must stay consistent.
     assert_eq!(autolb::verify_chain(&outcome).unwrap(), outcome.certified_rounds);
@@ -83,7 +84,7 @@ fn mis_on_cycles_coloring_criteria() {
     // Given a 3-coloring the greedy sweep needs a constant number of
     // rounds; autoub finds and certifies such a bound.
     let opts = AutoUbOptions { max_steps: 6, label_budget: 14, coloring: Some(3) };
-    let outcome = autoub::auto_upper_bound(&mis2, &opts);
+    let outcome = Engine::sequential().auto_upper_bound(&mis2, &opts);
     let bound = outcome.bound.clone().expect("constant bound exists");
     assert!(bound.rounds >= 1, "not 0-round solvable with 3 colors");
     assert_eq!(bound.kind, UbKind::VertexColoring { colors: 3 });
@@ -98,11 +99,12 @@ fn automatic_bounds_are_consistent() {
         [("A A A", "A A"), ("M O", "M M;O O"), ("M M;P O", "M [P O];O O"), ("A A;B B", "A B")]
     {
         let p = Problem::from_text(&node.replace(';', "\n"), &edge.replace(';', "\n")).unwrap();
-        let lb = autolb::auto_lower_bound(
+        let engine = Engine::sequential();
+        let lb = engine.auto_lower_bound(
             &p,
             &AutoLbOptions { max_steps: 3, label_budget: 8, triviality: Triviality::Universal },
         );
-        let ub = autoub::auto_upper_bound(
+        let ub = engine.auto_upper_bound(
             &p,
             &AutoUbOptions { max_steps: 3, label_budget: 14, coloring: None },
         );

@@ -1,12 +1,14 @@
-//! Differential property tests for the parallel round-elimination engine:
-//! at thread counts 1, 2 and 8, every `*_with` entry point must produce
-//! **byte-identical** output to the sequential engine — the determinism
-//! invariant the work-stealing pool promises (results are collected and
-//! canonically re-sorted, so the schedule can never leak into the output).
-//! With the persistent pool this also covers end-to-end `iterate_rr_with`
-//! fixed-point searches (thousands of micro-batches through the shared
-//! worker set) and the memoized sub-multiset-index path against its
-//! memoization-off reference.
+//! Differential property tests for the round-elimination `Engine`
+//! sessions: at thread counts 1, 2 and 8, with session memoization on and
+//! off, every `Engine` method must produce **byte-identical** output to
+//! the sequential reference — the determinism invariant the work-stealing
+//! pool promises (results are collected and canonically re-sorted, so the
+//! schedule can never leak into the output) composed with the cache
+//! invariant (a sub-multiset index served from the session cache is a
+//! pure function of the constraint). The deprecated pool-taking free
+//! functions (`rr_step_with`, `iterate_rr_with`, `dominance_filter_with`)
+//! are exercised on purpose — this suite is the one-release compatibility
+//! contract that they stay byte-identical to the `Engine` paths they wrap.
 //!
 //! Problems are drawn from the full space of small LCLs (random non-empty
 //! subsets of the node/edge configuration spaces), seeded via the standard
@@ -14,14 +16,29 @@
 //! (all-equal cardinality signatures, singleton buckets, empty inputs,
 //! empty member sets, duplicates) are pinned deterministically below the
 //! property tests.
+#![allow(deprecated)]
 
 use mis_domset_lb::pool::Pool;
+use mis_domset_lb::relim::autolb::{self, AutoLbOptions};
 use mis_domset_lb::relim::iterate::{iterate_rr_unmemoized, iterate_rr_with, IterationOutcome};
 use mis_domset_lb::relim::roundelim::{
     dominance_filter, dominance_filter_reference, dominance_filter_with, rr_step, rr_step_with,
 };
 use mis_domset_lb::relim::{Alphabet, Config, Constraint, Label, LabelSet, Problem, SetConfig};
+use mis_domset_lb::Engine;
 use proptest::prelude::*;
+
+/// The engine configurations every differential below sweeps: thread
+/// counts 1/2/8, memoization on and off.
+fn engine_grid() -> Vec<Engine> {
+    let mut engines = Vec::new();
+    for threads in [1usize, 2, 8] {
+        for memoize in [true, false] {
+            engines.push(Engine::builder().threads(threads).memoize(memoize).build());
+        }
+    }
+    engines
+}
 
 /// All multisets of `k` labels over `num_labels` labels.
 fn multisets(num_labels: u8, k: u32) -> Vec<Config> {
@@ -115,43 +132,88 @@ fn set_configs() -> impl Strategy<Value = Vec<SetConfig>> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
-    /// `rr_step_with` is byte-identical to `rr_step` at thread counts
-    /// 1, 2 and 8 — including on degenerate problems where both must
-    /// fail with the same error.
+    /// `Engine::rr_step` — at threads 1/2/8, memo on/off, warm or cold
+    /// cache — and the deprecated `rr_step_with` wrapper are all
+    /// byte-identical to the sequential `rr_step`, including on
+    /// degenerate problems where every path must fail with the same
+    /// error.
     #[test]
-    fn rr_step_identical_across_thread_counts(p in problems()) {
+    fn rr_step_identical_across_engines_and_wrappers(p in problems()) {
         let sequential = render_rr(&rr_step(&p));
+        for engine in engine_grid() {
+            let got = render_rr(&engine.rr_step(&p));
+            prop_assert_eq!(&got, &sequential,
+                            "engine threads = {}, memo = {}", engine.threads(), engine.memoizing());
+            // Warm cache: a repeated step must not change a byte.
+            let warm = render_rr(&engine.rr_step(&p));
+            prop_assert_eq!(&warm, &sequential,
+                            "warm cache, threads = {}", engine.threads());
+        }
         for threads in [1usize, 2, 8] {
-            let parallel = render_rr(&rr_step_with(&p, &Pool::new(threads)));
-            prop_assert_eq!(&parallel, &sequential, "threads = {}", threads);
+            let wrapper = render_rr(&rr_step_with(&p, &Pool::new(threads)));
+            prop_assert_eq!(&wrapper, &sequential, "deprecated wrapper, threads = {}", threads);
         }
     }
 
-    /// The bucketed, sharded dominance filter agrees with the seed's
-    /// quadratic reference at every thread count.
+    /// The bucketed, sharded dominance filter — through the session and
+    /// through the deprecated wrapper — agrees with the seed's quadratic
+    /// reference at every thread count.
     #[test]
     fn dominance_filter_identical_across_thread_counts(configs in set_configs()) {
         let reference = dominance_filter_reference(configs.clone());
+        for engine in engine_grid() {
+            let filtered = engine.dominance_filter(configs.clone());
+            prop_assert_eq!(&filtered, &reference, "threads = {}", engine.threads());
+        }
         for threads in [1usize, 2, 8] {
             let filtered = dominance_filter_with(configs.clone(), &Pool::new(threads));
-            prop_assert_eq!(&filtered, &reference, "threads = {}", threads);
+            prop_assert_eq!(&filtered, &reference, "deprecated wrapper, threads = {}", threads);
         }
     }
 
-    /// End-to-end `iterate_rr_with` (a full fixed-point search, not a
-    /// single step) is byte-identical across thread counts 1/2/8 — and the
-    /// memoized sub-multiset-index path agrees exactly with the
-    /// memoization-off reference at every one of them.
+    /// End-to-end `Engine::iterate_with_limits` (a full fixed-point
+    /// search, not a single step) is byte-identical across threads 1/2/8
+    /// and memoization on/off — and the deprecated `iterate_rr_with`
+    /// wrapper and the session-free `iterate_rr_unmemoized` reference
+    /// agree exactly with it at every thread count.
     #[test]
-    fn iterate_rr_identical_across_threads_and_memoization(p in problems()) {
+    fn iterate_identical_across_engines_and_wrappers(p in problems()) {
         let reference =
             render_outcome(&iterate_rr_unmemoized(&p, 4, 12, &Pool::sequential()));
+        for engine in engine_grid() {
+            let session = render_outcome(&engine.iterate_with_limits(&p, 4, 12));
+            prop_assert_eq!(&session, &reference,
+                            "engine threads = {}, memo = {}", engine.threads(), engine.memoizing());
+        }
         for threads in [1usize, 2, 8] {
-            let memoized = render_outcome(&iterate_rr_with(&p, 4, 12, &Pool::new(threads)));
-            prop_assert_eq!(&memoized, &reference, "memoized, threads = {}", threads);
+            let wrapper = render_outcome(&iterate_rr_with(&p, 4, 12, &Pool::new(threads)));
+            prop_assert_eq!(&wrapper, &reference, "deprecated wrapper, threads = {}", threads);
             let unmemoized =
                 render_outcome(&iterate_rr_unmemoized(&p, 4, 12, &Pool::new(threads)));
             prop_assert_eq!(&unmemoized, &reference, "memo off, threads = {}", threads);
+        }
+    }
+
+    /// The automatic lower-bound search through a session — any width,
+    /// memo on/off, even a session whose cache was warmed by an unrelated
+    /// call — matches the deprecated stateless `auto_lower_bound`
+    /// outcome exactly.
+    #[test]
+    fn autolb_identical_across_engines(p in problems()) {
+        let opts = AutoLbOptions { max_steps: 2, label_budget: 5, ..Default::default() };
+        let render = |o: &autolb::AutoLbOutcome| {
+            let chain: Vec<String> = o.chain().map(Problem::render).collect();
+            format!("{:?} {} {}", o.stopped, o.certified_rounds, chain.join("|"))
+        };
+        let reference = render(&autolb::auto_lower_bound(&p, &opts));
+        for engine in engine_grid() {
+            prop_assert_eq!(&render(&engine.auto_lower_bound(&p, &opts)), &reference,
+                            "engine threads = {}, memo = {}", engine.threads(), engine.memoizing());
+            // Warm the cache with an unrelated probe, then search again:
+            // still byte-identical (hits return the same bytes).
+            engine.iterate_with_limits(&p, 1, 12);
+            prop_assert_eq!(&render(&engine.auto_lower_bound(&p, &opts)), &reference,
+                            "warmed cache, threads = {}", engine.threads());
         }
     }
 }

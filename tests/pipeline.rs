@@ -22,7 +22,7 @@ fn one_full_chain_step_with_witnesses() {
 
     // Lemma 6 + Lemma 8 verification at these parameters.
     assert!(lemma6::verify(&params).unwrap().matches_paper());
-    let mach = Lemma8Machinery::compute(&params).unwrap();
+    let mach = Lemma8Machinery::compute(&params, &mis_domset_lb::Engine::sequential()).unwrap();
     assert!(mach.verify().matches_paper());
 
     // Solve R̄(R(Π)) on the tree and convert to Π⁺ (Lemma 8's 0-round map).

@@ -261,7 +261,7 @@ proptest! {
         use mis_domset_lb::relim::autolb;
         if let Some(p) = random_problem(num_labels, delta, node_mask, edge_mask) {
             let opts = autolb::AutoLbOptions { max_steps: 2, label_budget: 5, ..Default::default() };
-            let outcome = autolb::auto_lower_bound(&p, &opts);
+            let outcome = mis_domset_lb::Engine::sequential().auto_lower_bound(&p, &opts);
             let replay = autolb::verify_chain(&outcome);
             prop_assert!(replay.is_ok(), "{:?} -> {:?}", outcome.stopped, replay.err());
             prop_assert_eq!(replay.unwrap(), outcome.certified_rounds);
@@ -302,7 +302,7 @@ proptest! {
                 label_budget: 8,
                 coloring: Some(colors),
             };
-            let outcome = autoub::auto_upper_bound(&p, &opts);
+            let outcome = mis_domset_lb::Engine::sequential().auto_upper_bound(&p, &opts);
             let replay = autoub::verify_ub(&outcome);
             prop_assert!(replay.is_ok(), "{:?}", replay.err());
             prop_assert_eq!(replay.unwrap(), outcome.bound.map(|b| b.rounds));

@@ -17,7 +17,7 @@
 
 use mis_domset_lb::family::sinkless;
 use mis_domset_lb::relim::roundelim::{self, rr_step};
-use mis_domset_lb::relim::{iso, iterate, zeroround, Problem};
+use mis_domset_lb::relim::{iso, iterate, zeroround, Engine, Problem};
 
 fn mis_delta3() -> Problem {
     Problem::from_text("M M M\nP O O", "M [P O]\nO O").expect("valid MIS encoding")
@@ -38,7 +38,7 @@ fn sinkless_orientation_is_rr_fixed_point_for_small_delta() {
 #[test]
 fn sinkless_orientation_iteration_reports_fixed_point() {
     let so = sinkless::sinkless_orientation(3).expect("valid SO");
-    let outcome = iterate::iterate_rr(&so, 5, 16);
+    let outcome = Engine::sequential().iterate_with_limits(&so, 5, 16);
     assert!(
         matches!(outcome.stopped, iterate::StopReason::FixedPoint),
         "expected FixedPoint, got {:?}",
@@ -78,7 +78,7 @@ fn mis_first_rr_step_golden_shape() {
 fn mis_grows_and_never_reaches_a_fixed_point_early() {
     // Golden growth profile of iterated R̄(R(·)) on MIS (why the paper
     // needs the Π_Δ(a,x) family): 3 → 6 → 19 labels in two steps.
-    let outcome = iterate::iterate_rr(&mis_delta3(), 2, 40);
+    let outcome = Engine::sequential().iterate_with_limits(&mis_delta3(), 2, 40);
     let labels: Vec<usize> = outcome.stats.iter().map(|s| s.labels).collect();
     assert_eq!(labels, [3, 6, 19], "label growth profile");
     assert!(
