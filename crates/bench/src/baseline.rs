@@ -2,15 +2,21 @@
 //! parallel round-elimination engine's wall-clock behaviour, emitted by
 //! the `bench-driver` binary alongside the human tables.
 //!
-//! Schema (`bench-relim/2`): a header with the thread configuration plus
+//! Schema (`bench-relim/3`): a header with the thread configuration plus
 //! one entry per kernel, each carrying its parameter assignments, one
 //! timed run per configuration (usually thread counts; the
 //! `engine_session_reuse` kernel compares per-call vs shared engine
-//! caches instead), the speedup of the last run over the first, and
-//! whether the compared outputs were byte-identical (always asserted
-//! before the file is written). `bench-relim/2` added the
-//! `engine_session_reuse` kernel when the drivers moved onto the
-//! `Engine` session API.
+//! caches instead), the speedup of the last run over the first, whether
+//! the compared outputs were byte-identical (always asserted before the
+//! file is written), and — new in `bench-relim/3` — an `engine_report`
+//! object: the **deterministic** counters of an
+//! [`EngineReport`](relim_core::EngineReport) probe run
+//! (cache hits/misses, per-operator counts; never `wall_ns`). Unlike the
+//! timing fields these are diffed *exactly* by `bench-driver --diff`, so
+//! CI catches cache-hit-trend regressions, not just schema drift.
+//! History: `bench-relim/2` added the `engine_session_reuse` kernel;
+//! `bench-relim/3` added `engine_report` plus the `store_roundtrip` and
+//! `service_cold_vs_warm` serving-layer kernels.
 
 use crate::json::Json;
 
@@ -44,6 +50,11 @@ pub struct Entry {
     /// Whether the parallel result rendered byte-identically to the
     /// sequential result (`None` for single-configuration kernels).
     pub byte_identical: Option<bool>,
+    /// Deterministic engine counters of one probe run of this kernel on
+    /// a fresh sequential session (`EngineReport::snapshot_pairs`) —
+    /// byte-stable across machines and thread counts, diffed exactly.
+    /// `None` for kernels that never touch an engine.
+    pub report: Option<Vec<(String, i64)>>,
 }
 
 /// The whole baseline file.
@@ -72,12 +83,19 @@ impl Entry {
                 ])
             })
             .collect();
+        let report = match &self.report {
+            None => Json::Null,
+            Some(pairs) => {
+                Json::Obj(pairs.iter().map(|(k, v)| (k.clone(), Json::Int(*v))).collect())
+            }
+        };
         Json::Obj(vec![
             ("id".into(), Json::str(&self.id)),
             ("params".into(), Json::Obj(self.params.clone())),
             ("runs".into(), Json::Arr(runs)),
             ("speedup".into(), self.speedup.map_or(Json::Null, Json::Float)),
             ("byte_identical".into(), self.byte_identical.map_or(Json::Null, Json::Bool)),
+            ("engine_report".into(), report),
         ])
     }
 }
@@ -86,7 +104,7 @@ impl Baseline {
     /// The file as a JSON value.
     pub fn to_json(&self) -> Json {
         Json::Obj(vec![
-            ("schema".into(), Json::str("bench-relim/2")),
+            ("schema".into(), Json::str("bench-relim/3")),
             ("generated_by".into(), Json::str("bench-driver")),
             ("quick".into(), Json::Bool(self.quick)),
             ("threads".into(), Json::Int(self.threads as i64)),
@@ -150,8 +168,8 @@ const TIMING_KEYS: [&str; 6] =
 pub fn schema_problems(doc: &Json) -> Vec<String> {
     let mut out = Vec::new();
     match doc.get("schema").and_then(Json::as_str) {
-        Some("bench-relim/2") => {}
-        Some(other) => out.push(format!("schema: expected `bench-relim/2`, got `{other}`")),
+        Some("bench-relim/3") => {}
+        Some(other) => out.push(format!("schema: expected `bench-relim/3`, got `{other}`")),
         None => out.push("schema: missing or not a string".into()),
     }
     for key in ["generated_by", "quick", "threads", "available_parallelism", "entries"] {
@@ -168,9 +186,26 @@ pub fn schema_problems(doc: &Json) -> Vec<String> {
     }
     for (i, entry) in entries.iter().enumerate() {
         let id = entry.get("id").and_then(Json::as_str).unwrap_or("?");
-        for key in ["id", "params", "runs", "speedup", "byte_identical"] {
+        for key in ["id", "params", "runs", "speedup", "byte_identical", "engine_report"] {
             if entry.get(key).is_none() {
                 out.push(format!("entries[{i}] ({id}): missing key `{key}`"));
+            }
+        }
+        // The engine_report counters must be integers when present — they
+        // are the exactly-diffed cache-hit trend record.
+        if let Some(Json::Obj(fields)) = entry.get("engine_report") {
+            for (key, value) in fields {
+                if !matches!(value, Json::Int(_)) {
+                    out.push(format!(
+                        "entries[{i}] ({id}): engine_report.{key} must be an integer"
+                    ));
+                }
+                if key == "wall_ns" {
+                    out.push(format!(
+                        "entries[{i}] ({id}): engine_report must not carry wall_ns \
+                         (schedule-dependent)"
+                    ));
+                }
             }
         }
         if entry.get("byte_identical") == Some(&Json::Bool(false)) {
@@ -301,6 +336,7 @@ mod tests {
                 ],
                 speedup: Some(2.0),
                 byte_identical: Some(true),
+                report: Some(vec![("cache_hits".into(), 3), ("rbar_steps".into(), 6)]),
             }],
         }
     }
@@ -308,10 +344,11 @@ mod tests {
     #[test]
     fn json_shape() {
         let text = sample().to_json().render();
-        assert!(text.contains("\"schema\": \"bench-relim/2\""));
+        assert!(text.contains("\"schema\": \"bench-relim/3\""));
         assert!(text.contains("\"id\": \"lemma8_sweep_d4\""));
         assert!(text.contains("\"speedup\": 2"));
         assert!(text.contains("\"byte_identical\": true"));
+        assert!(text.contains("\"cache_hits\": 3"));
     }
 
     #[test]
@@ -344,10 +381,32 @@ mod tests {
         let problems = schema_problems(&doc);
         assert!(problems.iter().any(|p| p.contains("byte_identical is false")), "{problems:?}");
 
-        let doc = Json::parse("{\"schema\": \"bench-relim/1\"}").unwrap();
+        let doc = Json::parse("{\"schema\": \"bench-relim/2\"}").unwrap();
         let problems = schema_problems(&doc);
-        assert!(problems.iter().any(|p| p.contains("bench-relim/2")), "{problems:?}");
+        assert!(problems.iter().any(|p| p.contains("bench-relim/3")), "{problems:?}");
         assert!(problems.iter().any(|p| p.contains("entries")), "{problems:?}");
+    }
+
+    #[test]
+    fn schema_check_rejects_wall_ns_inside_engine_report() {
+        let mut bad = sample();
+        bad.entries[0].report = Some(vec![("wall_ns".into(), 123)]);
+        let doc = Json::parse(&bad.to_json().render()).unwrap();
+        let problems = schema_problems(&doc);
+        assert!(problems.iter().any(|p| p.contains("wall_ns")), "{problems:?}");
+    }
+
+    #[test]
+    fn diff_compares_engine_report_counters_exactly() {
+        let committed = Json::parse(&sample().to_json().render()).unwrap();
+        let mut drifted = sample();
+        drifted.entries[0].report = Some(vec![("cache_hits".into(), 2), ("rbar_steps".into(), 6)]);
+        let drifted = Json::parse(&drifted.to_json().render()).unwrap();
+        let problems = diff_problems(&committed, &drifted);
+        assert!(
+            problems.iter().any(|p| p.contains("engine_report.cache_hits")),
+            "a cache-hit regression must fail the diff: {problems:?}"
+        );
     }
 
     #[test]

@@ -14,9 +14,12 @@
 #![forbid(unsafe_code)]
 
 pub use relim_core::Engine;
+/// The JSON value/parser this crate's baseline format is written in —
+/// extracted to the `relim-json` crate (the service wire protocol shares
+/// it) and re-exported here under its historical path.
+pub use relim_json as json;
 
 pub mod baseline;
-pub mod json;
 
 /// The engine session the bench drivers submit their grids to:
 /// `RELIM_THREADS` wide if set, otherwise available parallelism.

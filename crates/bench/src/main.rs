@@ -4,10 +4,15 @@
 //! Runs the engine's hot kernels through a sequential session and through
 //! a session at the requested pool width, asserts the parallel outputs
 //! are **byte-identical** to the sequential ones, prints a wall-clock
-//! table, and writes `BENCH_relim.json` (schema `bench-relim/2`, see
+//! table, and writes `BENCH_relim.json` (schema `bench-relim/3`, see
 //! `bench::baseline`). The `engine_session_reuse` kernel additionally
 //! compares a shared session cache against per-call fresh caches on the
-//! `autolb` workload.
+//! `autolb` workload; `store_roundtrip` and `service_cold_vs_warm` cover
+//! the `relim-service` serving layer (content-addressed store
+//! persistence, cold-vs-warm daemon latency). Engine-touching kernels
+//! also record an `engine_report` probe (deterministic cache/operator
+//! counters on a fresh sequential session) that the `--diff` gate
+//! compares **exactly**, so cache-hit-trend regressions fail CI.
 //!
 //! ```text
 //! bench-driver [--quick] [--threads N] [--out PATH]
@@ -33,6 +38,10 @@ use rand::{Rng, SeedableRng};
 use relim_core::autolb::AutoLbOptions;
 use relim_core::roundelim::{dominance_filter_reference, r_step};
 use relim_core::{Label, LabelSet, SetConfig};
+use relim_service::ops::OpRequest;
+use relim_service::server::{Server, ServerConfig};
+use relim_service::store::{digest_of, ResultStore};
+use relim_service::Client;
 
 struct Options {
     quick: bool,
@@ -129,6 +138,7 @@ fn compare<R>(
         ],
         speedup: Some(seq_med as f64 / par_med.max(1) as f64),
         byte_identical: Some(identical),
+        report: None,
     }
 }
 
@@ -136,6 +146,22 @@ fn compare<R>(
 /// whose measurement must not leak state (cache contents) across samples.
 fn fresh(engine: &Engine, memoize: bool) -> Engine {
     Engine::builder().threads(engine.threads()).memoize(memoize).build()
+}
+
+/// One deterministic probe run of a kernel on `engine` (fresh, so the
+/// counters describe exactly one execution): the `engine_report` record
+/// the baseline diff compares exactly. Timing-free by construction
+/// (`snapshot_pairs` excludes `wall_ns`).
+fn probe_report(engine: Engine, run: impl FnOnce(&Engine)) -> Option<Vec<(String, i64)>> {
+    run(&engine);
+    Some(
+        engine
+            .report()
+            .snapshot_pairs()
+            .into_iter()
+            .map(|(k, v)| (k.to_owned(), v as i64))
+            .collect(),
+    )
 }
 
 /// The `engine_session_reuse` kernel: `repeats` identical `autolb` merge
@@ -174,6 +200,8 @@ fn engine_session_reuse_entry(repeats: usize) -> Entry {
     assert!(identical, "engine_session_reuse: shared-cache outcome differs from per-call");
     let report = shared.report();
     assert!(report.cache_hits > 0, "shared session must score cache hits across repeats");
+    let report_pairs: Vec<(String, i64)> =
+        report.snapshot_pairs().into_iter().map(|(k, v)| (k.to_owned(), v as i64)).collect();
 
     Entry {
         id: "engine_session_reuse".into(),
@@ -201,6 +229,100 @@ fn engine_session_reuse_entry(repeats: usize) -> Entry {
         ],
         speedup: Some(per_call_med as f64 / shared_med.max(1) as f64),
         byte_identical: Some(identical),
+        report: Some(report_pairs),
+    }
+}
+
+/// The `store_roundtrip` kernel: serialize a batch of canonical results
+/// into a fresh persistent [`ResultStore`], reopen the directory, and
+/// read every entry back — asserting byte identity (the satellite
+/// contract of the content-addressed store) while timing the full
+/// serialize → disk → deserialize loop.
+fn store_roundtrip_entry(quick: bool) -> Entry {
+    let n: usize = if quick { 32 } else { 128 };
+    let samples = if quick { 3 } else { 5 };
+    let items: Vec<(String, String, String)> = (0..n)
+        .map(|i| {
+            let key = format!("relim-store/1\nengine=v1\nop=bench\nitem={i}\n");
+            let result = format!("certificate {i}\nmulti-line ü payload\n\"quoted\"\n");
+            (digest_of(&key), key, result)
+        })
+        .collect();
+    let dir = std::env::temp_dir().join(format!("relim-bench-store-{}", std::process::id()));
+    let (all_identical, med, min, max) = time_median(samples, || {
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ResultStore::persistent(&dir, n).expect("store dir");
+        for (digest, key, result) in &items {
+            store.put(digest, key, result).expect("store write");
+        }
+        let reopened = ResultStore::persistent(&dir, n).expect("store reopen");
+        items.iter().all(|(d, k, r)| reopened.get(d, k).as_deref() == Some(r.as_str()))
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    assert!(all_identical, "store round-trip must reproduce every byte");
+    Entry {
+        id: "store_roundtrip".into(),
+        params: vec![("entries".into(), Json::Int(n as i64))],
+        runs: vec![Run { threads: 1, wall_ns: med, min_ns: min, max_ns: max, samples }],
+        speedup: None,
+        byte_identical: Some(true),
+        report: None,
+    }
+}
+
+/// The `service_cold_vs_warm` kernel: one in-process daemon with a
+/// persistent store; run 1 is the cold `autolb` submission (computed on
+/// the shared engine, then stored), run 2 the warm submission (served
+/// from the store). Byte identity is asserted against both the cold
+/// response and an in-process engine run — the serving determinism
+/// contract, measured.
+fn service_cold_vs_warm_entry(threads: usize, quick: bool) -> Entry {
+    let dir = std::env::temp_dir().join(format!("relim-bench-service-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = ServerConfig { threads, store_dir: Some(dir.clone()), ..ServerConfig::default() };
+    let handle = Server::spawn("127.0.0.1:0", config).expect("spawn daemon");
+    let client = Client::new(handle.local_addr().to_string());
+    let op = OpRequest::auto_lb("M M M;P O O", "M [P O];O O").expect("valid op");
+
+    let cold_start = std::time::Instant::now();
+    let cold = client.submit(&op, None).expect("cold submission");
+    let cold_ns = cold_start.elapsed().as_nanos() as u64;
+    assert!(!cold.cached, "first submission cannot be cached");
+
+    let warm_samples = if quick { 5 } else { 9 };
+    let (warm, warm_med, warm_min, warm_max) =
+        time_median(warm_samples, || client.submit(&op, None).expect("warm submission"));
+    assert!(warm.cached, "repeat submission must be a store hit");
+    assert_eq!(warm.result, cold.result, "served bytes must never change");
+    let in_process =
+        op.execute(&Engine::builder().threads(threads).build()).expect("in-process reference");
+    assert_eq!(cold.result, in_process, "served must equal in-process bytes");
+
+    client.shutdown().expect("graceful shutdown");
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+    Entry {
+        id: "service_cold_vs_warm".into(),
+        params: vec![
+            ("op".into(), Json::str("autolb")),
+            ("store".into(), Json::str("persistent")),
+            ("mode_run0".into(), Json::str("cold_store")),
+            ("mode_run1".into(), Json::str("warm_store")),
+            ("warm_cached".into(), Json::Bool(true)),
+        ],
+        runs: vec![
+            Run { threads, wall_ns: cold_ns, min_ns: cold_ns, max_ns: cold_ns, samples: 1 },
+            Run {
+                threads,
+                wall_ns: warm_med,
+                min_ns: warm_min,
+                max_ns: warm_max,
+                samples: warm_samples,
+            },
+        ],
+        speedup: Some(cold_ns as f64 / warm_med.max(1) as f64),
+        byte_identical: Some(true),
+        report: None,
     }
 }
 
@@ -267,7 +389,7 @@ fn main() {
     // the measurement (cross-call reuse is `engine_session_reuse`'s job).
     let sweep_delta = if opts.quick { 4 } else { 5 };
     let sweep_samples = if opts.quick { 3 } else { 1 };
-    entries.push(compare(
+    let mut sweep_entry = compare(
         &format!("lemma8_sweep_d{sweep_delta}"),
         vec![
             ("delta".into(), Json::Int(i64::from(sweep_delta))),
@@ -277,7 +399,11 @@ fn main() {
         sweep_samples,
         |engine| lemma8::verify_sweep(sweep_delta, &fresh(engine, true)).expect("sweep"),
         |reports| format!("{reports:?}"),
-    ));
+    );
+    sweep_entry.report = probe_report(Engine::sequential(), |e| {
+        let _ = lemma8::verify_sweep(sweep_delta, e).expect("sweep probe");
+    });
+    entries.push(sweep_entry);
 
     // 2. One R̄ application on the family at the largest unit-suite point:
     // the raw universal-side enumeration plus dominance filter. A fresh
@@ -285,14 +411,18 @@ fn main() {
     // measurement (the session cache would otherwise absorb it).
     let pi = family::pi(&PiParams { delta: 5, a: 4, x: 1 }).expect("valid");
     let r = r_step(&pi).expect("r step");
-    entries.push(compare(
+    let mut rbar_entry = compare(
         "rbar_step_pi_d5_a4_x1",
         vec![("labels".into(), Json::Int(r.problem.alphabet().len() as i64))],
         threads,
         if opts.quick { 3 } else { 5 },
         |engine| fresh(engine, true).rbar_step(&r.problem).expect("rbar"),
         |step| format!("{}\n{:?}", step.problem.render(), step.provenance),
-    ));
+    );
+    rbar_entry.report = probe_report(Engine::sequential(), |e| {
+        let _ = e.rbar_step(&r.problem).expect("rbar probe");
+    });
+    entries.push(rbar_entry);
 
     // 3. Iterated round elimination on MIS until the label limit — the
     // memoized default, plus the memoization-off reference so the
@@ -300,7 +430,7 @@ fn main() {
     // sample gets a fresh child session: the kernel measures *within-run*
     // memoization, not cross-sample reuse (that is `engine_session_reuse`).
     let mis = family::mis(3).expect("valid");
-    entries.push(compare(
+    let mut iterate_entry = compare(
         "iterate_rr_mis_d3",
         vec![
             ("max_steps".into(), Json::Int(10)),
@@ -311,8 +441,12 @@ fn main() {
         if opts.quick { 3 } else { 5 },
         |engine| fresh(engine, true).iterate_with_limits(&mis, 10, 20),
         |outcome| format!("{:?}\n{:?}", outcome.stats, outcome.stopped),
-    ));
-    entries.push(compare(
+    );
+    iterate_entry.report = probe_report(Engine::sequential(), |e| {
+        let _ = e.iterate_with_limits(&mis, 10, 20);
+    });
+    entries.push(iterate_entry);
+    let mut iterate_off_entry = compare(
         "iterate_rr_mis_d3_memo_off",
         vec![
             ("max_steps".into(), Json::Int(10)),
@@ -323,7 +457,12 @@ fn main() {
         if opts.quick { 3 } else { 5 },
         |engine| fresh(engine, false).iterate_with_limits(&mis, 10, 20),
         |outcome| format!("{:?}\n{:?}", outcome.stats, outcome.stopped),
-    ));
+    );
+    iterate_off_entry.report =
+        probe_report(Engine::builder().threads(1).memoize(false).build(), |e| {
+            let _ = e.iterate_with_limits(&mis, 10, 20);
+        });
+    entries.push(iterate_off_entry);
     // The two paths must also agree with *each other*, not just across
     // thread counts.
     {
@@ -345,7 +484,7 @@ fn main() {
     // is trivial, so the measured cost is dominated by what the
     // persistent pool amortizes (no per-call thread spawns).
     let micro_items: Vec<u64> = (0..4096).collect();
-    entries.push(compare(
+    let mut micro_entry = compare(
         "pool_map_owned_micro",
         vec![("items".into(), Json::Int(micro_items.len() as i64))],
         threads,
@@ -356,7 +495,11 @@ fn main() {
             })
         },
         |out| format!("{out:?}"),
-    ));
+    );
+    micro_entry.report = probe_report(Engine::sequential(), |e| {
+        let _ = e.map_owned(micro_items.clone(), |&x: &u64| x.wrapping_add(1));
+    });
+    entries.push(micro_entry);
 
     // 3c. Session reuse: the same autolb merge search driven repeatedly
     // through ONE long-lived session (shared SubIndexCache — run 2) vs a
@@ -367,7 +510,7 @@ fn main() {
     // 4. The chunk-sharded Monte-Carlo gadget simulation.
     let mc_trials: u64 = if opts.quick { 65_536 } else { 1 << 20 };
     let mc_problem = family::pi(&PiParams { delta: 6, a: 4, x: 1 }).expect("valid");
-    entries.push(compare(
+    let mut mc_entry = compare(
         "zeroround_mc_uniform",
         vec![
             ("trials".into(), Json::Int(mc_trials as i64)),
@@ -377,7 +520,11 @@ fn main() {
         if opts.quick { 3 } else { 5 },
         |engine| zeroround_mc::simulate_uniform(&mc_problem, mc_trials, 7, engine),
         |out| format!("{}/{}", out.failures, out.trials),
-    ));
+    );
+    mc_entry.report = probe_report(Engine::sequential(), |e| {
+        let _ = zeroround_mc::simulate_uniform(&mc_problem, mc_trials, 7, e);
+    });
+    entries.push(mc_entry);
 
     // 5. The dominance-filter rewrite: seed's quadratic reference vs the
     // bucketed pass, sequential and sharded.
@@ -402,6 +549,7 @@ fn main() {
         }],
         speedup: None,
         byte_identical: None,
+        report: None,
     });
     let mut bucketed = compare(
         "dominance_filter_bucketed",
@@ -416,7 +564,16 @@ fn main() {
     bucketed.params.push(("speedup_vs_reference".into(), Json::Float(rewrite_speedup)));
     let bucketed_out = Engine::sequential().dominance_filter(configs.clone());
     assert_eq!(bucketed_out, reference, "bucketed filter must match the seed reference");
+    bucketed.report = probe_report(Engine::sequential(), |e| {
+        let _ = e.dominance_filter(configs.clone());
+    });
     entries.push(bucketed);
+
+    // 6. The serving layer: the content-addressed store's round-trip
+    // cost, and the daemon's cold-vs-warm latency on an autolb query
+    // (byte identity against the in-process engine asserted inside).
+    entries.push(store_roundtrip_entry(opts.quick));
+    entries.push(service_cold_vs_warm_entry(threads, opts.quick));
 
     let baseline = Baseline { quick: opts.quick, threads, entries };
     println!("\n[BENCH_relim] parallel engine baseline (1 vs {} threads):", threads);

@@ -192,18 +192,6 @@ pub fn verify_sweep(delta: u32, engine: &relim_core::Engine) -> Result<Vec<Lemma
     engine.try_map_owned(family::sweep_points(delta), verify)
 }
 
-/// [`verify_sweep`] over an ad-hoc pool width.
-///
-/// # Errors
-///
-/// Propagates engine errors (from the earliest failing point).
-#[deprecated(
-    note = "construct a relim_core::engine::Engine session and call verify_sweep(delta, &engine)"
-)]
-pub fn verify_sweep_with(delta: u32, pool: &relim_core::Pool) -> Result<Vec<Lemma6Report>> {
-    verify_sweep(delta, &relim_core::Engine::builder().threads(pool.threads()).build())
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

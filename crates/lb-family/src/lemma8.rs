@@ -29,7 +29,7 @@ use relim_core::error::{RelimError, Result};
 use relim_core::matching::assign_positions;
 use relim_core::relax;
 use relim_core::roundelim::Step;
-use relim_core::{Config, Engine, Label, LabelSet, Line, Pool, Problem};
+use relim_core::{Config, Engine, Label, LabelSet, Line, Problem};
 
 /// The six "super-labels" of `Π_rel`, as right-closed sets of `R(Π)` labels,
 /// ordered to coincide with the `Π⁺` alphabet `[M, P, O, A, X, C]`.
@@ -179,18 +179,6 @@ impl Lemma8Machinery {
         Ok(Lemma8Machinery { params: *params, r, rr, rel_lines })
     }
 
-    /// [`Lemma8Machinery::compute`] over an ad-hoc pool width.
-    ///
-    /// # Errors
-    ///
-    /// Same as [`Lemma8Machinery::compute`].
-    #[deprecated(
-        note = "construct a relim_core::engine::Engine session and call compute(params, &engine)"
-    )]
-    pub fn compute_with(params: &PiParams, pool: &Pool) -> Result<Self> {
-        Self::compute(params, &Engine::builder().threads(pool.threads()).build())
-    }
-
     /// The problem `R̄(R(Π))`.
     pub fn pi_pp(&self) -> &Problem {
         &self.rr.problem
@@ -335,18 +323,6 @@ pub fn verify_sweep(delta: u32, engine: &Engine) -> Result<Vec<Lemma8Report>> {
     })
 }
 
-/// [`verify_sweep`] over an ad-hoc pool width.
-///
-/// # Errors
-///
-/// Propagates engine errors (from the earliest failing point).
-#[deprecated(
-    note = "construct a relim_core::engine::Engine session and call verify_sweep(delta, &engine)"
-)]
-pub fn verify_sweep_with(delta: u32, pool: &Pool) -> Result<Vec<Lemma8Report>> {
-    verify_sweep(delta, &Engine::builder().threads(pool.threads()).build())
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -391,18 +367,6 @@ mod tests {
             let render = |rs: &[Lemma8Report]| format!("{rs:?}");
             assert_eq!(render(&par), render(&seq), "threads = {threads}");
         }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_pool_wrappers_match_the_session_path() {
-        let seq = verify_sweep(4, &Engine::sequential()).unwrap();
-        let compat = verify_sweep_with(4, &Pool::new(2)).unwrap();
-        assert_eq!(format!("{compat:?}"), format!("{seq:?}"));
-        let params = PiParams { delta: 3, a: 2, x: 0 };
-        let a = Lemma8Machinery::compute(&params, &Engine::sequential()).unwrap();
-        let b = Lemma8Machinery::compute_with(&params, &Pool::sequential()).unwrap();
-        assert_eq!(a.rr.problem.render(), b.rr.problem.render());
     }
 
     #[test]

@@ -20,7 +20,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use relim_core::zeroround;
-use relim_core::{Config, Engine, Label, Pool, Problem};
+use relim_core::{Config, Engine, Label, Problem};
 
 /// Trials per RNG chunk (the unit of parallel sharding).
 pub const CHUNK_TRIALS: u64 = 4096;
@@ -61,13 +61,6 @@ pub fn simulate_uniform(problem: &Problem, trials: u64, seed: u64, engine: &Engi
     simulate(problem, trials, seed, engine, FailureEvent::SinglePort)
 }
 
-/// [`simulate_uniform`] over an ad-hoc pool width.
-#[deprecated(note = "construct a relim_core::engine::Engine session and call \
-            simulate_uniform(problem, trials, seed, &engine)")]
-pub fn simulate_uniform_with(problem: &Problem, trials: u64, seed: u64, pool: &Pool) -> McOutcome {
-    simulate_uniform(problem, trials, seed, &engine_of(pool))
-}
-
 /// Like [`simulate_uniform`] but counts an edge as failed if *any* of the Δ
 /// identified ports receives an incompatible pair — the actual per-edge
 /// failure event of the gadget (all Δ ports are shared between the two
@@ -79,23 +72,6 @@ pub fn simulate_uniform_any_port(
     engine: &Engine,
 ) -> McOutcome {
     simulate(problem, trials, seed, engine, FailureEvent::AnyPort)
-}
-
-/// [`simulate_uniform_any_port`] over an ad-hoc pool width.
-#[deprecated(note = "construct a relim_core::engine::Engine session and call \
-            simulate_uniform_any_port(problem, trials, seed, &engine)")]
-pub fn simulate_uniform_any_port_with(
-    problem: &Problem,
-    trials: u64,
-    seed: u64,
-    pool: &Pool,
-) -> McOutcome {
-    simulate_uniform_any_port(problem, trials, seed, &engine_of(pool))
-}
-
-/// A session matching a legacy pool width (for the deprecated wrappers).
-fn engine_of(pool: &Pool) -> Engine {
-    Engine::builder().threads(pool.threads()).build()
 }
 
 fn simulate(
@@ -207,23 +183,18 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // also pins the pool-taking compatibility wrappers
     fn sharded_chunks_match_sequential_exactly() {
         let p = family::mis(3).unwrap();
         // Cover >1 chunk and a short tail chunk.
         let trials = 2 * CHUNK_TRIALS + 513;
         let seq = simulate_uniform(&p, trials, 42, &sequential());
+        let seq_any = simulate_uniform_any_port(&p, trials, 42, &sequential());
         for threads in [2, 8] {
             let engine = Engine::builder().threads(threads).build();
             let par = simulate_uniform(&p, trials, 42, &engine);
             assert_eq!(par.failures, seq.failures, "threads = {threads}");
-            let compat = simulate_uniform_with(&p, trials, 42, &Pool::new(threads));
-            assert_eq!(compat.failures, seq.failures, "wrapper, threads = {threads}");
             let par_any = simulate_uniform_any_port(&p, trials, 42, &engine);
-            let seq_any = simulate_uniform_any_port(&p, trials, 42, &sequential());
             assert_eq!(par_any.failures, seq_any.failures, "threads = {threads}");
-            let compat_any = simulate_uniform_any_port_with(&p, trials, 42, &Pool::new(threads));
-            assert_eq!(compat_any.failures, seq_any.failures, "wrapper, threads = {threads}");
         }
     }
 }

@@ -47,6 +47,12 @@ const VALUE_KEYS: &[&str] = &[
     "criterion",
     "threads",
     "lemma",
+    "addr",
+    "store",
+    "store-capacity",
+    "aging-limit",
+    "op",
+    "priority",
 ];
 
 impl Args {
@@ -136,9 +142,10 @@ impl Args {
 
 /// Normalizes a constraint argument: `;` and literal `\n` both separate
 /// configuration lines, so shells without multi-line strings work too.
-pub fn constraint_text(raw: &str) -> String {
-    raw.replace("\\n", "\n").replace(';', "\n")
-}
+/// Re-exported from the serving layer's canonical implementation — the
+/// CLI/daemon byte-identity contract depends on both sides normalizing
+/// identically, so there is exactly one copy.
+pub use relim_service::ops::constraint_text;
 
 #[cfg(test)]
 mod tests {

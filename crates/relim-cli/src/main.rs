@@ -11,11 +11,20 @@
 //! relim [--threads T] sweep       --delta D [--lemma 6|8]
 //! relim [--threads T] chain       --delta D [--k K] [--exact]
 //! relim [--threads T] bounds      --n N --delta D [--k K]
+//! relim [--threads T] serve       [--addr A] [--store DIR] [--store-capacity N] [--aging-limit N]
+//! relim submit      [--addr A] --op OP <op options> [--priority interactive|bulk]
+//! relim status      [--addr A]
+//! relim shutdown    [--addr A]
 //! relim help
 //! ```
 //!
 //! Constraint strings use the engine's text format; `;` or a literal `\n`
 //! separates configuration lines.
+//!
+//! The `autolb`, `autoub`, `fixed-point`, `zeroround` and `sweep`
+//! subcommands render through `relim_service::ops` — the same functions
+//! the `relim serve` daemon uses — so a served result is byte-identical
+//! to the local run of the same query.
 //!
 //! `--threads T` is a **global** flag (valid before or after the
 //! subcommand): one round-elimination [`Engine`] session is built from it
@@ -33,7 +42,11 @@ use lb_family::family::{self, PiParams};
 use lb_family::{bounds, lemma6, lemma8, sequence};
 use relim_core::diagram::StrengthOrder;
 use relim_core::engine::parse_threads;
-use relim_core::{autolb, autoub, condense, zeroround, Engine, Problem};
+use relim_core::{condense, zeroround, Engine, Problem};
+use relim_service::ops::{Criterion, OpRequest};
+use relim_service::queue::Class;
+use relim_service::server::{Server, ServerConfig};
+use relim_service::Client;
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -54,6 +67,17 @@ fn run(raw: Vec<String>) -> Result<String, Box<dyn std::error::Error>> {
         Some("help") | None => return Ok(usage()),
         Some(command) => command,
     };
+    // The service subcommands do not compute in this process: the
+    // clients talk to a daemon, and `serve` hands the (resolved) thread
+    // count to the daemon's own engine — so no CLI engine session is
+    // built for any of them.
+    match command {
+        "serve" => return cmd_serve(&args),
+        "submit" => return cmd_submit(&args),
+        "status" => return cmd_status(&args),
+        "shutdown" => return cmd_shutdown(&args),
+        _ => {}
+    }
     // One session per invocation: every subcommand below shares its pool
     // handle and sub-multiset index cache.
     let engine = engine_from(&args)?;
@@ -95,13 +119,27 @@ USAGE: relim [--threads T] <command> ...
   relim sweep       --delta D [--lemma 6|8]
   relim chain       --delta D [--k K] [--exact]
   relim bounds      --n N --delta D [--k K]
+  relim serve       [--addr A] [--store DIR] [--store-capacity N] [--aging-limit N]
+  relim submit      [--addr A] --op autolb|autoub|iterate|sweep|zero-round
+                    <op options> [--priority interactive|bulk]
+  relim status      [--addr A]
+  relim shutdown    [--addr A]
 
 Constraints use the text format: one condensed configuration per line
 (`;` or literal \\n separate lines), e.g. --node 'M M M;P O O'
 --edge 'M [P O];O O'. `--threads T` is a global flag (before or after
 the subcommand; also: RELIM_THREADS — setting both to different values
 is an error): one engine session sized from it runs the whole
-invocation, and output is byte-identical at any thread count."
+invocation, and output is byte-identical at any thread count.
+
+`serve` runs the relim-service daemon (JSON-lines over TCP, default
+addr 127.0.0.1:7341): jobs are scheduled interactive-before-bulk with
+aging, results are memoized in a content-addressed store (persistent
+when --store DIR is given — restarts serve cached certificates
+instantly), and every served result is byte-identical to the same query
+run locally. `submit` sends one query and prints the result on stdout
+(cached/digest metadata goes to stderr); `status` prints the daemon
+counters; `shutdown` asks the daemon to drain its queue and exit."
         .to_owned()
 }
 
@@ -112,13 +150,19 @@ invocation, and output is byte-identical at any thread count."
 /// variable to different values is rejected instead of silently
 /// preferring the flag.
 fn engine_from(args: &Args) -> Result<Engine, Box<dyn std::error::Error>> {
+    Ok(Engine::builder().threads(threads_from(args)?).build())
+}
+
+/// The resolved pool width of this invocation (`0` = available
+/// parallelism) without building an engine — `serve` passes it to the
+/// daemon's own session instead of constructing an idle CLI pool.
+fn threads_from(args: &Args) -> Result<usize, Box<dyn std::error::Error>> {
     let env = match std::env::var("RELIM_THREADS") {
         Ok(raw) => Some(raw),
         Err(std::env::VarError::NotPresent) => None,
         Err(std::env::VarError::NotUnicode(raw)) => Some(raw.to_string_lossy().into_owned()),
     };
-    let threads = resolve_threads(args.get_u64_opt("threads")?, env.as_deref())?;
-    Ok(Engine::builder().threads(threads).build())
+    Ok(resolve_threads(args.get_u64_opt("threads")?, env.as_deref())?)
 }
 
 /// The pure flag-vs-environment resolution behind [`engine_from`]:
@@ -226,31 +270,13 @@ fn cmd_diagram(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
 }
 
 fn cmd_zeroround(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
-    let p = load_problem(args)?;
-    let report = zeroround::analyze(&p);
-    let mut out = format!(
-        "deterministically 0-round solvable on the identified-ports gadget: {}\n",
-        report.deterministically_solvable
-    );
-    match &report.witness {
-        Some(w) => out.push_str(&format!("witness configuration: {}\n", w.display(p.alphabet()))),
-        None => {
-            out.push_str("per-configuration self-incompatible labels:\n");
-            for (cfg, bad) in &report.bad_labels {
-                let bad = bad.expect("no witness, so every configuration has one");
-                out.push_str(&format!(
-                    "  {}  ⇒  {} is not self-compatible\n",
-                    cfg.display(p.alphabet()),
-                    p.alphabet().name(bad)
-                ));
-            }
-            out.push_str(&format!(
-                "randomized failure probability ≥ {:.3e} (Lemma 15-style bound)\n",
-                report.randomized_failure_lower_bound
-            ));
-        }
-    }
-    Ok(out.trim_end().to_owned())
+    // Rendered by the serving layer's canonical op, so `relim zeroround`
+    // and a served `zero-round` query return the same bytes.
+    let op = OpRequest::ZeroRound {
+        node: constraint_text(args.require("node")?),
+        edge: constraint_text(args.require("edge")?),
+    };
+    Ok(op.execute(&Engine::sequential())?)
 }
 
 fn cmd_trivial(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
@@ -286,110 +312,36 @@ fn cmd_trivial(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
 }
 
 fn cmd_autolb(args: &Args, engine: &Engine) -> Result<String, Box<dyn std::error::Error>> {
-    let p = load_problem(args)?;
-    let triviality = match args.get("criterion").unwrap_or("gadget") {
-        "gadget" => autolb::Triviality::GadgetEdgeColoring,
-        "universal" => autolb::Triviality::Universal,
-        other => {
-            return Err(Box::new(ArgError(format!(
-                "--criterion must be gadget|universal, got {other}"
-            ))))
-        }
-    };
-    let opts = autolb::AutoLbOptions {
+    let op = OpRequest::AutoLb {
+        node: constraint_text(args.require("node")?),
+        edge: constraint_text(args.require("edge")?),
         max_steps: args.get_u64("max-steps", 6)? as usize,
-        label_budget: args.get_u64("labels", 6)? as usize,
-        triviality,
+        labels: args.get_u64("labels", 6)? as usize,
+        criterion: Criterion::parse(args.get("criterion").unwrap_or("gadget"))
+            .map_err(|e| ArgError(format!("--{e}")))?,
     };
-    let outcome = engine.auto_lower_bound(&p, &opts);
-    let mut out = String::new();
-    for (i, step) in outcome.steps.iter().enumerate() {
-        out.push_str(&format!(
-            "step {}: |Σ| {} -> {}",
-            i + 1,
-            step.raw.alphabet().len(),
-            step.problem.alphabet().len()
-        ));
-        if !step.merges.is_empty() {
-            let merges: Vec<String> =
-                step.merges.iter().map(|(f, t)| format!("{f}->{t}")).collect();
-            out.push_str(&format!("  merges: {}", merges.join(", ")));
-        }
-        out.push('\n');
-    }
-    out.push_str(&format!("stopped: {:?}\n", outcome.stopped));
-    if outcome.unbounded() {
-        out.push_str(
-            "FIXED POINT: unbounded PN lower bound (⇒ Ω(log n) det / Ω(log log n) rand LOCAL)\n",
-        );
-    }
-    out.push_str(&format!(
-        "certified lower bound: {} rounds ({})\n",
-        outcome.certified_rounds,
-        match triviality {
-            autolb::Triviality::GadgetEdgeColoring => "holds even given a Δ-edge coloring",
-            autolb::Triviality::Universal => "bare PN model",
-        }
-    ));
-    let replay = autolb::verify_chain(&outcome)?;
-    out.push_str(&format!("certificate replay: OK ({replay} rounds)"));
-    Ok(out)
+    Ok(op.execute(engine)?)
 }
 
 fn cmd_autoub(args: &Args, engine: &Engine) -> Result<String, Box<dyn std::error::Error>> {
-    let p = load_problem(args)?;
-    let opts = autoub::AutoUbOptions {
+    let op = OpRequest::AutoUb {
+        node: constraint_text(args.require("node")?),
+        edge: constraint_text(args.require("edge")?),
         max_steps: args.get_u64("max-steps", 6)? as usize,
-        label_budget: args.get_u64("labels", 10)? as usize,
+        labels: args.get_u64("labels", 10)? as usize,
         coloring: args.get_u64_opt("coloring")?.map(|c| c as usize),
     };
-    let outcome = engine.auto_upper_bound(&p, &opts);
-    let mut out = String::new();
-    for (i, step) in outcome.steps.iter().enumerate() {
-        out.push_str(&format!(
-            "step {}: |Σ| {} -> {}",
-            i + 1,
-            step.raw.alphabet().len(),
-            step.problem.alphabet().len()
-        ));
-        if !step.removals.is_empty() {
-            out.push_str(&format!("  removed: {}", step.removals.join(", ")));
-        }
-        out.push('\n');
-    }
-    match (&outcome.bound, &outcome.failure) {
-        (Some(b), _) => {
-            let kind = match &b.kind {
-                autoub::UbKind::Pn => "bare PN model".to_owned(),
-                autoub::UbKind::EdgeColoring => "given a Δ-edge coloring".to_owned(),
-                autoub::UbKind::VertexColoring { colors } => {
-                    format!("given a proper {colors}-vertex coloring (+O(log* n) in LOCAL)")
-                }
-            };
-            out.push_str(&format!("upper bound: {} rounds ({kind})\n", b.rounds));
-        }
-        (None, Some(f)) => out.push_str(&format!("no upper bound found: {f:?}\n")),
-        (None, None) => unreachable!("outcome carries a bound or a failure"),
-    }
-    let replay = autoub::verify_ub(&outcome)?;
-    out.push_str(&format!("certificate replay: OK ({replay:?})"));
-    Ok(out)
+    Ok(op.execute(engine)?)
 }
 
 fn cmd_fixed_point(args: &Args, engine: &Engine) -> Result<String, Box<dyn std::error::Error>> {
-    let p = load_problem(args)?;
-    let max_steps = args.get_u64("max-steps", 5)? as usize;
-    let label_limit = args.get_u64("label-limit", 16)? as usize;
-    let outcome = engine.iterate_with_limits(&p, max_steps, label_limit);
-    let mut out = String::from("step  labels  |N|     |E|\n");
-    for s in &outcome.stats {
-        out.push_str(&format!(
-            "{:<5} {:<7} {:<7} {:<7}\n",
-            s.step, s.labels, s.node_configs, s.edge_configs
-        ));
-    }
-    out.push_str(&format!("stopped: {:?}", outcome.stopped));
-    Ok(out)
+    let op = OpRequest::Iterate {
+        node: constraint_text(args.require("node")?),
+        edge: constraint_text(args.require("edge")?),
+        max_steps: args.get_u64("max-steps", 5)? as usize,
+        label_limit: args.get_u64("label-limit", 16)? as usize,
+    };
+    Ok(op.execute(engine)?)
 }
 
 fn params_from(args: &Args) -> Result<PiParams, Box<dyn std::error::Error>> {
@@ -440,53 +392,24 @@ fn cmd_lemma8(args: &Args, engine: &Engine) -> Result<String, Box<dyn std::error
 }
 
 fn cmd_sweep(args: &Args, engine: &Engine) -> Result<String, Box<dyn std::error::Error>> {
-    let delta = args.require_u64("delta")? as u32;
-    let lemma = args.get_u64("lemma", 8)?;
-    let mut out = String::new();
-    match lemma {
-        6 => {
-            out.push_str(&format!(
-                "Lemma 6 sweep at Δ={delta} ({} threads):\n{:>3} {:>3} {:>14} {:>10}\n",
-                engine.threads(),
-                "a",
-                "x",
-                "|N(R(Π))|",
-                "verdict"
-            ));
-            for r in lemma6::verify_sweep(delta, engine)? {
-                out.push_str(&format!(
-                    "{:>3} {:>3} {:>14} {:>10}\n",
-                    r.params.a,
-                    r.params.x,
-                    r.node_config_count,
-                    if r.matches_paper() { "VERIFIED" } else { "MISMATCH" }
-                ));
-            }
-        }
-        8 => {
-            out.push_str(&format!(
-                "Lemma 8 sweep at Δ={delta} ({} threads):\n{:>3} {:>3} {:>7} {:>7} {:>10}\n",
-                engine.threads(),
-                "a",
-                "x",
-                "|Σ''|",
-                "|N''|",
-                "verdict"
-            ));
-            for r in lemma8::verify_sweep(delta, engine)? {
-                out.push_str(&format!(
-                    "{:>3} {:>3} {:>7} {:>7} {:>10}\n",
-                    r.params.a,
-                    r.params.x,
-                    r.rr_label_count,
-                    r.rr_node_config_count,
-                    if r.matches_paper() { "VERIFIED" } else { "MISMATCH" }
-                ));
-            }
-        }
-        other => return Err(Box::new(ArgError(format!("--lemma must be 6|8, got {other}")))),
-    }
-    Ok(out.trim_end().to_owned())
+    // The canonical (service-shared) sweep rendering deliberately omits
+    // the thread count: served bytes must not depend on the daemon's
+    // pool width, and the local output matches the served output.
+    let op =
+        OpRequest::Sweep { delta: require_u32(args, "delta")?, lemma: get_u32(args, "lemma", 8)? };
+    Ok(op.execute(engine)?)
+}
+
+/// A required option that must fit in `u32` (oversized values error
+/// instead of wrapping into some accidentally-valid parameter).
+fn require_u32(args: &Args, key: &str) -> Result<u32, ArgError> {
+    u32::try_from(args.require_u64(key)?).map_err(|_| ArgError(format!("--{key} is out of range")))
+}
+
+/// A defaulted option that must fit in `u32`.
+fn get_u32(args: &Args, key: &str, default: u64) -> Result<u32, ArgError> {
+    u32::try_from(args.get_u64(key, default)?)
+        .map_err(|_| ArgError(format!("--{key} is out of range")))
 }
 
 fn cmd_chain(args: &Args, engine: &Engine) -> Result<String, Box<dyn std::error::Error>> {
@@ -531,6 +454,114 @@ fn cmd_bounds(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
         bounds::theorem1_det(n, delta, k),
         bounds::theorem1_rand(n, delta, k),
     ))
+}
+
+/// The default daemon address of `serve` / `submit` / `status` /
+/// `shutdown`.
+const DEFAULT_ADDR: &str = "127.0.0.1:7341";
+
+fn cmd_serve(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
+    let addr = args.get("addr").unwrap_or(DEFAULT_ADDR);
+    let threads = threads_from(args)?;
+    let config = ServerConfig {
+        threads,
+        store_dir: args.get("store").map(std::path::PathBuf::from),
+        store_capacity: args.get_u64("store-capacity", 1024)? as usize,
+        aging_limit: get_u32(
+            args,
+            "aging-limit",
+            u64::from(relim_service::queue::DEFAULT_AGING_LIMIT),
+        )?,
+    };
+    let store_desc = match &config.store_dir {
+        Some(dir) => format!("persistent at {}", dir.display()),
+        None => "in-memory".to_owned(),
+    };
+    let handle = Server::spawn(addr, config)?;
+    // Announce readiness immediately (scripts poll `relim status`, but a
+    // human watching the terminal wants the bound address).
+    println!(
+        "relim-service listening on {} (store: {store_desc}, engine threads: {})",
+        handle.local_addr(),
+        if threads == 0 { Engine::available_parallelism() } else { threads }
+    );
+    use std::io::Write as _;
+    std::io::stdout().flush()?;
+    let counters = handle.join_and_report();
+    Ok(format!(
+        "relim-service shut down gracefully; final counters:\n{}",
+        counters.render().trim_end()
+    ))
+}
+
+fn cmd_submit(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
+    let client = Client::new(args.get("addr").unwrap_or(DEFAULT_ADDR));
+    let obj = op_from_args(args)?;
+    let class = match args.get("priority") {
+        None => None,
+        Some(p) => Some(Class::parse(p).map_err(ArgError)?),
+    };
+    let reply = client.submit(&obj, class)?;
+    // Metadata on stderr so stdout carries exactly the result bytes —
+    // scripts can diff two submissions directly.
+    eprintln!("cached={} digest={}", reply.cached, reply.digest);
+    Ok(reply.result)
+}
+
+/// Builds the operation of a `submit` invocation from `--op` plus the
+/// same option names the local subcommands use.
+fn op_from_args(args: &Args) -> Result<OpRequest, Box<dyn std::error::Error>> {
+    let op = args.require("op")?;
+    let node = || args.require("node").map(constraint_text);
+    let edge = || args.require("edge").map(constraint_text);
+    let built = match op {
+        "autolb" => OpRequest::AutoLb {
+            node: node()?,
+            edge: edge()?,
+            max_steps: args.get_u64("max-steps", 6)? as usize,
+            labels: args.get_u64("labels", 6)? as usize,
+            criterion: Criterion::parse(args.get("criterion").unwrap_or("gadget"))
+                .map_err(|e| ArgError(format!("--{e}")))?,
+        },
+        "autoub" => OpRequest::AutoUb {
+            node: node()?,
+            edge: edge()?,
+            max_steps: args.get_u64("max-steps", 6)? as usize,
+            labels: args.get_u64("labels", 10)? as usize,
+            coloring: args.get_u64_opt("coloring")?.map(|c| c as usize),
+        },
+        "iterate" | "fixed-point" => OpRequest::Iterate {
+            node: node()?,
+            edge: edge()?,
+            max_steps: args.get_u64("max-steps", 5)? as usize,
+            label_limit: args.get_u64("label-limit", 16)? as usize,
+        },
+        "sweep" => OpRequest::Sweep {
+            delta: require_u32(args, "delta")?,
+            lemma: get_u32(args, "lemma", 8)?,
+        },
+        "zero-round" | "zeroround" => OpRequest::ZeroRound { node: node()?, edge: edge()? },
+        other => {
+            return Err(Box::new(ArgError(format!(
+                "--op must be autolb|autoub|iterate|sweep|zero-round, got `{other}`"
+            ))))
+        }
+    };
+    built.validate()?;
+    Ok(built)
+}
+
+fn cmd_status(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
+    let client = Client::new(args.get("addr").unwrap_or(DEFAULT_ADDR));
+    let counters = client.status()?;
+    Ok(counters.render().trim_end().to_owned())
+}
+
+fn cmd_shutdown(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
+    let addr = args.get("addr").unwrap_or(DEFAULT_ADDR).to_owned();
+    let client = Client::new(&*addr);
+    client.shutdown()?;
+    Ok(format!("shutdown acknowledged by {addr} (queue drains, then the daemon exits)"))
 }
 
 #[cfg(test)]
@@ -595,17 +626,16 @@ mod tests {
 
     #[test]
     fn sweep_subcommand() {
-        // Thread counts must not change the output bytes (the sweep runs
-        // at whatever width the ambient environment permits).
+        // Thread counts must not change the output bytes — since the
+        // service-shared rendering, not even in the header (the sweep
+        // runs at whatever width the ambient environment permits).
         let t = threads_value("1");
         let one = run_words(&["sweep", "--delta", "4", "--threads", &t]);
-        assert!(one.contains(&format!("Lemma 8 sweep at Δ=4 ({t} threads)")), "{one}");
+        assert!(one.contains("Lemma 8 sweep at Δ=4:"), "{one}");
+        assert!(!one.contains("threads"), "{one}");
         assert!(one.contains("VERIFIED"), "{one}");
         let plain = run_words(&["sweep", "--delta", "4"]);
-        assert_eq!(
-            one.lines().skip(1).collect::<Vec<_>>(),
-            plain.lines().skip(1).collect::<Vec<_>>()
-        );
+        assert_eq!(one, plain, "pool width must not appear in any output byte");
         let l6 = run_words(&["sweep", "--delta", "5", "--lemma", "6"]);
         assert!(l6.contains("Lemma 6 sweep"), "{l6}");
         assert!(!l6.contains("MISMATCH"), "{l6}");
@@ -718,6 +748,50 @@ mod tests {
         let out = run_words(&["bistep", "--black", "O I I", "--white", "[O I] I I"]);
         assert!(out.contains("(3, 3)"), "{out}");
         assert!(out.contains("trivial for black nodes: false"), "{out}");
+    }
+
+    #[test]
+    fn submit_round_trips_against_an_in_process_daemon() {
+        // Spawn the daemon in-process on an ephemeral port; `submit`
+        // must return the exact bytes of the local subcommand, and the
+        // second ask must be a store hit with identical bytes.
+        let handle = Server::spawn("127.0.0.1:0", ServerConfig::default()).unwrap();
+        let addr = handle.local_addr().to_string();
+        let local = run_words(&["autolb", "--node", "O I I", "--edge", "[O I] I"]);
+        let words =
+            ["submit", "--addr", &addr, "--op", "autolb", "--node", "O I I", "--edge", "[O I] I"];
+        let served = run_words(&words);
+        assert_eq!(served, local, "served bytes must equal the local run");
+        let again = run_words(&words);
+        assert_eq!(again, local);
+
+        let status = run_words(&["status", "--addr", &addr]);
+        assert!(status.contains("\"mem_hits\": 1"), "{status}");
+        assert!(status.contains("\"autolb\": 2"), "{status}");
+
+        let bye = run_words(&["shutdown", "--addr", &addr]);
+        assert!(bye.contains("shutdown acknowledged"), "{bye}");
+        handle.join();
+    }
+
+    #[test]
+    fn submit_validates_op_and_reports_connection_failures() {
+        let err = run(vec!["submit".into(), "--op".into(), "bogus".into()]).unwrap_err();
+        assert!(err.to_string().contains("--op must be"), "{err}");
+        // Nothing listens on this port: a clean error, not a hang.
+        let err = run(vec![
+            "submit".into(),
+            "--addr".into(),
+            "127.0.0.1:1".into(),
+            "--op".into(),
+            "zero-round".into(),
+            "--node".into(),
+            "A A".into(),
+            "--edge".into(),
+            "A A".into(),
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("cannot connect"), "{err}");
     }
 
     #[test]

@@ -80,7 +80,7 @@ impl Triviality {
     }
 }
 
-/// Options for [`auto_lower_bound`].
+/// Options for [`crate::engine::Engine::auto_lower_bound`].
 #[derive(Debug, Clone)]
 pub struct AutoLbOptions {
     /// Maximum number of `R̄(R(·))` steps to take.
@@ -111,7 +111,7 @@ pub struct ChainStep {
     pub problem: Problem,
 }
 
-/// Why [`auto_lower_bound`] stopped.
+/// Why [`crate::engine::Engine::auto_lower_bound`] stopped.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AutoLbStop {
     /// The input problem is already 0-round solvable: no bound.
@@ -160,20 +160,6 @@ impl AutoLbOutcome {
     pub fn unbounded(&self) -> bool {
         self.stopped == AutoLbStop::FixedPoint
     }
-}
-
-/// Runs the automatic lower-bound search from `p`.
-///
-/// Each `R̄(R(·))` step rebuilds its engine state from scratch; prefer
-/// [`crate::engine::Engine::auto_lower_bound`], which shares one
-/// sub-multiset index cache across the whole merge search (byte-identical
-/// outcome).
-#[deprecated(
-    note = "construct a relim_core::engine::Engine session and call Engine::auto_lower_bound \
-            — the session shares one SubIndexCache across the merge search"
-)]
-pub fn auto_lower_bound(p: &Problem, opts: &AutoLbOptions) -> AutoLbOutcome {
-    crate::engine::Engine::sequential().auto_lower_bound(p, opts)
 }
 
 /// The search loop behind [`crate::engine::Engine::auto_lower_bound`],

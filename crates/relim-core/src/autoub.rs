@@ -38,7 +38,7 @@ use crate::roundelim::{rr_step, Step};
 use crate::simplify;
 use crate::zeroround;
 
-/// Options for [`auto_upper_bound`].
+/// Options for [`crate::engine::Engine::auto_upper_bound`].
 #[derive(Debug, Clone)]
 pub struct AutoUbOptions {
     /// Maximum number of `R̄(R(·))` steps.
@@ -94,7 +94,7 @@ pub struct UbStep {
     pub problem: Problem,
 }
 
-/// Why [`auto_upper_bound`] gave up, when it did.
+/// Why [`crate::engine::Engine::auto_upper_bound`] gave up, when it did.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum UbFailure {
     /// The step budget ran out before any endpoint fired.
@@ -145,31 +145,6 @@ fn endpoint(p: &Problem, rounds: usize, coloring: Option<usize>) -> Option<Upper
         }
     }
     None
-}
-
-/// Runs the automatic upper-bound search from `p`.
-///
-/// Each `R̄(R(·))` step rebuilds its engine state from scratch; prefer
-/// [`crate::engine::Engine::auto_upper_bound`], which serves every step
-/// from the session cache (byte-identical outcome):
-///
-/// ```
-/// use relim_core::engine::Engine;
-/// use relim_core::{autoub, Problem};
-///
-/// // Proper 2-coloring is 0-round solvable given a 2-coloring input.
-/// let two_col = Problem::from_text("A A A\nB B B", "A B").unwrap();
-/// let opts = autoub::AutoUbOptions { coloring: Some(2), ..Default::default() };
-/// let outcome = Engine::sequential().auto_upper_bound(&two_col, &opts);
-/// assert!(autoub::verify_ub(&outcome).is_ok());
-/// let bound = outcome.bound.expect("found");
-/// assert_eq!(bound.rounds, 0);
-/// ```
-#[deprecated(
-    note = "construct a relim_core::engine::Engine session and call Engine::auto_upper_bound"
-)]
-pub fn auto_upper_bound(p: &Problem, opts: &AutoUbOptions) -> AutoUbOutcome {
-    crate::engine::Engine::sequential().auto_upper_bound(p, opts)
 }
 
 /// The search loop behind [`crate::engine::Engine::auto_upper_bound`],

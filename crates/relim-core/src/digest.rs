@@ -1,0 +1,162 @@
+//! Canonical content digests for constraints and problems.
+//!
+//! The serving layer (`relim-service`) memoizes round-elimination results
+//! in a *content-addressed* store: the cache key is a digest of the exact
+//! problem text plus the operation and its parameters. That only works if
+//! equal values always produce equal bytes to digest — which this module
+//! guarantees by digesting **canonical encodings**:
+//!
+//! * a [`Constraint`] is encoded from its sorted configuration set (the
+//!   `BTreeSet` iteration order), so two constraints that compare equal
+//!   encode — and digest — identically, independent of construction
+//!   order;
+//! * a [`Problem`] digests its [`Problem::render`] text, which includes
+//!   the alphabet names (two problems that differ only in label names
+//!   serve differently-rendered results, so they must key differently).
+//!
+//! The digest itself is a 128-bit FNV-1a variant (two independent 64-bit
+//! FNV-1a streams over the same bytes, differing in their offset basis),
+//! rendered as 32 lowercase hex characters. It is **not**
+//! collision-resistant against adversaries — the store therefore verifies
+//! the full key text on every hit (see `relim-service`) — but it is
+//! deterministic across platforms, dependency-free, and wide enough that
+//! accidental collisions are never the common case.
+
+use crate::constraint::Constraint;
+use crate::problem::Problem;
+
+/// FNV-1a 64-bit offset basis (the standard one).
+const OFFSET_A: u64 = 0xcbf2_9ce4_8422_2325;
+/// A second, independent offset basis for the high half of the digest
+/// (the standard basis XOR a fixed pattern, so the two streams never
+/// coincide).
+const OFFSET_B: u64 = OFFSET_A ^ 0x5851_f42d_4c95_7f2d;
+/// FNV 64-bit prime.
+const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Digests arbitrary bytes to 32 lowercase hex characters (128 bits:
+/// two independent FNV-1a 64 streams).
+///
+/// ```
+/// use relim_core::digest::fnv1a128_hex;
+///
+/// let d = fnv1a128_hex(b"relim");
+/// assert_eq!(d.len(), 32);
+/// assert_eq!(d, fnv1a128_hex(b"relim"), "deterministic");
+/// assert_ne!(d, fnv1a128_hex(b"relim "), "content-sensitive");
+/// ```
+pub fn fnv1a128_hex(bytes: &[u8]) -> String {
+    let mut a = OFFSET_A;
+    let mut b = OFFSET_B;
+    for &byte in bytes {
+        a = (a ^ u64::from(byte)).wrapping_mul(PRIME);
+        b = (b ^ u64::from(byte)).wrapping_mul(PRIME);
+    }
+    format!("{a:016x}{b:016x}")
+}
+
+impl Constraint {
+    /// The canonical byte encoding this constraint digests: the degree,
+    /// then every configuration in sorted order as its label indices,
+    /// with unambiguous separators (label bytes are < 0xFE by
+    /// construction — alphabets hold at most 26 labels).
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + self.len() * (self.degree() as usize + 1));
+        out.extend_from_slice(&self.degree().to_le_bytes());
+        for cfg in self.iter() {
+            for &label in cfg.as_slice() {
+                out.push(label.raw());
+            }
+            out.push(0xFF);
+        }
+        out
+    }
+
+    /// The canonical content digest of this constraint (32 hex chars).
+    /// Equal constraints digest equally regardless of how they were
+    /// built; the encoding is name-free (labels are indices).
+    ///
+    /// The encoding works on label *indices*, so it is only meaningful
+    /// to compare constraints over one alphabet (the text parser infers
+    /// the alphabet from first appearance — reordering the node text
+    /// renumbers every label).
+    ///
+    /// ```
+    /// use relim_core::Problem;
+    ///
+    /// let mis = Problem::from_text("M M M\nP O O", "M [P O]\nO O").unwrap();
+    /// // Same alphabet (node text unchanged), edge lines reordered:
+    /// let again = Problem::from_text("M M M\nP O O", "O O\nM [P O]").unwrap();
+    /// assert_eq!(
+    ///     mis.edge().canonical_digest(),
+    ///     again.edge().canonical_digest(),
+    ///     "configuration order does not matter",
+    /// );
+    /// assert_ne!(mis.node().canonical_digest(), mis.edge().canonical_digest());
+    /// ```
+    pub fn canonical_digest(&self) -> String {
+        fnv1a128_hex(&self.canonical_bytes())
+    }
+}
+
+impl Problem {
+    /// The canonical content digest of this problem: the digest of its
+    /// [`Problem::render`] text, which covers the alphabet names and both
+    /// constraints. This is the digest the result store keys on (composed
+    /// with the operation and its parameters).
+    pub fn canonical_digest(&self) -> String {
+        fnv1a128_hex(self.render().as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_shape_and_determinism() {
+        let d = fnv1a128_hex(b"");
+        assert_eq!(d.len(), 32);
+        assert!(d.chars().all(|c| c.is_ascii_hexdigit()));
+        assert_eq!(fnv1a128_hex(b"abc"), fnv1a128_hex(b"abc"));
+        assert_ne!(fnv1a128_hex(b"abc"), fnv1a128_hex(b"abd"));
+        // The two halves are independent streams, not copies.
+        let d = fnv1a128_hex(b"abc");
+        assert_ne!(&d[..16], &d[16..]);
+    }
+
+    #[test]
+    fn constraint_digest_is_construction_order_free() {
+        // Keep the node text identical so both problems infer the same
+        // alphabet (label indices), and reorder only the edge lines: the
+        // sorted-set encoding must erase the difference.
+        let a = Problem::from_text("M M M\nP O O", "M [P O]\nO O").unwrap();
+        let b = Problem::from_text("M M M\nP O O", "O O\nM [P O]").unwrap();
+        assert_eq!(a.edge().canonical_digest(), b.edge().canonical_digest());
+        assert_eq!(a.node().canonical_digest(), b.node().canonical_digest());
+        assert_eq!(a.canonical_digest(), b.canonical_digest());
+    }
+
+    #[test]
+    fn constraint_digest_is_content_sensitive() {
+        let a = Problem::from_text("M M M\nP O O", "M [P O]\nO O").unwrap();
+        let b = Problem::from_text("M M M", "M [P O]\nO O").unwrap();
+        assert_ne!(a.node().canonical_digest(), b.node().canonical_digest());
+        // Same configs, different degree prefix can never collide by
+        // construction; spot-check two different degrees.
+        let d2 = Problem::from_text("A A", "A A").unwrap();
+        let d3 = Problem::from_text("A A A", "A A").unwrap();
+        assert_ne!(d2.node().canonical_digest(), d3.node().canonical_digest());
+    }
+
+    #[test]
+    fn problem_digest_sees_label_names() {
+        let a = Problem::from_text("A A", "A A").unwrap();
+        let b = Problem::from_text("B B", "B B").unwrap();
+        // Name-free constraints agree...
+        assert_eq!(a.node().canonical_digest(), b.node().canonical_digest());
+        // ...but the problem digest keys the rendered text, names included.
+        assert_ne!(a.canonical_digest(), b.canonical_digest());
+        assert_eq!(a.canonical_digest(), fnv1a128_hex(a.render().as_bytes()));
+    }
+}

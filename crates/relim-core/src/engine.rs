@@ -189,8 +189,9 @@ struct EngineShared {
 /// parameter points over the session while each point's engine calls share
 /// the same cache underneath.
 ///
-/// Every method is byte-identical to its (now deprecated) free-function
-/// counterpart at any thread count; see the module docs.
+/// Every method is byte-identical to its sequential free-function
+/// reference (`roundelim::rr_step`, `iterate::iterate_rr_unmemoized`, …)
+/// at any thread count; see the module docs.
 #[derive(Clone)]
 pub struct Engine {
     shared: Arc<EngineShared>,
@@ -523,6 +524,44 @@ pub struct EngineReport {
     /// their tasks call back into the operators, which would double
     /// count). Schedule-dependent — never byte-stable across runs.
     pub wall_ns: u64,
+}
+
+impl EngineReport {
+    /// The **deterministic** counters of this report as stable
+    /// `(name, value)` pairs, in a fixed order — the serializable
+    /// snapshot persisted into `BENCH_relim.json` kernels so CI diffs
+    /// cache-hit trends exactly, not just timings.
+    ///
+    /// Deliberately excludes `wall_ns` (schedule-dependent) and the
+    /// configuration fields (`threads`, `memoize`, `cache_capacity` —
+    /// inputs, not observations). For a fixed workload on a fixed
+    /// session configuration, every pair is byte-stable across runs,
+    /// thread counts and machines.
+    ///
+    /// ```
+    /// use relim_core::engine::Engine;
+    /// use relim_core::Problem;
+    ///
+    /// let engine = Engine::sequential();
+    /// engine.rr_step(&Problem::from_text("A A", "A A").unwrap()).unwrap();
+    /// let pairs = engine.report().snapshot_pairs();
+    /// assert_eq!(pairs[0], ("cache_hits", 0));
+    /// assert!(pairs.iter().any(|&(k, v)| k == "rbar_steps" && v == 1));
+    /// ```
+    pub fn snapshot_pairs(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("cache_hits", self.cache_hits),
+            ("cache_misses", self.cache_misses),
+            ("cache_entries", self.cache_entries as u64),
+            ("r_steps", self.r_steps),
+            ("rbar_steps", self.rbar_steps),
+            ("dominance_filters", self.dominance_filters),
+            ("iterate_runs", self.iterate_runs),
+            ("autolb_runs", self.autolb_runs),
+            ("autoub_runs", self.autoub_runs),
+            ("map_batches", self.map_batches),
+        ]
+    }
 }
 
 #[cfg(test)]

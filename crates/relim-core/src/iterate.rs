@@ -21,10 +21,9 @@
 //! differential suite compares against.
 
 use crate::constraint::{Constraint, SubMultisetIndex};
-use crate::error::RelimError;
 use crate::iso;
 use crate::problem::Problem;
-use crate::roundelim::{r_step, rbar_step_indexed, rbar_step_pooled, Step, MAX_LABELS};
+use crate::roundelim::{r_step, rbar_step_pooled, Step};
 use relim_pool::Pool;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -61,7 +60,8 @@ pub struct StepStats {
     pub edge_configs: usize,
 }
 
-/// The outcome of [`iterate_rr`].
+/// The outcome of an iterated round-elimination search
+/// ([`crate::engine::Engine::iterate`] / [`iterate_rr_unmemoized`]).
 #[derive(Debug, Clone)]
 pub struct IterationOutcome {
     /// Per-step statistics, starting with the input problem.
@@ -89,17 +89,8 @@ fn stats_of(step: usize, p: &Problem) -> StepStats {
     }
 }
 
-/// Iterates `R̄(R(·))` from `p`, up to `max_steps` applications, aborting
-/// before any step whose input alphabet exceeds `label_limit`.
-#[deprecated(
-    note = "construct a relim_core::engine::Engine session and call Engine::iterate_with_limits"
-)]
-pub fn iterate_rr(p: &Problem, max_steps: usize, label_limit: usize) -> IterationOutcome {
-    crate::engine::Engine::sequential().iterate_with_limits(p, max_steps, label_limit)
-}
-
 /// An exact-match cache from node constraints to their `Arc`-shared
-/// sub-multiset indices, letting consecutive (or repeated) `iterate_rr`
+/// sub-multiset indices, letting consecutive (or repeated) iteration
 /// steps reuse the index enumeration work.
 ///
 /// The index is a pure function of the constraint, so a hit is
@@ -187,54 +178,6 @@ impl Default for SubIndexCache {
     fn default() -> Self {
         SubIndexCache::new()
     }
-}
-
-/// One `Π ↦ R̄(R(Π))` application with the `R̄` side's sub-multiset index
-/// served from `cache`. Byte-identical to [`crate::roundelim::rr_step`]
-/// at any thread count and any cache state.
-///
-/// # Errors
-///
-/// Same as [`crate::roundelim::rr_step`].
-#[deprecated(
-    note = "construct a relim_core::engine::Engine session — Engine::rr_step owns the cache"
-)]
-pub fn rr_step_memo(
-    p: &Problem,
-    pool: &Pool,
-    cache: &mut SubIndexCache,
-) -> crate::error::Result<(Step, Step)> {
-    let r = r_step(p)?;
-    // Mirror the engine's label guard *before* touching the cache:
-    // an over-limit alphabet must fail without building a huge index.
-    let n = r.problem.alphabet().len();
-    if n > MAX_LABELS {
-        return Err(RelimError::TooManyLabels { requested: n });
-    }
-    let index = cache.get_or_build(r.problem.node());
-    let rr = rbar_step_indexed(&r.problem, &index, pool)?;
-    Ok((r, rr))
-}
-
-/// [`iterate_rr`] with each `R̄(R(·))` application sharded over `pool` and
-/// the sub-multiset indices memoized across steps (a fresh
-/// [`SubIndexCache`] per call). Outcome is byte-identical to
-/// [`iterate_rr`] at any thread count.
-#[deprecated(
-    note = "construct a relim_core::engine::Engine session and call Engine::iterate_with_limits \
-            — the session cache also persists across calls"
-)]
-pub fn iterate_rr_with(
-    p: &Problem,
-    max_steps: usize,
-    label_limit: usize,
-    pool: &Pool,
-) -> IterationOutcome {
-    crate::engine::Engine::builder().threads(pool.threads()).build().iterate_with_limits(
-        p,
-        max_steps,
-        label_limit,
-    )
 }
 
 /// The memoization-off reference for [`crate::engine::Engine::iterate`]:
@@ -362,19 +305,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_match_the_session_path() {
-        // The one-release compatibility contract: the deprecated free
-        // functions must stay byte-identical to the Engine they wrap.
-        let p = Problem::from_text("M M M\nP O O", "M [P O]\nO O").unwrap();
-        let wrapper = render_outcome(&iterate_rr(&p, 4, 20));
-        let session = render_outcome(&Engine::sequential().iterate_with_limits(&p, 4, 20));
-        assert_eq!(wrapper, session);
-        let pooled = render_outcome(&iterate_rr_with(&p, 4, 20, &Pool::new(2)));
-        assert_eq!(pooled, session);
-    }
-
-    #[test]
     fn cache_hits_share_the_index_and_change_nothing() {
         let p = Problem::from_text("M M M\nP O O", "M [P O]\nO O").unwrap();
         let mut cache = SubIndexCache::new();
@@ -401,20 +331,21 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // pins the legacy explicit-cache building block
     fn fixed_point_confirmation_hits_the_cache() {
         // Sinkless orientation: the confirming step recomputes the same
         // problem, so its R(Π) node constraint repeats exactly and the
-        // memoized path must score a hit while matching the reference.
-        // (Alphabet *names* grow each step — the provenance-set display —
-        // but the cache keys on the name-free `Constraint`, which repeats
-        // exactly at the fixed point.)
+        // cache-served path must score a hit while matching the
+        // reference. (Alphabet *names* grow each step — the
+        // provenance-set display — but the cache keys on the name-free
+        // `Constraint`, which repeats exactly at the fixed point.)
         let so = Problem::from_text("O I I", "[O I] I").unwrap();
         let pool = Pool::sequential();
         let mut cache = SubIndexCache::new();
         let mut current = so.drop_unused_labels().0;
         for step in 0..2 {
-            let (_, rr) = rr_step_memo(&current, &pool, &mut cache).unwrap();
+            let r = r_step(&current).unwrap();
+            let index = cache.get_or_build(r.problem.node());
+            let rr = crate::roundelim::rbar_step_indexed(&r.problem, &index, &pool).unwrap();
             let (reduced, _) = rr.problem.drop_unused_labels();
             assert!(iso::isomorphic(&reduced, &current), "step {step} left the fixed point");
             current = reduced;

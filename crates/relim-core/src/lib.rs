@@ -26,8 +26,13 @@
 //!   session that owns the worker-pool handle, a long-lived sub-multiset
 //!   index cache shared across all calls, and per-session statistics
 //!   ([`engine::EngineReport`]). Every operator below is reachable as an
-//!   `Engine` method; the historical pool-taking free functions survive
-//!   one release as deprecated wrappers.
+//!   `Engine` method; the historical pool-taking free-function wrappers
+//!   served their one-release deprecation window and are gone — only the
+//!   sequential references (`roundelim::rr_step`, …) remain as free
+//!   functions.
+//! * [`digest`] — canonical content digests ([`Constraint`] /
+//!   [`Problem`]), the keying primitive of the `relim-service`
+//!   content-addressed result store.
 //! * [`Problem`] — validated problems over interned alphabets, with a text
 //!   format ([`parse`]) compatible in spirit with the round-eliminator.
 //! * [`roundelim::r_step`] / [`roundelim::rbar_step`] — the `R(·)` and
@@ -70,6 +75,7 @@ pub mod condense;
 pub mod config;
 pub mod constraint;
 pub mod diagram;
+pub mod digest;
 pub mod engine;
 pub mod error;
 pub mod iso;

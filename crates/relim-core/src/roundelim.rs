@@ -36,9 +36,10 @@
 //! The parallel (and cache-serving) surface of these operators is the
 //! session API, [`crate::engine::Engine`]: it owns the pool handle and a
 //! long-lived [`crate::iterate::SubIndexCache`] the `R̄` side's
-//! sub-multiset index is served from. The free functions here compute the
-//! operators sequentially; the old pool-taking `*_with` variants remain
-//! one release as deprecated wrappers over an `Engine`.
+//! sub-multiset index is served from. The free functions here compute
+//! the operators sequentially — they are the references the differential
+//! suites compare sessions against (the old pool-taking `*_with`
+//! wrappers served their one-release deprecation window and are gone).
 
 use crate::config::{Config, SetConfig};
 use crate::constraint::{Constraint, SubMultisetIndex};
@@ -157,18 +158,6 @@ pub fn rbar_step(p: &Problem) -> Result<Step> {
     rbar_step_pooled(p, &Pool::sequential())
 }
 
-/// [`rbar_step`] with the universal enumeration and the dominance filter
-/// sharded over `pool`. Output is byte-identical to [`rbar_step`] at any
-/// thread count.
-///
-/// # Errors
-///
-/// Same as [`rbar_step`].
-#[deprecated(note = "construct a relim_core::engine::Engine session and call Engine::rbar_step")]
-pub fn rbar_step_with(p: &Problem, pool: &Pool) -> Result<Step> {
-    crate::engine::Engine::builder().threads(pool.threads()).build().rbar_step(p)
-}
-
 /// The pooled `R̄(·)` implementation behind [`rbar_step`] and the engine:
 /// builds a fresh sub-multiset index of `p.node()`.
 pub(crate) fn rbar_step_pooled(p: &Problem, pool: &Pool) -> Result<Step> {
@@ -178,32 +167,6 @@ pub(crate) fn rbar_step_pooled(p: &Problem, pool: &Pool) -> Result<Step> {
     }
     let sub_index = Arc::new(p.node().sub_multiset_index());
     rbar_step_indexed(p, &sub_index, pool)
-}
-
-/// [`rbar_step`] with a prebuilt sub-multiset index of `p.node()`
-/// (the index is a pure function of the constraint, so a cached one —
-/// see [`crate::iterate::SubIndexCache`] — produces byte-identical
-/// results while skipping the enumeration work of rebuilding it).
-///
-/// # Errors
-///
-/// Same as [`rbar_step`].
-///
-/// # Panics
-///
-/// Panics if `sub_index` was built from a constraint of a different
-/// degree than `p.node()` (the cheap part of the "index matches the
-/// constraint" contract).
-#[deprecated(
-    note = "construct a relim_core::engine::Engine session — it owns the index cache and \
-            calls the prebuilt-index path internally"
-)]
-pub fn rbar_step_with_index(
-    p: &Problem,
-    sub_index: &Arc<SubMultisetIndex>,
-    pool: &Pool,
-) -> Result<Step> {
-    rbar_step_indexed(p, sub_index, pool)
 }
 
 /// The shared `R̄(·)` body: universal enumeration against a prebuilt
@@ -246,17 +209,6 @@ pub fn rr_step(p: &Problem) -> Result<(Step, Step)> {
     let r = r_step(p)?;
     let rr = rbar_step_pooled(&r.problem, &Pool::sequential())?;
     Ok((r, rr))
-}
-
-/// [`rr_step`] with the expensive `R̄` side sharded over `pool`. Output is
-/// byte-identical to [`rr_step`] at any thread count.
-///
-/// # Errors
-///
-/// Same as [`rr_step`].
-#[deprecated(note = "construct a relim_core::engine::Engine session and call Engine::rr_step")]
-pub fn rr_step_with(p: &Problem, pool: &Pool) -> Result<(Step, Step)> {
-    crate::engine::Engine::builder().threads(pool.threads()).build().rr_step(p)
 }
 
 enum UniversalSide {
@@ -481,16 +433,6 @@ pub fn dominance_filter(configs: Vec<SetConfig>) -> Vec<SetConfig> {
 }
 
 /// [`dominance_filter`] with the per-configuration maximality checks
-/// sharded over `pool`. Output is byte-identical to [`dominance_filter`]
-/// at any thread count.
-#[deprecated(
-    note = "construct a relim_core::engine::Engine session and call Engine::dominance_filter"
-)]
-pub fn dominance_filter_with(configs: Vec<SetConfig>, pool: &Pool) -> Vec<SetConfig> {
-    crate::engine::Engine::builder().threads(pool.threads()).build().dominance_filter(configs)
-}
-
-/// [`dominance_filter`] with the per-configuration maximality checks
 /// sharded over `pool`, after a bucketing pass that prunes candidate
 /// dominators:
 ///
@@ -542,7 +484,7 @@ pub(crate) fn dominance_filter_pooled(configs: Vec<SetConfig>, pool: &Pool) -> V
 }
 
 /// Whether `configs[i]` is dominated by no other configuration, using the
-/// bucket pre-checks of [`dominance_filter_with`].
+/// bucket pre-checks of the pooled dominance filter.
 fn is_maximal(
     configs: &[SetConfig],
     sigs: &[(Vec<u8>, LabelSet)],

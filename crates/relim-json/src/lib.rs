@@ -1,8 +1,19 @@
-//! A minimal JSON value, serializer and parser — just enough for
-//! `BENCH_relim.json` and the baseline diff (`bench-driver --diff`).
-//! Hand-rolled because the build environment has no crates.io route (see
-//! `vendor/README.md` for the same story on `rand`/`proptest`/
-//! `criterion`).
+//! A minimal JSON value, serializer and strict parser.
+//!
+//! Shared by the `bench` baseline (`BENCH_relim.json`, the
+//! `bench-driver --diff` gate) and the `relim-service` JSON-lines wire
+//! protocol. Hand-rolled because the build environment has no crates.io
+//! route (see `vendor/README.md` for the same story on `rand`/
+//! `proptest`/`criterion`).
+//!
+//! The parser is *strict about document boundaries*: [`Json::parse`]
+//! consumes exactly one top-level value and rejects any trailing
+//! non-whitespace content — a wire protocol that framed two messages into
+//! one line, or a baseline file with a concatenated duplicate, must fail
+//! loudly rather than silently dropping the tail.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use std::fmt::Write as _;
 
@@ -32,18 +43,27 @@ impl Json {
     }
 
     /// Parses a JSON document (the subset this crate emits: no duplicate
-    /// keys are checked, numbers are `i64` or `f64`).
+    /// keys are checked, numbers are `i64` or `f64`). Exactly one
+    /// top-level value must span the whole input — trailing
+    /// non-whitespace content (a second value, a stray bracket, garbage
+    /// bytes) is a hard error, never silently ignored.
     ///
     /// # Errors
     ///
-    /// Returns a message with the byte offset of the first syntax error.
+    /// Returns a message with the byte offset of the first syntax error,
+    /// or a `trailing content` message naming the offending bytes.
     pub fn parse(text: &str) -> Result<Json, String> {
         let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
         p.skip_ws();
         let value = p.value()?;
         p.skip_ws();
         if p.pos != p.bytes.len() {
-            return Err(format!("trailing content at byte {}", p.pos));
+            let tail = String::from_utf8_lossy(&p.bytes[p.pos..]);
+            let snippet: String = tail.chars().take(20).collect();
+            return Err(format!(
+                "trailing content at byte {} after the top-level value: `{snippet}`",
+                p.pos
+            ));
         }
         Ok(value)
     }
@@ -68,6 +88,22 @@ impl Json {
     pub fn as_arr(&self) -> Option<&[Json]> {
         match self {
             Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The integer value, if this is an `Int`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
             _ => None,
         }
     }
@@ -164,17 +200,44 @@ impl Parser<'_> {
                         b'b' => out.push('\u{8}'),
                         b'f' => out.push('\u{c}'),
                         b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos..self.pos + 4)
-                                .and_then(|h| std::str::from_utf8(h).ok())
-                                .ok_or_else(|| format!("bad \\u escape at byte {}", self.pos))?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| format!("bad \\u escape at byte {}", self.pos))?;
-                            self.pos += 4;
-                            // Surrogates are not emitted by this crate's
-                            // writer; map unpaired ones to U+FFFD.
-                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            let code = self.hex4()?;
+                            let ch = match code {
+                                // High surrogate: the spec encodes astral
+                                // characters as a \uXXXX\uYYYY pair —
+                                // combine it (strictly; a lone half is a
+                                // malformed document, not data to mangle).
+                                0xD800..=0xDBFF => {
+                                    if self.peek() != Some(b'\\') {
+                                        return Err(format!(
+                                            "unpaired high surrogate before byte {}",
+                                            self.pos
+                                        ));
+                                    }
+                                    self.pos += 1;
+                                    self.eat(b'u').map_err(|_| {
+                                        format!("unpaired high surrogate before byte {}", self.pos)
+                                    })?;
+                                    let low = self.hex4()?;
+                                    if !(0xDC00..=0xDFFF).contains(&low) {
+                                        return Err(format!(
+                                            "invalid low surrogate before byte {}",
+                                            self.pos
+                                        ));
+                                    }
+                                    let combined =
+                                        0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                    char::from_u32(combined).expect("valid supplementary scalar")
+                                }
+                                0xDC00..=0xDFFF => {
+                                    return Err(format!(
+                                        "unpaired low surrogate before byte {}",
+                                        self.pos
+                                    ))
+                                }
+                                other => char::from_u32(other)
+                                    .expect("non-surrogate BMP code point is a scalar"),
+                            };
+                            out.push(ch);
                         }
                         other => {
                             return Err(format!(
@@ -198,6 +261,19 @@ impl Parser<'_> {
                 }
             }
         }
+    }
+
+    /// Reads exactly four hex digits (one `\uXXXX` payload).
+    fn hex4(&mut self) -> Result<u32, String> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .and_then(|h| std::str::from_utf8(h).ok())
+            .ok_or_else(|| format!("bad \\u escape at byte {}", self.pos))?;
+        let code = u32::from_str_radix(hex, 16)
+            .map_err(|_| format!("bad \\u escape at byte {}", self.pos))?;
+        self.pos += 4;
+        Ok(code)
     }
 
     fn number(&mut self) -> Result<Json, String> {
@@ -288,6 +364,55 @@ impl Json {
         self.write(&mut out, 0);
         out.push('\n');
         out
+    }
+
+    /// Serializes onto a single line with no trailing newline — the
+    /// framing the `relim-service` JSON-lines protocol requires (string
+    /// values escape their newlines, so the output can never contain a
+    /// raw `\n`).
+    ///
+    /// ```
+    /// use relim_json::Json;
+    ///
+    /// let v = Json::Obj(vec![
+    ///     ("ok".into(), Json::Bool(true)),
+    ///     ("msg".into(), Json::str("two\nlines")),
+    /// ]);
+    /// assert_eq!(v.render_compact(), r#"{"ok": true, "msg": "two\nlines"}"#);
+    /// assert!(!v.render_compact().contains('\n'));
+    /// ```
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Arr(items) if !items.is_empty() => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) if !fields.is_empty() => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write_compact(out);
+                }
+                out.push('}');
+            }
+            other => other.write(out, 0),
+        }
     }
 
     fn write(&self, out: &mut String, indent: usize) {
@@ -402,6 +527,64 @@ mod tests {
     }
 
     #[test]
+    fn parse_rejects_trailing_content_after_a_top_level_value() {
+        // A second value, a stray close bracket, concatenated documents,
+        // or raw garbage after ANY kind of top-level value must all fail
+        // with a `trailing content` error — never be silently dropped.
+        for (doc, tail_at) in [
+            ("{\"a\": 1} {\"b\": 2}", 9),
+            ("[1, 2]]", 6),
+            ("[1, 2] extra", 7),
+            ("true false", 5),
+            ("null,", 4),
+            ("42garbage", 2),
+            ("\"done\"!", 6),
+            ("{\"a\": 1}\n{\"a\": 1}", 9),
+        ] {
+            let err = Json::parse(doc).expect_err(&format!("`{doc}` must not parse"));
+            assert!(err.contains("trailing content"), "`{doc}` -> {err}");
+            assert!(err.contains(&format!("byte {tail_at}")), "`{doc}` -> {err}");
+        }
+        // Trailing *whitespace* is fine — it is not content.
+        assert!(Json::parse("{\"a\": 1}\n\t \r\n").is_ok());
+    }
+
+    #[test]
+    fn trailing_content_error_names_the_offending_bytes() {
+        let err = Json::parse("[1] <!-- nope -->").unwrap_err();
+        assert!(err.contains("`<!-- nope -->`"), "{err}");
+        // Long tails are truncated to a readable snippet.
+        let long = format!("[1] {}", "x".repeat(100));
+        let err = Json::parse(&long).unwrap_err();
+        assert!(err.contains(&"x".repeat(20)), "{err}");
+        assert!(!err.contains(&"x".repeat(21)), "{err}");
+    }
+
+    #[test]
+    fn unicode_escapes_combine_surrogate_pairs_strictly() {
+        // A conformant foreign client (e.g. Python's ensure_ascii) sends
+        // astral characters as surrogate pairs — they must decode to the
+        // real character, not to replacement garbage.
+        assert_eq!(Json::parse("\"\\ud83d\\ude00\"").unwrap(), Json::str("😀"));
+        assert_eq!(Json::parse("\"\\u00fc\\u2265\"").unwrap(), Json::str("ü≥"));
+        // Lone or mis-ordered halves are malformed documents: reject.
+        for bad in
+            ["\"\\ud83d\"", "\"\\ud83d x\"", "\"\\ude00\"", "\"\\ud83d\\u0041\"", "\"\\ud83d\\n\""]
+        {
+            let err = Json::parse(bad).expect_err(bad);
+            assert!(err.contains("surrogate"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn scalar_accessors() {
+        assert_eq!(Json::parse("7").unwrap().as_i64(), Some(7));
+        assert_eq!(Json::parse("true").unwrap().as_bool(), Some(true));
+        assert_eq!(Json::parse("7.5").unwrap().as_i64(), None);
+        assert_eq!(Json::parse("null").unwrap().as_bool(), None);
+    }
+
+    #[test]
     fn accessors() {
         let v = Json::parse("{\"a\": [1, 2.5], \"b\": \"x\"}").unwrap();
         assert_eq!(v.get("b").and_then(Json::as_str), Some("x"));
@@ -409,6 +592,21 @@ mod tests {
         assert!(arr[0].is_number() && arr[1].is_number());
         assert_eq!(v.kind(), "object");
         assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn compact_rendering_is_single_line_and_round_trips() {
+        let v = Json::Obj(vec![
+            ("op".into(), Json::str("autolb")),
+            ("node".into(), Json::str("M M M\nP O O")),
+            ("steps".into(), Json::Arr(vec![Json::Int(1), Json::Null, Json::Bool(false)])),
+            ("empty_obj".into(), Json::Obj(vec![])),
+            ("empty_arr".into(), Json::Arr(vec![])),
+        ]);
+        let line = v.render_compact();
+        assert!(!line.contains('\n'), "{line}");
+        assert_eq!(Json::parse(&line).unwrap(), v);
+        assert_eq!(Json::parse(&v.render()).unwrap(), Json::parse(&line).unwrap());
     }
 
     #[test]

@@ -1,0 +1,152 @@
+//! A blocking client for the daemon's JSON-lines protocol.
+//!
+//! One TCP connection per call (the protocol allows pipelining on a kept
+//! connection, but the CLI and the bench kernels are one-shot callers —
+//! connection setup is nanoseconds next to a round-elimination job).
+
+use crate::ops::OpRequest;
+use crate::protocol;
+use crate::queue::Class;
+use relim_json::Json;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A client error: connection failures, protocol violations, or an
+/// `ok: false` response (with the server's `error` text).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientError(pub String);
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// A successful job response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobReply {
+    /// Whether the result was served from the content-addressed store.
+    pub cached: bool,
+    /// The content address of the query.
+    pub digest: String,
+    /// The canonical result text — byte-identical to the same query run
+    /// in-process.
+    pub result: String,
+}
+
+/// A blocking protocol client bound to one daemon address.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: String,
+    timeout: Duration,
+}
+
+impl Client {
+    /// A client for the daemon at `addr` (e.g. `127.0.0.1:7341`), with a
+    /// 10-minute I/O timeout (bulk sweeps are slow by design).
+    pub fn new(addr: impl Into<String>) -> Client {
+        Client { addr: addr.into(), timeout: Duration::from_secs(600) }
+    }
+
+    /// Overrides the per-call I/O timeout.
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Duration) -> Client {
+        self.timeout = timeout;
+        self
+    }
+
+    /// The daemon address this client talks to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Submits a job, optionally overriding its scheduling class.
+    ///
+    /// # Errors
+    ///
+    /// Connection/protocol failures and server-side errors.
+    pub fn submit(&self, op: &OpRequest, class: Option<Class>) -> Result<JobReply, ClientError> {
+        let doc = self.roundtrip(&protocol::render_job_request(op, class, None))?;
+        let ok = doc.get("ok").and_then(Json::as_bool).unwrap_or(false);
+        if !ok {
+            let error = doc.get("error").and_then(Json::as_str).unwrap_or("unspecified error");
+            return Err(ClientError(format!("server refused the job: {error}")));
+        }
+        let field = |key: &str| {
+            doc.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| ClientError(format!("response missing `{key}`")))
+        };
+        Ok(JobReply {
+            cached: doc
+                .get("cached")
+                .and_then(Json::as_bool)
+                .ok_or_else(|| ClientError("response missing `cached`".into()))?,
+            digest: field("digest")?,
+            result: field("result")?,
+        })
+    }
+
+    /// Fetches the daemon counters (the `counters` object of a `status`
+    /// response).
+    ///
+    /// # Errors
+    ///
+    /// Connection/protocol failures.
+    pub fn status(&self) -> Result<Json, ClientError> {
+        let doc = self.roundtrip(&protocol::render_admin_request("status", None))?;
+        doc.get("counters")
+            .cloned()
+            .ok_or_else(|| ClientError("status response missing `counters`".into()))
+    }
+
+    /// Requests a graceful shutdown and waits for the acknowledgement.
+    ///
+    /// # Errors
+    ///
+    /// Connection/protocol failures.
+    pub fn shutdown(&self) -> Result<(), ClientError> {
+        let doc = self.roundtrip(&protocol::render_admin_request("shutdown", None))?;
+        match doc.get("shutting_down").and_then(Json::as_bool) {
+            Some(true) => Ok(()),
+            _ => Err(ClientError("shutdown was not acknowledged".into())),
+        }
+    }
+
+    /// Sends one raw line and parses the one-line response — the
+    /// building block of the typed calls, exposed for protocol tests.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures and unparsable responses.
+    pub fn raw_roundtrip(&self, line: &str) -> Result<Json, ClientError> {
+        self.roundtrip(line)
+    }
+
+    fn roundtrip(&self, line: &str) -> Result<Json, ClientError> {
+        let stream = TcpStream::connect(&self.addr)
+            .map_err(|e| ClientError(format!("cannot connect to {}: {e}", self.addr)))?;
+        stream.set_read_timeout(Some(self.timeout)).map_err(|e| ClientError(e.to_string()))?;
+        stream.set_write_timeout(Some(self.timeout)).map_err(|e| ClientError(e.to_string()))?;
+        let mut writer = stream.try_clone().map_err(|e| ClientError(e.to_string()))?;
+        writer
+            .write_all(line.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .map_err(|e| ClientError(format!("write to {} failed: {e}", self.addr)))?;
+        let mut reader = BufReader::new(stream);
+        let mut response = String::new();
+        let n = reader
+            .read_line(&mut response)
+            .map_err(|e| ClientError(format!("read from {} failed: {e}", self.addr)))?;
+        if n == 0 {
+            return Err(ClientError(format!("{} closed the connection", self.addr)));
+        }
+        Json::parse(response.trim_end())
+            .map_err(|e| ClientError(format!("unparsable response from {}: {e}", self.addr)))
+    }
+}

@@ -1,0 +1,774 @@
+//! The servable round-elimination operations.
+//!
+//! Each [`OpRequest`] has three canonical faces:
+//!
+//! * a **canonical key** ([`OpRequest::canonical_key`]) — the full text
+//!   the content-addressed store hashes and verifies: a format tag, the
+//!   operation name, its parameters in a fixed order, and (for
+//!   single-problem operations) the *parsed and re-rendered* problem, so
+//!   two textual spellings of the same problem (`;` vs newline
+//!   separators, condensed vs expanded configurations) address the same
+//!   stored result;
+//! * a **digest** ([`OpRequest::digest`]) — the 128-bit FNV-1a content
+//!   address of that key (see [`relim_core::digest`]);
+//! * a **canonical rendering** ([`OpRequest::execute`]) — the result
+//!   text. The `relim` CLI's local `autolb` / `autoub` / `fixed-point` /
+//!   `zeroround` / `sweep` subcommands render through these same
+//!   functions, which is what makes a served result **byte-identical**
+//!   to the same query run in-process at any thread count.
+//!
+//! The key deliberately excludes the engine's thread count and
+//! memoization toggle: both are performance knobs with no effect on
+//! output bytes (the differential suites pin this), so they must not
+//! split the cache.
+
+use relim_core::digest::fnv1a128_hex;
+use relim_core::{autolb, autoub, zeroround, Engine, Problem};
+use relim_json::Json;
+
+/// A human-readable operation error (parse failures, invalid parameters,
+/// engine errors), carried over the wire as the `error` field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpError(pub String);
+
+impl std::fmt::Display for OpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for OpError {}
+
+impl From<relim_core::RelimError> for OpError {
+    fn from(e: relim_core::RelimError) -> OpError {
+        OpError(e.to_string())
+    }
+}
+
+/// The triviality criterion of an `autolb` search (mirrors
+/// [`autolb::Triviality`], with a stable wire spelling).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Criterion {
+    /// Non-triviality even given a Δ-edge coloring (the paper's gadget
+    /// criterion) — the default.
+    Gadget,
+    /// Bare port-numbering triviality.
+    Universal,
+}
+
+impl Criterion {
+    /// The wire spelling (`gadget` / `universal`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Criterion::Gadget => "gadget",
+            Criterion::Universal => "universal",
+        }
+    }
+
+    /// Parses the wire spelling.
+    ///
+    /// # Errors
+    ///
+    /// Rejects anything but `gadget` / `universal`.
+    pub fn parse(s: &str) -> Result<Criterion, OpError> {
+        match s {
+            "gadget" => Ok(Criterion::Gadget),
+            "universal" => Ok(Criterion::Universal),
+            other => Err(OpError(format!("criterion must be gadget|universal, got `{other}`"))),
+        }
+    }
+
+    fn triviality(self) -> autolb::Triviality {
+        match self {
+            Criterion::Gadget => autolb::Triviality::GadgetEdgeColoring,
+            Criterion::Universal => autolb::Triviality::Universal,
+        }
+    }
+}
+
+/// Upper bound on the step-count parameters a served job may request —
+/// the daemon refuses unbounded work instead of wedging the executor.
+pub const MAX_STEPS_LIMIT: usize = 64;
+/// Upper bound on label budgets / label limits (the engine itself caps
+/// enumeration at 22 labels; anything above 64 is a typo, not a query).
+pub const MAX_LABEL_LIMIT: usize = 64;
+/// The `Δ` range a served sweep may ask for (Δ=9 is already hours of
+/// work; beyond that the request is a denial of service, not a query).
+pub const SWEEP_DELTA_RANGE: std::ops::RangeInclusive<u32> = 3..=9;
+
+/// A servable round-elimination job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpRequest {
+    /// Automatic lower-bound search (`relim autolb`).
+    AutoLb {
+        /// Node constraint text (`;` or newline separated lines).
+        node: String,
+        /// Edge constraint text.
+        edge: String,
+        /// Maximum round-elimination steps of the merge search.
+        max_steps: usize,
+        /// Label budget per step.
+        labels: usize,
+        /// Triviality criterion.
+        criterion: Criterion,
+    },
+    /// Automatic upper-bound search (`relim autoub`).
+    AutoUb {
+        /// Node constraint text.
+        node: String,
+        /// Edge constraint text.
+        edge: String,
+        /// Maximum steps of the chain.
+        max_steps: usize,
+        /// Label budget per step.
+        labels: usize,
+        /// Optional proper vertex coloring given as input.
+        coloring: Option<usize>,
+    },
+    /// Iterated `R̄(R(·))` fixed-point probe (`relim fixed-point`).
+    Iterate {
+        /// Node constraint text.
+        node: String,
+        /// Edge constraint text.
+        edge: String,
+        /// Maximum applications.
+        max_steps: usize,
+        /// Alphabet-size abort threshold.
+        label_limit: usize,
+    },
+    /// Lemma verification sweep over all valid `(a, x)` at one `Δ`
+    /// (`relim sweep`) — the bulk-class operation.
+    Sweep {
+        /// The degree Δ.
+        delta: u32,
+        /// Which lemma to verify (6 or 8).
+        lemma: u32,
+    },
+    /// 0-round solvability analysis (`relim zeroround`).
+    ZeroRound {
+        /// Node constraint text.
+        node: String,
+        /// Edge constraint text.
+        edge: String,
+    },
+}
+
+/// Normalizes a constraint argument: `;` and literal `\n` both separate
+/// configuration lines (same convention as the `relim` CLI).
+pub fn constraint_text(raw: &str) -> String {
+    raw.replace("\\n", "\n").replace(';', "\n")
+}
+
+impl OpRequest {
+    /// An `autolb` request with the CLI's default search budget
+    /// (6 steps, 6 labels, gadget criterion).
+    ///
+    /// # Errors
+    ///
+    /// Rejects unparsable constraint text.
+    pub fn auto_lb(node: &str, edge: &str) -> Result<OpRequest, OpError> {
+        let op = OpRequest::AutoLb {
+            node: constraint_text(node),
+            edge: constraint_text(edge),
+            max_steps: 6,
+            labels: 6,
+            criterion: Criterion::Gadget,
+        };
+        op.validate()?;
+        Ok(op)
+    }
+
+    /// An `autoub` request with the CLI's default budget (6 steps,
+    /// 10 labels, no coloring).
+    ///
+    /// # Errors
+    ///
+    /// Rejects unparsable constraint text.
+    pub fn auto_ub(node: &str, edge: &str) -> Result<OpRequest, OpError> {
+        let op = OpRequest::AutoUb {
+            node: constraint_text(node),
+            edge: constraint_text(edge),
+            max_steps: 6,
+            labels: 10,
+            coloring: None,
+        };
+        op.validate()?;
+        Ok(op)
+    }
+
+    /// An `iterate` request with the CLI's default limits (5 steps,
+    /// label limit 16).
+    ///
+    /// # Errors
+    ///
+    /// Rejects unparsable constraint text.
+    pub fn iterate(node: &str, edge: &str) -> Result<OpRequest, OpError> {
+        let op = OpRequest::Iterate {
+            node: constraint_text(node),
+            edge: constraint_text(edge),
+            max_steps: 5,
+            label_limit: 16,
+        };
+        op.validate()?;
+        Ok(op)
+    }
+
+    /// A lemma-`lemma` sweep request at degree `delta`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects lemmas other than 6/8 and out-of-range `Δ`.
+    pub fn sweep(delta: u32, lemma: u32) -> Result<OpRequest, OpError> {
+        let op = OpRequest::Sweep { delta, lemma };
+        op.validate()?;
+        Ok(op)
+    }
+
+    /// A `zero-round` analysis request.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unparsable constraint text.
+    pub fn zero_round(node: &str, edge: &str) -> Result<OpRequest, OpError> {
+        let op = OpRequest::ZeroRound { node: constraint_text(node), edge: constraint_text(edge) };
+        op.validate()?;
+        Ok(op)
+    }
+
+    /// The wire name of the operation (`autolb`, `autoub`, `iterate`,
+    /// `sweep`, `zero-round`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            OpRequest::AutoLb { .. } => "autolb",
+            OpRequest::AutoUb { .. } => "autoub",
+            OpRequest::Iterate { .. } => "iterate",
+            OpRequest::Sweep { .. } => "sweep",
+            OpRequest::ZeroRound { .. } => "zero-round",
+        }
+    }
+
+    /// Whether the service schedules this operation as a bulk job by
+    /// default (sweeps are; single-problem queries are interactive).
+    pub fn is_bulk(&self) -> bool {
+        matches!(self, OpRequest::Sweep { .. })
+    }
+
+    /// Validates parameters against the serving limits.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first offending parameter or the constraint parse
+    /// failure.
+    pub fn validate(&self) -> Result<(), OpError> {
+        let check_steps = |steps: usize| {
+            if steps > MAX_STEPS_LIMIT {
+                return Err(OpError(format!("max_steps {steps} exceeds limit {MAX_STEPS_LIMIT}")));
+            }
+            Ok(())
+        };
+        let check_labels = |labels: usize| {
+            if labels > MAX_LABEL_LIMIT {
+                return Err(OpError(format!("label bound {labels} exceeds {MAX_LABEL_LIMIT}")));
+            }
+            Ok(())
+        };
+        match self {
+            OpRequest::AutoLb { max_steps, labels, .. }
+            | OpRequest::AutoUb { max_steps, labels, .. } => {
+                check_steps(*max_steps)?;
+                check_labels(*labels)?;
+            }
+            OpRequest::Iterate { max_steps, label_limit, .. } => {
+                check_steps(*max_steps)?;
+                check_labels(*label_limit)?;
+            }
+            OpRequest::Sweep { delta, lemma } => {
+                if !matches!(lemma, 6 | 8) {
+                    return Err(OpError(format!("lemma must be 6|8, got {lemma}")));
+                }
+                if !SWEEP_DELTA_RANGE.contains(delta) {
+                    return Err(OpError(format!(
+                        "sweep delta {delta} outside the servable range {}..={}",
+                        SWEEP_DELTA_RANGE.start(),
+                        SWEEP_DELTA_RANGE.end()
+                    )));
+                }
+            }
+            OpRequest::ZeroRound { .. } => {}
+        }
+        self.problem().map(|_| ())
+    }
+
+    /// The parsed problem for single-problem operations (`None` for
+    /// sweeps), canonicalizing the constraint text.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the constraint parse failure.
+    pub fn problem(&self) -> Result<Option<Problem>, OpError> {
+        match self {
+            OpRequest::AutoLb { node, edge, .. }
+            | OpRequest::AutoUb { node, edge, .. }
+            | OpRequest::Iterate { node, edge, .. }
+            | OpRequest::ZeroRound { node, edge } => {
+                Ok(Some(Problem::from_text(node, edge).map_err(OpError::from)?))
+            }
+            OpRequest::Sweep { .. } => Ok(None),
+        }
+    }
+
+    /// The canonical key of this request — the full text the store
+    /// hashes *and verifies on every hit* (so digest collisions degrade
+    /// to misses, never to wrong answers). Includes a format-version tag
+    /// and the engine semantics version; excludes thread count and
+    /// memoization (no effect on output bytes).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the constraint parse failure (an unparsable problem
+    /// has no canonical form).
+    pub fn canonical_key(&self) -> Result<String, OpError> {
+        let mut key = format!("relim-store/1\nengine=v1\nop={}\n", self.name());
+        match self {
+            OpRequest::AutoLb { max_steps, labels, criterion, .. } => {
+                key.push_str(&format!(
+                    "criterion={}\nlabels={labels}\nmax_steps={max_steps}\n",
+                    criterion.as_str()
+                ));
+            }
+            OpRequest::AutoUb { max_steps, labels, coloring, .. } => {
+                let coloring = coloring.map_or_else(|| "none".to_owned(), |c| c.to_string());
+                key.push_str(&format!(
+                    "coloring={coloring}\nlabels={labels}\nmax_steps={max_steps}\n"
+                ));
+            }
+            OpRequest::Iterate { max_steps, label_limit, .. } => {
+                key.push_str(&format!("label_limit={label_limit}\nmax_steps={max_steps}\n"));
+            }
+            OpRequest::Sweep { delta, lemma } => {
+                key.push_str(&format!("delta={delta}\nlemma={lemma}\n"));
+            }
+            OpRequest::ZeroRound { .. } => {}
+        }
+        if let Some(problem) = self.problem()? {
+            key.push_str("problem:\n");
+            key.push_str(&problem.render());
+            key.push('\n');
+        }
+        Ok(key)
+    }
+
+    /// The content address of this request: the 128-bit FNV-1a digest of
+    /// [`OpRequest::canonical_key`], as 32 hex characters.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`OpRequest::canonical_key`].
+    pub fn digest(&self) -> Result<String, OpError> {
+        Ok(fnv1a128_hex(self.canonical_key()?.as_bytes()))
+    }
+
+    /// Executes the operation through `engine` and returns the canonical
+    /// result text. Byte-identical at any engine thread count and cache
+    /// state; the serving layer stores exactly these bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse, validation and engine errors.
+    pub fn execute(&self, engine: &Engine) -> Result<String, OpError> {
+        self.validate()?;
+        match self {
+            OpRequest::AutoLb { max_steps, labels, criterion, .. } => {
+                let p = self.problem()?.expect("single-problem op");
+                render_autolb(&p, *max_steps, *labels, *criterion, engine)
+            }
+            OpRequest::AutoUb { max_steps, labels, coloring, .. } => {
+                let p = self.problem()?.expect("single-problem op");
+                render_autoub(&p, *max_steps, *labels, *coloring, engine)
+            }
+            OpRequest::Iterate { max_steps, label_limit, .. } => {
+                let p = self.problem()?.expect("single-problem op");
+                Ok(render_iterate(&p, *max_steps, *label_limit, engine))
+            }
+            OpRequest::Sweep { delta, lemma } => render_sweep(*delta, *lemma, engine),
+            OpRequest::ZeroRound { .. } => {
+                let p = self.problem()?.expect("single-problem op");
+                Ok(render_zeroround(&p))
+            }
+        }
+    }
+
+    /// The operation as the JSON fields of a protocol request (the `op`
+    /// name plus its parameters).
+    pub fn to_json_fields(&self) -> Vec<(String, Json)> {
+        let mut fields = vec![("op".to_owned(), Json::str(self.name()))];
+        match self {
+            OpRequest::AutoLb { node, edge, max_steps, labels, criterion } => {
+                fields.push(("node".into(), Json::str(node)));
+                fields.push(("edge".into(), Json::str(edge)));
+                fields.push(("max_steps".into(), Json::Int(*max_steps as i64)));
+                fields.push(("labels".into(), Json::Int(*labels as i64)));
+                fields.push(("criterion".into(), Json::str(criterion.as_str())));
+            }
+            OpRequest::AutoUb { node, edge, max_steps, labels, coloring } => {
+                fields.push(("node".into(), Json::str(node)));
+                fields.push(("edge".into(), Json::str(edge)));
+                fields.push(("max_steps".into(), Json::Int(*max_steps as i64)));
+                fields.push(("labels".into(), Json::Int(*labels as i64)));
+                if let Some(c) = coloring {
+                    fields.push(("coloring".into(), Json::Int(*c as i64)));
+                }
+            }
+            OpRequest::Iterate { node, edge, max_steps, label_limit } => {
+                fields.push(("node".into(), Json::str(node)));
+                fields.push(("edge".into(), Json::str(edge)));
+                fields.push(("max_steps".into(), Json::Int(*max_steps as i64)));
+                fields.push(("label_limit".into(), Json::Int(*label_limit as i64)));
+            }
+            OpRequest::Sweep { delta, lemma } => {
+                fields.push(("delta".into(), Json::Int(i64::from(*delta))));
+                fields.push(("lemma".into(), Json::Int(i64::from(*lemma))));
+            }
+            OpRequest::ZeroRound { node, edge } => {
+                fields.push(("node".into(), Json::str(node)));
+                fields.push(("edge".into(), Json::str(edge)));
+            }
+        }
+        fields
+    }
+
+    /// Parses the operation out of a protocol request object (missing
+    /// numeric parameters take the CLI defaults).
+    ///
+    /// # Errors
+    ///
+    /// Describes the missing/ill-typed field or the parameter violation.
+    pub fn from_json(obj: &Json) -> Result<OpRequest, OpError> {
+        let str_field = |key: &str| -> Result<String, OpError> {
+            obj.get(key)
+                .and_then(Json::as_str)
+                .map(constraint_text)
+                .ok_or_else(|| OpError(format!("missing or non-string field `{key}`")))
+        };
+        let num_field = |key: &str, default: usize| -> Result<usize, OpError> {
+            match obj.get(key) {
+                None => Ok(default),
+                Some(v) => v
+                    .as_i64()
+                    .and_then(|i| usize::try_from(i).ok())
+                    .ok_or_else(|| OpError(format!("field `{key}` must be a non-negative int"))),
+            }
+        };
+        let op = match obj.get("op").and_then(Json::as_str) {
+            None => return Err(OpError("missing or non-string field `op`".into())),
+            Some(name) => name,
+        };
+        let parsed = match op {
+            "autolb" => OpRequest::AutoLb {
+                node: str_field("node")?,
+                edge: str_field("edge")?,
+                max_steps: num_field("max_steps", 6)?,
+                labels: num_field("labels", 6)?,
+                criterion: match obj.get("criterion").and_then(Json::as_str) {
+                    None => Criterion::Gadget,
+                    Some(s) => Criterion::parse(s)?,
+                },
+            },
+            "autoub" => OpRequest::AutoUb {
+                node: str_field("node")?,
+                edge: str_field("edge")?,
+                max_steps: num_field("max_steps", 6)?,
+                labels: num_field("labels", 10)?,
+                coloring: match obj.get("coloring") {
+                    None => None,
+                    Some(v) => {
+                        Some(v.as_i64().and_then(|i| usize::try_from(i).ok()).ok_or_else(|| {
+                            OpError("field `coloring` must be a non-negative int".into())
+                        })?)
+                    }
+                },
+            },
+            "iterate" => OpRequest::Iterate {
+                node: str_field("node")?,
+                edge: str_field("edge")?,
+                max_steps: num_field("max_steps", 5)?,
+                label_limit: num_field("label_limit", 16)?,
+            },
+            "sweep" => {
+                // Reject rather than wrap oversized values: a client-side
+                // overflow must surface as an error, never as a sweep of
+                // some accidentally-in-range truncated Δ.
+                let u32_field = |key: &str, default: usize| -> Result<u32, OpError> {
+                    u32::try_from(num_field(key, default)?)
+                        .map_err(|_| OpError(format!("field `{key}` is out of range")))
+                };
+                OpRequest::Sweep { delta: u32_field("delta", 0)?, lemma: u32_field("lemma", 8)? }
+            }
+            "zero-round" | "zeroround" => {
+                OpRequest::ZeroRound { node: str_field("node")?, edge: str_field("edge")? }
+            }
+            other => return Err(OpError(format!("unknown op `{other}`"))),
+        };
+        parsed.validate()?;
+        Ok(parsed)
+    }
+}
+
+/// The canonical `autolb` rendering — the exact bytes `relim autolb`
+/// prints locally and the daemon serves.
+fn render_autolb(
+    p: &Problem,
+    max_steps: usize,
+    labels: usize,
+    criterion: Criterion,
+    engine: &Engine,
+) -> Result<String, OpError> {
+    let triviality = criterion.triviality();
+    let opts = autolb::AutoLbOptions { max_steps, label_budget: labels, triviality };
+    let outcome = engine.auto_lower_bound(p, &opts);
+    let mut out = String::new();
+    for (i, step) in outcome.steps.iter().enumerate() {
+        out.push_str(&format!(
+            "step {}: |Σ| {} -> {}",
+            i + 1,
+            step.raw.alphabet().len(),
+            step.problem.alphabet().len()
+        ));
+        if !step.merges.is_empty() {
+            let merges: Vec<String> =
+                step.merges.iter().map(|(f, t)| format!("{f}->{t}")).collect();
+            out.push_str(&format!("  merges: {}", merges.join(", ")));
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("stopped: {:?}\n", outcome.stopped));
+    if outcome.unbounded() {
+        out.push_str(
+            "FIXED POINT: unbounded PN lower bound (⇒ Ω(log n) det / Ω(log log n) rand LOCAL)\n",
+        );
+    }
+    out.push_str(&format!(
+        "certified lower bound: {} rounds ({})\n",
+        outcome.certified_rounds,
+        match triviality {
+            autolb::Triviality::GadgetEdgeColoring => "holds even given a Δ-edge coloring",
+            autolb::Triviality::Universal => "bare PN model",
+        }
+    ));
+    let replay = autolb::verify_chain(&outcome).map_err(OpError::from)?;
+    out.push_str(&format!("certificate replay: OK ({replay} rounds)"));
+    Ok(out)
+}
+
+/// The canonical `autoub` rendering (shared with `relim autoub`).
+fn render_autoub(
+    p: &Problem,
+    max_steps: usize,
+    labels: usize,
+    coloring: Option<usize>,
+    engine: &Engine,
+) -> Result<String, OpError> {
+    let opts = autoub::AutoUbOptions { max_steps, label_budget: labels, coloring };
+    let outcome = engine.auto_upper_bound(p, &opts);
+    let mut out = String::new();
+    for (i, step) in outcome.steps.iter().enumerate() {
+        out.push_str(&format!(
+            "step {}: |Σ| {} -> {}",
+            i + 1,
+            step.raw.alphabet().len(),
+            step.problem.alphabet().len()
+        ));
+        if !step.removals.is_empty() {
+            out.push_str(&format!("  removed: {}", step.removals.join(", ")));
+        }
+        out.push('\n');
+    }
+    match (&outcome.bound, &outcome.failure) {
+        (Some(b), _) => {
+            let kind = match &b.kind {
+                autoub::UbKind::Pn => "bare PN model".to_owned(),
+                autoub::UbKind::EdgeColoring => "given a Δ-edge coloring".to_owned(),
+                autoub::UbKind::VertexColoring { colors } => {
+                    format!("given a proper {colors}-vertex coloring (+O(log* n) in LOCAL)")
+                }
+            };
+            out.push_str(&format!("upper bound: {} rounds ({kind})\n", b.rounds));
+        }
+        (None, Some(f)) => out.push_str(&format!("no upper bound found: {f:?}\n")),
+        (None, None) => unreachable!("outcome carries a bound or a failure"),
+    }
+    let replay = autoub::verify_ub(&outcome).map_err(OpError::from)?;
+    out.push_str(&format!("certificate replay: OK ({replay:?})"));
+    Ok(out)
+}
+
+/// The canonical `iterate` / fixed-point rendering (shared with
+/// `relim fixed-point`).
+fn render_iterate(p: &Problem, max_steps: usize, label_limit: usize, engine: &Engine) -> String {
+    let outcome = engine.iterate_with_limits(p, max_steps, label_limit);
+    let mut out = String::from("step  labels  |N|     |E|\n");
+    for s in &outcome.stats {
+        out.push_str(&format!(
+            "{:<5} {:<7} {:<7} {:<7}\n",
+            s.step, s.labels, s.node_configs, s.edge_configs
+        ));
+    }
+    out.push_str(&format!("stopped: {:?}", outcome.stopped));
+    out
+}
+
+/// The canonical `zero-round` rendering (shared with `relim zeroround`).
+fn render_zeroround(p: &Problem) -> String {
+    let report = zeroround::analyze(p);
+    let mut out = format!(
+        "deterministically 0-round solvable on the identified-ports gadget: {}\n",
+        report.deterministically_solvable
+    );
+    match &report.witness {
+        Some(w) => out.push_str(&format!("witness configuration: {}\n", w.display(p.alphabet()))),
+        None => {
+            out.push_str("per-configuration self-incompatible labels:\n");
+            for (cfg, bad) in &report.bad_labels {
+                let bad = bad.expect("no witness, so every configuration has one");
+                out.push_str(&format!(
+                    "  {}  ⇒  {} is not self-compatible\n",
+                    cfg.display(p.alphabet()),
+                    p.alphabet().name(bad)
+                ));
+            }
+            out.push_str(&format!(
+                "randomized failure probability ≥ {:.3e} (Lemma 15-style bound)\n",
+                report.randomized_failure_lower_bound
+            ));
+        }
+    }
+    out.trim_end().to_owned()
+}
+
+/// The canonical sweep rendering (shared with `relim sweep`). Unlike the
+/// pre-service CLI output it does **not** mention the thread count —
+/// served bytes must not depend on the daemon's pool width.
+fn render_sweep(delta: u32, lemma: u32, engine: &Engine) -> Result<String, OpError> {
+    let mut out = String::new();
+    match lemma {
+        6 => {
+            out.push_str(&format!(
+                "Lemma 6 sweep at Δ={delta}:\n{:>3} {:>3} {:>14} {:>10}\n",
+                "a", "x", "|N(R(Π))|", "verdict"
+            ));
+            for r in lb_family::lemma6::verify_sweep(delta, engine).map_err(OpError::from)? {
+                out.push_str(&format!(
+                    "{:>3} {:>3} {:>14} {:>10}\n",
+                    r.params.a,
+                    r.params.x,
+                    r.node_config_count,
+                    if r.matches_paper() { "VERIFIED" } else { "MISMATCH" }
+                ));
+            }
+        }
+        8 => {
+            out.push_str(&format!(
+                "Lemma 8 sweep at Δ={delta}:\n{:>3} {:>3} {:>7} {:>7} {:>10}\n",
+                "a", "x", "|Σ''|", "|N''|", "verdict"
+            ));
+            for r in lb_family::lemma8::verify_sweep(delta, engine).map_err(OpError::from)? {
+                out.push_str(&format!(
+                    "{:>3} {:>3} {:>7} {:>7} {:>10}\n",
+                    r.params.a,
+                    r.params.x,
+                    r.rr_label_count,
+                    r.rr_node_config_count,
+                    if r.matches_paper() { "VERIFIED" } else { "MISMATCH" }
+                ));
+            }
+        }
+        other => return Err(OpError(format!("lemma must be 6|8, got {other}"))),
+    }
+    Ok(out.trim_end().to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mis_op() -> OpRequest {
+        OpRequest::auto_lb("M M M;P O O", "M [P O];O O").unwrap()
+    }
+
+    #[test]
+    fn canonical_key_is_spelling_independent() {
+        let a = mis_op();
+        let b = OpRequest::auto_lb("M M M\\nP O O", "M [P O]\\nO O").unwrap();
+        assert_eq!(a.canonical_key().unwrap(), b.canonical_key().unwrap());
+        assert_eq!(a.digest().unwrap(), b.digest().unwrap());
+        // A different op on the same problem addresses different content.
+        let z = OpRequest::zero_round("M M M;P O O", "M [P O];O O").unwrap();
+        assert_ne!(a.digest().unwrap(), z.digest().unwrap());
+    }
+
+    #[test]
+    fn canonical_key_sees_parameters() {
+        let base = mis_op();
+        let OpRequest::AutoLb { node, edge, labels, criterion, .. } = base.clone() else {
+            unreachable!()
+        };
+        let deeper = OpRequest::AutoLb { node, edge, max_steps: 7, labels, criterion };
+        assert_ne!(base.digest().unwrap(), deeper.digest().unwrap());
+        assert!(base.canonical_key().unwrap().contains("max_steps=6"));
+        assert!(base.canonical_key().unwrap().contains("engine=v1"));
+    }
+
+    #[test]
+    fn validation_rejects_abusive_parameters() {
+        assert!(OpRequest::sweep(4, 7).is_err(), "lemma 7 does not exist");
+        assert!(OpRequest::sweep(99, 8).is_err(), "delta way out of range");
+        assert!(OpRequest::sweep(4, 8).is_ok());
+        let bad = OpRequest::Iterate {
+            node: "A A".into(),
+            edge: "A A".into(),
+            max_steps: 1000,
+            label_limit: 16,
+        };
+        assert!(bad.validate().is_err());
+        assert!(OpRequest::auto_lb("not a constraint ((", "M M").is_err());
+    }
+
+    #[test]
+    fn json_round_trip() {
+        for op in [
+            mis_op(),
+            OpRequest::auto_ub("M M;P O", "M [P O];O O").unwrap(),
+            OpRequest::iterate("O I I", "[O I] I").unwrap(),
+            OpRequest::sweep(4, 8).unwrap(),
+            OpRequest::zero_round("A A", "A A").unwrap(),
+        ] {
+            let obj = Json::Obj(op.to_json_fields());
+            let back = OpRequest::from_json(&obj).unwrap();
+            assert_eq!(back, op, "round trip through {}", obj.render_compact());
+        }
+        assert!(OpRequest::from_json(&Json::Obj(vec![("op".into(), Json::str("nope"))])).is_err());
+        assert!(OpRequest::from_json(&Json::Null).is_err());
+    }
+
+    #[test]
+    fn execute_matches_engine_in_process_bytes() {
+        // The determinism contract in miniature: executing through any
+        // session width yields identical bytes.
+        let op = OpRequest::iterate("O I I", "[O I] I").unwrap();
+        let seq = op.execute(&Engine::sequential()).unwrap();
+        assert!(seq.contains("stopped: FixedPoint"), "{seq}");
+        for threads in [2, 8] {
+            let par = op.execute(&Engine::builder().threads(threads).build()).unwrap();
+            assert_eq!(par, seq, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn sweep_rendering_is_thread_free() {
+        let op = OpRequest::sweep(4, 8).unwrap();
+        let out = op.execute(&Engine::sequential()).unwrap();
+        assert!(out.starts_with("Lemma 8 sweep at Δ=4:"), "{out}");
+        assert!(!out.contains("threads"), "{out}");
+        assert!(out.contains("VERIFIED"), "{out}");
+    }
+}

@@ -1,0 +1,239 @@
+//! The wire protocol: JSON lines over TCP.
+//!
+//! **Framing.** Each message is one JSON object serialized compactly
+//! ([`relim_json::Json::render_compact`] — string values escape their
+//! newlines, so a message can never contain a raw `\n`) followed by a
+//! single `\n`. Requests and responses alternate per connection; a
+//! client may keep a connection open and pipeline further requests after
+//! each response, or reconnect per request — the daemon is
+//! thread-per-connection either way.
+//!
+//! **Requests.** A job request names its operation and parameters (see
+//! [`OpRequest::from_json`]) plus two optional envelope fields: `id`
+//! (an integer echoed verbatim in the response) and `priority`
+//! (`interactive` / `bulk`, defaulting per operation — sweeps are bulk).
+//! Two admin requests exist: `{"op": "status"}` and
+//! `{"op": "shutdown"}`.
+//!
+//! **Responses.** Every response carries `ok` (bool) and the echoed
+//! `id` when one was given. Successful job responses add `cached`
+//! (whether the result came from the store), `digest` (the content
+//! address) and `result` (the canonical text — byte-identical to the
+//! same query run in-process). Status responses carry a `counters`
+//! object; shutdown responses `{"shutting_down": true}`. Failures carry
+//! `error`.
+
+use crate::ops::OpRequest;
+use crate::queue::Class;
+use relim_json::Json;
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Echo token, when the client sent one.
+    pub id: Option<i64>,
+    /// What is being asked.
+    pub body: RequestBody,
+}
+
+/// The request payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestBody {
+    /// A round-elimination job with its (possibly overridden) class.
+    Job {
+        /// The operation.
+        op: OpRequest,
+        /// Scheduling class: the `priority` field, or the operation's
+        /// default ([`OpRequest::is_bulk`]).
+        class: Class,
+    },
+    /// Counter snapshot request.
+    Status,
+    /// Graceful shutdown request.
+    Shutdown,
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// A human-readable message (also suitable as the `error` field of the
+/// failure response).
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let doc = Json::parse(line.trim_end())?;
+    let id = doc.get("id").and_then(Json::as_i64);
+    let op_name = doc
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "missing or non-string field `op`".to_owned())?;
+    let body = match op_name {
+        "status" => RequestBody::Status,
+        "shutdown" => RequestBody::Shutdown,
+        _ => {
+            let op = OpRequest::from_json(&doc).map_err(|e| e.to_string())?;
+            let class = match doc.get("priority").and_then(Json::as_str) {
+                None => {
+                    if op.is_bulk() {
+                        Class::Bulk
+                    } else {
+                        Class::Interactive
+                    }
+                }
+                Some(s) => Class::parse(s)?,
+            };
+            RequestBody::Job { op, class }
+        }
+    };
+    Ok(Request { id, body })
+}
+
+/// Renders a request line for a job (the client side of
+/// [`parse_request`]).
+pub fn render_job_request(op: &OpRequest, class: Option<Class>, id: Option<i64>) -> String {
+    let mut fields = Vec::new();
+    if let Some(id) = id {
+        fields.push(("id".to_owned(), Json::Int(id)));
+    }
+    fields.extend(op.to_json_fields());
+    if let Some(class) = class {
+        fields.push(("priority".to_owned(), Json::str(class.as_str())));
+    }
+    Json::Obj(fields).render_compact()
+}
+
+/// Renders an admin request line (`status` / `shutdown`).
+pub fn render_admin_request(op: &str, id: Option<i64>) -> String {
+    let mut fields = Vec::new();
+    if let Some(id) = id {
+        fields.push(("id".to_owned(), Json::Int(id)));
+    }
+    fields.push(("op".to_owned(), Json::str(op)));
+    Json::Obj(fields).render_compact()
+}
+
+/// Renders a successful job response line.
+pub fn render_job_response(id: Option<i64>, cached: bool, digest: &str, result: &str) -> String {
+    let mut fields = Vec::new();
+    if let Some(id) = id {
+        fields.push(("id".to_owned(), Json::Int(id)));
+    }
+    fields.push(("ok".to_owned(), Json::Bool(true)));
+    fields.push(("cached".to_owned(), Json::Bool(cached)));
+    fields.push(("digest".to_owned(), Json::str(digest)));
+    fields.push(("result".to_owned(), Json::str(result)));
+    Json::Obj(fields).render_compact()
+}
+
+/// Renders a status response line around a `counters` object.
+pub fn render_status_response(id: Option<i64>, counters: Json) -> String {
+    let mut fields = Vec::new();
+    if let Some(id) = id {
+        fields.push(("id".to_owned(), Json::Int(id)));
+    }
+    fields.push(("ok".to_owned(), Json::Bool(true)));
+    fields.push(("counters".to_owned(), counters));
+    Json::Obj(fields).render_compact()
+}
+
+/// Renders a shutdown acknowledgement line.
+pub fn render_shutdown_response(id: Option<i64>) -> String {
+    let mut fields = Vec::new();
+    if let Some(id) = id {
+        fields.push(("id".to_owned(), Json::Int(id)));
+    }
+    fields.push(("ok".to_owned(), Json::Bool(true)));
+    fields.push(("shutting_down".to_owned(), Json::Bool(true)));
+    Json::Obj(fields).render_compact()
+}
+
+/// Renders a failure response line.
+pub fn render_error_response(id: Option<i64>, error: &str) -> String {
+    let mut fields = Vec::new();
+    if let Some(id) = id {
+        fields.push(("id".to_owned(), Json::Int(id)));
+    }
+    fields.push(("ok".to_owned(), Json::Bool(false)));
+    fields.push(("error".to_owned(), Json::str(error)));
+    Json::Obj(fields).render_compact()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_request_round_trip_with_defaults() {
+        let op = OpRequest::auto_lb("M M M;P O O", "M [P O];O O").unwrap();
+        let line = render_job_request(&op, None, Some(7));
+        assert!(!line.contains('\n'));
+        let req = parse_request(&line).unwrap();
+        assert_eq!(req.id, Some(7));
+        match req.body {
+            RequestBody::Job { op: parsed, class } => {
+                assert_eq!(parsed, op);
+                assert_eq!(class, Class::Interactive, "autolb defaults to interactive");
+            }
+            other => panic!("not a job: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sweep_defaults_to_bulk_and_priority_overrides() {
+        let op = OpRequest::sweep(4, 8).unwrap();
+        let line = render_job_request(&op, None, None);
+        let RequestBody::Job { class, .. } = parse_request(&line).unwrap().body else {
+            panic!("not a job")
+        };
+        assert_eq!(class, Class::Bulk);
+        let line = render_job_request(&op, Some(Class::Interactive), None);
+        let RequestBody::Job { class, .. } = parse_request(&line).unwrap().body else {
+            panic!("not a job")
+        };
+        assert_eq!(class, Class::Interactive);
+    }
+
+    #[test]
+    fn admin_requests_parse() {
+        assert_eq!(
+            parse_request(&render_admin_request("status", None)).unwrap().body,
+            RequestBody::Status
+        );
+        assert_eq!(
+            parse_request(&render_admin_request("shutdown", Some(3))).unwrap(),
+            Request { id: Some(3), body: RequestBody::Shutdown }
+        );
+    }
+
+    #[test]
+    fn malformed_requests_are_described() {
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request("{}").unwrap_err().contains("op"));
+        assert!(parse_request("{\"op\": \"autolb\"}").unwrap_err().contains("node"));
+        let err = parse_request(
+            "{\"op\": \"zero-round\", \"node\": \"A A\", \"edge\": \"A A\", \
+             \"priority\": \"urgent\"}",
+        )
+        .unwrap_err();
+        assert!(err.contains("interactive|bulk"), "{err}");
+        // Two requests framed into one line violate the protocol.
+        let op = OpRequest::zero_round("A A", "A A").unwrap();
+        let doubled = format!("{} {}", render_job_request(&op, None, None), "{\"op\":\"status\"}");
+        assert!(parse_request(&doubled).unwrap_err().contains("trailing content"));
+    }
+
+    #[test]
+    fn responses_render_one_line_and_echo_ids() {
+        for line in [
+            render_job_response(Some(1), true, "abc", "multi\nline\nresult"),
+            render_status_response(None, Json::Obj(vec![("x".into(), Json::Int(1))])),
+            render_shutdown_response(Some(2)),
+            render_error_response(None, "boom"),
+        ] {
+            assert!(!line.contains('\n'), "{line}");
+            assert!(Json::parse(&line).is_ok(), "{line}");
+        }
+        let doc = Json::parse(&render_job_response(Some(1), true, "abc", "r")).unwrap();
+        assert_eq!(doc.get("id").and_then(Json::as_i64), Some(1));
+        assert_eq!(doc.get("cached").and_then(Json::as_bool), Some(true));
+    }
+}

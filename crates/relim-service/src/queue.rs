@@ -1,0 +1,239 @@
+//! The scheduling policy: batch-level priorities with aging.
+//!
+//! The daemon runs every job on **one** shared `Engine`, so ordering is
+//! the whole scheduling story. Jobs carry a class:
+//!
+//! * **interactive** — single-problem queries (`autolb`, `autoub`,
+//!   `iterate`, `zero-round`): a human (or a latency-sensitive caller)
+//!   is waiting;
+//! * **bulk** — sweeps: minutes of work whose caller expects to wait.
+//!
+//! [`JobQueue::pop`] serves interactive jobs first — *except* that every
+//! time an interactive job overtakes a waiting bulk job, the bulk class
+//! ages; once a bulk job has been bypassed [`JobQueue::aging_limit`]
+//! times, the oldest bulk job runs next regardless of the interactive
+//! backlog. The policy is therefore **starvation-free by construction**:
+//! a bulk job waits for at most `aging_limit` interactive jobs plus the
+//! bulk jobs ahead of it, whatever the arrival pattern (pinned by the
+//! property test below). Within a class, order is strict FIFO.
+//!
+//! The queue is a *pure* data structure (no threads, no clocks) so the
+//! policy itself is deterministically testable; the server wraps it in a
+//! mutex + condvar.
+
+use std::collections::VecDeque;
+
+/// The aging limit the server uses: a waiting bulk job is bypassed by at
+/// most this many interactive jobs before it is forced to the front.
+pub const DEFAULT_AGING_LIMIT: u32 = 4;
+
+/// The scheduling class of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Class {
+    /// Latency-sensitive single queries — served first.
+    Interactive,
+    /// Throughput work (sweeps) — aged in, never starved.
+    Bulk,
+}
+
+impl Class {
+    /// The wire spelling (`interactive` / `bulk`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Class::Interactive => "interactive",
+            Class::Bulk => "bulk",
+        }
+    }
+
+    /// Parses the wire spelling.
+    ///
+    /// # Errors
+    ///
+    /// Describes the accepted spellings.
+    pub fn parse(s: &str) -> Result<Class, String> {
+        match s {
+            "interactive" => Ok(Class::Interactive),
+            "bulk" => Ok(Class::Bulk),
+            other => Err(format!("priority must be interactive|bulk, got `{other}`")),
+        }
+    }
+}
+
+/// A two-class FIFO queue with aging (see the module docs).
+#[derive(Debug)]
+pub struct JobQueue<T> {
+    interactive: VecDeque<T>,
+    bulk: VecDeque<T>,
+    aging_limit: u32,
+    /// Interactive pops that overtook a waiting bulk job since the last
+    /// bulk pop.
+    bulk_bypasses: u32,
+    promotions: u64,
+    max_depth: usize,
+}
+
+impl<T> JobQueue<T> {
+    /// An empty queue with the given aging limit, clamped to at least 1
+    /// (so `1` — and the clamped `0` — means strict alternation while
+    /// both classes wait; `0` must not invert the policy into
+    /// bulk-first, which `bypasses >= 0` being vacuously true would do).
+    pub fn new(aging_limit: u32) -> JobQueue<T> {
+        JobQueue {
+            interactive: VecDeque::new(),
+            bulk: VecDeque::new(),
+            aging_limit: aging_limit.max(1),
+            bulk_bypasses: 0,
+            promotions: 0,
+            max_depth: 0,
+        }
+    }
+
+    /// Enqueues a job under `class`.
+    pub fn push(&mut self, class: Class, job: T) {
+        match class {
+            Class::Interactive => self.interactive.push_back(job),
+            Class::Bulk => self.bulk.push_back(job),
+        }
+        self.max_depth = self.max_depth.max(self.len());
+    }
+
+    /// Dequeues the next job under the priority-with-aging policy.
+    pub fn pop(&mut self) -> Option<(Class, T)> {
+        let bulk_waiting = !self.bulk.is_empty();
+        if bulk_waiting && self.bulk_bypasses >= self.aging_limit {
+            self.bulk_bypasses = 0;
+            self.promotions += 1;
+            return self.bulk.pop_front().map(|j| (Class::Bulk, j));
+        }
+        if let Some(job) = self.interactive.pop_front() {
+            if bulk_waiting {
+                self.bulk_bypasses += 1;
+            }
+            return Some((Class::Interactive, job));
+        }
+        self.bulk_bypasses = 0;
+        self.bulk.pop_front().map(|j| (Class::Bulk, j))
+    }
+
+    /// Jobs currently queued (both classes).
+    pub fn len(&self) -> usize {
+        self.interactive.len() + self.bulk.len()
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.interactive.is_empty() && self.bulk.is_empty()
+    }
+
+    /// The effective aging limit (the constructor clamps 0 to 1).
+    pub fn aging_limit(&self) -> u32 {
+        self.aging_limit
+    }
+
+    /// Bulk jobs that were force-promoted past the interactive backlog.
+    pub fn promotions(&self) -> u64 {
+        self.promotions
+    }
+
+    /// High-water mark of the queue depth.
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interactive_before_bulk_fifo_within_class() {
+        let mut q = JobQueue::new(DEFAULT_AGING_LIMIT);
+        q.push(Class::Bulk, "b1");
+        q.push(Class::Interactive, "i1");
+        q.push(Class::Interactive, "i2");
+        q.push(Class::Bulk, "b2");
+        assert_eq!(q.pop(), Some((Class::Interactive, "i1")));
+        assert_eq!(q.pop(), Some((Class::Interactive, "i2")));
+        assert_eq!(q.pop(), Some((Class::Bulk, "b1")));
+        assert_eq!(q.pop(), Some((Class::Bulk, "b2")));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.max_depth(), 4);
+        assert_eq!(q.promotions(), 0, "no aging needed when interactives drain first");
+    }
+
+    #[test]
+    fn aging_promotes_a_waiting_bulk_job() {
+        let mut q = JobQueue::new(2);
+        q.push(Class::Bulk, "bulk");
+        for i in 0..6 {
+            q.push(Class::Interactive, ["i0", "i1", "i2", "i3", "i4", "i5"][i]);
+        }
+        // Two interactive pops bypass the bulk job; the third pop is the
+        // aged-in bulk job, then interactives resume.
+        assert_eq!(q.pop().unwrap().1, "i0");
+        assert_eq!(q.pop().unwrap().1, "i1");
+        assert_eq!(q.pop(), Some((Class::Bulk, "bulk")));
+        assert_eq!(q.pop().unwrap().1, "i2");
+        assert_eq!(q.promotions(), 1);
+    }
+
+    #[test]
+    fn bypass_counter_resets_when_no_bulk_waits() {
+        let mut q = JobQueue::new(1);
+        q.push(Class::Interactive, "i0");
+        assert_eq!(q.pop().unwrap().1, "i0"); // no bulk waiting: no bypass
+        q.push(Class::Bulk, "b0");
+        q.push(Class::Interactive, "i1");
+        assert_eq!(q.pop().unwrap().1, "i1"); // first bypass of b0
+        q.push(Class::Interactive, "i2");
+        assert_eq!(q.pop(), Some((Class::Bulk, "b0")), "aged in after 1 bypass");
+        assert_eq!(q.pop().unwrap().1, "i2");
+    }
+
+    #[test]
+    fn starvation_freedom_under_adversarial_interactive_pressure() {
+        // An adversary feeds an interactive job before every pop; the
+        // bulk job must still be served within the effective aging
+        // limit, and interactive jobs must still go first initially.
+        for aging_limit in [0u32, 1, 3, DEFAULT_AGING_LIMIT, 9] {
+            let mut q = JobQueue::new(aging_limit);
+            q.push(Class::Bulk, usize::MAX);
+            let mut served_at = None;
+            for round in 0..100 {
+                q.push(Class::Interactive, round);
+                let (class, _) = q.pop().expect("non-empty");
+                if round == 0 {
+                    assert_eq!(
+                        class,
+                        Class::Interactive,
+                        "aging_limit {aging_limit}: the first pop must stay interactive-first"
+                    );
+                }
+                if class == Class::Bulk {
+                    served_at = Some(round);
+                    break;
+                }
+            }
+            let served = served_at.expect("bulk job starved");
+            assert!(
+                served <= q.aging_limit() as usize,
+                "aging_limit {aging_limit}: bulk served only at round {served}"
+            );
+        }
+    }
+
+    #[test]
+    fn aging_limit_zero_clamps_to_alternation_not_bulk_first() {
+        let mut q = JobQueue::new(0);
+        assert_eq!(q.aging_limit(), 1);
+        q.push(Class::Bulk, "b0");
+        q.push(Class::Bulk, "b1");
+        q.push(Class::Interactive, "i0");
+        q.push(Class::Interactive, "i1");
+        // Interactive still goes first; bulk ages in after one bypass.
+        assert_eq!(q.pop(), Some((Class::Interactive, "i0")));
+        assert_eq!(q.pop(), Some((Class::Bulk, "b0")));
+        assert_eq!(q.pop(), Some((Class::Interactive, "i1")));
+        assert_eq!(q.pop(), Some((Class::Bulk, "b1")));
+    }
+}

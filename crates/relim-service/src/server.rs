@@ -1,0 +1,491 @@
+//! The daemon: a thread-per-connection TCP server around one shared
+//! [`Engine`] and one [`ResultStore`].
+//!
+//! ## Concurrency architecture
+//!
+//! * An **accept thread** owns the listener and spawns one thread per
+//!   connection (the protocol is blocking line-at-a-time, so a thread
+//!   per connection is the simplest correct shape; the expensive work
+//!   never happens on these threads).
+//! * Connection threads parse requests. Store **hits are served
+//!   inline** — a cached certificate never waits behind the queue.
+//!   Misses are enqueued as jobs and the connection thread blocks on a
+//!   per-job reply channel.
+//! * One **executor thread** drains the [`JobQueue`] (interactive before
+//!   bulk, with aging — see [`crate::queue`]) and runs each job on the
+//!   shared `Engine`. One executor by design: the engine parallelizes
+//!   *inside* a job across the worker pool, so running jobs back-to-back
+//!   keeps the pool saturated without cross-job cache races.
+//! * **Graceful shutdown**: a `shutdown` request flips the flag, wakes
+//!   the executor and unblocks the accept loop. New jobs are refused
+//!   (checked under the queue lock, so no job is ever lost in the
+//!   race), already-queued jobs are drained and answered, then both
+//!   threads exit and [`ServerHandle::join`] returns.
+//!
+//! Two identical queries racing a cold store may both compute; both
+//! write the same bytes (results are canonical), so the second rename
+//! is a harmless overwrite — idempotence instead of request coalescing.
+
+use crate::ops::OpRequest;
+use crate::protocol::{self, Request, RequestBody};
+use crate::queue::{Class, JobQueue, DEFAULT_AGING_LIMIT};
+use crate::store::ResultStore;
+use relim_core::Engine;
+use relim_json::Json;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Configuration of a daemon instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Engine pool width (0 = available parallelism). Output bytes never
+    /// depend on this.
+    pub threads: usize,
+    /// Directory of the persistent store; `None` keeps results in
+    /// memory only.
+    pub store_dir: Option<PathBuf>,
+    /// In-memory store bound (see [`ResultStore`]).
+    pub store_capacity: usize,
+    /// Aging limit of the bulk class (see [`crate::queue`]).
+    pub aging_limit: u32,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            threads: 0,
+            store_dir: None,
+            store_capacity: 1024,
+            aging_limit: DEFAULT_AGING_LIMIT,
+        }
+    }
+}
+
+/// One queued unit of work.
+struct Job {
+    op: OpRequest,
+    digest: String,
+    key: String,
+    reply: mpsc::Sender<Result<String, String>>,
+}
+
+/// Shared state behind the daemon's threads.
+struct Shared {
+    engine: Engine,
+    store: ResultStore,
+    queue: Mutex<JobQueue<Job>>,
+    cv: Condvar,
+    shutdown: AtomicBool,
+    /// Live connection threads — joined (bounded-wait) at shutdown so a
+    /// response write never races process exit.
+    active_connections: AtomicU64,
+    requests_total: AtomicU64,
+    n_autolb: AtomicU64,
+    n_autoub: AtomicU64,
+    n_iterate: AtomicU64,
+    n_sweep: AtomicU64,
+    n_zeroround: AtomicU64,
+    n_status: AtomicU64,
+    n_errors: AtomicU64,
+    latency_ns_total: AtomicU64,
+    latency_ns_max: AtomicU64,
+}
+
+impl Shared {
+    fn count_op(&self, op: &OpRequest) {
+        let counter = match op {
+            OpRequest::AutoLb { .. } => &self.n_autolb,
+            OpRequest::AutoUb { .. } => &self.n_autoub,
+            OpRequest::Iterate { .. } => &self.n_iterate,
+            OpRequest::Sweep { .. } => &self.n_sweep,
+            OpRequest::ZeroRound { .. } => &self.n_zeroround,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn record_latency(&self, ns: u64) {
+        self.latency_ns_total.fetch_add(ns, Ordering::Relaxed);
+        self.latency_ns_max.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// The `counters` object of a status response.
+    fn counters_json(&self) -> Json {
+        let store = self.store.stats();
+        let (promotions, max_depth, pending, aging_limit) = {
+            let q = self.queue.lock().expect("queue lock poisoned");
+            (q.promotions(), q.max_depth(), q.len(), q.aging_limit())
+        };
+        let engine_report = self.engine.report();
+        let engine_pairs: Vec<(String, Json)> = engine_report
+            .snapshot_pairs()
+            .into_iter()
+            .map(|(k, v)| (k.to_owned(), Json::Int(v as i64)))
+            .collect();
+        Json::Obj(vec![
+            (
+                "requests_total".into(),
+                Json::Int(self.requests_total.load(Ordering::Relaxed) as i64),
+            ),
+            (
+                "ops".into(),
+                Json::Obj(vec![
+                    ("autolb".into(), Json::Int(self.n_autolb.load(Ordering::Relaxed) as i64)),
+                    ("autoub".into(), Json::Int(self.n_autoub.load(Ordering::Relaxed) as i64)),
+                    ("iterate".into(), Json::Int(self.n_iterate.load(Ordering::Relaxed) as i64)),
+                    ("sweep".into(), Json::Int(self.n_sweep.load(Ordering::Relaxed) as i64)),
+                    (
+                        "zero_round".into(),
+                        Json::Int(self.n_zeroround.load(Ordering::Relaxed) as i64),
+                    ),
+                    ("status".into(), Json::Int(self.n_status.load(Ordering::Relaxed) as i64)),
+                ]),
+            ),
+            ("errors".into(), Json::Int(self.n_errors.load(Ordering::Relaxed) as i64)),
+            (
+                "store".into(),
+                Json::Obj(vec![
+                    ("mem_hits".into(), Json::Int(store.mem_hits as i64)),
+                    ("disk_hits".into(), Json::Int(store.disk_hits as i64)),
+                    ("misses".into(), Json::Int(store.misses as i64)),
+                    ("stores".into(), Json::Int(store.stores as i64)),
+                    ("evictions".into(), Json::Int(store.evictions as i64)),
+                    ("corrupt_skipped".into(), Json::Int(store.corrupt_skipped as i64)),
+                    ("mem_entries".into(), Json::Int(store.mem_entries as i64)),
+                    ("persistent".into(), Json::Bool(self.store.is_persistent())),
+                ]),
+            ),
+            (
+                "queue".into(),
+                Json::Obj(vec![
+                    ("pending".into(), Json::Int(pending as i64)),
+                    ("max_depth".into(), Json::Int(max_depth as i64)),
+                    ("aged_promotions".into(), Json::Int(promotions as i64)),
+                    ("aging_limit".into(), Json::Int(i64::from(aging_limit))),
+                ]),
+            ),
+            (
+                "latency".into(),
+                Json::Obj(vec![
+                    (
+                        "total_ns".into(),
+                        Json::Int(self.latency_ns_total.load(Ordering::Relaxed) as i64),
+                    ),
+                    (
+                        "max_ns".into(),
+                        Json::Int(self.latency_ns_max.load(Ordering::Relaxed) as i64),
+                    ),
+                ]),
+            ),
+            ("engine".into(), Json::Obj(engine_pairs)),
+            ("threads".into(), Json::Int(self.engine.threads() as i64)),
+        ])
+    }
+}
+
+/// The daemon entry point (see [`Server::spawn`]).
+pub struct Server;
+
+/// A handle on a running daemon: its bound address, a shutdown trigger
+/// and the join point.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: JoinHandle<()>,
+    executor: JoinHandle<()>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
+    /// spawns the accept and executor threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind and store-directory failures.
+    pub fn spawn(addr: &str, config: ServerConfig) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let store = match &config.store_dir {
+            Some(dir) => ResultStore::persistent(dir, config.store_capacity)?,
+            None => ResultStore::in_memory(config.store_capacity),
+        };
+        let shared = Arc::new(Shared {
+            engine: Engine::builder().threads(config.threads).build(),
+            store,
+            queue: Mutex::new(JobQueue::new(config.aging_limit)),
+            cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            active_connections: AtomicU64::new(0),
+            requests_total: AtomicU64::new(0),
+            n_autolb: AtomicU64::new(0),
+            n_autoub: AtomicU64::new(0),
+            n_iterate: AtomicU64::new(0),
+            n_sweep: AtomicU64::new(0),
+            n_zeroround: AtomicU64::new(0),
+            n_status: AtomicU64::new(0),
+            n_errors: AtomicU64::new(0),
+            latency_ns_total: AtomicU64::new(0),
+            latency_ns_max: AtomicU64::new(0),
+        });
+
+        let executor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || executor_loop(&shared))
+        };
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&listener, &shared))
+        };
+        Ok(ServerHandle { addr, shared, accept, executor })
+    }
+}
+
+impl ServerHandle {
+    /// The address the daemon actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Triggers a graceful shutdown from the hosting process (the wire
+    /// `shutdown` request does the same).
+    pub fn shutdown(&self) {
+        trigger_shutdown(&self.shared, self.addr);
+    }
+
+    /// The current counters (same content as a `status` response).
+    pub fn counters(&self) -> Json {
+        self.shared.counters_json()
+    }
+
+    /// Waits for the accept and executor threads to exit (after a
+    /// shutdown trigger; the queue is drained first).
+    pub fn join(self) {
+        let _ = self.join_and_report();
+    }
+
+    /// Like [`ServerHandle::join`], but returns the final counters —
+    /// snapshotted *after* the queue drained, so the numbers cover every
+    /// served job.
+    pub fn join_and_report(self) -> Json {
+        let shared = Arc::clone(&self.shared);
+        let _ = self.accept.join();
+        let _ = self.executor.join();
+        // Give in-flight connection threads a bounded window to finish
+        // writing their final responses (they are detached; without this
+        // the hosting process could exit mid-write).
+        for _ in 0..500 {
+            if shared.active_connections.load(Ordering::SeqCst) == 0 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        shared.counters_json()
+    }
+}
+
+fn trigger_shutdown(shared: &Arc<Shared>, addr: SocketAddr) {
+    shared.shutdown.store(true, Ordering::SeqCst);
+    shared.cv.notify_all();
+    // Unblock the accept loop: a throwaway connection makes `incoming`
+    // yield once more, after which the loop observes the flag.
+    let _ = TcpStream::connect(addr);
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(shared);
+        let addr = listener.local_addr().expect("bound listener has an address");
+        std::thread::spawn(move || serve_connection(stream, &shared, addr));
+    }
+}
+
+fn executor_loop(shared: &Arc<Shared>) {
+    let mut queue = shared.queue.lock().expect("queue lock poisoned");
+    loop {
+        if let Some((_, job)) = queue.pop() {
+            drop(queue);
+            let result = job.op.execute(&shared.engine).map_err(|e| e.to_string());
+            if let Ok(result_text) = &result {
+                if let Err(e) = shared.store.put(&job.digest, &job.key, result_text) {
+                    eprintln!("relim-service: store write failed for {}: {e}", job.digest);
+                }
+            }
+            // A dropped receiver (client gone) is fine — work is stored.
+            let _ = job.reply.send(result);
+            queue = shared.queue.lock().expect("queue lock poisoned");
+        } else if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        } else {
+            queue = shared.cv.wait(queue).expect("queue lock poisoned");
+        }
+    }
+}
+
+/// Enqueues a job unless the daemon is shutting down. The flag check and
+/// the push happen under the same lock the executor's exit check uses,
+/// so an accepted job is always served.
+fn enqueue(shared: &Shared, class: Class, job: Job) -> Result<(), String> {
+    let mut queue = shared.queue.lock().expect("queue lock poisoned");
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return Err("server is shutting down".to_owned());
+    }
+    queue.push(class, job);
+    shared.cv.notify_one();
+    Ok(())
+}
+
+fn serve_connection(stream: TcpStream, shared: &Arc<Shared>, addr: SocketAddr) {
+    shared.active_connections.fetch_add(1, Ordering::SeqCst);
+    serve_connection_inner(stream, shared, addr);
+    shared.active_connections.fetch_sub(1, Ordering::SeqCst);
+}
+
+fn serve_connection_inner(stream: TcpStream, shared: &Arc<Shared>, addr: SocketAddr) {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        shared.requests_total.fetch_add(1, Ordering::Relaxed);
+        let (response, shutdown_after_send) = handle_line(&line, shared);
+        let sent = writer.write_all(response.as_bytes()).is_ok()
+            && writer.write_all(b"\n").is_ok()
+            && writer.flush().is_ok();
+        if shutdown_after_send {
+            // The acknowledgement is on the wire (or the peer is gone)
+            // before the teardown starts, so the requester always hears
+            // back.
+            trigger_shutdown(shared, addr);
+        }
+        if !sent {
+            break;
+        }
+    }
+}
+
+/// Handles one request line; returns the response line and whether a
+/// graceful shutdown must be triggered *after* the response is sent.
+fn handle_line(line: &str, shared: &Arc<Shared>) -> (String, bool) {
+    let request = match protocol::parse_request(line) {
+        Ok(r) => r,
+        Err(e) => {
+            shared.n_errors.fetch_add(1, Ordering::Relaxed);
+            return (protocol::render_error_response(None, &e), false);
+        }
+    };
+    let Request { id, body } = request;
+    match body {
+        RequestBody::Status => {
+            shared.n_status.fetch_add(1, Ordering::Relaxed);
+            (protocol::render_status_response(id, shared.counters_json()), false)
+        }
+        RequestBody::Shutdown => (protocol::render_shutdown_response(id), true),
+        RequestBody::Job { op, class } => {
+            let start = Instant::now();
+            shared.count_op(&op);
+            let key = match op.canonical_key() {
+                Ok(key) => key,
+                Err(e) => {
+                    shared.n_errors.fetch_add(1, Ordering::Relaxed);
+                    return (protocol::render_error_response(id, &e.to_string()), false);
+                }
+            };
+            let digest = crate::store::digest_of(&key);
+            if let Some(result) = shared.store.get(&digest, &key) {
+                shared.record_latency(start.elapsed().as_nanos() as u64);
+                return (protocol::render_job_response(id, true, &digest, &result), false);
+            }
+            let (tx, rx) = mpsc::channel();
+            let job = Job { op, digest: digest.clone(), key, reply: tx };
+            if let Err(e) = enqueue(shared, class, job) {
+                shared.n_errors.fetch_add(1, Ordering::Relaxed);
+                return (protocol::render_error_response(id, &e), false);
+            }
+            let response = match rx.recv() {
+                Ok(Ok(result)) => {
+                    shared.record_latency(start.elapsed().as_nanos() as u64);
+                    protocol::render_job_response(id, false, &digest, &result)
+                }
+                Ok(Err(e)) => {
+                    shared.n_errors.fetch_add(1, Ordering::Relaxed);
+                    protocol::render_error_response(id, &e)
+                }
+                Err(_) => {
+                    shared.n_errors.fetch_add(1, Ordering::Relaxed);
+                    protocol::render_error_response(id, "executor exited before the job ran")
+                }
+            };
+            (response, false)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+
+    #[test]
+    fn spawn_serve_cache_shutdown_on_ephemeral_port() {
+        let handle = Server::spawn("127.0.0.1:0", ServerConfig::default()).unwrap();
+        let client = Client::new(handle.local_addr().to_string());
+
+        let op = OpRequest::zero_round("M M M;P O O", "M [P O];O O").unwrap();
+        let first = client.submit(&op, None).unwrap();
+        assert!(!first.cached);
+        assert!(first.result.contains("0-round solvable"), "{}", first.result);
+        let second = client.submit(&op, None).unwrap();
+        assert!(second.cached, "second identical query must be a store hit");
+        assert_eq!(first.result, second.result);
+        assert_eq!(first.digest, op.digest().unwrap());
+
+        let status = client.status().unwrap();
+        let store = status.get("store").expect("counters carry a store object");
+        assert_eq!(store.get("mem_hits").and_then(Json::as_i64), Some(1));
+
+        client.shutdown().unwrap();
+        handle.join();
+    }
+
+    #[test]
+    fn malformed_and_refused_requests_get_error_responses() {
+        let handle = Server::spawn("127.0.0.1:0", ServerConfig::default()).unwrap();
+        let client = Client::new(handle.local_addr().to_string());
+        let err = client.raw_roundtrip("this is not json").unwrap();
+        assert_eq!(err.get("ok").and_then(Json::as_bool), Some(false));
+        let err = client.raw_roundtrip("{\"op\": \"sweep\", \"delta\": 99}").unwrap();
+        assert!(err.get("error").and_then(Json::as_str).unwrap().contains("delta"));
+        client.shutdown().unwrap();
+        handle.join();
+    }
+
+    #[test]
+    fn shutdown_closes_the_listener() {
+        let handle = Server::spawn("127.0.0.1:0", ServerConfig::default()).unwrap();
+        let addr = handle.local_addr().to_string();
+        handle.shutdown();
+        handle.join();
+        // After join the listener is gone: new clients are refused
+        // outright instead of hanging on an unserved connection.
+        let client = Client::new(addr);
+        let op = OpRequest::zero_round("A A", "A A").unwrap();
+        match client.submit(&op, None) {
+            Ok(reply) => panic!("job accepted after shutdown: {reply:?}"),
+            Err(e) => assert!(!e.to_string().is_empty()),
+        }
+    }
+}

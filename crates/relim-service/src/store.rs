@@ -1,0 +1,371 @@
+//! The content-addressed result store.
+//!
+//! Every served result is stored under its **content address**: the
+//! 128-bit FNV-1a digest of the request's canonical key (see
+//! [`crate::ops::OpRequest::canonical_key`]). The store is two-level:
+//!
+//! * an **in-memory map** bounded by `capacity`, evicting in FIFO
+//!   (insertion) order — deterministic, no clocks involved;
+//! * an optional **on-disk layer**: one JSON file per entry, named
+//!   `<digest>.json`, holding the schema tag, the digest, the *full
+//!   canonical key* and the result text. Files are written atomically
+//!   (temp file + rename), so concurrent writers and crashes never
+//!   produce a torn entry — at worst a stale temp file, which loading
+//!   ignores.
+//!
+//! Reads check memory first, then fall back to disk (so eviction only
+//! costs a file read, never a recomputation). Every hit — memory or
+//! disk — **verifies the full key text**, not just the digest: a digest
+//! collision degrades to a miss, never to a wrong answer. Corrupt disk
+//! files (unparsable JSON, wrong schema, digest/key mismatch) are
+//! skipped and counted at load, and simply overwritten by the next store
+//! of that address — recovery is automatic, not manual.
+
+use relim_core::digest::fnv1a128_hex;
+use relim_json::Json;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// The schema tag written into every store file.
+pub const STORE_SCHEMA: &str = "relim-store/1";
+
+/// The content address of a canonical key: 32 hex characters.
+pub fn digest_of(key: &str) -> String {
+    fnv1a128_hex(key.as_bytes())
+}
+
+struct MemEntry {
+    key: String,
+    result: String,
+}
+
+struct Inner {
+    entries: HashMap<String, MemEntry>,
+    /// Insertion order of `entries` keys — the FIFO eviction queue.
+    order: VecDeque<String>,
+}
+
+/// Counters describing a store's traffic and health (all cumulative
+/// since construction except `mem_entries`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Lookups answered from the in-memory map.
+    pub mem_hits: u64,
+    /// Lookups answered from the disk layer (after a memory miss).
+    pub disk_hits: u64,
+    /// Lookups answered by neither layer.
+    pub misses: u64,
+    /// Entries written (memory, and disk when persistent).
+    pub stores: u64,
+    /// Entries evicted from memory by the FIFO bound (still on disk when
+    /// persistent).
+    pub evictions: u64,
+    /// Disk files skipped as corrupt (unparsable, wrong schema, digest or
+    /// key mismatch) at load or on a disk-fallback read.
+    pub corrupt_skipped: u64,
+    /// Distinct entries currently held in memory.
+    pub mem_entries: usize,
+}
+
+/// A content-addressed result store (see the module docs).
+pub struct ResultStore {
+    dir: Option<PathBuf>,
+    capacity: usize,
+    inner: Mutex<Inner>,
+    mem_hits: AtomicU64,
+    disk_hits: AtomicU64,
+    misses: AtomicU64,
+    stores: AtomicU64,
+    evictions: AtomicU64,
+    corrupt_skipped: AtomicU64,
+    /// Uniquifier for temp file names under concurrent writers.
+    tmp_seq: AtomicU64,
+}
+
+impl std::fmt::Debug for ResultStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResultStore")
+            .field("dir", &self.dir)
+            .field("capacity", &self.capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ResultStore {
+    /// A memory-only store holding up to `capacity` entries (at least 1).
+    pub fn in_memory(capacity: usize) -> ResultStore {
+        ResultStore {
+            dir: None,
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner { entries: HashMap::new(), order: VecDeque::new() }),
+            mem_hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            stores: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            corrupt_skipped: AtomicU64::new(0),
+            tmp_seq: AtomicU64::new(0),
+        }
+    }
+
+    /// A store persisted under `dir` (created if missing): existing
+    /// entries are loaded into memory up to `capacity` (in sorted
+    /// file-name order — deterministic), the rest stay reachable through
+    /// the disk fallback. Corrupt files are skipped and counted, never
+    /// fatal.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory creation/listing failures.
+    pub fn persistent(dir: impl Into<PathBuf>, capacity: usize) -> io::Result<ResultStore> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let store = ResultStore { dir: Some(dir.clone()), ..ResultStore::in_memory(capacity) };
+        let mut names: Vec<PathBuf> = std::fs::read_dir(&dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|e| e == "json"))
+            .collect();
+        names.sort();
+        {
+            let mut inner = store.inner.lock().expect("store lock poisoned");
+            for path in names {
+                if inner.entries.len() >= store.capacity {
+                    break; // remaining entries stay disk-only
+                }
+                match read_entry_file(&path) {
+                    Some((digest, key, result)) => {
+                        inner.order.push_back(digest.clone());
+                        inner.entries.insert(digest, MemEntry { key, result });
+                    }
+                    None => {
+                        store.corrupt_skipped.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        Ok(store)
+    }
+
+    /// Whether this store persists entries to disk.
+    pub fn is_persistent(&self) -> bool {
+        self.dir.is_some()
+    }
+
+    /// The stored result for `key` (whose digest the caller already
+    /// computed), from memory or disk. Verifies the full key on either
+    /// path; `None` on a miss or a (counted) verification failure.
+    pub fn get(&self, digest: &str, key: &str) -> Option<String> {
+        {
+            let inner = self.inner.lock().expect("store lock poisoned");
+            if let Some(entry) = inner.entries.get(digest) {
+                if entry.key == key {
+                    self.mem_hits.fetch_add(1, Ordering::Relaxed);
+                    return Some(entry.result.clone());
+                }
+                // Digest collision: treat as a miss (the store never
+                // serves bytes for a different key).
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        }
+        if let Some(dir) = &self.dir {
+            match read_entry_file(&entry_path(dir, digest)) {
+                Some((_, stored_key, result)) if stored_key == key => {
+                    self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                    return Some(result);
+                }
+                Some(_) => {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    return None;
+                }
+                None => {} // missing or corrupt: fall through to a miss
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Stores `result` under `key`/`digest` in memory (evicting FIFO
+    /// beyond capacity) and, when persistent, on disk via an atomic
+    /// temp-file + rename. Concurrent writers of the same address write
+    /// the same bytes, so the last rename winning is harmless.
+    ///
+    /// # Errors
+    ///
+    /// Propagates disk write failures (the memory layer is already
+    /// updated — the store stays servable).
+    pub fn put(&self, digest: &str, key: &str, result: &str) -> io::Result<()> {
+        {
+            let mut inner = self.inner.lock().expect("store lock poisoned");
+            if !inner.entries.contains_key(digest) {
+                while inner.entries.len() >= self.capacity {
+                    if let Some(oldest) = inner.order.pop_front() {
+                        inner.entries.remove(&oldest);
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        break;
+                    }
+                }
+                inner.order.push_back(digest.to_owned());
+            }
+            inner.entries.insert(
+                digest.to_owned(),
+                MemEntry { key: key.to_owned(), result: result.to_owned() },
+            );
+        }
+        self.stores.fetch_add(1, Ordering::Relaxed);
+        if let Some(dir) = &self.dir {
+            let doc = Json::Obj(vec![
+                ("schema".into(), Json::str(STORE_SCHEMA)),
+                ("digest".into(), Json::str(digest)),
+                ("key".into(), Json::str(key)),
+                ("result".into(), Json::str(result)),
+            ]);
+            let unique = self.tmp_seq.fetch_add(1, Ordering::Relaxed);
+            let tmp = dir.join(format!(".tmp-{}-{}-{digest}", std::process::id(), unique));
+            std::fs::write(&tmp, doc.render())?;
+            std::fs::rename(&tmp, entry_path(dir, digest))?;
+        }
+        Ok(())
+    }
+
+    /// A snapshot of the store counters.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            mem_hits: self.mem_hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            stores: self.stores.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            corrupt_skipped: self.corrupt_skipped.load(Ordering::Relaxed),
+            mem_entries: self.inner.lock().expect("store lock poisoned").entries.len(),
+        }
+    }
+}
+
+fn entry_path(dir: &Path, digest: &str) -> PathBuf {
+    dir.join(format!("{digest}.json"))
+}
+
+/// Reads and fully verifies one store file: parses, checks the schema
+/// tag, re-digests the key and compares it to both the recorded digest
+/// and the file name. `None` for missing or corrupt files.
+fn read_entry_file(path: &Path) -> Option<(String, String, String)> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let doc = Json::parse(&text).ok()?;
+    if doc.get("schema").and_then(Json::as_str) != Some(STORE_SCHEMA) {
+        return None;
+    }
+    let digest = doc.get("digest").and_then(Json::as_str)?.to_owned();
+    let key = doc.get("key").and_then(Json::as_str)?.to_owned();
+    let result = doc.get("result").and_then(Json::as_str)?.to_owned();
+    if digest_of(&key) != digest {
+        return None;
+    }
+    if path.file_stem().and_then(|s| s.to_str()) != Some(digest.as_str()) {
+        return None;
+    }
+    Some((digest, key, result))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("relim-store-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn memory_round_trip_and_verified_hits() {
+        let store = ResultStore::in_memory(8);
+        let key = "relim-store/1\nop=test\n";
+        let digest = digest_of(key);
+        assert_eq!(store.get(&digest, key), None);
+        store.put(&digest, key, "the result\nbytes").unwrap();
+        assert_eq!(store.get(&digest, key).as_deref(), Some("the result\nbytes"));
+        // A forged digest with a different key is a miss, never a hit.
+        assert_eq!(store.get(&digest, "some other key"), None);
+        let stats = store.stats();
+        assert_eq!((stats.mem_hits, stats.misses, stats.stores), (1, 2, 1));
+    }
+
+    #[test]
+    fn fifo_eviction_is_bounded_and_counted() {
+        let store = ResultStore::in_memory(2);
+        let keys: Vec<String> = (0..4).map(|i| format!("key-{i}")).collect();
+        for key in &keys {
+            store.put(&digest_of(key), key, key).unwrap();
+        }
+        let stats = store.stats();
+        assert_eq!(stats.mem_entries, 2);
+        assert_eq!(stats.evictions, 2);
+        // Newest two survive, oldest two are gone (memory-only store).
+        assert_eq!(store.get(&digest_of(&keys[3]), &keys[3]).as_deref(), Some("key-3"));
+        assert_eq!(store.get(&digest_of(&keys[0]), &keys[0]), None);
+    }
+
+    #[test]
+    fn persistent_store_survives_reopen_byte_identically() {
+        let dir = tmp_dir("reopen");
+        let key = "relim-store/1\nop=test\nproblem:\nN (degree 3):\nM M M\n";
+        let digest = digest_of(key);
+        let result = "line one\nline \"two\" with ünïcode\n";
+        {
+            let store = ResultStore::persistent(&dir, 8).unwrap();
+            store.put(&digest, key, result).unwrap();
+        }
+        let reopened = ResultStore::persistent(&dir, 8).unwrap();
+        assert_eq!(reopened.get(&digest, key).as_deref(), Some(result));
+        assert_eq!(reopened.stats().mem_hits, 1, "reopen loads into memory");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn eviction_falls_back_to_disk() {
+        let dir = tmp_dir("fallback");
+        let store = ResultStore::persistent(&dir, 1).unwrap();
+        let (k1, k2) = ("first key", "second key");
+        store.put(&digest_of(k1), k1, "first result").unwrap();
+        store.put(&digest_of(k2), k2, "second result").unwrap(); // evicts k1 from memory
+        assert_eq!(store.stats().mem_entries, 1);
+        assert_eq!(store.get(&digest_of(k1), k1).as_deref(), Some("first result"));
+        assert_eq!(store.stats().disk_hits, 1, "evicted entry served from disk");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_files_are_skipped_and_overwritten() {
+        let dir = tmp_dir("corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let key = "a key";
+        let digest = digest_of(key);
+        // Three corruption flavors: garbage bytes, valid JSON with a
+        // digest that does not match its key, and a wrong schema tag.
+        std::fs::write(dir.join(format!("{digest}.json")), "not json {{{").unwrap();
+        let lying = Json::Obj(vec![
+            ("schema".into(), Json::str(STORE_SCHEMA)),
+            ("digest".into(), Json::str(&digest)),
+            ("key".into(), Json::str("a DIFFERENT key")),
+            ("result".into(), Json::str("poison")),
+        ]);
+        std::fs::write(dir.join("lying.json"), lying.render()).unwrap();
+        std::fs::write(dir.join("old.json"), "{\"schema\": \"relim-store/0\"}").unwrap();
+
+        let store = ResultStore::persistent(&dir, 8).unwrap();
+        assert_eq!(store.stats().corrupt_skipped, 3, "{:?}", store.stats());
+        assert_eq!(store.get(&digest, key), None, "corrupt entry must read as a miss");
+        // Recovery: the next put simply overwrites the bad file.
+        store.put(&digest, key, "good result").unwrap();
+        let reopened = ResultStore::persistent(&dir, 8).unwrap();
+        assert_eq!(reopened.get(&digest, key).as_deref(), Some("good result"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

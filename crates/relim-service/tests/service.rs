@@ -1,0 +1,133 @@
+//! End-to-end daemon tests: the determinism contract (served bytes ==
+//! in-process bytes at engine widths 1/2/8), cold/warm store behaviour,
+//! and warm restarts from the persistent store.
+
+use relim_core::Engine;
+use relim_json::Json;
+use relim_service::client::Client;
+use relim_service::ops::OpRequest;
+use relim_service::queue::Class;
+use relim_service::server::{Server, ServerConfig};
+use std::path::PathBuf;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("relim-service-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn mis_autolb() -> OpRequest {
+    OpRequest::AutoLb {
+        node: "M M M\nP O O".into(),
+        edge: "M [P O]\nO O".into(),
+        max_steps: 3,
+        labels: 6,
+        criterion: relim_service::ops::Criterion::Gadget,
+    }
+}
+
+/// The acceptance contract: a served result is byte-identical to the
+/// same query run in-process, at engine widths 1, 2 and 8.
+#[test]
+fn served_bytes_equal_in_process_bytes_at_widths_1_2_8() {
+    let op = mis_autolb();
+    let reference = op.execute(&Engine::sequential()).unwrap();
+    for threads in [1usize, 2, 8] {
+        let config = ServerConfig { threads, ..ServerConfig::default() };
+        let handle = Server::spawn("127.0.0.1:0", config).unwrap();
+        let client = Client::new(handle.local_addr().to_string());
+
+        let served = client.submit(&op, None).unwrap();
+        let in_process = op.execute(&Engine::builder().threads(threads).build()).unwrap();
+        assert_eq!(served.result, in_process, "threads = {threads}");
+        assert_eq!(served.result, reference, "threads = {threads} vs sequential");
+        assert!(!served.cached);
+
+        // Warm ask: a store hit with the exact same bytes.
+        let warm = client.submit(&op, None).unwrap();
+        assert!(warm.cached, "threads = {threads}");
+        assert_eq!(warm.result, reference, "threads = {threads} warm");
+
+        client.shutdown().unwrap();
+        handle.join();
+    }
+}
+
+/// A restarted daemon over the same store directory serves the cached
+/// certificate instantly — the persistence acceptance criterion.
+#[test]
+fn restart_serves_from_the_persistent_store() {
+    let dir = scratch("restart");
+    let op = mis_autolb();
+    let cold = {
+        let config = ServerConfig { store_dir: Some(dir.clone()), ..ServerConfig::default() };
+        let handle = Server::spawn("127.0.0.1:0", config).unwrap();
+        let client = Client::new(handle.local_addr().to_string());
+        let cold = client.submit(&op, None).unwrap();
+        assert!(!cold.cached);
+        client.shutdown().unwrap();
+        handle.join();
+        cold
+    };
+
+    let config = ServerConfig { store_dir: Some(dir.clone()), ..ServerConfig::default() };
+    let handle = Server::spawn("127.0.0.1:0", config).unwrap();
+    let client = Client::new(handle.local_addr().to_string());
+    let warm = client.submit(&op, None).unwrap();
+    assert!(warm.cached, "the restarted daemon must hit its persistent store");
+    assert_eq!(warm.result, cold.result, "restart must not change a byte");
+    assert_eq!(warm.digest, cold.digest);
+    client.shutdown().unwrap();
+    handle.join();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Bulk sweeps flow through the same store and serve byte-identically;
+/// the class override is accepted on the wire.
+#[test]
+fn sweep_jobs_cache_and_respect_class_override() {
+    let handle = Server::spawn("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let client = Client::new(handle.local_addr().to_string());
+    let op = OpRequest::sweep(3, 8).unwrap();
+    let first = client.submit(&op, None).unwrap();
+    assert!(first.result.contains("VERIFIED"), "{}", first.result);
+    assert!(!first.result.contains("threads"), "served sweep bytes are width-free");
+    let second = client.submit(&op, Some(Class::Interactive)).unwrap();
+    assert!(second.cached, "class override must not split the cache");
+    assert_eq!(first.result, second.result);
+
+    let counters = client.status().unwrap();
+    let ops = counters.get("ops").expect("ops counters");
+    assert_eq!(ops.get("sweep").and_then(Json::as_i64), Some(2));
+    let queue = counters.get("queue").expect("queue counters");
+    assert!(queue.get("max_depth").and_then(Json::as_i64).unwrap() >= 1);
+    client.shutdown().unwrap();
+    handle.join();
+}
+
+/// Distinct queries address distinct content; a parameter change is a
+/// different certificate, never a stale hit.
+#[test]
+fn parameter_changes_never_serve_stale_results() {
+    let handle = Server::spawn("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let client = Client::new(handle.local_addr().to_string());
+    let shallow = OpRequest::Iterate {
+        node: "M M M\nP O O".into(),
+        edge: "M [P O]\nO O".into(),
+        max_steps: 1,
+        label_limit: 20,
+    };
+    let deeper = OpRequest::Iterate {
+        node: "M M M\nP O O".into(),
+        edge: "M [P O]\nO O".into(),
+        max_steps: 2,
+        label_limit: 20,
+    };
+    let a = client.submit(&shallow, None).unwrap();
+    let b = client.submit(&deeper, None).unwrap();
+    assert!(!b.cached, "different max_steps is different content");
+    assert_ne!(a.digest, b.digest);
+    assert_ne!(a.result, b.result);
+    client.shutdown().unwrap();
+    handle.join();
+}

@@ -1,0 +1,169 @@
+//! Integration tests for the content-addressed result store:
+//!
+//! * a property test that round-trips entries (serialize → disk →
+//!   deserialize → **byte-identical** result) under concurrent writers
+//!   racing on overlapping addresses;
+//! * crash-shaped corruption recovery (truncated files, garbage bytes,
+//!   digest/key mismatches) — corrupt entries read as misses, are
+//!   counted, and are healed by the next store of that address.
+
+use proptest::prelude::*;
+use relim_service::store::{digest_of, ResultStore};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A fresh scratch directory per test case (cleaned by the caller).
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "relim-store-it-{tag}-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Deterministic nasty payloads: newlines, quotes, backslashes, control
+/// bytes, unicode — everything the JSON escaping must round-trip.
+fn payload(seed: u64, i: u64) -> (String, String) {
+    let key = format!("relim-store/1\nengine=v1\nop=test\nseed={seed}\nitem={i}\n");
+    let result = format!(
+        "result {i} of seed {seed}\nline \"two\" with \\backslash\\\n\ttab and ü≥Ω\n\u{1}control\nN (degree 3):\nM M M\n"
+    );
+    (key, result)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Several writer threads race on an overlapping set of addresses
+    /// (same key ⇒ same bytes, the store contract); every entry must
+    /// read back byte-identically both from the live store and from a
+    /// fresh store reopened over the same directory.
+    #[test]
+    fn concurrent_writers_round_trip_byte_identically(
+        seed in 0u64..u64::MAX,
+        writers in 2usize..=5,
+    ) {
+        let dir = scratch("writers");
+        let store = Arc::new(ResultStore::persistent(&dir, 6).unwrap());
+        let items: Vec<(String, String, String)> = (0..10u64)
+            .map(|i| {
+                let (key, result) = payload(seed, i);
+                (digest_of(&key), key, result)
+            })
+            .collect();
+
+        let handles: Vec<_> = (0..writers)
+            .map(|w| {
+                let store = Arc::clone(&store);
+                let mut mine = items.clone();
+                let len = mine.len();
+                mine.rotate_left(w % len); // different write orders
+                std::thread::spawn(move || {
+                    for (digest, key, result) in &mine {
+                        store.put(digest, key, result).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("writer panicked");
+        }
+
+        // Live store: byte-identical reads for every entry (capacity 6 <
+        // 10 entries, so some go through the disk fallback).
+        for (digest, key, result) in &items {
+            let got = store.get(digest, key);
+            prop_assert_eq!(got.as_deref(), Some(result.as_str()));
+        }
+        let stats = store.stats();
+        prop_assert!(stats.disk_hits > 0, "eviction must have forced disk reads: {:?}", stats);
+        prop_assert_eq!(stats.corrupt_skipped, 0);
+
+        // Serialize → disk → deserialize: a fresh store over the same
+        // directory serves the same bytes.
+        let reopened = ResultStore::persistent(&dir, 64).unwrap();
+        for (digest, key, result) in &items {
+            let got = reopened.get(digest, key);
+            prop_assert_eq!(got.as_deref(), Some(result.as_str()));
+        }
+        prop_assert_eq!(reopened.stats().corrupt_skipped, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+#[test]
+fn corrupted_files_are_recovered_not_fatal() {
+    let dir = scratch("corrupt");
+    let items: Vec<(String, String, String)> = (0..4u64)
+        .map(|i| {
+            let (key, result) = payload(7, i);
+            (digest_of(&key), key, result)
+        })
+        .collect();
+    {
+        let store = ResultStore::persistent(&dir, 8).unwrap();
+        for (digest, key, result) in &items {
+            store.put(digest, key, result).unwrap();
+        }
+    }
+
+    // Crash-shaped damage: truncate one entry mid-file, overwrite another
+    // with garbage, leave a stray temp-looking file behind.
+    let victim = dir.join(format!("{}.json", items[0].0));
+    let text = std::fs::read_to_string(&victim).unwrap();
+    std::fs::write(&victim, &text[..text.len() / 2]).unwrap();
+    std::fs::write(dir.join(format!("{}.json", items[1].0)), b"\x00\xffgarbage").unwrap();
+    std::fs::write(dir.join(".tmp-999-0-deadbeef"), "half a write").unwrap();
+
+    let store = ResultStore::persistent(&dir, 8).unwrap();
+    assert_eq!(store.stats().corrupt_skipped, 2, "{:?}", store.stats());
+    // Undamaged entries read back byte-identically.
+    for (digest, key, result) in &items[2..] {
+        assert_eq!(store.get(digest, key).as_deref(), Some(result.as_str()));
+    }
+    // Damaged entries are misses...
+    assert_eq!(store.get(&items[0].0, &items[0].1), None);
+    assert_eq!(store.get(&items[1].0, &items[1].1), None);
+    // ...healed by the next store of the same address.
+    store.put(&items[0].0, &items[0].1, &items[0].2).unwrap();
+    store.put(&items[1].0, &items[1].1, &items[1].2).unwrap();
+    let healed = ResultStore::persistent(&dir, 8).unwrap();
+    for (digest, key, result) in &items {
+        assert_eq!(healed.get(digest, key).as_deref(), Some(result.as_str()));
+    }
+    assert_eq!(healed.stats().corrupt_skipped, 0, "the heal rewrote valid files");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn reopen_is_bounded_by_capacity_but_loses_nothing() {
+    let dir = scratch("bounded");
+    let items: Vec<(String, String, String)> = (0..9u64)
+        .map(|i| {
+            let (key, result) = payload(11, i);
+            (digest_of(&key), key, result)
+        })
+        .collect();
+    {
+        let store = ResultStore::persistent(&dir, 16).unwrap();
+        for (digest, key, result) in &items {
+            store.put(digest, key, result).unwrap();
+        }
+    }
+    // Reopen with a tiny memory bound: only `capacity` entries are
+    // preloaded, but every entry stays servable through the disk layer.
+    let store = ResultStore::persistent(&dir, 3).unwrap();
+    assert_eq!(store.stats().mem_entries, 3);
+    for (digest, key, result) in &items {
+        assert_eq!(store.get(digest, key).as_deref(), Some(result.as_str()));
+    }
+    let stats = store.stats();
+    assert_eq!(stats.mem_hits + stats.disk_hits, 9, "{stats:?}");
+    assert!(stats.disk_hits >= 6, "{stats:?}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -13,6 +13,11 @@
 //!   (`lb-family`),
 //! * [`sim`] — the LOCAL / port-numbering model simulator (`local-sim`),
 //! * [`algos`] — the distributed upper-bound algorithms (`local-algos`),
+//! * [`service`] — the serving layer (`relim-service`): a job-queue
+//!   daemon over one shared `Engine` with a content-addressed,
+//!   disk-persistent result store and a JSON-lines TCP protocol. The
+//!   [`Client`] type (re-exported at this root) is the programmatic way
+//!   to talk to a running `relim serve` daemon,
 //! * [`pool`] — the work-stealing thread pool underneath (`relim-pool`);
 //!   the `Engine` session owns the pool handle, so downstream code
 //!   normally never touches this crate directly.
@@ -30,3 +35,5 @@ pub use local_sim as sim;
 pub use relim_core as relim;
 pub use relim_core::{Engine, EngineBuilder, EngineReport};
 pub use relim_pool as pool;
+pub use relim_service as service;
+pub use relim_service::{Client, OpRequest};

@@ -5,10 +5,10 @@
 //! pool promises (results are collected and canonically re-sorted, so the
 //! schedule can never leak into the output) composed with the cache
 //! invariant (a sub-multiset index served from the session cache is a
-//! pure function of the constraint). The deprecated pool-taking free
-//! functions (`rr_step_with`, `iterate_rr_with`, `dominance_filter_with`)
-//! are exercised on purpose — this suite is the one-release compatibility
-//! contract that they stay byte-identical to the `Engine` paths they wrap.
+//! pure function of the constraint). The references are the session-free
+//! sequential paths (`rr_step`, `dominance_filter_reference`,
+//! `iterate_rr_unmemoized`) — the deprecated pool-taking wrappers this
+//! suite used to exercise served their one-release window and are gone.
 //!
 //! Problems are drawn from the full space of small LCLs (random non-empty
 //! subsets of the node/edge configuration spaces), seeded via the standard
@@ -16,14 +16,11 @@
 //! (all-equal cardinality signatures, singleton buckets, empty inputs,
 //! empty member sets, duplicates) are pinned deterministically below the
 //! property tests.
-#![allow(deprecated)]
 
 use mis_domset_lb::pool::Pool;
 use mis_domset_lb::relim::autolb::{self, AutoLbOptions};
-use mis_domset_lb::relim::iterate::{iterate_rr_unmemoized, iterate_rr_with, IterationOutcome};
-use mis_domset_lb::relim::roundelim::{
-    dominance_filter, dominance_filter_reference, dominance_filter_with, rr_step, rr_step_with,
-};
+use mis_domset_lb::relim::iterate::{iterate_rr_unmemoized, IterationOutcome};
+use mis_domset_lb::relim::roundelim::{dominance_filter, dominance_filter_reference, rr_step};
 use mis_domset_lb::relim::{Alphabet, Config, Constraint, Label, LabelSet, Problem, SetConfig};
 use mis_domset_lb::Engine;
 use proptest::prelude::*;
@@ -133,12 +130,11 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     /// `Engine::rr_step` — at threads 1/2/8, memo on/off, warm or cold
-    /// cache — and the deprecated `rr_step_with` wrapper are all
-    /// byte-identical to the sequential `rr_step`, including on
-    /// degenerate problems where every path must fail with the same
+    /// cache — is byte-identical to the sequential `rr_step`, including
+    /// on degenerate problems where every path must fail with the same
     /// error.
     #[test]
-    fn rr_step_identical_across_engines_and_wrappers(p in problems()) {
+    fn rr_step_identical_across_engines(p in problems()) {
         let sequential = render_rr(&rr_step(&p));
         for engine in engine_grid() {
             let got = render_rr(&engine.rr_step(&p));
@@ -149,15 +145,10 @@ proptest! {
             prop_assert_eq!(&warm, &sequential,
                             "warm cache, threads = {}", engine.threads());
         }
-        for threads in [1usize, 2, 8] {
-            let wrapper = render_rr(&rr_step_with(&p, &Pool::new(threads)));
-            prop_assert_eq!(&wrapper, &sequential, "deprecated wrapper, threads = {}", threads);
-        }
     }
 
-    /// The bucketed, sharded dominance filter — through the session and
-    /// through the deprecated wrapper — agrees with the seed's quadratic
-    /// reference at every thread count.
+    /// The bucketed, sharded dominance filter agrees with the seed's
+    /// quadratic reference at every thread count.
     #[test]
     fn dominance_filter_identical_across_thread_counts(configs in set_configs()) {
         let reference = dominance_filter_reference(configs.clone());
@@ -165,19 +156,15 @@ proptest! {
             let filtered = engine.dominance_filter(configs.clone());
             prop_assert_eq!(&filtered, &reference, "threads = {}", engine.threads());
         }
-        for threads in [1usize, 2, 8] {
-            let filtered = dominance_filter_with(configs.clone(), &Pool::new(threads));
-            prop_assert_eq!(&filtered, &reference, "deprecated wrapper, threads = {}", threads);
-        }
     }
 
     /// End-to-end `Engine::iterate_with_limits` (a full fixed-point
     /// search, not a single step) is byte-identical across threads 1/2/8
-    /// and memoization on/off — and the deprecated `iterate_rr_with`
-    /// wrapper and the session-free `iterate_rr_unmemoized` reference
-    /// agree exactly with it at every thread count.
+    /// and memoization on/off — and the session-free
+    /// `iterate_rr_unmemoized` reference agrees exactly with it at every
+    /// thread count.
     #[test]
-    fn iterate_identical_across_engines_and_wrappers(p in problems()) {
+    fn iterate_identical_across_engines(p in problems()) {
         let reference =
             render_outcome(&iterate_rr_unmemoized(&p, 4, 12, &Pool::sequential()));
         for engine in engine_grid() {
@@ -186,8 +173,6 @@ proptest! {
                             "engine threads = {}, memo = {}", engine.threads(), engine.memoizing());
         }
         for threads in [1usize, 2, 8] {
-            let wrapper = render_outcome(&iterate_rr_with(&p, 4, 12, &Pool::new(threads)));
-            prop_assert_eq!(&wrapper, &reference, "deprecated wrapper, threads = {}", threads);
             let unmemoized =
                 render_outcome(&iterate_rr_unmemoized(&p, 4, 12, &Pool::new(threads)));
             prop_assert_eq!(&unmemoized, &reference, "memo off, threads = {}", threads);
@@ -196,8 +181,7 @@ proptest! {
 
     /// The automatic lower-bound search through a session — any width,
     /// memo on/off, even a session whose cache was warmed by an unrelated
-    /// call — matches the deprecated stateless `auto_lower_bound`
-    /// outcome exactly.
+    /// call — matches the cold sequential session outcome exactly.
     #[test]
     fn autolb_identical_across_engines(p in problems()) {
         let opts = AutoLbOptions { max_steps: 2, label_budget: 5, ..Default::default() };
@@ -205,7 +189,7 @@ proptest! {
             let chain: Vec<String> = o.chain().map(Problem::render).collect();
             format!("{:?} {} {}", o.stopped, o.certified_rounds, chain.join("|"))
         };
-        let reference = render(&autolb::auto_lower_bound(&p, &opts));
+        let reference = render(&Engine::sequential().auto_lower_bound(&p, &opts));
         for engine in engine_grid() {
             prop_assert_eq!(&render(&engine.auto_lower_bound(&p, &opts)), &reference,
                             "engine threads = {}, memo = {}", engine.threads(), engine.memoizing());
@@ -225,15 +209,15 @@ fn render_outcome(o: &IterationOutcome) -> String {
     format!("{:?}\n{:?}\n{}", o.stats, o.stopped, rendered.join("\n---\n"))
 }
 
-/// `dominance_filter_with` must match the seed's quadratic reference on
-/// `configs` at thread counts 1, 2 and 8 (and via the default entry
-/// points).
+/// `Engine::dominance_filter` must match the seed's quadratic reference
+/// on `configs` at thread counts 1, 2 and 8 (and via the sequential
+/// entry point).
 fn assert_matches_reference(configs: Vec<SetConfig>, what: &str) {
     let reference = dominance_filter_reference(configs.clone());
     assert_eq!(dominance_filter(configs.clone()), reference, "{what}: sequential entry point");
     for threads in [1usize, 2, 8] {
         assert_eq!(
-            dominance_filter_with(configs.clone(), &Pool::new(threads)),
+            Engine::builder().threads(threads).build().dominance_filter(configs.clone()),
             reference,
             "{what}: threads = {threads}"
         );

@@ -1,0 +1,89 @@
+//! The serving layer's acceptance criteria, exercised through the
+//! facade: submitting the same `autolb` query twice against a running
+//! daemon returns byte-identical results with the second served from the
+//! persistent store, and a served result is byte-identical to the same
+//! query run in-process at engine widths 1, 2 and 8.
+
+use mis_domset_lb::service::queue::Class;
+use mis_domset_lb::service::server::{Server, ServerConfig};
+use mis_domset_lb::{Client, Engine, OpRequest};
+use std::path::PathBuf;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("relim-facade-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The headline query of the acceptance criterion: an `autolb` merge
+/// search on the paper's Δ=3 MIS problem.
+fn autolb_query() -> OpRequest {
+    OpRequest::auto_lb("M M M;P O O", "M [P O];O O").unwrap()
+}
+
+#[test]
+fn same_autolb_query_twice_second_from_persistent_store_byte_identical() {
+    let dir = scratch("twice");
+    let config = ServerConfig { store_dir: Some(dir.clone()), ..ServerConfig::default() };
+    let handle = Server::spawn("127.0.0.1:0", config).unwrap();
+    let client = Client::new(handle.local_addr().to_string());
+    let op = autolb_query();
+
+    let first = client.submit(&op, None).unwrap();
+    assert!(!first.cached, "a cold store cannot hit");
+    assert!(first.result.contains("certificate replay: OK"), "{}", first.result);
+
+    let second = client.submit(&op, None).unwrap();
+    assert!(second.cached, "the second identical query must be a store hit");
+    assert_eq!(second.result, first.result, "served bytes must be identical");
+    assert_eq!(second.digest, first.digest);
+
+    // The hit is backed by a real file under the store directory.
+    let path = dir.join(format!("{}.json", first.digest));
+    assert!(path.is_file(), "persistent entry missing: {}", path.display());
+
+    client.shutdown().unwrap();
+    handle.join();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn served_autolb_is_byte_identical_to_in_process_runs_at_threads_1_2_8() {
+    let op = autolb_query();
+    let sequential = op.execute(&Engine::sequential()).unwrap();
+    for threads in [1usize, 2, 8] {
+        // In-process: an Engine session of this width.
+        let in_process = op.execute(&Engine::builder().threads(threads).build()).unwrap();
+        assert_eq!(in_process, sequential, "in-process width {threads} drifted");
+
+        // Served: a daemon whose shared engine has this width.
+        let config = ServerConfig { threads, ..ServerConfig::default() };
+        let handle = Server::spawn("127.0.0.1:0", config).unwrap();
+        let client = Client::new(handle.local_addr().to_string());
+        let served = client.submit(&op, None).unwrap();
+        assert_eq!(served.result, in_process, "served width {threads} drifted");
+        client.shutdown().unwrap();
+        handle.join();
+    }
+}
+
+#[test]
+fn interactive_and_bulk_jobs_share_one_daemon_and_store() {
+    let handle = Server::spawn("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let client = Client::new(handle.local_addr().to_string());
+
+    // A bulk sweep and an interactive probe through the same engine.
+    let sweep = OpRequest::sweep(3, 8).unwrap();
+    let probe = OpRequest::iterate("O I I", "[O I] I").unwrap();
+    let bulk = client.submit(&sweep, Some(Class::Bulk)).unwrap();
+    assert!(bulk.result.contains("VERIFIED"), "{}", bulk.result);
+    let inter = client.submit(&probe, None).unwrap();
+    assert!(inter.result.contains("FixedPoint"), "{}", inter.result);
+
+    // Both are memoized independently.
+    assert!(client.submit(&sweep, None).unwrap().cached);
+    assert!(client.submit(&probe, None).unwrap().cached);
+
+    client.shutdown().unwrap();
+    handle.join();
+}
