@@ -326,6 +326,92 @@ fn service_cold_vs_warm_entry(threads: usize, quick: bool) -> Entry {
     }
 }
 
+/// The `service_concurrent_throughput` kernel: four client threads fire
+/// one 16-job batch (four distinct `iterate` queries, each submitted by
+/// every thread, so 12 of the 16 submits are duplicates that store-hit
+/// or coalesce) against a fresh in-memory daemon — once at executor-pool
+/// width 1 (run 1) and once at width 4 (run 2). The sorted response
+/// transcript must be byte-identical across the two widths and contain
+/// the in-process reference bytes of every distinct op: the serving
+/// determinism contract under concurrency, measured as batch wall time.
+/// On a single-core runner the two widths time alike — the byte-identity
+/// assertions are the pinned contract, the speedup is informative only.
+fn service_concurrent_throughput_entry(quick: bool) -> Entry {
+    let ops: Vec<OpRequest> = (1..=4)
+        .map(|steps| OpRequest::Iterate {
+            node: "M M M\nP O O".into(),
+            edge: "M [P O]\nO O".into(),
+            max_steps: steps,
+            label_limit: 20,
+        })
+        .collect();
+    let references: Vec<String> = ops
+        .iter()
+        .map(|op| op.execute(&Engine::sequential()).expect("in-process reference"))
+        .collect();
+    let clients = 4usize;
+    let samples = if quick { 3 } else { 5 };
+
+    let run_batch = |executors: usize| -> String {
+        let config = ServerConfig { threads: 1, executors, ..ServerConfig::default() };
+        let handle = Server::spawn("127.0.0.1:0", config).expect("spawn daemon");
+        let addr = handle.local_addr().to_string();
+        let barrier = std::sync::Arc::new(std::sync::Barrier::new(clients));
+        let workers: Vec<_> = (0..clients)
+            .map(|t| {
+                let addr = addr.clone();
+                let ops = ops.clone();
+                let barrier = std::sync::Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    (0..ops.len())
+                        .map(|i| {
+                            let idx = (i + t) % ops.len();
+                            let reply =
+                                Client::new(addr.clone()).submit(&ops[idx], None).expect("submit");
+                            (idx, reply.result)
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let mut rendered = Vec::new();
+        for worker in workers {
+            for (idx, result) in worker.join().expect("client thread panicked") {
+                rendered.push(format!("#{idx}\n{result}"));
+            }
+        }
+        Client::new(addr).shutdown().expect("graceful shutdown");
+        handle.join();
+        rendered.sort();
+        rendered.join("\n===\n")
+    };
+
+    let (out1, med1, min1, max1) = time_median(samples, || run_batch(1));
+    let (out4, med4, min4, max4) = time_median(samples, || run_batch(4));
+    assert_eq!(out1, out4, "served bytes must not depend on the executor count");
+    for (idx, reference) in references.iter().enumerate() {
+        assert!(out4.contains(reference), "response #{idx} drifted from the in-process bytes");
+    }
+    Entry {
+        id: "service_concurrent_throughput".into(),
+        params: vec![
+            ("jobs".into(), Json::Int((clients * ops.len()) as i64)),
+            ("clients".into(), Json::Int(clients as i64)),
+            ("distinct_ops".into(), Json::Int(ops.len() as i64)),
+            ("mode_run0".into(), Json::str("executors_1")),
+            ("mode_run1".into(), Json::str("executors_4")),
+        ],
+        runs: vec![
+            Run { threads: 1, wall_ns: med1, min_ns: min1, max_ns: max1, samples },
+            Run { threads: 4, wall_ns: med4, min_ns: min4, max_ns: max4, samples },
+        ],
+        speedup: Some(med1 as f64 / med4.max(1) as f64),
+        byte_identical: Some(true),
+        report: None,
+    }
+}
+
 /// Deterministic synthetic dominance-filter workload: `n` random
 /// degree-`degree` set-configurations over `labels` labels.
 fn synthetic_configs(n: usize, degree: usize, labels: u8, seed: u64) -> Vec<SetConfig> {
@@ -570,10 +656,12 @@ fn main() {
     entries.push(bucketed);
 
     // 6. The serving layer: the content-addressed store's round-trip
-    // cost, and the daemon's cold-vs-warm latency on an autolb query
-    // (byte identity against the in-process engine asserted inside).
+    // cost, the daemon's cold-vs-warm latency on an autolb query (byte
+    // identity against the in-process engine asserted inside), and the
+    // executor pool's batch throughput at widths 1 vs 4.
     entries.push(store_roundtrip_entry(opts.quick));
     entries.push(service_cold_vs_warm_entry(threads, opts.quick));
+    entries.push(service_concurrent_throughput_entry(opts.quick));
 
     let baseline = Baseline { quick: opts.quick, threads, entries };
     println!("\n[BENCH_relim] parallel engine baseline (1 vs {} threads):", threads);

@@ -50,7 +50,9 @@ const VALUE_KEYS: &[&str] = &[
     "addr",
     "store",
     "store-capacity",
+    "store-budget-bytes",
     "aging-limit",
+    "executors",
     "op",
     "priority",
 ];
@@ -181,6 +183,25 @@ mod tests {
         assert_eq!(a.get_u64("k", 0).unwrap(), 2);
         assert_eq!(a.get_u64("seed", 7).unwrap(), 7);
         assert!(a.require_u64("n").is_err());
+    }
+
+    #[test]
+    fn serve_pool_options_take_values() {
+        // Regression guard: a key missing from VALUE_KEYS turns its value
+        // into a rejected positional, so pin the serve pool/budget flags.
+        let a = parse(&[
+            "serve",
+            "--executors",
+            "4",
+            "--store-budget-bytes",
+            "1048576",
+            "--store-capacity",
+            "64",
+        ])
+        .unwrap();
+        assert_eq!(a.get_u64("executors", 0).unwrap(), 4);
+        assert_eq!(a.get_u64("store-budget-bytes", 0).unwrap(), 1_048_576);
+        assert_eq!(a.get_u64("store-capacity", 0).unwrap(), 64);
     }
 
     #[test]

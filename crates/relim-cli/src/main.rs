@@ -51,7 +51,16 @@ use relim_service::Client;
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     match run(raw) {
-        Ok(output) => println!("{output}"),
+        Ok(output) => {
+            // Write without the println! panic-on-error: a downstream
+            // `relim status | grep -q …` closes the pipe as soon as it
+            // matches, and a broken pipe is a clean exit, not a crash.
+            use std::io::Write;
+            let stdout = std::io::stdout();
+            let mut stdout = stdout.lock();
+            let _ = writeln!(stdout, "{output}");
+            let _ = stdout.flush();
+        }
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!("run `relim help` for usage");
@@ -119,7 +128,8 @@ USAGE: relim [--threads T] <command> ...
   relim sweep       --delta D [--lemma 6|8]
   relim chain       --delta D [--k K] [--exact]
   relim bounds      --n N --delta D [--k K]
-  relim serve       [--addr A] [--store DIR] [--store-capacity N] [--aging-limit N]
+  relim serve       [--addr A] [--store DIR] [--store-capacity N]
+                    [--store-budget-bytes N] [--aging-limit N] [--executors N]
   relim submit      [--addr A] --op autolb|autoub|iterate|sweep|zero-round
                     <op options> [--priority interactive|bulk]
   relim status      [--addr A]
@@ -134,10 +144,14 @@ invocation, and output is byte-identical at any thread count.
 
 `serve` runs the relim-service daemon (JSON-lines over TCP, default
 addr 127.0.0.1:7341): jobs are scheduled interactive-before-bulk with
-aging, results are memoized in a content-addressed store (persistent
-when --store DIR is given — restarts serve cached certificates
-instantly), and every served result is byte-identical to the same query
-run locally. `submit` sends one query and prints the result on stdout
+aging and drained by a pool of executor threads (--executors N or
+RELIM_EXECUTORS, default min(4, cores); identical in-flight queries
+coalesce onto one computation), results are memoized in a
+content-addressed store (persistent when --store DIR is given —
+restarts serve cached certificates instantly; --store-budget-bytes N
+bounds the disk layer with oldest-first GC), and every served result is
+byte-identical to the same query run locally at any executor count.
+`submit` sends one query and prints the result on stdout
 (cached/digest metadata goes to stderr); `status` prints the daemon
 counters; `shutdown` asks the daemon to drain its queue and exit."
         .to_owned()
@@ -181,6 +195,52 @@ fn resolve_threads(flag: Option<u64>, env: Option<&str>) -> Result<usize, ArgErr
             if env_threads as u64 != n {
                 return Err(ArgError(format!(
                     "conflicting thread counts: --threads {n} vs RELIM_THREADS={env_threads}; \
+                     unset one of them (they must agree when both are given)"
+                )));
+            }
+            Ok(n as usize)
+        }
+    }
+}
+
+/// The executor-pool width of a `serve` invocation (`0` = the daemon
+/// default, `min(4, cores)`) from the `--executors N` flag or the
+/// `RELIM_EXECUTORS` environment variable, with the same loud-rejection
+/// rules as [`resolve_threads`].
+fn executors_from(args: &Args) -> Result<usize, Box<dyn std::error::Error>> {
+    let env = match std::env::var("RELIM_EXECUTORS") {
+        Ok(raw) => Some(raw),
+        Err(std::env::VarError::NotPresent) => None,
+        Err(std::env::VarError::NotUnicode(raw)) => Some(raw.to_string_lossy().into_owned()),
+    };
+    Ok(resolve_executors(args.get_u64_opt("executors")?, env.as_deref())?)
+}
+
+/// The pure flag-vs-environment resolution behind [`executors_from`],
+/// mirroring [`resolve_threads`]: a malformed `RELIM_EXECUTORS` (zero,
+/// empty, non-numeric) is a reported error, and setting both the flag
+/// and the variable to different values is rejected.
+fn resolve_executors(flag: Option<u64>, env: Option<&str>) -> Result<usize, ArgError> {
+    fn parse_env(raw: &str) -> Result<usize, ArgError> {
+        match raw.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err(ArgError(format!(
+                "RELIM_EXECUTORS must be a positive integer (e.g. 4), got `{raw}`; \
+                 unset it to use the default (min(4, cores))"
+            ))),
+        }
+    }
+    match (flag, env) {
+        (None, None) => Ok(0),
+        (None, Some(raw)) => parse_env(raw),
+        (Some(n), None) => Ok(n as usize),
+        (Some(n), Some(raw)) => {
+            let env_executors = parse_env(raw).map_err(|e| {
+                ArgError(format!("--executors {n} conflicts with the environment: {e}"))
+            })?;
+            if env_executors as u64 != n {
+                return Err(ArgError(format!(
+                    "conflicting executor counts: --executors {n} vs RELIM_EXECUTORS={env_executors}; \
                      unset one of them (they must agree when both are given)"
                 )));
             }
@@ -463,10 +523,13 @@ const DEFAULT_ADDR: &str = "127.0.0.1:7341";
 fn cmd_serve(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
     let addr = args.get("addr").unwrap_or(DEFAULT_ADDR);
     let threads = threads_from(args)?;
+    let executors = executors_from(args)?;
     let config = ServerConfig {
         threads,
+        executors,
         store_dir: args.get("store").map(std::path::PathBuf::from),
         store_capacity: args.get_u64("store-capacity", 1024)? as usize,
+        store_budget_bytes: args.get_u64_opt("store-budget-bytes")?,
         aging_limit: get_u32(
             args,
             "aging-limit",
@@ -474,16 +537,20 @@ fn cmd_serve(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
         )?,
     };
     let store_desc = match &config.store_dir {
-        Some(dir) => format!("persistent at {}", dir.display()),
+        Some(dir) => match config.store_budget_bytes {
+            Some(budget) => format!("persistent at {} (budget {budget} bytes)", dir.display()),
+            None => format!("persistent at {}", dir.display()),
+        },
         None => "in-memory".to_owned(),
     };
     let handle = Server::spawn(addr, config)?;
     // Announce readiness immediately (scripts poll `relim status`, but a
     // human watching the terminal wants the bound address).
     println!(
-        "relim-service listening on {} (store: {store_desc}, engine threads: {})",
+        "relim-service listening on {} (store: {store_desc}, engine threads: {}, executors: {})",
         handle.local_addr(),
-        if threads == 0 { Engine::available_parallelism() } else { threads }
+        if threads == 0 { Engine::available_parallelism() } else { threads },
+        relim_service::server::resolve_executors(executors),
     );
     use std::io::Write as _;
     std::io::stdout().flush()?;
@@ -678,6 +745,20 @@ mod tests {
         assert!(bad_env.to_string().contains("conflicts with the environment"), "{bad_env}");
         let bad_env_alone = resolve_threads(None, Some("0")).unwrap_err();
         assert!(bad_env_alone.to_string().contains("positive integer"), "{bad_env_alone}");
+    }
+
+    #[test]
+    fn executor_resolution_mirrors_the_thread_rules() {
+        assert_eq!(resolve_executors(None, None).unwrap(), 0);
+        assert_eq!(resolve_executors(Some(4), None).unwrap(), 4);
+        assert_eq!(resolve_executors(None, Some("4")).unwrap(), 4);
+        assert_eq!(resolve_executors(Some(2), Some("2")).unwrap(), 2);
+        let conflict = resolve_executors(Some(4), Some("2")).unwrap_err();
+        assert!(conflict.to_string().contains("conflicting executor counts"), "{conflict}");
+        let bad_env = resolve_executors(None, Some("0")).unwrap_err();
+        assert!(bad_env.to_string().contains("RELIM_EXECUTORS"), "{bad_env}");
+        let bad_combo = resolve_executors(Some(4), Some("none")).unwrap_err();
+        assert!(bad_combo.to_string().contains("conflicts with the environment"), "{bad_combo}");
     }
 
     #[test]

@@ -11,9 +11,13 @@
 //! * a **persistent-pool handle** (a width policy over the process-wide
 //!   worker set of `relim-pool` — the `Engine` is the one component that
 //!   hands the pool to the rest of the system),
-//! * a **long-lived [`SubIndexCache`]** shared across *all* calls — in
-//!   particular across the steps of [`Engine::auto_lower_bound`]'s merge
-//!   search and across repeated [`Engine::iterate`] probes,
+//! * a **long-lived sharded [`SubIndexCache`]** shared across *all*
+//!   calls — in particular across the steps of
+//!   [`Engine::auto_lower_bound`]'s merge search, across repeated
+//!   [`Engine::iterate`] probes, and across *clones of the handle on
+//!   other threads* (daemon executors, sweep tasks): the cache is
+//!   internally sharded-and-locked, so N threads share one memo state
+//!   without a session-wide mutex,
 //! * the memoization toggle and default step limits, and
 //! * session counters surfaced through [`EngineReport`] (cache hits,
 //!   per-operator step counts, batch counts, wall time) that were
@@ -57,7 +61,7 @@ use crate::roundelim::{self, Step, MAX_LABELS};
 use relim_pool::Pool;
 pub use relim_pool::{parse_threads, ThreadsEnvError};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Builder for an [`Engine`] session.
@@ -78,6 +82,7 @@ use std::time::Instant;
 pub struct EngineBuilder {
     threads: usize,
     cache_capacity: usize,
+    cache_shards: usize,
     memoize: bool,
     max_steps: usize,
     label_limit: usize,
@@ -96,6 +101,16 @@ impl EngineBuilder {
     /// [`SubIndexCache`] holds (default 64; clamped to at least 1).
     pub fn cache_capacity(mut self, capacity: usize) -> EngineBuilder {
         self.cache_capacity = capacity;
+        self
+    }
+
+    /// Number of independently-locked shards the session's
+    /// [`SubIndexCache`] is split into (default 8; clamped to at least
+    /// 1). More shards reduce lock contention when many threads share
+    /// one session; output bytes never depend on this — the index is a
+    /// pure function of the constraint.
+    pub fn cache_shards(mut self, shards: usize) -> EngineBuilder {
+        self.cache_shards = shards;
         self
     }
 
@@ -130,7 +145,7 @@ impl EngineBuilder {
                 pool: Pool::new(self.threads),
                 memoize: self.memoize,
                 cache_capacity: self.cache_capacity,
-                cache: Mutex::new(SubIndexCache::with_capacity(self.cache_capacity)),
+                cache: SubIndexCache::sharded(self.cache_shards, self.cache_capacity),
                 uncached_builds: AtomicU64::new(0),
                 r_steps: AtomicU64::new(0),
                 rbar_steps: AtomicU64::new(0),
@@ -152,6 +167,7 @@ impl Default for EngineBuilder {
         EngineBuilder {
             threads: 0,
             cache_capacity: 64,
+            cache_shards: 8,
             memoize: true,
             max_steps: 8,
             label_limit: 20,
@@ -164,7 +180,10 @@ struct EngineShared {
     pool: Pool,
     memoize: bool,
     cache_capacity: usize,
-    cache: Mutex<SubIndexCache>,
+    /// The sharded concurrent sub-multiset index cache — `&self` API, so
+    /// N clones of the handle (daemon executors, sweep tasks) share one
+    /// memo state with per-shard locking instead of a session-wide mutex.
+    cache: SubIndexCache,
     /// Index builds performed with memoization off (counted as misses in
     /// the report, since the cache never saw them).
     uncached_builds: AtomicU64,
@@ -400,7 +419,7 @@ impl Engine {
     /// assert_eq!(report.cache_hits, 1);
     /// ```
     pub fn report(&self) -> EngineReport {
-        let cache = self.shared.cache.lock().expect("engine cache poisoned");
+        let cache = &self.shared.cache;
         let uncached = self.shared.uncached_builds.load(Ordering::Relaxed);
         EngineReport {
             threads: self.threads(),
@@ -409,6 +428,7 @@ impl Engine {
             cache_misses: cache.misses() + uncached,
             cache_entries: cache.len(),
             cache_capacity: self.shared.cache_capacity.max(1),
+            cache_shards: cache.shard_count(),
             r_steps: self.shared.r_steps.load(Ordering::Relaxed),
             rbar_steps: self.shared.rbar_steps.load(Ordering::Relaxed),
             dominance_filters: self.shared.dominance_filters.load(Ordering::Relaxed),
@@ -437,20 +457,14 @@ impl Engine {
             self.shared.uncached_builds.fetch_add(1, Ordering::Relaxed);
             return Arc::new(constraint.sub_multiset_index());
         }
-        if let Some(index) =
-            self.shared.cache.lock().expect("engine cache poisoned").lookup(constraint)
-        {
+        if let Some(index) = self.shared.cache.lookup(constraint) {
             return index;
         }
-        // Build outside the lock so concurrent sweep points do not
-        // serialize on each other's enumeration work; a racing duplicate
-        // build inserts the same bytes.
+        // Build outside the shard lock so concurrent sweep points and
+        // daemon executors do not serialize on each other's enumeration
+        // work; a racing duplicate build inserts the same bytes.
         let index = Arc::new(constraint.sub_multiset_index());
-        self.shared
-            .cache
-            .lock()
-            .expect("engine cache poisoned")
-            .insert(constraint.clone(), Arc::clone(&index));
+        self.shared.cache.insert(constraint.clone(), Arc::clone(&index));
         index
     }
 
@@ -502,6 +516,9 @@ pub struct EngineReport {
     pub cache_entries: usize,
     /// Configured cache bound.
     pub cache_capacity: usize,
+    /// Number of independently-locked cache shards (see
+    /// [`EngineBuilder::cache_shards`]).
+    pub cache_shards: usize,
     /// `R(·)` applications (including those inside `rr_step`, iterations
     /// and bound searches).
     pub r_steps: u64,
@@ -533,8 +550,8 @@ impl EngineReport {
     /// cache-hit trends exactly, not just timings.
     ///
     /// Deliberately excludes `wall_ns` (schedule-dependent) and the
-    /// configuration fields (`threads`, `memoize`, `cache_capacity` —
-    /// inputs, not observations). For a fixed workload on a fixed
+    /// configuration fields (`threads`, `memoize`, `cache_capacity`,
+    /// `cache_shards` — inputs, not observations). For a fixed workload on a fixed
     /// session configuration, every pair is byte-stable across runs,
     /// thread counts and machines.
     ///

@@ -26,7 +26,9 @@ use crate::problem::Problem;
 use crate::roundelim::{r_step, rbar_step_pooled, Step};
 use relim_pool::Pool;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Why an iteration stopped.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -89,37 +91,87 @@ fn stats_of(step: usize, p: &Problem) -> StepStats {
     }
 }
 
-/// An exact-match cache from node constraints to their `Arc`-shared
-/// sub-multiset indices, letting consecutive (or repeated) iteration
-/// steps reuse the index enumeration work.
+/// A concurrent exact-match cache from node constraints to their
+/// `Arc`-shared sub-multiset indices, letting consecutive (or repeated)
+/// iteration steps — possibly on different threads sharing one
+/// [`crate::engine::Engine`] session — reuse the index enumeration work.
 ///
 /// The index is a pure function of the constraint, so a hit is
-/// byte-identical to a rebuild. The cache is bounded: when `capacity`
-/// distinct constraints are held, the next insertion clears the map (an
-/// epoch reset — simple, deterministic, and sufficient for fixed-point
-/// searches whose working set is tiny).
-#[derive(Debug, Clone)]
+/// byte-identical to a rebuild; sharing the cache between threads can
+/// therefore never change output bytes, only counters and wall clock.
+///
+/// ## Sharding
+///
+/// The map is split into `shards` independently-locked shards; a
+/// constraint's shard is chosen by its hash, so concurrent lookups of
+/// *different* constraints contend only when they collide on a shard.
+/// Each shard is bounded by a per-shard capacity (the total `capacity`
+/// divided evenly, at least 1): when a shard is full, the next insertion
+/// into it clears that shard (an epoch reset — simple, deterministic,
+/// and sufficient for fixed-point searches whose working set is tiny).
+/// With one shard this degenerates to exactly the historical
+/// whole-cache epoch reset.
+///
+/// Hit/miss counters are atomics. The lookup→build→insert window is a
+/// benign race: two threads missing the same constraint concurrently
+/// both build and insert the *same bytes*, so at most one duplicate
+/// build per racing thread is ever observable in the counters — never
+/// in results.
+#[derive(Debug)]
 pub struct SubIndexCache {
-    entries: HashMap<Constraint, Arc<SubMultisetIndex>>,
-    capacity: usize,
-    hits: u64,
-    misses: u64,
+    shards: Vec<Mutex<HashMap<Constraint, Arc<SubMultisetIndex>>>>,
+    shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 impl SubIndexCache {
-    /// A cache holding up to 64 constraints.
+    /// A single-shard cache holding up to 64 constraints.
     pub fn new() -> SubIndexCache {
         SubIndexCache::with_capacity(64)
     }
 
-    /// A cache holding up to `capacity` constraints (at least 1).
+    /// A single-shard cache holding up to `capacity` constraints (at
+    /// least 1) — the historical epoch-reset behaviour, byte-for-byte.
     pub fn with_capacity(capacity: usize) -> SubIndexCache {
-        SubIndexCache { entries: HashMap::new(), capacity: capacity.max(1), hits: 0, misses: 0 }
+        SubIndexCache::sharded(1, capacity)
+    }
+
+    /// A cache of `shards` independently-locked shards (at least 1)
+    /// holding up to `capacity` constraints in total: each shard is
+    /// bounded by `capacity / shards` (rounded up, at least 1) and
+    /// epoch-resets independently.
+    pub fn sharded(shards: usize, capacity: usize) -> SubIndexCache {
+        let shards = shards.max(1);
+        let shard_capacity = capacity.max(1).div_ceil(shards);
+        SubIndexCache {
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            shard_capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of independently-locked shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard holding `constraint`, chosen by its hash.
+    fn shard_of(
+        &self,
+        constraint: &Constraint,
+    ) -> &Mutex<HashMap<Constraint, Arc<SubMultisetIndex>>> {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        constraint.hash(&mut hasher);
+        &self.shards[(hasher.finish() % self.shards.len() as u64) as usize]
     }
 
     /// The index for `constraint`, shared from the cache or built (and
-    /// cached) on a miss.
-    pub fn get_or_build(&mut self, constraint: &Constraint) -> Arc<SubMultisetIndex> {
+    /// cached) on a miss. The build happens outside the shard lock, so
+    /// concurrent misses of different constraints never serialize on
+    /// each other's enumeration work.
+    pub fn get_or_build(&self, constraint: &Constraint) -> Arc<SubMultisetIndex> {
         if let Some(index) = self.lookup(constraint) {
             return index;
         }
@@ -130,47 +182,49 @@ impl SubIndexCache {
 
     /// The cached index for `constraint`, if held; counts a hit or a miss.
     /// Split out from [`SubIndexCache::get_or_build`] so a caller (the
-    /// [`crate::engine::Engine`]) can build outside its cache lock.
-    pub fn lookup(&mut self, constraint: &Constraint) -> Option<Arc<SubMultisetIndex>> {
-        match self.entries.get(constraint) {
+    /// [`crate::engine::Engine`]) can build outside the shard lock.
+    pub fn lookup(&self, constraint: &Constraint) -> Option<Arc<SubMultisetIndex>> {
+        let shard = self.shard_of(constraint).lock().expect("cache shard poisoned");
+        match shard.get(constraint) {
             Some(index) => {
-                self.hits += 1;
+                self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(Arc::clone(index))
             }
             None => {
-                self.misses += 1;
+                self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
     }
 
-    /// Stores a built index, clearing the map first when `capacity`
-    /// distinct constraints are already held (the epoch reset).
-    pub fn insert(&mut self, constraint: Constraint, index: Arc<SubMultisetIndex>) {
-        if self.entries.len() >= self.capacity {
-            self.entries.clear();
+    /// Stores a built index, clearing the target shard first when its
+    /// per-shard capacity is already reached (the epoch reset).
+    pub fn insert(&self, constraint: Constraint, index: Arc<SubMultisetIndex>) {
+        let mut shard = self.shard_of(&constraint).lock().expect("cache shard poisoned");
+        if !shard.contains_key(&constraint) && shard.len() >= self.shard_capacity {
+            shard.clear();
         }
-        self.entries.insert(constraint, index);
+        shard.insert(constraint, index);
     }
 
     /// Lookups answered from the cache.
     pub fn hits(&self) -> u64 {
-        self.hits
+        self.hits.load(Ordering::Relaxed)
     }
 
     /// Lookups that had to build the index.
     pub fn misses(&self) -> u64 {
-        self.misses
+        self.misses.load(Ordering::Relaxed)
     }
 
-    /// Distinct constraints currently held.
+    /// Distinct constraints currently held, summed over all shards.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.shards.iter().map(|s| s.lock().expect("cache shard poisoned").len()).sum()
     }
 
     /// Whether the cache holds nothing.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
     }
 }
 
@@ -307,7 +361,7 @@ mod tests {
     #[test]
     fn cache_hits_share_the_index_and_change_nothing() {
         let p = Problem::from_text("M M M\nP O O", "M [P O]\nO O").unwrap();
-        let mut cache = SubIndexCache::new();
+        let cache = SubIndexCache::new();
         let first = cache.get_or_build(p.node());
         let second = cache.get_or_build(p.node());
         assert!(Arc::ptr_eq(&first, &second), "a hit must share the built index");
@@ -317,7 +371,7 @@ mod tests {
 
     #[test]
     fn cache_epoch_reset_respects_capacity() {
-        let mut cache = SubIndexCache::with_capacity(2);
+        let cache = SubIndexCache::with_capacity(2);
         let constraints = ["A A", "A B", "B B"].map(|e| {
             let p = Problem::from_text("A A\nB B", e).unwrap();
             p.edge().clone()
@@ -331,6 +385,31 @@ mod tests {
     }
 
     #[test]
+    fn sharded_cache_shares_across_threads_without_output_drift() {
+        let p = Problem::from_text("M M M\nP O O", "M [P O]\nO O").unwrap();
+        let reference = p.node().sub_multiset_index();
+        for shards in [1usize, 4, 16] {
+            let cache = Arc::new(SubIndexCache::sharded(shards, 64));
+            assert_eq!(cache.shard_count(), shards);
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let cache = Arc::clone(&cache);
+                    let constraint = p.node().clone();
+                    std::thread::spawn(move || cache.get_or_build(&constraint).len())
+                })
+                .collect();
+            for h in handles {
+                assert_eq!(h.join().unwrap(), reference.len(), "shards = {shards}");
+            }
+            // Every thread either hit or missed; at most one entry exists
+            // (duplicate racing builds insert the same bytes).
+            assert_eq!(cache.hits() + cache.misses(), 4, "shards = {shards}");
+            assert_eq!(cache.len(), 1, "shards = {shards}");
+            assert!(cache.misses() >= 1, "someone had to build: shards = {shards}");
+        }
+    }
+
+    #[test]
     fn fixed_point_confirmation_hits_the_cache() {
         // Sinkless orientation: the confirming step recomputes the same
         // problem, so its R(Π) node constraint repeats exactly and the
@@ -340,7 +419,7 @@ mod tests {
         // `Constraint`, which repeats exactly at the fixed point.)
         let so = Problem::from_text("O I I", "[O I] I").unwrap();
         let pool = Pool::sequential();
-        let mut cache = SubIndexCache::new();
+        let cache = SubIndexCache::new();
         let mut current = so.drop_unused_labels().0;
         for step in 0..2 {
             let r = r_step(&current).unwrap();

@@ -23,7 +23,11 @@
 //!   bounded by a FIFO eviction policy, backed by one JSON file per
 //!   entry (written atomically, verified on load, corrupt files
 //!   quarantined by skipping). Evicted entries stay readable through the
-//!   disk fallback.
+//!   disk fallback; the disk layer itself can be bounded by a **byte
+//!   budget** with oldest-first GC. The store also carries the
+//!   **in-flight table** behind request coalescing: identical cold
+//!   queries attach as waiters to the first computation instead of
+//!   recomputing.
 //! * [`queue`] — the scheduling policy: interactive queries (single
 //!   problems) are served before bulk sweeps, with an **aging rule** (a
 //!   bulk job bypassed [`queue::DEFAULT_AGING_LIMIT`] times runs next
@@ -31,10 +35,13 @@
 //!   "batch-level priorities" item as a policy carried by the service.
 //! * [`protocol`] — the wire format: one compact JSON object per line,
 //!   in both directions.
-//! * [`server`] — the daemon: a thread-per-connection TCP listener, one
-//!   executor thread draining the job queue into the shared `Engine`,
+//! * [`server`] — the daemon: a thread-per-connection TCP listener, a
+//!   configurable **executor pool** (default `min(4, cores)`) draining
+//!   the job queue into the shared `Engine` — whose sharded sub-multiset
+//!   index cache the executors memoize through together —
 //!   request/latency counters, and graceful shutdown (the queue drains
-//!   before the process exits).
+//!   before the process exits). Served bytes are identical at any
+//!   executor count.
 //! * [`client`] — a blocking client for the protocol; the `relim
 //!   submit` / `relim status` / `relim shutdown` subcommands and the
 //!   bench kernels are thin wrappers over it.

@@ -9,27 +9,36 @@
 //!   never happens on these threads).
 //! * Connection threads parse requests. Store **hits are served
 //!   inline** — a cached certificate never waits behind the queue.
-//!   Misses are enqueued as jobs and the connection thread blocks on a
-//!   per-job reply channel.
-//! * One **executor thread** drains the [`JobQueue`] (interactive before
-//!   bulk, with aging — see [`crate::queue`]) and runs each job on the
-//!   shared `Engine`. One executor by design: the engine parallelizes
-//!   *inside* a job across the worker pool, so running jobs back-to-back
-//!   keeps the pool saturated without cross-job cache races.
+//!   Misses claim the store's in-flight table: the first identical
+//!   request becomes the *owner* and is enqueued as a job; later
+//!   identical requests attach as **coalesced waiters** on the owner's
+//!   result instead of recomputing. The connection thread blocks on a
+//!   per-job (or per-waiter) reply channel either way.
+//! * A pool of **executor threads** (`ServerConfig::executors`, default
+//!   `min(4, available parallelism)`) drains the [`JobQueue`]
+//!   (interactive before bulk, with aging — see [`crate::queue`]) into
+//!   the shared `Engine`. Executors share the engine's *sharded*
+//!   sub-multiset index cache, so concurrent jobs reuse each other's
+//!   memo state; served bytes are identical at any executor count
+//!   because every cache hit is byte-identical to a rebuild and every
+//!   result is canonical.
 //! * **Graceful shutdown**: a `shutdown` request flips the flag, wakes
-//!   the executor and unblocks the accept loop. New jobs are refused
+//!   the executors and unblocks the accept loop. New jobs are refused
 //!   (checked under the queue lock, so no job is ever lost in the
-//!   race), already-queued jobs are drained and answered, then both
-//!   threads exit and [`ServerHandle::join`] returns.
+//!   race), already-queued jobs are drained and answered — waiters
+//!   included — then every thread exits and [`ServerHandle::join`]
+//!   returns.
 //!
-//! Two identical queries racing a cold store may both compute; both
-//! write the same bytes (results are canonical), so the second rename
-//! is a harmless overwrite — idempotence instead of request coalescing.
+//! An identical query that misses both the store and the coalescing
+//! window (the owner completed between this request's store lookup and
+//! its claim) recomputes — and computes the same canonical bytes, so
+//! the overwriting store write is harmless. Coalescing is a throughput
+//! optimization on top of idempotence, not a correctness mechanism.
 
 use crate::ops::OpRequest;
 use crate::protocol::{self, Request, RequestBody};
 use crate::queue::{Class, JobQueue, DEFAULT_AGING_LIMIT};
-use crate::store::ResultStore;
+use crate::store::{InflightClaim, ResultStore};
 use relim_core::Engine;
 use relim_json::Json;
 use std::io::{BufRead, BufReader, Write};
@@ -47,11 +56,18 @@ pub struct ServerConfig {
     /// Engine pool width (0 = available parallelism). Output bytes never
     /// depend on this.
     pub threads: usize,
+    /// Executor threads draining the job queue (0 = `min(4, available
+    /// parallelism)`). Output bytes never depend on this either — the
+    /// concurrency test battery and the CI multi-executor smoke pin it.
+    pub executors: usize,
     /// Directory of the persistent store; `None` keeps results in
     /// memory only.
     pub store_dir: Option<PathBuf>,
     /// In-memory store bound (see [`ResultStore`]).
     pub store_capacity: usize,
+    /// Disk byte budget of the persistent store; `None` leaves the disk
+    /// layer unbounded (see [`ResultStore::persistent_with_budget`]).
+    pub store_budget_bytes: Option<u64>,
     /// Aging limit of the bulk class (see [`crate::queue`]).
     pub aging_limit: u32,
 }
@@ -60,10 +76,23 @@ impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             threads: 0,
+            executors: 0,
             store_dir: None,
             store_capacity: 1024,
+            store_budget_bytes: None,
             aging_limit: DEFAULT_AGING_LIMIT,
         }
+    }
+}
+
+/// The executor-pool width `configured` resolves to: `0` means
+/// `min(4, available parallelism)` — wide enough to overlap queue waits,
+/// narrow enough not to oversubscribe the engine's worker pool.
+pub fn resolve_executors(configured: usize) -> usize {
+    if configured == 0 {
+        Engine::available_parallelism().min(4)
+    } else {
+        configured
     }
 }
 
@@ -82,6 +111,8 @@ struct Shared {
     queue: Mutex<JobQueue<Job>>,
     cv: Condvar,
     shutdown: AtomicBool,
+    /// Resolved executor-pool width (for the status response).
+    executors: usize,
     /// Live connection threads — joined (bounded-wait) at shutdown so a
     /// response write never races process exit.
     active_connections: AtomicU64,
@@ -93,6 +124,13 @@ struct Shared {
     n_zeroround: AtomicU64,
     n_status: AtomicU64,
     n_errors: AtomicU64,
+    /// Inline store hits by op kind — distinguishes queue-served results
+    /// from cached ones, which the aggregate `ops` counters cannot.
+    h_autolb: AtomicU64,
+    h_autoub: AtomicU64,
+    h_iterate: AtomicU64,
+    h_sweep: AtomicU64,
+    h_zeroround: AtomicU64,
     latency_ns_total: AtomicU64,
     latency_ns_max: AtomicU64,
 }
@@ -105,6 +143,17 @@ impl Shared {
             OpRequest::Iterate { .. } => &self.n_iterate,
             OpRequest::Sweep { .. } => &self.n_sweep,
             OpRequest::ZeroRound { .. } => &self.n_zeroround,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn count_store_hit(&self, op: &OpRequest) {
+        let counter = match op {
+            OpRequest::AutoLb { .. } => &self.h_autolb,
+            OpRequest::AutoUb { .. } => &self.h_autoub,
+            OpRequest::Iterate { .. } => &self.h_iterate,
+            OpRequest::Sweep { .. } => &self.h_sweep,
+            OpRequest::ZeroRound { .. } => &self.h_zeroround,
         };
         counter.fetch_add(1, Ordering::Relaxed);
     }
@@ -148,6 +197,19 @@ impl Shared {
             ),
             ("errors".into(), Json::Int(self.n_errors.load(Ordering::Relaxed) as i64)),
             (
+                "store_hits".into(),
+                Json::Obj(vec![
+                    ("autolb".into(), Json::Int(self.h_autolb.load(Ordering::Relaxed) as i64)),
+                    ("autoub".into(), Json::Int(self.h_autoub.load(Ordering::Relaxed) as i64)),
+                    ("iterate".into(), Json::Int(self.h_iterate.load(Ordering::Relaxed) as i64)),
+                    ("sweep".into(), Json::Int(self.h_sweep.load(Ordering::Relaxed) as i64)),
+                    (
+                        "zero_round".into(),
+                        Json::Int(self.h_zeroround.load(Ordering::Relaxed) as i64),
+                    ),
+                ]),
+            ),
+            (
                 "store".into(),
                 Json::Obj(vec![
                     ("mem_hits".into(), Json::Int(store.mem_hits as i64)),
@@ -156,6 +218,9 @@ impl Shared {
                     ("stores".into(), Json::Int(store.stores as i64)),
                     ("evictions".into(), Json::Int(store.evictions as i64)),
                     ("corrupt_skipped".into(), Json::Int(store.corrupt_skipped as i64)),
+                    ("coalesced".into(), Json::Int(store.coalesced as i64)),
+                    ("gc_evictions".into(), Json::Int(store.gc_evictions as i64)),
+                    ("disk_bytes".into(), Json::Int(store.disk_bytes as i64)),
                     ("mem_entries".into(), Json::Int(store.mem_entries as i64)),
                     ("persistent".into(), Json::Bool(self.store.is_persistent())),
                 ]),
@@ -184,6 +249,7 @@ impl Shared {
             ),
             ("engine".into(), Json::Obj(engine_pairs)),
             ("threads".into(), Json::Int(self.engine.threads() as i64)),
+            ("executors".into(), Json::Int(self.executors as i64)),
         ])
     }
 }
@@ -197,12 +263,12 @@ pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
     accept: JoinHandle<()>,
-    executor: JoinHandle<()>,
+    executors: Vec<JoinHandle<()>>,
 }
 
 impl Server {
     /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
-    /// spawns the accept and executor threads.
+    /// spawns the accept thread and the executor pool.
     ///
     /// # Errors
     ///
@@ -211,15 +277,21 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let store = match &config.store_dir {
-            Some(dir) => ResultStore::persistent(dir, config.store_capacity)?,
+            Some(dir) => ResultStore::persistent_with_budget(
+                dir,
+                config.store_capacity,
+                config.store_budget_bytes,
+            )?,
             None => ResultStore::in_memory(config.store_capacity),
         };
+        let executors = resolve_executors(config.executors);
         let shared = Arc::new(Shared {
             engine: Engine::builder().threads(config.threads).build(),
             store,
             queue: Mutex::new(JobQueue::new(config.aging_limit)),
             cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            executors,
             active_connections: AtomicU64::new(0),
             requests_total: AtomicU64::new(0),
             n_autolb: AtomicU64::new(0),
@@ -229,19 +301,26 @@ impl Server {
             n_zeroround: AtomicU64::new(0),
             n_status: AtomicU64::new(0),
             n_errors: AtomicU64::new(0),
+            h_autolb: AtomicU64::new(0),
+            h_autoub: AtomicU64::new(0),
+            h_iterate: AtomicU64::new(0),
+            h_sweep: AtomicU64::new(0),
+            h_zeroround: AtomicU64::new(0),
             latency_ns_total: AtomicU64::new(0),
             latency_ns_max: AtomicU64::new(0),
         });
 
-        let executor = {
-            let shared = Arc::clone(&shared);
-            std::thread::spawn(move || executor_loop(&shared))
-        };
+        let executors = (0..executors)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || executor_loop(&shared))
+            })
+            .collect();
         let accept = {
             let shared = Arc::clone(&shared);
             std::thread::spawn(move || accept_loop(&listener, &shared))
         };
-        Ok(ServerHandle { addr, shared, accept, executor })
+        Ok(ServerHandle { addr, shared, accept, executors })
     }
 }
 
@@ -262,7 +341,7 @@ impl ServerHandle {
         self.shared.counters_json()
     }
 
-    /// Waits for the accept and executor threads to exit (after a
+    /// Waits for the accept thread and every executor to exit (after a
     /// shutdown trigger; the queue is drained first).
     pub fn join(self) {
         let _ = self.join_and_report();
@@ -274,7 +353,9 @@ impl ServerHandle {
     pub fn join_and_report(self) -> Json {
         let shared = Arc::clone(&self.shared);
         let _ = self.accept.join();
-        let _ = self.executor.join();
+        for executor in self.executors {
+            let _ = executor.join();
+        }
         // Give in-flight connection threads a bounded window to finish
         // writing their final responses (they are detached; without this
         // the hosting process could exit mid-write).
@@ -319,6 +400,9 @@ fn executor_loop(shared: &Arc<Shared>) {
                     eprintln!("relim-service: store write failed for {}: {e}", job.digest);
                 }
             }
+            // Store first, complete second: a request that misses the
+            // coalescing window after this point hits the store instead.
+            shared.store.complete(&job.key, &result);
             // A dropped receiver (client gone) is fine — work is stored.
             let _ = job.reply.send(result);
             queue = shared.queue.lock().expect("queue lock poisoned");
@@ -406,15 +490,27 @@ fn handle_line(line: &str, shared: &Arc<Shared>) -> (String, bool) {
             };
             let digest = crate::store::digest_of(&key);
             if let Some(result) = shared.store.get(&digest, &key) {
+                shared.count_store_hit(&op);
                 shared.record_latency(start.elapsed().as_nanos() as u64);
                 return (protocol::render_job_response(id, true, &digest, &result), false);
             }
-            let (tx, rx) = mpsc::channel();
-            let job = Job { op, digest: digest.clone(), key, reply: tx };
-            if let Err(e) = enqueue(shared, class, job) {
-                shared.n_errors.fetch_add(1, Ordering::Relaxed);
-                return (protocol::render_error_response(id, &e), false);
-            }
+            // Cold: claim the in-flight slot. The first identical request
+            // owns the computation and queues a job; later ones coalesce
+            // onto the owner's result channel.
+            let rx = match shared.store.claim(&key) {
+                InflightClaim::Waiter(rx) => rx,
+                InflightClaim::Owner => {
+                    let (tx, rx) = mpsc::channel();
+                    let job = Job { op, digest: digest.clone(), key: key.clone(), reply: tx };
+                    if let Err(e) = enqueue(shared, class, job) {
+                        // Unblock any waiter that already attached.
+                        shared.store.complete(&key, &Err(e.clone()));
+                        shared.n_errors.fetch_add(1, Ordering::Relaxed);
+                        return (protocol::render_error_response(id, &e), false);
+                    }
+                    rx
+                }
+            };
             let response = match rx.recv() {
                 Ok(Ok(result)) => {
                     shared.record_latency(start.elapsed().as_nanos() as u64);

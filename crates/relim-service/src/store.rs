@@ -20,6 +20,31 @@
 //! files (unparsable JSON, wrong schema, digest/key mismatch) are
 //! skipped and counted at load, and simply overwritten by the next store
 //! of that address — recovery is automatic, not manual.
+//!
+//! ## Request coalescing — the in-flight table
+//!
+//! When several executors serve identical cold queries concurrently, the
+//! store's **in-flight table** lets the first one own the computation and
+//! every later identical request attach as a *waiter*:
+//! [`ResultStore::claim`] returns [`InflightClaim::Owner`] exactly once
+//! per key until the owner calls [`ResultStore::complete`], which
+//! notifies all waiters with the owner's result. The table is keyed by
+//! the **full canonical key**, not the digest, for the same reason hits
+//! verify the key: a digest collision must never hand a waiter bytes
+//! computed for a different request. Owners store the result *before*
+//! completing, so a request that misses the coalescing window either
+//! hits the store or recomputes the same bytes — coalescing is a
+//! throughput optimization, never a correctness dependency.
+//!
+//! ## Disk budget — oldest-first GC
+//!
+//! The disk layer can be bounded by a byte budget
+//! ([`ResultStore::persistent_with_budget`]): whenever a write pushes the
+//! directory past the budget, entry files are deleted oldest-first
+//! (modification time, then file name — deterministic under equal
+//! timestamps) until the directory fits, never touching the entry just
+//! written. A collected entry simply becomes a store miss; the next
+//! computation of that address re-persists it.
 
 use relim_core::digest::fnv1a128_hex;
 use relim_json::Json;
@@ -28,7 +53,7 @@ use std::collections::VecDeque;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{mpsc, Mutex};
 
 /// The schema tag written into every store file.
 pub const STORE_SCHEMA: &str = "relim-store/1";
@@ -49,6 +74,22 @@ struct Inner {
     order: VecDeque<String>,
 }
 
+/// The waiter senders attached to one in-flight computation.
+type WaiterSenders = Vec<mpsc::Sender<Result<String, String>>>;
+
+/// The outcome of [`ResultStore::claim`]: either the caller owns the
+/// computation for its key, or an identical computation is already in
+/// flight and the caller holds a receiver for its result.
+pub enum InflightClaim {
+    /// No identical computation is in flight. The claimant must compute,
+    /// store, and then call [`ResultStore::complete`] exactly once —
+    /// even on failure — or waiters block until their receiver errors.
+    Owner,
+    /// An identical computation is in flight; receive the owner's
+    /// result (or error) from the channel.
+    Waiter(mpsc::Receiver<Result<String, String>>),
+}
+
 /// Counters describing a store's traffic and health (all cumulative
 /// since construction except `mem_entries`).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -67,6 +108,14 @@ pub struct StoreStats {
     /// Disk files skipped as corrupt (unparsable, wrong schema, digest or
     /// key mismatch) at load or on a disk-fallback read.
     pub corrupt_skipped: u64,
+    /// Requests that attached as waiters to an identical in-flight
+    /// computation instead of recomputing (see [`ResultStore::claim`]).
+    pub coalesced: u64,
+    /// Entry files deleted from disk by the byte-budget GC (see
+    /// [`ResultStore::persistent_with_budget`]).
+    pub gc_evictions: u64,
+    /// Bytes currently held by the disk layer (0 for memory-only stores).
+    pub disk_bytes: u64,
     /// Distinct entries currently held in memory.
     pub mem_entries: usize,
 }
@@ -75,13 +124,22 @@ pub struct StoreStats {
 pub struct ResultStore {
     dir: Option<PathBuf>,
     capacity: usize,
+    /// Disk byte budget; `None` leaves the disk layer unbounded.
+    budget_bytes: Option<u64>,
     inner: Mutex<Inner>,
+    /// In-flight computations by full canonical key → waiter senders.
+    inflight: Mutex<HashMap<String, WaiterSenders>>,
+    /// Serializes disk writes and GC, and carries the current on-disk
+    /// byte count so the budget check never re-lists the directory.
+    disk: Mutex<u64>,
     mem_hits: AtomicU64,
     disk_hits: AtomicU64,
     misses: AtomicU64,
     stores: AtomicU64,
     evictions: AtomicU64,
     corrupt_skipped: AtomicU64,
+    coalesced: AtomicU64,
+    gc_evictions: AtomicU64,
     /// Uniquifier for temp file names under concurrent writers.
     tmp_seq: AtomicU64,
 }
@@ -101,35 +159,65 @@ impl ResultStore {
         ResultStore {
             dir: None,
             capacity: capacity.max(1),
+            budget_bytes: None,
             inner: Mutex::new(Inner { entries: HashMap::new(), order: VecDeque::new() }),
+            inflight: Mutex::new(HashMap::new()),
+            disk: Mutex::new(0),
             mem_hits: AtomicU64::new(0),
             disk_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             stores: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             corrupt_skipped: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            gc_evictions: AtomicU64::new(0),
             tmp_seq: AtomicU64::new(0),
         }
+    }
+
+    /// A store persisted under `dir` with an unbounded disk layer — see
+    /// [`ResultStore::persistent_with_budget`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory creation/listing failures.
+    pub fn persistent(dir: impl Into<PathBuf>, capacity: usize) -> io::Result<ResultStore> {
+        ResultStore::persistent_with_budget(dir, capacity, None)
     }
 
     /// A store persisted under `dir` (created if missing): existing
     /// entries are loaded into memory up to `capacity` (in sorted
     /// file-name order — deterministic), the rest stay reachable through
     /// the disk fallback. Corrupt files are skipped and counted, never
-    /// fatal.
+    /// fatal. When `budget_bytes` is set, the disk layer is bounded: any
+    /// write (and the open itself) that finds the directory over budget
+    /// deletes entry files oldest-first until it fits (see the module
+    /// docs).
     ///
     /// # Errors
     ///
     /// Propagates directory creation/listing failures.
-    pub fn persistent(dir: impl Into<PathBuf>, capacity: usize) -> io::Result<ResultStore> {
+    pub fn persistent_with_budget(
+        dir: impl Into<PathBuf>,
+        capacity: usize,
+        budget_bytes: Option<u64>,
+    ) -> io::Result<ResultStore> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
-        let store = ResultStore { dir: Some(dir.clone()), ..ResultStore::in_memory(capacity) };
+        let store = ResultStore {
+            dir: Some(dir.clone()),
+            budget_bytes,
+            ..ResultStore::in_memory(capacity)
+        };
         let mut names: Vec<PathBuf> = std::fs::read_dir(&dir)?
             .filter_map(|e| e.ok().map(|e| e.path()))
             .filter(|p| p.extension().is_some_and(|e| e == "json"))
             .collect();
         names.sort();
+        let mut disk_bytes = 0u64;
+        for path in &names {
+            disk_bytes += std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+        }
         {
             let mut inner = store.inner.lock().expect("store lock poisoned");
             for path in names {
@@ -144,6 +232,17 @@ impl ResultStore {
                     None => {
                         store.corrupt_skipped.fetch_add(1, Ordering::Relaxed);
                     }
+                }
+            }
+        }
+        {
+            let mut disk = store.disk.lock().expect("store disk lock poisoned");
+            *disk = disk_bytes;
+            // A directory inherited over budget (budget lowered between
+            // runs) is trimmed at open, before any traffic.
+            if let Some(budget) = store.budget_bytes {
+                if *disk > budget {
+                    store.gc_oldest_first(&dir, None, budget, &mut disk);
                 }
             }
         }
@@ -225,12 +324,97 @@ impl ResultStore {
                 ("key".into(), Json::str(key)),
                 ("result".into(), Json::str(result)),
             ]);
+            let text = doc.render();
             let unique = self.tmp_seq.fetch_add(1, Ordering::Relaxed);
             let tmp = dir.join(format!(".tmp-{}-{}-{digest}", std::process::id(), unique));
-            std::fs::write(&tmp, doc.render())?;
-            std::fs::rename(&tmp, entry_path(dir, digest))?;
+            let target = entry_path(dir, digest);
+            // The disk lock serializes write + accounting + GC, so the
+            // byte count stays exact under concurrent writers.
+            let mut disk = self.disk.lock().expect("store disk lock poisoned");
+            std::fs::write(&tmp, &text)?;
+            let replaced = std::fs::metadata(&target).map(|m| m.len()).unwrap_or(0);
+            std::fs::rename(&tmp, &target)?;
+            *disk = disk.saturating_sub(replaced) + text.len() as u64;
+            if let Some(budget) = self.budget_bytes {
+                if *disk > budget {
+                    self.gc_oldest_first(dir, Some(digest), budget, &mut disk);
+                }
+            }
         }
         Ok(())
+    }
+
+    /// Deletes entry files oldest-first (mtime, then name) until the
+    /// directory fits `budget`, never touching `protect` (the entry just
+    /// written). Best-effort: a file that vanishes mid-GC (a racing GC in
+    /// another process, a concurrent writer's rename) is simply skipped —
+    /// the next write re-runs the check. Caller holds the disk lock.
+    fn gc_oldest_first(&self, dir: &Path, protect: Option<&str>, budget: u64, disk: &mut u64) {
+        let Ok(listing) = std::fs::read_dir(dir) else { return };
+        let mut files: Vec<(std::time::SystemTime, PathBuf, u64)> = listing
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+            .filter(|e| {
+                protect.is_none_or(|digest| {
+                    e.path().file_stem().and_then(|s| s.to_str()) != Some(digest)
+                })
+            })
+            .filter_map(|e| {
+                let meta = e.metadata().ok()?;
+                let mtime = meta.modified().ok()?;
+                Some((mtime, e.path(), meta.len()))
+            })
+            .collect();
+        files.sort();
+        for (_, path, len) in files {
+            if *disk <= budget {
+                break;
+            }
+            if std::fs::remove_file(&path).is_ok() {
+                *disk = disk.saturating_sub(len);
+                self.gc_evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Claims the in-flight slot for `key`: [`InflightClaim::Owner`] when
+    /// no identical computation is running (the caller must compute,
+    /// [`ResultStore::put`], then [`ResultStore::complete`]), or
+    /// [`InflightClaim::Waiter`] carrying a receiver for the owner's
+    /// result. Keyed by the full canonical key — a digest collision can
+    /// never coalesce two different requests.
+    pub fn claim(&self, key: &str) -> InflightClaim {
+        let mut inflight = self.inflight.lock().expect("store inflight lock poisoned");
+        match inflight.get_mut(key) {
+            Some(waiters) => {
+                let (tx, rx) = mpsc::channel();
+                waiters.push(tx);
+                self.coalesced.fetch_add(1, Ordering::Relaxed);
+                InflightClaim::Waiter(rx)
+            }
+            None => {
+                inflight.insert(key.to_owned(), Vec::new());
+                InflightClaim::Owner
+            }
+        }
+    }
+
+    /// Releases the in-flight slot for `key`, sending `result` to every
+    /// waiter that attached while the owner computed. The owner must call
+    /// this *after* [`ResultStore::put`], so a request arriving between
+    /// the two either waits here or hits the store — never recomputes
+    /// unnecessarily, and never misses the result.
+    pub fn complete(&self, key: &str, result: &Result<String, String>) {
+        let waiters = self
+            .inflight
+            .lock()
+            .expect("store inflight lock poisoned")
+            .remove(key)
+            .unwrap_or_default();
+        for tx in waiters {
+            // A gone waiter (client disconnected) is fine.
+            let _ = tx.send(result.clone());
+        }
     }
 
     /// A snapshot of the store counters.
@@ -242,6 +426,9 @@ impl ResultStore {
             stores: self.stores.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             corrupt_skipped: self.corrupt_skipped.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            gc_evictions: self.gc_evictions.load(Ordering::Relaxed),
+            disk_bytes: *self.disk.lock().expect("store disk lock poisoned"),
             mem_entries: self.inner.lock().expect("store lock poisoned").entries.len(),
         }
     }
@@ -338,6 +525,76 @@ mod tests {
         assert_eq!(store.stats().mem_entries, 1);
         assert_eq!(store.get(&digest_of(k1), k1).as_deref(), Some("first result"));
         assert_eq!(store.stats().disk_hits, 1, "evicted entry served from disk");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn claim_coalesces_waiters_until_complete() {
+        let store = ResultStore::in_memory(8);
+        let key = "relim-store/1\nop=test\ncoalesce\n";
+        assert!(matches!(store.claim(key), InflightClaim::Owner));
+        let InflightClaim::Waiter(rx1) = store.claim(key) else {
+            panic!("second claim must coalesce")
+        };
+        let InflightClaim::Waiter(rx2) = store.claim(key) else {
+            panic!("third claim must coalesce")
+        };
+        // A *different* key is its own computation, never coalesced.
+        assert!(matches!(store.claim("another key"), InflightClaim::Owner));
+        assert_eq!(store.stats().coalesced, 2);
+
+        store.complete(key, &Ok("the bytes".to_owned()));
+        assert_eq!(rx1.recv().unwrap().unwrap(), "the bytes");
+        assert_eq!(rx2.recv().unwrap().unwrap(), "the bytes");
+        // The slot is free again: the next identical request owns it.
+        assert!(matches!(store.claim(key), InflightClaim::Owner));
+        store.complete(key, &Err("boom".to_owned()));
+        store.complete("another key", &Ok(String::new()));
+    }
+
+    #[test]
+    fn budget_gc_deletes_oldest_first_and_reput_repersists() {
+        let dir = tmp_dir("gc");
+        // Each entry file is ~130 bytes; a 300-byte budget holds two.
+        let store = ResultStore::persistent_with_budget(&dir, 1, Some(300)).unwrap();
+        let keys: Vec<String> = (0..3).map(|i| format!("gc key {i}")).collect();
+        for key in &keys {
+            store.put(&digest_of(key), key, "result payload").unwrap();
+            // Distinct mtimes even on coarse-grained filesystems.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        let stats = store.stats();
+        assert!(stats.gc_evictions >= 1, "{stats:?}");
+        assert!(stats.disk_bytes <= 300, "{stats:?}");
+        // The newest entry is never the GC victim.
+        assert!(dir.join(format!("{}.json", digest_of(&keys[2]))).is_file());
+        // The oldest was collected; with mem capacity 1 it is a full miss.
+        assert!(!dir.join(format!("{}.json", digest_of(&keys[0]))).is_file());
+        assert_eq!(store.get(&digest_of(&keys[0]), &keys[0]), None);
+        // Re-putting the collected entry re-persists it.
+        store.put(&digest_of(&keys[0]), &keys[0], "result payload").unwrap();
+        assert!(dir.join(format!("{}.json", digest_of(&keys[0]))).is_file());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn budget_gc_trims_an_inherited_directory_at_open() {
+        let dir = tmp_dir("gc-open");
+        {
+            let unbounded = ResultStore::persistent(&dir, 8).unwrap();
+            for i in 0..4 {
+                let key = format!("open key {i}");
+                unbounded.put(&digest_of(&key), &key, "result payload").unwrap();
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            assert_eq!(unbounded.stats().gc_evictions, 0, "no budget, no GC");
+        }
+        let store = ResultStore::persistent_with_budget(&dir, 8, Some(300)).unwrap();
+        let stats = store.stats();
+        assert!(stats.gc_evictions >= 1, "{stats:?}");
+        assert!(stats.disk_bytes <= 300, "{stats:?}");
+        // The newest entry survived the trim.
+        assert!(dir.join(format!("{}.json", digest_of("open key 3"))).is_file());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -67,6 +67,55 @@ fn served_autolb_is_byte_identical_to_in_process_runs_at_threads_1_2_8() {
     }
 }
 
+/// Pins the concurrency surface of the status counters: the resolved
+/// executor-pool width, per-kind store hits, and the coalescing / GC /
+/// disk-byte counters — all exact, because the submissions are serial.
+#[test]
+fn status_counters_pin_executors_per_kind_hits_coalescing_and_gc() {
+    use relim_json::Json;
+
+    let dir = scratch("counters");
+    let config = ServerConfig {
+        executors: 2,
+        store_dir: Some(dir.clone()),
+        store_budget_bytes: Some(1 << 20),
+        ..ServerConfig::default()
+    };
+    let handle = Server::spawn("127.0.0.1:0", config).unwrap();
+    let client = Client::new(handle.local_addr().to_string());
+
+    let autolb = autolb_query();
+    let probe = OpRequest::iterate("O I I", "[O I] I").unwrap();
+    assert!(!client.submit(&autolb, None).unwrap().cached);
+    assert!(client.submit(&autolb, None).unwrap().cached);
+    assert!(!client.submit(&probe, None).unwrap().cached);
+    assert!(client.submit(&probe, None).unwrap().cached);
+
+    let counters = client.status().unwrap();
+    let at = |obj: &str, key: &str| {
+        counters
+            .get(obj)
+            .and_then(|o| o.get(key))
+            .and_then(Json::as_i64)
+            .unwrap_or_else(|| panic!("counters missing {obj}.{key}: {counters:?}"))
+    };
+    assert_eq!(counters.get("executors").and_then(Json::as_i64), Some(2));
+    assert_eq!(at("store_hits", "autolb"), 1);
+    assert_eq!(at("store_hits", "iterate"), 1);
+    assert_eq!(at("store_hits", "autoub"), 0);
+    assert_eq!(at("store_hits", "sweep"), 0);
+    assert_eq!(at("store_hits", "zero_round"), 0);
+    assert_eq!(at("store", "coalesced"), 0, "serial submits never coalesce");
+    assert_eq!(at("store", "gc_evictions"), 0, "a megabyte budget never collects here");
+    assert!(at("store", "disk_bytes") > 0, "persistent entries are accounted");
+    assert_eq!(at("ops", "autolb"), 2);
+    assert_eq!(at("ops", "iterate"), 2);
+
+    client.shutdown().unwrap();
+    handle.join();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 #[test]
 fn interactive_and_bulk_jobs_share_one_daemon_and_store() {
     let handle = Server::spawn("127.0.0.1:0", ServerConfig::default()).unwrap();
