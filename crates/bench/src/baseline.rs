@@ -2,21 +2,27 @@
 //! parallel round-elimination engine's wall-clock behaviour, emitted by
 //! the `bench-driver` binary alongside the human tables.
 //!
-//! Schema (`bench-relim/3`): a header with the thread configuration plus
+//! Schema (`bench-relim/4`): a header with the thread configuration plus
 //! one entry per kernel, each carrying its parameter assignments, one
 //! timed run per configuration (usually thread counts; the
 //! `engine_session_reuse` kernel compares per-call vs shared engine
 //! caches instead), the speedup of the last run over the first, whether
 //! the compared outputs were byte-identical (always asserted before the
-//! file is written), and — new in `bench-relim/3` — an `engine_report`
-//! object: the **deterministic** counters of an
+//! file is written), and an `engine_report` object: the
+//! **deterministic** counters of an
 //! [`EngineReport`](relim_core::EngineReport) probe run
-//! (cache hits/misses, per-operator counts; never `wall_ns`). Unlike the
-//! timing fields these are diffed *exactly* by `bench-driver --diff`, so
-//! CI catches cache-hit-trend regressions, not just schema drift.
+//! (cache hits/misses, per-operator counts; never `wall_ns`), plus —
+//! new in `bench-relim/4` — the probe's exact `alloc_count` /
+//! `alloc_bytes` heap-allocation deltas measured by the driver's
+//! counting allocator. Unlike the timing fields these are diffed
+//! *exactly* by `bench-driver --diff`, so CI catches cache-hit-trend
+//! **and allocation** regressions, not just schema drift (allocation
+//! counts, like cache counters, are deterministic for a fixed workload —
+//! `wall_ns` is not).
 //! History: `bench-relim/2` added the `engine_session_reuse` kernel;
 //! `bench-relim/3` added `engine_report` plus the `store_roundtrip` and
-//! `service_cold_vs_warm` serving-layer kernels.
+//! `service_cold_vs_warm` serving-layer kernels; `bench-relim/4` added
+//! the allocation counters backing the `--alloc-gate` regression gate.
 
 use crate::json::Json;
 
@@ -104,7 +110,7 @@ impl Baseline {
     /// The file as a JSON value.
     pub fn to_json(&self) -> Json {
         Json::Obj(vec![
-            ("schema".into(), Json::str("bench-relim/3")),
+            ("schema".into(), Json::str("bench-relim/4")),
             ("generated_by".into(), Json::str("bench-driver")),
             ("quick".into(), Json::Bool(self.quick)),
             ("threads".into(), Json::Int(self.threads as i64)),
@@ -157,9 +163,16 @@ impl Baseline {
 
 /// Object keys whose values are timing- or hardware-dependent: a diff
 /// only requires them to be *present with the right kind* (number or
-/// null), never value-equal.
+/// null), never value-equal. `alloc_count`/`alloc_bytes` are deliberately
+/// **not** here: allocation counts are deterministic for a fixed
+/// workload, so they diff exactly like the cache counters.
 const TIMING_KEYS: [&str; 6] =
     ["wall_ns", "min_ns", "max_ns", "speedup", "speedup_vs_reference", "available_parallelism"];
+
+/// Kernels whose committed `engine_report.alloc_count` is the per-call
+/// allocation budget enforced by `bench-driver --alloc-gate` (the ROADMAP
+/// "allocation-free hot loop" acceptance kernels).
+pub const ALLOC_GATE_KERNELS: [&str; 2] = ["rbar_step_pi_d5_a4_x1", "iterate_rr_mis_d3"];
 
 /// Schema-checks a parsed `BENCH_relim.json`: schema tag, header keys,
 /// per-entry/run key presence, and the byte-identity assertions
@@ -168,8 +181,8 @@ const TIMING_KEYS: [&str; 6] =
 pub fn schema_problems(doc: &Json) -> Vec<String> {
     let mut out = Vec::new();
     match doc.get("schema").and_then(Json::as_str) {
-        Some("bench-relim/3") => {}
-        Some(other) => out.push(format!("schema: expected `bench-relim/3`, got `{other}`")),
+        Some("bench-relim/4") => {}
+        Some(other) => out.push(format!("schema: expected `bench-relim/4`, got `{other}`")),
         None => out.push("schema: missing or not a string".into()),
     }
     for key in ["generated_by", "quick", "threads", "available_parallelism", "entries"] {
@@ -206,6 +219,23 @@ pub fn schema_problems(doc: &Json) -> Vec<String> {
                          (schedule-dependent)"
                     ));
                 }
+            }
+            // The allocation counters travel as a pair.
+            let has = |k: &str| fields.iter().any(|(key, _)| key == k);
+            if has("alloc_count") != has("alloc_bytes") {
+                out.push(format!(
+                    "entries[{i}] ({id}): engine_report must carry alloc_count and \
+                     alloc_bytes together"
+                ));
+            }
+            // The alloc-gate kernels must commit a per-call allocation
+            // budget: without it `bench-driver --alloc-gate` has nothing
+            // to enforce.
+            if ALLOC_GATE_KERNELS.contains(&id) && !has("alloc_count") {
+                out.push(format!(
+                    "entries[{i}] ({id}): alloc-gate kernel is missing \
+                     engine_report.alloc_count"
+                ));
             }
         }
         if entry.get("byte_identical") == Some(&Json::Bool(false)) {
@@ -336,7 +366,12 @@ mod tests {
                 ],
                 speedup: Some(2.0),
                 byte_identical: Some(true),
-                report: Some(vec![("cache_hits".into(), 3), ("rbar_steps".into(), 6)]),
+                report: Some(vec![
+                    ("cache_hits".into(), 3),
+                    ("rbar_steps".into(), 6),
+                    ("alloc_count".into(), 120),
+                    ("alloc_bytes".into(), 4096),
+                ]),
             }],
         }
     }
@@ -344,7 +379,7 @@ mod tests {
     #[test]
     fn json_shape() {
         let text = sample().to_json().render();
-        assert!(text.contains("\"schema\": \"bench-relim/3\""));
+        assert!(text.contains("\"schema\": \"bench-relim/4\""));
         assert!(text.contains("\"id\": \"lemma8_sweep_d4\""));
         assert!(text.contains("\"speedup\": 2"));
         assert!(text.contains("\"byte_identical\": true"));
@@ -381,10 +416,56 @@ mod tests {
         let problems = schema_problems(&doc);
         assert!(problems.iter().any(|p| p.contains("byte_identical is false")), "{problems:?}");
 
-        let doc = Json::parse("{\"schema\": \"bench-relim/2\"}").unwrap();
+        let doc = Json::parse("{\"schema\": \"bench-relim/3\"}").unwrap();
         let problems = schema_problems(&doc);
-        assert!(problems.iter().any(|p| p.contains("bench-relim/3")), "{problems:?}");
+        assert!(problems.iter().any(|p| p.contains("bench-relim/4")), "{problems:?}");
         assert!(problems.iter().any(|p| p.contains("entries")), "{problems:?}");
+    }
+
+    #[test]
+    fn schema_check_requires_alloc_fields_to_travel_as_a_pair() {
+        let mut lonely = sample();
+        lonely.entries[0].report =
+            Some(vec![("cache_hits".into(), 3), ("alloc_count".into(), 120)]);
+        let doc = Json::parse(&lonely.to_json().render()).unwrap();
+        let problems = schema_problems(&doc);
+        assert!(problems.iter().any(|p| p.contains("alloc_bytes together")), "{problems:?}");
+    }
+
+    #[test]
+    fn schema_check_requires_budgets_on_alloc_gate_kernels() {
+        let mut base = sample();
+        base.entries[0].id = ALLOC_GATE_KERNELS[0].into();
+        base.entries[0].report = Some(vec![("cache_hits".into(), 3)]);
+        let doc = Json::parse(&base.to_json().render()).unwrap();
+        let problems = schema_problems(&doc);
+        assert!(
+            problems.iter().any(|p| p.contains("missing") && p.contains("alloc_count")),
+            "{problems:?}"
+        );
+        // With the budget present the same entry is clean.
+        base.entries[0].report =
+            Some(vec![("alloc_count".into(), 120), ("alloc_bytes".into(), 4096)]);
+        let doc = Json::parse(&base.to_json().render()).unwrap();
+        assert_eq!(schema_problems(&doc), Vec::<String>::new());
+    }
+
+    #[test]
+    fn diff_compares_alloc_counters_exactly() {
+        let committed = Json::parse(&sample().to_json().render()).unwrap();
+        let mut drifted = sample();
+        drifted.entries[0].report = Some(vec![
+            ("cache_hits".into(), 3),
+            ("rbar_steps".into(), 6),
+            ("alloc_count".into(), 121),
+            ("alloc_bytes".into(), 4096),
+        ]);
+        let drifted = Json::parse(&drifted.to_json().render()).unwrap();
+        let problems = diff_problems(&committed, &drifted);
+        assert!(
+            problems.iter().any(|p| p.contains("engine_report.alloc_count")),
+            "an allocation regression must fail the diff: {problems:?}"
+        );
     }
 
     #[test]
@@ -400,7 +481,12 @@ mod tests {
     fn diff_compares_engine_report_counters_exactly() {
         let committed = Json::parse(&sample().to_json().render()).unwrap();
         let mut drifted = sample();
-        drifted.entries[0].report = Some(vec![("cache_hits".into(), 2), ("rbar_steps".into(), 6)]);
+        drifted.entries[0].report = Some(vec![
+            ("cache_hits".into(), 2),
+            ("rbar_steps".into(), 6),
+            ("alloc_count".into(), 120),
+            ("alloc_bytes".into(), 4096),
+        ]);
         let drifted = Json::parse(&drifted.to_json().render()).unwrap();
         let problems = diff_problems(&committed, &drifted);
         assert!(

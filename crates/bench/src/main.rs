@@ -14,9 +14,17 @@
 //! counters on a fresh sequential session) that the `--diff` gate
 //! compares **exactly**, so cache-hit-trend regressions fail CI.
 //!
+//! With the `count-alloc` feature (default) the driver installs a
+//! counting global allocator (see [`alloc_count`]) and records exact
+//! `alloc_count` / `alloc_bytes` deltas for each engine probe into the
+//! `engine_report` section — deterministic where `wall_ns` is not, and
+//! therefore diffed **exactly** like the other counters (schema
+//! `bench-relim/4`).
+//!
 //! ```text
 //! bench-driver [--quick] [--threads N] [--out PATH]
 //! bench-driver --diff COMMITTED FRESH
+//! bench-driver --alloc-gate COMMITTED
 //! ```
 //!
 //! * `--quick`   — CI smoke sizes (Δ=4 sweep, small kernels)
@@ -27,6 +35,13 @@
 //!   schema + key presence + byte-identity assertions must hold and all
 //!   non-timing fields must match exactly (timing fields may drift).
 //!   Exits non-zero on any problem — the CI perf-schema regression gate.
+//! * `--alloc-gate` — re-measure the pinned hot-loop kernels
+//!   (`rbar_step_pi_d5_a4_x1`, `iterate_rr_mis_d3`) under the counting
+//!   allocator and fail if any exceeds the per-call allocation budget
+//!   committed in the baseline's `engine_report.alloc_count` — the CI
+//!   allocation-regression gate.
+
+mod alloc_count;
 
 use bench::baseline::{diff_problems, schema_problems, Baseline, Entry, Run};
 use bench::json::Json;
@@ -51,6 +66,7 @@ struct Options {
     threads: Option<usize>,
     out: std::path::PathBuf,
     diff: Option<(std::path::PathBuf, std::path::PathBuf)>,
+    alloc_gate: Option<std::path::PathBuf>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -59,6 +75,7 @@ fn parse_args() -> Result<Options, String> {
         threads: None,
         out: std::path::PathBuf::from("BENCH_relim.json"),
         diff: None,
+        alloc_gate: None,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -75,6 +92,10 @@ fn parse_args() -> Result<Options, String> {
                 let committed = iter.next().ok_or("--diff requires COMMITTED and FRESH paths")?;
                 let fresh = iter.next().ok_or("--diff requires COMMITTED and FRESH paths")?;
                 opts.diff = Some((committed.into(), fresh.into()));
+            }
+            "--alloc-gate" => {
+                let committed = iter.next().ok_or("--alloc-gate requires a COMMITTED path")?;
+                opts.alloc_gate = Some(committed.into());
             }
             other => return Err(format!("unknown argument `{other}`")),
         }
@@ -151,17 +172,105 @@ fn fresh(engine: &Engine, memoize: bool) -> Engine {
 /// One deterministic probe run of a kernel on `engine` (fresh, so the
 /// counters describe exactly one execution): the `engine_report` record
 /// the baseline diff compares exactly. Timing-free by construction
-/// (`snapshot_pairs` excludes `wall_ns`).
+/// (`snapshot_pairs` excludes `wall_ns`). With the counting allocator
+/// installed, the probe's exact `alloc_count`/`alloc_bytes` deltas are
+/// appended — also deterministic (same code, same input, same
+/// allocations; probes run single-threaded after the timed samples, so
+/// lazily-initialized thread-locals are already warm).
 fn probe_report(engine: Engine, run: impl FnOnce(&Engine)) -> Option<Vec<(String, i64)>> {
-    run(&engine);
-    Some(
-        engine
-            .report()
-            .snapshot_pairs()
-            .into_iter()
-            .map(|(k, v)| (k.to_owned(), v as i64))
-            .collect(),
-    )
+    let ((), allocs, bytes) = alloc_count::measure(|| run(&engine));
+    let mut pairs: Vec<(String, i64)> = engine
+        .report()
+        .snapshot_pairs()
+        .into_iter()
+        .map(|(k, v)| (k.to_owned(), v as i64))
+        .collect();
+    if alloc_count::enabled() {
+        pairs.push(("alloc_count".to_owned(), allocs as i64));
+        pairs.push(("alloc_bytes".to_owned(), bytes as i64));
+    }
+    Some(pairs)
+}
+
+/// A named, boxed hot-loop workload for the allocation gate. The engine
+/// is passed in (fresh per call, built *outside* the measured region) so
+/// the gate's measurement boundary is identical to [`probe_report`]'s.
+type GateKernel = (&'static str, Box<dyn Fn(&Engine)>);
+
+/// The allocation-budget gate: re-measures the pinned hot-loop kernels
+/// under the counting allocator and fails if any performs more
+/// allocations per call than the committed baseline budgets
+/// (`engine_report.alloc_count`). Each workload is run once to warm
+/// lazily-initialized state (matching the probe conditions of a full
+/// baseline run, where the timed samples precede the probe) and then
+/// measured on the second, steady-state call.
+fn run_alloc_gate(committed: &std::path::Path) -> Result<(), String> {
+    if !alloc_count::enabled() {
+        return Err("--alloc-gate requires the `count-alloc` feature (default)".into());
+    }
+    let text = std::fs::read_to_string(committed)
+        .map_err(|e| format!("cannot read {}: {e}", committed.display()))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{}: {e}", committed.display()))?;
+    let budget_of = |id: &str| -> Result<u64, String> {
+        let entries = doc
+            .get("entries")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| "baseline has no entries array".to_owned())?;
+        let entry = entries
+            .iter()
+            .find(|e| e.get("id").and_then(Json::as_str) == Some(id))
+            .ok_or_else(|| format!("baseline has no `{id}` entry"))?;
+        entry
+            .get("engine_report")
+            .and_then(|r| r.get("alloc_count"))
+            .and_then(Json::as_i64)
+            .map(|v| v as u64)
+            .ok_or_else(|| format!("`{id}` entry carries no engine_report.alloc_count budget"))
+    };
+
+    let rbar_input = r_step(&family::pi(&PiParams { delta: 5, a: 4, x: 1 }).expect("valid"))
+        .expect("r step")
+        .problem;
+    let mis = family::mis(3).expect("valid");
+    let kernels: Vec<GateKernel> = vec![
+        (
+            "rbar_step_pi_d5_a4_x1",
+            Box::new(move |e: &Engine| {
+                let _ = e.rbar_step(&rbar_input).expect("rbar");
+            }),
+        ),
+        (
+            "iterate_rr_mis_d3",
+            Box::new(move |e: &Engine| {
+                let _ = e.iterate_with_limits(&mis, 10, 20);
+            }),
+        ),
+    ];
+
+    let mut failures = Vec::new();
+    println!("{:<28} {:>14} {:>14} {:>8}", "kernel", "alloc_count", "budget", "status");
+    for (id, run) in &kernels {
+        let budget = budget_of(id)?;
+        run(&Engine::sequential()); // warm-up: thread-locals, lazy statics
+        let engine = Engine::sequential();
+        let ((), allocs, bytes) = alloc_count::measure(|| run(&engine));
+        let ok = allocs <= budget;
+        println!(
+            "{id:<28} {allocs:>14} {budget:>14} {:>8}   ({bytes} bytes)",
+            if ok { "OK" } else { "OVER" }
+        );
+        if !ok {
+            failures.push(format!(
+                "{id}: {allocs} allocations per call exceeds the committed budget of {budget}"
+            ));
+        }
+    }
+    if failures.is_empty() {
+        println!("allocation gate OK: every kernel within its committed budget");
+        Ok(())
+    } else {
+        Err(format!("allocation regression:\n  {}", failures.join("\n  ")))
+    }
 }
 
 /// The `engine_session_reuse` kernel: `repeats` identical `autolb` merge
@@ -444,13 +553,21 @@ fn main() {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: bench-driver [--quick] [--threads N] [--out PATH]\n       \
-                 bench-driver --diff COMMITTED FRESH"
+                 bench-driver --diff COMMITTED FRESH\n       \
+                 bench-driver --alloc-gate COMMITTED"
             );
             std::process::exit(2);
         }
     };
     if let Some((committed, fresh)) = &opts.diff {
         if let Err(e) = run_diff(committed, fresh) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    if let Some(committed) = &opts.alloc_gate {
+        if let Err(e) = run_alloc_gate(committed) {
             eprintln!("error: {e}");
             std::process::exit(1);
         }

@@ -1,0 +1,413 @@
+//! A small-buffer vector: inline storage for up to `N` elements, spilling
+//! to a heap [`Vec`] beyond.
+//!
+//! The round-elimination hot loop manipulates millions of tiny sequences —
+//! [`crate::Config`] is a multiset of `u8`-sized labels, [`crate::SetConfig`]
+//! a multiset of `u32` bitmasks, and degrees are small (Δ ≤ 5 in every
+//! paper instance). Backing them with `Vec` means one heap allocation per
+//! candidate per DFS step. [`InlineVec`] stores up to `N` elements directly
+//! in the value; only sequences longer than `N` pay for a heap `Vec`.
+//!
+//! The crate is `#![forbid(unsafe_code)]`, so this is the *safe* flavour of
+//! a small-vector: an enum of `[T; N]` + length versus a spilled `Vec`,
+//! requiring `T: Copy + Default` to initialize the unused tail of the
+//! inline buffer. That fits every use here (labels, bitmasks, cardinality
+//! bytes are all `Copy` scalars) and keeps clippy `-D warnings` trivially
+//! clean.
+//!
+//! ## Semantics
+//!
+//! All comparison traits (`PartialEq`/`Eq`/`PartialOrd`/`Ord`/`Hash`)
+//! delegate to [`InlineVec::as_slice`], which is exactly how `Vec` defines
+//! them — so swapping `Vec<T>` for `InlineVec<T, N>` inside a type changes
+//! **no** observable ordering, equality, or hash behaviour (the inline
+//! differential suite pins this against `Vec` directly). Whether a value is
+//! currently inline or spilled is invisible to comparisons; a value that
+//! spills and then shrinks below `N` stays spilled (no copy-back churn).
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A vector of `Copy` scalars that stores up to `N` elements inline and
+/// spills to a heap [`Vec`] beyond.
+///
+/// # Example
+///
+/// ```
+/// use relim_core::inline_vec::InlineVec;
+///
+/// let mut v: InlineVec<u8, 4> = InlineVec::new();
+/// for x in [3, 1, 2] {
+///     v.push(x);
+/// }
+/// assert_eq!(v.as_slice(), &[3, 1, 2]);
+/// assert!(!v.is_spilled());
+/// v.as_mut_slice().sort_unstable();
+/// assert_eq!(v.as_slice(), &[1, 2, 3]);
+/// ```
+#[derive(Clone)]
+pub struct InlineVec<T, const N: usize> {
+    repr: Repr<T, N>,
+}
+
+#[derive(Clone)]
+enum Repr<T, const N: usize> {
+    /// Up to `N` elements stored in the value; slots at `len..` hold
+    /// `T::default()` filler and are never observed.
+    Inline { buf: [T; N], len: u8 },
+    /// More than `N` elements once lived here; heap-backed from then on.
+    Spilled(Vec<T>),
+}
+
+impl<T: Copy + Default, const N: usize> InlineVec<T, N> {
+    /// The number of elements that fit without a heap allocation.
+    pub const INLINE_CAPACITY: usize = N;
+
+    /// Creates an empty vector (no heap allocation).
+    pub fn new() -> Self {
+        const { assert!(N > 0 && N <= u8::MAX as usize, "inline capacity must fit in u8") };
+        InlineVec { repr: Repr::Inline { buf: [T::default(); N], len: 0 } }
+    }
+
+    /// Creates a vector from a slice: inline if it fits, spilled otherwise.
+    pub fn from_slice(slice: &[T]) -> Self {
+        let mut out = Self::new();
+        if slice.len() <= N {
+            let Repr::Inline { buf, len } = &mut out.repr else { unreachable!() };
+            buf[..slice.len()].copy_from_slice(slice);
+            *len = slice.len() as u8;
+        } else {
+            out.repr = Repr::Spilled(slice.to_vec());
+        }
+        out
+    }
+
+    /// Converts from a `Vec`, reusing its buffer when it must spill.
+    pub fn from_vec(vec: Vec<T>) -> Self {
+        if vec.len() <= N {
+            Self::from_slice(&vec)
+        } else {
+            InlineVec { repr: Repr::Spilled(vec) }
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        match &self.repr {
+            Repr::Inline { len, .. } => *len as usize,
+            Repr::Spilled(v) => v.len(),
+        }
+    }
+
+    /// Whether the vector holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the elements currently live on the heap (diagnostic; never
+    /// affects comparisons or hashing).
+    pub fn is_spilled(&self) -> bool {
+        matches!(self.repr, Repr::Spilled(_))
+    }
+
+    /// The elements as a slice.
+    pub fn as_slice(&self) -> &[T] {
+        match &self.repr {
+            Repr::Inline { buf, len } => &buf[..*len as usize],
+            Repr::Spilled(v) => v,
+        }
+    }
+
+    /// The elements as a mutable slice (e.g. for sorting in place).
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        match &mut self.repr {
+            Repr::Inline { buf, len } => &mut buf[..*len as usize],
+            Repr::Spilled(v) => v,
+        }
+    }
+
+    /// Appends an element, spilling to the heap on overflow of the inline
+    /// buffer.
+    pub fn push(&mut self, value: T) {
+        match &mut self.repr {
+            Repr::Inline { buf, len } if (*len as usize) < N => {
+                buf[*len as usize] = value;
+                *len += 1;
+            }
+            Repr::Inline { buf, len } => {
+                let mut v = Vec::with_capacity(N * 2);
+                v.extend_from_slice(&buf[..*len as usize]);
+                v.push(value);
+                self.repr = Repr::Spilled(v);
+            }
+            Repr::Spilled(v) => v.push(value),
+        }
+    }
+
+    /// Inserts `value` at `index`, shifting the tail right.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > len()`.
+    pub fn insert(&mut self, index: usize, value: T) {
+        match &mut self.repr {
+            Repr::Inline { buf, len } if (*len as usize) < N => {
+                let n = *len as usize;
+                assert!(index <= n, "insert index {index} out of bounds (len {n})");
+                buf.copy_within(index..n, index + 1);
+                buf[index] = value;
+                *len += 1;
+            }
+            Repr::Inline { buf, len } => {
+                let mut v = Vec::with_capacity(N * 2);
+                v.extend_from_slice(&buf[..*len as usize]);
+                v.insert(index, value);
+                self.repr = Repr::Spilled(v);
+            }
+            Repr::Spilled(v) => v.insert(index, value),
+        }
+    }
+
+    /// Removes and returns the last element, or `None` if empty. A spilled
+    /// vector stays spilled even when it shrinks back under `N`.
+    pub fn pop(&mut self) -> Option<T> {
+        match &mut self.repr {
+            Repr::Inline { buf, len } => {
+                if *len == 0 {
+                    return None;
+                }
+                *len -= 1;
+                Some(buf[*len as usize])
+            }
+            Repr::Spilled(v) => v.pop(),
+        }
+    }
+
+    /// Removes all elements, keeping any spilled capacity for reuse.
+    pub fn clear(&mut self) {
+        match &mut self.repr {
+            Repr::Inline { len, .. } => *len = 0,
+            Repr::Spilled(v) => v.clear(),
+        }
+    }
+
+    /// Iterates over the elements by value.
+    pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+        self.as_slice().iter().copied()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Default for InlineVec<T, N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> FromIterator<T> for InlineVec<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut out = Self::new();
+        for x in iter {
+            out.push(x);
+        }
+        out
+    }
+}
+
+impl<T: Copy + Default, const N: usize> From<Vec<T>> for InlineVec<T, N> {
+    fn from(vec: Vec<T>) -> Self {
+        Self::from_vec(vec)
+    }
+}
+
+impl<'a, T: Copy + Default, const N: usize> IntoIterator for &'a InlineVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+// The comparison traits must match `Vec<T>` exactly — `Vec` defines all of
+// them on the element slice, so delegating to `as_slice()` reproduces the
+// length-prefixed `Hash` and lexicographic `Ord` bit-for-bit regardless of
+// the storage representation.
+
+impl<T: Copy + Default + PartialEq, const N: usize> PartialEq for InlineVec<T, N> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Default + Eq, const N: usize> Eq for InlineVec<T, N> {}
+
+impl<T: Copy + Default + PartialOrd, const N: usize> PartialOrd for InlineVec<T, N> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        self.as_slice().partial_cmp(other.as_slice())
+    }
+}
+
+impl<T: Copy + Default + Ord, const N: usize> Ord for InlineVec<T, N> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl<T: Copy + Default + Hash, const N: usize> Hash for InlineVec<T, N> {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // `Vec`/slice hashing is length-prefixed; `Hash for [T]` does
+        // exactly that.
+        self.as_slice().hash(state);
+    }
+}
+
+impl<T: Copy + Default + fmt::Debug, const N: usize> fmt::Debug for InlineVec<T, N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    type V = InlineVec<u8, 4>;
+
+    fn hash_of<T: Hash>(x: &T) -> u64 {
+        let mut h = DefaultHasher::new();
+        x.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn push_within_inline_capacity() {
+        let mut v = V::new();
+        assert!(v.is_empty());
+        for x in 0..4 {
+            v.push(x);
+        }
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3]);
+        assert_eq!(v.len(), 4);
+        assert!(!v.is_spilled());
+    }
+
+    #[test]
+    fn push_past_capacity_spills() {
+        let mut v = V::new();
+        for x in 0..5 {
+            v.push(x);
+        }
+        assert!(v.is_spilled());
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3, 4]);
+        // Popping back under the boundary does not copy back inline.
+        assert_eq!(v.pop(), Some(4));
+        assert!(v.is_spilled());
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn insert_shifts_and_spills() {
+        let mut v = V::from_slice(&[1, 3, 4]);
+        v.insert(1, 2);
+        assert_eq!(v.as_slice(), &[1, 2, 3, 4]);
+        assert!(!v.is_spilled());
+        v.insert(0, 0);
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3, 4]);
+        assert!(v.is_spilled());
+        v.insert(5, 9);
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3, 4, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn insert_out_of_bounds_panics() {
+        let mut v = V::from_slice(&[1]);
+        v.insert(2, 0);
+    }
+
+    #[test]
+    fn from_vec_reuses_spilled_buffer() {
+        let v = V::from_vec(vec![0, 1, 2, 3, 4, 5]);
+        assert!(v.is_spilled());
+        assert_eq!(v.len(), 6);
+        let w = V::from_vec(vec![7]);
+        assert!(!w.is_spilled());
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let a = V::from_slice(&[1, 2]);
+        let mut b = a.clone();
+        b.push(3);
+        assert_eq!(a.as_slice(), &[1, 2]);
+        assert_eq!(b.as_slice(), &[1, 2, 3]);
+        // Clone of a spilled vector is independent too.
+        let mut c = V::from_vec(vec![0; 6]);
+        let d = c.clone();
+        c.as_mut_slice()[0] = 9;
+        assert_eq!(d.as_slice(), &[0; 6]);
+    }
+
+    #[test]
+    fn iter_and_collect_roundtrip() {
+        let v: V = (0..3).collect();
+        assert_eq!(v.iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+        let spilled: V = (0..6).collect();
+        assert!(spilled.is_spilled());
+        assert_eq!(spilled.iter().sum::<u8>(), 15);
+        assert_eq!((&spilled).into_iter().count(), 6);
+    }
+
+    #[test]
+    fn clear_keeps_representation() {
+        let mut v = V::from_vec(vec![0; 6]);
+        v.clear();
+        assert!(v.is_empty());
+        assert!(v.is_spilled());
+        let mut w = V::from_slice(&[1]);
+        w.clear();
+        assert!(w.is_empty() && !w.is_spilled());
+    }
+
+    #[test]
+    fn drop_of_inline_and_spilled_values() {
+        // `T: Copy` means no element destructors; this pins that dropping
+        // both representations (and a cloned spill) is sound under the
+        // default allocator — a leak or double-free would crash the suite.
+        for n in [0usize, 4, 64] {
+            let v = V::from_vec(vec![0; n]);
+            let _clone = v.clone();
+            drop(v);
+        }
+    }
+
+    #[test]
+    fn eq_ord_hash_match_vec_semantics_across_representations() {
+        let inline = V::from_slice(&[1, 2, 3]);
+        let mut spilled = V::from_vec(vec![1, 2, 3, 4, 5]);
+        spilled.pop();
+        spilled.pop();
+        assert!(spilled.is_spilled() && !inline.is_spilled());
+        // Same elements ⇒ equal and same hash, storage notwithstanding.
+        assert_eq!(inline, spilled);
+        assert_eq!(hash_of(&inline), hash_of(&spilled));
+        // Ord is the slice's lexicographic order, exactly like Vec.
+        let pairs: &[(&[u8], &[u8])] = &[
+            (&[1, 2], &[1, 2, 3]),
+            (&[1, 3], &[1, 2, 3]),
+            (&[], &[0]),
+            (&[9], &[1, 2, 3, 4, 5, 6]),
+        ];
+        for &(a, b) in pairs {
+            let (va, vb) = (V::from_slice(a), V::from_slice(b));
+            assert_eq!(va.cmp(&vb), a.to_vec().cmp(&b.to_vec()), "{a:?} vs {b:?}");
+            assert_eq!(va.partial_cmp(&vb), a.to_vec().partial_cmp(&b.to_vec()));
+        }
+    }
+
+    #[test]
+    fn debug_matches_vec() {
+        let v = V::from_slice(&[1, 2]);
+        assert_eq!(format!("{v:?}"), format!("{:?}", vec![1u8, 2]));
+    }
+}

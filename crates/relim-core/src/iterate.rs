@@ -199,9 +199,18 @@ impl SubIndexCache {
 
     /// Stores a built index, clearing the target shard first when its
     /// per-shard capacity is already reached (the epoch reset).
+    ///
+    /// Only the miss path of [`SubIndexCache::get_or_build`] reaches this
+    /// — a hit returns straight out of [`SubIndexCache::lookup`] without
+    /// ever owning a `Constraint` — so this is the one place that pays the
+    /// owned-key insert. The common under-capacity insert is a single hash
+    /// lookup; the `contains_key` probe runs only in the rare at-capacity
+    /// case, where a *replacement* (racing duplicate build of a resident
+    /// key) must not trigger the epoch reset since it cannot grow the
+    /// shard.
     pub fn insert(&self, constraint: Constraint, index: Arc<SubMultisetIndex>) {
         let mut shard = self.shard_of(&constraint).lock().expect("cache shard poisoned");
-        if !shard.contains_key(&constraint) && shard.len() >= self.shard_capacity {
+        if shard.len() >= self.shard_capacity && !shard.contains_key(&constraint) {
             shard.clear();
         }
         shard.insert(constraint, index);
@@ -382,6 +391,39 @@ mod tests {
         // Third insert overflowed capacity 2: the map was cleared first.
         assert_eq!(cache.len(), 1);
         assert_eq!(cache.misses(), 3);
+    }
+
+    #[test]
+    fn replacing_a_resident_key_at_capacity_does_not_epoch_reset() {
+        // A racing duplicate build re-inserts a key the full shard already
+        // holds; that replacement must not clear the shard (it cannot grow
+        // it), while a genuinely new key at capacity still resets.
+        let cache = SubIndexCache::with_capacity(2);
+        let constraints = ["A A", "A B", "B B"].map(|e| {
+            let p = Problem::from_text("A A\nB B", e).unwrap();
+            p.edge().clone()
+        });
+        let a = cache.get_or_build(&constraints[0]);
+        cache.get_or_build(&constraints[1]);
+        assert_eq!(cache.len(), 2);
+        cache.insert(constraints[0].clone(), Arc::clone(&a));
+        assert_eq!(cache.len(), 2, "replacement cleared the shard");
+        cache.insert(constraints[2].clone(), Arc::clone(&a));
+        assert_eq!(cache.len(), 1, "a new key at capacity must epoch-reset");
+    }
+
+    #[test]
+    fn hit_path_returns_without_owning_the_key() {
+        // `lookup` takes the constraint by reference and a hit comes back
+        // as a shared `Arc`; `get_or_build` must answer a second call from
+        // `lookup` alone (hits == 1) so only the first (miss) call pays
+        // the `constraint.clone()` insert.
+        let p = Problem::from_text("M M M\nP O O", "M [P O]\nO O").unwrap();
+        let cache = SubIndexCache::new();
+        let built = cache.get_or_build(p.node());
+        let hit = cache.lookup(p.node()).expect("must be resident");
+        assert!(Arc::ptr_eq(&built, &hit));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
     }
 
     #[test]

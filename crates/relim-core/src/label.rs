@@ -51,6 +51,15 @@ impl Label {
     }
 }
 
+/// The default label is index 0 — the filler value for the unused tail of
+/// inline [`crate::inline_vec::InlineVec`] buffers (never observed through
+/// the slice views).
+impl Default for Label {
+    fn default() -> Self {
+        Label(0)
+    }
+}
+
 impl fmt::Display for Label {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "#{}", self.0)

@@ -78,6 +78,7 @@ pub mod diagram;
 pub mod digest;
 pub mod engine;
 pub mod error;
+pub mod inline_vec;
 pub mod iso;
 pub mod iterate;
 pub mod label;
@@ -89,6 +90,7 @@ pub mod problem;
 pub mod relax;
 pub mod rightclosed;
 pub mod roundelim;
+mod scratch;
 pub mod simplify;
 pub mod zeroround;
 

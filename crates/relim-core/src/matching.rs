@@ -94,6 +94,70 @@ fn try_place(
     false
 }
 
+/// Allocation-free feasibility test for the unit-capacity special case of
+/// [`assign_positions`]: can every position be matched to a *distinct*
+/// allowed group (a perfect matching on the position side)?
+///
+/// This is the inner test of the dominance filter, called once per
+/// surviving candidate pair in the `R̄` hot loop — millions of times per
+/// step — so all state is stack-resident: the group→position matching in a
+/// fixed array, the per-augmentation visited set as a `u64` bitmask.
+/// Equivalent to `assign_positions(options, &vec![1; groups]).is_some()`
+/// (pinned by a differential test below).
+///
+/// # Example
+///
+/// ```
+/// use relim_core::matching::unit_assignment_feasible;
+///
+/// // Both positions accept only group 0: no distinct assignment.
+/// assert!(!unit_assignment_feasible(&[0b01, 0b01], 2));
+/// // Augmenting path: position 0 moves to group 1 to free group 0.
+/// assert!(unit_assignment_feasible(&[0b11, 0b01], 2));
+/// ```
+pub fn unit_assignment_feasible(options: &[u64], groups: usize) -> bool {
+    debug_assert!(groups <= 64);
+    if options.len() > groups {
+        return false;
+    }
+    // match_of[g] = position currently matched to group g (MAX = free).
+    let mut match_of = [u8::MAX; 64];
+    for pos in 0..options.len() {
+        let mut visited = 0u64;
+        if !augment(pos, options, &mut match_of, &mut visited, groups) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Kuhn augmenting step for [`unit_assignment_feasible`]: tries to match
+/// `pos`, displacing current matches along an alternating path.
+fn augment(
+    pos: usize,
+    options: &[u64],
+    match_of: &mut [u8; 64],
+    visited: &mut u64,
+    groups: usize,
+) -> bool {
+    let mut opts = options[pos] & !*visited;
+    while opts != 0 {
+        let grp = opts.trailing_zeros() as usize;
+        opts &= opts - 1;
+        if grp >= groups || *visited & (1 << grp) != 0 {
+            continue;
+        }
+        *visited |= 1 << grp;
+        if match_of[grp] == u8::MAX
+            || augment(match_of[grp] as usize, options, match_of, visited, groups)
+        {
+            match_of[grp] = pos as u8;
+            return true;
+        }
+    }
+    false
+}
+
 /// Feasibility of a bipartite *transportation* instance: `supply[i]` units at
 /// each left node, `caps[g]` capacity at each right node, `options[i]` the
 /// right nodes reachable from left node `i`. Decides whether all supply can
@@ -213,6 +277,28 @@ mod tests {
     #[test]
     fn assign_empty() {
         assert_eq!(assign_positions(&[], &[1]).unwrap(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn unit_feasibility_matches_assign_positions_with_unit_caps() {
+        // Exhaustive differential over every options table for 3 positions
+        // and 3 groups (8^3 tables), plus shape edge cases.
+        for a in 0..8u64 {
+            for b in 0..8u64 {
+                for c in 0..8u64 {
+                    let options = [a, b, c];
+                    let expected = assign_positions(&options, &[1, 1, 1]).is_some();
+                    assert_eq!(
+                        unit_assignment_feasible(&options, 3),
+                        expected,
+                        "options {options:?}"
+                    );
+                }
+            }
+        }
+        assert!(unit_assignment_feasible(&[], 0));
+        // More positions than groups can never match distinctly.
+        assert!(!unit_assignment_feasible(&[0b1, 0b1], 1));
     }
 
     #[test]

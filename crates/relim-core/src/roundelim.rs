@@ -41,16 +41,18 @@
 //! suites compare sessions against (the old pool-taking `*_with`
 //! wrappers served their one-release deprecation window and are gone).
 
-use crate::config::{Config, SetConfig};
+use crate::config::{Config, SetConfig, INLINE_DEGREE};
 use crate::constraint::{Constraint, SubMultisetIndex};
 use crate::diagram::StrengthOrder;
 use crate::error::{RelimError, Result};
+use crate::inline_vec::InlineVec;
 use crate::label::{Alphabet, Label};
 use crate::labelset::LabelSet;
 use crate::line::Line;
-use crate::matching::assign_positions;
+use crate::matching::unit_assignment_feasible;
 use crate::problem::Problem;
 use crate::rightclosed::right_closed_sets;
+use crate::scratch::{with_scratch, ScratchArena};
 use relim_pool::Pool;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -138,8 +140,7 @@ pub fn r_step(p: &Problem) -> Result<Step> {
     pairs.sort_unstable();
     pairs.dedup();
 
-    let set_configs: Vec<SetConfig> =
-        pairs.iter().map(|&(a, b)| SetConfig::new(vec![a, b])).collect();
+    let set_configs: Vec<SetConfig> = pairs.iter().map(|&(a, b)| SetConfig::pair(a, b)).collect();
 
     finish_step(p, set_configs, UniversalSide::Edge)
 }
@@ -272,7 +273,7 @@ pub(crate) fn derive_sides(
         sets.iter().enumerate().map(|(i, &s)| (s, Label::new(i as u8))).collect();
 
     let universal_constraint = Constraint::from_configs(
-        universal.iter().map(|sc| Config::new(sc.iter().map(|s| label_of[&s]).collect())),
+        universal.iter().map(|sc| sc.iter().map(|s| label_of[&s]).collect::<Config>()),
     )
     .expect("non-empty universal side");
 
@@ -320,18 +321,27 @@ pub(crate) fn derive_sides(
 /// of partial-choice multisets. A partial choice that is not a sub-multiset
 /// of any configuration can never be completed, pruning the branch
 /// (soundness: the universal condition fails for any completion).
+///
+/// All DFS state (one frontier buffer per depth, the chosen stack) lives
+/// in this thread's [`crate::scratch::ScratchArena`], so repeat calls on
+/// a warm worker allocate only for the output vector.
 pub(crate) fn forall_multisets(
     cands: &[LabelSet],
     delta: u32,
     sub_index: &SubMultisetIndex,
 ) -> Vec<SetConfig> {
     if delta == 0 {
-        return vec![SetConfig::new(Vec::new())];
+        return vec![SetConfig::from_sets(&[])];
     }
-    let mut out = Vec::new();
-    let mut chosen: Vec<LabelSet> = Vec::with_capacity(delta as usize);
-    forall_rec(cands, 0, delta, &[Config::empty()], &mut chosen, sub_index, &mut out);
-    out
+    with_scratch(|scratch| {
+        scratch.ensure_depth(delta as usize);
+        scratch.chosen.clear();
+        scratch.frontiers[0].clear();
+        scratch.frontiers[0].push(Config::empty());
+        let mut out = Vec::new();
+        forall_rec(cands, 0, delta, 0, scratch, sub_index, &mut out);
+        out
+    })
 }
 
 /// [`forall_multisets`] with the DFS split at the top candidate level into
@@ -339,7 +349,8 @@ pub(crate) fn forall_multisets(
 /// persistent worker set (candidates and index are `Arc`-shared with the
 /// `'static` tasks). Subtree outputs are concatenated in candidate order,
 /// which is exactly the sequential DFS emission order — output is
-/// byte-identical at any thread count.
+/// byte-identical at any thread count. Each worker thread uses its own
+/// scratch arena, warm across tasks and calls.
 pub(crate) fn forall_multisets_with(
     cands: &[LabelSet],
     delta: u32,
@@ -347,7 +358,7 @@ pub(crate) fn forall_multisets_with(
     pool: &Pool,
 ) -> Vec<SetConfig> {
     if delta == 0 {
-        return vec![SetConfig::new(Vec::new())];
+        return vec![SetConfig::from_sets(&[])];
     }
     if pool.threads() <= 1 || cands.len() <= 1 {
         return forall_multisets(cands, delta, sub_index);
@@ -356,49 +367,63 @@ pub(crate) fn forall_multisets_with(
     let cands: Arc<Vec<LabelSet>> = Arc::new(cands.to_vec());
     let sub_index = Arc::clone(sub_index);
     let subtrees: Vec<Vec<SetConfig>> = pool.map_owned(tops, move |&top| {
-        let mut out = Vec::new();
         // Replicate the level-0 loop body for index `top`: extend the empty
         // partial choice by every label of the top candidate, then recurse
         // over non-decreasing candidate indices as usual.
         let cand = cands[top];
-        let mut next: Vec<Config> = Vec::with_capacity(cand.len());
-        for b in cand.iter() {
-            let extended = Config::new(vec![b]);
-            if !sub_index.contains(&extended) {
-                return out;
+        with_scratch(|scratch| {
+            scratch.ensure_depth(delta as usize);
+            scratch.chosen.clear();
+            let mut out = Vec::new();
+            let mut next = std::mem::take(&mut scratch.frontiers[1]);
+            next.clear();
+            for b in cand.iter() {
+                let extended = Config::singleton(b);
+                if !sub_index.contains(&extended) {
+                    scratch.frontiers[1] = next;
+                    return out;
+                }
+                next.push(extended);
             }
-            next.push(extended);
-        }
-        next.sort_unstable();
-        next.dedup();
-        let mut chosen: Vec<LabelSet> = Vec::with_capacity(delta as usize);
-        chosen.push(cand);
-        forall_rec(&cands, top, delta - 1, &next, &mut chosen, &sub_index, &mut out);
-        out
+            next.sort_unstable();
+            next.dedup();
+            scratch.frontiers[1] = next;
+            scratch.chosen.push(cand);
+            forall_rec(&cands, top, delta - 1, 1, scratch, &sub_index, &mut out);
+            scratch.chosen.pop();
+            out
+        })
     });
     subtrees.into_iter().flatten().collect()
 }
 
 /// The shared DFS over non-decreasing candidate indices, carrying the
 /// deduplicated set of partial-choice multisets (see [`forall_multisets`]).
+///
+/// `depth` is the number of candidates already chosen; the current
+/// frontier is `scratch.frontiers[depth]` and each candidate extension is
+/// built in `scratch.frontiers[depth + 1]` (taken out during the write so
+/// the two depths never alias), clearing rather than reallocating across
+/// sibling subtrees.
 fn forall_rec(
     cands: &[LabelSet],
     start: usize,
     remaining: u32,
-    frontier: &[Config],
-    chosen: &mut Vec<LabelSet>,
+    depth: usize,
+    scratch: &mut ScratchArena,
     sub_index: &SubMultisetIndex,
     out: &mut Vec<SetConfig>,
 ) {
     if remaining == 0 {
-        out.push(SetConfig::new(chosen.clone()));
+        out.push(SetConfig::from_sets(&scratch.chosen));
         return;
     }
     for (i, &cand) in cands.iter().enumerate().skip(start) {
         // Extend every partial choice by every label of `cand`.
-        let mut next: Vec<Config> = Vec::with_capacity(frontier.len() * cand.len());
+        let mut next = std::mem::take(&mut scratch.frontiers[depth + 1]);
+        next.clear();
         let mut ok = true;
-        'ext: for m in frontier {
+        'ext: for m in &scratch.frontiers[depth] {
             for b in cand.iter() {
                 let extended = m.with(b);
                 if !sub_index.contains(&extended) {
@@ -409,13 +434,15 @@ fn forall_rec(
             }
         }
         if !ok {
+            scratch.frontiers[depth + 1] = next;
             continue;
         }
         next.sort_unstable();
         next.dedup();
-        chosen.push(cand);
-        forall_rec(cands, i, remaining - 1, &next, chosen, sub_index, out);
-        chosen.pop();
+        scratch.frontiers[depth + 1] = next;
+        scratch.chosen.push(cand);
+        forall_rec(cands, i, remaining - 1, depth + 1, scratch, sub_index, out);
+        scratch.chosen.pop();
     }
 }
 
@@ -450,19 +477,22 @@ pub(crate) fn dominance_filter_pooled(configs: Vec<SetConfig>, pool: &Pool) -> V
         return configs;
     }
     // Signature = (sorted cardinalities, support union) per configuration.
-    let sigs: Vec<(Vec<u8>, LabelSet)> = configs
+    // The cardinality key is an inline vector (degree ≤ 8 stays on the
+    // stack), so neither the signature table nor the bucket keys allocate
+    // at paper degrees.
+    let sigs: Vec<(CardSig, LabelSet)> = configs
         .iter()
         .map(|c| {
-            let mut cards: Vec<u8> = c.iter().map(|s| s.len() as u8).collect();
-            cards.sort_unstable();
+            let mut cards: CardSig = c.iter().map(|s| s.len() as u8).collect();
+            cards.as_mut_slice().sort_unstable();
             (cards, c.iter().fold(LabelSet::EMPTY, LabelSet::union))
         })
         .collect();
-    let mut buckets: BTreeMap<Vec<u8>, Vec<usize>> = BTreeMap::new();
+    let mut buckets: BTreeMap<CardSig, Vec<usize>> = BTreeMap::new();
     for (i, (cards, _)) in sigs.iter().enumerate() {
         buckets.entry(cards.clone()).or_default().push(i);
     }
-    let buckets: Vec<(Vec<u8>, Vec<usize>)> = buckets.into_iter().collect();
+    let buckets: Vec<(CardSig, Vec<usize>)> = buckets.into_iter().collect();
 
     if pool.threads() <= 1 {
         // Inline path: no shared ownership needed, survivors move out.
@@ -483,12 +513,16 @@ pub(crate) fn dominance_filter_pooled(configs: Vec<SetConfig>, pool: &Pool) -> V
     survivors.into_iter().flatten().collect()
 }
 
+/// A sorted-cardinality signature: one byte per position, inline at paper
+/// degrees (the dominance filter's bucket key).
+type CardSig = InlineVec<u8, INLINE_DEGREE>;
+
 /// Whether `configs[i]` is dominated by no other configuration, using the
 /// bucket pre-checks of the pooled dominance filter.
 fn is_maximal(
     configs: &[SetConfig],
-    sigs: &[(Vec<u8>, LabelSet)],
-    buckets: &[(Vec<u8>, Vec<usize>)],
+    sigs: &[(CardSig, LabelSet)],
+    buckets: &[(CardSig, Vec<usize>)],
     i: usize,
 ) -> bool {
     let (cards_i, support_i) = &sigs[i];
@@ -538,7 +572,7 @@ pub fn dominates(big: &SetConfig, small: &SetConfig) -> bool {
     }
     let big_sets = big.as_slice();
     let small_sets = small.as_slice();
-    let options: Vec<u64> = small_sets
+    let options: InlineVec<u64, INLINE_DEGREE> = small_sets
         .iter()
         .map(|&s| {
             let mut mask = 0u64;
@@ -550,6 +584,7 @@ pub fn dominates(big: &SetConfig, small: &SetConfig) -> bool {
             mask
         })
         .collect();
+    let options = options.as_slice();
     // Hall-style pre-check before the matching: every run of equal sets in
     // `small` (they share one options mask, since `small` is sorted) needs
     // at least as many distinct superset positions in `big`.
@@ -564,8 +599,7 @@ pub fn dominates(big: &SetConfig, small: &SetConfig) -> bool {
         }
         k = m;
     }
-    let caps = vec![1u32; big_sets.len()];
-    assign_positions(&options, &caps).is_some()
+    unit_assignment_feasible(options, big_sets.len())
 }
 
 /// Brute-force reference implementation of the universal edge side, without
