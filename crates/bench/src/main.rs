@@ -342,6 +342,56 @@ fn engine_session_reuse_entry(repeats: usize) -> Entry {
     }
 }
 
+/// The `iterate_lineage_overhead` kernel: the `iterate_rr_mis_d3`
+/// workload once on a plain session (run 1) and once on a
+/// `record_lineage(true)` session (run 2), both sequential. The
+/// outcomes must be byte-identical — lineage recording is observation,
+/// never steering — and the probe runs **with recording on**, so the
+/// baseline pins the recording path's exact allocation cost and the
+/// derivation DAG's size (nodes/edges in params, diffed exactly). The
+/// off-path's allocations stay pinned by `iterate_rr_mis_d3`'s own
+/// probe and the `--alloc-gate` budget: together the two entries commit
+/// "recording off costs nothing, recording on costs exactly this".
+fn iterate_lineage_overhead_entry(quick: bool) -> Entry {
+    let mis = family::mis(3).expect("valid");
+    let samples = if quick { 3 } else { 5 };
+    let render =
+        |o: &relim_core::iterate::IterationOutcome| format!("{:?}\n{:?}", o.stats, o.stopped);
+    let (off_out, off_med, off_min, off_max) = time_median(samples, || {
+        Engine::builder().threads(1).build().iterate_with_limits(&mis, 10, 20)
+    });
+    let (on_out, on_med, on_min, on_max) = time_median(samples, || {
+        Engine::builder().threads(1).record_lineage(true).build().iterate_with_limits(&mis, 10, 20)
+    });
+    let identical = render(&on_out) == render(&off_out);
+    assert!(identical, "iterate_lineage_overhead: recording changed the outcome");
+
+    let recorder = Engine::builder().threads(1).record_lineage(true).build();
+    let report = probe_report(recorder.clone(), |e| {
+        let _ = e.iterate_with_limits(&mis, 10, 20);
+    });
+    let graph = recorder.lineage().expect("recording session has a graph");
+
+    Entry {
+        id: "iterate_lineage_overhead".into(),
+        params: vec![
+            ("max_steps".into(), Json::Int(10)),
+            ("label_limit".into(), Json::Int(20)),
+            ("mode_run0".into(), Json::str("lineage_off")),
+            ("mode_run1".into(), Json::str("lineage_on")),
+            ("lineage_nodes".into(), Json::Int(graph.node_count() as i64)),
+            ("lineage_edges".into(), Json::Int(graph.edge_count() as i64)),
+        ],
+        runs: vec![
+            Run { threads: 1, wall_ns: off_med, min_ns: off_min, max_ns: off_max, samples },
+            Run { threads: 1, wall_ns: on_med, min_ns: on_min, max_ns: on_max, samples },
+        ],
+        speedup: Some(off_med as f64 / on_med.max(1) as f64),
+        byte_identical: Some(identical),
+        report,
+    }
+}
+
 /// The `store_roundtrip` kernel: serialize a batch of canonical results
 /// into a fresh persistent [`ResultStore`], reopen the directory, and
 /// read every entry back — asserting byte identity (the satellite
@@ -682,6 +732,11 @@ fn main() {
             "memoized iterate must match the memoization-off reference"
         );
     }
+
+    // 3a. Lineage-recording overhead on the same iterate workload:
+    // byte-identical outcomes, DAG size and recording-path allocations
+    // pinned in the baseline.
+    entries.push(iterate_lineage_overhead_entry(opts.quick));
 
     // 3b. Pool submission overhead: many micro-tasks whose per-item work
     // is trivial, so the measured cost is dominated by what the

@@ -55,6 +55,7 @@ const VALUE_KEYS: &[&str] = &[
     "executors",
     "op",
     "priority",
+    "digest",
 ];
 
 impl Args {

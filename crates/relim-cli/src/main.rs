@@ -14,6 +14,9 @@
 //! relim [--threads T] serve       [--addr A] [--store DIR] [--store-capacity N] [--aging-limit N]
 //! relim submit      [--addr A] --op OP <op options> [--priority interactive|bulk]
 //! relim status      [--addr A]
+//! relim metrics     [--addr A]
+//! relim timeline    [--addr A] [--json]
+//! relim viz         (--digest D [--addr A | --store DIR] | --op OP <op options>) [--full] [--json]
 //! relim shutdown    [--addr A]
 //! relim help
 //! ```
@@ -84,7 +87,13 @@ fn run(raw: Vec<String>) -> Result<String, Box<dyn std::error::Error>> {
         "serve" => return cmd_serve(&args),
         "submit" => return cmd_submit(&args),
         "status" => return cmd_status(&args),
+        "metrics" => return cmd_metrics(&args),
+        "timeline" => return cmd_timeline(&args),
         "shutdown" => return cmd_shutdown(&args),
+        // `viz` computes locally, but with its own lineage-recording
+        // session — the shared engine below stays recording-free so the
+        // plain subcommands keep their zero-overhead path.
+        "viz" => return cmd_viz(&args),
         _ => {}
     }
     // One session per invocation: every subcommand below shares its pool
@@ -133,6 +142,10 @@ USAGE: relim [--threads T] <command> ...
   relim submit      [--addr A] --op autolb|autoub|iterate|sweep|zero-round
                     <op options> [--priority interactive|bulk]
   relim status      [--addr A]
+  relim metrics     [--addr A]
+  relim timeline    [--addr A] [--json]
+  relim viz         --digest D [--addr A | --store DIR] [--full] [--json]
+  relim viz         --op autolb|autoub|iterate|zero-round <op options> [--full] [--json]
   relim shutdown    [--addr A]
 
 Constraints use the text format: one condensed configuration per line
@@ -153,7 +166,18 @@ bounds the disk layer with oldest-first GC), and every served result is
 byte-identical to the same query run locally at any executor count.
 `submit` sends one query and prints the result on stdout
 (cached/digest metadata goes to stderr); `status` prints the daemon
-counters; `shutdown` asks the daemon to drain its queue and exit."
+counters; `metrics` prints them as Prometheus text exposition;
+`timeline` prints the scheduler event log as a text gantt (--json for
+the raw events); `shutdown` asks the daemon to drain its queue and
+exit.
+
+`viz` renders the round-elimination derivation DAG behind one
+certificate as Graphviz DOT: address a stored result by --digest D
+(fetched from a daemon, or with --store DIR straight off a store
+directory, no daemon needed) or give the query inline with --op. The
+op is re-executed locally on a lineage-recording session; straight
+R/R̄ chains are contracted unless --full is given, and --json emits
+the lineage JSON instead of DOT."
         .to_owned()
 }
 
@@ -624,6 +648,71 @@ fn cmd_status(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
     Ok(counters.render().trim_end().to_owned())
 }
 
+fn cmd_metrics(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
+    let client = Client::new(args.get("addr").unwrap_or(DEFAULT_ADDR));
+    Ok(client.metrics()?.trim_end().to_owned())
+}
+
+fn cmd_timeline(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
+    let client = Client::new(args.get("addr").unwrap_or(DEFAULT_ADDR));
+    let (timeline, gantt) = client.timeline()?;
+    if args.has_flag("json") {
+        return Ok(timeline.render().trim_end().to_owned());
+    }
+    Ok(gantt.trim_end().to_owned())
+}
+
+/// Renders the derivation-lineage DAG of one certificate as Graphviz
+/// DOT (default), uncontracted DOT (`--full`), or lineage JSON
+/// (`--json`).
+///
+/// The certificate comes from either place a query can live: a stored
+/// entry addressed by `--digest D` (read from a daemon via `--addr`, or
+/// straight off a store directory via `--store DIR` — no daemon
+/// needed), or a fresh query given inline with `--op` plus the usual op
+/// options. Either way the op is **re-executed locally** on a
+/// lineage-recording session: stored results carry only the canonical
+/// result text, so the DAG is reconstructed by replaying the exact
+/// query the digest addresses (the canonical key round-trips through
+/// [`OpRequest::from_canonical_key`], which rejects tampered keys).
+fn cmd_viz(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
+    let op = match args.get("digest") {
+        Some(digest) => {
+            let key = match args.get("store") {
+                Some(dir) => {
+                    relim_service::store::read_stored_entry(std::path::Path::new(dir), digest)
+                        .ok_or_else(|| {
+                            ArgError(format!("no stored entry for digest {digest} in {dir}"))
+                        })?
+                        .0
+                }
+                None => {
+                    let client = Client::new(args.get("addr").unwrap_or(DEFAULT_ADDR));
+                    client.lookup(digest)?.0
+                }
+            };
+            OpRequest::from_canonical_key(&key)?
+        }
+        None => op_from_args(args)?,
+    };
+    if op.problem()?.is_none() {
+        return Err(Box::new(ArgError(format!(
+            "`{}` spans many problems and has no single derivation DAG; \
+             viz one of its member queries instead",
+            op.name()
+        ))));
+    }
+    let engine = Engine::builder().threads(threads_from(args)?).record_lineage(true).build();
+    op.execute(&engine)?;
+    let graph = engine.lineage().expect("a record_lineage(true) session always has a graph");
+    if args.has_flag("json") {
+        return Ok(graph.render_json().trim_end().to_owned());
+    }
+    let digest = op.digest()?;
+    let title = format!("{} {}", op.name(), &digest[..12]);
+    Ok(graph.to_dot(&title, !args.has_flag("full")).trim_end().to_owned())
+}
+
 fn cmd_shutdown(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
     let addr = args.get("addr").unwrap_or(DEFAULT_ADDR).to_owned();
     let client = Client::new(&*addr);
@@ -852,6 +941,119 @@ mod tests {
 
         let bye = run_words(&["shutdown", "--addr", &addr]);
         assert!(bye.contains("shutdown acknowledged"), "{bye}");
+        handle.join();
+    }
+
+    #[test]
+    fn viz_renders_dot_for_a_stored_autolb_certificate() {
+        // The acceptance path: submit an autolb query to a daemon, then
+        // `relim viz --digest D` must fetch the stored canonical key,
+        // replay it on a lineage-recording session, and emit DOT.
+        let handle = Server::spawn("127.0.0.1:0", ServerConfig::default()).unwrap();
+        let addr = handle.local_addr().to_string();
+        run_words(&[
+            "submit", "--addr", &addr, "--op", "autolb", "--node", "O I I", "--edge", "[O I] I",
+        ]);
+        let digest = OpRequest::AutoLb {
+            node: "O I I".into(),
+            edge: "[O I] I".into(),
+            max_steps: 6,
+            labels: 6,
+            criterion: Criterion::Gadget,
+        }
+        .digest()
+        .unwrap();
+        let dot = run_words(&["viz", "--addr", &addr, "--digest", &digest]);
+        assert!(dot.starts_with("digraph"), "{dot}");
+        assert!(dot.contains(&format!("autolb {}", &digest[..12])), "{dot}");
+        assert!(dot.contains("R·R̄"), "contracted chain edges expected: {dot}");
+        // --json swaps the rendering, same replay.
+        let json = run_words(&["viz", "--addr", &addr, "--digest", &digest, "--json"]);
+        assert!(json.contains("\"relim-lineage/1\""), "{json}");
+        // An unknown digest is a clean error from the daemon.
+        let err = run(vec![
+            "viz".into(),
+            "--addr".into(),
+            addr.clone(),
+            "--digest".into(),
+            "f00d".into(),
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("no stored entry"), "{err}");
+        run_words(&["shutdown", "--addr", &addr]);
+        handle.join();
+    }
+
+    #[test]
+    fn viz_renders_a_local_problem_and_reads_a_store_dir() {
+        // Inline problem mode: no daemon involved at all.
+        let words = ["viz", "--op", "zero-round", "--node", "M M M;P O O", "--edge", "M [P O];O O"];
+        let dot = run_words(&words);
+        assert!(dot.starts_with("digraph"), "{dot}");
+        let full = run_words(&[&words[..], &["--full"]].concat());
+        assert!(full.starts_with("digraph"), "{full}");
+        // Sweeps span many problems — no single DAG to draw.
+        let err =
+            run(vec!["viz".into(), "--op".into(), "sweep".into(), "--delta".into(), "4".into()])
+                .unwrap_err();
+        assert!(err.to_string().contains("spans many problems"), "{err}");
+
+        // Store-directory mode: persist one entry, read it back with no
+        // daemon running.
+        let dir = std::env::temp_dir().join(format!("relim-cli-viz-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = ServerConfig { store_dir: Some(dir.clone()), ..ServerConfig::default() };
+        let handle = Server::spawn("127.0.0.1:0", config).unwrap();
+        let addr = handle.local_addr().to_string();
+        run_words(&[
+            "submit",
+            "--addr",
+            &addr,
+            "--op",
+            "zero-round",
+            "--node",
+            "M M M;P O O",
+            "--edge",
+            "M [P O];O O",
+        ]);
+        run_words(&["shutdown", "--addr", &addr]);
+        handle.join();
+        let digest = OpRequest::zero_round("M M M;P O O", "M [P O];O O").unwrap().digest().unwrap();
+        let dot = run_words(&[
+            "viz",
+            "--digest",
+            &digest,
+            "--store",
+            dir.to_str().expect("utf-8 temp path"),
+        ]);
+        assert!(dot.contains(&format!("zero-round {}", &digest[..12])), "{dot}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn metrics_and_timeline_verbs_print_the_observability_surfaces() {
+        let handle = Server::spawn("127.0.0.1:0", ServerConfig::default()).unwrap();
+        let addr = handle.local_addr().to_string();
+        run_words(&[
+            "submit",
+            "--addr",
+            &addr,
+            "--op",
+            "zero-round",
+            "--node",
+            "M M M;P O O",
+            "--edge",
+            "M [P O];O O",
+        ]);
+        let metrics = run_words(&["metrics", "--addr", &addr]);
+        assert!(metrics.contains("relim_requests_total"), "{metrics}");
+        assert!(metrics.contains("# TYPE relim_store_stores counter"), "{metrics}");
+        let gantt = run_words(&["timeline", "--addr", &addr]);
+        assert!(gantt.contains("timeline:"), "{gantt}");
+        assert!(gantt.contains("zero-round"), "{gantt}");
+        let json = run_words(&["timeline", "--addr", &addr, "--json"]);
+        assert!(json.contains("\"relim-timeline/1\""), "{json}");
+        run_words(&["shutdown", "--addr", &addr]);
         handle.join();
     }
 

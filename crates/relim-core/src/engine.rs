@@ -56,12 +56,13 @@ use crate::config::SetConfig;
 use crate::constraint::{Constraint, SubMultisetIndex};
 use crate::error::{RelimError, Result};
 use crate::iterate::{self, IterationOutcome, SubIndexCache};
+use crate::lineage::LineageGraph;
 use crate::problem::Problem;
 use crate::roundelim::{self, Step, MAX_LABELS};
 use relim_pool::Pool;
 pub use relim_pool::{parse_threads, ThreadsEnvError};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Builder for an [`Engine`] session.
@@ -86,6 +87,7 @@ pub struct EngineBuilder {
     memoize: bool,
     max_steps: usize,
     label_limit: usize,
+    record_lineage: bool,
 }
 
 impl EngineBuilder {
@@ -137,6 +139,20 @@ impl EngineBuilder {
         self
     }
 
+    /// Whether the session records its derivation DAG (default `false`).
+    /// When on, [`Engine::iterate`], [`Engine::auto_lower_bound`] and
+    /// [`Engine::auto_upper_bound`] intern every intermediate problem and
+    /// operator application into a [`LineageGraph`] retrievable through
+    /// [`Engine::lineage`]. Recording digests every intermediate problem
+    /// (one render + hash per node plus one reduction per step), so it is
+    /// opt-in: with the flag off the drivers skip a single `Option` check
+    /// and allocate nothing — the bench alloc-gate budgets assume the off
+    /// path.
+    pub fn record_lineage(mut self, record: bool) -> EngineBuilder {
+        self.record_lineage = record;
+        self
+    }
+
     /// Builds the session. Cheap: no threads are spawned until the first
     /// parallel batch reaches the process-wide worker set.
     pub fn build(self) -> Engine {
@@ -157,6 +173,11 @@ impl EngineBuilder {
                 wall_ns: AtomicU64::new(0),
                 max_steps: self.max_steps,
                 label_limit: self.label_limit,
+                lineage: if self.record_lineage {
+                    Some(Mutex::new(LineageGraph::new()))
+                } else {
+                    None
+                },
             }),
         }
     }
@@ -171,6 +192,7 @@ impl Default for EngineBuilder {
             memoize: true,
             max_steps: 8,
             label_limit: 20,
+            record_lineage: false,
         }
     }
 }
@@ -197,6 +219,10 @@ struct EngineShared {
     wall_ns: AtomicU64,
     max_steps: usize,
     label_limit: usize,
+    /// The derivation DAG, recorded only when the session was built with
+    /// [`EngineBuilder::record_lineage`] — `None` keeps the hot loop
+    /// allocation-free (a single branch per step, no lock, no digest).
+    lineage: Option<Mutex<LineageGraph>>,
 }
 
 /// A stateful round-elimination session.
@@ -343,7 +369,8 @@ impl Engine {
     ) -> IterationOutcome {
         self.timed(|| {
             self.shared.iterate_runs.fetch_add(1, Ordering::Relaxed);
-            iterate::iterate_with_step(p, max_steps, label_limit, |prev| self.rr_step_inner(prev))
+            self.record_lineage_root(p);
+            iterate::iterate_with_step(p, max_steps, label_limit, |prev| self.traced_rr_step(prev))
         })
     }
 
@@ -354,7 +381,16 @@ impl Engine {
     pub fn auto_lower_bound(&self, p: &Problem, opts: &AutoLbOptions) -> AutoLbOutcome {
         self.timed(|| {
             self.shared.autolb_runs.fetch_add(1, Ordering::Relaxed);
-            autolb::auto_lower_bound_with_step(p, opts, |prev| self.rr_step_inner(prev))
+            self.record_lineage_root(p);
+            let outcome =
+                autolb::auto_lower_bound_with_step(p, opts, |prev| self.traced_rr_step(prev));
+            if let Some(lineage) = &self.shared.lineage {
+                let mut graph = lineage.lock().expect("lineage lock");
+                for step in &outcome.steps {
+                    graph.record_merge(&step.raw, &step.problem, &step.merges);
+                }
+            }
+            outcome
         })
     }
 
@@ -363,7 +399,16 @@ impl Engine {
     pub fn auto_upper_bound(&self, p: &Problem, opts: &AutoUbOptions) -> AutoUbOutcome {
         self.timed(|| {
             self.shared.autoub_runs.fetch_add(1, Ordering::Relaxed);
-            autoub::auto_upper_bound_with_step(p, opts, |prev| self.rr_step_inner(prev))
+            self.record_lineage_root(p);
+            let outcome =
+                autoub::auto_upper_bound_with_step(p, opts, |prev| self.traced_rr_step(prev));
+            if let Some(lineage) = &self.shared.lineage {
+                let mut graph = lineage.lock().expect("lineage lock");
+                for step in &outcome.steps {
+                    graph.record_harden(&step.raw, &step.problem, &step.removals);
+                }
+            }
+            outcome
         })
     }
 
@@ -421,6 +466,13 @@ impl Engine {
     pub fn report(&self) -> EngineReport {
         let cache = &self.shared.cache;
         let uncached = self.shared.uncached_builds.load(Ordering::Relaxed);
+        let (lineage_nodes, lineage_edges) = match &self.shared.lineage {
+            None => (0, 0),
+            Some(m) => {
+                let graph = m.lock().expect("lineage lock");
+                (graph.node_count() as u64, graph.edge_count() as u64)
+            }
+        };
         EngineReport {
             threads: self.threads(),
             memoize: self.shared.memoize,
@@ -437,6 +489,9 @@ impl Engine {
             autoub_runs: self.shared.autoub_runs.load(Ordering::Relaxed),
             map_batches: self.shared.map_batches.load(Ordering::Relaxed),
             wall_ns: self.shared.wall_ns.load(Ordering::Relaxed),
+            record_lineage: self.shared.lineage.is_some(),
+            lineage_nodes,
+            lineage_edges,
         }
     }
 
@@ -486,6 +541,52 @@ impl Engine {
         let r = roundelim::r_step(p)?;
         let rr = self.rbar_step_inner(&r.problem)?;
         Ok((r, rr))
+    }
+
+    /// [`Engine::rr_step_inner`] plus lineage recording — the step
+    /// closure handed to the iterate/autolb/autoub drivers. With
+    /// recording off this is one branch on a `None`; nothing else.
+    fn traced_rr_step(&self, p: &Problem) -> Result<(Step, Step)> {
+        let result = self.rr_step_inner(p);
+        if let Some(lineage) = &self.shared.lineage {
+            if let Ok((r, rr)) = &result {
+                lineage.lock().expect("lineage lock").record_rr_step(p, &r.problem, &rr.problem);
+            }
+        }
+        result
+    }
+
+    /// Records the initial chain element of a driver run (the input with
+    /// unused labels dropped — exactly what the driver loops start from).
+    fn record_lineage_root(&self, p: &Problem) {
+        if let Some(lineage) = &self.shared.lineage {
+            let (initial, _) = p.drop_unused_labels();
+            lineage.lock().expect("lineage lock").record_root(&initial);
+        }
+    }
+
+    /// Whether this session records its derivation DAG (see
+    /// [`EngineBuilder::record_lineage`]).
+    pub fn recording_lineage(&self) -> bool {
+        self.shared.lineage.is_some()
+    }
+
+    /// A snapshot of the recorded derivation DAG, or `None` when the
+    /// session was built without [`EngineBuilder::record_lineage`].
+    ///
+    /// ```
+    /// use relim_core::engine::Engine;
+    /// use relim_core::Problem;
+    ///
+    /// let engine = Engine::builder().threads(1).record_lineage(true).build();
+    /// let so = Problem::from_text("O I I", "[O I] I").unwrap();
+    /// engine.iterate_with_limits(&so, 5, 20);
+    /// let lineage = engine.lineage().expect("recording was enabled");
+    /// assert!(lineage.node_count() >= 3);
+    /// assert!(Engine::sequential().lineage().is_none(), "off by default");
+    /// ```
+    pub fn lineage(&self) -> Option<LineageGraph> {
+        self.shared.lineage.as_ref().map(|m| m.lock().expect("lineage lock").clone())
     }
 }
 
@@ -541,6 +642,19 @@ pub struct EngineReport {
     /// their tasks call back into the operators, which would double
     /// count). Schedule-dependent — never byte-stable across runs.
     pub wall_ns: u64,
+    /// Whether the session records its derivation DAG (see
+    /// [`EngineBuilder::record_lineage`]) — a configuration echo, like
+    /// `threads`/`memoize`.
+    pub record_lineage: bool,
+    /// Distinct problems in the recorded [`LineageGraph`] (0 with
+    /// recording off). Deliberately *not* part of
+    /// [`EngineReport::snapshot_pairs`]: the bench baseline schema pins
+    /// that list, and every committed kernel records with lineage off.
+    pub lineage_nodes: u64,
+    /// Operator applications in the recorded [`LineageGraph`] (0 with
+    /// recording off); see `lineage_nodes` for why it is not a snapshot
+    /// pair.
+    pub lineage_edges: u64,
 }
 
 impl EngineReport {

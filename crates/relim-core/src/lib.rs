@@ -84,6 +84,7 @@ pub mod iterate;
 pub mod label;
 pub mod labelset;
 pub mod line;
+pub mod lineage;
 pub mod matching;
 pub mod parse;
 pub mod problem;
@@ -102,6 +103,7 @@ pub use error::RelimError;
 pub use label::{Alphabet, Label};
 pub use labelset::LabelSet;
 pub use line::Line;
+pub use lineage::LineageGraph;
 pub use problem::Problem;
 pub use relim_pool::Pool;
 pub use roundelim::Step;

@@ -104,6 +104,61 @@ impl Client {
             .ok_or_else(|| ClientError("status response missing `counters`".into()))
     }
 
+    /// Fetches the counters as Prometheus text exposition (the
+    /// `metrics` string of a `metrics` response).
+    ///
+    /// # Errors
+    ///
+    /// Connection/protocol failures.
+    pub fn metrics(&self) -> Result<String, ClientError> {
+        let doc = self.roundtrip(&protocol::render_admin_request("metrics", None))?;
+        doc.get("metrics")
+            .and_then(Json::as_str)
+            .map(str::to_owned)
+            .ok_or_else(|| ClientError("metrics response missing `metrics`".into()))
+    }
+
+    /// Fetches the scheduler event log: the timeline JSON object and its
+    /// text-gantt rendering.
+    ///
+    /// # Errors
+    ///
+    /// Connection/protocol failures.
+    pub fn timeline(&self) -> Result<(Json, String), ClientError> {
+        let doc = self.roundtrip(&protocol::render_admin_request("timeline", None))?;
+        let timeline = doc
+            .get("timeline")
+            .cloned()
+            .ok_or_else(|| ClientError("timeline response missing `timeline`".into()))?;
+        let gantt = doc
+            .get("gantt")
+            .and_then(Json::as_str)
+            .map(str::to_owned)
+            .ok_or_else(|| ClientError("timeline response missing `gantt`".into()))?;
+        Ok((timeline, gantt))
+    }
+
+    /// Fetches one stored entry by content address: its canonical key
+    /// and result text. Errors when nothing is stored under `digest`.
+    ///
+    /// # Errors
+    ///
+    /// Connection/protocol failures and unknown digests.
+    pub fn lookup(&self, digest: &str) -> Result<(String, String), ClientError> {
+        let doc = self.roundtrip(&protocol::render_lookup_request(digest, None))?;
+        if doc.get("ok").and_then(Json::as_bool) != Some(true) {
+            let error = doc.get("error").and_then(Json::as_str).unwrap_or("unspecified error");
+            return Err(ClientError(format!("lookup failed: {error}")));
+        }
+        let field = |key: &str| {
+            doc.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| ClientError(format!("lookup response missing `{key}`")))
+        };
+        Ok((field("key")?, field("result")?))
+    }
+
     /// Requests a graceful shutdown and waits for the acknowledgement.
     ///
     /// # Errors

@@ -45,6 +45,12 @@
 //! * [`client`] — a blocking client for the protocol; the `relim
 //!   submit` / `relim status` / `relim shutdown` subcommands and the
 //!   bench kernels are thin wrappers over it.
+//! * [`metrics`] / [`timeline`] — the observability surfaces: the
+//!   Prometheus text-exposition rendering behind `{"op": "metrics"}`
+//!   (derived from the same counters tree `status` serves, so the two
+//!   can never drift) and the bounded scheduler event log behind
+//!   `{"op": "timeline"}` (enqueue/promote/start/finish per job, dumped
+//!   as JSON plus a text gantt).
 //!
 //! ## Example
 //!
@@ -71,11 +77,13 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod metrics;
 pub mod ops;
 pub mod protocol;
 pub mod queue;
 pub mod server;
 pub mod store;
+pub mod timeline;
 
 pub use client::Client;
 pub use ops::OpRequest;

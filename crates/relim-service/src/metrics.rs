@@ -1,0 +1,238 @@
+//! The Prometheus text-exposition rendering behind `{"op": "metrics"}`.
+//!
+//! One function, [`render_prometheus`], turns the daemon's `counters`
+//! tree (exactly what a `status` response carries — see
+//! `Shared::counters_json` in [`crate::server`]) into [Prometheus text
+//! exposition format]: the JSON tree is flattened depth-first, path
+//! components joined with `_` under the `relim_` prefix (so
+//! `ops.zero_round` becomes `relim_ops_zero_round`), booleans rendered
+//! as `0`/`1`. Deriving the exposition from the same tree the `status`
+//! op serves means the two surfaces can never drift: every counter an
+//! operator can see is scrapeable, automatically, including ones added
+//! later.
+//!
+//! **Naming rules.** Metric names are `relim_` + the `_`-joined JSON
+//! path, already `[a-z0-9_]` by construction of the counters tree. Most
+//! metrics are monotone `counter`s; the known point-in-time readings
+//! (queue depth, store size, configuration, `*_max_ns` high-water
+//! marks) are typed `gauge` via an explicit list (`is_gauge_path`) —
+//! an unknown path defaults to `counter`, the safe choice for a tree
+//! that mostly accumulates.
+//!
+//! [Prometheus text exposition format]:
+//! https://prometheus.io/docs/instrumenting/exposition_formats/
+
+use relim_json::Json;
+
+/// Paths (relative to the counters root, `_`-joined) that are
+/// point-in-time readings rather than monotone counters. High-water
+/// marks (`*_max_ns`, `queue_max_depth`) are gauges too: they can reset
+/// with the process but never decrease within one — still, they are not
+/// rate-able, which is what `counter` would promise.
+fn is_gauge_path(path: &str) -> bool {
+    matches!(
+        path,
+        "store_disk_bytes"
+            | "store_mem_entries"
+            | "store_persistent"
+            | "queue_pending"
+            | "queue_max_depth"
+            | "queue_aging_limit"
+            | "engine_cache_entries"
+            | "threads"
+            | "executors"
+            | "timeline_window"
+    ) || path.ends_with("_max_ns")
+}
+
+/// Renders a daemon `counters` tree as Prometheus text exposition (see
+/// the module docs). Every numeric/boolean leaf becomes one
+/// `# HELP` / `# TYPE` / sample triplet, in the tree's own
+/// (deterministic) order.
+pub fn render_prometheus(counters: &Json) -> String {
+    let mut out = String::new();
+    let mut path = Vec::new();
+    flatten(counters, &mut path, &mut out);
+    out
+}
+
+fn flatten(node: &Json, path: &mut Vec<String>, out: &mut String) {
+    match node {
+        Json::Obj(fields) => {
+            for (key, value) in fields {
+                path.push(key.clone());
+                flatten(value, path, out);
+                path.pop();
+            }
+        }
+        Json::Int(v) => emit(path, *v as f64, out),
+        Json::Float(v) => emit(path, *v, out),
+        Json::Bool(v) => emit(path, if *v { 1.0 } else { 0.0 }, out),
+        // Strings and arrays carry no scrapeable value; the counters
+        // tree holds none today, and skipping keeps the format valid if
+        // one appears.
+        _ => {}
+    }
+}
+
+fn emit(path: &[String], value: f64, out: &mut String) {
+    let joined = path.join("_");
+    let name = format!("relim_{joined}");
+    let kind = if is_gauge_path(&joined) { "gauge" } else { "counter" };
+    out.push_str(&format!("# HELP {name} Daemon status counter `{}`.\n", path.join(".")));
+    out.push_str(&format!("# TYPE {name} {kind}\n"));
+    // Counters are integers in truth; render them without a fraction.
+    if value.fract() == 0.0 {
+        out.push_str(&format!("{name} {}\n", value as i64));
+    } else {
+        out.push_str(&format!("{name} {value}\n"));
+    }
+}
+
+/// Checks `text` against the exposition format rules this module
+/// guarantees: every sample line is `name value` with a legal metric
+/// name and a numeric value, every sample is preceded by its own
+/// `# TYPE`, and no metric name repeats. Returns the violations (empty
+/// means valid) — the concurrency battery scrapes a live daemon and
+/// asserts emptiness.
+pub fn exposition_problems(text: &str) -> Vec<String> {
+    let mut problems = Vec::new();
+    let mut typed: Vec<String> = Vec::new();
+    let mut sampled: Vec<String> = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let n = i + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            match (parts.next(), parts.next(), parts.next()) {
+                (Some(name), Some("counter" | "gauge"), None) => typed.push(name.to_owned()),
+                _ => problems.push(format!("line {n}: malformed TYPE comment: {line}")),
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP and free comments are unconstrained
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(name), Some(value), None) = (parts.next(), parts.next(), parts.next()) else {
+            problems.push(format!("line {n}: not a `name value` sample: {line}"));
+            continue;
+        };
+        if !is_metric_name(name) {
+            problems.push(format!("line {n}: illegal metric name `{name}`"));
+        }
+        if value.parse::<f64>().is_err() {
+            problems.push(format!("line {n}: non-numeric value `{value}`"));
+        }
+        if sampled.contains(&name.to_owned()) {
+            problems.push(format!("line {n}: duplicate metric `{name}`"));
+        }
+        if !typed.contains(&name.to_owned()) {
+            problems.push(format!("line {n}: sample `{name}` has no preceding TYPE"));
+        }
+        sampled.push(name.to_owned());
+    }
+    problems
+}
+
+fn is_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    let Some(first) = chars.next() else { return false };
+    (first.is_ascii_alphabetic() || first == '_' || first == ':')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_exposition_for_a_small_counter_tree() {
+        let counters = Json::Obj(vec![
+            ("requests_total".into(), Json::Int(7)),
+            (
+                "ops".into(),
+                Json::Obj(vec![
+                    ("autolb".into(), Json::Int(2)),
+                    ("zero_round".into(), Json::Int(5)),
+                ]),
+            ),
+            (
+                "store".into(),
+                Json::Obj(vec![
+                    ("stores".into(), Json::Int(3)),
+                    ("persistent".into(), Json::Bool(true)),
+                ]),
+            ),
+            ("latency".into(), Json::Obj(vec![("max_ns".into(), Json::Int(1200))])),
+            ("threads".into(), Json::Int(4)),
+        ]);
+        let golden = "\
+# HELP relim_requests_total Daemon status counter `requests_total`.
+# TYPE relim_requests_total counter
+relim_requests_total 7
+# HELP relim_ops_autolb Daemon status counter `ops.autolb`.
+# TYPE relim_ops_autolb counter
+relim_ops_autolb 2
+# HELP relim_ops_zero_round Daemon status counter `ops.zero_round`.
+# TYPE relim_ops_zero_round counter
+relim_ops_zero_round 5
+# HELP relim_store_stores Daemon status counter `store.stores`.
+# TYPE relim_store_stores counter
+relim_store_stores 3
+# HELP relim_store_persistent Daemon status counter `store.persistent`.
+# TYPE relim_store_persistent gauge
+relim_store_persistent 1
+# HELP relim_latency_max_ns Daemon status counter `latency.max_ns`.
+# TYPE relim_latency_max_ns gauge
+relim_latency_max_ns 1200
+# HELP relim_threads Daemon status counter `threads`.
+# TYPE relim_threads gauge
+relim_threads 4
+";
+        let rendered = render_prometheus(&counters);
+        assert_eq!(rendered, golden);
+        assert_eq!(exposition_problems(&rendered), Vec::<String>::new());
+    }
+
+    #[test]
+    fn validator_flags_the_violations_it_claims_to() {
+        let bad = "\
+# TYPE relim_good counter
+relim_good 1
+relim_untyped 2
+relim_good 3
+9leading_digit 4
+relim_nonnum x
+relim_extra 1 2
+";
+        let problems = exposition_problems(bad);
+        let all = problems.join("\n");
+        assert!(all.contains("duplicate metric `relim_good`"), "{all}");
+        assert!(all.contains("no preceding TYPE"), "{all}");
+        assert!(all.contains("illegal metric name `9leading_digit`"), "{all}");
+        assert!(all.contains("non-numeric value `x`"), "{all}");
+        assert!(all.contains("not a `name value` sample"), "{all}");
+    }
+
+    #[test]
+    fn every_leaf_of_a_nested_tree_is_emitted_once() {
+        let counters = Json::Obj(vec![
+            (
+                "a".into(),
+                Json::Obj(vec![
+                    ("b".into(), Json::Int(1)),
+                    ("c".into(), Json::Obj(vec![("d".into(), Json::Int(2))])),
+                ]),
+            ),
+            ("e".into(), Json::Bool(false)),
+        ]);
+        let rendered = render_prometheus(&counters);
+        let samples: Vec<&str> =
+            rendered.lines().filter(|l| !l.starts_with('#') && !l.is_empty()).collect();
+        assert_eq!(samples, vec!["relim_a_b 1", "relim_a_c_d 2", "relim_e 0"]);
+        assert_eq!(exposition_problems(&rendered), Vec::<String>::new());
+    }
+}

@@ -368,6 +368,106 @@ impl OpRequest {
         Ok(fnv1a128_hex(self.canonical_key()?.as_bytes()))
     }
 
+    /// Parses a stored canonical key back into its request — the
+    /// inverse of [`OpRequest::canonical_key`], used by `relim viz` to
+    /// re-run a stored certificate's query with lineage recording on.
+    /// Strict: the reconstructed request must re-render **exactly** the
+    /// input key (so a viz of digest `d` provably re-runs the query
+    /// stored under `d`) — which also rejects corrupted or foreign keys.
+    ///
+    /// # Errors
+    ///
+    /// Malformed keys, unknown ops or parameters, and keys that fail
+    /// the exact round-trip check.
+    pub fn from_canonical_key(key: &str) -> Result<OpRequest, OpError> {
+        let rest = key
+            .strip_prefix("relim-store/1\nengine=v1\nop=")
+            .ok_or_else(|| OpError("not a relim-store/1 canonical key".to_owned()))?;
+        let (name, rest) =
+            rest.split_once('\n').ok_or_else(|| OpError("truncated canonical key".to_owned()))?;
+        let (params_text, problem_text) = match rest.split_once("problem:\n") {
+            Some((params, problem)) => (params, Some(problem)),
+            None => (rest, None),
+        };
+        let param = |key: &str| -> Result<&str, OpError> {
+            params_text
+                .lines()
+                .find_map(|l| l.strip_prefix(key).and_then(|l| l.strip_prefix('=')))
+                .ok_or_else(|| OpError(format!("canonical key missing parameter `{key}`")))
+        };
+        let number = |key: &str| -> Result<usize, OpError> {
+            param(key)?
+                .parse()
+                .map_err(|_| OpError(format!("non-numeric `{key}` in canonical key")))
+        };
+        let constraints = || -> Result<(String, String), OpError> {
+            let text = problem_text
+                .ok_or_else(|| OpError(format!("op `{name}` requires a problem block")))?;
+            // `Problem::render` shape: `N (degree d):\n…\n\nE:\n…`,
+            // plus the key's own trailing newline.
+            let text = text.strip_suffix('\n').unwrap_or(text);
+            let (node_part, edge) = text
+                .split_once("\n\nE:\n")
+                .ok_or_else(|| OpError("problem block missing the edge constraint".to_owned()))?;
+            let (_, node) = node_part
+                .split_once('\n')
+                .ok_or_else(|| OpError("problem block missing the node constraint".to_owned()))?;
+            Ok((node.to_owned(), edge.to_owned()))
+        };
+        let op = match name {
+            "autolb" => {
+                let (node, edge) = constraints()?;
+                OpRequest::AutoLb {
+                    node,
+                    edge,
+                    max_steps: number("max_steps")?,
+                    labels: number("labels")?,
+                    criterion: Criterion::parse(param("criterion")?)?,
+                }
+            }
+            "autoub" => {
+                let (node, edge) = constraints()?;
+                let coloring = match param("coloring")? {
+                    "none" => None,
+                    c => Some(c.parse().map_err(|_| {
+                        OpError("non-numeric `coloring` in canonical key".to_owned())
+                    })?),
+                };
+                OpRequest::AutoUb {
+                    node,
+                    edge,
+                    max_steps: number("max_steps")?,
+                    labels: number("labels")?,
+                    coloring,
+                }
+            }
+            "iterate" => {
+                let (node, edge) = constraints()?;
+                OpRequest::Iterate {
+                    node,
+                    edge,
+                    max_steps: number("max_steps")?,
+                    label_limit: number("label_limit")?,
+                }
+            }
+            "sweep" => {
+                OpRequest::Sweep { delta: number("delta")? as u32, lemma: number("lemma")? as u32 }
+            }
+            "zero-round" => {
+                let (node, edge) = constraints()?;
+                OpRequest::ZeroRound { node, edge }
+            }
+            other => return Err(OpError(format!("unknown op `{other}` in canonical key"))),
+        };
+        op.validate()?;
+        if op.canonical_key()? != key {
+            return Err(OpError(
+                "canonical key does not round-trip (corrupted or foreign store entry)".to_owned(),
+            ));
+        }
+        Ok(op)
+    }
+
     /// Executes the operation through `engine` and returns the canonical
     /// result text. Byte-identical at any engine thread count and cache
     /// state; the serving layer stores exactly these bytes.
@@ -704,6 +804,54 @@ mod tests {
         // A different op on the same problem addresses different content.
         let z = OpRequest::zero_round("M M M;P O O", "M [P O];O O").unwrap();
         assert_ne!(a.digest().unwrap(), z.digest().unwrap());
+    }
+
+    #[test]
+    fn canonical_key_round_trips_through_from_canonical_key() {
+        let ops = [
+            mis_op(),
+            OpRequest::auto_ub("M M\nP O", "M [P O]\nO O").unwrap(),
+            OpRequest::iterate("M M M;P O O", "M [P O];O O").unwrap(),
+            OpRequest::sweep(4, 8).unwrap(),
+            OpRequest::zero_round("M M M;P O O", "M [P O];O O").unwrap(),
+        ];
+        for op in ops {
+            let key = op.canonical_key().unwrap();
+            let parsed = OpRequest::from_canonical_key(&key).unwrap();
+            // The parsed op carries the *canonical* constraint spelling
+            // (the key stores the re-rendered problem), so compare
+            // content addresses, not constraint strings.
+            assert_eq!(parsed.canonical_key().unwrap(), key);
+            assert_eq!(parsed.digest().unwrap(), op.digest().unwrap(), "key:\n{key}");
+            assert_eq!(parsed.name(), op.name());
+        }
+        // An autoub with an explicit coloring round-trips too.
+        let OpRequest::AutoUb { node, edge, max_steps, labels, .. } =
+            OpRequest::auto_ub("M M\nP O", "M [P O]\nO O").unwrap()
+        else {
+            unreachable!()
+        };
+        let colored = OpRequest::AutoUb { node, edge, max_steps, labels, coloring: Some(3) };
+        let key = colored.canonical_key().unwrap();
+        let parsed = OpRequest::from_canonical_key(&key).unwrap();
+        assert_eq!(parsed.canonical_key().unwrap(), key);
+        let OpRequest::AutoUb { coloring, .. } = parsed else { unreachable!() };
+        assert_eq!(coloring, Some(3));
+    }
+
+    #[test]
+    fn from_canonical_key_rejects_foreign_and_tampered_keys() {
+        assert!(OpRequest::from_canonical_key("not a key").is_err());
+        assert!(OpRequest::from_canonical_key("relim-store/1\nengine=v1\nop=nope\n").is_err());
+        let key = mis_op().canonical_key().unwrap();
+        // Tampering with the problem block fails the round-trip check
+        // (an extra blank line the canonical rendering would not emit).
+        let tampered = format!("{key}\n");
+        assert!(OpRequest::from_canonical_key(&tampered).is_err());
+        // Dropping a parameter line is caught as a missing parameter.
+        let dropped = key.replace("criterion=gadget\n", "");
+        let err = OpRequest::from_canonical_key(&dropped).unwrap_err();
+        assert!(err.to_string().contains("criterion"), "{err}");
     }
 
     #[test]

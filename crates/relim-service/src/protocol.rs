@@ -12,7 +12,10 @@
 //! [`OpRequest::from_json`]) plus two optional envelope fields: `id`
 //! (an integer echoed verbatim in the response) and `priority`
 //! (`interactive` / `bulk`, defaulting per operation — sweeps are bulk).
-//! Two admin requests exist: `{"op": "status"}` and
+//! The admin requests are `{"op": "status"}`, `{"op": "metrics"}`
+//! (Prometheus text exposition of the same counters), `{"op":
+//! "timeline"}` (the scheduler event log), `{"op": "lookup", "digest":
+//! …}` (a read-only fetch of one stored entry by content address) and
 //! `{"op": "shutdown"}`.
 //!
 //! **Responses.** Every response carries `ok` (bool) and the echoed
@@ -20,8 +23,10 @@
 //! (whether the result came from the store), `digest` (the content
 //! address) and `result` (the canonical text — byte-identical to the
 //! same query run in-process). Status responses carry a `counters`
-//! object; shutdown responses `{"shutting_down": true}`. Failures carry
-//! `error`.
+//! object; metrics responses a `metrics` string (the exposition text);
+//! timeline responses a `timeline` object plus a `gantt` string; lookup
+//! responses `digest`/`key`/`result`; shutdown responses
+//! `{"shutting_down": true}`. Failures carry `error`.
 
 use crate::ops::OpRequest;
 use crate::queue::Class;
@@ -49,6 +54,15 @@ pub enum RequestBody {
     },
     /// Counter snapshot request.
     Status,
+    /// Prometheus text-exposition scrape of the same counters.
+    Metrics,
+    /// Scheduler event-log dump (JSON + text gantt).
+    Timeline,
+    /// Read-only fetch of one stored entry by content address.
+    Lookup {
+        /// The content address to look up.
+        digest: String,
+    },
     /// Graceful shutdown request.
     Shutdown,
 }
@@ -68,6 +82,15 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         .ok_or_else(|| "missing or non-string field `op`".to_owned())?;
     let body = match op_name {
         "status" => RequestBody::Status,
+        "metrics" => RequestBody::Metrics,
+        "timeline" => RequestBody::Timeline,
+        "lookup" => {
+            let digest = doc
+                .get("digest")
+                .and_then(Json::as_str)
+                .ok_or_else(|| "lookup requires a string field `digest`".to_owned())?;
+            RequestBody::Lookup { digest: digest.to_owned() }
+        }
         "shutdown" => RequestBody::Shutdown,
         _ => {
             let op = OpRequest::from_json(&doc).map_err(|e| e.to_string())?;
@@ -120,6 +143,54 @@ pub fn render_job_response(id: Option<i64>, cached: bool, digest: &str, result: 
     fields.push(("ok".to_owned(), Json::Bool(true)));
     fields.push(("cached".to_owned(), Json::Bool(cached)));
     fields.push(("digest".to_owned(), Json::str(digest)));
+    fields.push(("result".to_owned(), Json::str(result)));
+    Json::Obj(fields).render_compact()
+}
+
+/// Renders a lookup request line (the client side of the `lookup` op).
+pub fn render_lookup_request(digest: &str, id: Option<i64>) -> String {
+    let mut fields = Vec::new();
+    if let Some(id) = id {
+        fields.push(("id".to_owned(), Json::Int(id)));
+    }
+    fields.push(("op".to_owned(), Json::str("lookup")));
+    fields.push(("digest".to_owned(), Json::str(digest)));
+    Json::Obj(fields).render_compact()
+}
+
+/// Renders a metrics response line around the exposition text.
+pub fn render_metrics_response(id: Option<i64>, metrics: &str) -> String {
+    let mut fields = Vec::new();
+    if let Some(id) = id {
+        fields.push(("id".to_owned(), Json::Int(id)));
+    }
+    fields.push(("ok".to_owned(), Json::Bool(true)));
+    fields.push(("metrics".to_owned(), Json::str(metrics)));
+    Json::Obj(fields).render_compact()
+}
+
+/// Renders a timeline response line around the event-log JSON and its
+/// gantt rendering.
+pub fn render_timeline_response(id: Option<i64>, timeline: Json, gantt: &str) -> String {
+    let mut fields = Vec::new();
+    if let Some(id) = id {
+        fields.push(("id".to_owned(), Json::Int(id)));
+    }
+    fields.push(("ok".to_owned(), Json::Bool(true)));
+    fields.push(("timeline".to_owned(), timeline));
+    fields.push(("gantt".to_owned(), Json::str(gantt)));
+    Json::Obj(fields).render_compact()
+}
+
+/// Renders a successful lookup response line.
+pub fn render_lookup_response(id: Option<i64>, digest: &str, key: &str, result: &str) -> String {
+    let mut fields = Vec::new();
+    if let Some(id) = id {
+        fields.push(("id".to_owned(), Json::Int(id)));
+    }
+    fields.push(("ok".to_owned(), Json::Bool(true)));
+    fields.push(("digest".to_owned(), Json::str(digest)));
+    fields.push(("key".to_owned(), Json::str(key)));
     fields.push(("result".to_owned(), Json::str(result)));
     Json::Obj(fields).render_compact()
 }
@@ -199,6 +270,22 @@ mod tests {
             RequestBody::Status
         );
         assert_eq!(
+            parse_request(&render_admin_request("metrics", None)).unwrap().body,
+            RequestBody::Metrics
+        );
+        assert_eq!(
+            parse_request(&render_admin_request("timeline", None)).unwrap().body,
+            RequestBody::Timeline
+        );
+        assert_eq!(
+            parse_request(&render_lookup_request("abc123", Some(9))).unwrap(),
+            Request { id: Some(9), body: RequestBody::Lookup { digest: "abc123".into() } }
+        );
+        assert!(
+            parse_request(&render_admin_request("lookup", None)).unwrap_err().contains("digest"),
+            "lookup without a digest is refused"
+        );
+        assert_eq!(
             parse_request(&render_admin_request("shutdown", Some(3))).unwrap(),
             Request { id: Some(3), body: RequestBody::Shutdown }
         );
@@ -226,6 +313,9 @@ mod tests {
         for line in [
             render_job_response(Some(1), true, "abc", "multi\nline\nresult"),
             render_status_response(None, Json::Obj(vec![("x".into(), Json::Int(1))])),
+            render_metrics_response(Some(4), "# TYPE relim_x counter\nrelim_x 1\n"),
+            render_timeline_response(None, Json::Obj(vec![]), "timeline: 0 events\n"),
+            render_lookup_response(Some(5), "abc", "key\ntext", "result\ntext"),
             render_shutdown_response(Some(2)),
             render_error_response(None, "boom"),
         ] {

@@ -39,6 +39,7 @@ use crate::ops::OpRequest;
 use crate::protocol::{self, Request, RequestBody};
 use crate::queue::{Class, JobQueue, DEFAULT_AGING_LIMIT};
 use crate::store::{InflightClaim, ResultStore};
+use crate::timeline::{EventKind, EventLog, DEFAULT_EVENT_CAPACITY};
 use relim_core::Engine;
 use relim_json::Json;
 use std::io::{BufRead, BufReader, Write};
@@ -104,6 +105,47 @@ struct Job {
     reply: mpsc::Sender<Result<String, String>>,
 }
 
+/// Per-outcome latency accounting: every request records into exactly
+/// one lane, so the lanes partition the traffic and their sums
+/// reconcile against the all-outcome aggregate.
+struct Lane {
+    count: AtomicU64,
+    total_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Lane {
+    fn new() -> Lane {
+        Lane { count: AtomicU64::new(0), total_ns: AtomicU64::new(0), max_ns: AtomicU64::new(0) }
+    }
+
+    fn record(&self, ns: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    fn json(&self) -> Json {
+        Json::Obj(vec![
+            ("count".into(), Json::Int(self.count.load(Ordering::Relaxed) as i64)),
+            ("total_ns".into(), Json::Int(self.total_ns.load(Ordering::Relaxed) as i64)),
+            ("max_ns".into(), Json::Int(self.max_ns.load(Ordering::Relaxed) as i64)),
+        ])
+    }
+}
+
+/// How a job request left `handle_line` — the latency lane it lands in.
+#[derive(Clone, Copy)]
+enum Outcome {
+    /// Served from the content-addressed store, inline.
+    Hit,
+    /// Computed (or coalesced onto a computation) via the queue.
+    Computed,
+    /// Any error exit: bad parameters, refused enqueue, failed or
+    /// panicked execution, a dead executor.
+    Error,
+}
+
 /// Shared state behind the daemon's threads.
 struct Shared {
     engine: Engine,
@@ -123,6 +165,9 @@ struct Shared {
     n_sweep: AtomicU64,
     n_zeroround: AtomicU64,
     n_status: AtomicU64,
+    n_metrics: AtomicU64,
+    n_timeline: AtomicU64,
+    n_lookup: AtomicU64,
     n_errors: AtomicU64,
     /// Inline store hits by op kind — distinguishes queue-served results
     /// from cached ones, which the aggregate `ops` counters cannot.
@@ -131,8 +176,15 @@ struct Shared {
     h_iterate: AtomicU64,
     h_sweep: AtomicU64,
     h_zeroround: AtomicU64,
+    /// All-outcome latency aggregate (kept for status compatibility;
+    /// the lanes below split the same traffic by outcome).
     latency_ns_total: AtomicU64,
     latency_ns_max: AtomicU64,
+    lat_hit: Lane,
+    lat_computed: Lane,
+    lat_error: Lane,
+    /// The bounded scheduler event log behind `{"op": "timeline"}`.
+    events: EventLog,
 }
 
 impl Shared {
@@ -158,9 +210,19 @@ impl Shared {
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
-    fn record_latency(&self, ns: u64) {
+    /// Records one job request's wall time into the aggregate *and* the
+    /// outcome's lane. Called on **every** exit of the job path — error
+    /// exits included, which the aggregate alone historically missed
+    /// (undercounting exactly the requests an operator most wants to
+    /// see).
+    fn record_latency(&self, outcome: Outcome, ns: u64) {
         self.latency_ns_total.fetch_add(ns, Ordering::Relaxed);
         self.latency_ns_max.fetch_max(ns, Ordering::Relaxed);
+        match outcome {
+            Outcome::Hit => self.lat_hit.record(ns),
+            Outcome::Computed => self.lat_computed.record(ns),
+            Outcome::Error => self.lat_error.record(ns),
+        }
     }
 
     /// The `counters` object of a status response.
@@ -193,6 +255,9 @@ impl Shared {
                         Json::Int(self.n_zeroround.load(Ordering::Relaxed) as i64),
                     ),
                     ("status".into(), Json::Int(self.n_status.load(Ordering::Relaxed) as i64)),
+                    ("metrics".into(), Json::Int(self.n_metrics.load(Ordering::Relaxed) as i64)),
+                    ("timeline".into(), Json::Int(self.n_timeline.load(Ordering::Relaxed) as i64)),
+                    ("lookup".into(), Json::Int(self.n_lookup.load(Ordering::Relaxed) as i64)),
                 ]),
             ),
             ("errors".into(), Json::Int(self.n_errors.load(Ordering::Relaxed) as i64)),
@@ -220,6 +285,7 @@ impl Shared {
                     ("corrupt_skipped".into(), Json::Int(store.corrupt_skipped as i64)),
                     ("coalesced".into(), Json::Int(store.coalesced as i64)),
                     ("gc_evictions".into(), Json::Int(store.gc_evictions as i64)),
+                    ("tmp_swept".into(), Json::Int(store.tmp_swept as i64)),
                     ("disk_bytes".into(), Json::Int(store.disk_bytes as i64)),
                     ("mem_entries".into(), Json::Int(store.mem_entries as i64)),
                     ("persistent".into(), Json::Bool(self.store.is_persistent())),
@@ -245,8 +311,22 @@ impl Shared {
                         "max_ns".into(),
                         Json::Int(self.latency_ns_max.load(Ordering::Relaxed) as i64),
                     ),
+                    ("hit".into(), self.lat_hit.json()),
+                    ("computed".into(), self.lat_computed.json()),
+                    ("error".into(), self.lat_error.json()),
                 ]),
             ),
+            {
+                let timeline = self.events.snapshot();
+                (
+                    "timeline".into(),
+                    Json::Obj(vec![
+                        ("recorded".into(), Json::Int(timeline.recorded as i64)),
+                        ("dropped".into(), Json::Int(timeline.dropped as i64)),
+                        ("window".into(), Json::Int(timeline.window as i64)),
+                    ]),
+                )
+            },
             ("engine".into(), Json::Obj(engine_pairs)),
             ("threads".into(), Json::Int(self.engine.threads() as i64)),
             ("executors".into(), Json::Int(self.executors as i64)),
@@ -300,6 +380,9 @@ impl Server {
             n_sweep: AtomicU64::new(0),
             n_zeroround: AtomicU64::new(0),
             n_status: AtomicU64::new(0),
+            n_metrics: AtomicU64::new(0),
+            n_timeline: AtomicU64::new(0),
+            n_lookup: AtomicU64::new(0),
             n_errors: AtomicU64::new(0),
             h_autolb: AtomicU64::new(0),
             h_autoub: AtomicU64::new(0),
@@ -308,6 +391,10 @@ impl Server {
             h_zeroround: AtomicU64::new(0),
             latency_ns_total: AtomicU64::new(0),
             latency_ns_max: AtomicU64::new(0),
+            lat_hit: Lane::new(),
+            lat_computed: Lane::new(),
+            lat_error: Lane::new(),
+            events: EventLog::new(DEFAULT_EVENT_CAPACITY),
         });
 
         let executors = (0..executors)
@@ -392,9 +479,30 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
 fn executor_loop(shared: &Arc<Shared>) {
     let mut queue = shared.queue.lock().expect("queue lock poisoned");
     loop {
-        if let Some((_, job)) = queue.pop() {
+        let promotions_before = queue.promotions();
+        if let Some((class, job)) = queue.pop() {
+            let promoted = queue.promotions() > promotions_before;
             drop(queue);
-            let result = job.op.execute(&shared.engine).map_err(|e| e.to_string());
+            if promoted {
+                shared.events.record(EventKind::Promote, &job.digest, job.op.name(), class);
+            }
+            shared.events.record(EventKind::Start, &job.digest, job.op.name(), class);
+            // A panicking op must never kill this thread with the job's
+            // in-flight entry still claimed: coalesced waiters would
+            // block forever on their receivers and every future
+            // identical request would attach to the dead claim — the
+            // key permanently poisoned. Catch the panic and turn it
+            // into an ordinary error result, so the complete/reply
+            // below always run and the executor survives.
+            let execution = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                #[cfg(test)]
+                test_hooks::fire(&job.digest);
+                job.op.execute(&shared.engine)
+            }));
+            let result = match execution {
+                Ok(r) => r.map_err(|e| e.to_string()),
+                Err(payload) => Err(format!("job panicked: {}", panic_message(&payload))),
+            };
             if let Ok(result_text) = &result {
                 if let Err(e) = shared.store.put(&job.digest, &job.key, result_text) {
                     eprintln!("relim-service: store write failed for {}: {e}", job.digest);
@@ -403,6 +511,8 @@ fn executor_loop(shared: &Arc<Shared>) {
             // Store first, complete second: a request that misses the
             // coalescing window after this point hits the store instead.
             shared.store.complete(&job.key, &result);
+            let finished = EventKind::Finish { ok: result.is_ok() };
+            shared.events.record(finished, &job.digest, job.op.name(), class);
             // A dropped receiver (client gone) is fine — work is stored.
             let _ = job.reply.send(result);
             queue = shared.queue.lock().expect("queue lock poisoned");
@@ -414,6 +524,17 @@ fn executor_loop(shared: &Arc<Shared>) {
     }
 }
 
+/// A human-readable rendering of a caught panic payload (`panic!` with a
+/// string literal or a formatted message covers practically all of
+/// them).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("opaque panic payload")
+}
+
 /// Enqueues a job unless the daemon is shutting down. The flag check and
 /// the push happen under the same lock the executor's exit check uses,
 /// so an accepted job is always served.
@@ -422,6 +543,9 @@ fn enqueue(shared: &Shared, class: Class, job: Job) -> Result<(), String> {
     if shared.shutdown.load(Ordering::SeqCst) {
         return Err("server is shutting down".to_owned());
     }
+    // Recorded under the queue lock: the job is not poppable until the
+    // lock drops, so its `enqueue` event always precedes its `start`.
+    shared.events.record(EventKind::Enqueue, &job.digest, job.op.name(), class);
     queue.push(class, job);
     shared.cv.notify_one();
     Ok(())
@@ -477,21 +601,47 @@ fn handle_line(line: &str, shared: &Arc<Shared>) -> (String, bool) {
             shared.n_status.fetch_add(1, Ordering::Relaxed);
             (protocol::render_status_response(id, shared.counters_json()), false)
         }
+        RequestBody::Metrics => {
+            shared.n_metrics.fetch_add(1, Ordering::Relaxed);
+            let text = crate::metrics::render_prometheus(&shared.counters_json());
+            (protocol::render_metrics_response(id, &text), false)
+        }
+        RequestBody::Timeline => {
+            shared.n_timeline.fetch_add(1, Ordering::Relaxed);
+            let snapshot = shared.events.snapshot();
+            let gantt = snapshot.render_gantt();
+            (protocol::render_timeline_response(id, snapshot.to_json(), &gantt), false)
+        }
+        RequestBody::Lookup { digest } => {
+            shared.n_lookup.fetch_add(1, Ordering::Relaxed);
+            match shared.store.lookup_digest(&digest) {
+                Some((key, result)) => {
+                    (protocol::render_lookup_response(id, &digest, &key, &result), false)
+                }
+                None => {
+                    shared.n_errors.fetch_add(1, Ordering::Relaxed);
+                    let error = format!("no stored entry for digest {digest}");
+                    (protocol::render_error_response(id, &error), false)
+                }
+            }
+        }
         RequestBody::Shutdown => (protocol::render_shutdown_response(id), true),
         RequestBody::Job { op, class } => {
             let start = Instant::now();
+            let elapsed = move || start.elapsed().as_nanos() as u64;
             shared.count_op(&op);
             let key = match op.canonical_key() {
                 Ok(key) => key,
                 Err(e) => {
                     shared.n_errors.fetch_add(1, Ordering::Relaxed);
+                    shared.record_latency(Outcome::Error, elapsed());
                     return (protocol::render_error_response(id, &e.to_string()), false);
                 }
             };
             let digest = crate::store::digest_of(&key);
             if let Some(result) = shared.store.get(&digest, &key) {
                 shared.count_store_hit(&op);
-                shared.record_latency(start.elapsed().as_nanos() as u64);
+                shared.record_latency(Outcome::Hit, elapsed());
                 return (protocol::render_job_response(id, true, &digest, &result), false);
             }
             // Cold: claim the in-flight slot. The first identical request
@@ -506,6 +656,7 @@ fn handle_line(line: &str, shared: &Arc<Shared>) -> (String, bool) {
                         // Unblock any waiter that already attached.
                         shared.store.complete(&key, &Err(e.clone()));
                         shared.n_errors.fetch_add(1, Ordering::Relaxed);
+                        shared.record_latency(Outcome::Error, elapsed());
                         return (protocol::render_error_response(id, &e), false);
                     }
                     rx
@@ -513,19 +664,52 @@ fn handle_line(line: &str, shared: &Arc<Shared>) -> (String, bool) {
             };
             let response = match rx.recv() {
                 Ok(Ok(result)) => {
-                    shared.record_latency(start.elapsed().as_nanos() as u64);
+                    shared.record_latency(Outcome::Computed, elapsed());
                     protocol::render_job_response(id, false, &digest, &result)
                 }
                 Ok(Err(e)) => {
                     shared.n_errors.fetch_add(1, Ordering::Relaxed);
+                    shared.record_latency(Outcome::Error, elapsed());
                     protocol::render_error_response(id, &e)
                 }
                 Err(_) => {
                     shared.n_errors.fetch_add(1, Ordering::Relaxed);
+                    shared.record_latency(Outcome::Error, elapsed());
                     protocol::render_error_response(id, "executor exited before the job ran")
                 }
             };
             (response, false)
+        }
+    }
+}
+
+/// Test seam: per-digest hooks fired by the executor just before a
+/// job's real execution, inside the panic guard. A hook runs at most
+/// once (it is removed as it fires), so a recomputation of the same
+/// digest runs clean — exactly what the poisoned-key regression needs.
+/// Keyed by digest so concurrently running tests cannot collide.
+#[cfg(test)]
+pub(crate) mod test_hooks {
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+
+    type Hook = Box<dyn FnOnce() + Send>;
+
+    fn registry() -> &'static Mutex<HashMap<String, Hook>> {
+        static REGISTRY: OnceLock<Mutex<HashMap<String, Hook>>> = OnceLock::new();
+        REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+    }
+
+    pub fn install(digest: &str, hook: Box<dyn FnOnce() + Send>) {
+        registry().lock().expect("hook registry poisoned").insert(digest.to_owned(), hook);
+    }
+
+    pub fn fire(digest: &str) {
+        // Remove before calling: a panicking hook must not poison the
+        // registry lock for unrelated tests.
+        let hook = registry().lock().expect("hook registry poisoned").remove(digest);
+        if let Some(hook) = hook {
+            hook();
         }
     }
 }
@@ -553,6 +737,102 @@ mod tests {
         let store = status.get("store").expect("counters carry a store object");
         assert_eq!(store.get("mem_hits").and_then(Json::as_i64), Some(1));
 
+        client.shutdown().unwrap();
+        handle.join();
+    }
+
+    #[test]
+    fn panicking_job_unblocks_coalesced_waiters_and_unpoisons_the_key() {
+        // One executor: if the panic killed it, nothing could serve the
+        // recomputation below — the test proves the thread survives.
+        let config = ServerConfig { executors: 1, ..ServerConfig::default() };
+        let handle = Server::spawn("127.0.0.1:0", config).unwrap();
+        let client = Client::new(handle.local_addr().to_string());
+        let op = OpRequest::zero_round("P P P;M O O", "M [P O];O O").unwrap();
+        let digest = op.digest().unwrap();
+
+        // The first execution of this digest blocks until two waiters
+        // have coalesced onto it, then panics — deterministically
+        // reproducing "a panic with waiters attached".
+        let shared = Arc::clone(&handle.shared);
+        test_hooks::install(
+            &digest,
+            Box::new(move || {
+                for _ in 0..2000 {
+                    if shared.store.stats().coalesced >= 2 {
+                        break;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                }
+                panic!("deliberate test panic inside op execution");
+            }),
+        );
+
+        let submit =
+            |client: Client, op: OpRequest| std::thread::spawn(move || client.submit(&op, None));
+        let owner = submit(client.clone(), op.clone());
+        // The owner's executor is blocked in the hook; these two attach
+        // as coalesced waiters (the hook waits for exactly that).
+        let w1 = submit(client.clone(), op.clone());
+        let w2 = submit(client.clone(), op.clone());
+        for t in [owner, w1, w2] {
+            let reply = t.join().unwrap();
+            let err = reply.expect_err("panicked job must answer with an error");
+            assert!(err.to_string().contains("job panicked"), "{err}");
+        }
+
+        // The key is un-poisoned: a fresh identical request claims the
+        // slot as owner and recomputes (the hook fired once and is
+        // gone) on the *same* executor thread.
+        let reply = client.submit(&op, None).unwrap();
+        assert!(!reply.cached);
+        assert!(reply.result.contains("0-round"), "{}", reply.result);
+
+        let counters = handle.counters();
+        let errors = counters.get("errors").and_then(Json::as_i64).unwrap();
+        assert_eq!(errors, 3, "owner + two waiters");
+        let error_lane = counters.get("latency").and_then(|l| l.get("error")).unwrap();
+        assert_eq!(error_lane.get("count").and_then(Json::as_i64), Some(3));
+        client.shutdown().unwrap();
+        handle.join();
+    }
+
+    #[test]
+    fn metrics_timeline_and_lookup_ops_serve_the_observability_surfaces() {
+        let handle = Server::spawn("127.0.0.1:0", ServerConfig::default()).unwrap();
+        let client = Client::new(handle.local_addr().to_string());
+        let op = OpRequest::zero_round("M M M;P O O", "M [P O];O O").unwrap();
+        let reply = client.submit(&op, None).unwrap();
+
+        let text = client.metrics().unwrap();
+        assert_eq!(crate::metrics::exposition_problems(&text), Vec::<String>::new(), "{text}");
+        assert!(text.contains("relim_requests_total "), "{text}");
+        assert!(text.contains("relim_store_stores 1"), "{text}");
+        // Every leaf of the status counters is scrapeable; spot-check
+        // one from each family, including the new lanes.
+        for name in [
+            "relim_ops_zero_round",
+            "relim_store_hits_zero_round",
+            "relim_latency_computed_count",
+            "relim_queue_pending",
+            "relim_engine_cache_entries",
+            "relim_timeline_recorded",
+        ] {
+            assert!(text.contains(name), "missing {name} in:\n{text}");
+        }
+
+        let (timeline, gantt) = client.timeline().unwrap();
+        let Some(Json::Arr(events)) = timeline.get("events") else { panic!("events array") };
+        let kinds: Vec<&str> =
+            events.iter().filter_map(|e| e.get("event").and_then(Json::as_str)).collect();
+        assert_eq!(kinds, vec!["enqueue", "start", "finish"], "{gantt}");
+        assert!(gantt.contains(&reply.digest.chars().take(12).collect::<String>()), "{gantt}");
+
+        let (key, result) = client.lookup(&reply.digest).unwrap();
+        assert_eq!(result, reply.result, "lookup returns the stored bytes");
+        assert!(key.contains("op=zero-round"), "{key}");
+        let err = client.lookup("not-a-digest").unwrap_err();
+        assert!(err.to_string().contains("no stored entry"), "{err}");
         client.shutdown().unwrap();
         handle.join();
     }

@@ -114,6 +114,9 @@ pub struct StoreStats {
     /// Entry files deleted from disk by the byte-budget GC (see
     /// [`ResultStore::persistent_with_budget`]).
     pub gc_evictions: u64,
+    /// Stale `.tmp-*` files (a crash or failed rename mid-write) swept
+    /// at open.
+    pub tmp_swept: u64,
     /// Bytes currently held by the disk layer (0 for memory-only stores).
     pub disk_bytes: u64,
     /// Distinct entries currently held in memory.
@@ -140,6 +143,7 @@ pub struct ResultStore {
     corrupt_skipped: AtomicU64,
     coalesced: AtomicU64,
     gc_evictions: AtomicU64,
+    tmp_swept: AtomicU64,
     /// Uniquifier for temp file names under concurrent writers.
     tmp_seq: AtomicU64,
 }
@@ -171,6 +175,7 @@ impl ResultStore {
             corrupt_skipped: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
             gc_evictions: AtomicU64::new(0),
+            tmp_swept: AtomicU64::new(0),
             tmp_seq: AtomicU64::new(0),
         }
     }
@@ -209,6 +214,19 @@ impl ResultStore {
             budget_bytes,
             ..ResultStore::in_memory(capacity)
         };
+        // Sweep stale `.tmp-*` files first. A crash (or failed rename)
+        // mid-[`ResultStore::put`] leaves one behind, and nothing else
+        // ever would: temp files live only inside `put`'s disk lock, so
+        // across opens they are always garbage. Left alone they
+        // accumulate unboundedly *outside* the byte budget — both the
+        // `disk_bytes` accounting and the GC listing filter on `.json`.
+        for entry in std::fs::read_dir(&dir)? {
+            let Ok(entry) = entry else { continue };
+            let stale = entry.file_name().to_str().is_some_and(|n| n.starts_with(".tmp-"));
+            if stale && std::fs::remove_file(entry.path()).is_ok() {
+                store.tmp_swept.fetch_add(1, Ordering::Relaxed);
+            }
+        }
         let mut names: Vec<PathBuf> = std::fs::read_dir(&dir)?
             .filter_map(|e| e.ok().map(|e| e.path()))
             .filter(|p| p.extension().is_some_and(|e| e == "json"))
@@ -417,6 +435,24 @@ impl ResultStore {
         }
     }
 
+    /// The stored `(key, result)` under a content address, from memory
+    /// or disk. Unlike [`ResultStore::get`] the caller knows only the
+    /// digest, so no independent key verification is possible — the disk
+    /// path still runs the file's own digest/schema checks. Read-only:
+    /// never counted as a hit or a miss (it is an inspection, not
+    /// traffic). This is the lookup behind the daemon's `lookup` op and
+    /// `relim viz`.
+    pub fn lookup_digest(&self, digest: &str) -> Option<(String, String)> {
+        {
+            let inner = self.inner.lock().expect("store lock poisoned");
+            if let Some(entry) = inner.entries.get(digest) {
+                return Some((entry.key.clone(), entry.result.clone()));
+            }
+        }
+        let dir = self.dir.as_ref()?;
+        read_entry_file(&entry_path(dir, digest)).map(|(_, key, result)| (key, result))
+    }
+
     /// A snapshot of the store counters.
     pub fn stats(&self) -> StoreStats {
         StoreStats {
@@ -428,6 +464,7 @@ impl ResultStore {
             corrupt_skipped: self.corrupt_skipped.load(Ordering::Relaxed),
             coalesced: self.coalesced.load(Ordering::Relaxed),
             gc_evictions: self.gc_evictions.load(Ordering::Relaxed),
+            tmp_swept: self.tmp_swept.load(Ordering::Relaxed),
             disk_bytes: *self.disk.lock().expect("store disk lock poisoned"),
             mem_entries: self.inner.lock().expect("store lock poisoned").entries.len(),
         }
@@ -436,6 +473,15 @@ impl ResultStore {
 
 fn entry_path(dir: &Path, digest: &str) -> PathBuf {
     dir.join(format!("{digest}.json"))
+}
+
+/// Reads one stored entry directly from a store directory, without
+/// opening a [`ResultStore`] — and therefore without the open-time side
+/// effects (temp-file sweep, budget GC) that would be hostile to a
+/// directory a live daemon is serving from. The read-only path `relim
+/// viz --store` uses. `None` for missing or corrupt entries.
+pub fn read_stored_entry(dir: &Path, digest: &str) -> Option<(String, String)> {
+    read_entry_file(&entry_path(dir, digest)).map(|(_, key, result)| (key, result))
 }
 
 /// Reads and fully verifies one store file: parses, checks the schema
@@ -595,6 +641,55 @@ mod tests {
         assert!(stats.disk_bytes <= 300, "{stats:?}");
         // The newest entry survived the trim.
         assert!(dir.join(format!("{}.json", digest_of("open key 3"))).is_file());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_temp_files_are_swept_at_open() {
+        let dir = tmp_dir("tmp-sweep");
+        let key = "crash key";
+        let digest = digest_of(key);
+        {
+            let store = ResultStore::persistent(&dir, 8).unwrap();
+            store.put(&digest, key, "survivor").unwrap();
+        }
+        // Simulate a crash mid-`put`: temp files written but never
+        // renamed (one from this "process", one from an older pid).
+        std::fs::write(dir.join(format!(".tmp-{}-7-{digest}", std::process::id())), "half")
+            .unwrap();
+        std::fs::write(dir.join(format!(".tmp-1-0-{digest}")), "older half").unwrap();
+        let store = ResultStore::persistent(&dir, 8).unwrap();
+        let stats = store.stats();
+        assert_eq!(stats.tmp_swept, 2, "{stats:?}");
+        assert_eq!(stats.corrupt_skipped, 0, "temp files never count as corrupt entries");
+        let survivors: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok().and_then(|e| e.file_name().to_str().map(str::to_owned)))
+            .collect();
+        assert_eq!(survivors, vec![format!("{digest}.json")], "only the real entry remains");
+        // The byte accounting covers exactly the surviving entry.
+        assert_eq!(store.get(&digest, key).as_deref(), Some("survivor"));
+        let entry_len = std::fs::metadata(entry_path(&dir, &digest)).unwrap().len();
+        assert_eq!(stats.disk_bytes, entry_len);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn digest_lookup_reads_memory_and_disk_without_counting_traffic() {
+        let dir = tmp_dir("lookup");
+        let store = ResultStore::persistent(&dir, 1).unwrap();
+        let (k1, k2) = ("lookup key 1", "lookup key 2");
+        store.put(&digest_of(k1), k1, "r1").unwrap();
+        store.put(&digest_of(k2), k2, "r2").unwrap(); // evicts k1 to disk-only
+        let (key, result) = store.lookup_digest(&digest_of(k2)).unwrap();
+        assert_eq!((key.as_str(), result.as_str()), (k2, "r2"), "memory path");
+        let (key, result) = store.lookup_digest(&digest_of(k1)).unwrap();
+        assert_eq!((key.as_str(), result.as_str()), (k1, "r1"), "disk path");
+        assert_eq!(store.lookup_digest("0000"), None);
+        let stats = store.stats();
+        assert_eq!((stats.mem_hits, stats.disk_hits, stats.misses), (0, 0, 0), "{stats:?}");
+        // The free-function form reads the same bytes with no store open.
+        assert_eq!(read_stored_entry(&dir, &digest_of(k1)), Some((k1.to_owned(), "r1".to_owned())));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

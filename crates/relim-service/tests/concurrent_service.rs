@@ -181,6 +181,149 @@ fn graceful_shutdown_drains_every_accepted_job() {
     assert_eq!(int_at(&report, "store", "stores"), jobs.len() as i64, "{report:?}");
 }
 
+/// A `/metrics` scraper racing live traffic: every scrape must be
+/// well-formed Prometheus text exposition (no torn lines, no duplicate
+/// series, TYPE before sample), and `relim_requests_total` must be
+/// monotone across scrapes — the exposition is a consistent read of
+/// live counters, not a locked snapshot, but counters only go up.
+#[test]
+fn metrics_scrapes_stay_valid_and_monotone_under_live_traffic() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let config = ServerConfig { executors: 4, ..ServerConfig::default() };
+    let handle = Server::spawn("127.0.0.1:0", config).unwrap();
+    let addr = handle.local_addr().to_string();
+
+    let done = Arc::new(AtomicUsize::new(0));
+    let traffic: Vec<_> = (0..4usize)
+        .map(|t| {
+            let addr = addr.clone();
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                for i in 0..6 {
+                    let op = mis_iterate((i + t) % 3 + 1);
+                    Client::new(addr.clone()).submit(&op, None).expect("traffic submit");
+                }
+                done.fetch_add(1, Ordering::SeqCst);
+            })
+        })
+        .collect();
+
+    let requests_total = |text: &str| -> i64 {
+        text.lines()
+            .find_map(|l| l.strip_prefix("relim_requests_total "))
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or_else(|| panic!("scrape missing relim_requests_total:\n{text}"))
+    };
+    let scraper = Client::new(addr.clone());
+    let mut last = -1i64;
+    let mut scrapes = 0usize;
+    while done.load(Ordering::SeqCst) < 4 || scrapes == 0 {
+        let text = scraper.metrics().expect("scrape during traffic");
+        let problems = relim_service::metrics::exposition_problems(&text);
+        assert!(problems.is_empty(), "mid-traffic scrape is malformed: {problems:?}\n{text}");
+        let now = requests_total(&text);
+        assert!(now >= last, "relim_requests_total went backwards: {last} -> {now}");
+        last = now;
+        scrapes += 1;
+    }
+    for t in traffic {
+        t.join().expect("traffic thread panicked");
+    }
+    // The settled scrape accounts for all 24 submits (plus the scrapes
+    // themselves, which are requests too).
+    let text = scraper.metrics().unwrap();
+    assert!(relim_service::metrics::exposition_problems(&text).is_empty(), "{text}");
+    assert!(requests_total(&text) >= 24 + scrapes as i64, "{text}");
+
+    Client::new(addr).shutdown().unwrap();
+    handle.join();
+}
+
+/// An aged-promoted bulk job must log its full lifecycle to the
+/// timeline in order: enqueue, promote, start, finish. The promotion
+/// window is made by parking a slow job on a width-1 pool and stacking
+/// the queue behind it; scheduling noise can close that window, so the
+/// scenario retries on a fresh daemon until a promotion is observed.
+#[test]
+fn a_promoted_bulk_job_logs_ordered_timeline_events() {
+    let bulk_op = OpRequest::zero_round(NODE, EDGE).unwrap();
+    let bulk_digest = bulk_op.digest().unwrap();
+    let deadline = std::time::Duration::from_secs(30);
+
+    for _attempt in 0..5 {
+        let config = ServerConfig { executors: 1, aging_limit: 1, ..ServerConfig::default() };
+        let handle = Server::spawn("127.0.0.1:0", config).unwrap();
+        let addr = handle.local_addr().to_string();
+        let client = Client::new(addr.clone());
+
+        let submit_thread = |op: OpRequest, class: Class| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                Client::new(addr).submit(&op, Some(class)).expect("scenario submit");
+            })
+        };
+        let wait_until = |cond: &dyn Fn() -> bool| {
+            let start = std::time::Instant::now();
+            while !cond() && start.elapsed() < deadline {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        };
+
+        // Park a sweep on the only executor, and wait until it has
+        // actually been popped (its `start` event is on the timeline).
+        let holder = submit_thread(OpRequest::sweep(3, 8).unwrap(), Class::Interactive);
+        wait_until(&|| {
+            let (timeline, _) = client.timeline().expect("timeline poll");
+            timeline.get("events").and_then(Json::as_arr).is_some_and(|events| {
+                events.iter().any(|e| e.get("event").and_then(Json::as_str) == Some("start"))
+            })
+        });
+
+        // Stack the queue behind it: the bulk job first, then two
+        // interactives that would each bypass it. With aging_limit 1
+        // the first bypass promotes the bulk job past the second.
+        let pending = |n: i64| {
+            let client = client.clone();
+            move || {
+                let status = client.status().expect("status poll");
+                int_at(&status, "queue", "pending") >= n
+            }
+        };
+        let bulk = submit_thread(bulk_op.clone(), Class::Bulk);
+        wait_until(&pending(1));
+        let i1 = submit_thread(mis_iterate(1), Class::Interactive);
+        wait_until(&pending(2));
+        let i2 = submit_thread(mis_iterate(2), Class::Interactive);
+
+        for t in [holder, bulk, i1, i2] {
+            t.join().expect("scenario thread panicked");
+        }
+        let status = client.status().unwrap();
+        let promoted = int_at(&status, "queue", "aged_promotions") > 0;
+        let (timeline, gantt) = client.timeline().unwrap();
+        client.shutdown().unwrap();
+        handle.join();
+        if !promoted {
+            continue; // the sweep finished before the stack built up
+        }
+
+        let events = timeline.get("events").and_then(Json::as_arr).expect("events array");
+        let kinds: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("digest").and_then(Json::as_str) == Some(bulk_digest.as_str()))
+            .filter_map(|e| e.get("event").and_then(Json::as_str))
+            .collect();
+        assert_eq!(
+            kinds,
+            ["enqueue", "promote", "start", "finish"],
+            "bulk lifecycle out of order; gantt:\n{gantt}"
+        );
+        return;
+    }
+    panic!("no promotion observed in 5 attempts — the promotion window never opened");
+}
+
 /// The queue-aging adversary at pool width 4: bulk sweeps submitted
 /// under interactive flood pressure (the wire analogue of the
 /// `starvation_freedom_under_adversarial_interactive_pressure` property
