@@ -54,6 +54,7 @@ use relim_core::autolb::AutoLbOptions;
 use relim_core::roundelim::{dominance_filter_reference, r_step};
 use relim_core::{Label, LabelSet, SetConfig};
 use relim_service::ops::OpRequest;
+use relim_service::ring::Ring;
 use relim_service::server::{Server, ServerConfig};
 use relim_service::store::{digest_of, ResultStore};
 use relim_service::Client;
@@ -571,6 +572,80 @@ fn service_concurrent_throughput_entry(quick: bool) -> Entry {
     }
 }
 
+/// The `fleet_ring_assignment` kernel: owner assignment of a synthetic
+/// digest population over an 8-member consistent-hash ring, plus the
+/// re-assignment churn of adding a ninth member. Pure and fully
+/// deterministic (fixed member names, splitmix-generated digests), so
+/// the recorded balance and churn numbers are exact-diffed by the
+/// baseline gate: a change to the ring's hash or vnode layout shows up
+/// as a param mismatch, not a silent re-partition of every fleet.
+fn fleet_ring_assignment_entry(quick: bool) -> Entry {
+    let n_digests: usize = if quick { 20_000 } else { 100_000 };
+    let members: Vec<String> = (0..8).map(|i| format!("peer-{i}:74{i:02}")).collect();
+    let digests: Vec<String> = (0..n_digests as u64)
+        .map(|i| {
+            // splitmix64 over the index: stable synthetic addresses.
+            let mut z = i.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            format!("{:016x}{:016x}", z, z ^ (z >> 31))
+        })
+        .collect();
+
+    let assign = |ring: &Ring| -> Vec<usize> {
+        digests
+            .iter()
+            .map(|d| {
+                let owner = ring.owner_of(d).expect("non-empty ring");
+                ring.members().iter().position(|m| m == owner).expect("owner is a member")
+            })
+            .collect()
+    };
+    let samples = if quick { 3 } else { 5 };
+    let ring = Ring::new(members.clone());
+    let (owners, med, min, max) = time_median(samples, || assign(&ring));
+
+    let mut shares = vec![0i64; members.len()];
+    for owner in &owners {
+        shares[*owner] += 1;
+    }
+    let mut grown = members.clone();
+    grown.push("peer-8:7408".to_owned());
+    let grown_ring = Ring::new(grown);
+    let grown_owners = assign(&grown_ring);
+    let moved = owners
+        .iter()
+        .zip(&grown_owners)
+        .filter(|(before, after)| ring.members()[**before] != grown_ring.members()[**after])
+        .count();
+    // Every moved address must land on the newcomer (the stability
+    // contract the ring proptests pin; asserted here on the bench
+    // population too, so the baseline never records a broken ring).
+    assert!(
+        owners.iter().zip(&grown_owners).all(|(before, after)| {
+            ring.members()[*before] == grown_ring.members()[*after]
+                || grown_ring.members()[*after] == "peer-8:7408"
+        }),
+        "an address moved between pre-existing members"
+    );
+
+    Entry {
+        id: "fleet_ring_assignment".into(),
+        params: vec![
+            ("members".into(), Json::Int(members.len() as i64)),
+            ("vnodes".into(), Json::Int(i64::from(relim_service::ring::VNODES))),
+            ("digests".into(), Json::Int(n_digests as i64)),
+            ("min_share".into(), Json::Int(*shares.iter().min().expect("non-empty"))),
+            ("max_share".into(), Json::Int(*shares.iter().max().expect("non-empty"))),
+            ("moved_to_ninth".into(), Json::Int(moved as i64)),
+        ],
+        runs: vec![Run { threads: 1, wall_ns: med, min_ns: min, max_ns: max, samples }],
+        speedup: None,
+        byte_identical: Some(true),
+        report: None,
+    }
+}
+
 /// Deterministic synthetic dominance-filter workload: `n` random
 /// degree-`degree` set-configurations over `labels` labels.
 fn synthetic_configs(n: usize, degree: usize, labels: u8, seed: u64) -> Vec<SetConfig> {
@@ -834,6 +909,10 @@ fn main() {
     entries.push(store_roundtrip_entry(opts.quick));
     entries.push(service_cold_vs_warm_entry(threads, opts.quick));
     entries.push(service_concurrent_throughput_entry(opts.quick));
+
+    // 7. The fleet tier's routing table: assignment cost, balance, and
+    // the churn of growing the ring by one member — all exact-diffed.
+    entries.push(fleet_ring_assignment_entry(opts.quick));
 
     let baseline = Baseline { quick: opts.quick, threads, entries };
     println!("\n[BENCH_relim] parallel engine baseline (1 vs {} threads):", threads);

@@ -53,6 +53,8 @@ const VALUE_KEYS: &[&str] = &[
     "store-budget-bytes",
     "aging-limit",
     "executors",
+    "peers",
+    "peer-timeout-ms",
     "op",
     "priority",
     "digest",
@@ -203,6 +205,20 @@ mod tests {
         assert_eq!(a.get_u64("executors", 0).unwrap(), 4);
         assert_eq!(a.get_u64("store-budget-bytes", 0).unwrap(), 1_048_576);
         assert_eq!(a.get_u64("store-capacity", 0).unwrap(), 64);
+    }
+
+    #[test]
+    fn serve_fleet_options_take_values() {
+        let a = parse(&[
+            "serve",
+            "--peers",
+            "127.0.0.1:7402,127.0.0.1:7403",
+            "--peer-timeout-ms",
+            "500",
+        ])
+        .unwrap();
+        assert_eq!(a.get("peers"), Some("127.0.0.1:7402,127.0.0.1:7403"));
+        assert_eq!(a.get_u64("peer-timeout-ms", 2000).unwrap(), 500);
     }
 
     #[test]

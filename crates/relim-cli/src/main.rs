@@ -12,8 +12,10 @@
 //! relim [--threads T] chain       --delta D [--k K] [--exact]
 //! relim [--threads T] bounds      --n N --delta D [--k K]
 //! relim [--threads T] serve       [--addr A] [--store DIR] [--store-capacity N] [--aging-limit N]
+//!                                 [--peers host:port,…] [--peer-timeout-ms N]
 //! relim submit      [--addr A] --op OP <op options> [--priority interactive|bulk]
 //! relim status      [--addr A]
+//! relim ping        [--addr A]
 //! relim metrics     [--addr A]
 //! relim timeline    [--addr A] [--json]
 //! relim viz         (--digest D [--addr A | --store DIR] | --op OP <op options>) [--full] [--json]
@@ -87,6 +89,7 @@ fn run(raw: Vec<String>) -> Result<String, Box<dyn std::error::Error>> {
         "serve" => return cmd_serve(&args),
         "submit" => return cmd_submit(&args),
         "status" => return cmd_status(&args),
+        "ping" => return cmd_ping(&args),
         "metrics" => return cmd_metrics(&args),
         "timeline" => return cmd_timeline(&args),
         "shutdown" => return cmd_shutdown(&args),
@@ -139,9 +142,11 @@ USAGE: relim [--threads T] <command> ...
   relim bounds      --n N --delta D [--k K]
   relim serve       [--addr A] [--store DIR] [--store-capacity N]
                     [--store-budget-bytes N] [--aging-limit N] [--executors N]
+                    [--peers host:port,…] [--peer-timeout-ms N]
   relim submit      [--addr A] --op autolb|autoub|iterate|sweep|zero-round
                     <op options> [--priority interactive|bulk]
   relim status      [--addr A]
+  relim ping        [--addr A]
   relim metrics     [--addr A]
   relim timeline    [--addr A] [--json]
   relim viz         --digest D [--addr A | --store DIR] [--full] [--json]
@@ -164,12 +169,22 @@ content-addressed store (persistent when --store DIR is given —
 restarts serve cached certificates instantly; --store-budget-bytes N
 bounds the disk layer with oldest-first GC), and every served result is
 byte-identical to the same query run locally at any executor count.
+With --peers host:port,… the daemon joins a fleet: a deterministic
+consistent-hash ring over the peer addresses plus its own partitions
+the digest space, and a cold query owned by a remote peer is fetched
+from it (verified against the full canonical key) before computing
+locally. Every member lists the other members and binds the exact
+address its peers dial. Peer calls run under --peer-timeout-ms N
+(default 2000) with bounded retries and a circuit breaker; an
+unreachable owner degrades to local compute — same bytes, counted.
+
 `submit` sends one query and prints the result on stdout
 (cached/digest metadata goes to stderr); `status` prints the daemon
-counters; `metrics` prints them as Prometheus text exposition;
-`timeline` prints the scheduler event log as a text gantt (--json for
-the raw events); `shutdown` asks the daemon to drain its queue and
-exit.
+counters; `ping` probes liveness (uptime, store entry count — the
+same exchange the fleet breaker uses); `metrics` prints the counters
+as Prometheus text exposition; `timeline` prints the scheduler event
+log as a text gantt (--json for the raw events); `shutdown` asks the
+daemon to drain its queue and exit.
 
 `viz` renders the round-elimination derivation DAG behind one
 certificate as Graphviz DOT: address a stored result by --digest D
@@ -544,6 +559,31 @@ fn cmd_bounds(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
 /// `shutdown`.
 const DEFAULT_ADDR: &str = "127.0.0.1:7341";
 
+/// Parses a `--peers` list: comma-separated `host:port` addresses,
+/// blanks tolerated, duplicates rejected loudly (a duplicated peer is
+/// always a configuration typo — the ring would silently dedup it, but
+/// the operator meant something else).
+fn peers_from(args: &Args) -> Result<Vec<String>, ArgError> {
+    let Some(raw) = args.get("peers") else { return Ok(Vec::new()) };
+    let mut peers = Vec::new();
+    for part in raw.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        if !part.contains(':') {
+            return Err(ArgError(format!(
+                "--peers entries must be host:port addresses, got `{part}`"
+            )));
+        }
+        if peers.iter().any(|p| p == part) {
+            return Err(ArgError(format!("--peers lists `{part}` twice")));
+        }
+        peers.push(part.to_owned());
+    }
+    Ok(peers)
+}
+
 fn cmd_serve(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
     let addr = args.get("addr").unwrap_or(DEFAULT_ADDR);
     let threads = threads_from(args)?;
@@ -559,6 +599,9 @@ fn cmd_serve(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
             "aging-limit",
             u64::from(relim_service::queue::DEFAULT_AGING_LIMIT),
         )?,
+        peers: peers_from(args)?,
+        peer_timeout_ms: args
+            .get_u64("peer-timeout-ms", relim_service::server::DEFAULT_PEER_TIMEOUT_MS)?,
     };
     let store_desc = match &config.store_dir {
         Some(dir) => match config.store_budget_bytes {
@@ -567,11 +610,17 @@ fn cmd_serve(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
         },
         None => "in-memory".to_owned(),
     };
+    let fleet_desc = if config.peers.is_empty() {
+        String::new()
+    } else {
+        format!(", fleet peers: {}", config.peers.join(" "))
+    };
     let handle = Server::spawn(addr, config)?;
     // Announce readiness immediately (scripts poll `relim status`, but a
     // human watching the terminal wants the bound address).
     println!(
-        "relim-service listening on {} (store: {store_desc}, engine threads: {}, executors: {})",
+        "relim-service listening on {} (store: {store_desc}, engine threads: {}, \
+         executors: {}{fleet_desc})",
         handle.local_addr(),
         if threads == 0 { Engine::available_parallelism() } else { threads },
         relim_service::server::resolve_executors(executors),
@@ -646,6 +695,15 @@ fn cmd_status(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
     let client = Client::new(args.get("addr").unwrap_or(DEFAULT_ADDR));
     let counters = client.status()?;
     Ok(counters.render().trim_end().to_owned())
+}
+
+fn cmd_ping(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
+    let addr = args.get("addr").unwrap_or(DEFAULT_ADDR).to_owned();
+    // A liveness probe should answer fast or fail fast — never sit on
+    // the client's bulk-job default for ten minutes.
+    let client = Client::new(&*addr).with_timeout(std::time::Duration::from_secs(5));
+    let (uptime_ms, store_entries) = client.ping()?;
+    Ok(format!("pong from {addr}: uptime {uptime_ms} ms, {store_entries} store entries"))
 }
 
 fn cmd_metrics(args: &Args) -> Result<String, Box<dyn std::error::Error>> {

@@ -55,6 +55,26 @@ pub fn fnv1a128_hex(bytes: &[u8]) -> String {
     format!("{a:016x}{b:016x}")
 }
 
+/// The single-stream 64-bit FNV-1a hash of `bytes` (the low half of
+/// [`fnv1a128_hex`]'s pair). This is the position hash of the serving
+/// layer's consistent-hash ring: deterministic across platforms and
+/// dependency-free, like the digest itself — a fleet of daemons built
+/// from different checkouts must agree on every address's owner.
+///
+/// ```
+/// use relim_core::digest::fnv1a64;
+///
+/// assert_eq!(fnv1a64(b"relim"), fnv1a64(b"relim"), "deterministic");
+/// assert_ne!(fnv1a64(b"relim"), fnv1a64(b"relim "), "content-sensitive");
+/// ```
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut a = OFFSET_A;
+    for &byte in bytes {
+        a = (a ^ u64::from(byte)).wrapping_mul(PRIME);
+    }
+    a
+}
+
 impl Constraint {
     /// The canonical byte encoding this constraint digests: the degree,
     /// then every configuration in sorted order as its label indices,
@@ -123,6 +143,17 @@ mod tests {
         // The two halves are independent streams, not copies.
         let d = fnv1a128_hex(b"abc");
         assert_ne!(&d[..16], &d[16..]);
+    }
+
+    #[test]
+    fn fnv1a64_is_the_low_stream_of_the_wide_digest() {
+        // Pinning the relationship keeps ring positions stable: a future
+        // change to either function that silently diverged them would
+        // re-shard every fleet's address space.
+        let wide = fnv1a128_hex(b"ring position");
+        assert_eq!(format!("{:016x}", fnv1a64(b"ring position")), &wide[..16]);
+        // The standard FNV-1a 64 test vector for the empty input.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
     }
 
     #[test]

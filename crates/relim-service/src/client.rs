@@ -159,6 +159,50 @@ impl Client {
         Ok((field("key")?, field("result")?))
     }
 
+    /// Fetches one stored entry the fleet way: `Some((key, result))`
+    /// when the daemon has the digest, `None` for a clean miss (the
+    /// `fetch` op never treats a cold cache as an error).
+    ///
+    /// # Errors
+    ///
+    /// Connection/protocol failures and server-refused requests.
+    pub fn fetch(&self, digest: &str) -> Result<Option<(String, String)>, ClientError> {
+        let doc = self.roundtrip(&protocol::render_fetch_request(digest, None))?;
+        if doc.get("ok").and_then(Json::as_bool) != Some(true) {
+            let error = doc.get("error").and_then(Json::as_str).unwrap_or("unspecified error");
+            return Err(ClientError(format!("fetch failed: {error}")));
+        }
+        if doc.get("found").and_then(Json::as_bool) != Some(true) {
+            return Ok(None);
+        }
+        let field = |key: &str| {
+            doc.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| ClientError(format!("fetch response missing `{key}`")))
+        };
+        Ok(Some((field("key")?, field("result")?)))
+    }
+
+    /// Pings the daemon: `(uptime_ms, store_entries)` on a pong. The
+    /// same exchange the fleet's breaker uses as its liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Connection/protocol failures and pong-less responses.
+    pub fn ping(&self) -> Result<(u64, u64), ClientError> {
+        let doc = self.roundtrip(&protocol::render_admin_request("ping", None))?;
+        if doc.get("pong").and_then(Json::as_bool) != Some(true) {
+            return Err(ClientError(format!("{} answered ping without a pong", self.addr)));
+        }
+        let int = |key: &str| {
+            doc.get(key)
+                .and_then(Json::as_i64)
+                .ok_or_else(|| ClientError(format!("ping response missing `{key}`")))
+        };
+        Ok((int("uptime_ms")?.max(0) as u64, int("store_entries")?.max(0) as u64))
+    }
+
     /// Requests a graceful shutdown and waits for the acknowledgement.
     ///
     /// # Errors

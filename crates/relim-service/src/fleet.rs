@@ -1,0 +1,619 @@
+//! The fleet tier: remote peers as a read-through store layer.
+//!
+//! A daemon configured with `--peers` joins a **fleet**: the digest
+//! space is partitioned by the deterministic consistent-hash ring
+//! ([`crate::ring`]) over the peer addresses *plus this daemon's own*,
+//! and a cold local query whose address belongs to a remote owner is
+//! first **fetched** from that owner over the ordinary JSON-lines
+//! protocol (`{"op": "fetch", "digest": …}`) before falling back to
+//! local compute. Because results are pure functions of their canonical
+//! key, a fetched byte is exactly the byte a local run would produce —
+//! the fleet changes *where* work happens, never *what* is served.
+//!
+//! ## Trust
+//!
+//! A peer's answer is verified before it is believed: the returned
+//! canonical key must equal the requested key byte-for-byte, and its
+//! digest must re-derive to the requested address. A lying or corrupt
+//! peer therefore degrades to a local compute (a counted miss), never
+//! to wrong bytes — the same "verify the full key on every hit"
+//! discipline the local store applies.
+//!
+//! ## Failure: timeouts, retries, the breaker
+//!
+//! Every peer call runs under a connect/read/write timeout and is
+//! retried a bounded number of times with doubling backoff. Each
+//! *consecutive* failure feeds the peer's **circuit breaker**; at
+//! [`FleetConfig::breaker_threshold`] failures the breaker opens and
+//! the peer is skipped outright — requests degrade to local compute
+//! immediately (counted, so the scrape shows the degradation) instead
+//! of stalling every cold query on a dead host. After
+//! [`FleetConfig::breaker_cooldown`] the next request **probes** the
+//! peer with the same `{"op": "ping"}` the CLI's `relim ping` sends —
+//! liveness probing and breaker recovery are one code path — and a
+//! successful pong closes the breaker.
+//!
+//! Determinism contract: a fleet with unreachable peers returns the
+//! same bytes as a fleet with none, which returns the same bytes as a
+//! lone daemon — only latency and the degradation counters differ.
+
+use crate::protocol;
+use crate::ring::Ring;
+use crate::store::digest_of;
+use relim_json::Json;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Fleet configuration carried by `ServerConfig` when `--peers` is
+/// given.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// The peer daemon addresses (`host:port`), *excluding* this
+    /// daemon. Every fleet member must be configured with the same
+    /// total member set (its peers plus itself), spelled identically —
+    /// the ring is the agreement, there is no membership protocol.
+    pub peers: Vec<String>,
+    /// This daemon's own address as the other members spell it — its
+    /// ring name.
+    pub self_addr: String,
+    /// Per-attempt connect/read/write timeout.
+    pub timeout: Duration,
+    /// Extra attempts after the first failed one.
+    pub retries: u32,
+    /// Base backoff between attempts (doubles per retry).
+    pub backoff: Duration,
+    /// Consecutive failures that open a peer's breaker. The default
+    /// equals `retries + 1`, so one fully failed fetch against a dead
+    /// owner trips it — the second request already degrades instantly.
+    pub breaker_threshold: u32,
+    /// How long an open breaker rejects outright before the next
+    /// request is allowed to probe the peer with a ping.
+    pub breaker_cooldown: Duration,
+}
+
+impl FleetConfig {
+    /// The standard knobs for a fleet with the given members and
+    /// per-attempt timeout: 2 retries with 50 ms doubling backoff, a
+    /// breaker that trips after one fully failed fetch (3 consecutive
+    /// attempt failures) and probes again after 5 s.
+    pub fn new(peers: Vec<String>, self_addr: String, timeout: Duration) -> FleetConfig {
+        FleetConfig {
+            peers,
+            self_addr,
+            timeout,
+            retries: 2,
+            backoff: Duration::from_millis(50),
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_secs(5),
+        }
+    }
+}
+
+/// The outcome of a remote fetch against an address's owner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FetchOutcome {
+    /// The owner served the entry and it verified (key and digest
+    /// match). The caller writes it through to the local store.
+    Hit(String),
+    /// The owner answered but has nothing stored (or served an entry
+    /// that failed verification — equally untrusted): compute locally.
+    Miss,
+    /// The owner is unreachable (breaker open, or every attempt failed
+    /// or timed out): compute locally and count the degradation.
+    Unavailable,
+}
+
+/// The circuit-breaker state of one peer.
+enum BreakerState {
+    /// Normal operation, counting consecutive failures.
+    Closed {
+        /// Failures since the last success.
+        consecutive_failures: u32,
+    },
+    /// Tripped: requests are rejected without touching the network
+    /// until `since` is `breaker_cooldown` old, then one probe runs.
+    Open {
+        /// When the breaker tripped (or last re-tripped on a failed
+        /// probe).
+        since: Instant,
+    },
+}
+
+/// A remote-store client for one fleet peer: timeouts, bounded retries,
+/// a circuit breaker, and per-peer counters.
+pub struct PeerClient {
+    addr: String,
+    timeout: Duration,
+    retries: u32,
+    backoff: Duration,
+    breaker_threshold: u32,
+    breaker_cooldown: Duration,
+    fetch_ok: AtomicU64,
+    fetch_err: AtomicU64,
+    fetch_timeout: AtomicU64,
+    /// Cumulative closed→open transitions (the scrapeable
+    /// `breaker_open` counter).
+    breaker_opened: AtomicU64,
+    breaker: Mutex<BreakerState>,
+}
+
+impl std::fmt::Debug for PeerClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PeerClient").field("addr", &self.addr).finish_non_exhaustive()
+    }
+}
+
+impl PeerClient {
+    fn new(addr: String, config: &FleetConfig) -> PeerClient {
+        PeerClient {
+            addr,
+            timeout: config.timeout,
+            retries: config.retries,
+            backoff: config.backoff,
+            breaker_threshold: config.breaker_threshold.max(1),
+            breaker_cooldown: config.breaker_cooldown,
+            fetch_ok: AtomicU64::new(0),
+            fetch_err: AtomicU64::new(0),
+            fetch_timeout: AtomicU64::new(0),
+            breaker_opened: AtomicU64::new(0),
+            breaker: Mutex::new(BreakerState::Closed { consecutive_failures: 0 }),
+        }
+    }
+
+    /// The peer's address.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Whether the breaker currently rejects requests.
+    pub fn breaker_is_open(&self) -> bool {
+        matches!(*self.breaker.lock().expect("breaker lock poisoned"), BreakerState::Open { .. })
+    }
+
+    /// Fetches the entry stored under `digest` from this peer and
+    /// verifies it against the full canonical `key` before trusting it.
+    pub fn fetch(&self, digest: &str, key: &str) -> FetchOutcome {
+        if !self.admit() {
+            return FetchOutcome::Unavailable;
+        }
+        let line = protocol::render_fetch_request(digest, None);
+        for attempt in 0..=self.retries {
+            if attempt > 0 {
+                std::thread::sleep(self.backoff * 2u32.pow(attempt - 1));
+            }
+            match self.roundtrip_once(&line) {
+                Ok(doc) => {
+                    self.record_success();
+                    self.fetch_ok.fetch_add(1, Ordering::Relaxed);
+                    return verify_fetch(&doc, digest, key);
+                }
+                Err(e) => {
+                    let counter = if e.timed_out { &self.fetch_timeout } else { &self.fetch_err };
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    self.record_failure();
+                }
+            }
+        }
+        FetchOutcome::Unavailable
+    }
+
+    /// One liveness probe: `{"op": "ping"}`, a single attempt under the
+    /// configured timeout. Returns `(uptime_ms, store_entries)` on a
+    /// pong. This is the same exchange `relim ping` performs — the
+    /// breaker's half-open recovery rides the health-check path.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the connection or protocol
+    /// failure.
+    pub fn ping(&self) -> Result<(u64, u64), String> {
+        let doc = self
+            .roundtrip_once(&protocol::render_admin_request("ping", None))
+            .map_err(|e| e.message)?;
+        if doc.get("pong").and_then(Json::as_bool) != Some(true) {
+            return Err(format!("{} answered ping without a pong", self.addr));
+        }
+        let uptime = doc.get("uptime_ms").and_then(Json::as_i64).unwrap_or(0).max(0) as u64;
+        let entries = doc.get("store_entries").and_then(Json::as_i64).unwrap_or(0).max(0) as u64;
+        Ok((uptime, entries))
+    }
+
+    /// Admission check against the breaker: closed admits, open
+    /// rejects until the cooldown has passed, after which the request
+    /// pays for one ping probe — success closes the breaker, failure
+    /// re-arms the cooldown.
+    fn admit(&self) -> bool {
+        let since = {
+            let breaker = self.breaker.lock().expect("breaker lock poisoned");
+            match *breaker {
+                BreakerState::Closed { .. } => return true,
+                BreakerState::Open { since } => since,
+            }
+        };
+        if since.elapsed() < self.breaker_cooldown {
+            return false;
+        }
+        // Half-open: probe without holding the lock (the probe blocks
+        // on the network). Concurrent requests may race to probe; every
+        // outcome is recorded through the same transitions, so the
+        // worst case is a redundant ping.
+        match self.ping() {
+            Ok(_) => {
+                *self.breaker.lock().expect("breaker lock poisoned") =
+                    BreakerState::Closed { consecutive_failures: 0 };
+                true
+            }
+            Err(_) => {
+                *self.breaker.lock().expect("breaker lock poisoned") =
+                    BreakerState::Open { since: Instant::now() };
+                false
+            }
+        }
+    }
+
+    fn record_success(&self) {
+        *self.breaker.lock().expect("breaker lock poisoned") =
+            BreakerState::Closed { consecutive_failures: 0 };
+    }
+
+    fn record_failure(&self) {
+        let mut breaker = self.breaker.lock().expect("breaker lock poisoned");
+        match *breaker {
+            BreakerState::Closed { consecutive_failures } => {
+                let failures = consecutive_failures + 1;
+                if failures >= self.breaker_threshold {
+                    *breaker = BreakerState::Open { since: Instant::now() };
+                    self.breaker_opened.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    *breaker = BreakerState::Closed { consecutive_failures: failures };
+                }
+            }
+            // A failed half-open probe already re-armed the cooldown.
+            BreakerState::Open { .. } => {}
+        }
+    }
+
+    /// One request/response exchange under the configured timeouts.
+    fn roundtrip_once(&self, line: &str) -> Result<Json, PeerError> {
+        let target = resolve(&self.addr).map_err(PeerError::plain)?;
+        let stream = TcpStream::connect_timeout(&target, self.timeout).map_err(PeerError::io)?;
+        stream.set_read_timeout(Some(self.timeout)).map_err(PeerError::io)?;
+        stream.set_write_timeout(Some(self.timeout)).map_err(PeerError::io)?;
+        let mut writer = stream.try_clone().map_err(PeerError::io)?;
+        writer
+            .write_all(line.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .map_err(PeerError::io)?;
+        let mut reader = BufReader::new(stream);
+        let mut response = String::new();
+        let n = reader.read_line(&mut response).map_err(PeerError::io)?;
+        if n == 0 {
+            return Err(PeerError::plain("peer closed the connection".to_owned()));
+        }
+        Json::parse(response.trim_end())
+            .map_err(|e| PeerError::plain(format!("unparsable peer response: {e}")))
+    }
+}
+
+/// A peer call failure, tagged with whether it was a timeout (for the
+/// `fetch_timeout` vs `fetch_err` split).
+struct PeerError {
+    message: String,
+    timed_out: bool,
+}
+
+impl PeerError {
+    fn io(e: std::io::Error) -> PeerError {
+        let timed_out =
+            matches!(e.kind(), std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock);
+        PeerError { message: e.to_string(), timed_out }
+    }
+
+    fn plain(message: String) -> PeerError {
+        PeerError { message, timed_out: false }
+    }
+}
+
+/// Resolves `host:port` to the first socket address (the fleet runs on
+/// literal addresses in practice; DNS is tolerated but the first answer
+/// wins deterministically).
+fn resolve(addr: &str) -> Result<SocketAddr, String> {
+    addr.to_socket_addrs()
+        .map_err(|e| format!("cannot resolve {addr}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("{addr} resolves to no address"))
+}
+
+/// Verifies a peer's fetch response: only an exact canonical-key match
+/// whose digest re-derives to the requested address is a hit.
+fn verify_fetch(doc: &Json, digest: &str, key: &str) -> FetchOutcome {
+    if doc.get("ok").and_then(Json::as_bool) != Some(true)
+        || doc.get("found").and_then(Json::as_bool) != Some(true)
+    {
+        return FetchOutcome::Miss;
+    }
+    let (Some(peer_key), Some(result)) =
+        (doc.get("key").and_then(Json::as_str), doc.get("result").and_then(Json::as_str))
+    else {
+        return FetchOutcome::Miss;
+    };
+    if peer_key != key || digest_of(peer_key) != digest {
+        // A lying peer is a miss, never served bytes.
+        return FetchOutcome::Miss;
+    }
+    FetchOutcome::Hit(result.to_owned())
+}
+
+/// Where the ring places a content address.
+#[derive(Debug, Clone, Copy)]
+pub enum Route<'fleet> {
+    /// This daemon owns the address: serve/compute locally.
+    Local,
+    /// A remote peer owns it: read through that peer first.
+    Remote(&'fleet PeerClient),
+}
+
+/// The fleet: the ring plus one [`PeerClient`] per remote member and
+/// the fleet-level counters.
+pub struct Fleet {
+    ring: Ring,
+    self_addr: String,
+    /// Peer clients addressable by ring name, sorted by address.
+    peers: Vec<PeerClient>,
+    /// Remote fetches that verified and were written through locally.
+    remote_hits: AtomicU64,
+    /// Remote fetches answered (or failed verification) without bytes —
+    /// computed locally.
+    remote_misses: AtomicU64,
+    /// Requests whose remote owner was unreachable — computed locally.
+    degraded_local: AtomicU64,
+}
+
+impl std::fmt::Debug for Fleet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fleet")
+            .field("self_addr", &self.self_addr)
+            .field("members", &self.ring.members())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Fleet {
+    /// Builds the fleet: a ring over the peers plus `self_addr`, and a
+    /// client per remote peer.
+    pub fn new(config: &FleetConfig) -> Fleet {
+        let mut members = config.peers.clone();
+        members.push(config.self_addr.clone());
+        let ring = Ring::new(members);
+        let mut peers: Vec<PeerClient> = config
+            .peers
+            .iter()
+            .filter(|addr| **addr != config.self_addr)
+            .map(|addr| PeerClient::new(addr.clone(), config))
+            .collect();
+        peers.sort_by(|a, b| a.addr.cmp(&b.addr));
+        peers.dedup_by(|a, b| a.addr == b.addr);
+        Fleet {
+            ring,
+            self_addr: config.self_addr.clone(),
+            peers,
+            remote_hits: AtomicU64::new(0),
+            remote_misses: AtomicU64::new(0),
+            degraded_local: AtomicU64::new(0),
+        }
+    }
+
+    /// This daemon's own ring name.
+    pub fn self_addr(&self) -> &str {
+        &self.self_addr
+    }
+
+    /// The peer clients (sorted by address).
+    pub fn peers(&self) -> &[PeerClient] {
+        &self.peers
+    }
+
+    /// Where the ring places `digest`.
+    pub fn route(&self, digest: &str) -> Route<'_> {
+        match self.ring.owner_of(digest) {
+            None => Route::Local,
+            Some(owner) if owner == self.self_addr => Route::Local,
+            Some(owner) => match self.peers.iter().find(|p| p.addr == owner) {
+                Some(peer) => Route::Remote(peer),
+                // A ring member with no client (self duplicated into
+                // --peers) is local by definition.
+                None => Route::Local,
+            },
+        }
+    }
+
+    /// The read-through: if a remote peer owns `digest`, fetch from it
+    /// (verified), recording hit/miss/degradation counters. `Miss` when
+    /// this daemon owns the address itself.
+    pub fn read_through(&self, digest: &str, key: &str) -> FetchOutcome {
+        let Route::Remote(peer) = self.route(digest) else {
+            return FetchOutcome::Miss;
+        };
+        let outcome = peer.fetch(digest, key);
+        let counter = match outcome {
+            FetchOutcome::Hit(_) => &self.remote_hits,
+            FetchOutcome::Miss => &self.remote_misses,
+            FetchOutcome::Unavailable => &self.degraded_local,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        outcome
+    }
+
+    /// The aggregate `peer` counters object (see
+    /// [`zero_counters_json`] for the fleetless shape).
+    pub fn counters_json(&self) -> Json {
+        let sum = |pick: fn(&PeerClient) -> &AtomicU64| -> i64 {
+            self.peers.iter().map(|p| pick(p).load(Ordering::Relaxed) as i64).sum()
+        };
+        Json::Obj(vec![
+            ("fetch_ok".into(), Json::Int(sum(|p| &p.fetch_ok))),
+            ("fetch_err".into(), Json::Int(sum(|p| &p.fetch_err))),
+            ("fetch_timeout".into(), Json::Int(sum(|p| &p.fetch_timeout))),
+            ("breaker_open".into(), Json::Int(sum(|p| &p.breaker_opened))),
+            ("remote_hits".into(), Json::Int(self.remote_hits.load(Ordering::Relaxed) as i64)),
+            ("remote_misses".into(), Json::Int(self.remote_misses.load(Ordering::Relaxed) as i64)),
+            (
+                "degraded_local".into(),
+                Json::Int(self.degraded_local.load(Ordering::Relaxed) as i64),
+            ),
+        ])
+    }
+
+    /// The per-peer counters object, keyed by sanitized address (`.`
+    /// and `:` become `_`, so the Prometheus derivation yields names
+    /// like `relim_peers_127_0_0_1_7402_fetch_ok`).
+    pub fn per_peer_json(&self) -> Json {
+        let peers = self
+            .peers
+            .iter()
+            .map(|p| {
+                (
+                    sanitize_addr(&p.addr),
+                    Json::Obj(vec![
+                        ("fetch_ok".into(), Json::Int(p.fetch_ok.load(Ordering::Relaxed) as i64)),
+                        ("fetch_err".into(), Json::Int(p.fetch_err.load(Ordering::Relaxed) as i64)),
+                        (
+                            "fetch_timeout".into(),
+                            Json::Int(p.fetch_timeout.load(Ordering::Relaxed) as i64),
+                        ),
+                        (
+                            "breaker_open".into(),
+                            Json::Int(p.breaker_opened.load(Ordering::Relaxed) as i64),
+                        ),
+                        ("breaker_is_open".into(), Json::Bool(p.breaker_is_open())),
+                    ]),
+                )
+            })
+            .collect();
+        Json::Obj(peers)
+    }
+}
+
+/// The zero-valued aggregate `peer` object a fleetless daemon serves:
+/// the scrape surface is identical with and without `--peers`, so
+/// dashboards and alerts need no reconfiguration when a daemon joins a
+/// fleet.
+pub fn zero_counters_json() -> Json {
+    Json::Obj(vec![
+        ("fetch_ok".into(), Json::Int(0)),
+        ("fetch_err".into(), Json::Int(0)),
+        ("fetch_timeout".into(), Json::Int(0)),
+        ("breaker_open".into(), Json::Int(0)),
+        ("remote_hits".into(), Json::Int(0)),
+        ("remote_misses".into(), Json::Int(0)),
+        ("degraded_local".into(), Json::Int(0)),
+    ])
+}
+
+/// A peer address as a counters-tree key: every byte outside
+/// `[a-z0-9]` becomes `_` (metric-name alphabet by construction).
+fn sanitize_addr(addr: &str) -> String {
+    addr.to_ascii_lowercase()
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_config(peers: Vec<String>) -> FleetConfig {
+        let mut config =
+            FleetConfig::new(peers, "127.0.0.1:1".to_owned(), Duration::from_millis(200));
+        config.backoff = Duration::from_millis(1);
+        config
+    }
+
+    /// A port nothing listens on (bind-then-drop frees it; the race
+    /// window is negligible for a single connection attempt).
+    fn dead_addr() -> String {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.local_addr().unwrap().to_string()
+    }
+
+    #[test]
+    fn fetch_against_a_dead_peer_trips_the_breaker_and_degrades() {
+        let dead = dead_addr();
+        let fleet = Fleet::new(&test_config(vec![dead.clone()]));
+        // Find a digest the dead peer owns.
+        let digest = (0..10_000)
+            .map(|i| format!("digest-{i}"))
+            .find(|d| matches!(fleet.route(d), Route::Remote(_)))
+            .expect("a two-member ring gives the peer some share");
+        let outcome = fleet.read_through(&digest, "key");
+        assert_eq!(outcome, FetchOutcome::Unavailable);
+        let peer = &fleet.peers()[0];
+        assert!(peer.breaker_is_open(), "3 consecutive attempt failures open the breaker");
+        assert_eq!(peer.breaker_opened.load(Ordering::Relaxed), 1);
+        assert_eq!(peer.fetch_err.load(Ordering::Relaxed), 3, "initial try + 2 retries");
+        // The next read-through is rejected by the breaker without new
+        // connection attempts (cooldown far from elapsed).
+        assert_eq!(fleet.read_through(&digest, "key"), FetchOutcome::Unavailable);
+        assert_eq!(peer.fetch_err.load(Ordering::Relaxed), 3, "breaker short-circuits");
+        let counters = fleet.counters_json();
+        assert_eq!(counters.get("degraded_local").and_then(Json::as_i64), Some(2));
+        assert_eq!(counters.get("breaker_open").and_then(Json::as_i64), Some(1));
+        // Per-peer tree carries the same numbers under the sanitized key.
+        let per_peer = fleet.per_peer_json();
+        let entry = per_peer.get(&sanitize_addr(&dead)).expect("peer entry");
+        assert_eq!(entry.get("breaker_is_open").and_then(Json::as_bool), Some(true));
+    }
+
+    #[test]
+    fn self_owned_addresses_never_leave_the_daemon() {
+        let fleet = Fleet::new(&test_config(vec!["127.0.0.1:2".to_owned()]));
+        let digest = (0..10_000)
+            .map(|i| format!("digest-{i}"))
+            .find(|d| matches!(fleet.route(d), Route::Local))
+            .expect("self gets some share");
+        assert_eq!(fleet.read_through(&digest, "key"), FetchOutcome::Miss);
+        assert_eq!(fleet.peers()[0].fetch_err.load(Ordering::Relaxed), 0, "no network touched");
+    }
+
+    #[test]
+    fn verify_fetch_rejects_lying_peers() {
+        let key = "relim-store/1\nop=test\n";
+        let digest = digest_of(key);
+        let honest =
+            Json::parse(&protocol::render_fetch_response(None, &digest, Some((key, "the bytes"))))
+                .unwrap();
+        assert_eq!(verify_fetch(&honest, &digest, key), FetchOutcome::Hit("the bytes".into()));
+        // Same digest, different key: refused.
+        let lying = Json::parse(&protocol::render_fetch_response(
+            None,
+            &digest,
+            Some(("a DIFFERENT key", "poison")),
+        ))
+        .unwrap();
+        assert_eq!(verify_fetch(&lying, &digest, key), FetchOutcome::Miss);
+        // Honest miss.
+        let miss = Json::parse(&protocol::render_fetch_response(None, &digest, None)).unwrap();
+        assert_eq!(verify_fetch(&miss, &digest, key), FetchOutcome::Miss);
+    }
+
+    #[test]
+    fn sanitized_addresses_are_metric_name_safe() {
+        assert_eq!(sanitize_addr("127.0.0.1:7402"), "127_0_0_1_7402");
+        assert_eq!(sanitize_addr("Node-3.example.com:80"), "node_3_example_com_80");
+    }
+
+    #[test]
+    fn fleetless_and_fleet_counter_shapes_agree() {
+        let fleet = Fleet::new(&test_config(vec!["127.0.0.1:2".to_owned()]));
+        let keys = |json: &Json| -> Vec<String> {
+            let Json::Obj(fields) = json else { panic!("not an object") };
+            fields.iter().map(|(k, _)| k.clone()).collect()
+        };
+        assert_eq!(keys(&fleet.counters_json()), keys(&zero_counters_json()));
+    }
+}

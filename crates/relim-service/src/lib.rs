@@ -45,6 +45,14 @@
 //! * [`client`] — a blocking client for the protocol; the `relim
 //!   submit` / `relim status` / `relim shutdown` subcommands and the
 //!   bench kernels are thin wrappers over it.
+//! * [`ring`] / [`fleet`] — the fleet tier: a deterministic
+//!   consistent-hash ring partitions the digest space across a set of
+//!   peer daemons (configuration-only agreement, no membership
+//!   protocol), and cold queries whose address a remote peer owns are
+//!   **read through** that peer (verified against the full canonical
+//!   key) before falling back to local compute. Peer calls carry
+//!   timeouts, bounded retries and a circuit breaker, so a dead owner
+//!   degrades to local compute — same bytes, counted degradation.
 //! * [`metrics`] / [`timeline`] — the observability surfaces: the
 //!   Prometheus text-exposition rendering behind `{"op": "metrics"}`
 //!   (derived from the same counters tree `status` serves, so the two
@@ -77,15 +85,19 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod fleet;
 pub mod metrics;
 pub mod ops;
 pub mod protocol;
 pub mod queue;
+pub mod ring;
 pub mod server;
 pub mod store;
 pub mod timeline;
 
 pub use client::Client;
+pub use fleet::{Fleet, FleetConfig};
 pub use ops::OpRequest;
+pub use ring::Ring;
 pub use server::{Server, ServerConfig, ServerHandle};
 pub use store::ResultStore;

@@ -43,6 +43,10 @@ fn is_gauge_path(path: &str) -> bool {
             | "executors"
             | "timeline_window"
     ) || path.ends_with("_max_ns")
+        // Per-peer breaker state (`peers_<addr>_breaker_is_open`) is a
+        // point-in-time reading; the addr segment makes it a suffix
+        // rule rather than a listed path.
+        || path.ends_with("_breaker_is_open")
 }
 
 /// Renders a daemon `counters` tree as Prometheus text exposition (see

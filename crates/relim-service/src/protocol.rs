@@ -15,7 +15,11 @@
 //! The admin requests are `{"op": "status"}`, `{"op": "metrics"}`
 //! (Prometheus text exposition of the same counters), `{"op":
 //! "timeline"}` (the scheduler event log), `{"op": "lookup", "digest":
-//! …}` (a read-only fetch of one stored entry by content address) and
+//! …}` (a read-only fetch of one stored entry by content address),
+//! `{"op": "fetch", "digest": …}` (the fleet's peer-to-peer store read
+//! — like `lookup`, but a miss is an `ok` response with `found: false`
+//! rather than an error, so a remote cold cache is not a fault),
+//! `{"op": "ping"}` (liveness: uptime and store entry count) and
 //! `{"op": "shutdown"}`.
 //!
 //! **Responses.** Every response carries `ok` (bool) and the echoed
@@ -63,6 +67,14 @@ pub enum RequestBody {
         /// The content address to look up.
         digest: String,
     },
+    /// The fleet's peer-to-peer store read: the stored entry under a
+    /// content address, or a non-error miss (`found: false`).
+    Fetch {
+        /// The content address to fetch.
+        digest: String,
+    },
+    /// Liveness probe: uptime and store entry count.
+    Ping,
     /// Graceful shutdown request.
     Shutdown,
 }
@@ -91,6 +103,14 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 .ok_or_else(|| "lookup requires a string field `digest`".to_owned())?;
             RequestBody::Lookup { digest: digest.to_owned() }
         }
+        "fetch" => {
+            let digest = doc
+                .get("digest")
+                .and_then(Json::as_str)
+                .ok_or_else(|| "fetch requires a string field `digest`".to_owned())?;
+            RequestBody::Fetch { digest: digest.to_owned() }
+        }
+        "ping" => RequestBody::Ping,
         "shutdown" => RequestBody::Shutdown,
         _ => {
             let op = OpRequest::from_json(&doc).map_err(|e| e.to_string())?;
@@ -195,6 +215,52 @@ pub fn render_lookup_response(id: Option<i64>, digest: &str, key: &str, result: 
     Json::Obj(fields).render_compact()
 }
 
+/// Renders a fetch request line (the client side of the `fetch` op).
+pub fn render_fetch_request(digest: &str, id: Option<i64>) -> String {
+    let mut fields = Vec::new();
+    if let Some(id) = id {
+        fields.push(("id".to_owned(), Json::Int(id)));
+    }
+    fields.push(("op".to_owned(), Json::str("fetch")));
+    fields.push(("digest".to_owned(), Json::str(digest)));
+    Json::Obj(fields).render_compact()
+}
+
+/// Renders a fetch response line: `found: true` with the stored key and
+/// result, or `found: false` for a miss — both `ok`, because a peer's
+/// cold cache is an answer, not a fault.
+pub fn render_fetch_response(id: Option<i64>, digest: &str, entry: Option<(&str, &str)>) -> String {
+    let mut fields = Vec::new();
+    if let Some(id) = id {
+        fields.push(("id".to_owned(), Json::Int(id)));
+    }
+    fields.push(("ok".to_owned(), Json::Bool(true)));
+    fields.push(("digest".to_owned(), Json::str(digest)));
+    match entry {
+        Some((key, result)) => {
+            fields.push(("found".to_owned(), Json::Bool(true)));
+            fields.push(("key".to_owned(), Json::str(key)));
+            fields.push(("result".to_owned(), Json::str(result)));
+        }
+        None => fields.push(("found".to_owned(), Json::Bool(false))),
+    }
+    Json::Obj(fields).render_compact()
+}
+
+/// Renders a ping response line: liveness plus the two cheap health
+/// readings a prober wants (uptime, store entry count).
+pub fn render_ping_response(id: Option<i64>, uptime_ms: u64, store_entries: u64) -> String {
+    let mut fields = Vec::new();
+    if let Some(id) = id {
+        fields.push(("id".to_owned(), Json::Int(id)));
+    }
+    fields.push(("ok".to_owned(), Json::Bool(true)));
+    fields.push(("pong".to_owned(), Json::Bool(true)));
+    fields.push(("uptime_ms".to_owned(), Json::Int(uptime_ms as i64)));
+    fields.push(("store_entries".to_owned(), Json::Int(store_entries as i64)));
+    Json::Obj(fields).render_compact()
+}
+
 /// Renders a status response line around a `counters` object.
 pub fn render_status_response(id: Option<i64>, counters: Json) -> String {
     let mut fields = Vec::new();
@@ -292,6 +358,35 @@ mod tests {
     }
 
     #[test]
+    fn fleet_requests_parse_and_render() {
+        assert_eq!(
+            parse_request(&render_fetch_request("abc123", Some(2))).unwrap(),
+            Request { id: Some(2), body: RequestBody::Fetch { digest: "abc123".into() } }
+        );
+        assert!(
+            parse_request(&render_admin_request("fetch", None)).unwrap_err().contains("digest"),
+            "fetch without a digest is refused"
+        );
+        assert_eq!(
+            parse_request(&render_admin_request("ping", Some(8))).unwrap(),
+            Request { id: Some(8), body: RequestBody::Ping }
+        );
+        let hit = render_fetch_response(None, "abc", Some(("the\nkey", "the\nresult")));
+        let doc = Json::parse(&hit).unwrap();
+        assert_eq!(doc.get("found").and_then(Json::as_bool), Some(true));
+        assert_eq!(doc.get("key").and_then(Json::as_str), Some("the\nkey"));
+        let miss = render_fetch_response(Some(1), "abc", None);
+        let doc = Json::parse(&miss).unwrap();
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true), "a miss is not a fault");
+        assert_eq!(doc.get("found").and_then(Json::as_bool), Some(false));
+        assert!(doc.get("result").is_none());
+        let pong = Json::parse(&render_ping_response(None, 1234, 7)).unwrap();
+        assert_eq!(pong.get("pong").and_then(Json::as_bool), Some(true));
+        assert_eq!(pong.get("uptime_ms").and_then(Json::as_i64), Some(1234));
+        assert_eq!(pong.get("store_entries").and_then(Json::as_i64), Some(7));
+    }
+
+    #[test]
     fn malformed_requests_are_described() {
         assert!(parse_request("not json").is_err());
         assert!(parse_request("{}").unwrap_err().contains("op"));
@@ -316,6 +411,9 @@ mod tests {
             render_metrics_response(Some(4), "# TYPE relim_x counter\nrelim_x 1\n"),
             render_timeline_response(None, Json::Obj(vec![]), "timeline: 0 events\n"),
             render_lookup_response(Some(5), "abc", "key\ntext", "result\ntext"),
+            render_fetch_response(Some(6), "abc", Some(("key\ntext", "result\ntext"))),
+            render_fetch_response(None, "abc", None),
+            render_ping_response(Some(7), 99, 3),
             render_shutdown_response(Some(2)),
             render_error_response(None, "boom"),
         ] {

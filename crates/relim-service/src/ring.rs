@@ -1,0 +1,180 @@
+//! The deterministic consistent-hash ring over digest addresses.
+//!
+//! A fleet of daemons shares one logical certificate cache by agreeing,
+//! without coordination, on which member *owns* each content address:
+//! the ring hashes every member onto [`VNODES`] points of a `u64`
+//! circle (virtual nodes smooth the load — with one point per member,
+//! a single unlucky gap can own half the space), and an address belongs
+//! to the first member point at or after its own hash position,
+//! wrapping around at the top.
+//!
+//! Two properties make this usable as a *zero-coordination* routing
+//! table:
+//!
+//! * **Order independence.** Members are sorted and deduplicated at
+//!   construction, and every position is a pure function of the member
+//!   name — so daemons configured with the same peer set in any order
+//!   (each listing the *others* plus itself) build bit-identical rings
+//!   and agree on every owner. There is no membership protocol to
+//!   converge; the configuration *is* the agreement.
+//! * **Stability under growth.** Adding one member moves only the
+//!   addresses falling between the new member's points and their
+//!   predecessors — about `1/n` of the space — and every moved address
+//!   moves *to the new member*. Everything else keeps its owner, so a
+//!   rolling fleet expansion invalidates almost none of the cache.
+//!   (The ring proptests pin exactly this.)
+//!
+//! The position hash is [`relim_core::digest::fnv1a64`] — the same
+//! dependency-free FNV-1a family as the content digest itself, so every
+//! platform and build agrees on every position.
+
+use relim_core::digest::fnv1a64;
+
+/// Virtual nodes per member. 64 keeps the per-member load spread within
+/// a few percent for small fleets while the whole ring stays a few
+/// hundred entries — binary-searched, never a hot cost.
+pub const VNODES: u32 = 64;
+
+/// A deterministic consistent-hash ring over digest addresses (see the
+/// module docs).
+#[derive(Debug, Clone)]
+pub struct Ring {
+    /// Sorted, deduplicated member names.
+    members: Vec<String>,
+    /// `(position, member index)` sorted by position — the circle.
+    points: Vec<(u64, usize)>,
+}
+
+impl Ring {
+    /// Builds the ring from member names (typically `host:port`
+    /// addresses), in any order and with duplicates tolerated: the
+    /// members are sorted and deduplicated first, so every permutation
+    /// of the same set builds an identical ring.
+    pub fn new<I, S>(members: I) -> Ring
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut members: Vec<String> = members.into_iter().map(Into::into).collect();
+        members.sort();
+        members.dedup();
+        let mut points = Vec::with_capacity(members.len() * VNODES as usize);
+        for (index, member) in members.iter().enumerate() {
+            for vnode in 0..VNODES {
+                points.push((vnode_position(member, vnode), index));
+            }
+        }
+        // Position ties across members are broken by member index —
+        // itself an artifact of the sorted member list, so still
+        // order-independent. (Ties require a 64-bit hash collision;
+        // the sort just makes even that case deterministic.)
+        points.sort_unstable();
+        Ring { members, points }
+    }
+
+    /// The sorted, deduplicated member names this ring was built from.
+    pub fn members(&self) -> &[String] {
+        &self.members
+    }
+
+    /// The member owning content address `digest` (any byte string —
+    /// the store's 32-hex-char digests in practice), or `None` for an
+    /// empty ring. A singleton ring owns everything.
+    pub fn owner_of(&self, digest: &str) -> Option<&str> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let position = mix64(fnv1a64(digest.as_bytes()));
+        // First point at or after the address, wrapping to the start.
+        let at = self.points.partition_point(|&(p, _)| p < position);
+        let (_, index) = self.points[if at == self.points.len() { 0 } else { at }];
+        Some(&self.members[index])
+    }
+}
+
+/// The circle position of one virtual node: the member name and the
+/// vnode ordinal hashed together, with a `\0` separator no `host:port`
+/// address can contain (so `("ab", 1)` and `("a", "b1")`-style
+/// concatenation ambiguities cannot alias).
+fn vnode_position(member: &str, vnode: u32) -> u64 {
+    let mut bytes = Vec::with_capacity(member.len() + 5);
+    bytes.extend_from_slice(member.as_bytes());
+    bytes.push(0);
+    bytes.extend_from_slice(&vnode.to_le_bytes());
+    mix64(fnv1a64(&bytes))
+}
+
+/// The splitmix64 avalanche finalizer over the FNV stream. FNV-1a on
+/// short, similar inputs (peer addresses differing in one port digit,
+/// consecutive vnode ordinals) diffuses the high bits poorly, which
+/// skews circle positions and with them the per-member load; one
+/// multiply-xor-shift cascade restores the spread. Fixed constants, so
+/// every build agrees on every position.
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_ring_owns_nothing_and_singleton_owns_everything() {
+        let empty = Ring::new(Vec::<String>::new());
+        assert_eq!(empty.owner_of("abc"), None);
+        let one = Ring::new(["127.0.0.1:7401"]);
+        for digest in ["", "a", "ffffffffffffffff", "relim"] {
+            assert_eq!(one.owner_of(digest), Some("127.0.0.1:7401"));
+        }
+    }
+
+    #[test]
+    fn member_order_and_duplicates_do_not_matter() {
+        let a = Ring::new(["host-a:1", "host-b:2", "host-c:3"]);
+        let b = Ring::new(["host-c:3", "host-a:1", "host-b:2", "host-a:1"]);
+        assert_eq!(a.members(), b.members());
+        for i in 0..200 {
+            let digest = format!("digest-{i}");
+            assert_eq!(a.owner_of(&digest), b.owner_of(&digest));
+        }
+    }
+
+    #[test]
+    fn every_member_owns_a_reasonable_share() {
+        let members = ["n0:1", "n1:1", "n2:1", "n3:1"];
+        let ring = Ring::new(members);
+        let mut counts = vec![0usize; members.len()];
+        let total = 4000;
+        for i in 0..total {
+            let owner = ring.owner_of(&format!("share-{i}")).unwrap();
+            counts[members.iter().position(|m| *m == owner).unwrap()] += 1;
+        }
+        for (member, count) in members.iter().zip(&counts) {
+            // Perfect balance would be 1000 each; 64 vnodes keep every
+            // member within a loose 2.5x band of it.
+            assert!((400..=2500).contains(count), "{member} owns {count}/{total}");
+        }
+    }
+
+    #[test]
+    fn adding_a_member_only_moves_addresses_to_it() {
+        let before = Ring::new(["n0:1", "n1:1", "n2:1"]);
+        let after = Ring::new(["n0:1", "n1:1", "n2:1", "n3:1"]);
+        let mut moved = 0;
+        let total = 4000;
+        for i in 0..total {
+            let digest = format!("grow-{i}");
+            let old = before.owner_of(&digest).unwrap();
+            let new = after.owner_of(&digest).unwrap();
+            if old != new {
+                assert_eq!(new, "n3:1", "{digest} moved between existing members");
+                moved += 1;
+            }
+        }
+        // Expected share is 1/4 of the space; allow a wide band.
+        assert!(moved > 0, "the new member must own something");
+        assert!(moved < total / 2, "adding one member moved {moved}/{total}");
+    }
+}

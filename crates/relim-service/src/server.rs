@@ -35,6 +35,7 @@
 //! the overwriting store write is harmless. Coalescing is a throughput
 //! optimization on top of idempotence, not a correctness mechanism.
 
+use crate::fleet::{self, FetchOutcome, Fleet, FleetConfig};
 use crate::ops::OpRequest;
 use crate::protocol::{self, Request, RequestBody};
 use crate::queue::{Class, JobQueue, DEFAULT_AGING_LIMIT};
@@ -71,7 +72,18 @@ pub struct ServerConfig {
     pub store_budget_bytes: Option<u64>,
     /// Aging limit of the bulk class (see [`crate::queue`]).
     pub aging_limit: u32,
+    /// Fleet peer addresses (`host:port`), excluding this daemon; empty
+    /// means no fleet tier. Every member must be configured with the
+    /// same total member set (its peers plus itself), spelled
+    /// identically — see [`crate::fleet`].
+    pub peers: Vec<String>,
+    /// Per-attempt connect/read/write timeout of peer calls, in
+    /// milliseconds.
+    pub peer_timeout_ms: u64,
 }
+
+/// The default per-attempt peer-call timeout (`--peer-timeout-ms`).
+pub const DEFAULT_PEER_TIMEOUT_MS: u64 = 2000;
 
 impl Default for ServerConfig {
     fn default() -> Self {
@@ -82,6 +94,8 @@ impl Default for ServerConfig {
             store_capacity: 1024,
             store_budget_bytes: None,
             aging_limit: DEFAULT_AGING_LIMIT,
+            peers: Vec::new(),
+            peer_timeout_ms: DEFAULT_PEER_TIMEOUT_MS,
         }
     }
 }
@@ -150,9 +164,14 @@ enum Outcome {
 struct Shared {
     engine: Engine,
     store: ResultStore,
+    /// The fleet tier, when `--peers` was given: remote owners are read
+    /// through before local compute (see [`crate::fleet`]).
+    fleet: Option<Fleet>,
     queue: Mutex<JobQueue<Job>>,
     cv: Condvar,
     shutdown: AtomicBool,
+    /// When the daemon started — the `uptime_ms` a ping reports.
+    started: Instant,
     /// Resolved executor-pool width (for the status response).
     executors: usize,
     /// Live connection threads — joined (bounded-wait) at shutdown so a
@@ -168,7 +187,12 @@ struct Shared {
     n_metrics: AtomicU64,
     n_timeline: AtomicU64,
     n_lookup: AtomicU64,
+    n_fetch: AtomicU64,
+    n_ping: AtomicU64,
     n_errors: AtomicU64,
+    /// Connections dropped mid-line (a torn peer write): the partial
+    /// frame is discarded, counted, never parsed.
+    torn_lines: AtomicU64,
     /// Inline store hits by op kind — distinguishes queue-served results
     /// from cached ones, which the aggregate `ops` counters cannot.
     h_autolb: AtomicU64,
@@ -238,99 +262,131 @@ impl Shared {
             .into_iter()
             .map(|(k, v)| (k.to_owned(), Json::Int(v as i64)))
             .collect();
-        Json::Obj(vec![
-            (
-                "requests_total".into(),
-                Json::Int(self.requests_total.load(Ordering::Relaxed) as i64),
-            ),
-            (
-                "ops".into(),
-                Json::Obj(vec![
-                    ("autolb".into(), Json::Int(self.n_autolb.load(Ordering::Relaxed) as i64)),
-                    ("autoub".into(), Json::Int(self.n_autoub.load(Ordering::Relaxed) as i64)),
-                    ("iterate".into(), Json::Int(self.n_iterate.load(Ordering::Relaxed) as i64)),
-                    ("sweep".into(), Json::Int(self.n_sweep.load(Ordering::Relaxed) as i64)),
-                    (
-                        "zero_round".into(),
-                        Json::Int(self.n_zeroround.load(Ordering::Relaxed) as i64),
-                    ),
-                    ("status".into(), Json::Int(self.n_status.load(Ordering::Relaxed) as i64)),
-                    ("metrics".into(), Json::Int(self.n_metrics.load(Ordering::Relaxed) as i64)),
-                    ("timeline".into(), Json::Int(self.n_timeline.load(Ordering::Relaxed) as i64)),
-                    ("lookup".into(), Json::Int(self.n_lookup.load(Ordering::Relaxed) as i64)),
-                ]),
-            ),
-            ("errors".into(), Json::Int(self.n_errors.load(Ordering::Relaxed) as i64)),
-            (
-                "store_hits".into(),
-                Json::Obj(vec![
-                    ("autolb".into(), Json::Int(self.h_autolb.load(Ordering::Relaxed) as i64)),
-                    ("autoub".into(), Json::Int(self.h_autoub.load(Ordering::Relaxed) as i64)),
-                    ("iterate".into(), Json::Int(self.h_iterate.load(Ordering::Relaxed) as i64)),
-                    ("sweep".into(), Json::Int(self.h_sweep.load(Ordering::Relaxed) as i64)),
-                    (
-                        "zero_round".into(),
-                        Json::Int(self.h_zeroround.load(Ordering::Relaxed) as i64),
-                    ),
-                ]),
-            ),
-            (
-                "store".into(),
-                Json::Obj(vec![
-                    ("mem_hits".into(), Json::Int(store.mem_hits as i64)),
-                    ("disk_hits".into(), Json::Int(store.disk_hits as i64)),
-                    ("misses".into(), Json::Int(store.misses as i64)),
-                    ("stores".into(), Json::Int(store.stores as i64)),
-                    ("evictions".into(), Json::Int(store.evictions as i64)),
-                    ("corrupt_skipped".into(), Json::Int(store.corrupt_skipped as i64)),
-                    ("coalesced".into(), Json::Int(store.coalesced as i64)),
-                    ("gc_evictions".into(), Json::Int(store.gc_evictions as i64)),
-                    ("tmp_swept".into(), Json::Int(store.tmp_swept as i64)),
-                    ("disk_bytes".into(), Json::Int(store.disk_bytes as i64)),
-                    ("mem_entries".into(), Json::Int(store.mem_entries as i64)),
-                    ("persistent".into(), Json::Bool(self.store.is_persistent())),
-                ]),
-            ),
-            (
-                "queue".into(),
-                Json::Obj(vec![
-                    ("pending".into(), Json::Int(pending as i64)),
-                    ("max_depth".into(), Json::Int(max_depth as i64)),
-                    ("aged_promotions".into(), Json::Int(promotions as i64)),
-                    ("aging_limit".into(), Json::Int(i64::from(aging_limit))),
-                ]),
-            ),
-            (
-                "latency".into(),
-                Json::Obj(vec![
-                    (
-                        "total_ns".into(),
-                        Json::Int(self.latency_ns_total.load(Ordering::Relaxed) as i64),
-                    ),
-                    (
-                        "max_ns".into(),
-                        Json::Int(self.latency_ns_max.load(Ordering::Relaxed) as i64),
-                    ),
-                    ("hit".into(), self.lat_hit.json()),
-                    ("computed".into(), self.lat_computed.json()),
-                    ("error".into(), self.lat_error.json()),
-                ]),
-            ),
-            {
-                let timeline = self.events.snapshot();
+        Json::Obj(
+            vec![
                 (
-                    "timeline".into(),
+                    "requests_total".into(),
+                    Json::Int(self.requests_total.load(Ordering::Relaxed) as i64),
+                ),
+                (
+                    "ops".into(),
                     Json::Obj(vec![
-                        ("recorded".into(), Json::Int(timeline.recorded as i64)),
-                        ("dropped".into(), Json::Int(timeline.dropped as i64)),
-                        ("window".into(), Json::Int(timeline.window as i64)),
+                        ("autolb".into(), Json::Int(self.n_autolb.load(Ordering::Relaxed) as i64)),
+                        ("autoub".into(), Json::Int(self.n_autoub.load(Ordering::Relaxed) as i64)),
+                        (
+                            "iterate".into(),
+                            Json::Int(self.n_iterate.load(Ordering::Relaxed) as i64),
+                        ),
+                        ("sweep".into(), Json::Int(self.n_sweep.load(Ordering::Relaxed) as i64)),
+                        (
+                            "zero_round".into(),
+                            Json::Int(self.n_zeroround.load(Ordering::Relaxed) as i64),
+                        ),
+                        ("status".into(), Json::Int(self.n_status.load(Ordering::Relaxed) as i64)),
+                        (
+                            "metrics".into(),
+                            Json::Int(self.n_metrics.load(Ordering::Relaxed) as i64),
+                        ),
+                        (
+                            "timeline".into(),
+                            Json::Int(self.n_timeline.load(Ordering::Relaxed) as i64),
+                        ),
+                        ("lookup".into(), Json::Int(self.n_lookup.load(Ordering::Relaxed) as i64)),
+                        ("fetch".into(), Json::Int(self.n_fetch.load(Ordering::Relaxed) as i64)),
+                        ("ping".into(), Json::Int(self.n_ping.load(Ordering::Relaxed) as i64)),
                     ]),
-                )
-            },
-            ("engine".into(), Json::Obj(engine_pairs)),
-            ("threads".into(), Json::Int(self.engine.threads() as i64)),
-            ("executors".into(), Json::Int(self.executors as i64)),
-        ])
+                ),
+                ("errors".into(), Json::Int(self.n_errors.load(Ordering::Relaxed) as i64)),
+                ("torn_lines".into(), Json::Int(self.torn_lines.load(Ordering::Relaxed) as i64)),
+                (
+                    "store_hits".into(),
+                    Json::Obj(vec![
+                        ("autolb".into(), Json::Int(self.h_autolb.load(Ordering::Relaxed) as i64)),
+                        ("autoub".into(), Json::Int(self.h_autoub.load(Ordering::Relaxed) as i64)),
+                        (
+                            "iterate".into(),
+                            Json::Int(self.h_iterate.load(Ordering::Relaxed) as i64),
+                        ),
+                        ("sweep".into(), Json::Int(self.h_sweep.load(Ordering::Relaxed) as i64)),
+                        (
+                            "zero_round".into(),
+                            Json::Int(self.h_zeroround.load(Ordering::Relaxed) as i64),
+                        ),
+                    ]),
+                ),
+                (
+                    "store".into(),
+                    Json::Obj(vec![
+                        ("mem_hits".into(), Json::Int(store.mem_hits as i64)),
+                        ("disk_hits".into(), Json::Int(store.disk_hits as i64)),
+                        ("misses".into(), Json::Int(store.misses as i64)),
+                        ("stores".into(), Json::Int(store.stores as i64)),
+                        ("evictions".into(), Json::Int(store.evictions as i64)),
+                        ("corrupt_skipped".into(), Json::Int(store.corrupt_skipped as i64)),
+                        ("coalesced".into(), Json::Int(store.coalesced as i64)),
+                        ("gc_evictions".into(), Json::Int(store.gc_evictions as i64)),
+                        ("tmp_swept".into(), Json::Int(store.tmp_swept as i64)),
+                        ("disk_bytes".into(), Json::Int(store.disk_bytes as i64)),
+                        ("mem_entries".into(), Json::Int(store.mem_entries as i64)),
+                        ("persistent".into(), Json::Bool(self.store.is_persistent())),
+                    ]),
+                ),
+                (
+                    "queue".into(),
+                    Json::Obj(vec![
+                        ("pending".into(), Json::Int(pending as i64)),
+                        ("max_depth".into(), Json::Int(max_depth as i64)),
+                        ("aged_promotions".into(), Json::Int(promotions as i64)),
+                        ("aging_limit".into(), Json::Int(i64::from(aging_limit))),
+                    ]),
+                ),
+                (
+                    "latency".into(),
+                    Json::Obj(vec![
+                        (
+                            "total_ns".into(),
+                            Json::Int(self.latency_ns_total.load(Ordering::Relaxed) as i64),
+                        ),
+                        (
+                            "max_ns".into(),
+                            Json::Int(self.latency_ns_max.load(Ordering::Relaxed) as i64),
+                        ),
+                        ("hit".into(), self.lat_hit.json()),
+                        ("computed".into(), self.lat_computed.json()),
+                        ("error".into(), self.lat_error.json()),
+                    ]),
+                ),
+                {
+                    let timeline = self.events.snapshot();
+                    (
+                        "timeline".into(),
+                        Json::Obj(vec![
+                            ("recorded".into(), Json::Int(timeline.recorded as i64)),
+                            ("dropped".into(), Json::Int(timeline.dropped as i64)),
+                            ("window".into(), Json::Int(timeline.window as i64)),
+                        ]),
+                    )
+                },
+                (
+                    // Always present, zeros without a fleet: the scrape
+                    // surface is identical with and without `--peers`.
+                    "peer".into(),
+                    match &self.fleet {
+                        Some(fleet) => fleet.counters_json(),
+                        None => fleet::zero_counters_json(),
+                    },
+                ),
+                ("engine".into(), Json::Obj(engine_pairs)),
+                ("threads".into(), Json::Int(self.engine.threads() as i64)),
+                ("executors".into(), Json::Int(self.executors as i64)),
+            ]
+            .into_iter()
+            .chain(
+                // Per-peer counters only exist when a fleet is configured.
+                self.fleet.as_ref().map(|fleet| ("peers".to_owned(), fleet.per_peer_json())),
+            )
+            .collect::<Vec<_>>(),
+        )
     }
 }
 
@@ -365,12 +421,26 @@ impl Server {
             None => ResultStore::in_memory(config.store_capacity),
         };
         let executors = resolve_executors(config.executors);
+        // The daemon's own ring name is the address it actually bound —
+        // fleet members must bind the very address their peers dial
+        // (the CLI's `--addr`), so the spellings agree by construction.
+        let fleet = if config.peers.is_empty() {
+            None
+        } else {
+            Some(Fleet::new(&FleetConfig::new(
+                config.peers.clone(),
+                addr.to_string(),
+                std::time::Duration::from_millis(config.peer_timeout_ms.max(1)),
+            )))
+        };
         let shared = Arc::new(Shared {
             engine: Engine::builder().threads(config.threads).build(),
             store,
+            fleet,
             queue: Mutex::new(JobQueue::new(config.aging_limit)),
             cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            started: Instant::now(),
             executors,
             active_connections: AtomicU64::new(0),
             requests_total: AtomicU64::new(0),
@@ -383,7 +453,10 @@ impl Server {
             n_metrics: AtomicU64::new(0),
             n_timeline: AtomicU64::new(0),
             n_lookup: AtomicU64::new(0),
+            n_fetch: AtomicU64::new(0),
+            n_ping: AtomicU64::new(0),
             n_errors: AtomicU64::new(0),
+            torn_lines: AtomicU64::new(0),
             h_autolb: AtomicU64::new(0),
             h_autoub: AtomicU64::new(0),
             h_iterate: AtomicU64::new(0),
@@ -562,9 +635,31 @@ fn serve_connection_inner(stream: TcpStream, shared: &Arc<Shared>, addr: SocketA
         Ok(w) => w,
         Err(_) => return,
     };
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
+    let mut reader = BufReader::new(stream);
+    loop {
+        // Manual `read_line` instead of `lines()`: the framing is
+        // line-delimited, so bytes arriving without their terminator —
+        // a peer that died mid-write — are a **torn line**, not a
+        // request. They are counted and discarded, never parsed: a
+        // half-written `{"op":"shutd` must not become anything.
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) => break, // clean EOF at a frame boundary
+            Ok(_) if !line.ends_with('\n') => {
+                shared.torn_lines.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+            Ok(_) => {}
+            Err(_) => {
+                // A read error can also strand partial bytes in the
+                // buffer (`read_line` appends what it read before
+                // failing) — same torn frame, same accounting.
+                if !line.is_empty() {
+                    shared.torn_lines.fetch_add(1, Ordering::Relaxed);
+                }
+                break;
+            }
+        }
         if line.trim().is_empty() {
             continue;
         }
@@ -625,6 +720,25 @@ fn handle_line(line: &str, shared: &Arc<Shared>) -> (String, bool) {
                 }
             }
         }
+        RequestBody::Fetch { digest } => {
+            shared.n_fetch.fetch_add(1, Ordering::Relaxed);
+            // A read-only peer read: never counted as store traffic
+            // (the hits+misses↔submits reconciliation stays intact on
+            // both sides of the wire). The stored key is re-digested so
+            // even a corrupted memory entry cannot cross the fleet.
+            let entry = shared
+                .store
+                .lookup_digest(&digest)
+                .filter(|(key, _)| crate::store::digest_of(key) == digest);
+            let entry = entry.as_ref().map(|(key, result)| (key.as_str(), result.as_str()));
+            (protocol::render_fetch_response(id, &digest, entry), false)
+        }
+        RequestBody::Ping => {
+            shared.n_ping.fetch_add(1, Ordering::Relaxed);
+            let uptime_ms = shared.started.elapsed().as_millis() as u64;
+            let entries = shared.store.stats().mem_entries as u64;
+            (protocol::render_ping_response(id, uptime_ms, entries), false)
+        }
         RequestBody::Shutdown => (protocol::render_shutdown_response(id), true),
         RequestBody::Job { op, class } => {
             let start = Instant::now();
@@ -650,6 +764,33 @@ fn handle_line(line: &str, shared: &Arc<Shared>) -> (String, bool) {
             let rx = match shared.store.claim(&key) {
                 InflightClaim::Waiter(rx) => rx,
                 InflightClaim::Owner => {
+                    // Fleet read-through, *inside* the ownership claim:
+                    // concurrent identical requests coalesce onto one
+                    // peer fetch exactly as they coalesce onto one
+                    // computation. A verified remote hit is written
+                    // through locally and served as cached; a miss or
+                    // an unreachable owner falls through to the local
+                    // queue — same bytes either way, by the canonical
+                    // determinism of every op.
+                    if let Some(fleet) = &shared.fleet {
+                        if let FetchOutcome::Hit(result) = fleet.read_through(&digest, &key) {
+                            if let Err(e) = shared.store.put(&digest, &key, &result) {
+                                eprintln!(
+                                    "relim-service: store write-through failed for {digest}: {e}"
+                                );
+                            }
+                            // Store before complete, like the executor:
+                            // a request missing the coalescing window
+                            // hits the store instead.
+                            shared.store.complete(&key, &Ok(result.clone()));
+                            shared.count_store_hit(&op);
+                            shared.record_latency(Outcome::Hit, elapsed());
+                            return (
+                                protocol::render_job_response(id, true, &digest, &result),
+                                false,
+                            );
+                        }
+                    }
                     let (tx, rx) = mpsc::channel();
                     let job = Job { op, digest: digest.clone(), key: key.clone(), reply: tx };
                     if let Err(e) = enqueue(shared, class, job) {

@@ -41,8 +41,9 @@
 //! The disk layer can be bounded by a byte budget
 //! ([`ResultStore::persistent_with_budget`]): whenever a write pushes the
 //! directory past the budget, entry files are deleted oldest-first
-//! (modification time, then file name — deterministic under equal
-//! timestamps) until the directory fits, never touching the entry just
+//! (modification time, ties broken by digest — deterministic even when
+//! a coarse-granularity filesystem stamps a burst of writes with one
+//! mtime) until the directory fits, never touching the entry just
 //! written. A collected entry simply becomes a store miss; the next
 //! computation of that address re-persists it.
 
@@ -362,29 +363,35 @@ impl ResultStore {
         Ok(())
     }
 
-    /// Deletes entry files oldest-first (mtime, then name) until the
-    /// directory fits `budget`, never touching `protect` (the entry just
-    /// written). Best-effort: a file that vanishes mid-GC (a racing GC in
-    /// another process, a concurrent writer's rename) is simply skipped —
-    /// the next write re-runs the check. Caller holds the disk lock.
+    /// Deletes entry files oldest-first until the directory fits
+    /// `budget`, never touching `protect` (the entry just written).
+    /// The eviction order is **fully deterministic**: modification time
+    /// first, ties broken by the entry's digest (its file stem). Coarse
+    /// filesystem timestamp granularity routinely stamps a burst of
+    /// writes with one mtime — without the digest tie-break, which
+    /// entry dies would depend on directory iteration order, and two
+    /// daemons GC-ing identical stores could diverge. Best-effort: a
+    /// file that vanishes mid-GC (a racing GC in another process, a
+    /// concurrent writer's rename) is simply skipped — the next write
+    /// re-runs the check. Caller holds the disk lock.
     fn gc_oldest_first(&self, dir: &Path, protect: Option<&str>, budget: u64, disk: &mut u64) {
         let Ok(listing) = std::fs::read_dir(dir) else { return };
-        let mut files: Vec<(std::time::SystemTime, PathBuf, u64)> = listing
+        let mut files: Vec<(std::time::SystemTime, String, PathBuf, u64)> = listing
             .filter_map(|e| e.ok())
             .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
-            .filter(|e| {
-                protect.is_none_or(|digest| {
-                    e.path().file_stem().and_then(|s| s.to_str()) != Some(digest)
-                })
-            })
             .filter_map(|e| {
+                let path = e.path();
+                let digest = path.file_stem()?.to_str()?.to_owned();
+                if protect == Some(digest.as_str()) {
+                    return None;
+                }
                 let meta = e.metadata().ok()?;
                 let mtime = meta.modified().ok()?;
-                Some((mtime, e.path(), meta.len()))
+                Some((mtime, digest, path, meta.len()))
             })
             .collect();
         files.sort();
-        for (_, path, len) in files {
+        for (_, _, path, len) in files {
             if *disk <= budget {
                 break;
             }
@@ -620,6 +627,41 @@ mod tests {
         // Re-putting the collected entry re-persists it.
         store.put(&digest_of(&keys[0]), &keys[0], "result payload").unwrap();
         assert!(dir.join(format!("{}.json", digest_of(&keys[0]))).is_file());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn budget_gc_breaks_equal_mtime_ties_by_digest() {
+        let dir = tmp_dir("gc-ties");
+        // Entries written with budget off, then *forced* onto one
+        // shared mtime — the coarse-filesystem burst scenario.
+        let keys: Vec<String> = (0..4).map(|i| format!("tie key {i}")).collect();
+        {
+            let store = ResultStore::persistent(&dir, 8).unwrap();
+            for key in &keys {
+                store.put(&digest_of(key), key, "result payload").unwrap();
+            }
+        }
+        let stamp = std::time::SystemTime::UNIX_EPOCH + std::time::Duration::from_secs(1_000_000);
+        let mut digests: Vec<String> = keys.iter().map(|k| digest_of(k)).collect();
+        for digest in &digests {
+            let file = std::fs::File::options()
+                .write(true)
+                .open(dir.join(format!("{digest}.json")))
+                .unwrap();
+            file.set_modified(stamp).unwrap();
+        }
+        // Each entry file is ~130 bytes; a 300-byte budget keeps two.
+        // With all mtimes equal, the victims must be exactly the two
+        // smallest digests — insertion order is irrelevant.
+        let store = ResultStore::persistent_with_budget(&dir, 8, Some(300)).unwrap();
+        let stats = store.stats();
+        assert_eq!(stats.gc_evictions, 2, "{stats:?}");
+        digests.sort();
+        assert!(!dir.join(format!("{}.json", digests[0])).is_file(), "smallest digest dies first");
+        assert!(!dir.join(format!("{}.json", digests[1])).is_file());
+        assert!(dir.join(format!("{}.json", digests[2])).is_file());
+        assert!(dir.join(format!("{}.json", digests[3])).is_file(), "largest digest survives");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

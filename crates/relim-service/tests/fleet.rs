@@ -1,0 +1,206 @@
+//! Fleet integration tests: three real daemons wired as peers of each
+//! other, exercising the full read-through path over TCP — remote hit,
+//! owner death with breaker degradation, the `fetch`/`ping` wire ops,
+//! torn-line hardening, and the peer counters' scrape surface.
+//!
+//! The determinism contract under test everywhere: a byte served via a
+//! peer is identical to the byte a local in-process run produces, and a
+//! fleet with a dead owner serves the same bytes as a fleet with none.
+
+use relim_core::Engine;
+use relim_json::Json;
+use relim_service::client::Client;
+use relim_service::ops::OpRequest;
+use relim_service::ring::Ring;
+use relim_service::server::{Server, ServerConfig, ServerHandle};
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+/// Reserves `n` distinct loopback addresses by binding them all at
+/// once, then releasing them. Fleet members must know each other's
+/// addresses *before* binding, so ephemeral `:0` ports cannot be used
+/// directly; the bind-all-then-drop window is negligible in practice.
+fn reserve_addrs(n: usize) -> Vec<String> {
+    let listeners: Vec<TcpListener> =
+        (0..n).map(|_| TcpListener::bind("127.0.0.1:0").expect("bind loopback")).collect();
+    listeners.iter().map(|l| l.local_addr().expect("bound").to_string()).collect()
+}
+
+/// A small fleet daemon on a fixed address: single-threaded engine and
+/// executor (bytes never depend on either), fast peer timeouts so the
+/// dead-owner path stays quick.
+fn spawn_member(addr: &str, peers: Vec<String>) -> ServerHandle {
+    let config = ServerConfig {
+        threads: 1,
+        executors: 1,
+        peers,
+        peer_timeout_ms: 500,
+        ..ServerConfig::default()
+    };
+    Server::spawn(addr, config).expect("spawn fleet member")
+}
+
+/// The integer at `path` (dot-separated) inside a counters object.
+fn counter(counters: &Json, path: &str) -> i64 {
+    let mut node = counters;
+    for part in path.split('.') {
+        node = node.get(part).unwrap_or_else(|| panic!("counters missing `{path}`"));
+    }
+    node.as_i64().unwrap_or_else(|| panic!("`{path}` is not an integer"))
+}
+
+#[test]
+fn fleet_read_through_and_dead_owner_degradation_serve_identical_bytes() {
+    let addrs = reserve_addrs(3);
+    let peers_of =
+        |me: &str| -> Vec<String> { addrs.iter().filter(|a| *a != me).cloned().collect() };
+    let handles: Vec<ServerHandle> =
+        addrs.iter().map(|addr| spawn_member(addr, peers_of(addr))).collect();
+    let clients: Vec<Client> = addrs.iter().map(Client::new).collect();
+
+    // The reference bytes: the same op run in-process, no daemon at all.
+    let op = OpRequest::zero_round("M M M;P O O", "M [P O];O O").unwrap();
+    let digest = op.digest().unwrap();
+    let expected = op.execute(&Engine::builder().threads(1).build()).unwrap();
+
+    // Every member builds this same ring; use it to cast the roles.
+    let ring = Ring::new(addrs.clone());
+    let owner = ring.owner_of(&digest).unwrap().to_owned();
+    let owner_at = addrs.iter().position(|a| *a == owner).unwrap();
+    let (first_nonowner, second_nonowner) = {
+        let mut others = (0..3).filter(|i| *i != owner_at);
+        (others.next().unwrap(), others.next().unwrap())
+    };
+
+    // Compute on the owner, then submit to a non-owner: the non-owner
+    // reads the bytes through the owner and serves them as cached.
+    let computed = clients[owner_at].submit(&op, None).unwrap();
+    assert!(!computed.cached);
+    assert_eq!(computed.result, expected, "owner serves the in-process bytes");
+    let relayed = clients[first_nonowner].submit(&op, None).unwrap();
+    assert!(relayed.cached, "a verified remote fetch is served as a cache hit");
+    assert_eq!(relayed.result, expected, "peer-served bytes equal the in-process bytes");
+    let status = clients[first_nonowner].status().unwrap();
+    assert_eq!(counter(&status, "peer.fetch_ok"), 1);
+    assert_eq!(counter(&status, "peer.remote_hits"), 1);
+    assert_eq!(counter(&status, "peer.breaker_open"), 0);
+
+    // Satellite: the per-peer counters surface through the mechanical
+    // Prometheus derivation, aggregate and per-address.
+    let text = clients[first_nonowner].metrics().unwrap();
+    assert_eq!(relim_service::metrics::exposition_problems(&text), Vec::<String>::new(), "{text}");
+    for name in ["relim_peer_fetch_ok 1", "relim_peer_fetch_err", "relim_peer_fetch_timeout"] {
+        assert!(text.contains(name), "missing {name} in:\n{text}");
+    }
+    let owner_metric = format!("relim_peers_{}_fetch_ok 1", owner.replace(['.', ':'], "_"));
+    assert!(text.contains(&owner_metric), "missing {owner_metric} in:\n{text}");
+
+    // Kill the owner. The second non-owner never saw the op, so its
+    // cold lookup routes to the corpse: every attempt fails, the
+    // breaker trips, and the job is computed locally — same bytes.
+    clients[owner_at].shutdown().unwrap();
+    let mut handles: Vec<Option<ServerHandle>> = handles.into_iter().map(Some).collect();
+    handles[owner_at].take().unwrap().join();
+    let degraded = clients[second_nonowner].submit(&op, None).unwrap();
+    assert!(!degraded.cached, "a dead owner degrades to a local compute");
+    assert_eq!(degraded.result, expected, "degraded bytes equal the in-process bytes");
+    let status = clients[second_nonowner].status().unwrap();
+    assert_eq!(counter(&status, "peer.degraded_local"), 1);
+    assert!(counter(&status, "peer.breaker_open") >= 1, "the breaker must have tripped");
+    assert!(
+        counter(&status, "peer.fetch_err") + counter(&status, "peer.fetch_timeout") >= 1,
+        "the failed attempts must be counted"
+    );
+    let text = clients[second_nonowner].metrics().unwrap();
+    assert!(text.contains("relim_peer_breaker_open 1"), "{text}");
+
+    for (i, handle) in handles.into_iter().enumerate() {
+        if let Some(handle) = handle {
+            clients[i].shutdown().unwrap();
+            handle.join();
+        }
+    }
+}
+
+#[test]
+fn torn_peer_writes_are_counted_and_never_parsed() {
+    let handle = Server::spawn("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = handle.local_addr().to_string();
+
+    // A peer dies mid-write: a JSON prefix with no line terminator. The
+    // fragment spells the start of a shutdown request on purpose — a
+    // parsed torn line would be maximally destructive here.
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    stream.write_all(b"{\"op\": \"shutd").unwrap();
+    stream.flush().unwrap();
+    drop(stream);
+
+    // The disconnect is asynchronous; poll the counter in.
+    let mut torn = 0;
+    for _ in 0..200 {
+        torn = counter(&handle.counters(), "torn_lines");
+        if torn == 1 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(torn, 1, "a torn line is counted exactly once");
+    let counters = handle.counters();
+    assert_eq!(counter(&counters, "errors"), 0, "a torn line is not a request error");
+    assert_eq!(counter(&counters, "requests_total"), 0, "a torn line is not a request");
+
+    // The daemon survived and still serves — and in particular did NOT
+    // act on the torn shutdown prefix.
+    let client = Client::new(addr);
+    let (uptime_ms, _) = client.ping().unwrap();
+    let _ = uptime_ms;
+    client.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn ping_and_fetch_round_trips() {
+    let handle = Server::spawn("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let client = Client::new(handle.local_addr().to_string());
+
+    let (_uptime, entries) = client.ping().unwrap();
+    assert_eq!(entries, 0, "fresh daemon, empty store");
+
+    let op = OpRequest::zero_round("M M M;P O O", "M [P O];O O").unwrap();
+    let reply = client.submit(&op, None).unwrap();
+    let (_uptime, entries) = client.ping().unwrap();
+    assert_eq!(entries, 1, "the computed entry is visible to ping");
+
+    // A fetch returns the stored key + bytes; an unknown digest is a
+    // clean miss (`found: false`), not an error.
+    let (key, result) = client.fetch(&reply.digest).unwrap().expect("stored entry");
+    assert_eq!(result, reply.result);
+    assert_eq!(relim_service::store::digest_of(&key), reply.digest);
+    assert_eq!(client.fetch("00000000000000000000000000000000").unwrap(), None);
+
+    client.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn fleetless_daemon_exposes_the_same_peer_scrape_surface() {
+    // No `--peers`: the aggregate peer counters still scrape (as
+    // zeros), so dashboards need no reconfiguration when a daemon
+    // joins a fleet.
+    let handle = Server::spawn("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let client = Client::new(handle.local_addr().to_string());
+    let text = client.metrics().unwrap();
+    for name in [
+        "relim_peer_fetch_ok 0",
+        "relim_peer_fetch_err 0",
+        "relim_peer_fetch_timeout 0",
+        "relim_peer_breaker_open 0",
+        "relim_peer_remote_hits 0",
+        "relim_peer_degraded_local 0",
+    ] {
+        assert!(text.contains(name), "missing {name} in:\n{text}");
+    }
+    client.shutdown().unwrap();
+    handle.join();
+}

@@ -1,0 +1,132 @@
+//! Property tests for the fleet's consistent-hash ring — the three
+//! guarantees the zero-coordination routing table rests on:
+//!
+//! * **order independence**: every permutation of one peer set builds
+//!   the same ring and assigns every address the same owner;
+//! * **stability under growth**: adding one member moves addresses
+//!   only *to* the new member, and only a bounded fraction of them;
+//! * **totality**: an empty ring owns nothing, a singleton owns
+//!   everything, and no input panics.
+//!
+//! The vendored proptest subset has no collection/shuffle strategies,
+//! so peer sets and permutations are derived from generated integers
+//! via an in-test splitmix PRNG — deterministic per seed, exhaustive in
+//! spirit.
+
+use proptest::prelude::*;
+use relim_service::ring::Ring;
+
+/// A tiny deterministic PRNG (splitmix64) for deriving shuffles from a
+/// proptest-generated seed.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// `n` distinct peer addresses in the shape the fleet uses.
+fn peers(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("10.0.0.{}:{}", i + 1, 7400 + i)).collect()
+}
+
+/// A seeded Fisher–Yates permutation of `items`.
+fn shuffled(items: &[String], seed: u64) -> Vec<String> {
+    let mut out = items.to_vec();
+    let mut rng = Rng(seed);
+    for i in (1..out.len()).rev() {
+        let j = (rng.next() % (i as u64 + 1)) as usize;
+        out.swap(i, j);
+    }
+    out
+}
+
+/// Content addresses shaped like the store's (32 hex chars).
+fn digests(count: usize, seed: u64) -> Vec<String> {
+    let mut rng = Rng(seed ^ 0x00d1_ce57_u64);
+    (0..count).map(|_| format!("{:016x}{:016x}", rng.next(), rng.next())).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any permutation (and duplication) of the same peer set assigns
+    /// every address the same owner — the property that lets each
+    /// daemon build its ring from its own `--peers` ordering without a
+    /// membership protocol.
+    #[test]
+    fn assignment_is_independent_of_peer_list_order(
+        n in 1usize..=9,
+        shuffle_seed in 0u64..u64::MAX,
+        digest_seed in 0u64..u64::MAX,
+    ) {
+        let members = peers(n);
+        let reference = Ring::new(members.clone());
+        let permuted = shuffled(&members, shuffle_seed);
+        // Duplicating an entry must not change the ring either.
+        let mut with_dup = permuted.clone();
+        with_dup.push(permuted[0].clone());
+        let ring_a = Ring::new(permuted);
+        let ring_b = Ring::new(with_dup);
+        prop_assert_eq!(reference.members(), ring_a.members());
+        for digest in digests(64, digest_seed) {
+            let owner = reference.owner_of(&digest);
+            prop_assert_eq!(owner, ring_a.owner_of(&digest));
+            prop_assert_eq!(owner, ring_b.owner_of(&digest));
+        }
+    }
+
+    /// Adding one member is *minimally disruptive*: every address
+    /// keeps its owner or moves to the newcomer (never between old
+    /// members), and the moved fraction stays loosely near `1/(n+1)`.
+    #[test]
+    fn adding_one_peer_moves_only_a_fraction_and_only_to_it(
+        n in 1usize..=8,
+        digest_seed in 0u64..u64::MAX,
+    ) {
+        let before = Ring::new(peers(n));
+        let mut grown = peers(n);
+        let newcomer = "10.0.1.1:7999".to_owned();
+        grown.push(newcomer.clone());
+        let after = Ring::new(grown);
+        let sample = digests(256, digest_seed);
+        let mut moved = 0usize;
+        for digest in &sample {
+            let old = before.owner_of(digest).expect("non-empty ring");
+            let new = after.owner_of(digest).expect("non-empty ring");
+            if old != new {
+                prop_assert_eq!(new, newcomer.as_str(),
+                    "an address moved between pre-existing members");
+                moved += 1;
+            }
+        }
+        // Expected share is sample/(n+1); allow a generous 3x band
+        // plus slack so tiny samples and small n never flake. The
+        // point is "about 1/N", not a chi-squared test.
+        let expected = sample.len() / (n + 1);
+        prop_assert!(moved <= expected * 3 + 16,
+            "moved {}/{} with {} members (expected ≈{})", moved, sample.len(), n + 1, expected);
+    }
+
+    /// Totality: no digest panics an empty or singleton ring — the
+    /// empty ring owns nothing, the singleton owns everything.
+    #[test]
+    fn empty_and_singleton_rings_are_total(digest_seed in 0u64..u64::MAX) {
+        let empty = Ring::new(Vec::<String>::new());
+        let single = Ring::new(["lone:1"]);
+        for digest in digests(32, digest_seed) {
+            prop_assert_eq!(empty.owner_of(&digest), None);
+            prop_assert_eq!(single.owner_of(&digest), Some("lone:1"));
+        }
+        // Degenerate inputs, same totality.
+        for weird in ["", "\u{0}", "not hex at all", "🦀"] {
+            prop_assert_eq!(empty.owner_of(weird), None);
+            prop_assert_eq!(single.owner_of(weird), Some("lone:1"));
+        }
+    }
+}
