@@ -572,6 +572,65 @@ fn service_concurrent_throughput_entry(quick: bool) -> Entry {
     }
 }
 
+/// The `trace_overhead` kernel: the same warm `zero-round` submission
+/// batch against a fresh in-memory daemon with tracing off (run 1,
+/// the default configuration) and on (run 2). The served bytes must be
+/// identical in every sample of both runs — tracing is observability,
+/// never behavior — and the traced daemon must actually hold spans for
+/// the measured trace id, so the "on" timing is honest. The off run is
+/// the shipping default: its entire cost is one `None` branch per
+/// recording site, and this entry pins that claim with a number.
+fn trace_overhead_entry(quick: bool) -> Entry {
+    let op = OpRequest::zero_round("M M M;P O O", "M [P O];O O").expect("valid op");
+    let reference = op.execute(&Engine::sequential()).expect("in-process reference");
+    let samples = if quick { 5 } else { 9 };
+    let batch: usize = if quick { 16 } else { 64 };
+    let trace_id: u64 = 0xbe7c;
+
+    let run_daemon = |trace: bool| -> (u64, u64, u64) {
+        let config = ServerConfig { threads: 1, executors: 1, trace, ..ServerConfig::default() };
+        let handle = Server::spawn("127.0.0.1:0", config).expect("spawn daemon");
+        let client = Client::new(handle.local_addr().to_string());
+        let cold = client.submit(&op, None).expect("cold submission");
+        assert!(!cold.cached, "first submission cannot be cached");
+        assert_eq!(cold.result, reference, "served must equal in-process bytes");
+        let ctx = trace.then_some(relim_service::trace::TraceContext { trace_id, parent: None });
+        let (all_identical, med, min, max) = time_median(samples, || {
+            (0..batch).all(|_| {
+                let reply = client.submit_traced(&op, None, ctx.as_ref()).expect("warm submission");
+                reply.cached && reply.result == reference
+            })
+        });
+        assert!(all_identical, "served bytes must not depend on tracing");
+        if trace {
+            let dump = client.trace_dump(Some(trace_id)).expect("trace dump");
+            assert!(!dump.spans.is_empty(), "the traced daemon must hold spans");
+        }
+        client.shutdown().expect("graceful shutdown");
+        handle.join();
+        (med, min, max)
+    };
+
+    let (off_med, off_min, off_max) = run_daemon(false);
+    let (on_med, on_min, on_max) = run_daemon(true);
+    Entry {
+        id: "trace_overhead".into(),
+        params: vec![
+            ("op".into(), Json::str("zero-round")),
+            ("batch".into(), Json::Int(batch as i64)),
+            ("mode_run0".into(), Json::str("trace_off")),
+            ("mode_run1".into(), Json::str("trace_on")),
+        ],
+        runs: vec![
+            Run { threads: 1, wall_ns: off_med, min_ns: off_min, max_ns: off_max, samples },
+            Run { threads: 1, wall_ns: on_med, min_ns: on_min, max_ns: on_max, samples },
+        ],
+        speedup: Some(on_med as f64 / off_med.max(1) as f64),
+        byte_identical: Some(true),
+        report: None,
+    }
+}
+
 /// The `fleet_ring_assignment` kernel: owner assignment of a synthetic
 /// digest population over an 8-member consistent-hash ring, plus the
 /// re-assignment churn of adding a ninth member. Pure and fully
@@ -909,6 +968,7 @@ fn main() {
     entries.push(store_roundtrip_entry(opts.quick));
     entries.push(service_cold_vs_warm_entry(threads, opts.quick));
     entries.push(service_concurrent_throughput_entry(opts.quick));
+    entries.push(trace_overhead_entry(opts.quick));
 
     // 7. The fleet tier's routing table: assignment cost, balance, and
     // the churn of growing the ring by one member — all exact-diffed.

@@ -58,6 +58,8 @@ const VALUE_KEYS: &[&str] = &[
     "op",
     "priority",
     "digest",
+    "trace-id",
+    "format",
 ];
 
 impl Args {
@@ -205,6 +207,26 @@ mod tests {
         assert_eq!(a.get_u64("executors", 0).unwrap(), 4);
         assert_eq!(a.get_u64("store-budget-bytes", 0).unwrap(), 1_048_576);
         assert_eq!(a.get_u64("store-capacity", 0).unwrap(), 64);
+    }
+
+    #[test]
+    fn trace_options_take_values_and_trace_is_a_flag() {
+        // `--trace-id`/`--format` take values; `--trace` (on submit and
+        // serve) is a boolean switch.
+        let a = parse(&[
+            "trace",
+            "--trace-id",
+            "deadbeef",
+            "--format",
+            "chrome",
+            "--peers",
+            "127.0.0.1:7402",
+        ])
+        .unwrap();
+        assert_eq!(a.get("trace-id"), Some("deadbeef"));
+        assert_eq!(a.get("format"), Some("chrome"));
+        let b = parse(&["submit", "--op", "zero-round", "--trace"]).unwrap();
+        assert!(b.has_flag("trace"));
     }
 
     #[test]

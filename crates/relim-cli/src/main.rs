@@ -12,12 +12,13 @@
 //! relim [--threads T] chain       --delta D [--k K] [--exact]
 //! relim [--threads T] bounds      --n N --delta D [--k K]
 //! relim [--threads T] serve       [--addr A] [--store DIR] [--store-capacity N] [--aging-limit N]
-//!                                 [--peers host:port,…] [--peer-timeout-ms N]
-//! relim submit      [--addr A] --op OP <op options> [--priority interactive|bulk]
+//!                                 [--peers host:port,…] [--peer-timeout-ms N] [--trace]
+//! relim submit      [--addr A] --op OP <op options> [--priority interactive|bulk] [--trace]
 //! relim status      [--addr A]
 //! relim ping        [--addr A]
 //! relim metrics     [--addr A]
 //! relim timeline    [--addr A] [--json]
+//! relim trace       --trace-id T [--addr A] [--peers host:port,…] [--format tree|chrome]
 //! relim viz         (--digest D [--addr A | --store DIR] | --op OP <op options>) [--full] [--json]
 //! relim shutdown    [--addr A]
 //! relim help
@@ -51,6 +52,7 @@ use relim_core::{condense, zeroround, Engine, Problem};
 use relim_service::ops::{Criterion, OpRequest};
 use relim_service::queue::Class;
 use relim_service::server::{Server, ServerConfig};
+use relim_service::trace;
 use relim_service::Client;
 
 fn main() {
@@ -92,6 +94,7 @@ fn run(raw: Vec<String>) -> Result<String, Box<dyn std::error::Error>> {
         "ping" => return cmd_ping(&args),
         "metrics" => return cmd_metrics(&args),
         "timeline" => return cmd_timeline(&args),
+        "trace" => return cmd_trace(&args),
         "shutdown" => return cmd_shutdown(&args),
         // `viz` computes locally, but with its own lineage-recording
         // session — the shared engine below stays recording-free so the
@@ -142,13 +145,15 @@ USAGE: relim [--threads T] <command> ...
   relim bounds      --n N --delta D [--k K]
   relim serve       [--addr A] [--store DIR] [--store-capacity N]
                     [--store-budget-bytes N] [--aging-limit N] [--executors N]
-                    [--peers host:port,…] [--peer-timeout-ms N]
+                    [--peers host:port,…] [--peer-timeout-ms N] [--trace]
   relim submit      [--addr A] --op autolb|autoub|iterate|sweep|zero-round
-                    <op options> [--priority interactive|bulk]
+                    <op options> [--priority interactive|bulk] [--trace]
   relim status      [--addr A]
   relim ping        [--addr A]
   relim metrics     [--addr A]
   relim timeline    [--addr A] [--json]
+  relim trace       --trace-id T [--addr A] [--peers host:port,…]
+                    [--format tree|chrome]
   relim viz         --digest D [--addr A | --store DIR] [--full] [--json]
   relim viz         --op autolb|autoub|iterate|zero-round <op options> [--full] [--json]
   relim shutdown    [--addr A]
@@ -179,12 +184,24 @@ address its peers dial. Peer calls run under --peer-timeout-ms N
 unreachable owner degrades to local compute — same bytes, counted.
 
 `submit` sends one query and prints the result on stdout
-(cached/digest metadata goes to stderr); `status` prints the daemon
-counters; `ping` probes liveness (uptime, store entry count — the
-same exchange the fleet breaker uses); `metrics` prints the counters
-as Prometheus text exposition; `timeline` prints the scheduler event
-log as a text gantt (--json for the raw events); `shutdown` asks the
-daemon to drain its queue and exit.
+(cached/digest metadata goes to stderr; with --trace a fresh trace id
+is minted, propagated, and echoed on stderr — stdout bytes never
+change); `status` prints the daemon counters; `ping` probes liveness
+(uptime, store entry count, timeline/span window sizes and drop
+counts — the same exchange the fleet breaker uses); `metrics` prints
+the counters as Prometheus text exposition, including per-op latency
+histograms; `timeline` prints the scheduler event log as a text gantt
+(--json for the raw events); `shutdown` asks the daemon to drain its
+queue and exit.
+
+`trace` collects the spans of one trace id from a daemon (--addr) and
+any number of its peers (--peers host:port,…), merges them, and
+renders a cross-daemon tree — or, with --format chrome, a Chrome
+trace-event JSON loadable in Perfetto / chrome://tracing. Daemons
+record spans only when started with `serve --trace`; a daemon that
+records none, or that dropped spans from its bounded window, is
+called out on stderr so an incomplete merge is never mistaken for a
+complete one.
 
 `viz` renders the round-elimination derivation DAG behind one
 certificate as Graphviz DOT: address a stored result by --digest D
@@ -602,6 +619,7 @@ fn cmd_serve(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
         peers: peers_from(args)?,
         peer_timeout_ms: args
             .get_u64("peer-timeout-ms", relim_service::server::DEFAULT_PEER_TIMEOUT_MS)?,
+        trace: args.has_flag("trace"),
     };
     let store_desc = match &config.store_dir {
         Some(dir) => match config.store_budget_bytes {
@@ -615,12 +633,13 @@ fn cmd_serve(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
     } else {
         format!(", fleet peers: {}", config.peers.join(" "))
     };
+    let trace_desc = if config.trace { ", tracing on" } else { "" };
     let handle = Server::spawn(addr, config)?;
     // Announce readiness immediately (scripts poll `relim status`, but a
     // human watching the terminal wants the bound address).
     println!(
         "relim-service listening on {} (store: {store_desc}, engine threads: {}, \
-         executors: {}{fleet_desc})",
+         executors: {}{fleet_desc}{trace_desc})",
         handle.local_addr(),
         if threads == 0 { Engine::available_parallelism() } else { threads },
         relim_service::server::resolve_executors(executors),
@@ -641,10 +660,25 @@ fn cmd_submit(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
         None => None,
         Some(p) => Some(Class::parse(p).map_err(ArgError)?),
     };
-    let reply = client.submit(&obj, class)?;
+    // `--trace` mints a fresh trace id at this ingress and propagates it
+    // with the request; the id is echoed on stderr so the operator can
+    // feed it to `relim trace`. Stdout still carries exactly the result
+    // bytes — tracing never changes what is served.
+    let ctx = args
+        .has_flag("trace")
+        .then(|| trace::TraceContext { trace_id: trace::mint_trace_id(), parent: None });
+    let reply = client.submit_traced(&obj, class, ctx.as_ref())?;
     // Metadata on stderr so stdout carries exactly the result bytes —
     // scripts can diff two submissions directly.
-    eprintln!("cached={} digest={}", reply.cached, reply.digest);
+    match &ctx {
+        Some(ctx) => eprintln!(
+            "cached={} digest={} trace={}",
+            reply.cached,
+            reply.digest,
+            trace::render_id(ctx.trace_id)
+        ),
+        None => eprintln!("cached={} digest={}", reply.cached, reply.digest),
+    }
     Ok(reply.result)
 }
 
@@ -702,8 +736,16 @@ fn cmd_ping(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
     // A liveness probe should answer fast or fail fast — never sit on
     // the client's bulk-job default for ten minutes.
     let client = Client::new(&*addr).with_timeout(std::time::Duration::from_secs(5));
-    let (uptime_ms, store_entries) = client.ping()?;
-    Ok(format!("pong from {addr}: uptime {uptime_ms} ms, {store_entries} store entries"))
+    let info = client.ping_info()?;
+    let spans = if info.span_window == 0 {
+        "tracing off".to_owned()
+    } else {
+        format!("span window {} ({} dropped)", info.span_window, info.span_dropped)
+    };
+    Ok(format!(
+        "pong from {addr}: uptime {} ms, {} store entries, timeline window {} ({} dropped), {spans}",
+        info.uptime_ms, info.store_entries, info.timeline_window, info.timeline_dropped
+    ))
 }
 
 fn cmd_metrics(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
@@ -718,6 +760,55 @@ fn cmd_timeline(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
         return Ok(timeline.render().trim_end().to_owned());
     }
     Ok(gantt.trim_end().to_owned())
+}
+
+/// Collects the spans of one trace id from a daemon plus any number of
+/// its peers, merges the per-daemon dumps, and renders the cross-daemon
+/// tree (default) or a Chrome trace-event JSON (`--format chrome`,
+/// loadable in Perfetto / chrome://tracing).
+///
+/// Completeness warnings go to stderr, never into the rendering: a
+/// daemon whose span window is 0 runs without `serve --trace` and can
+/// contribute nothing, and a daemon that has dropped spans out of its
+/// bounded window may hold only part of the trace. Either way the merge
+/// still renders — but the operator is told it may be incomplete.
+fn cmd_trace(args: &Args) -> Result<String, Box<dyn std::error::Error>> {
+    let raw_id = args.require("trace-id")?;
+    let trace_id = trace::parse_id(raw_id)
+        .ok_or_else(|| ArgError(format!("--trace-id must be 1..=16 hex digits, got `{raw_id}`")))?;
+    let format = args.get("format").unwrap_or("tree");
+    if format != "tree" && format != "chrome" {
+        return Err(Box::new(ArgError(format!("--format must be tree|chrome, got `{format}`"))));
+    }
+    let mut addrs = vec![args.get("addr").unwrap_or(DEFAULT_ADDR).to_owned()];
+    for peer in peers_from(args)? {
+        if !addrs.contains(&peer) {
+            addrs.push(peer);
+        }
+    }
+    let mut dumps = Vec::new();
+    for addr in &addrs {
+        let client = Client::new(&**addr).with_timeout(std::time::Duration::from_secs(5));
+        let dump = client.trace_dump(Some(trace_id))?;
+        if dump.window == 0 {
+            eprintln!(
+                "warning: {addr} records no spans (started without `serve --trace`); \
+                 the merged trace may be incomplete"
+            );
+        } else if dump.dropped > 0 {
+            eprintln!(
+                "warning: {addr} dropped {} span(s) out of its window of {}; \
+                 the merged trace may be incomplete",
+                dump.dropped, dump.window
+            );
+        }
+        dumps.push(dump);
+    }
+    let rendered = match format {
+        "chrome" => trace::render_chrome(&dumps),
+        _ => trace::render_tree(&dumps),
+    };
+    Ok(rendered.trim_end().to_owned())
 }
 
 /// Renders the derivation-lineage DAG of one certificate as Graphviz
@@ -1111,6 +1202,69 @@ mod tests {
         assert!(gantt.contains("zero-round"), "{gantt}");
         let json = run_words(&["timeline", "--addr", &addr, "--json"]);
         assert!(json.contains("\"relim-timeline/1\""), "{json}");
+        // This daemon runs without `--trace`: ping says so.
+        let pong = run_words(&["ping", "--addr", &addr]);
+        assert!(pong.contains("timeline window"), "{pong}");
+        assert!(pong.contains("tracing off"), "{pong}");
+        run_words(&["shutdown", "--addr", &addr]);
+        handle.join();
+    }
+
+    #[test]
+    fn trace_verb_renders_a_tree_and_a_chrome_export() {
+        let config = ServerConfig { trace: true, ..ServerConfig::default() };
+        let handle = Server::spawn("127.0.0.1:0", config).unwrap();
+        let addr = handle.local_addr().to_string();
+
+        // A traced submit serves byte-identical stdout: the trace id
+        // only ever rides on stderr.
+        let words = [
+            "submit",
+            "--addr",
+            &addr,
+            "--op",
+            "zero-round",
+            "--node",
+            "M M M;P O O",
+            "--edge",
+            "M [P O];O O",
+        ];
+        let untraced = run_words(&words);
+        let traced = run_words(&[&words[..], &["--trace"]].concat());
+        assert_eq!(traced, untraced, "tracing never changes served bytes");
+
+        // Submit under a *known* trace id (the CLI mints random ones),
+        // then dump it through the verb.
+        let op = OpRequest::zero_round("M M M;P O O", "M [P O];O O").unwrap();
+        Client::new(&*addr)
+            .submit_traced(&op, None, Some(&trace::TraceContext { trace_id: 0xf00d, parent: None }))
+            .unwrap();
+        let tree = run_words(&["trace", "--addr", &addr, "--trace-id", "f00d"]);
+        assert!(tree.contains(&trace::render_id(0xf00d)), "{tree}");
+        assert!(tree.contains("request"), "{tree}");
+        assert!(tree.contains("store-read"), "{tree}");
+        let chrome =
+            run_words(&["trace", "--addr", &addr, "--trace-id", "f00d", "--format", "chrome"]);
+        assert!(chrome.contains("\"ph\":\"X\""), "{chrome}");
+        assert!(chrome.contains("traceEvents"), "{chrome}");
+
+        // A tracing daemon's ping reports its span window.
+        let pong = run_words(&["ping", "--addr", &addr]);
+        assert!(pong.contains("span window"), "{pong}");
+
+        // Bad id / bad format are loud argument errors, not connections.
+        let err = run(vec!["trace".into(), "--trace-id".into(), "xyz".into()]).unwrap_err();
+        assert!(err.to_string().contains("hex"), "{err}");
+        let err = run(vec![
+            "trace".into(),
+            "--trace-id".into(),
+            "f00d".into(),
+            "--format".into(),
+            "svg".into(),
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("tree|chrome"), "{err}");
+
         run_words(&["shutdown", "--addr", &addr]);
         handle.join();
     }

@@ -693,6 +693,34 @@ impl EngineReport {
             ("map_batches", self.map_batches),
         ]
     }
+
+    /// The movement of the [`EngineReport::snapshot_pairs`] counters
+    /// between `before` and this report — the engine's span seam: the
+    /// serving layer snapshots a report around a job's compute and
+    /// attaches the deltas to that job's trace span, giving "what did
+    /// the engine do for *this* request" without touching the engine's
+    /// hot path. Saturating, because `cache_entries` is a point-in-time
+    /// reading that can shrink between the two reports (evictions), and
+    /// on a shared engine concurrent jobs move the counters too — the
+    /// deltas are attributed, not exact, under concurrency.
+    ///
+    /// ```
+    /// use relim_core::engine::Engine;
+    /// use relim_core::Problem;
+    ///
+    /// let engine = Engine::sequential();
+    /// let before = engine.report();
+    /// engine.rr_step(&Problem::from_text("A A", "A A").unwrap()).unwrap();
+    /// let delta = engine.report().delta_pairs(&before);
+    /// assert!(delta.iter().any(|&(k, v)| k == "rbar_steps" && v == 1));
+    /// ```
+    pub fn delta_pairs(&self, before: &EngineReport) -> Vec<(&'static str, u64)> {
+        self.snapshot_pairs()
+            .into_iter()
+            .zip(before.snapshot_pairs())
+            .map(|((name, after), (_, before))| (name, after.saturating_sub(before)))
+            .collect()
+    }
 }
 
 #[cfg(test)]

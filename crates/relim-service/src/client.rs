@@ -5,8 +5,9 @@
 //! connection setup is nanoseconds next to a round-elimination job).
 
 use crate::ops::OpRequest;
-use crate::protocol;
+use crate::protocol::{self, PingInfo};
 use crate::queue::Class;
+use crate::trace::{TraceContext, TraceDump};
 use relim_json::Json;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -69,7 +70,23 @@ impl Client {
     ///
     /// Connection/protocol failures and server-side errors.
     pub fn submit(&self, op: &OpRequest, class: Option<Class>) -> Result<JobReply, ClientError> {
-        let doc = self.roundtrip(&protocol::render_job_request(op, class, None))?;
+        self.submit_traced(op, class, None)
+    }
+
+    /// Like [`Client::submit`], optionally stamping the request with a
+    /// trace context (see [`crate::trace`]). The response — and the
+    /// served bytes — are identical with or without one.
+    ///
+    /// # Errors
+    ///
+    /// Connection/protocol failures and server-side errors.
+    pub fn submit_traced(
+        &self,
+        op: &OpRequest,
+        class: Option<Class>,
+        trace: Option<&TraceContext>,
+    ) -> Result<JobReply, ClientError> {
+        let doc = self.roundtrip(&protocol::render_job_request_traced(op, class, None, trace))?;
         let ok = doc.get("ok").and_then(Json::as_bool).unwrap_or(false);
         if !ok {
             let error = doc.get("error").and_then(Json::as_str).unwrap_or("unspecified error");
@@ -201,6 +218,40 @@ impl Client {
                 .ok_or_else(|| ClientError(format!("ping response missing `{key}`")))
         };
         Ok((int("uptime_ms")?.max(0) as u64, int("store_entries")?.max(0) as u64))
+    }
+
+    /// Pings the daemon and returns the full pong: uptime, store size
+    /// and the timeline/span window capacities with their drop counts —
+    /// what `relim trace --peers` uses to warn about incomplete merges.
+    /// Fields an older daemon does not send read as zero.
+    ///
+    /// # Errors
+    ///
+    /// Connection/protocol failures and pong-less responses.
+    pub fn ping_info(&self) -> Result<PingInfo, ClientError> {
+        let doc = self.roundtrip(&protocol::render_admin_request("ping", None))?;
+        if doc.get("pong").and_then(Json::as_bool) != Some(true) {
+            return Err(ClientError(format!("{} answered ping without a pong", self.addr)));
+        }
+        Ok(PingInfo::from_json(&doc))
+    }
+
+    /// Dumps the daemon's recorded spans, optionally filtered to one
+    /// trace id. A daemon running without `--trace` answers with an
+    /// empty zero-window dump, not an error.
+    ///
+    /// # Errors
+    ///
+    /// Connection/protocol failures and malformed dumps.
+    pub fn trace_dump(&self, trace_id: Option<u64>) -> Result<TraceDump, ClientError> {
+        let doc = self.roundtrip(&protocol::render_trace_request(trace_id, None))?;
+        if doc.get("ok").and_then(Json::as_bool) != Some(true) {
+            let error = doc.get("error").and_then(Json::as_str).unwrap_or("unspecified error");
+            return Err(ClientError(format!("trace dump failed: {error}")));
+        }
+        let trace =
+            doc.get("trace").ok_or_else(|| ClientError("trace response missing `trace`".into()))?;
+        TraceDump::parse(trace).map_err(ClientError)
     }
 
     /// Requests a graceful shutdown and waits for the acknowledgement.

@@ -27,11 +27,24 @@
 //! [`FleetConfig::breaker_threshold`] failures the breaker opens and
 //! the peer is skipped outright — requests degrade to local compute
 //! immediately (counted, so the scrape shows the degradation) instead
-//! of stalling every cold query on a dead host. After
-//! [`FleetConfig::breaker_cooldown`] the next request **probes** the
-//! peer with the same `{"op": "ping"}` the CLI's `relim ping` sends —
-//! liveness probing and breaker recovery are one code path — and a
-//! successful pong closes the breaker.
+//! of stalling every cold query on a dead host. Recovery is **not paid
+//! by live requests**: the daemon's background prober thread calls
+//! [`Fleet::probe_open_breakers`], which — once
+//! [`FleetConfig::breaker_cooldown`] has elapsed — probes each Open
+//! peer with the same `{"op": "ping"}` the CLI's `relim ping` sends
+//! (liveness probing and breaker recovery are one code path). A pong
+//! closes the breaker, a failure re-arms the cooldown; both outcomes
+//! are counted (`probe_ok` / `probe_err`) and scraped as
+//! `relim_peer_probe_*`.
+//!
+//! ## Tracing
+//!
+//! When the requesting daemon traces (see [`crate::trace`]), each fetch
+//! attempt — and each breaker rejection — is recorded as a `peer-fetch`
+//! span carrying the attempt number and breaker state, and the outgoing
+//! fetch line carries the trace context with that attempt's span as the
+//! parent, so the owner's `fetch-serve` span links under it across the
+//! wire.
 //!
 //! Determinism contract: a fleet with unreachable peers returns the
 //! same bytes as a fleet with none, which returns the same bytes as a
@@ -40,6 +53,7 @@
 use crate::protocol;
 use crate::ring::Ring;
 use crate::store::digest_of;
+use crate::trace::{FetchTrace, Span, TraceContext};
 use relim_json::Json;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
@@ -69,8 +83,8 @@ pub struct FleetConfig {
     /// equals `retries + 1`, so one fully failed fetch against a dead
     /// owner trips it — the second request already degrades instantly.
     pub breaker_threshold: u32,
-    /// How long an open breaker rejects outright before the next
-    /// request is allowed to probe the peer with a ping.
+    /// How long an open breaker rejects outright before the background
+    /// prober is allowed to probe the peer with a ping.
     pub breaker_cooldown: Duration,
 }
 
@@ -137,6 +151,10 @@ pub struct PeerClient {
     /// Cumulative closed→open transitions (the scrapeable
     /// `breaker_open` counter).
     breaker_opened: AtomicU64,
+    /// Background probes that ponged (and closed the breaker).
+    probe_ok: AtomicU64,
+    /// Background probes that failed (and re-armed the cooldown).
+    probe_err: AtomicU64,
     breaker: Mutex<BreakerState>,
 }
 
@@ -159,6 +177,8 @@ impl PeerClient {
             fetch_err: AtomicU64::new(0),
             fetch_timeout: AtomicU64::new(0),
             breaker_opened: AtomicU64::new(0),
+            probe_ok: AtomicU64::new(0),
+            probe_err: AtomicU64::new(0),
             breaker: Mutex::new(BreakerState::Closed { consecutive_failures: 0 }),
         }
     }
@@ -175,25 +195,81 @@ impl PeerClient {
 
     /// Fetches the entry stored under `digest` from this peer and
     /// verifies it against the full canonical `key` before trusting it.
-    pub fn fetch(&self, digest: &str, key: &str) -> FetchOutcome {
+    /// With `trace` given, every attempt (and a breaker rejection)
+    /// becomes a `peer-fetch` span, and the outgoing line carries the
+    /// propagated context — with tracing off, each site is one branch
+    /// on the `None`.
+    pub fn fetch(&self, digest: &str, key: &str, trace: Option<&FetchTrace<'_>>) -> FetchOutcome {
         if !self.admit() {
+            if let Some(t) = trace {
+                let now = t.log.now_ns();
+                t.log.record(Span {
+                    trace_id: t.trace_id,
+                    span_id: t.log.next_span_id(),
+                    parent: Some(t.parent),
+                    name: "peer-fetch".to_owned(),
+                    start_ns: now,
+                    dur_ns: 0,
+                    attrs: vec![
+                        ("peer".to_owned(), self.addr.clone()),
+                        ("breaker".to_owned(), "open".to_owned()),
+                        ("rejected".to_owned(), "true".to_owned()),
+                    ],
+                });
+            }
             return FetchOutcome::Unavailable;
         }
-        let line = protocol::render_fetch_request(digest, None);
         for attempt in 0..=self.retries {
             if attempt > 0 {
                 std::thread::sleep(self.backoff * 2u32.pow(attempt - 1));
             }
+            // Each attempt gets its own span id *before* the roundtrip,
+            // so the owner's `fetch-serve` span can name it as parent.
+            let (span_id, start_ns) = match trace {
+                Some(t) => (t.log.next_span_id(), t.log.now_ns()),
+                None => (0, 0),
+            };
+            let line = match trace {
+                Some(t) => protocol::render_fetch_request_traced(
+                    digest,
+                    None,
+                    Some(&TraceContext { trace_id: t.trace_id, parent: Some(span_id) }),
+                ),
+                None => protocol::render_fetch_request(digest, None),
+            };
+            let record_attempt = |result: &str| {
+                if let Some(t) = trace {
+                    t.log.record(Span {
+                        trace_id: t.trace_id,
+                        span_id,
+                        parent: Some(t.parent),
+                        name: "peer-fetch".to_owned(),
+                        start_ns,
+                        dur_ns: t.log.now_ns().saturating_sub(start_ns),
+                        attrs: vec![
+                            ("peer".to_owned(), self.addr.clone()),
+                            ("attempt".to_owned(), attempt.to_string()),
+                            ("result".to_owned(), result.to_owned()),
+                            (
+                                "breaker".to_owned(),
+                                if self.breaker_is_open() { "open" } else { "closed" }.to_owned(),
+                            ),
+                        ],
+                    });
+                }
+            };
             match self.roundtrip_once(&line) {
                 Ok(doc) => {
                     self.record_success();
                     self.fetch_ok.fetch_add(1, Ordering::Relaxed);
+                    record_attempt("ok");
                     return verify_fetch(&doc, digest, key);
                 }
                 Err(e) => {
                     let counter = if e.timed_out { &self.fetch_timeout } else { &self.fetch_err };
                     counter.fetch_add(1, Ordering::Relaxed);
                     self.record_failure();
+                    record_attempt(if e.timed_out { "timeout" } else { "err" });
                 }
             }
         }
@@ -221,37 +297,45 @@ impl PeerClient {
         Ok((uptime, entries))
     }
 
-    /// Admission check against the breaker: closed admits, open
-    /// rejects until the cooldown has passed, after which the request
-    /// pays for one ping probe — success closes the breaker, failure
-    /// re-arms the cooldown.
+    /// Admission check against the breaker: closed admits, open rejects
+    /// outright. Live requests never probe — recovery belongs to the
+    /// background prober ([`PeerClient::probe_if_due`]), so a request
+    /// against a tripped peer degrades in microseconds, not a
+    /// network-timeout later.
     fn admit(&self) -> bool {
+        matches!(*self.breaker.lock().expect("breaker lock poisoned"), BreakerState::Closed { .. })
+    }
+
+    /// One half-open recovery step, run by the daemon's background
+    /// prober: when the breaker is Open and the cooldown has elapsed,
+    /// pings the peer. A pong closes the breaker (`probe_ok`); a
+    /// failure re-arms the cooldown (`probe_err`). Returns whether a
+    /// probe actually ran. The lock is not held across the network
+    /// call; a concurrent `record_success` from a live request is
+    /// simply confirmed by the probe's own transition.
+    pub fn probe_if_due(&self) -> bool {
         let since = {
-            let breaker = self.breaker.lock().expect("breaker lock poisoned");
-            match *breaker {
-                BreakerState::Closed { .. } => return true,
+            match *self.breaker.lock().expect("breaker lock poisoned") {
+                BreakerState::Closed { .. } => return false,
                 BreakerState::Open { since } => since,
             }
         };
         if since.elapsed() < self.breaker_cooldown {
             return false;
         }
-        // Half-open: probe without holding the lock (the probe blocks
-        // on the network). Concurrent requests may race to probe; every
-        // outcome is recorded through the same transitions, so the
-        // worst case is a redundant ping.
         match self.ping() {
             Ok(_) => {
+                self.probe_ok.fetch_add(1, Ordering::Relaxed);
                 *self.breaker.lock().expect("breaker lock poisoned") =
                     BreakerState::Closed { consecutive_failures: 0 };
-                true
             }
             Err(_) => {
+                self.probe_err.fetch_add(1, Ordering::Relaxed);
                 *self.breaker.lock().expect("breaker lock poisoned") =
                     BreakerState::Open { since: Instant::now() };
-                false
             }
         }
+        true
     }
 
     fn record_success(&self) {
@@ -433,12 +517,19 @@ impl Fleet {
 
     /// The read-through: if a remote peer owns `digest`, fetch from it
     /// (verified), recording hit/miss/degradation counters. `Miss` when
-    /// this daemon owns the address itself.
-    pub fn read_through(&self, digest: &str, key: &str) -> FetchOutcome {
+    /// this daemon owns the address itself. `trace` threads the
+    /// requester's span recording through the fetch (see
+    /// [`PeerClient::fetch`]).
+    pub fn read_through(
+        &self,
+        digest: &str,
+        key: &str,
+        trace: Option<&FetchTrace<'_>>,
+    ) -> FetchOutcome {
         let Route::Remote(peer) = self.route(digest) else {
             return FetchOutcome::Miss;
         };
-        let outcome = peer.fetch(digest, key);
+        let outcome = peer.fetch(digest, key, trace);
         let counter = match outcome {
             FetchOutcome::Hit(_) => &self.remote_hits,
             FetchOutcome::Miss => &self.remote_misses,
@@ -446,6 +537,16 @@ impl Fleet {
         };
         counter.fetch_add(1, Ordering::Relaxed);
         outcome
+    }
+
+    /// One background-prober pass: gives every Open breaker whose
+    /// cooldown has elapsed its half-open ping (see
+    /// [`PeerClient::probe_if_due`]). Cheap when all breakers are
+    /// closed — one mutex peek per peer, no network.
+    pub fn probe_open_breakers(&self) {
+        for peer in &self.peers {
+            peer.probe_if_due();
+        }
     }
 
     /// The aggregate `peer` counters object (see
@@ -459,6 +560,8 @@ impl Fleet {
             ("fetch_err".into(), Json::Int(sum(|p| &p.fetch_err))),
             ("fetch_timeout".into(), Json::Int(sum(|p| &p.fetch_timeout))),
             ("breaker_open".into(), Json::Int(sum(|p| &p.breaker_opened))),
+            ("probe_ok".into(), Json::Int(sum(|p| &p.probe_ok))),
+            ("probe_err".into(), Json::Int(sum(|p| &p.probe_err))),
             ("remote_hits".into(), Json::Int(self.remote_hits.load(Ordering::Relaxed) as i64)),
             ("remote_misses".into(), Json::Int(self.remote_misses.load(Ordering::Relaxed) as i64)),
             (
@@ -489,6 +592,8 @@ impl Fleet {
                             "breaker_open".into(),
                             Json::Int(p.breaker_opened.load(Ordering::Relaxed) as i64),
                         ),
+                        ("probe_ok".into(), Json::Int(p.probe_ok.load(Ordering::Relaxed) as i64)),
+                        ("probe_err".into(), Json::Int(p.probe_err.load(Ordering::Relaxed) as i64)),
                         ("breaker_is_open".into(), Json::Bool(p.breaker_is_open())),
                     ]),
                 )
@@ -508,6 +613,8 @@ pub fn zero_counters_json() -> Json {
         ("fetch_err".into(), Json::Int(0)),
         ("fetch_timeout".into(), Json::Int(0)),
         ("breaker_open".into(), Json::Int(0)),
+        ("probe_ok".into(), Json::Int(0)),
+        ("probe_err".into(), Json::Int(0)),
         ("remote_hits".into(), Json::Int(0)),
         ("remote_misses".into(), Json::Int(0)),
         ("degraded_local".into(), Json::Int(0)),
@@ -550,15 +657,15 @@ mod tests {
             .map(|i| format!("digest-{i}"))
             .find(|d| matches!(fleet.route(d), Route::Remote(_)))
             .expect("a two-member ring gives the peer some share");
-        let outcome = fleet.read_through(&digest, "key");
+        let outcome = fleet.read_through(&digest, "key", None);
         assert_eq!(outcome, FetchOutcome::Unavailable);
         let peer = &fleet.peers()[0];
         assert!(peer.breaker_is_open(), "3 consecutive attempt failures open the breaker");
         assert_eq!(peer.breaker_opened.load(Ordering::Relaxed), 1);
         assert_eq!(peer.fetch_err.load(Ordering::Relaxed), 3, "initial try + 2 retries");
         // The next read-through is rejected by the breaker without new
-        // connection attempts (cooldown far from elapsed).
-        assert_eq!(fleet.read_through(&digest, "key"), FetchOutcome::Unavailable);
+        // connection attempts (live requests never probe).
+        assert_eq!(fleet.read_through(&digest, "key", None), FetchOutcome::Unavailable);
         assert_eq!(peer.fetch_err.load(Ordering::Relaxed), 3, "breaker short-circuits");
         let counters = fleet.counters_json();
         assert_eq!(counters.get("degraded_local").and_then(Json::as_i64), Some(2));
@@ -576,8 +683,84 @@ mod tests {
             .map(|i| format!("digest-{i}"))
             .find(|d| matches!(fleet.route(d), Route::Local))
             .expect("self gets some share");
-        assert_eq!(fleet.read_through(&digest, "key"), FetchOutcome::Miss);
+        assert_eq!(fleet.read_through(&digest, "key", None), FetchOutcome::Miss);
         assert_eq!(fleet.peers()[0].fetch_err.load(Ordering::Relaxed), 0, "no network touched");
+    }
+
+    #[test]
+    fn background_probe_recovers_a_tripped_breaker() {
+        let dead = dead_addr();
+        let mut config = test_config(vec![dead.clone()]);
+        config.breaker_cooldown = Duration::from_millis(1);
+        let fleet = Fleet::new(&config);
+        let digest = (0..10_000)
+            .map(|i| format!("digest-{i}"))
+            .find(|d| matches!(fleet.route(d), Route::Remote(_)))
+            .expect("a two-member ring gives the peer some share");
+        assert_eq!(fleet.read_through(&digest, "key", None), FetchOutcome::Unavailable);
+        let peer = &fleet.peers()[0];
+        assert!(peer.breaker_is_open());
+
+        // While the peer is still dead, a due probe fails and re-arms
+        // the cooldown; live requests stay rejected without paying for
+        // any network attempt.
+        std::thread::sleep(Duration::from_millis(5));
+        fleet.probe_open_breakers();
+        assert!(peer.breaker_is_open(), "a failed probe re-arms the breaker");
+        assert_eq!(peer.probe_err.load(Ordering::Relaxed), 1);
+        assert_eq!(fleet.read_through(&digest, "key", None), FetchOutcome::Unavailable);
+        assert_eq!(peer.fetch_err.load(Ordering::Relaxed), 3, "no new fetch attempts");
+
+        // Revive the peer on the same address: the next due probe pongs
+        // and closes the breaker — no live request involved.
+        let handle = crate::server::Server::spawn(&dead, crate::server::ServerConfig::default())
+            .expect("rebind the reserved address");
+        std::thread::sleep(Duration::from_millis(5));
+        fleet.probe_open_breakers();
+        assert!(!peer.breaker_is_open(), "a pong closes the breaker");
+        assert_eq!(peer.probe_ok.load(Ordering::Relaxed), 1);
+        fleet.probe_open_breakers();
+        assert_eq!(peer.probe_ok.load(Ordering::Relaxed), 1, "closed breakers are not probed");
+        let counters = fleet.counters_json();
+        assert_eq!(counters.get("probe_ok").and_then(Json::as_i64), Some(1));
+        assert_eq!(counters.get("probe_err").and_then(Json::as_i64), Some(1));
+        handle.shutdown();
+        handle.join();
+    }
+
+    #[test]
+    fn traced_fetch_records_per_attempt_spans_with_breaker_state() {
+        let dead = dead_addr();
+        let fleet = Fleet::new(&test_config(vec![dead.clone()]));
+        let digest = (0..10_000)
+            .map(|i| format!("digest-{i}"))
+            .find(|d| matches!(fleet.route(d), Route::Remote(_)))
+            .expect("a two-member ring gives the peer some share");
+        let log = crate::trace::SpanLog::new(64);
+        let ft = FetchTrace { log: &log, trace_id: 42, parent: 7 };
+        assert_eq!(fleet.read_through(&digest, "key", Some(&ft)), FetchOutcome::Unavailable);
+        let spans = log.snapshot(Some(42)).spans;
+        assert_eq!(spans.len(), 3, "one span per attempt");
+        for (i, s) in spans.iter().enumerate() {
+            assert_eq!(s.name, "peer-fetch");
+            assert_eq!(s.parent, Some(7), "attempts hang under the requester's root");
+            assert!(s.attrs.contains(&("attempt".to_owned(), i.to_string())), "{:?}", s.attrs);
+            assert!(s.attrs.contains(&("peer".to_owned(), dead.clone())), "{:?}", s.attrs);
+        }
+        assert!(
+            spans[2].attrs.contains(&("breaker".to_owned(), "open".to_owned())),
+            "the tripping attempt records the post-trip breaker state: {:?}",
+            spans[2].attrs
+        );
+        // A breaker rejection is also visible in the trace.
+        assert_eq!(fleet.read_through(&digest, "key", Some(&ft)), FetchOutcome::Unavailable);
+        let spans = log.snapshot(Some(42)).spans;
+        assert_eq!(spans.len(), 4);
+        assert!(
+            spans[3].attrs.contains(&("rejected".to_owned(), "true".to_owned())),
+            "{:?}",
+            spans[3].attrs
+        );
     }
 
     #[test]

@@ -56,9 +56,17 @@
 //! * [`metrics`] / [`timeline`] — the observability surfaces: the
 //!   Prometheus text-exposition rendering behind `{"op": "metrics"}`
 //!   (derived from the same counters tree `status` serves, so the two
-//!   can never drift) and the bounded scheduler event log behind
+//!   can never drift — including per-op × per-outcome **latency
+//!   histograms**) and the bounded scheduler event log behind
 //!   `{"op": "timeline"}` (enqueue/promote/start/finish per job, dumped
 //!   as JSON plus a text gantt).
+//! * [`trace`] — request-scoped **distributed tracing**: a trace
+//!   context minted at ingress rides `submit`/`fetch` requests across
+//!   the fleet, each daemon records its spans (parse, queue-wait,
+//!   compute, store and peer I/O) into a bounded span log served by
+//!   `{"op": "trace"}`, and `relim trace` merges the per-daemon dumps
+//!   into one cross-daemon tree. Responses never change: tracing on or
+//!   off, the served bytes are identical.
 //!
 //! ## Example
 //!
@@ -94,6 +102,7 @@ pub mod ring;
 pub mod server;
 pub mod store;
 pub mod timeline;
+pub mod trace;
 
 pub use client::Client;
 pub use fleet::{Fleet, FleetConfig};

@@ -19,8 +19,18 @@
 //! `{"op": "fetch", "digest": …}` (the fleet's peer-to-peer store read
 //! — like `lookup`, but a miss is an `ok` response with `found: false`
 //! rather than an error, so a remote cold cache is not a fault),
-//! `{"op": "ping"}` (liveness: uptime and store entry count) and
-//! `{"op": "shutdown"}`.
+//! `{"op": "ping"}` (liveness: uptime, store entry count and the
+//! observability-window health a fleet prober wants — see [`PingInfo`]),
+//! `{"op": "trace", "trace_id": …}` (a span dump, optionally filtered
+//! to one trace) and `{"op": "shutdown"}`.
+//!
+//! **Trace propagation.** Job and fetch requests carry two further
+//! optional envelope fields: `trace_id` and `parent_span`, both 16-digit
+//! hex (see [`crate::trace`]). Absent fields mean "fresh trace" — a
+//! daemon with tracing enabled mints its own context — so old clients
+//! keep working unchanged; present-but-malformed ids are refused like
+//! any other protocol error. Responses never grow trace fields: served
+//! bytes stay byte-identical with tracing on or off.
 //!
 //! **Responses.** Every response carries `ok` (bool) and the echoed
 //! `id` when one was given. Successful job responses add `cached`
@@ -34,6 +44,7 @@
 
 use crate::ops::OpRequest;
 use crate::queue::Class;
+use crate::trace::TraceContext;
 use relim_json::Json;
 
 /// A parsed request line.
@@ -55,6 +66,8 @@ pub enum RequestBody {
         /// Scheduling class: the `priority` field, or the operation's
         /// default ([`OpRequest::is_bulk`]).
         class: Class,
+        /// The propagated trace context, when the client sent one.
+        trace: Option<TraceContext>,
     },
     /// Counter snapshot request.
     Status,
@@ -72,9 +85,17 @@ pub enum RequestBody {
     Fetch {
         /// The content address to fetch.
         digest: String,
+        /// The propagated trace context, when the requester sent one.
+        trace: Option<TraceContext>,
     },
-    /// Liveness probe: uptime and store entry count.
+    /// Liveness probe: uptime, store entry count and window health.
     Ping,
+    /// Span dump, optionally filtered to one trace id.
+    Trace {
+        /// Only spans of this trace, when given; the whole window
+        /// otherwise.
+        trace_id: Option<u64>,
+    },
     /// Graceful shutdown request.
     Shutdown,
 }
@@ -108,9 +129,16 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 .get("digest")
                 .and_then(Json::as_str)
                 .ok_or_else(|| "fetch requires a string field `digest`".to_owned())?;
-            RequestBody::Fetch { digest: digest.to_owned() }
+            RequestBody::Fetch { digest: digest.to_owned(), trace: parse_trace_context(&doc)? }
         }
         "ping" => RequestBody::Ping,
+        "trace" => {
+            let trace_id = match doc.get("trace_id") {
+                None => None,
+                Some(v) => Some(parse_hex_field(v, "trace_id")?),
+            };
+            RequestBody::Trace { trace_id }
+        }
         "shutdown" => RequestBody::Shutdown,
         _ => {
             let op = OpRequest::from_json(&doc).map_err(|e| e.to_string())?;
@@ -124,15 +152,67 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 }
                 Some(s) => Class::parse(s)?,
             };
-            RequestBody::Job { op, class }
+            RequestBody::Job { op, class, trace: parse_trace_context(&doc)? }
         }
     };
     Ok(Request { id, body })
 }
 
+/// A hex id field; present-but-malformed is a protocol error.
+fn parse_hex_field(value: &Json, key: &str) -> Result<u64, String> {
+    value
+        .as_str()
+        .and_then(crate::trace::parse_id)
+        .ok_or_else(|| format!("field `{key}` must be 1-16 hex digits"))
+}
+
+/// The optional propagated trace context of a job or fetch request:
+/// `None` when `trace_id` is absent (fresh trace), an error when either
+/// id field is present but malformed. A `parent_span` without a
+/// `trace_id` is meaningless and refused.
+fn parse_trace_context(doc: &Json) -> Result<Option<TraceContext>, String> {
+    let trace_id = match doc.get("trace_id") {
+        None => {
+            if doc.get("parent_span").is_some() {
+                return Err("`parent_span` requires a `trace_id`".to_owned());
+            }
+            return Ok(None);
+        }
+        Some(v) => parse_hex_field(v, "trace_id")?,
+    };
+    let parent = match doc.get("parent_span") {
+        None => None,
+        Some(v) => Some(parse_hex_field(v, "parent_span")?),
+    };
+    Ok(Some(TraceContext { trace_id, parent }))
+}
+
+/// The optional `trace_id`/`parent_span` wire fields of an outgoing
+/// request.
+fn trace_fields(trace: Option<&TraceContext>) -> Vec<(String, Json)> {
+    let mut fields = Vec::new();
+    if let Some(ctx) = trace {
+        fields.push(("trace_id".to_owned(), Json::str(crate::trace::render_id(ctx.trace_id))));
+        if let Some(parent) = ctx.parent {
+            fields.push(("parent_span".to_owned(), Json::str(crate::trace::render_id(parent))));
+        }
+    }
+    fields
+}
+
 /// Renders a request line for a job (the client side of
 /// [`parse_request`]).
 pub fn render_job_request(op: &OpRequest, class: Option<Class>, id: Option<i64>) -> String {
+    render_job_request_traced(op, class, id, None)
+}
+
+/// [`render_job_request`] carrying a propagated trace context.
+pub fn render_job_request_traced(
+    op: &OpRequest,
+    class: Option<Class>,
+    id: Option<i64>,
+    trace: Option<&TraceContext>,
+) -> String {
     let mut fields = Vec::new();
     if let Some(id) = id {
         fields.push(("id".to_owned(), Json::Int(id)));
@@ -141,6 +221,7 @@ pub fn render_job_request(op: &OpRequest, class: Option<Class>, id: Option<i64>)
     if let Some(class) = class {
         fields.push(("priority".to_owned(), Json::str(class.as_str())));
     }
+    fields.extend(trace_fields(trace));
     Json::Obj(fields).render_compact()
 }
 
@@ -217,12 +298,50 @@ pub fn render_lookup_response(id: Option<i64>, digest: &str, key: &str, result: 
 
 /// Renders a fetch request line (the client side of the `fetch` op).
 pub fn render_fetch_request(digest: &str, id: Option<i64>) -> String {
+    render_fetch_request_traced(digest, id, None)
+}
+
+/// [`render_fetch_request`] carrying a propagated trace context, so the
+/// owner's `fetch-serve` span links under the requester's per-attempt
+/// `peer-fetch` span.
+pub fn render_fetch_request_traced(
+    digest: &str,
+    id: Option<i64>,
+    trace: Option<&TraceContext>,
+) -> String {
     let mut fields = Vec::new();
     if let Some(id) = id {
         fields.push(("id".to_owned(), Json::Int(id)));
     }
     fields.push(("op".to_owned(), Json::str("fetch")));
     fields.push(("digest".to_owned(), Json::str(digest)));
+    fields.extend(trace_fields(trace));
+    Json::Obj(fields).render_compact()
+}
+
+/// Renders a trace-dump request line (the client side of the `trace`
+/// op).
+pub fn render_trace_request(trace_id: Option<u64>, id: Option<i64>) -> String {
+    let mut fields = Vec::new();
+    if let Some(id) = id {
+        fields.push(("id".to_owned(), Json::Int(id)));
+    }
+    fields.push(("op".to_owned(), Json::str("trace")));
+    if let Some(trace_id) = trace_id {
+        fields.push(("trace_id".to_owned(), Json::str(crate::trace::render_id(trace_id))));
+    }
+    Json::Obj(fields).render_compact()
+}
+
+/// Renders a trace response line around a span-dump object (see
+/// [`crate::trace::TraceSnapshot::to_json`]).
+pub fn render_trace_response(id: Option<i64>, trace: Json) -> String {
+    let mut fields = Vec::new();
+    if let Some(id) = id {
+        fields.push(("id".to_owned(), Json::Int(id)));
+    }
+    fields.push(("ok".to_owned(), Json::Bool(true)));
+    fields.push(("trace".to_owned(), trace));
     Json::Obj(fields).render_compact()
 }
 
@@ -247,17 +366,58 @@ pub fn render_fetch_response(id: Option<i64>, digest: &str, entry: Option<(&str,
     Json::Obj(fields).render_compact()
 }
 
-/// Renders a ping response line: liveness plus the two cheap health
-/// readings a prober wants (uptime, store entry count).
-pub fn render_ping_response(id: Option<i64>, uptime_ms: u64, store_entries: u64) -> String {
+/// The payload of a ping response: liveness plus the cheap health
+/// readings a prober (or `relim trace --peers`) wants — uptime, store
+/// entry count, and the capacities and dropped counts of the daemon's
+/// bounded observability windows. A zero `span_window` means tracing is
+/// disabled on that daemon; a nonzero dropped count means dumps from
+/// that window are known-incomplete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PingInfo {
+    /// Milliseconds since the daemon started.
+    pub uptime_ms: u64,
+    /// Entries in the result store.
+    pub store_entries: u64,
+    /// The timeline event-log capacity.
+    pub timeline_window: u64,
+    /// Timeline events dropped out of the window.
+    pub timeline_dropped: u64,
+    /// The span-log capacity (0 when tracing is disabled).
+    pub span_window: u64,
+    /// Spans dropped out of the window.
+    pub span_dropped: u64,
+}
+
+impl PingInfo {
+    /// Parses the fields back out of a ping response document. Fields
+    /// an older daemon does not send read as zero.
+    pub fn from_json(doc: &Json) -> PingInfo {
+        let int = |key: &str| doc.get(key).and_then(Json::as_i64).unwrap_or(0).max(0) as u64;
+        PingInfo {
+            uptime_ms: int("uptime_ms"),
+            store_entries: int("store_entries"),
+            timeline_window: int("timeline_window"),
+            timeline_dropped: int("timeline_dropped"),
+            span_window: int("span_window"),
+            span_dropped: int("span_dropped"),
+        }
+    }
+}
+
+/// Renders a ping response line (see [`PingInfo`]).
+pub fn render_ping_response(id: Option<i64>, info: &PingInfo) -> String {
     let mut fields = Vec::new();
     if let Some(id) = id {
         fields.push(("id".to_owned(), Json::Int(id)));
     }
     fields.push(("ok".to_owned(), Json::Bool(true)));
     fields.push(("pong".to_owned(), Json::Bool(true)));
-    fields.push(("uptime_ms".to_owned(), Json::Int(uptime_ms as i64)));
-    fields.push(("store_entries".to_owned(), Json::Int(store_entries as i64)));
+    fields.push(("uptime_ms".to_owned(), Json::Int(info.uptime_ms as i64)));
+    fields.push(("store_entries".to_owned(), Json::Int(info.store_entries as i64)));
+    fields.push(("timeline_window".to_owned(), Json::Int(info.timeline_window as i64)));
+    fields.push(("timeline_dropped".to_owned(), Json::Int(info.timeline_dropped as i64)));
+    fields.push(("span_window".to_owned(), Json::Int(info.span_window as i64)));
+    fields.push(("span_dropped".to_owned(), Json::Int(info.span_dropped as i64)));
     Json::Obj(fields).render_compact()
 }
 
@@ -306,9 +466,10 @@ mod tests {
         let req = parse_request(&line).unwrap();
         assert_eq!(req.id, Some(7));
         match req.body {
-            RequestBody::Job { op: parsed, class } => {
+            RequestBody::Job { op: parsed, class, trace } => {
                 assert_eq!(parsed, op);
                 assert_eq!(class, Class::Interactive, "autolb defaults to interactive");
+                assert_eq!(trace, None, "no trace fields means a fresh trace");
             }
             other => panic!("not a job: {other:?}"),
         }
@@ -358,10 +519,53 @@ mod tests {
     }
 
     #[test]
+    fn trace_context_round_trips_and_rejects_garbage() {
+        let op = OpRequest::auto_lb("M M M;P O O", "M [P O];O O").unwrap();
+        let ctx = TraceContext { trace_id: 0xdead_beef, parent: Some(7) };
+        let line = render_job_request_traced(&op, None, None, Some(&ctx));
+        let RequestBody::Job { trace, .. } = parse_request(&line).unwrap().body else {
+            panic!("not a job")
+        };
+        assert_eq!(trace, Some(ctx), "the context survives the wire");
+
+        let line = render_fetch_request_traced("abc123", None, Some(&ctx));
+        let RequestBody::Fetch { trace, .. } = parse_request(&line).unwrap().body else {
+            panic!("not a fetch")
+        };
+        assert_eq!(trace, Some(ctx));
+
+        // The trace-dump op, filtered and unfiltered.
+        assert_eq!(
+            parse_request(&render_trace_request(Some(0xabc), Some(4))).unwrap(),
+            Request { id: Some(4), body: RequestBody::Trace { trace_id: Some(0xabc) } }
+        );
+        assert_eq!(
+            parse_request(&render_trace_request(None, None)).unwrap().body,
+            RequestBody::Trace { trace_id: None }
+        );
+
+        // Present-but-malformed ids are protocol errors, not guesses.
+        for bad in [
+            "{\"op\": \"zero-round\", \"node\": \"A A\", \"edge\": \"A A\", \"trace_id\": \"zz\"}",
+            "{\"op\": \"zero-round\", \"node\": \"A A\", \"edge\": \"A A\", \
+             \"trace_id\": \"1\", \"parent_span\": \"\"}",
+            "{\"op\": \"zero-round\", \"node\": \"A A\", \"edge\": \"A A\", \
+             \"parent_span\": \"1\"}",
+            "{\"op\": \"fetch\", \"digest\": \"abc\", \"trace_id\": \"not hex\"}",
+            "{\"op\": \"trace\", \"trace_id\": \"xyz\"}",
+        ] {
+            assert!(parse_request(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
     fn fleet_requests_parse_and_render() {
         assert_eq!(
             parse_request(&render_fetch_request("abc123", Some(2))).unwrap(),
-            Request { id: Some(2), body: RequestBody::Fetch { digest: "abc123".into() } }
+            Request {
+                id: Some(2),
+                body: RequestBody::Fetch { digest: "abc123".into(), trace: None }
+            }
         );
         assert!(
             parse_request(&render_admin_request("fetch", None)).unwrap_err().contains("digest"),
@@ -380,10 +584,23 @@ mod tests {
         assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true), "a miss is not a fault");
         assert_eq!(doc.get("found").and_then(Json::as_bool), Some(false));
         assert!(doc.get("result").is_none());
-        let pong = Json::parse(&render_ping_response(None, 1234, 7)).unwrap();
+        let info = PingInfo {
+            uptime_ms: 1234,
+            store_entries: 7,
+            timeline_window: 1024,
+            timeline_dropped: 2,
+            span_window: 4096,
+            span_dropped: 0,
+        };
+        let pong = Json::parse(&render_ping_response(None, &info)).unwrap();
         assert_eq!(pong.get("pong").and_then(Json::as_bool), Some(true));
         assert_eq!(pong.get("uptime_ms").and_then(Json::as_i64), Some(1234));
         assert_eq!(pong.get("store_entries").and_then(Json::as_i64), Some(7));
+        assert_eq!(pong.get("span_window").and_then(Json::as_i64), Some(4096));
+        assert_eq!(PingInfo::from_json(&pong), info, "the health readings round-trip");
+        // An old daemon's pong (no window fields) parses with zeros.
+        let old = Json::parse("{\"ok\": true, \"pong\": true, \"uptime_ms\": 5}").unwrap();
+        assert_eq!(PingInfo::from_json(&old).timeline_window, 0);
     }
 
     #[test]
@@ -413,7 +630,15 @@ mod tests {
             render_lookup_response(Some(5), "abc", "key\ntext", "result\ntext"),
             render_fetch_response(Some(6), "abc", Some(("key\ntext", "result\ntext"))),
             render_fetch_response(None, "abc", None),
-            render_ping_response(Some(7), 99, 3),
+            render_ping_response(
+                Some(7),
+                &PingInfo { uptime_ms: 99, store_entries: 3, ..PingInfo::default() },
+            ),
+            render_trace_request(Some(0xfeed), Some(8)),
+            render_trace_response(
+                None,
+                crate::trace::TraceSnapshot::disabled().to_json("127.0.0.1:7341"),
+            ),
             render_shutdown_response(Some(2)),
             render_error_response(None, "boom"),
         ] {

@@ -34,13 +34,31 @@
 //! its claim) recomputes — and computes the same canonical bytes, so
 //! the overwriting store write is harmless. Coalescing is a throughput
 //! optimization on top of idempotence, not a correctness mechanism.
+//!
+//! ## Observability
+//!
+//! Every job request records its wall time into a per-op × per-outcome
+//! **latency histogram** (power-of-two buckets, see
+//! [`crate::metrics::LatencyHistogram`]) exposed under
+//! `counters.latency.<op>.<outcome>` and derived into a Prometheus
+//! histogram family by the metrics endpoint. With
+//! [`ServerConfig::trace`] the daemon additionally records **request
+//! spans** — parse, store-read, queue-wait, compute (with engine
+//! counter deltas attached), store-write, peer-fetch attempts and
+//! fetch serves — into a bounded [`SpanLog`] served by the `trace` op
+//! (see [`crate::trace`]). Tracing never changes a served byte: trace
+//! context rides in requests only, responses are identical with the
+//! flag on or off, and with it off every recording site is one branch
+//! on a `None`.
 
 use crate::fleet::{self, FetchOutcome, Fleet, FleetConfig};
+use crate::metrics::LatencyHistogram;
 use crate::ops::OpRequest;
-use crate::protocol::{self, Request, RequestBody};
+use crate::protocol::{self, PingInfo, Request, RequestBody};
 use crate::queue::{Class, JobQueue, DEFAULT_AGING_LIMIT};
 use crate::store::{InflightClaim, ResultStore};
 use crate::timeline::{EventKind, EventLog, DEFAULT_EVENT_CAPACITY};
+use crate::trace::{FetchTrace, Span, SpanLog, TraceContext, TraceSnapshot, DEFAULT_SPAN_CAPACITY};
 use relim_core::Engine;
 use relim_json::Json;
 use std::io::{BufRead, BufReader, Write};
@@ -80,6 +98,10 @@ pub struct ServerConfig {
     /// Per-attempt connect/read/write timeout of peer calls, in
     /// milliseconds.
     pub peer_timeout_ms: u64,
+    /// Record request spans into a bounded [`SpanLog`] served by the
+    /// `trace` op. Served bytes are byte-identical with this on or
+    /// off; off, every recording site is one branch on a `None`.
+    pub trace: bool,
 }
 
 /// The default per-attempt peer-call timeout (`--peer-timeout-ms`).
@@ -96,6 +118,7 @@ impl Default for ServerConfig {
             aging_limit: DEFAULT_AGING_LIMIT,
             peers: Vec::new(),
             peer_timeout_ms: DEFAULT_PEER_TIMEOUT_MS,
+            trace: false,
         }
     }
 }
@@ -117,53 +140,113 @@ struct Job {
     digest: String,
     key: String,
     reply: mpsc::Sender<Result<String, String>>,
+    /// Trace context of the owning request, when it was traced: the
+    /// executor records queue-wait / compute / store-write spans under
+    /// the request's root span.
+    trace: Option<JobTrace>,
 }
 
-/// Per-outcome latency accounting: every request records into exactly
-/// one lane, so the lanes partition the traffic and their sums
-/// reconcile against the all-outcome aggregate.
-struct Lane {
-    count: AtomicU64,
-    total_ns: AtomicU64,
-    max_ns: AtomicU64,
+/// What the executor needs to attach its spans to the owning request.
+struct JobTrace {
+    trace_id: u64,
+    /// The request's root span id — the parent of the executor spans.
+    parent: u64,
+    /// When the job entered the queue (span-log clock): the queue-wait
+    /// span runs from here to the executor's pop.
+    enqueued_ns: u64,
 }
 
-impl Lane {
-    fn new() -> Lane {
-        Lane { count: AtomicU64::new(0), total_ns: AtomicU64::new(0), max_ns: AtomicU64::new(0) }
+/// The op lanes of the latency grid, in counters-tree spelling (the
+/// `ops` object uses the same keys, so exposition names line up).
+const LANE_OPS: [&str; 5] = ["autolb", "autoub", "iterate", "sweep", "zero_round"];
+
+/// Per-op × per-outcome latency histograms: every job request records
+/// into exactly one cell, so the cells partition the traffic. Each
+/// cell is a power-of-two-bucketed [`LatencyHistogram`] the metrics
+/// endpoint derives into a Prometheus histogram family.
+struct LatencyGrid {
+    cells: [[LatencyHistogram; 3]; 5],
+}
+
+impl LatencyGrid {
+    fn new() -> LatencyGrid {
+        LatencyGrid {
+            cells: std::array::from_fn(|_| std::array::from_fn(|_| LatencyHistogram::new())),
+        }
     }
 
-    fn record(&self, ns: u64) {
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.total_ns.fetch_add(ns, Ordering::Relaxed);
-        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    fn record(&self, op: usize, outcome: Outcome, ns: u64) {
+        self.cells[op][outcome as usize].record(ns);
     }
 
     fn json(&self) -> Json {
-        Json::Obj(vec![
-            ("count".into(), Json::Int(self.count.load(Ordering::Relaxed) as i64)),
-            ("total_ns".into(), Json::Int(self.total_ns.load(Ordering::Relaxed) as i64)),
-            ("max_ns".into(), Json::Int(self.max_ns.load(Ordering::Relaxed) as i64)),
-        ])
+        Json::Obj(
+            LANE_OPS
+                .iter()
+                .enumerate()
+                .map(|(i, name)| {
+                    (
+                        (*name).to_owned(),
+                        Json::Obj(vec![
+                            ("hit".to_owned(), self.cells[i][Outcome::Hit as usize].json()),
+                            (
+                                "computed".to_owned(),
+                                self.cells[i][Outcome::Computed as usize].json(),
+                            ),
+                            ("error".to_owned(), self.cells[i][Outcome::Error as usize].json()),
+                        ]),
+                    )
+                })
+                .collect(),
+        )
     }
 }
 
-/// How a job request left `handle_line` — the latency lane it lands in.
+/// How a job request left `handle_line` — the latency cell it lands in.
 #[derive(Clone, Copy)]
 enum Outcome {
     /// Served from the content-addressed store, inline.
-    Hit,
+    Hit = 0,
     /// Computed (or coalesced onto a computation) via the queue.
-    Computed,
+    Computed = 1,
     /// Any error exit: bad parameters, refused enqueue, failed or
     /// panicked execution, a dead executor.
-    Error,
+    Error = 2,
+}
+
+impl Outcome {
+    /// The spelling the root span's `outcome` attribute uses.
+    fn as_str(self) -> &'static str {
+        match self {
+            Outcome::Hit => "hit",
+            Outcome::Computed => "computed",
+            Outcome::Error => "error",
+        }
+    }
+}
+
+/// The `latency` grid row of an [`OpRequest`] (indexes [`LANE_OPS`]).
+fn op_lane_index(op: &OpRequest) -> usize {
+    match op {
+        OpRequest::AutoLb { .. } => 0,
+        OpRequest::AutoUb { .. } => 1,
+        OpRequest::Iterate { .. } => 2,
+        OpRequest::Sweep { .. } => 3,
+        OpRequest::ZeroRound { .. } => 4,
+    }
 }
 
 /// Shared state behind the daemon's threads.
 struct Shared {
     engine: Engine,
     store: ResultStore,
+    /// The address this daemon bound — stamps trace dumps so a merged
+    /// cross-daemon tree can attribute every span.
+    self_addr: String,
+    /// The span log, when [`ServerConfig::trace`] was set. `None` is
+    /// the off switch: every recording site branches on it and does
+    /// nothing else.
+    spans: Option<SpanLog>,
     /// The fleet tier, when `--peers` was given: remote owners are read
     /// through before local compute (see [`crate::fleet`]).
     fleet: Option<Fleet>,
@@ -189,6 +272,7 @@ struct Shared {
     n_lookup: AtomicU64,
     n_fetch: AtomicU64,
     n_ping: AtomicU64,
+    n_trace: AtomicU64,
     n_errors: AtomicU64,
     /// Connections dropped mid-line (a torn peer write): the partial
     /// frame is discarded, counted, never parsed.
@@ -200,13 +284,8 @@ struct Shared {
     h_iterate: AtomicU64,
     h_sweep: AtomicU64,
     h_zeroround: AtomicU64,
-    /// All-outcome latency aggregate (kept for status compatibility;
-    /// the lanes below split the same traffic by outcome).
-    latency_ns_total: AtomicU64,
-    latency_ns_max: AtomicU64,
-    lat_hit: Lane,
-    lat_computed: Lane,
-    lat_error: Lane,
+    /// Per-op × per-outcome latency histograms (see [`LatencyGrid`]).
+    latency: LatencyGrid,
     /// The bounded scheduler event log behind `{"op": "timeline"}`.
     events: EventLog,
 }
@@ -234,19 +313,11 @@ impl Shared {
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Records one job request's wall time into the aggregate *and* the
-    /// outcome's lane. Called on **every** exit of the job path — error
-    /// exits included, which the aggregate alone historically missed
-    /// (undercounting exactly the requests an operator most wants to
-    /// see).
-    fn record_latency(&self, outcome: Outcome, ns: u64) {
-        self.latency_ns_total.fetch_add(ns, Ordering::Relaxed);
-        self.latency_ns_max.fetch_max(ns, Ordering::Relaxed);
-        match outcome {
-            Outcome::Hit => self.lat_hit.record(ns),
-            Outcome::Computed => self.lat_computed.record(ns),
-            Outcome::Error => self.lat_error.record(ns),
-        }
+    /// Records one job request's wall time into its op × outcome
+    /// histogram cell. Called on **every** exit of the job path —
+    /// error exits included, so the cells partition the traffic.
+    fn record_latency(&self, op: usize, outcome: Outcome, ns: u64) {
+        self.latency.record(op, outcome, ns);
     }
 
     /// The `counters` object of a status response.
@@ -294,6 +365,7 @@ impl Shared {
                         ("lookup".into(), Json::Int(self.n_lookup.load(Ordering::Relaxed) as i64)),
                         ("fetch".into(), Json::Int(self.n_fetch.load(Ordering::Relaxed) as i64)),
                         ("ping".into(), Json::Int(self.n_ping.load(Ordering::Relaxed) as i64)),
+                        ("trace".into(), Json::Int(self.n_trace.load(Ordering::Relaxed) as i64)),
                     ]),
                 ),
                 ("errors".into(), Json::Int(self.n_errors.load(Ordering::Relaxed) as i64)),
@@ -340,30 +412,34 @@ impl Shared {
                         ("aging_limit".into(), Json::Int(i64::from(aging_limit))),
                     ]),
                 ),
-                (
-                    "latency".into(),
-                    Json::Obj(vec![
-                        (
-                            "total_ns".into(),
-                            Json::Int(self.latency_ns_total.load(Ordering::Relaxed) as i64),
-                        ),
-                        (
-                            "max_ns".into(),
-                            Json::Int(self.latency_ns_max.load(Ordering::Relaxed) as i64),
-                        ),
-                        ("hit".into(), self.lat_hit.json()),
-                        ("computed".into(), self.lat_computed.json()),
-                        ("error".into(), self.lat_error.json()),
-                    ]),
-                ),
+                ("latency".into(), self.latency.json()),
                 {
-                    let timeline = self.events.snapshot();
+                    let (recorded, dropped) = self.events.stats();
                     (
                         "timeline".into(),
                         Json::Obj(vec![
-                            ("recorded".into(), Json::Int(timeline.recorded as i64)),
-                            ("dropped".into(), Json::Int(timeline.dropped as i64)),
-                            ("window".into(), Json::Int(timeline.window as i64)),
+                            ("recorded".into(), Json::Int(recorded as i64)),
+                            ("dropped".into(), Json::Int(dropped as i64)),
+                            ("window".into(), Json::Int(self.events.capacity() as i64)),
+                        ]),
+                    )
+                },
+                {
+                    // Always present, zeros with tracing off: the
+                    // scrape surface is identical either way.
+                    let (recorded, dropped, window) = match &self.spans {
+                        Some(log) => {
+                            let (recorded, dropped) = log.stats();
+                            (recorded, dropped, log.capacity() as u64)
+                        }
+                        None => (0, 0, 0),
+                    };
+                    (
+                        "trace".into(),
+                        Json::Obj(vec![
+                            ("recorded".into(), Json::Int(recorded as i64)),
+                            ("dropped".into(), Json::Int(dropped as i64)),
+                            ("window".into(), Json::Int(window as i64)),
                         ]),
                     )
                 },
@@ -400,6 +476,8 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     accept: JoinHandle<()>,
     executors: Vec<JoinHandle<()>>,
+    /// The breaker-recovery prober — spawned only with a fleet.
+    prober: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -436,6 +514,8 @@ impl Server {
         let shared = Arc::new(Shared {
             engine: Engine::builder().threads(config.threads).build(),
             store,
+            self_addr: addr.to_string(),
+            spans: config.trace.then(|| SpanLog::new(DEFAULT_SPAN_CAPACITY)),
             fleet,
             queue: Mutex::new(JobQueue::new(config.aging_limit)),
             cv: Condvar::new(),
@@ -455,6 +535,7 @@ impl Server {
             n_lookup: AtomicU64::new(0),
             n_fetch: AtomicU64::new(0),
             n_ping: AtomicU64::new(0),
+            n_trace: AtomicU64::new(0),
             n_errors: AtomicU64::new(0),
             torn_lines: AtomicU64::new(0),
             h_autolb: AtomicU64::new(0),
@@ -462,11 +543,7 @@ impl Server {
             h_iterate: AtomicU64::new(0),
             h_sweep: AtomicU64::new(0),
             h_zeroround: AtomicU64::new(0),
-            latency_ns_total: AtomicU64::new(0),
-            latency_ns_max: AtomicU64::new(0),
-            lat_hit: Lane::new(),
-            lat_computed: Lane::new(),
-            lat_error: Lane::new(),
+            latency: LatencyGrid::new(),
             events: EventLog::new(DEFAULT_EVENT_CAPACITY),
         });
 
@@ -480,7 +557,27 @@ impl Server {
             let shared = Arc::clone(&shared);
             std::thread::spawn(move || accept_loop(&listener, &shared))
         };
-        Ok(ServerHandle { addr, shared, accept, executors })
+        // A fleet gets a background prober: Open breakers are re-dialed
+        // from here once their cooldown elapses, so recovery never rides
+        // on (or delays) a live request — see `Fleet::probe_open_breakers`.
+        let prober = shared.fleet.is_some().then(|| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || prober_loop(&shared))
+        });
+        Ok(ServerHandle { addr, shared, accept, executors, prober })
+    }
+}
+
+/// How often the background prober wakes to scan for Open breakers due
+/// a recovery dial (the dial itself is gated by the breaker cooldown).
+const PROBE_INTERVAL_MS: u64 = 100;
+
+fn prober_loop(shared: &Arc<Shared>) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        if let Some(fleet) = &shared.fleet {
+            fleet.probe_open_breakers();
+        }
+        std::thread::sleep(std::time::Duration::from_millis(PROBE_INTERVAL_MS));
     }
 }
 
@@ -515,6 +612,9 @@ impl ServerHandle {
         let _ = self.accept.join();
         for executor in self.executors {
             let _ = executor.join();
+        }
+        if let Some(prober) = self.prober {
+            let _ = prober.join();
         }
         // Give in-flight connection threads a bounded window to finish
         // writing their final responses (they are detached; without this
@@ -560,6 +660,27 @@ fn executor_loop(shared: &Arc<Shared>) {
                 shared.events.record(EventKind::Promote, &job.digest, job.op.name(), class);
             }
             shared.events.record(EventKind::Start, &job.digest, job.op.name(), class);
+            // Traced only when the owning request carried a context
+            // *and* this daemon records spans; `None` otherwise — the
+            // untraced path pays these branches and nothing else.
+            let traced = match (&job.trace, &shared.spans) {
+                (Some(jt), Some(log)) => Some((jt, log)),
+                _ => None,
+            };
+            if let Some((jt, log)) = traced {
+                let now = log.now_ns();
+                log.record(Span {
+                    trace_id: jt.trace_id,
+                    span_id: log.next_span_id(),
+                    parent: Some(jt.parent),
+                    name: "queue-wait".to_owned(),
+                    start_ns: jt.enqueued_ns,
+                    dur_ns: now.saturating_sub(jt.enqueued_ns),
+                    attrs: vec![("class".to_owned(), class.as_str().to_owned())],
+                });
+            }
+            let report_before = traced.map(|_| shared.engine.report());
+            let compute_start = traced.map(|(_, log)| log.now_ns());
             // A panicking op must never kill this thread with the job's
             // in-flight entry still claimed: coalesced waiters would
             // block forever on their receivers and every future
@@ -576,9 +697,47 @@ fn executor_loop(shared: &Arc<Shared>) {
                 Ok(r) => r.map_err(|e| e.to_string()),
                 Err(payload) => Err(format!("job panicked: {}", panic_message(&payload))),
             };
+            if let Some((jt, log)) = traced {
+                // Engine counter deltas ride on the compute span. With
+                // a shared engine concurrent jobs can bleed into each
+                // other's deltas — attribution, not exact accounting.
+                let mut attrs = vec![("ok".to_owned(), result.is_ok().to_string())];
+                if let Some(before) = &report_before {
+                    for (k, v) in shared.engine.report().delta_pairs(before) {
+                        if v != 0 {
+                            attrs.push((k.to_owned(), v.to_string()));
+                        }
+                    }
+                }
+                let start = compute_start.unwrap_or(0);
+                let now = log.now_ns();
+                log.record(Span {
+                    trace_id: jt.trace_id,
+                    span_id: log.next_span_id(),
+                    parent: Some(jt.parent),
+                    name: "compute".to_owned(),
+                    start_ns: start,
+                    dur_ns: now.saturating_sub(start),
+                    attrs,
+                });
+            }
             if let Ok(result_text) = &result {
+                let write_start = traced.map(|(_, log)| log.now_ns());
                 if let Err(e) = shared.store.put(&job.digest, &job.key, result_text) {
                     eprintln!("relim-service: store write failed for {}: {e}", job.digest);
+                }
+                if let Some((jt, log)) = traced {
+                    let start = write_start.unwrap_or(0);
+                    let now = log.now_ns();
+                    log.record(Span {
+                        trace_id: jt.trace_id,
+                        span_id: log.next_span_id(),
+                        parent: Some(jt.parent),
+                        name: "store-write".to_owned(),
+                        start_ns: start,
+                        dur_ns: now.saturating_sub(start),
+                        attrs: vec![("bytes".to_owned(), result_text.len().to_string())],
+                    });
                 }
             }
             // Store first, complete second: a request that misses the
@@ -680,9 +839,113 @@ fn serve_connection_inner(stream: TcpStream, shared: &Arc<Shared>, addr: SocketA
     }
 }
 
+/// Records the spans of one traced job request. Constructed only when
+/// the daemon records spans *and* the request carried a trace context;
+/// every recording site on the untraced path is one `Option` branch.
+///
+/// The root `request` span is recorded last (at [`RequestTracer::finish`],
+/// with the outcome attached); child spans reference its pre-allocated
+/// id, so the tree is well-formed regardless of recording order.
+struct RequestTracer<'a> {
+    log: &'a SpanLog,
+    trace_id: u64,
+    /// The parent from the wire — the requester's span, on traced
+    /// cross-daemon hops. `None` at a fresh ingress.
+    wire_parent: Option<u64>,
+    root_id: u64,
+    root_start_ns: u64,
+    op: &'static str,
+}
+
+impl<'a> RequestTracer<'a> {
+    /// Allocates the root span and records the `parse` child covering
+    /// `parse_start_ns`..now (the request line was parsed just before
+    /// this tracer could exist).
+    fn begin(
+        log: &'a SpanLog,
+        ctx: &TraceContext,
+        op: &'static str,
+        parse_start_ns: u64,
+    ) -> RequestTracer<'a> {
+        let root_id = log.next_span_id();
+        let parse_id = log.next_span_id();
+        let now = log.now_ns();
+        log.record(Span {
+            trace_id: ctx.trace_id,
+            span_id: parse_id,
+            parent: Some(root_id),
+            name: "parse".to_owned(),
+            start_ns: parse_start_ns,
+            dur_ns: now.saturating_sub(parse_start_ns),
+            attrs: Vec::new(),
+        });
+        RequestTracer {
+            log,
+            trace_id: ctx.trace_id,
+            wire_parent: ctx.parent,
+            root_id,
+            root_start_ns: parse_start_ns,
+            op,
+        }
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.log.now_ns()
+    }
+
+    /// Records a child of the root span, `start_ns`..now.
+    fn child(&self, name: &str, start_ns: u64, attrs: Vec<(String, String)>) {
+        let span_id = self.log.next_span_id();
+        let now = self.log.now_ns();
+        self.log.record(Span {
+            trace_id: self.trace_id,
+            span_id,
+            parent: Some(self.root_id),
+            name: name.to_owned(),
+            start_ns,
+            dur_ns: now.saturating_sub(start_ns),
+            attrs,
+        });
+    }
+
+    /// The context peer fetches run under: their spans parent onto this
+    /// request's root (see [`crate::fleet`]).
+    fn fetch_trace(&self) -> FetchTrace<'a> {
+        FetchTrace { log: self.log, trace_id: self.trace_id, parent: self.root_id }
+    }
+
+    /// Records the root `request` span with the outcome attached.
+    fn finish(self, outcome: Outcome) {
+        let now = self.log.now_ns();
+        self.log.record(Span {
+            trace_id: self.trace_id,
+            span_id: self.root_id,
+            parent: self.wire_parent,
+            name: "request".to_owned(),
+            start_ns: self.root_start_ns,
+            dur_ns: now.saturating_sub(self.root_start_ns),
+            attrs: vec![
+                ("op".to_owned(), self.op.to_owned()),
+                ("outcome".to_owned(), outcome.as_str().to_owned()),
+            ],
+        });
+    }
+}
+
+/// [`RequestTracer::finish`] through an `Option` — the exit sites of
+/// the job path call this on every return.
+fn finish_trace(tracer: Option<RequestTracer<'_>>, outcome: Outcome) {
+    if let Some(tracer) = tracer {
+        tracer.finish(outcome);
+    }
+}
+
 /// Handles one request line; returns the response line and whether a
 /// graceful shutdown must be triggered *after* the response is sent.
 fn handle_line(line: &str, shared: &Arc<Shared>) -> (String, bool) {
+    // Span-log timestamp of the parse start; `None` with tracing off
+    // (whether the *request* is traced is only known after parsing).
+    let parse_start = shared.spans.as_ref().map(SpanLog::now_ns);
     let request = match protocol::parse_request(line) {
         Ok(r) => r,
         Err(e) => {
@@ -720,7 +983,7 @@ fn handle_line(line: &str, shared: &Arc<Shared>) -> (String, bool) {
                 }
             }
         }
-        RequestBody::Fetch { digest } => {
+        RequestBody::Fetch { digest, trace } => {
             shared.n_fetch.fetch_add(1, Ordering::Relaxed);
             // A read-only peer read: never counted as store traffic
             // (the hits+misses↔submits reconciliation stays intact on
@@ -730,32 +993,88 @@ fn handle_line(line: &str, shared: &Arc<Shared>) -> (String, bool) {
                 .store
                 .lookup_digest(&digest)
                 .filter(|(key, _)| crate::store::digest_of(key) == digest);
+            if let (Some(log), Some(ctx)) = (&shared.spans, &trace) {
+                // The serving half of a traced cross-daemon fetch: its
+                // parent is the requester's peer-fetch attempt span, so
+                // the merged tree hangs this daemon's work under it.
+                let now = log.now_ns();
+                let start = parse_start.unwrap_or(now);
+                log.record(Span {
+                    trace_id: ctx.trace_id,
+                    span_id: log.next_span_id(),
+                    parent: ctx.parent,
+                    name: "fetch-serve".to_owned(),
+                    start_ns: start,
+                    dur_ns: now.saturating_sub(start),
+                    attrs: vec![("found".to_owned(), entry.is_some().to_string())],
+                });
+            }
             let entry = entry.as_ref().map(|(key, result)| (key.as_str(), result.as_str()));
             (protocol::render_fetch_response(id, &digest, entry), false)
         }
         RequestBody::Ping => {
             shared.n_ping.fetch_add(1, Ordering::Relaxed);
-            let uptime_ms = shared.started.elapsed().as_millis() as u64;
-            let entries = shared.store.stats().mem_entries as u64;
-            (protocol::render_ping_response(id, uptime_ms, entries), false)
+            let timeline_dropped = shared.events.stats().1;
+            let (span_window, span_dropped) = match &shared.spans {
+                Some(log) => (log.capacity() as u64, log.stats().1),
+                None => (0, 0),
+            };
+            let info = PingInfo {
+                uptime_ms: shared.started.elapsed().as_millis() as u64,
+                store_entries: shared.store.stats().mem_entries as u64,
+                timeline_window: shared.events.capacity() as u64,
+                timeline_dropped,
+                span_window,
+                span_dropped,
+            };
+            (protocol::render_ping_response(id, &info), false)
+        }
+        RequestBody::Trace { trace_id } => {
+            shared.n_trace.fetch_add(1, Ordering::Relaxed);
+            let snapshot = match &shared.spans {
+                Some(log) => log.snapshot(trace_id),
+                None => TraceSnapshot::disabled(),
+            };
+            (protocol::render_trace_response(id, snapshot.to_json(&shared.self_addr)), false)
         }
         RequestBody::Shutdown => (protocol::render_shutdown_response(id), true),
-        RequestBody::Job { op, class } => {
+        RequestBody::Job { op, class, trace } => {
             let start = Instant::now();
             let elapsed = move || start.elapsed().as_nanos() as u64;
             shared.count_op(&op);
+            let lane = op_lane_index(&op);
+            // Traced only when the daemon records spans *and* the
+            // request carried a context — `None` (one branch per site)
+            // otherwise.
+            let tracer = match (&shared.spans, &trace) {
+                (Some(log), Some(ctx)) => {
+                    Some(RequestTracer::begin(log, ctx, op.name(), parse_start.unwrap_or(0)))
+                }
+                _ => None,
+            };
             let key = match op.canonical_key() {
                 Ok(key) => key,
                 Err(e) => {
                     shared.n_errors.fetch_add(1, Ordering::Relaxed);
-                    shared.record_latency(Outcome::Error, elapsed());
+                    shared.record_latency(lane, Outcome::Error, elapsed());
+                    finish_trace(tracer, Outcome::Error);
                     return (protocol::render_error_response(id, &e.to_string()), false);
                 }
             };
             let digest = crate::store::digest_of(&key);
-            if let Some(result) = shared.store.get(&digest, &key) {
+            let read_start = tracer.as_ref().map(RequestTracer::now_ns);
+            let cached = shared.store.get(&digest, &key);
+            if let (Some(t), Some(start_ns)) = (&tracer, read_start) {
+                t.child(
+                    "store-read",
+                    start_ns,
+                    vec![("hit".to_owned(), cached.is_some().to_string())],
+                );
+            }
+            if let Some(result) = cached {
                 shared.count_store_hit(&op);
-                shared.record_latency(Outcome::Hit, elapsed());
+                shared.record_latency(lane, Outcome::Hit, elapsed());
+                finish_trace(tracer, Outcome::Hit);
                 return (protocol::render_job_response(id, true, &digest, &result), false);
             }
             // Cold: claim the in-flight slot. The first identical request
@@ -773,7 +1092,9 @@ fn handle_line(line: &str, shared: &Arc<Shared>) -> (String, bool) {
                     // queue — same bytes either way, by the canonical
                     // determinism of every op.
                     if let Some(fleet) = &shared.fleet {
-                        if let FetchOutcome::Hit(result) = fleet.read_through(&digest, &key) {
+                        let fetch_trace = tracer.as_ref().map(RequestTracer::fetch_trace);
+                        let outcome = fleet.read_through(&digest, &key, fetch_trace.as_ref());
+                        if let FetchOutcome::Hit(result) = outcome {
                             if let Err(e) = shared.store.put(&digest, &key, &result) {
                                 eprintln!(
                                     "relim-service: store write-through failed for {digest}: {e}"
@@ -784,7 +1105,8 @@ fn handle_line(line: &str, shared: &Arc<Shared>) -> (String, bool) {
                             // hits the store instead.
                             shared.store.complete(&key, &Ok(result.clone()));
                             shared.count_store_hit(&op);
-                            shared.record_latency(Outcome::Hit, elapsed());
+                            shared.record_latency(lane, Outcome::Hit, elapsed());
+                            finish_trace(tracer, Outcome::Hit);
                             return (
                                 protocol::render_job_response(id, true, &digest, &result),
                                 false,
@@ -792,33 +1114,48 @@ fn handle_line(line: &str, shared: &Arc<Shared>) -> (String, bool) {
                         }
                     }
                     let (tx, rx) = mpsc::channel();
-                    let job = Job { op, digest: digest.clone(), key: key.clone(), reply: tx };
+                    let job = Job {
+                        op,
+                        digest: digest.clone(),
+                        key: key.clone(),
+                        reply: tx,
+                        trace: tracer.as_ref().map(|t| JobTrace {
+                            trace_id: t.trace_id,
+                            parent: t.root_id,
+                            enqueued_ns: t.now_ns(),
+                        }),
+                    };
                     if let Err(e) = enqueue(shared, class, job) {
                         // Unblock any waiter that already attached.
                         shared.store.complete(&key, &Err(e.clone()));
                         shared.n_errors.fetch_add(1, Ordering::Relaxed);
-                        shared.record_latency(Outcome::Error, elapsed());
+                        shared.record_latency(lane, Outcome::Error, elapsed());
+                        finish_trace(tracer, Outcome::Error);
                         return (protocol::render_error_response(id, &e), false);
                     }
                     rx
                 }
             };
-            let response = match rx.recv() {
+            let (response, outcome) = match rx.recv() {
                 Ok(Ok(result)) => {
-                    shared.record_latency(Outcome::Computed, elapsed());
-                    protocol::render_job_response(id, false, &digest, &result)
+                    shared.record_latency(lane, Outcome::Computed, elapsed());
+                    (protocol::render_job_response(id, false, &digest, &result), Outcome::Computed)
                 }
                 Ok(Err(e)) => {
                     shared.n_errors.fetch_add(1, Ordering::Relaxed);
-                    shared.record_latency(Outcome::Error, elapsed());
-                    protocol::render_error_response(id, &e)
+                    shared.record_latency(lane, Outcome::Error, elapsed());
+                    (protocol::render_error_response(id, &e), Outcome::Error)
                 }
                 Err(_) => {
                     shared.n_errors.fetch_add(1, Ordering::Relaxed);
-                    shared.record_latency(Outcome::Error, elapsed());
-                    protocol::render_error_response(id, "executor exited before the job ran")
+                    shared.record_latency(lane, Outcome::Error, elapsed());
+                    (
+                        protocol::render_error_response(id, "executor exited before the job ran"),
+                        Outcome::Error,
+                    )
                 }
             };
+            finish_trace(tracer, outcome);
             (response, false)
         }
     }
@@ -932,8 +1269,12 @@ mod tests {
         let counters = handle.counters();
         let errors = counters.get("errors").and_then(Json::as_i64).unwrap();
         assert_eq!(errors, 3, "owner + two waiters");
-        let error_lane = counters.get("latency").and_then(|l| l.get("error")).unwrap();
-        assert_eq!(error_lane.get("count").and_then(Json::as_i64), Some(3));
+        let error_cell = counters
+            .get("latency")
+            .and_then(|l| l.get("zero_round"))
+            .and_then(|l| l.get("error"))
+            .unwrap();
+        assert_eq!(error_cell.get("count").and_then(Json::as_i64), Some(3));
         client.shutdown().unwrap();
         handle.join();
     }
@@ -953,14 +1294,29 @@ mod tests {
         // one from each family, including the new lanes.
         for name in [
             "relim_ops_zero_round",
+            "relim_ops_trace 0",
             "relim_store_hits_zero_round",
-            "relim_latency_computed_count",
+            "relim_latency_zero_round_computed_count 1",
             "relim_queue_pending",
             "relim_engine_cache_entries",
             "relim_timeline_recorded",
+            "relim_timeline_dropped 0",
+            "relim_trace_window 0",
         ] {
             assert!(text.contains(name), "missing {name} in:\n{text}");
         }
+        // The latency grid derives a real Prometheus histogram family.
+        assert!(text.contains("# TYPE relim_request_latency_ns histogram"), "{text}");
+        assert!(
+            text.contains(
+                "relim_request_latency_ns_count{op=\"zero_round\",outcome=\"computed\"} 1"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains("relim_request_latency_ns_bucket{op=\"zero_round\",outcome=\"computed\",le=\"+Inf\"} 1"),
+            "{text}"
+        );
 
         let (timeline, gantt) = client.timeline().unwrap();
         let Some(Json::Arr(events)) = timeline.get("events") else { panic!("events array") };
@@ -988,6 +1344,71 @@ mod tests {
         assert!(err.get("error").and_then(Json::as_str).unwrap().contains("delta"));
         client.shutdown().unwrap();
         handle.join();
+    }
+
+    #[test]
+    fn traced_requests_record_spans_and_trace_off_daemons_stay_silent() {
+        let config = ServerConfig { trace: true, ..ServerConfig::default() };
+        let handle = Server::spawn("127.0.0.1:0", config).unwrap();
+        let client = Client::new(handle.local_addr().to_string());
+        let op = OpRequest::zero_round("M M M;P O O", "M [P O];O O").unwrap();
+        let ctx = TraceContext { trace_id: 0xabc, parent: None };
+
+        let computed = client.submit_traced(&op, None, Some(&ctx)).unwrap();
+        assert!(!computed.cached);
+        let hit = client.submit_traced(&op, None, Some(&ctx)).unwrap();
+        assert!(hit.cached);
+        assert_eq!(computed.result, hit.result, "tracing never changes served bytes");
+        // An untraced submit on a tracing daemon records nothing.
+        let before = client.trace_dump(None).unwrap().spans.len();
+        client.submit(&op, None).unwrap();
+        assert_eq!(client.trace_dump(None).unwrap().spans.len(), before);
+
+        let dump = client.trace_dump(Some(0xabc)).unwrap();
+        assert_eq!(dump.daemon, handle.local_addr().to_string());
+        assert_eq!(dump.window, DEFAULT_SPAN_CAPACITY as u64);
+        let names: Vec<&str> = dump.spans.iter().map(|s| s.name.as_str()).collect();
+        for name in ["request", "parse", "store-read", "queue-wait", "compute", "store-write"] {
+            assert!(names.contains(&name), "missing {name} span in {names:?}");
+        }
+        assert!(dump.spans.iter().all(|s| s.trace_id == 0xabc));
+        let roots: Vec<&Span> = dump.spans.iter().filter(|s| s.parent.is_none()).collect();
+        assert_eq!(roots.len(), 2, "one root per traced request");
+        assert!(roots.iter().all(|s| s.name == "request"));
+        let outcomes: Vec<&str> = dump
+            .spans
+            .iter()
+            .filter(|s| s.name == "request")
+            .flat_map(|s| &s.attrs)
+            .filter(|(k, _)| k == "outcome")
+            .map(|(_, v)| v.as_str())
+            .collect();
+        assert_eq!(outcomes, vec!["computed", "hit"], "dump is in recording order");
+        let compute = dump.spans.iter().find(|s| s.name == "compute").unwrap();
+        assert!(compute.attrs.iter().any(|(k, v)| k == "ok" && v == "true"), "{compute:?}");
+        let reads: Vec<&Span> = dump.spans.iter().filter(|s| s.name == "store-read").collect();
+        assert!(reads[0].attrs.contains(&("hit".to_owned(), "false".to_owned())));
+        assert!(reads[1].attrs.contains(&("hit".to_owned(), "true".to_owned())));
+
+        // Filtering by an unknown trace id yields an empty dump.
+        assert!(client.trace_dump(Some(0x999)).unwrap().spans.is_empty());
+        // Ping advertises the span window so merges can flag gaps.
+        let info = client.ping_info().unwrap();
+        assert_eq!(info.span_window, DEFAULT_SPAN_CAPACITY as u64);
+        assert_eq!(info.span_dropped, 0);
+        client.shutdown().unwrap();
+        handle.join();
+
+        // With tracing off (the default config) the trace op serves the
+        // zero-window placeholder and records nothing.
+        let off = Server::spawn("127.0.0.1:0", ServerConfig::default()).unwrap();
+        let client = Client::new(off.local_addr().to_string());
+        client.submit_traced(&op, None, Some(&ctx)).unwrap();
+        let dump = client.trace_dump(None).unwrap();
+        assert_eq!((dump.window, dump.recorded, dump.spans.len()), (0, 0, 0));
+        assert_eq!(client.ping_info().unwrap().span_window, 0);
+        client.shutdown().unwrap();
+        off.join();
     }
 
     #[test]

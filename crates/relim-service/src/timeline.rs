@@ -116,6 +116,13 @@ impl EventLog {
         self.capacity
     }
 
+    /// `(recorded, dropped)` totals without copying the window — cheap
+    /// enough for a ping response (see [`crate::protocol::PingInfo`]).
+    pub fn stats(&self) -> (u64, u64) {
+        let inner = self.inner.lock().expect("event log lock poisoned");
+        (inner.next_seq, inner.dropped)
+    }
+
     /// Appends one event, dropping (and counting) the oldest beyond the
     /// window.
     pub fn record(&self, kind: EventKind, digest: &str, op: &'static str, class: Class) {
@@ -259,6 +266,7 @@ mod tests {
         }
         let snap = log.snapshot();
         assert_eq!((snap.recorded, snap.dropped, snap.events.len()), (5, 2, 3));
+        assert_eq!(log.stats(), (5, 2), "stats() agrees with the snapshot");
         assert_eq!(snap.events[0].seq, 2, "oldest retained event keeps its stream position");
         assert_eq!(snap.window, 3);
     }

@@ -1,0 +1,794 @@
+//! Request-scoped distributed tracing across the fleet.
+//!
+//! A **trace context** — a `trace_id` plus the parent span id, both
+//! 64-bit values spelled as 16-digit lowercase hex on the wire — is
+//! minted at daemon ingress for every job request when tracing is
+//! enabled (`relim serve --trace`), or adopted from the request's
+//! optional `trace_id`/`parent_span` fields when a client (or an
+//! upstream daemon) supplied one. The context is **propagated** on the
+//! wire by the fleet's `fetch` calls, so one trace id follows a request
+//! across daemons: the requester's per-attempt `peer-fetch` span is the
+//! parent of the owner's `fetch-serve` span.
+//!
+//! Each daemon records its spans into a bounded, thread-safe
+//! [`SpanLog`] modeled on [`crate::timeline::EventLog`]: a fixed
+//! capacity window, the oldest spans dropped **and counted** beyond it,
+//! so a long-lived daemon pays a fixed memory cost. Spans carry a name,
+//! a start offset and duration in nanoseconds **on the recording
+//! daemon's own monotonic clock**, and a flat list of string
+//! attributes (retry numbers, breaker state, engine counter deltas).
+//!
+//! ## Clock model
+//!
+//! There is deliberately no cross-host clock: `start_ns` is an offset
+//! from the recording daemon's `SpanLog` epoch and is meaningful only
+//! relative to other spans of the *same* daemon. Cross-daemon structure
+//! comes exclusively from the propagated ids (`trace_id` + parent span
+//! links), never from comparing timestamps between hosts — the merged
+//! renderings group and indent by parentage and label every span with
+//! its daemon.
+//!
+//! ## Renderings
+//!
+//! A set of per-daemon dumps ([`TraceDump`], the payload of the
+//! `{"op": "trace"}` protocol op) merges into a cross-daemon tree
+//! ([`render_tree`]) — straight-line chains contracted onto one line,
+//! the same readability idea `relim viz` applies to derivation DAGs —
+//! or into Chrome trace-event JSON ([`render_chrome`], `"ph":"X"`
+//! complete events, one process per daemon) loadable in Perfetto or
+//! `chrome://tracing`.
+
+use relim_json::Json;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// The schema tag of the trace-dump JSON rendering.
+pub const TRACE_SCHEMA: &str = "relim-trace/1";
+
+/// The span window the server keeps by default.
+pub const DEFAULT_SPAN_CAPACITY: usize = 4096;
+
+/// A trace id or span id as its wire spelling: 16 lowercase hex digits.
+pub fn render_id(id: u64) -> String {
+    format!("{id:016x}")
+}
+
+/// Parses a wire id: 1–16 hex digits (case-insensitive). `None` for
+/// anything else — a malformed id is a protocol error, never a guess.
+pub fn parse_id(text: &str) -> Option<u64> {
+    if text.is_empty() || text.len() > 16 || !text.chars().all(|c| c.is_ascii_hexdigit()) {
+        return None;
+    }
+    u64::from_str_radix(text, 16).ok()
+}
+
+/// Mints a fresh trace id: wall-clock nanoseconds mixed with a
+/// process-wide counter through splitmix64, so concurrent mints in one
+/// process and mints across fleet members are distinct in practice.
+/// Never zero (zero is reserved as "no id" in renderings).
+pub fn mint_trace_id() -> u64 {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let seed = nanos
+        .wrapping_add(COUNTER.fetch_add(1, Ordering::Relaxed).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .wrapping_add(u64::from(std::process::id()));
+    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    z.max(1)
+}
+
+/// The propagated wire context: which trace a request belongs to and
+/// which remote span caused it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// The trace this request belongs to.
+    pub trace_id: u64,
+    /// The causing span on the sending side, when there is one.
+    pub parent: Option<u64>,
+}
+
+/// One recorded span: a named interval on the recording daemon's
+/// monotonic clock, linked into its trace by `trace_id` and `parent`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// The trace this span belongs to.
+    pub trace_id: u64,
+    /// This span's own id. Minted from a per-daemon counter seeded at a
+    /// random base, so ids are unique across the fleet with overwhelming
+    /// probability — cross-daemon parent links resolve by bare span id.
+    pub span_id: u64,
+    /// The causing span (possibly on another daemon), if any.
+    pub parent: Option<u64>,
+    /// What the span covers (`request`, `parse`, `queue-wait`,
+    /// `compute`, `store-read`, `store-write`, `peer-fetch`,
+    /// `fetch-serve`).
+    pub name: String,
+    /// Nanoseconds since the recording daemon's span-log epoch. Only
+    /// comparable to other spans of the same daemon.
+    pub start_ns: u64,
+    /// The span's duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Flat string attributes (attempt numbers, breaker state, engine
+    /// counter deltas, outcomes).
+    pub attrs: Vec<(String, String)>,
+}
+
+struct LogInner {
+    spans: VecDeque<Span>,
+    recorded: u64,
+    dropped: u64,
+}
+
+/// A bounded, thread-safe span log (see the module docs). The daemon
+/// owns one of these only when tracing is enabled — every recording
+/// site is one branch on that `Option`, so the tracing-off path costs
+/// nothing.
+pub struct SpanLog {
+    epoch: Instant,
+    capacity: usize,
+    next_id: AtomicU64,
+    inner: Mutex<LogInner>,
+}
+
+impl SpanLog {
+    /// An empty log retaining up to `capacity` spans (at least 1).
+    pub fn new(capacity: usize) -> SpanLog {
+        SpanLog {
+            epoch: Instant::now(),
+            capacity: capacity.max(1),
+            // Seed at a random base: parent links cross daemons as bare
+            // span ids, so two daemons both counting from 1 would alias
+            // unrelated spans (and can even weave a parent cycle).
+            next_id: AtomicU64::new(mint_trace_id()),
+            inner: Mutex::new(LogInner { spans: VecDeque::new(), recorded: 0, dropped: 0 }),
+        }
+    }
+
+    /// The window size.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Nanoseconds since the log's epoch — the clock every span of this
+    /// daemon is stamped on.
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Allocates a fresh span id (never zero, monotone per daemon,
+    /// fleet-unique whp thanks to the random base).
+    pub fn next_span_id(&self) -> u64 {
+        loop {
+            let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+            if id != 0 {
+                return id;
+            }
+        }
+    }
+
+    /// Appends one span, dropping (and counting) the oldest beyond the
+    /// window.
+    pub fn record(&self, span: Span) {
+        let mut inner = self.inner.lock().expect("span log lock poisoned");
+        inner.recorded += 1;
+        if inner.spans.len() >= self.capacity {
+            inner.spans.pop_front();
+            inner.dropped += 1;
+        }
+        inner.spans.push_back(span);
+    }
+
+    /// `(recorded, dropped)` without copying the window — the cheap
+    /// reading `status`, `ping` and the scrape surface use.
+    pub fn stats(&self) -> (u64, u64) {
+        let inner = self.inner.lock().expect("span log lock poisoned");
+        (inner.recorded, inner.dropped)
+    }
+
+    /// A consistent copy of the current window, optionally filtered to
+    /// one trace id.
+    pub fn snapshot(&self, trace_id: Option<u64>) -> TraceSnapshot {
+        let inner = self.inner.lock().expect("span log lock poisoned");
+        let spans = inner
+            .spans
+            .iter()
+            .filter(|s| trace_id.is_none_or(|t| s.trace_id == t))
+            .cloned()
+            .collect();
+        TraceSnapshot {
+            window: self.capacity,
+            recorded: inner.recorded,
+            dropped: inner.dropped,
+            spans,
+        }
+    }
+}
+
+impl std::fmt::Debug for SpanLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanLog").field("capacity", &self.capacity).finish_non_exhaustive()
+    }
+}
+
+/// The recording hook the fleet layer threads through a peer fetch so
+/// each attempt becomes a span and the outgoing wire request carries
+/// the propagated context.
+pub struct FetchTrace<'log> {
+    /// The requester daemon's span log.
+    pub log: &'log SpanLog,
+    /// The trace the triggering request belongs to.
+    pub trace_id: u64,
+    /// The requester-side parent (the request's root span).
+    pub parent: u64,
+}
+
+/// A point-in-time copy of a span window (the server side of a trace
+/// dump).
+#[derive(Debug, Clone)]
+pub struct TraceSnapshot {
+    /// The window size the log was configured with (0 only in the
+    /// tracing-disabled placeholder, see [`TraceSnapshot::disabled`]).
+    pub window: usize,
+    /// Spans ever recorded (including dropped ones).
+    pub recorded: u64,
+    /// Spans dropped out of the window.
+    pub dropped: u64,
+    /// The retained (and possibly trace-filtered) spans, oldest first.
+    pub spans: Vec<Span>,
+}
+
+impl TraceSnapshot {
+    /// The dump a daemon with tracing disabled serves: window 0, no
+    /// spans — `relim trace` reads the zero window as "this daemon
+    /// records nothing", distinct from "recorded nothing yet".
+    pub fn disabled() -> TraceSnapshot {
+        TraceSnapshot { window: 0, recorded: 0, dropped: 0, spans: Vec::new() }
+    }
+
+    /// The JSON rendering (schema [`TRACE_SCHEMA`]); `daemon` is the
+    /// serving daemon's address, so merged dumps stay attributable.
+    pub fn to_json(&self, daemon: &str) -> Json {
+        let spans: Vec<Json> = self.spans.iter().map(span_to_json).collect();
+        Json::Obj(vec![
+            ("schema".into(), Json::str(TRACE_SCHEMA)),
+            ("daemon".into(), Json::str(daemon)),
+            ("window".into(), Json::Int(self.window as i64)),
+            ("recorded".into(), Json::Int(self.recorded as i64)),
+            ("dropped".into(), Json::Int(self.dropped as i64)),
+            ("spans".into(), Json::Arr(spans)),
+        ])
+    }
+}
+
+fn span_to_json(span: &Span) -> Json {
+    let mut fields = vec![
+        ("trace_id".to_owned(), Json::str(render_id(span.trace_id))),
+        ("span_id".to_owned(), Json::str(render_id(span.span_id))),
+    ];
+    if let Some(parent) = span.parent {
+        fields.push(("parent".to_owned(), Json::str(render_id(parent))));
+    }
+    fields.push(("name".to_owned(), Json::str(&span.name)));
+    fields.push(("start_ns".to_owned(), Json::Int(span.start_ns as i64)));
+    fields.push(("dur_ns".to_owned(), Json::Int(span.dur_ns as i64)));
+    fields.push((
+        "attrs".to_owned(),
+        Json::Obj(span.attrs.iter().map(|(k, v)| (k.clone(), Json::str(v))).collect()),
+    ));
+    Json::Obj(fields)
+}
+
+fn span_from_json(doc: &Json) -> Result<Span, String> {
+    let id_field = |key: &str| -> Result<u64, String> {
+        doc.get(key)
+            .and_then(Json::as_str)
+            .and_then(parse_id)
+            .ok_or_else(|| format!("span missing hex field `{key}`"))
+    };
+    let int_field = |key: &str| -> Result<u64, String> {
+        doc.get(key)
+            .and_then(Json::as_i64)
+            .map(|v| v.max(0) as u64)
+            .ok_or_else(|| format!("span missing integer field `{key}`"))
+    };
+    let parent = match doc.get("parent") {
+        None => None,
+        Some(v) => Some(
+            v.as_str().and_then(parse_id).ok_or_else(|| "malformed span `parent`".to_owned())?,
+        ),
+    };
+    let attrs = match doc.get("attrs") {
+        Some(Json::Obj(fields)) => fields
+            .iter()
+            .map(|(k, v)| (k.clone(), v.as_str().unwrap_or_default().to_owned()))
+            .collect(),
+        _ => Vec::new(),
+    };
+    Ok(Span {
+        trace_id: id_field("trace_id")?,
+        span_id: id_field("span_id")?,
+        parent,
+        name: doc
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "span missing `name`".to_owned())?
+            .to_owned(),
+        start_ns: int_field("start_ns")?,
+        dur_ns: int_field("dur_ns")?,
+        attrs,
+    })
+}
+
+/// One daemon's parsed trace dump — the client side of the
+/// `{"op": "trace"}` response, ready for cross-daemon merging.
+#[derive(Debug, Clone)]
+pub struct TraceDump {
+    /// The serving daemon's address.
+    pub daemon: String,
+    /// The daemon's span window (0 means tracing is disabled there).
+    pub window: u64,
+    /// Spans ever recorded on that daemon.
+    pub recorded: u64,
+    /// Spans dropped out of that daemon's window — a nonzero value
+    /// means a merged trace may be incomplete.
+    pub dropped: u64,
+    /// The dumped spans.
+    pub spans: Vec<Span>,
+}
+
+impl TraceDump {
+    /// Parses the `trace` object of a trace response.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first malformed field.
+    pub fn parse(doc: &Json) -> Result<TraceDump, String> {
+        if doc.get("schema").and_then(Json::as_str) != Some(TRACE_SCHEMA) {
+            return Err(format!("trace dump is not schema {TRACE_SCHEMA}"));
+        }
+        let int = |key: &str| doc.get(key).and_then(Json::as_i64).unwrap_or(0).max(0) as u64;
+        let spans = match doc.get("spans") {
+            Some(Json::Arr(items)) => {
+                items.iter().map(span_from_json).collect::<Result<Vec<_>, _>>()?
+            }
+            _ => return Err("trace dump missing `spans` array".to_owned()),
+        };
+        Ok(TraceDump {
+            daemon: doc
+                .get("daemon")
+                .and_then(Json::as_str)
+                .ok_or_else(|| "trace dump missing `daemon`".to_owned())?
+                .to_owned(),
+            window: int("window"),
+            recorded: int("recorded"),
+            dropped: int("dropped"),
+            spans,
+        })
+    }
+}
+
+/// A span tagged with the index of the dump (daemon) it came from.
+struct Tagged<'d> {
+    daemon: usize,
+    span: &'d Span,
+}
+
+/// The trace ids present across `dumps`, ascending.
+fn trace_ids(dumps: &[TraceDump]) -> Vec<u64> {
+    let mut ids: Vec<u64> = dumps.iter().flat_map(|d| d.spans.iter().map(|s| s.trace_id)).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    ids
+}
+
+/// Renders merged dumps as a cross-daemon text tree: one block per
+/// trace id, spans indented under their parents (parent links may cross
+/// daemons), straight-line chains — a span whose only child continues
+/// the story — contracted onto one line with `->`, the readability idea
+/// `relim viz` applies to derivation chains. Every span is labeled with
+/// its daemon; durations are per-daemon monotonic readings and are
+/// never compared across hosts.
+pub fn render_tree(dumps: &[TraceDump]) -> String {
+    let mut out = String::new();
+    for trace_id in trace_ids(dumps) {
+        let spans: Vec<Tagged<'_>> = dumps
+            .iter()
+            .enumerate()
+            .flat_map(|(daemon, d)| {
+                d.spans
+                    .iter()
+                    .filter(|s| s.trace_id == trace_id)
+                    .map(move |span| Tagged { daemon, span })
+            })
+            .collect();
+        let daemons: std::collections::BTreeSet<usize> = spans.iter().map(|t| t.daemon).collect();
+        out.push_str(&format!(
+            "trace {}: {} span(s) across {} daemon(s)\n",
+            render_id(trace_id),
+            spans.len(),
+            daemons.len()
+        ));
+        // Children by parent span id; roots are spans whose parent is
+        // absent or not in the merged set (e.g. dropped out of a
+        // window).
+        let present: std::collections::BTreeSet<u64> =
+            spans.iter().map(|t| t.span.span_id).collect();
+        let mut order: Vec<usize> = (0..spans.len()).collect();
+        order.sort_by_key(|&i| (spans[i].daemon, spans[i].span.start_ns, spans[i].span.span_id));
+        let children_of = |parent: u64| -> Vec<usize> {
+            order.iter().copied().filter(|&i| spans[i].span.parent == Some(parent)).collect()
+        };
+        let roots: Vec<usize> = order
+            .iter()
+            .copied()
+            .filter(|&i| spans[i].span.parent.is_none_or(|p| !present.contains(&p)))
+            .collect();
+        // The visited set makes rendering total: a malformed dump (e.g.
+        // colliding span ids weaving a parent cycle) prints each span
+        // once instead of recursing forever.
+        let mut visited = vec![false; spans.len()];
+        for root in roots {
+            render_node(&spans, dumps, root, 0, &children_of, &mut visited, &mut out);
+        }
+        // Members of a rootless parent cycle were skipped above; render
+        // them as degraded roots so no recorded span vanishes silently.
+        for &i in &order {
+            if !visited[i] {
+                render_node(&spans, dumps, i, 0, &children_of, &mut visited, &mut out);
+            }
+        }
+    }
+    if out.is_empty() {
+        out.push_str("no spans\n");
+    }
+    out
+}
+
+/// Renders one tree node, contracting single-child chains onto one
+/// line, then recursing into the (multi-)children of the chain's tail.
+/// Skips (and marks) already-visited nodes so id collisions between
+/// daemons can never send the walk into a cycle.
+fn render_node(
+    spans: &[Tagged<'_>],
+    dumps: &[TraceDump],
+    node: usize,
+    depth: usize,
+    children_of: &dyn Fn(u64) -> Vec<usize>,
+    visited: &mut [bool],
+    out: &mut String,
+) {
+    if visited[node] {
+        return;
+    }
+    visited[node] = true;
+    let fresh = |visited: &[bool], ids: Vec<usize>| -> Vec<usize> {
+        ids.into_iter().filter(|&i| !visited[i]).collect()
+    };
+    let mut segments = vec![node];
+    let mut kids = fresh(visited, children_of(spans[node].span.span_id));
+    while kids.len() == 1 {
+        visited[kids[0]] = true;
+        segments.push(kids[0]);
+        kids = fresh(visited, children_of(spans[kids[0]].span.span_id));
+    }
+    let line: Vec<String> = segments
+        .iter()
+        .map(|&i| {
+            let t = &spans[i];
+            let attrs = if t.span.attrs.is_empty() {
+                String::new()
+            } else {
+                let pairs: Vec<String> =
+                    t.span.attrs.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                format!(" {{{}}}", pairs.join(", "))
+            };
+            format!(
+                "{} {} [{}]{attrs}",
+                t.span.name,
+                format_duration(t.span.dur_ns),
+                dumps[t.daemon].daemon
+            )
+        })
+        .collect();
+    out.push_str(&format!("{}{}\n", "  ".repeat(depth + 1), line.join(" -> ")));
+    for kid in kids {
+        render_node(spans, dumps, kid, depth + 1, children_of, visited, out);
+    }
+}
+
+/// A nanosecond duration for eyeballs: `ns`, `us`, `ms` or `s`.
+fn format_duration(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}us", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.3}s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Renders merged dumps as Chrome trace-event JSON (loadable in
+/// Perfetto or `chrome://tracing`): one process per daemon (named via a
+/// `"ph":"M"` `process_name` metadata event), one `"ph":"X"` complete
+/// event per span with microsecond `ts`/`dur` on the daemon's own
+/// clock. The format is built by hand (not via [`Json`]) so the output
+/// is byte-predictable — `"ph":"X"` with no spaces — for machine
+/// consumers and the CI grep.
+pub fn render_chrome(dumps: &[TraceDump]) -> String {
+    let mut events: Vec<String> = Vec::new();
+    for (i, dump) in dumps.iter().enumerate() {
+        let pid = i + 1;
+        events.push(format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+             \"args\":{{\"name\":{}}}}}",
+            escape_json(&dump.daemon)
+        ));
+        for span in &dump.spans {
+            let mut args = vec![
+                format!("\"trace_id\":{}", escape_json(&render_id(span.trace_id))),
+                format!("\"span_id\":{}", escape_json(&render_id(span.span_id))),
+            ];
+            if let Some(parent) = span.parent {
+                args.push(format!("\"parent\":{}", escape_json(&render_id(parent))));
+            }
+            for (k, v) in &span.attrs {
+                args.push(format!("{}:{}", escape_json(k), escape_json(v)));
+            }
+            events.push(format!(
+                "{{\"name\":{},\"cat\":\"relim\",\"ph\":\"X\",\"pid\":{pid},\"tid\":1,\
+                 \"ts\":{:.3},\"dur\":{:.3},\"args\":{{{}}}}}",
+                escape_json(&span.name),
+                span.start_ns as f64 / 1_000.0,
+                span.dur_ns as f64 / 1_000.0,
+                args.join(",")
+            ));
+        }
+    }
+    format!("{{\"traceEvents\":[{}]}}\n", events.join(","))
+}
+
+/// A JSON string literal (quotes included) for the hand-built Chrome
+/// export.
+fn escape_json(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 2);
+    out.push('"');
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(trace: u64, id: u64, parent: Option<u64>, name: &str, start: u64, dur: u64) -> Span {
+        Span {
+            trace_id: trace,
+            span_id: id,
+            parent,
+            name: name.to_owned(),
+            start_ns: start,
+            dur_ns: dur,
+            attrs: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn ids_round_trip_and_reject_garbage() {
+        for id in [1u64, 0xdead_beef, u64::MAX] {
+            assert_eq!(parse_id(&render_id(id)), Some(id));
+        }
+        assert_eq!(render_id(1).len(), 16);
+        for bad in ["", "xyz", "0x12", "-1", "+1", "00000000000000000"] {
+            assert_eq!(parse_id(bad), None, "{bad}");
+        }
+    }
+
+    #[test]
+    fn minted_trace_ids_are_nonzero_and_distinct() {
+        let ids: Vec<u64> = (0..64).map(|_| mint_trace_id()).collect();
+        assert!(ids.iter().all(|&id| id != 0));
+        let mut dedup = ids.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ids.len(), "64 consecutive mints must not collide");
+    }
+
+    #[test]
+    fn window_drops_oldest_and_counts() {
+        let log = SpanLog::new(2);
+        for i in 0..5 {
+            log.record(span(7, i + 1, None, "request", i * 10, 5));
+        }
+        let snap = log.snapshot(None);
+        assert_eq!((snap.recorded, snap.dropped, snap.spans.len()), (5, 3, 2));
+        assert_eq!(log.stats(), (5, 3));
+        assert_eq!(snap.spans[0].span_id, 4, "oldest retained span");
+    }
+
+    #[test]
+    fn snapshot_filters_by_trace_id() {
+        let log = SpanLog::new(16);
+        log.record(span(1, 10, None, "request", 0, 5));
+        log.record(span(2, 11, None, "request", 1, 5));
+        log.record(span(1, 12, Some(10), "parse", 2, 1));
+        let snap = log.snapshot(Some(1));
+        assert_eq!(snap.spans.len(), 2);
+        assert!(snap.spans.iter().all(|s| s.trace_id == 1));
+        assert_eq!(log.snapshot(Some(99)).spans.len(), 0);
+    }
+
+    #[test]
+    fn dump_json_round_trips() {
+        let log = SpanLog::new(8);
+        let mut with_attrs = span(3, 21, Some(20), "peer-fetch", 100, 250);
+        with_attrs.attrs =
+            vec![("attempt".into(), "0".into()), ("breaker".into(), "closed".into())];
+        log.record(span(3, 20, None, "request", 90, 400));
+        log.record(with_attrs.clone());
+        let rendered = log.snapshot(None).to_json("127.0.0.1:7341").render_compact();
+        let dump = TraceDump::parse(&Json::parse(&rendered).unwrap()).unwrap();
+        assert_eq!(dump.daemon, "127.0.0.1:7341");
+        assert_eq!(dump.window, 8);
+        assert_eq!(dump.spans.len(), 2);
+        assert_eq!(dump.spans[1], with_attrs, "spans survive the wire byte-exactly");
+    }
+
+    #[test]
+    fn tree_merges_across_daemons_and_contracts_chains() {
+        // Requester: request -> peer-fetch. Owner: fetch-serve whose
+        // parent is the requester's peer-fetch span.
+        let requester = TraceDump {
+            daemon: "127.0.0.1:7402".into(),
+            window: 16,
+            recorded: 2,
+            dropped: 0,
+            spans: vec![
+                span(5, 1, None, "request", 0, 900),
+                span(5, 2, Some(1), "peer-fetch", 100, 700),
+            ],
+        };
+        let owner = TraceDump {
+            daemon: "127.0.0.1:7401".into(),
+            window: 16,
+            recorded: 1,
+            dropped: 0,
+            spans: vec![span(5, 9, Some(2), "fetch-serve", 5000, 80)],
+        };
+        let tree = render_tree(&[requester, owner]);
+        assert!(tree.contains("trace 0000000000000005: 3 span(s) across 2 daemon(s)"), "{tree}");
+        // The single-child chain contracts: request -> peer-fetch ->
+        // fetch-serve on one line, each segment tagged with its daemon.
+        let chain = tree.lines().nth(1).expect("chain line");
+        assert!(chain.contains("request"), "{tree}");
+        assert!(chain.contains("-> peer-fetch"), "{tree}");
+        assert!(chain.contains("-> fetch-serve"), "{tree}");
+        assert!(chain.contains("[127.0.0.1:7402]") && chain.contains("[127.0.0.1:7401]"), "{tree}");
+    }
+
+    #[test]
+    fn span_ids_are_seeded_randomly_and_never_zero() {
+        let a = SpanLog::new(4);
+        let b = SpanLog::new(4);
+        let (ida, idb) = (a.next_span_id(), b.next_span_id());
+        assert_ne!(ida, 0);
+        assert_ne!(idb, 0);
+        assert_ne!(ida, idb, "two logs must not both count from the same base");
+        assert_eq!(a.next_span_id(), ida.wrapping_add(1), "monotone per daemon");
+    }
+
+    #[test]
+    fn tree_survives_colliding_span_ids_that_form_a_cycle() {
+        // Two daemons that both numbered spans from 1 (the pre-random-
+        // base bug): the requester's root (id 1) collides with the
+        // owner's fetch-serve (id 1), whose subtree loops back into the
+        // requester's peer-fetch (parent 1) — a parent cycle. Rendering
+        // must terminate and print every span exactly once.
+        let requester = TraceDump {
+            daemon: "127.0.0.1:7402".into(),
+            window: 16,
+            recorded: 2,
+            dropped: 0,
+            spans: vec![
+                span(5, 1, None, "request", 0, 900),
+                span(5, 2, Some(1), "peer-fetch", 100, 700),
+            ],
+        };
+        let owner = TraceDump {
+            daemon: "127.0.0.1:7401".into(),
+            window: 16,
+            recorded: 2,
+            dropped: 0,
+            spans: vec![
+                span(5, 1, Some(2), "fetch-serve", 5000, 80),
+                span(5, 3, Some(1), "store-read", 5010, 20),
+            ],
+        };
+        let tree = render_tree(&[requester, owner]);
+        assert!(tree.contains("4 span(s) across 2 daemon(s)"), "{tree}");
+        for name in ["request", "peer-fetch", "fetch-serve", "store-read"] {
+            assert_eq!(tree.matches(name).count(), 1, "{name} once: {tree}");
+        }
+    }
+
+    #[test]
+    fn tree_indents_siblings_under_their_parent() {
+        let dump = TraceDump {
+            daemon: "d".into(),
+            window: 16,
+            recorded: 3,
+            dropped: 0,
+            spans: vec![
+                span(1, 1, None, "request", 0, 100),
+                span(1, 2, Some(1), "parse", 1, 2),
+                span(1, 3, Some(1), "store-read", 5, 10),
+            ],
+        };
+        let tree = render_tree(&[dump]);
+        let lines: Vec<&str> = tree.lines().collect();
+        assert_eq!(lines.len(), 4, "{tree}");
+        assert!(lines[1].starts_with("  request"), "{tree}");
+        assert!(lines[2].starts_with("    parse"), "{tree}");
+        assert!(lines[3].starts_with("    store-read"), "{tree}");
+    }
+
+    #[test]
+    fn chrome_export_is_parseable_and_carries_complete_events() {
+        let dump = TraceDump {
+            daemon: "127.0.0.1:7341".into(),
+            window: 16,
+            recorded: 1,
+            dropped: 0,
+            spans: vec![{
+                let mut s = span(1, 1, None, "request", 1500, 2500);
+                s.attrs = vec![("op".into(), "zero-round".into())];
+                s
+            }],
+        };
+        let chrome = render_chrome(&[dump]);
+        assert!(chrome.contains("\"ph\":\"X\""), "{chrome}");
+        assert!(chrome.contains("\"ph\":\"M\""), "{chrome}");
+        assert!(chrome.contains("\"process_name\""), "{chrome}");
+        assert!(chrome.contains("\"ts\":1.500"), "microsecond timestamps: {chrome}");
+        let doc = Json::parse(chrome.trim_end()).expect("valid JSON");
+        let Some(Json::Arr(events)) = doc.get("traceEvents") else { panic!("traceEvents") };
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[1].get("name").and_then(Json::as_str), Some("request"));
+        assert_eq!(
+            events[1].get("args").and_then(|a| a.get("op")).and_then(Json::as_str),
+            Some("zero-round")
+        );
+    }
+
+    #[test]
+    fn escaped_strings_stay_valid_json() {
+        let dump = TraceDump {
+            daemon: "weird\"host\\name\n:1".into(),
+            window: 1,
+            recorded: 0,
+            dropped: 0,
+            spans: vec![],
+        };
+        let chrome = render_chrome(&[dump]);
+        assert!(Json::parse(chrome.trim_end()).is_ok(), "{chrome}");
+    }
+}

@@ -235,6 +235,18 @@ fn metrics_scrapes_stay_valid_and_monotone_under_live_traffic() {
     let text = scraper.metrics().unwrap();
     assert!(relim_service::metrics::exposition_problems(&text).is_empty(), "{text}");
     assert!(requests_total(&text) >= 24 + scrapes as i64, "{text}");
+    // The latency histograms the traffic filled derive a well-formed
+    // Prometheus family (the validator above already checked cumulative
+    // `le` order, `+Inf` and `_count` agreement on every live scrape).
+    assert!(text.contains("# TYPE relim_request_latency_ns histogram"), "{text}");
+    assert!(text.contains("relim_request_latency_ns_bucket{op=\"iterate\","), "{text}");
+    assert!(
+        text.contains("relim_request_latency_ns_count{op=\"iterate\",outcome=\"computed\"}"),
+        "{text}"
+    );
+    // The timeline's window accounting is scrapeable alongside it.
+    assert!(text.contains("relim_timeline_dropped "), "{text}");
+    assert!(text.contains("relim_timeline_window "), "{text}");
 
     Client::new(addr).shutdown().unwrap();
     handle.join();

@@ -196,6 +196,8 @@ fn fleetless_daemon_exposes_the_same_peer_scrape_surface() {
         "relim_peer_fetch_err 0",
         "relim_peer_fetch_timeout 0",
         "relim_peer_breaker_open 0",
+        "relim_peer_probe_ok 0",
+        "relim_peer_probe_err 0",
         "relim_peer_remote_hits 0",
         "relim_peer_degraded_local 0",
     ] {
